@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Bench_util Circuit Float Hashtbl Linalg List Polybasis Printf Randkit Rsm Stat

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Circuit Linalg List Lstsq Mat Polybasis Printf Randkit Rsm String

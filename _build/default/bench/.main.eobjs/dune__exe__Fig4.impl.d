@@ -1,0 +1,1 @@
+bench/fig4.ml: Bench_util Circuit List Polybasis Printf Randkit Rsm

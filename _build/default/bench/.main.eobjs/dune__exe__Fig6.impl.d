@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bench_util Circuit Float Fun Linalg List Polybasis Printf Randkit Rsm String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Cmd Cmdliner Fig4 Fig6 Printf Recovery Speed Tables Term

@@ -1,0 +1,1 @@
+bench/recovery.ml: Array Bench_util Fun Linalg List Polybasis Printf Randkit Rsm

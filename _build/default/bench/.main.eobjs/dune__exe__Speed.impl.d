@@ -1,0 +1,1 @@
+bench/speed.ml: Analyze Array Bechamel Benchmark Circuit Fun Hashtbl Instance Linalg List Measure Polybasis Printf Randkit Rsm Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/tables.ml: Array Bench_util Circuit Float Linalg List Polybasis Printf Randkit Rsm

@@ -1,0 +1,146 @@
+(* Shared plumbing for the benchmark harness: experiment construction,
+   design-matrix building, method dispatch with cost accounting, and
+   plain-text table rendering. *)
+
+open Linalg
+
+let default_seed = 20090726 (* DAC 2009 conference date *)
+
+(* --- text tables --- *)
+
+let hrule widths =
+  let parts = List.map (fun w -> String.make (w + 2) '-') widths in
+  "+" ^ String.concat "+" parts ^ "+"
+
+let render_row widths cells =
+  let padded =
+    List.map2
+      (fun w c ->
+        let pad = max 0 (w - String.length c) in
+        " " ^ c ^ String.make pad ' ' ^ " ")
+      widths cells
+  in
+  "|" ^ String.concat "|" padded ^ "|"
+
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun j ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row j))) 0 all)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  print_endline (hrule widths);
+  print_endline (render_row widths header);
+  print_endline (hrule widths);
+  List.iter (fun row -> print_endline (render_row widths row)) rows;
+  print_endline (hrule widths)
+
+let pct x = Printf.sprintf "%.2f%%" (100. *. x)
+
+let secs x =
+  if x >= 3600. then Printf.sprintf "%.1f h" (x /. 3600.)
+  else if x >= 60. then Printf.sprintf "%.1f min" (x /. 60.)
+  else Printf.sprintf "%.1f s" x
+
+(* --- experiment plumbing --- *)
+
+type prepared = {
+  g_train : Mat.t;
+  f_train : float array;
+  g_test : Mat.t;
+  f_test : float array;
+  sim_cost : float;  (** accounted Spectre seconds for the training set *)
+}
+
+let prepare basis sim rng ~train ~test =
+  let e = Circuit.Testbench.generate sim rng ~train ~test in
+  {
+    g_train = Polybasis.Design.matrix_rows basis e.Circuit.Testbench.train.Circuit.Simulator.points;
+    f_train = e.Circuit.Testbench.train.Circuit.Simulator.values;
+    g_test = Polybasis.Design.matrix_rows basis e.Circuit.Testbench.test.Circuit.Simulator.points;
+    f_test = e.Circuit.Testbench.test.Circuit.Simulator.values;
+    sim_cost = Circuit.Testbench.training_cost e;
+  }
+
+(* Prepared data reusing raw sample points for a second basis (used by the
+   quadratic experiments, which share the simulation budget). *)
+let prepare_two bases sim rng ~train ~test =
+  let e = Circuit.Testbench.generate sim rng ~train ~test in
+  List.map
+    (fun basis ->
+      {
+        g_train =
+          Polybasis.Design.matrix_rows basis
+            e.Circuit.Testbench.train.Circuit.Simulator.points;
+        f_train = e.Circuit.Testbench.train.Circuit.Simulator.values;
+        g_test =
+          Polybasis.Design.matrix_rows basis
+            e.Circuit.Testbench.test.Circuit.Simulator.points;
+        f_test = e.Circuit.Testbench.test.Circuit.Simulator.values;
+        sim_cost = Circuit.Testbench.training_cost e;
+      })
+    bases
+
+type outcome = {
+  method_ : Rsm.Solver.method_;
+  error : float;
+  nnz : int;
+  fit_seconds : float;
+  sim_seconds : float;
+}
+
+(* Fit one method with cross-validated sparsity (the paper's flow) and
+   measure wall-clock fitting cost, which includes the CV runs. *)
+let run_method ?(train_sub = None) ?(max_lambda = 100) prep method_ =
+  let g_train, f_train, sim_seconds =
+    match train_sub with
+    | None -> (prep.g_train, prep.f_train, prep.sim_cost)
+    | Some k ->
+        let idx = Array.init k (fun i -> i) in
+        ( Mat.select_rows prep.g_train idx,
+          Array.sub prep.f_train 0 k,
+          prep.sim_cost *. float_of_int k /. float_of_int (Mat.rows prep.g_train) )
+  in
+  let rng = Randkit.Prng.create default_seed in
+  let (model, fit_seconds) =
+    Circuit.Testbench.timed (fun () ->
+        if Rsm.Solver.needs_overdetermined method_ then
+          Rsm.Ls.fit ~method_:Lstsq.Normal g_train f_train
+        else Rsm.Solver.fit_cv ~max_lambda rng g_train f_train method_)
+  in
+  {
+    method_;
+    error = Rsm.Model.error_on model prep.g_test prep.f_test;
+    nnz = Rsm.Model.nnz model;
+    fit_seconds;
+    sim_seconds;
+  }
+
+let cost_rows outcomes =
+  List.map
+    (fun o ->
+      [
+        Rsm.Solver.name o.method_;
+        pct o.error;
+        string_of_int o.nnz;
+        secs o.sim_seconds;
+        secs o.fit_seconds;
+        secs (o.sim_seconds +. o.fit_seconds);
+      ])
+    outcomes
+
+let cost_header =
+  [ "method"; "test error"; "bases used"; "sim cost"; "fit cost"; "total" ]
+
+let speedup_line outcomes =
+  match
+    ( List.find_opt (fun o -> o.method_ = Rsm.Solver.Ls) outcomes,
+      List.find_opt (fun o -> o.method_ = Rsm.Solver.Omp) outcomes )
+  with
+  | Some ls, Some omp ->
+      let s =
+        (ls.sim_seconds +. ls.fit_seconds) /. (omp.sim_seconds +. omp.fit_seconds)
+      in
+      Printf.printf "OMP speedup over LS (total cost): %.1fx\n" s
+  | _ -> ()

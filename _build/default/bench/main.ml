@@ -1,0 +1,65 @@
+(* Benchmark harness entry point.
+
+   `dune exec bench/main.exe` with no arguments regenerates every table
+   and figure of the paper's evaluation at laptop scale; subcommands run
+   one experiment, `--quick` shrinks everything for smoke runs and
+   `--full` uses the paper's problem sizes where memory allows. *)
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Tiny problem sizes (smoke run).")
+
+let full =
+  Arg.(
+    value & flag
+    & info [ "full" ]
+        ~doc:
+          "Paper-size problems (21310-dimensional SRAM, 200-parameter \
+           quadratic). Slow; needs several GB of memory.")
+
+let run_all quick full =
+  Fig4.run ~quick ();
+  Tables.table1 ~quick ();
+  Tables.tables_2_3 ~quick ~full ();
+  Tables.table4 ~quick ~full ();
+  Fig6.run ~quick ~full ();
+  Ablation.run ~quick ();
+  Recovery.run ~quick ();
+  Printf.printf "\nAll experiments complete. See EXPERIMENTS.md for the \
+                 paper-vs-measured record.\n"
+
+let cmd_of name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ quick $ full)
+
+let () =
+  let default = Term.(const run_all $ quick $ full) in
+  let info =
+    Cmd.info "rsm-bench" ~version:"1.0"
+      ~doc:
+        "Reproduce the tables and figures of Li, 'Finding Deterministic \
+         Solution from Underdetermined Equation' (DAC'09 / TCAD'10)."
+  in
+  let cmds =
+    [
+      cmd_of "fig4" "OpAmp linear error vs training samples (Fig. 4)"
+        (fun quick _ -> Fig4.run ~quick ());
+      cmd_of "table1" "OpAmp linear modeling cost (Table I)"
+        (fun quick _ -> Tables.table1 ~quick ());
+      cmd_of "table2" "OpAmp quadratic modeling error (Table II)"
+        (fun quick full -> Tables.tables_2_3 ~quick ~full ());
+      cmd_of "table3" "OpAmp quadratic modeling cost (Table III)"
+        (fun quick full -> Tables.tables_2_3 ~quick ~full ());
+      cmd_of "table4" "SRAM read path error and cost (Table IV)"
+        (fun quick full -> Tables.table4 ~quick ~full ());
+      cmd_of "fig6" "SRAM coefficient sparsity spectrum (Fig. 6)"
+        (fun quick full -> Fig6.run ~quick ~full ());
+      cmd_of "ablation" "Design-choice ablations (A1)"
+        (fun quick _ -> Ablation.run ~quick ());
+      cmd_of "recovery" "K = O(P log M) recovery phase diagram (A2)"
+        (fun quick _ -> Recovery.run ~quick ());
+      cmd_of "speed" "Bechamel fitting-kernel micro-benchmarks"
+        (fun _ _ -> Speed.run ());
+    ]
+  in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -1,0 +1,71 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table, timing the
+   fitting kernel that dominates each table's "fitting cost" row at a
+   reduced-but-same-shape size, plus the shared design-matrix kernel. *)
+
+open Bechamel
+open Toolkit
+
+let make_problem ~k ~m ~p seed =
+  let rng = Randkit.Prng.create seed in
+  let g = Randkit.Gaussian.matrix rng k m in
+  let support = Randkit.Sampling.subsample rng (Array.init m Fun.id) p in
+  let f =
+    Array.init k (fun i ->
+        let acc = ref (0.1 *. Randkit.Gaussian.sample rng) in
+        Array.iter (fun j -> acc := !acc +. Linalg.Mat.get g i j) support;
+        !acc)
+  in
+  (g, f)
+
+let tests () =
+  (* Table I shape: OpAmp linear, K = 600, M = 631. *)
+  let g1, f1 = make_problem ~k:600 ~m:631 ~p:30 1 in
+  (* Tables II-III shape: quadratic dictionary, K = 500, M ~ 1891. *)
+  let g2, f2 = make_problem ~k:500 ~m:1891 ~p:60 2 in
+  (* Table IV shape: SRAM linear, K = 500, M = 1510. *)
+  let g4, f4 = make_problem ~k:500 ~m:1510 ~p:40 3 in
+  (* LS baseline shape: over-determined 700x631 normal equations. *)
+  let gls, fls = make_problem ~k:700 ~m:631 ~p:30 4 in
+  let amp = Circuit.Opamp.build ~n_parasitics:50 () in
+  let basis = Polybasis.Basis.constant_linear (Circuit.Opamp.dim amp) in
+  let rng = Randkit.Prng.create 5 in
+  let pts = Array.init 100 (fun _ -> Randkit.Gaussian.vector rng (Circuit.Opamp.dim amp)) in
+  [
+    Test.make ~name:"table1: OMP linear 600x631"
+      (Staged.stage (fun () -> ignore (Rsm.Omp.fit g1 f1 ~lambda:30)));
+    Test.make ~name:"table2/3: OMP quadratic 500x1891"
+      (Staged.stage (fun () -> ignore (Rsm.Omp.fit g2 f2 ~lambda:60)));
+    Test.make ~name:"table4: OMP sram 500x1510"
+      (Staged.stage (fun () -> ignore (Rsm.Omp.fit g4 f4 ~lambda:40)));
+    Test.make ~name:"table1: LS baseline 700x631"
+      (Staged.stage (fun () -> ignore (Rsm.Ls.fit ~method_:Linalg.Lstsq.Normal gls fls)));
+    Test.make ~name:"fig4: LAR linear 600x631"
+      (Staged.stage (fun () ->
+           ignore (Rsm.Lars.fit ~mode:Rsm.Lars.Lar g1 f1 ~lambda:30)));
+    Test.make ~name:"fig4: STAR linear 600x631"
+      (Staged.stage (fun () -> ignore (Rsm.Star.fit g1 f1 ~lambda:30)));
+    Test.make ~name:"design matrix 100x131"
+      (Staged.stage (fun () -> ignore (Polybasis.Design.matrix_rows basis pts)));
+  ]
+
+let run () =
+  Printf.printf "\n=== Bechamel fitting-kernel timings ===\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              Printf.printf "%-36s %12.3f ms/run\n%!" name (est /. 1e6)
+          | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
+        stats)
+    (tests ())

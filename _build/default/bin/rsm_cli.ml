@@ -1,0 +1,372 @@
+(* Command-line front-end for the performance-modeling library.
+
+   rsm info                          list workloads and their dimensions
+   rsm mc     --circuit ... ...      Monte-Carlo performance statistics
+   rsm model  --circuit ... ...      fit a sparse model and report accuracy *)
+
+open Cmdliner
+
+type workload = {
+  name : string;
+  dim : int;
+  sim : Circuit.Simulator.t;
+  nominal : float;
+  unit_ : string;
+}
+
+let opamp_metric_of_string s =
+  List.find_opt
+    (fun m -> Circuit.Opamp.metric_name m = String.lowercase_ascii s)
+    Circuit.Opamp.all_metrics
+
+let make_workload ~circuit ~metric ~cells ~parasitics =
+  match String.lowercase_ascii circuit with
+  | "opamp" -> (
+      let amp = Circuit.Opamp.build ~n_parasitics:parasitics () in
+      match opamp_metric_of_string metric with
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown opamp metric %S (expected gain | bandwidth | power | \
+                offset)"
+               metric)
+      | Some m ->
+          Ok
+            {
+              name = Printf.sprintf "opamp/%s" (Circuit.Opamp.metric_name m);
+              dim = Circuit.Opamp.dim amp;
+              sim = Circuit.Opamp.simulator amp m;
+              nominal = Circuit.Opamp.nominal amp m;
+              unit_ = Circuit.Opamp.metric_unit m;
+            })
+  | "sram" ->
+      let sram = Circuit.Sram.build ~cells () in
+      Ok
+        {
+          name = "sram/read_delay";
+          dim = Circuit.Sram.dim sram;
+          sim = Circuit.Sram.simulator sram;
+          nominal = Circuit.Sram.nominal_delay_ps sram;
+          unit_ = "ps";
+        }
+  | other -> Error (Printf.sprintf "unknown circuit %S (expected opamp | sram)" other)
+
+(* Shared options. *)
+let circuit =
+  Arg.(value & opt string "opamp" & info [ "circuit" ] ~docv:"NAME"
+         ~doc:"Workload circuit: opamp or sram.")
+
+let metric =
+  Arg.(value & opt string "offset" & info [ "metric" ] ~docv:"METRIC"
+         ~doc:"OpAmp metric: gain, bandwidth, power or offset.")
+
+let cells =
+  Arg.(value & opt int 120 & info [ "cells" ] ~docv:"N"
+         ~doc:"SRAM array size in cells (1180 = the paper's 21310 factors).")
+
+let parasitics =
+  Arg.(value & opt int 550 & info [ "parasitics" ] ~docv:"N"
+         ~doc:"OpAmp layout-parasitic count (550 = the paper's 630 factors).")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let samples =
+  Arg.(value & opt int 1000 & info [ "samples" ] ~docv:"K"
+         ~doc:"Monte-Carlo / training sample count.")
+
+let err_exit msg =
+  prerr_endline ("rsm: " ^ msg);
+  exit 2
+
+(* --- info --- *)
+
+let info_cmd =
+  let run () =
+    let amp = Circuit.Opamp.build () in
+    Printf.printf "opamp   : %d factors; metrics: gain bandwidth power offset\n"
+      (Circuit.Opamp.dim amp);
+    let sram = Circuit.Sram.build ~cells:120 () in
+    let paper = Circuit.Sram.build () in
+    Printf.printf
+      "sram    : %d factors at 120 cells (default); %d at %d cells (paper)\n"
+      (Circuit.Sram.dim sram) (Circuit.Sram.dim paper) Circuit.Sram.paper_cells;
+    Printf.printf "methods : %s (plus lasso, ridge as extensions)\n"
+      (String.concat " " (List.map Rsm.Solver.name Rsm.Solver.all))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"List workloads, dimensions and methods.")
+    Term.(const run $ const ())
+
+(* --- mc --- *)
+
+let mc_cmd =
+  let run circuit metric cells parasitics seed samples =
+    match make_workload ~circuit ~metric ~cells ~parasitics with
+    | Error e -> err_exit e
+    | Ok w ->
+        let rng = Randkit.Prng.create seed in
+        let d = Circuit.Simulator.run w.sim rng ~k:samples in
+        let v = d.Circuit.Simulator.values in
+        Printf.printf "%s: %d Monte-Carlo samples over %d factors\n" w.name
+          samples w.dim;
+        Printf.printf "  nominal %12.4f %s\n" w.nominal w.unit_;
+        Printf.printf "  mean    %12.4f %s\n" (Stat.Descriptive.mean v) w.unit_;
+        Printf.printf "  std     %12.4f %s\n" (Stat.Descriptive.std v) w.unit_;
+        List.iter
+          (fun p ->
+            Printf.printf "  p%02.0f     %12.4f %s\n" (100. *. p)
+              (Stat.Descriptive.quantile v p) w.unit_)
+          [ 0.01; 0.5; 0.99 ];
+        Printf.printf "  accounted simulation cost: %.0f s\n"
+          (Circuit.Simulator.simulated_cost w.sim ~k:samples)
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc:"Monte-Carlo performance statistics of a workload.")
+    Term.(const run $ circuit $ metric $ cells $ parasitics $ seed $ samples)
+
+(* --- model --- *)
+
+let method_arg =
+  Arg.(value & opt string "omp" & info [ "method" ] ~docv:"METHOD"
+         ~doc:"Fitting method: ls, star, lar, lasso or omp.")
+
+let test_arg =
+  Arg.(value & opt int 2000 & info [ "test" ] ~docv:"K"
+         ~doc:"Testing sample count.")
+
+let max_lambda_arg =
+  Arg.(value & opt int 100 & info [ "max-lambda" ] ~docv:"L"
+         ~doc:"Upper bound for the cross-validated sparsity level.")
+
+let save_model_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save-model" ] ~docv:"FILE"
+           ~doc:"Write the fitted model to FILE (rsm-model text format).")
+
+let model_cmd =
+  let run circuit metric cells parasitics seed samples test method_name
+      max_lambda save_model =
+    match make_workload ~circuit ~metric ~cells ~parasitics with
+    | Error e -> err_exit e
+    | Ok w -> (
+        match Rsm.Solver.of_name method_name with
+        | None -> err_exit (Printf.sprintf "unknown method %S" method_name)
+        | Some meth ->
+            let rng = Randkit.Prng.create seed in
+            let basis = Polybasis.Basis.constant_linear w.dim in
+            let e = Circuit.Testbench.generate w.sim rng ~train:samples ~test in
+            let g_tr =
+              Polybasis.Design.matrix_rows basis
+                e.Circuit.Testbench.train.Circuit.Simulator.points
+            in
+            let g_te =
+              Polybasis.Design.matrix_rows basis
+                e.Circuit.Testbench.test.Circuit.Simulator.points
+            in
+            let f_tr = e.Circuit.Testbench.train.Circuit.Simulator.values in
+            let f_te = e.Circuit.Testbench.test.Circuit.Simulator.values in
+            if
+              Rsm.Solver.needs_overdetermined meth
+              && Linalg.Mat.rows g_tr < Linalg.Mat.cols g_tr
+            then
+              err_exit
+                (Printf.sprintf
+                   "LS needs at least %d samples for %d coefficients; got %d \
+                    (use omp/lar/star, the point of the paper)"
+                   (Linalg.Mat.cols g_tr) (Linalg.Mat.cols g_tr) samples);
+            let model, fit_s =
+              Circuit.Testbench.timed (fun () ->
+                  Rsm.Solver.fit_cv ~max_lambda rng g_tr f_tr meth)
+            in
+            Printf.printf "%s | %s | K = %d training samples, M = %d bases\n"
+              w.name (Rsm.Solver.name meth) samples (Linalg.Mat.cols g_tr);
+            Printf.printf "  testing error : %.2f%% (on %d fresh samples)\n"
+              (100. *. Rsm.Model.error_on model g_te f_te)
+              test;
+            Printf.printf "  bases selected: %d\n" (Rsm.Model.nnz model);
+            Printf.printf "  fitting cost  : %.2f s (measured)\n" fit_s;
+            Printf.printf "  sim cost      : %.0f s (accounted at %.2f s/sample)\n"
+              (Circuit.Testbench.training_cost e)
+              w.sim.Circuit.Simulator.seconds_per_sample;
+            match save_model with
+            | None -> ()
+            | Some path ->
+                Rsm.Serialize.save path model;
+                Printf.printf "  model saved   : %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:"Fit a sparse performance model and validate it on fresh samples.")
+    Term.(
+      const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
+      $ test_arg $ method_arg $ max_lambda_arg $ save_model_arg)
+
+let predict_cmd =
+  let model_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~docv:"FILE" ~doc:"Model file written by --save-model.")
+  in
+  let run circuit metric cells parasitics seed samples model_file =
+    match make_workload ~circuit ~metric ~cells ~parasitics with
+    | Error e -> err_exit e
+    | Ok w -> (
+        match Rsm.Serialize.load model_file with
+        | Error e -> err_exit ("cannot load model: " ^ e)
+        | Ok model ->
+            let basis = Polybasis.Basis.constant_linear w.dim in
+            if Rsm.Model.(model.basis_size) <> Polybasis.Basis.size basis then
+              err_exit
+                (Printf.sprintf
+                   "model has %d bases but the workload dictionary has %d - \
+                    wrong circuit or size options"
+                   model.Rsm.Model.basis_size (Polybasis.Basis.size basis));
+            let rng = Randkit.Prng.create seed in
+            let data = Circuit.Simulator.run w.sim rng ~k:samples in
+            let pred =
+              Array.map
+                (fun p -> Rsm.Model.predict_point model basis p)
+                data.Circuit.Simulator.points
+            in
+            Printf.printf
+              "%s | loaded %d-term model from %s; validated on %d fresh \
+               simulations\n"
+              w.name (Rsm.Model.nnz model) model_file samples;
+            Printf.printf "  relative-RMS error: %.2f%%\n"
+              (100.
+              *. Stat.Metrics.relative_rms ~pred
+                   ~truth:data.Circuit.Simulator.values);
+            Printf.printf "  max abs error     : %.4f %s\n"
+              (Stat.Metrics.max_abs_error ~pred
+                 ~truth:data.Circuit.Simulator.values)
+              w.unit_)
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Load a saved model and validate it against fresh simulations.")
+    Term.(
+      const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
+      $ model_file)
+
+(* --- yield / sensitivity: fit a model, then use it --- *)
+
+let fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda =
+  match make_workload ~circuit ~metric ~cells ~parasitics with
+  | Error e -> err_exit e
+  | Ok w ->
+      let rng = Randkit.Prng.create seed in
+      let basis = Polybasis.Basis.constant_linear w.dim in
+      let data = Circuit.Simulator.run w.sim rng ~k:samples in
+      let g =
+        Polybasis.Design.matrix_rows basis data.Circuit.Simulator.points
+      in
+      let r = Rsm.Select.omp rng ~max_lambda g data.Circuit.Simulator.values in
+      (w, basis, r.Rsm.Select.model, rng)
+
+let lower_arg =
+  Arg.(value & opt float Float.neg_infinity
+       & info [ "lower" ] ~docv:"X" ~doc:"Lower spec bound.")
+
+let upper_arg =
+  Arg.(value & opt float Float.infinity
+       & info [ "upper" ] ~docv:"X" ~doc:"Upper spec bound.")
+
+let yield_cmd =
+  let run circuit metric cells parasitics seed samples max_lambda lower upper =
+    let w, basis, model, rng =
+      fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
+    in
+    if lower = Float.neg_infinity && upper = Float.infinity then
+      err_exit "give at least one of --lower / --upper";
+    let spec = Rsm.Yield.spec_both ~lower ~upper in
+    Printf.printf "%s | spec [%g, %g] %s | model from %d simulations (%d bases)\n"
+      w.name lower upper w.unit_ samples (Rsm.Model.nnz model);
+    let y, se = Rsm.Yield.monte_carlo ~samples:100_000 model basis rng spec in
+    Printf.printf "  model-MC yield    : %.4f +/- %.4f\n" y se;
+    (match Rsm.Yield.gaussian model basis spec with
+    | g -> Printf.printf "  closed-form yield : %.4f (linear model => Gaussian)\n" g
+    | exception Invalid_argument _ -> ());
+    Printf.printf "  model mean/sigma  : %.4f / %.4f %s\n"
+      (Rsm.Sensitivity.mean model basis)
+      (sqrt (Rsm.Sensitivity.total_variance model basis))
+      w.unit_
+  in
+  Cmd.v
+    (Cmd.info "yield"
+       ~doc:"Estimate parametric yield against a spec window from a fitted model.")
+    Term.(
+      const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
+      $ max_lambda_arg $ lower_arg $ upper_arg)
+
+let sensitivity_cmd =
+  let run circuit metric cells parasitics seed samples max_lambda =
+    let w, basis, model, _rng =
+      fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
+    in
+    Printf.printf "%s | variance attribution from %d simulations (%d bases)\n"
+      w.name samples (Rsm.Model.nnz model);
+    Printf.printf "  model sigma: %.4f %s, interaction share %.1f%%\n"
+      (sqrt (Rsm.Sensitivity.total_variance model basis))
+      w.unit_
+      (100. *. Rsm.Sensitivity.interaction_share model basis);
+    Array.iter
+      (fun (factor, share) ->
+        Printf.printf "  factor %6d : %5.1f%%\n" factor (100. *. share))
+      (Rsm.Sensitivity.top_factors ~n:12 model basis)
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Rank variation sources by their share of the modeled variance.")
+    Term.(
+      const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
+      $ max_lambda_arg)
+
+let corner_cmd =
+  let sigma_arg =
+    Arg.(value & opt float 3. & info [ "sigma" ] ~docv:"K"
+           ~doc:"Process radius in sigmas.")
+  in
+  let maximize_arg =
+    Arg.(value & flag & info [ "maximize" ]
+           ~doc:"Find the largest value (default: smallest).")
+  in
+  let run circuit metric cells parasitics seed samples max_lambda sigma maximize =
+    let w, basis, model, _ =
+      fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
+    in
+    let e = Rsm.Corner.linear_worst model basis ~sigma ~maximize in
+    Printf.printf "%s | %s corner at %.1f sigma (model from %d simulations)\n"
+      w.name (if maximize then "worst-high" else "worst-low") sigma samples;
+    Printf.printf "  model extremum : %.4f %s\n" e.Rsm.Corner.value w.unit_;
+    Printf.printf "  simulated there: %.4f %s\n" (w.sim.Circuit.Simulator.eval e.Rsm.Corner.corner) w.unit_;
+    let nonzero =
+      Array.to_list (Array.mapi (fun i v -> (i, v)) e.Rsm.Corner.corner)
+      |> List.filter (fun (_, v) -> Float.abs v > 1e-9)
+      |> List.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a))
+    in
+    Printf.printf "  corner touches %d factors; strongest:\n" (List.length nonzero);
+    List.iteri
+      (fun i (j, v) ->
+        if i < 6 then Printf.printf "    factor %6d = %+.3f sigma\n" j v)
+      nonzero
+  in
+  Cmd.v
+    (Cmd.info "corner"
+       ~doc:"Extract the worst-case process corner from a fitted model.")
+    Term.(
+      const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
+      $ max_lambda_arg $ sigma_arg $ maximize_arg)
+
+let () =
+  let info =
+    Cmd.info "rsm" ~version:"1.0"
+      ~doc:
+        "Large-scale analog/RF performance variability modeling by sparse \
+         regression (OMP / LAR / STAR / LS)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ info_cmd; mc_cmd; model_cmd; predict_cmd; yield_cmd; sensitivity_cmd;
+            corner_cmd ]))

@@ -1,0 +1,1 @@
+examples/high_sigma.ml: Circuit List Polybasis Printf Randkit Rsm Stat

@@ -1,0 +1,1 @@
+examples/high_sigma.mli:

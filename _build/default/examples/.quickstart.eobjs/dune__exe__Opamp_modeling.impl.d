@@ -1,0 +1,1 @@
+examples/opamp_modeling.ml: Array Circuit Float List Polybasis Printf Randkit Rsm

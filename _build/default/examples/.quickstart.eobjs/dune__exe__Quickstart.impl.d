@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Linalg Mat Printf Randkit Rsm

@@ -1,0 +1,1 @@
+examples/sparse_recovery.ml: Array Fun Linalg List Mat Printf Randkit Rsm

@@ -1,0 +1,1 @@
+examples/worst_case.ml: Array Circuit List Polybasis Printf Randkit Rsm Stat String

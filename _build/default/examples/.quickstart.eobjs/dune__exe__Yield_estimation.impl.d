@@ -1,0 +1,1 @@
+examples/yield_estimation.ml: Array Circuit Polybasis Printf Randkit Rsm Stat Unix

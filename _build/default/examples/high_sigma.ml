@@ -1,0 +1,69 @@
+(* High-sigma failure analysis: model-steered importance sampling.
+
+   SRAM cells are replicated millions of times, so a single cell's
+   failure probability must be known down to ~1e-8 — far beyond what
+   plain Monte Carlo can see (you would wait ~1e9 Spectre runs for a
+   handful of failures). The fitted sparse model knows *which direction*
+   in the 1500-dimensional factor space makes the read slow; importance
+   sampling shifts the sampling distribution along it and re-weights,
+   reaching the deep tail with a few thousand simulator calls.
+
+   Run with: dune exec examples/high_sigma.exe *)
+
+let () =
+  let sram = Circuit.Sram.build ~cells:80 () in
+  let sim = Circuit.Sram.simulator sram in
+  let rng = Randkit.Prng.create 55 in
+
+  (* Fit the steering model. *)
+  let k_fit = 400 in
+  let data = Circuit.Simulator.run sim rng ~k:k_fit in
+  let basis = Polybasis.Basis.constant_linear (Circuit.Sram.dim sram) in
+  let design = Polybasis.Design.matrix_rows basis data.Circuit.Simulator.points in
+  let r = Rsm.Select.omp rng ~max_lambda:80 design data.Circuit.Simulator.values in
+  let model = r.Rsm.Select.model in
+  let mu = Stat.Descriptive.mean data.Circuit.Simulator.values in
+  let sd = Stat.Descriptive.std data.Circuit.Simulator.values in
+  Printf.printf
+    "Steering model: %d bases from %d simulations; delay ~ %.0f ps +/- %.0f ps\n"
+    (Rsm.Model.nnz model) k_fit mu sd;
+
+  Printf.printf
+    "\n%-10s %-14s %-14s %-12s %-10s\n" "sigma" "threshold(ps)" "P(fail) IS"
+    "std error" "Gaussian";
+  List.iter
+    (fun nsig ->
+      let threshold = mu +. (nsig *. sd) in
+      let e =
+        Rsm.Variance_reduction.importance_sampling_tail ~samples:2000
+          (fun dy -> Circuit.Sram.read_delay_ps sram dy)
+          model basis rng ~threshold
+      in
+      let gauss = 1. -. Stat.Distribution.cdf nsig in
+      Printf.printf "%-10.1f %-14.1f %-14.3e %-12.1e %-10.1e\n" nsig threshold
+        e.Rsm.Variance_reduction.probability e.Rsm.Variance_reduction.std_error
+        gauss)
+    [ 3.; 4.; 5.; 6. ];
+  Printf.printf
+    "(Gaussian column: what a purely linear-normal delay would give — the \
+     simulator's nonlinearity bends the real tail.)\n";
+
+  (* What plain MC would need. *)
+  let p5 = 1. -. Stat.Distribution.cdf 5. in
+  Printf.printf
+    "\nPlain MC at 5 sigma needs ~%.0e simulations for 10%% relative error; \
+     IS above used 2000 (plus %d to fit the model).\n"
+    (100. /. p5) k_fit;
+
+  (* Control variates: a better mean estimate from the same budget. *)
+  let cv =
+    Rsm.Variance_reduction.control_variate_mean ~samples:300
+      (fun dy -> Circuit.Sram.read_delay_ps sram dy)
+      model basis rng
+  in
+  Printf.printf
+    "\nControl-variate mean estimate: %.2f ps +/- %.3f ps (plain MC from the \
+     same 300 runs: %.2f +/- %.3f; variance reduced %.0fx)\n"
+    cv.Rsm.Variance_reduction.mean cv.Rsm.Variance_reduction.std_error
+    cv.Rsm.Variance_reduction.plain_mean cv.Rsm.Variance_reduction.plain_std_error
+    cv.Rsm.Variance_reduction.variance_reduction

@@ -1,0 +1,126 @@
+(* OpAmp performance variability modeling — the paper's Section V-A
+   workload end to end:
+
+   1. build the two-stage OpAmp with its 630-dimensional variation space,
+   2. "simulate" training and testing sets,
+   3. fit sparse linear models of gain / bandwidth / power / offset with
+      cross-validated OMP,
+   4. interpret the selected basis functions physically,
+   5. refine the offset model to quadratic over the most important
+      parameters (Section V-A.2).
+
+   Run with: dune exec examples/opamp_modeling.exe *)
+
+let describe_factor p dim idx =
+  (* Map a factor index back to its physical meaning. *)
+  let ng = Circuit.Process.n_global_factors p in
+  if idx < ng then Printf.sprintf "inter-die factor %d" idx
+  else
+    let local = idx - ng in
+    let per_dev = 5 in
+    let dev = local / per_dev and which = local mod per_dev in
+    if dev < Circuit.Opamp.Device.count then
+      let dev_name =
+        match dev with
+        | 0 -> "M1 (input pair)"
+        | 1 -> "M2 (input pair)"
+        | 2 -> "M3 (mirror load)"
+        | 3 -> "M4 (mirror load)"
+        | 4 -> "M5 (tail source)"
+        | 5 -> "M6 (2nd stage)"
+        | 6 -> "M7 (2nd-stage sink)"
+        | 7 -> "M8 (bias diode)"
+        | d -> Printf.sprintf "M%d (bias helper)" (d + 1)
+      in
+      let var_name =
+        match which with
+        | 0 -> "dVth"
+        | 1 -> "dBeta"
+        | 2 -> "dL"
+        | _ -> Printf.sprintf "mismatch[%d]" which
+      in
+      Printf.sprintf "%s of %s" var_name dev_name
+    else Printf.sprintf "parasitic %d" (idx - ng - (Circuit.Opamp.Device.count * per_dev))
+    |> fun s -> if idx >= dim then "?" else s
+
+let () =
+  let amp = Circuit.Opamp.build () in
+  let dim = Circuit.Opamp.dim amp in
+  let p = Circuit.Opamp.process amp in
+  Printf.printf "Two-stage OpAmp: %d independent variation factors after PCA\n" dim;
+  let basis = Polybasis.Basis.constant_linear dim in
+  let train = 600 and test = 2000 in
+  Printf.printf "Training samples: %d (vs %d coefficients - underdetermined)\n\n"
+    train (Polybasis.Basis.size basis);
+
+  let offset_data = ref None in
+  List.iter
+    (fun metric ->
+      let sim = Circuit.Opamp.simulator amp metric in
+      let rng = Randkit.Prng.create 7 in
+      let e = Circuit.Testbench.generate sim rng ~train ~test in
+      let g_tr =
+        Polybasis.Design.matrix_rows basis
+          e.Circuit.Testbench.train.Circuit.Simulator.points
+      in
+      let g_te =
+        Polybasis.Design.matrix_rows basis
+          e.Circuit.Testbench.test.Circuit.Simulator.points
+      in
+      let f_tr = e.Circuit.Testbench.train.Circuit.Simulator.values in
+      let f_te = e.Circuit.Testbench.test.Circuit.Simulator.values in
+      let r = Rsm.Select.omp rng ~max_lambda:100 g_tr f_tr in
+      let model = r.Rsm.Select.model in
+      Printf.printf "%-10s nominal %8.2f %-3s | lambda=%-3d | test error %5.2f%%\n"
+        (Circuit.Opamp.metric_name metric)
+        (Circuit.Opamp.nominal amp metric)
+        (Circuit.Opamp.metric_unit metric)
+        r.Rsm.Select.lambda
+        (100. *. Rsm.Model.error_on model g_te f_te);
+      (* Show the three strongest selected factors, physically named. *)
+      let pairs =
+        Array.to_list
+          (Array.mapi
+             (fun q j -> (Float.abs model.Rsm.Model.coeffs.(q), j))
+             model.Rsm.Model.support)
+        |> List.filter (fun (_, j) -> j > 0)
+        |> List.sort (fun (a, _) (b, _) -> compare b a)
+      in
+      List.iteri
+        (fun i (mag, j) ->
+          if i < 3 then
+            Printf.printf "    %5.2f x %s\n" mag (describe_factor p dim (j - 1)))
+        pairs;
+      if metric = Circuit.Opamp.Offset then
+        offset_data := Some (e, g_tr, f_tr, g_te, f_te, model))
+    Circuit.Opamp.all_metrics;
+
+  (* Section V-A.2: quadratic refinement of the offset model over the
+     most important parameters. *)
+  match !offset_data with
+  | None -> ()
+  | Some (e, _, f_tr, g_te, f_te, lin_model) ->
+      let dense = Rsm.Model.to_dense lin_model in
+      let scored = Array.init dim (fun j -> (Float.abs dense.(j + 1), j)) in
+      Array.sort (fun (a, _) (b, _) -> compare b a) scored;
+      let top = Array.map snd (Array.sub scored 0 30) in
+      let quad = Polybasis.Basis.quadratic_subset ~dim top in
+      Printf.printf
+        "\nQuadratic refinement (offset): %d most important parameters -> %d \
+         candidate bases\n"
+        30 (Polybasis.Basis.size quad);
+      let gq_tr =
+        Polybasis.Design.matrix_rows quad
+          e.Circuit.Testbench.train.Circuit.Simulator.points
+      in
+      let gq_te =
+        Polybasis.Design.matrix_rows quad
+          e.Circuit.Testbench.test.Circuit.Simulator.points
+      in
+      let rng = Randkit.Prng.create 9 in
+      let rq = Rsm.Select.omp rng ~max_lambda:100 gq_tr f_tr in
+      Printf.printf "linear    test error: %.3f%%\n"
+        (100. *. Rsm.Model.error_on lin_model g_te f_te);
+      Printf.printf "quadratic test error: %.3f%% (lambda = %d)\n"
+        (100. *. Rsm.Model.error_on rq.Rsm.Select.model gq_te f_te)
+        rq.Rsm.Select.lambda

@@ -1,0 +1,62 @@
+(* Sparse recovery and the K = O(P log M) law.
+
+   Demonstrates the theoretical foundation the paper leans on
+   (Section IV-B, Tropp & Gilbert): the number of sampling points needed
+   to determine a P-sparse coefficient vector grows only logarithmically
+   with the number of unknowns M — which is why 10^2-10^3 simulations
+   can pin down 10^4-10^6 coefficients.
+
+   Run with: dune exec examples/sparse_recovery.exe *)
+
+open Linalg
+
+let recovery_rate rng ~k ~m ~p ~trials =
+  let ok = ref 0 in
+  for _ = 1 to trials do
+    let g = Randkit.Gaussian.matrix rng k m in
+    let support = Randkit.Sampling.subsample rng (Array.init m Fun.id) p in
+    Array.sort compare support;
+    let coeffs =
+      Array.init p (fun _ ->
+          (if Randkit.Prng.bool rng then 1. else -1.)
+          *. (0.5 +. Randkit.Prng.float rng))
+    in
+    let f =
+      Array.init k (fun i ->
+          let acc = ref 0. in
+          Array.iteri
+            (fun q j -> acc := !acc +. (coeffs.(q) *. Mat.get g i j))
+            support;
+          !acc)
+    in
+    let model = Rsm.Omp.fit g f ~lambda:p in
+    if model.Rsm.Model.support = support then incr ok
+  done;
+  float_of_int !ok /. float_of_int trials
+
+let () =
+  let rng = Randkit.Prng.create 2009 in
+  let p = 8 in
+  Printf.printf
+    "How many samples K does OMP need to recover a %d-sparse vector, as the \
+     number of unknowns M grows?\n\n" p;
+  Printf.printf "%-8s %-10s %-14s %-12s\n" "M" "K(90%)" "P log M" "K / P log M";
+  List.iter
+    (fun m ->
+      (* Find the smallest K in a doubling sweep with >= 90% recovery. *)
+      let rec find k =
+        if k > m then None
+        else if recovery_rate rng ~k ~m ~p ~trials:20 >= 0.9 then Some k
+        else find (k + 8)
+      in
+      match find (p + 8) with
+      | Some k ->
+          let plogm = float_of_int p *. log (float_of_int m) in
+          Printf.printf "%-8d %-10d %-14.1f %-12.2f\n" m k plogm
+            (float_of_int k /. plogm)
+      | None -> Printf.printf "%-8d (not reached)\n" m)
+    [ 100; 200; 400; 800; 1600 ];
+  Printf.printf
+    "\nThe last column is roughly constant: K grows like P log M, not like \
+     M.\nDoubling the unknowns costs only a handful of extra samples - the \
+     paper's 'deterministic solution from an underdetermined equation'.\n"

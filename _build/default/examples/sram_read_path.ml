@@ -1,0 +1,71 @@
+(* SRAM read-path delay modeling — the paper's Section V-B workload:
+   thousands of variation factors, of which only a few dozen matter.
+
+   Run with: dune exec examples/sram_read_path.exe [cells]
+   (default 120 cells -> 2230 factors; pass 1180 for the paper's
+   21310-factor configuration — slower and memory-hungry). *)
+
+let () =
+  let cells =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 120
+  in
+  let sram = Circuit.Sram.build ~cells () in
+  let dim = Circuit.Sram.dim sram in
+  Printf.printf "SRAM read path: %d cells, %d independent variation factors\n"
+    cells dim;
+  Printf.printf "Nominal read delay: %.1f ps\n\n" (Circuit.Sram.nominal_delay_ps sram);
+
+  let basis = Polybasis.Basis.constant_linear dim in
+  let train = 500 and test = 1500 in
+  let sim = Circuit.Sram.simulator sram in
+  let rng = Randkit.Prng.create 11 in
+  let e = Circuit.Testbench.generate sim rng ~train ~test in
+  Printf.printf
+    "Drew %d training + %d testing Monte-Carlo samples (%d coefficients to \
+     solve: underdetermined by %.0fx)\n"
+    train test
+    (Polybasis.Basis.size basis)
+    (float_of_int (Polybasis.Basis.size basis) /. float_of_int train);
+
+  let g_tr =
+    Polybasis.Design.matrix_rows basis
+      e.Circuit.Testbench.train.Circuit.Simulator.points
+  in
+  let g_te =
+    Polybasis.Design.matrix_rows basis
+      e.Circuit.Testbench.test.Circuit.Simulator.points
+  in
+  let f_tr = e.Circuit.Testbench.train.Circuit.Simulator.values in
+  let f_te = e.Circuit.Testbench.test.Circuit.Simulator.values in
+
+  let r = Rsm.Select.omp rng ~max_lambda:80 g_tr f_tr in
+  let model = r.Rsm.Select.model in
+  Printf.printf "\nOMP with 4-fold CV selected %d basis functions (of %d)\n"
+    (Rsm.Model.nnz model)
+    (Polybasis.Basis.size basis);
+  Printf.printf "Testing error: %.2f%%\n"
+    (100. *. Rsm.Model.error_on model g_te f_te);
+
+  (* How many selected factors are on the read path? *)
+  let important = Circuit.Sram.important_factors sram in
+  let physical = ref 0 and total = ref 0 in
+  Array.iter
+    (fun bidx ->
+      if bidx > 0 then begin
+        incr total;
+        if Array.mem (bidx - 1) important then incr physical
+      end)
+    model.Rsm.Model.support;
+  Printf.printf
+    "%d of %d selected factors lie on the read path (accessed cell, replica \
+     column, sense amp, drivers, inter-die)\n"
+    !physical !total;
+
+  (* Delay prediction demo: one fresh sample, predicted vs simulated. *)
+  let rng2 = Randkit.Prng.create 99 in
+  let point, truth = Circuit.Simulator.run_one sim rng2 in
+  Printf.printf "\nSpot check on a fresh sample:\n";
+  Printf.printf "  simulated delay: %8.2f ps\n" truth;
+  Printf.printf "  model predicts:  %8.2f ps (using %d of %d terms)\n"
+    (Rsm.Model.predict_point model basis point)
+    (Rsm.Model.nnz model) (Polybasis.Basis.size basis)

@@ -1,0 +1,1 @@
+lib/circuit/dataset_io.ml: Array Fun List Option Printf Simulator String

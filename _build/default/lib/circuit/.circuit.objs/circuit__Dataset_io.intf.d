@@ -1,0 +1,1 @@
+lib/circuit/dataset_io.mli: Simulator

@@ -1,0 +1,1 @@
+lib/circuit/opamp.ml: Array Float Linalg Mosfet Printf Process Simulator Vec

@@ -1,0 +1,1 @@
+lib/circuit/opamp.mli: Linalg Process Simulator

@@ -1,0 +1,1 @@
+lib/circuit/ring_osc.ml: Array Float Linalg Printf Process Simulator Vec

@@ -1,0 +1,1 @@
+lib/circuit/simulator.ml: Array Linalg Mat Randkit Stat Vec

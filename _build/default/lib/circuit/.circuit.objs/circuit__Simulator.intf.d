@@ -1,0 +1,1 @@
+lib/circuit/simulator.mli: Linalg Randkit

@@ -1,0 +1,1 @@
+lib/circuit/sram.ml: Array Float Linalg Process Simulator Vec

@@ -1,0 +1,1 @@
+lib/circuit/testbench.ml: Randkit Simulator Unix

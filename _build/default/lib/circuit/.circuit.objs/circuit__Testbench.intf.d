@@ -1,0 +1,1 @@
+lib/circuit/testbench.mli: Randkit Simulator

@@ -1,0 +1,75 @@
+let to_channel oc d =
+  let n = Array.length d.Simulator.points in
+  if n = 0 then invalid_arg "Dataset_io: empty dataset";
+  let dim = Array.length d.Simulator.points.(0) in
+  for j = 0 to dim - 1 do
+    Printf.fprintf oc "y%d," j
+  done;
+  output_string oc "f\n";
+  Array.iteri
+    (fun i p ->
+      Array.iter (fun x -> Printf.fprintf oc "%.17g," x) p;
+      Printf.fprintf oc "%.17g\n" d.Simulator.values.(i))
+    d.Simulator.points
+
+let save path d =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> to_channel oc d)
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rows -> (
+      let cols = String.split_on_char ',' header in
+      let ncols = List.length cols in
+      if ncols < 2 then Error "header must have at least one factor and f"
+      else if List.nth cols (ncols - 1) <> "f" then
+        Error "last header column must be 'f'"
+      else begin
+        let dim = ncols - 1 in
+        let parse_row idx line =
+          let cells = String.split_on_char ',' line in
+          if List.length cells <> ncols then
+            Error (Printf.sprintf "row %d: expected %d columns" idx ncols)
+          else begin
+            let values = List.map float_of_string_opt cells in
+            if List.exists (fun v -> v = None) values then
+              Error (Printf.sprintf "row %d: malformed number" idx)
+            else begin
+              let arr = Array.of_list (List.map Option.get values) in
+              Ok (Array.sub arr 0 dim, arr.(dim))
+            end
+          end
+        in
+        let rec collect i acc = function
+          | [] -> Ok (List.rev acc)
+          | row :: tl -> (
+              match parse_row i row with
+              | Ok x -> collect (i + 1) (x :: acc) tl
+              | Error e -> Error e)
+        in
+        match collect 1 [] rows with
+        | Error e -> Error e
+        | Ok [] -> Error "no data rows"
+        | Ok pairs ->
+            Ok
+              {
+                Simulator.points = Array.of_list (List.map fst pairs);
+                values = Array.of_list (List.map snd pairs);
+              }
+      end)
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          of_string (really_input_string ic n))

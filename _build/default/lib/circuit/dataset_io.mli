@@ -1,0 +1,23 @@
+(** CSV persistence for simulation datasets.
+
+    Sampling points are the expensive artifact of the whole flow (each
+    row is an accounted transistor-level simulation); saving them lets
+    a team fit new models, try new dictionaries, or rerun
+    cross-validation without re-simulating.
+
+    Format: a header row [y0,y1,...,y<N-1>,f], then one row per sample
+    with [%.17g] round-trip precision. Lines starting with [#] are
+    ignored. *)
+
+val save : string -> Simulator.dataset -> unit
+(** [save path d] writes the dataset (truncating [path]).
+    @raise Invalid_argument on an empty dataset.
+    @raise Sys_error on IO failure. *)
+
+val load : string -> (Simulator.dataset, string) result
+(** [load path] reads a dataset back; [Error] describes the first
+    malformed line (wrong column count, bad number, missing header). *)
+
+val to_channel : out_channel -> Simulator.dataset -> unit
+
+val of_string : string -> (Simulator.dataset, string) result

@@ -1,0 +1,38 @@
+type params = { vth0 : float; beta0 : float; lambda : float; area : float }
+
+let nmos_unit = { vth0 = 0.35; beta0 = 2.0e-3; lambda = 0.15; area = 1.0 }
+
+let pmos_unit = { vth0 = 0.40; beta0 = 0.8e-3; lambda = 0.20; area = 1.0 }
+
+let scaled p k =
+  if k <= 0. then invalid_arg "Mosfet.scaled: factor must be positive";
+  { p with beta0 = p.beta0 *. k; area = p.area *. k }
+
+type t = { p : params; shift : Process.shift }
+
+let nominal p = { p; shift = { Process.dvth = 0.; dbeta_rel = 0.; dlen_rel = 0. } }
+
+let vth d = d.p.vth0 +. d.shift.Process.dvth
+
+let beta d =
+  d.p.beta0 *. (1. +. d.shift.Process.dbeta_rel)
+  *. (1. -. d.shift.Process.dlen_rel)
+
+let effective_lambda d = d.p.lambda *. (1. +. d.shift.Process.dlen_rel)
+
+let id_sat d ~vgs ~vds =
+  let vov = vgs -. vth d in
+  if vov <= 0. then 0.
+  else 0.5 *. beta d *. vov *. vov *. (1. +. (effective_lambda d *. vds))
+
+let vgs_for_current d ~id =
+  if id < 0. then invalid_arg "Mosfet.vgs_for_current: negative current";
+  vth d +. sqrt (2. *. id /. beta d)
+
+let gm d ~id =
+  if id <= 0. then 0. else sqrt (2. *. beta d *. id)
+
+let gds d ~id = effective_lambda d *. id
+
+let overdrive d ~id =
+  if id <= 0. then 0. else sqrt (2. *. id /. beta d)

@@ -1,0 +1,57 @@
+(** Square-law MOS transistor model with process shifts.
+
+    A deliberately simple long-channel model — saturation current
+    [I_D = ½·β·(V_GS − V_TH)²·(1 + λ·V_DS)] — which is all the
+    performance equations need: it produces physically-correct
+    sensitivities (gm ∝ √(β·I), offset ∝ ΔV_TH/(V_GS−V_TH), delay ∝
+    C·V/I) and mild nonlinearity in the variation variables, which is
+    exactly the regime the paper's quadratic models target. *)
+
+type params = {
+  vth0 : float;  (** nominal threshold voltage, V *)
+  beta0 : float;  (** nominal µ·Cox·W/L, A/V² *)
+  lambda : float;  (** channel-length modulation, 1/V *)
+  area : float;  (** relative device area (Pelgrom scaling) *)
+}
+
+val nmos_unit : params
+(** Representative 65 nm NMOS unit device: V_TH 0.35 V, β 2 mA/V²,
+    λ 0.15 /V, unit area. *)
+
+val pmos_unit : params
+(** PMOS counterpart (higher V_TH magnitude, lower β). *)
+
+val scaled : params -> float -> params
+(** [scaled p k] multiplies width (hence β and area) by [k]. *)
+
+(** A device instance: nominal parameters plus its process shifts. *)
+type t = { p : params; shift : Process.shift }
+
+val nominal : params -> t
+(** Instance with zero shift. *)
+
+val vth : t -> float
+(** Effective threshold voltage [vth0 + dvth]. *)
+
+val beta : t -> float
+(** Effective current factor [β₀·(1 + dbeta_rel)·(1 − dlen_rel)]
+    (shorter channel → larger W/L → larger β). *)
+
+val id_sat : t -> vgs:float -> vds:float -> float
+(** Saturation drain current; 0 when the device is off
+    ([vgs ≤ vth]). *)
+
+val vgs_for_current : t -> id:float -> float
+(** Inverse of [id_sat] at [vds] small: the V_GS that conducts [id]
+    ([vth + √(2·id/β)]); used by diode-connected bias devices.
+    @raise Invalid_argument for negative current. *)
+
+val gm : t -> id:float -> float
+(** Transconductance at bias current [id]: [√(2·β·id)]. *)
+
+val gds : t -> id:float -> float
+(** Output conductance [λ·id] (with λ scaled by effective length:
+    shorter channel → more modulation). *)
+
+val overdrive : t -> id:float -> float
+(** [V_GS − V_TH] at bias current [id]. *)

@@ -1,0 +1,215 @@
+open Linalg
+
+type metric = Gain | Bandwidth | Power | Offset
+
+let all_metrics = [ Gain; Bandwidth; Power; Offset ]
+
+let metric_name = function
+  | Gain -> "gain"
+  | Bandwidth -> "bandwidth"
+  | Power -> "power"
+  | Offset -> "offset"
+
+let metric_unit = function
+  | Gain -> "dB"
+  | Bandwidth -> "MHz"
+  | Power -> "uW"
+  | Offset -> "mV"
+
+module Device = struct
+  let m1 = 0
+  let m2 = 1
+  let m3 = 2
+  let m4 = 3
+  let m5 = 4
+  let m6 = 5
+  let m7 = 6
+  let m8 = 7
+  (* Devices 8–11 are the bias-helper / start-up transistors; they carry
+     mismatch variables but only couple weakly through the bias node. *)
+  let count = 12
+end
+
+type t = { process : Process.t; n_parasitics : int }
+
+(* Circuit constants (65 nm-flavoured). *)
+let vdd = 1.2
+let r_bias = 24e3 (* ohms *)
+let cc = 1.0e-12 (* Miller cap, F *)
+
+(* Device geometries (scaling of the unit transistors). *)
+let geom =
+  [|
+    Mosfet.scaled Mosfet.nmos_unit 8. (* M1  input pair *);
+    Mosfet.scaled Mosfet.nmos_unit 8. (* M2 *);
+    Mosfet.scaled Mosfet.pmos_unit 4. (* M3  mirror load *);
+    Mosfet.scaled Mosfet.pmos_unit 4. (* M4 *);
+    Mosfet.scaled Mosfet.nmos_unit 16. (* M5  tail *);
+    Mosfet.scaled Mosfet.pmos_unit 24. (* M6  second stage *);
+    Mosfet.scaled Mosfet.nmos_unit 32. (* M7  sink *);
+    Mosfet.scaled Mosfet.nmos_unit 8. (* M8  bias diode *);
+    Mosfet.scaled Mosfet.nmos_unit 4. (* M9  bias helper *);
+    Mosfet.scaled Mosfet.pmos_unit 4. (* M10 bias helper *);
+    Mosfet.scaled Mosfet.pmos_unit 4. (* M11 bias helper *);
+    Mosfet.scaled Mosfet.nmos_unit 4. (* M12 start-up *);
+  |]
+
+let build ?(n_parasitics = 550) () =
+  if n_parasitics < 10 then
+    invalid_arg "Opamp.build: need at least 10 parasitics (bias R, Cc, CL, ...)";
+  let spec =
+    {
+      Process.default_spec with
+      n_global = 20;
+      n_devices = Device.count;
+      mismatch_vars_per_device = 5;
+      n_parasitics;
+    }
+  in
+  { process = Process.build spec; n_parasitics }
+
+let dim amp = Process.dim amp.process
+
+let process amp = amp.process
+
+let device amp dy i =
+  let p = geom.(i) in
+  let shift = Process.device_shift amp.process dy ~device:i ~area_factor:p.Mosfet.area in
+  { Mosfet.p; shift }
+
+let parasitic amp dy i = Process.parasitic_shift amp.process dy ~parasitic:i
+
+(* Solve the bias fixed point I = (VDD − VGS8(I)) / R by damped iteration;
+   the map is a contraction for any sane operating point. *)
+let bias_current amp dy =
+  let m8 = device amp dy Device.m8 in
+  let r = r_bias *. (1. +. parasitic amp dy 0) in
+  let i = ref ((vdd -. Mosfet.vth m8) /. r) in
+  for _ = 1 to 40 do
+    let vgs = Mosfet.vgs_for_current m8 ~id:(Float.max !i 1e-9) in
+    let next = Float.max ((vdd -. vgs) /. r) 1e-9 in
+    i := 0.5 *. (!i +. next)
+  done;
+  !i
+
+(* Mirror from the diode M8 (carrying i_ref at gate voltage vgs8) to a
+   device [d]. The width ratio of the mirror is already encoded in the
+   device geometries (M5 is 2× and M7 is 4× the M8 width), so the
+   mirrored current is just the square law at the shared gate voltage —
+   mismatch between M8 and the mirror output appears naturally as a
+   vov/beta difference. *)
+let mirrored amp dy ~i_ref d_idx =
+  let m8 = device amp dy Device.m8 in
+  let d = device amp dy d_idx in
+  let vgs = Mosfet.vgs_for_current m8 ~id:i_ref in
+  let vov = vgs -. Mosfet.vth d in
+  if vov <= 0. then 1e-9 else 0.5 *. Mosfet.beta d *. vov *. vov
+
+(* Small parasitic "background": hundreds of interconnect elements each
+   perturbing the metric by a tiny, decaying amount. These are the
+   near-zero coefficients of Fig. 6's analogue for the OpAmp. *)
+let parasitic_background amp dy ~first ~scale =
+  let acc = ref 0. in
+  for i = first to amp.n_parasitics - 1 do
+    acc := !acc +. (parasitic amp dy i /. float_of_int ((i + 2) * (i + 2)))
+  done;
+  scale *. !acc
+
+type operating_point = {
+  i_bias : float;
+  i_tail : float;
+  i_stage2 : float;
+  gm1 : float;
+  gm3 : float;
+  gm6 : float;
+  gds2 : float;
+  gds4 : float;
+  gds6 : float;
+  gds7 : float;
+}
+
+let solve amp dy =
+  let i_bias = bias_current amp dy in
+  let i_tail = mirrored amp dy ~i_ref:i_bias Device.m5 in
+  let i_stage2 = mirrored amp dy ~i_ref:i_bias Device.m7 in
+  let i_half = 0.5 *. i_tail in
+  let m1 = device amp dy Device.m1 in
+  let m3 = device amp dy Device.m3 in
+  let m2 = device amp dy Device.m2 in
+  let m4 = device amp dy Device.m4 in
+  let m6 = device amp dy Device.m6 in
+  let m7 = device amp dy Device.m7 in
+  {
+    i_bias;
+    i_tail;
+    i_stage2;
+    gm1 = Mosfet.gm m1 ~id:i_half;
+    gm3 = Mosfet.gm m3 ~id:i_half;
+    gm6 = Mosfet.gm m6 ~id:i_stage2;
+    gds2 = Mosfet.gds m2 ~id:i_half;
+    gds4 = Mosfet.gds m4 ~id:i_half;
+    gds6 = Mosfet.gds m6 ~id:i_stage2;
+    gds7 = Mosfet.gds m7 ~id:i_stage2;
+  }
+
+let gain_db amp dy =
+  let op = solve amp dy in
+  let a1 = op.gm1 /. (op.gds2 +. op.gds4) in
+  let a2 = op.gm6 /. (op.gds6 +. op.gds7) in
+  let a = Float.max (a1 *. a2) 1. in
+  (20. *. log10 a) +. parasitic_background amp dy ~first:10 ~scale:0.5
+
+let bandwidth_mhz amp dy =
+  let op = solve amp dy in
+  let cc_eff = cc *. (1. +. parasitic amp dy 1) in
+  (* A few explicit node capacitors load the unity-gain frequency. *)
+  let node_caps = ref 0. in
+  for i = 3 to 9 do
+    node_caps := !node_caps +. (0.01 *. parasitic amp dy i)
+  done;
+  let gbw = op.gm1 /. (2. *. Float.pi *. cc_eff) /. (1. +. !node_caps) in
+  (gbw /. 1e6) *. (1. +. parasitic_background amp dy ~first:10 ~scale:0.02)
+
+let power_uw amp dy =
+  let op = solve amp dy in
+  let i_total = op.i_bias +. op.i_tail +. op.i_stage2 in
+  (vdd *. i_total *. 1e6)
+  *. (1. +. parasitic_background amp dy ~first:10 ~scale:0.02)
+
+let offset_mv amp dy =
+  let op = solve amp dy in
+  let sh i = (device amp dy i).Mosfet.shift in
+  let s1 = sh Device.m1 and s2 = sh Device.m2 in
+  let s3 = sh Device.m3 and s4 = sh Device.m4 in
+  let m1 = device amp dy Device.m1 in
+  let vov1 = Mosfet.overdrive m1 ~id:(0.5 *. op.i_tail) in
+  let dvth_in = s1.Process.dvth -. s2.Process.dvth in
+  let dvth_load = s3.Process.dvth -. s4.Process.dvth in
+  let dbeta_in = s1.Process.dbeta_rel -. s2.Process.dbeta_rel in
+  let dbeta_load = s3.Process.dbeta_rel -. s4.Process.dbeta_rel in
+  let vos =
+    dvth_in
+    +. (op.gm3 /. op.gm1 *. dvth_load)
+    +. (0.5 *. vov1 *. (dbeta_in +. dbeta_load))
+  in
+  vos *. 1e3
+
+let eval amp m dy =
+  if Array.length dy <> dim amp then
+    invalid_arg "Opamp.eval: factor vector dimension mismatch";
+  match m with
+  | Gain -> gain_db amp dy
+  | Bandwidth -> bandwidth_mhz amp dy
+  | Power -> power_uw amp dy
+  | Offset -> offset_mv amp dy
+
+let nominal amp m = eval amp m (Vec.create (dim amp))
+
+(* Table I accounting: 16140 s / 1200 samples = 13.45 s per Spectre run. *)
+let seconds_per_sample = 13.45
+
+let simulator amp m =
+  Simulator.make
+    ~name:(Printf.sprintf "opamp/%s" (metric_name m))
+    ~dim:(dim amp) ~seconds_per_sample
+    (fun dy -> eval amp m dy)

@@ -1,0 +1,78 @@
+(** Two-stage Miller-compensated operational amplifier (Fig. 3 of the
+    paper), evaluated analytically from square-law device equations.
+
+    The circuit: NMOS input differential pair (M1/M2) with PMOS
+    current-mirror load (M3/M4), NMOS tail source (M5), PMOS
+    common-source second stage (M6) with NMOS current sink (M7), and an
+    on-chip resistor-referenced bias generator (M8 + R_bias + mirror
+    devices M9–M11). Miller capacitor C_c, load C_L.
+
+    Variation space: with the default spec — 20 correlated inter-die
+    parameters (PCA → 20 independent factors), 12 transistors × 5
+    mismatch variables, and 550 layout parasitics — the independent
+    factor dimension is exactly {b}630{b}, matching Section V-A of the
+    paper. Performance sensitivities are physically structured: offset
+    is dominated by input-pair and load mismatch; bandwidth by gm1 and
+    C_c; power by the bias branch; gain by all gm/gds ratios — so each
+    metric's Hermite expansion is sparse, which is the property the
+    paper's algorithms exploit.
+
+    The bias current is found by solving the nonlinear fixed point
+    [I = (V_DD − V_GS8(I))/R] — it makes every metric a smooth
+    non-polynomial function of the variation variables, so quadratic
+    models are good but not exact (as in a real circuit). *)
+
+type metric = Gain | Bandwidth | Power | Offset
+
+val all_metrics : metric list
+
+val metric_name : metric -> string
+(** ["gain"], ["bandwidth"], ["power"], ["offset"]. *)
+
+val metric_unit : metric -> string
+(** Reporting unit: dB, MHz, µW, mV. *)
+
+type t
+
+val build : ?n_parasitics:int -> unit -> t
+(** [build ()] constructs the amplifier with the paper-size variation
+    space (630 factors). [n_parasitics] shrinks the parasitic count for
+    fast tests (e.g. [~n_parasitics:50] → 130 factors). *)
+
+val dim : t -> int
+(** Number of independent variation factors (630 by default). *)
+
+val process : t -> Process.t
+
+val eval : t -> metric -> Linalg.Vec.t -> float
+(** [eval amp m dy] evaluates metric [m] at factor vector [dy]:
+    gain in dB, unity-gain bandwidth in MHz, power in µW, input-referred
+    offset in mV. *)
+
+val nominal : t -> metric -> float
+(** Metric at the nominal corner (all factors zero). *)
+
+val simulator : t -> metric -> Simulator.t
+(** Wraps a metric as a simulator workload; the simulated per-sample
+    cost is Table I's 13.45 s Spectre run. *)
+
+(** Device roles, exposed for tests and sparsity ground-truth checks. *)
+module Device : sig
+  val m1 : int  (** input pair, inverting *)
+
+  val m2 : int  (** input pair, non-inverting *)
+
+  val m3 : int  (** mirror load *)
+
+  val m4 : int  (** mirror load *)
+
+  val m5 : int  (** tail current source *)
+
+  val m6 : int  (** second-stage driver *)
+
+  val m7 : int  (** second-stage sink *)
+
+  val m8 : int  (** bias diode *)
+
+  val count : int  (** total devices (12) *)
+end

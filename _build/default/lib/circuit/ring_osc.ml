@@ -1,0 +1,83 @@
+open Linalg
+
+type metric = Frequency | Power
+
+let metric_name = function Frequency -> "frequency" | Power -> "power"
+
+type t = { process : Process.t; stages : int }
+
+let vdd = 1.0
+let c_stage = 8e-15 (* load per stage, F *)
+let beta_n = 2.0e-3
+let beta_p = 0.9e-3
+let vth_n = 0.35
+let vth_p = 0.40
+
+let build ?(stages = 101) () =
+  if stages < 3 || stages mod 2 = 0 then
+    invalid_arg "Ring_osc.build: stages must be odd and at least 3";
+  let spec =
+    {
+      Process.default_spec with
+      n_global = 10;
+      global_corr = 0.5;
+      n_devices = 2 * stages (* one NMOS + one PMOS per inverter *);
+      mismatch_vars_per_device = 3;
+      n_parasitics = 0;
+    }
+  in
+  { process = Process.build spec; stages }
+
+let stages r = r.stages
+
+let dim r = Process.dim r.process
+
+let process r = r.process
+
+(* Devices 2i / 2i+1 are stage i's NMOS / PMOS. *)
+let nmos_dev i = 2 * i
+
+let pmos_dev i = (2 * i) + 1
+
+let drive_current shift ~beta0 ~vth0 =
+  let vov = vdd -. (vth0 +. shift.Process.dvth) in
+  let vov = Float.max vov 0.1 in
+  0.5 *. beta0
+  *. (1. +. shift.Process.dbeta_rel)
+  *. (1. -. shift.Process.dlen_rel)
+  *. vov *. vov
+
+let stage_delay r dy i =
+  let sn = Process.device_shift r.process dy ~device:(nmos_dev i) ~area_factor:1. in
+  let sp = Process.device_shift r.process dy ~device:(pmos_dev i) ~area_factor:1. in
+  let i_n = drive_current sn ~beta0:beta_n ~vth0:vth_n in
+  let i_p = drive_current sp ~beta0:beta_p ~vth0:vth_p in
+  (* Average of the pull-down and pull-up transitions. *)
+  0.5 *. c_stage *. vdd *. ((1. /. i_n) +. (1. /. i_p))
+
+let period r dy =
+  let acc = ref 0. in
+  for i = 0 to r.stages - 1 do
+    acc := !acc +. stage_delay r dy i
+  done;
+  2. *. !acc
+
+let frequency_mhz r dy = 1e-6 /. period r dy
+
+let power_uw r dy =
+  (* Dynamic power: every stage switches once per period. *)
+  let f = 1. /. period r dy in
+  f *. c_stage *. vdd *. vdd *. float_of_int r.stages *. 1e6
+
+let eval r m dy =
+  if Array.length dy <> dim r then
+    invalid_arg "Ring_osc.eval: factor vector dimension mismatch";
+  match m with Frequency -> frequency_mhz r dy | Power -> power_uw r dy
+
+let nominal r m = eval r m (Vec.create (dim r))
+
+let simulator r m =
+  Simulator.make
+    ~name:(Printf.sprintf "ring_osc/%s" (metric_name m))
+    ~dim:(dim r) ~seconds_per_sample:2.1
+    (fun dy -> eval r m dy)

@@ -1,0 +1,50 @@
+open Linalg
+
+type dataset = { points : Vec.t array; values : float array }
+
+type t = {
+  name : string;
+  dim : int;
+  eval : Vec.t -> float;
+  seconds_per_sample : float;
+}
+
+let make ~name ~dim ~seconds_per_sample eval =
+  if dim <= 0 then invalid_arg "Simulator.make: dimension must be positive";
+  if seconds_per_sample < 0. then
+    invalid_arg "Simulator.make: negative per-sample cost";
+  { name; dim; eval; seconds_per_sample }
+
+let run_one sim g =
+  let p = Randkit.Gaussian.vector g sim.dim in
+  (p, sim.eval p)
+
+let run ?(noise_rel = 0.) sim g ~k =
+  if k <= 0 then invalid_arg "Simulator.run: sample count must be positive";
+  let points = Array.init k (fun _ -> Randkit.Gaussian.vector g sim.dim) in
+  let values = Array.map sim.eval points in
+  if noise_rel > 0. && k > 1 then begin
+    let sigma = Stat.Descriptive.std values in
+    for i = 0 to k - 1 do
+      values.(i) <- values.(i) +. (noise_rel *. sigma *. Randkit.Gaussian.sample g)
+    done
+  end;
+  { points; values }
+
+let simulated_cost sim ~k = float_of_int k *. sim.seconds_per_sample
+
+let dataset_size d = Array.length d.points
+
+let split d idx =
+  {
+    points = Array.map (fun i -> d.points.(i)) idx;
+    values = Array.map (fun i -> d.values.(i)) idx;
+  }
+
+let points_matrix d =
+  let k = Array.length d.points in
+  if k = 0 then Mat.create 0 0
+  else begin
+    let n = Array.length d.points.(0) in
+    Mat.init k n (fun i j -> d.points.(i).(j))
+  end

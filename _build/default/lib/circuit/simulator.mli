@@ -1,0 +1,46 @@
+(** The transistor-level "simulator" driver — the stand-in for Cadence
+    Spectre in the paper's flow (see DESIGN.md, substitution 1).
+
+    A workload couples an analytic performance evaluator with the cost
+    model of the real simulator it replaces: [seconds_per_sample] is the
+    accounted wall-clock cost of one transistor-level simulation, so the
+    cost tables (Tables I, III, IV) can report simulation cost on the
+    paper's scale while the fitting cost is measured live. *)
+
+type dataset = {
+  points : Linalg.Vec.t array;  (** ΔY^(k): factor vectors, length [dim] *)
+  values : float array;  (** f^(k): the simulated performance *)
+}
+
+type t = {
+  name : string;
+  dim : int;  (** number of independent variation factors *)
+  eval : Linalg.Vec.t -> float;
+  seconds_per_sample : float;  (** accounted cost of one real simulation *)
+}
+
+val make :
+  name:string -> dim:int -> seconds_per_sample:float ->
+  (Linalg.Vec.t -> float) -> t
+
+val run_one : t -> Randkit.Prng.t -> Linalg.Vec.t * float
+(** Draw one Monte-Carlo point (iid standard normal factors, Section IV-A:
+    "we randomly draw K sampling points based on pdf(ΔY)") and evaluate. *)
+
+val run : ?noise_rel:float -> t -> Randkit.Prng.t -> k:int -> dataset
+(** [run sim g ~k] draws [k] samples. [noise_rel] adds Gaussian
+    observation noise with sigma equal to that fraction of the sample
+    standard deviation of the clean responses (simulator numerical
+    noise); default 0. *)
+
+val simulated_cost : t -> k:int -> float
+(** [k · seconds_per_sample]: the simulation cost a real flow would pay. *)
+
+val dataset_size : dataset -> int
+
+val split : dataset -> int array -> dataset
+(** [split d idx] is the sub-dataset at the given indices (points are
+    shared, not copied). *)
+
+val points_matrix : dataset -> Linalg.Mat.t
+(** Stack the factor vectors as rows of a [K×dim] matrix. *)

@@ -1,0 +1,22 @@
+type experiment = {
+  sim : Simulator.t;
+  train : Simulator.dataset;
+  test : Simulator.dataset;
+}
+
+let generate ?(noise_rel = 0.) sim g ~train ~test =
+  let g_train = Randkit.Prng.split g in
+  let g_test = Randkit.Prng.split g in
+  {
+    sim;
+    train = Simulator.run ~noise_rel sim g_train ~k:train;
+    test = Simulator.run ~noise_rel sim g_test ~k:test;
+  }
+
+let training_cost e =
+  Simulator.simulated_cost e.sim ~k:(Simulator.dataset_size e.train)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,23 @@
+(** Experiment harness plumbing: paired training/testing datasets and
+    cost accounting, mirroring the paper's methodology in Section V
+    ("two independent random sampling sets, called training set and
+    testing set respectively, are generated using Cadence Spectre"). *)
+
+type experiment = {
+  sim : Simulator.t;
+  train : Simulator.dataset;
+  test : Simulator.dataset;
+}
+
+val generate :
+  ?noise_rel:float -> Simulator.t -> Randkit.Prng.t -> train:int -> test:int ->
+  experiment
+(** Draw the two independent sets from their own split PRNG streams (so
+    growing one set never perturbs the other). *)
+
+val training_cost : experiment -> float
+(** Accounted simulation seconds for the training set (the "simulation
+    cost" rows of Tables I/III/IV). *)
+
+(** Wall-clock measurement of fitting cost (the "fitting cost" rows). *)
+val timed : (unit -> 'a) -> 'a * float

@@ -1,0 +1,1 @@
+lib/core/bootstrap.ml: Array Float Hashtbl Linalg List Mat Model Omp Randkit

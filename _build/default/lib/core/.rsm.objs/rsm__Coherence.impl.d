@@ -1,0 +1,1 @@
+lib/core/coherence.ml: Array Float Fun Linalg Mat Polybasis Randkit Svd

@@ -1,0 +1,1 @@
+lib/core/coherence.mli: Linalg Randkit

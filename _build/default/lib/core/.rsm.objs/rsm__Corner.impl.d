@@ -1,0 +1,1 @@
+lib/core/corner.ml: Array Float Linalg List Model Polybasis Randkit Vec

@@ -1,0 +1,1 @@
+lib/core/corner.mli: Linalg Model Polybasis Randkit

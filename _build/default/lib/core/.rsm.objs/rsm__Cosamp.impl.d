@@ -1,0 +1,1 @@
+lib/core/cosamp.ml: Array Cholesky Float Fun Hashtbl Linalg List Lstsq Mat Model Vec

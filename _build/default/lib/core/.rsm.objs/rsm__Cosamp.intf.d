@@ -1,0 +1,1 @@
+lib/core/cosamp.mli: Linalg Model

@@ -1,0 +1,1 @@
+lib/core/fista.ml: Array Float Linalg Mat Model Vec

@@ -1,0 +1,1 @@
+lib/core/fista.mli: Linalg Model

@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Array Linalg List Model Randkit Select

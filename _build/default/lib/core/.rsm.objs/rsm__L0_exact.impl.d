@@ -1,0 +1,1 @@
+lib/core/l0_exact.ml: Array Cholesky Float Linalg Lstsq Mat Model Printf Vec

@@ -1,0 +1,1 @@
+lib/core/l0_exact.mli: Linalg Model

@@ -1,0 +1,1 @@
+lib/core/lars.ml: Array Cholesky Float Linalg List Mat Model Polybasis Vec

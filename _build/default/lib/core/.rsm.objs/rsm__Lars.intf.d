@@ -1,0 +1,1 @@
+lib/core/lars.mli: Linalg Model

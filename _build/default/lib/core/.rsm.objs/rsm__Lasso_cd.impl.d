@@ -1,0 +1,1 @@
+lib/core/lasso_cd.ml: Array Float Linalg Mat Model

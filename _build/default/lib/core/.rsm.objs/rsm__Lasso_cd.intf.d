@@ -1,0 +1,1 @@
+lib/core/lasso_cd.mli: Linalg Model

@@ -1,0 +1,1 @@
+lib/core/ls.ml: Linalg Lstsq Mat Model

@@ -1,0 +1,1 @@
+lib/core/ls.mli: Linalg Model

@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Format Linalg List Mat Polybasis Stat Vec

@@ -1,0 +1,1 @@
+lib/core/omp.ml: Array Cholesky Float Linalg List Lstsq Mat Model Vec

@@ -1,0 +1,1 @@
+lib/core/omp.mli: Linalg Model

@@ -1,0 +1,1 @@
+lib/core/ridge.ml: Array Cholesky Linalg Mat Model Stat

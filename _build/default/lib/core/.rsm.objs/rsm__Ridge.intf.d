@@ -1,0 +1,1 @@
+lib/core/ridge.mli: Linalg Model Randkit

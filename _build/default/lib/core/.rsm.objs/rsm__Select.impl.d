@@ -1,0 +1,1 @@
+lib/core/select.ml: Array Float Lars Linalg Mat Model Omp Star Stat

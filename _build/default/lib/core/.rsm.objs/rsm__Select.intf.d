@@ -1,0 +1,1 @@
+lib/core/select.mli: Lars Linalg Model Randkit

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Buffer Float Fun List Model Polybasis Printf String

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Cosamp Float Lars Linalg Ls Mat Model Omp Select Star Stat Stomp String

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Linalg Model Randkit

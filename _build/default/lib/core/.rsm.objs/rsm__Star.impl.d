@@ -1,0 +1,1 @@
+lib/core/star.ml: Array Float Linalg List Mat Model Vec

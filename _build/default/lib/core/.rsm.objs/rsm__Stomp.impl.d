@@ -1,0 +1,1 @@
+lib/core/stomp.ml: Array Cholesky Float Linalg List Lstsq Mat Model Polybasis Vec

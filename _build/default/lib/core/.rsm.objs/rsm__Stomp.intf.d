@@ -1,0 +1,1 @@
+lib/core/stomp.mli: Linalg Model

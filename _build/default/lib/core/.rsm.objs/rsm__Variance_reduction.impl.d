@@ -1,0 +1,1 @@
+lib/core/variance_reduction.ml: Array Float Linalg List Model Polybasis Randkit Sensitivity Stat Vec

@@ -1,0 +1,1 @@
+lib/core/variance_reduction.mli: Linalg Model Polybasis Randkit

@@ -1,0 +1,1 @@
+lib/core/yield.ml: Array Float List Model Polybasis Randkit Sensitivity Stat

@@ -1,0 +1,71 @@
+open Linalg
+
+type report = {
+  replicates : int;
+  frequencies : (int * float) array;
+  mean_nnz : float;
+  coeff_mean : (int * float) array;
+  coeff_std : (int * float) array;
+}
+
+let run ?(replicates = 50) ?lambda rng g f =
+  if replicates <= 0 then invalid_arg "Bootstrap.run: replicates must be positive";
+  let k = Mat.rows g in
+  if Array.length f <> k then invalid_arg "Bootstrap.run: response length mismatch";
+  let lambda =
+    match lambda with
+    | Some l -> l
+    | None ->
+        let probe = Omp.fit g f ~lambda:(max 1 (min (k / 4) 100)) in
+        max 1 (Model.nnz probe)
+  in
+  let counts = Hashtbl.create 64 in
+  let sums = Hashtbl.create 64 in
+  let sq_sums = Hashtbl.create 64 in
+  let bump tbl j v =
+    let cur = try Hashtbl.find tbl j with Not_found -> 0. in
+    Hashtbl.replace tbl j (cur +. v)
+  in
+  let total_nnz = ref 0 in
+  for _ = 1 to replicates do
+    (* Resample rows with replacement. *)
+    let idx = Array.init k (fun _ -> Randkit.Prng.int rng k) in
+    let g_b = Mat.select_rows g idx in
+    let f_b = Array.map (fun i -> f.(i)) idx in
+    let lambda_b = min lambda (min (Mat.rows g_b) (Mat.cols g_b)) in
+    let model = Omp.fit g_b f_b ~lambda:lambda_b in
+    total_nnz := !total_nnz + Model.nnz model;
+    Array.iteri
+      (fun p j ->
+        bump counts j 1.;
+        bump sums j model.Model.coeffs.(p);
+        bump sq_sums j (model.Model.coeffs.(p) *. model.Model.coeffs.(p)))
+      model.Model.support
+  done;
+  let entries =
+    Hashtbl.fold
+      (fun j c acc ->
+        let s = Hashtbl.find sums j and ss = Hashtbl.find sq_sums j in
+        let mean = s /. c in
+        let var = Float.max 0. ((ss /. c) -. (mean *. mean)) in
+        (j, c /. float_of_int replicates, mean, sqrt var) :: acc)
+      counts []
+    |> List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a)
+    |> Array.of_list
+  in
+  {
+    replicates;
+    frequencies = Array.map (fun (j, fr, _, _) -> (j, fr)) entries;
+    mean_nnz = float_of_int !total_nnz /. float_of_int replicates;
+    coeff_mean = Array.map (fun (j, _, m, _) -> (j, m)) entries;
+    coeff_std = Array.map (fun (j, _, _, s) -> (j, s)) entries;
+  }
+
+let stable_support ?(threshold = 0.8) report =
+  let out =
+    Array.to_list report.frequencies
+    |> List.filter_map (fun (j, fr) -> if fr >= threshold then Some j else None)
+    |> Array.of_list
+  in
+  Array.sort compare out;
+  out

@@ -1,0 +1,39 @@
+(** Bootstrap diagnostics for sparse model stability.
+
+    A sparse model's {e}support{i} is itself an estimate: with another
+    draw of the same K training samples, would OMP pick the same basis
+    functions? Resampling the training rows with replacement and
+    refitting answers this — selection frequencies near 1 mark robust
+    variation sources, frequencies near 1/2 mark interchangeable
+    correlated factors (e.g. two halves of a differential pair), and a
+    long tail of small frequencies is the sampling noise floor. This is
+    the practical companion to the paper's Section IV-B "almost uniquely
+    determined" guarantee. *)
+
+type report = {
+  replicates : int;
+  frequencies : (int * float) array;
+      (** (basis index, fraction of replicates that selected it), every
+          basis selected at least once, sorted by decreasing
+          frequency. *)
+  mean_nnz : float;  (** average support size across replicates *)
+  coeff_mean : (int * float) array;
+      (** mean coefficient per basis over the replicates where it was
+          selected, same order as [frequencies] *)
+  coeff_std : (int * float) array;
+      (** std of the coefficient over selecting replicates *)
+}
+
+val run :
+  ?replicates:int -> ?lambda:int -> Randkit.Prng.t -> Linalg.Mat.t ->
+  Linalg.Vec.t -> report
+(** [run rng g f] refits OMP on [replicates] (default 50) bootstrap
+    resamples of the rows of [(g, f)]. [lambda] defaults to the support
+    size of a plain OMP fit at λ = K/4 (capped at 100). Each replicate
+    draws K rows with replacement; duplicated rows are handled
+    naturally by least squares.
+    @raise Invalid_argument on non-positive replicate counts. *)
+
+val stable_support : ?threshold:float -> report -> int array
+(** Basis indices selected in at least [threshold] (default 0.8) of the
+    replicates — the robust core of the model, sorted ascending. *)

@@ -1,0 +1,68 @@
+open Linalg
+
+let normalized_inner g norms i j =
+  let acc = ref 0. in
+  for r = 0 to Mat.rows g - 1 do
+    acc := !acc +. (Mat.unsafe_get g r i *. Mat.unsafe_get g r j)
+  done;
+  !acc /. (norms.(i) *. norms.(j))
+
+let valid_norms g =
+  Array.map (fun n -> if n > 0. then n else Float.nan) (Polybasis.Design.column_norms g)
+
+let mutual_coherence g =
+  let m = Mat.cols g in
+  if m < 2 then invalid_arg "Coherence.mutual_coherence: need at least 2 columns";
+  let norms = valid_norms g in
+  let best = ref 0. in
+  for i = 0 to m - 2 do
+    if not (Float.is_nan norms.(i)) then
+      for j = i + 1 to m - 1 do
+        if not (Float.is_nan norms.(j)) then
+          best := Float.max !best (Float.abs (normalized_inner g norms i j))
+      done
+  done;
+  !best
+
+let coherence_recovery_bound g =
+  let mu = mutual_coherence g in
+  if mu = 0. then Float.infinity else 0.5 *. (1. +. (1. /. mu))
+
+let babel g s =
+  let m = Mat.cols g in
+  if s < 1 || s >= m then invalid_arg "Coherence.babel: s out of range";
+  let norms = valid_norms g in
+  let worst = ref 0. in
+  for i = 0 to m - 1 do
+    if not (Float.is_nan norms.(i)) then begin
+      let others = ref [] in
+      for j = 0 to m - 1 do
+        if j <> i && not (Float.is_nan norms.(j)) then
+          others := Float.abs (normalized_inner g norms i j) :: !others
+      done;
+      let arr = Array.of_list !others in
+      Array.sort (fun a b -> compare b a) arr;
+      let acc = ref 0. in
+      for q = 0 to min s (Array.length arr) - 1 do
+        acc := !acc +. arr.(q)
+      done;
+      worst := Float.max !worst !acc
+    end
+  done;
+  !worst
+
+let subset_condition ?(trials = 20) rng g ~s =
+  let k = Mat.rows g and m = Mat.cols g in
+  if s < 1 || s > min k m then
+    invalid_arg "Coherence.subset_condition: s out of range";
+  if trials <= 0 then invalid_arg "Coherence.subset_condition: trials";
+  let sum = ref 0. and worst = ref 0. in
+  for _ = 1 to trials do
+    let cols = Randkit.Sampling.subsample rng (Array.init m Fun.id) s in
+    let sub = Mat.select_cols g cols in
+    let d = Svd.decompose sub in
+    let kappa = Svd.condition_number d in
+    sum := !sum +. kappa;
+    worst := Float.max !worst kappa
+  done;
+  (!sum /. float_of_int trials, !worst)

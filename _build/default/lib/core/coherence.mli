@@ -1,0 +1,38 @@
+(** Dictionary-conditioning diagnostics for sparse recovery.
+
+    Section IV-B's guarantee ("if the linear equation is
+    well-conditioned, the solution is almost uniquely determined from
+    O(P·log M) samples") is conditional on properties of the sampled
+    dictionary. Two measurable proxies:
+
+    - {e}mutual coherence{i} μ: the largest absolute inner product
+      between distinct normalized columns. Exact-recovery guarantees of
+      OMP hold when the sparsity P < ½(1 + 1/μ) (Tropp 2004) — a
+      pessimistic but computable certificate.
+    - {e}restricted condition numbers{i}: the spread of singular values
+      of random column subsets of size s — an empirical RIP probe.
+
+    These let the library {e}say in advance{i} whether a given sampling
+    plan is adequate, instead of discovering failure post hoc. *)
+
+val mutual_coherence : Linalg.Mat.t -> float
+(** [mutual_coherence g] is [max_{i≠j} |⟨gᵢ, gⱼ⟩|/(‖gᵢ‖·‖gⱼ‖)]; zero
+    columns are skipped. O(K·M²) — intended for diagnostics, not inner
+    loops.
+    @raise Invalid_argument with fewer than 2 columns. *)
+
+val coherence_recovery_bound : Linalg.Mat.t -> float
+(** The largest sparsity P for which Tropp's coherence condition
+    [P < ½(1 + 1/μ)] certifies exact OMP recovery. *)
+
+val babel : Linalg.Mat.t -> int -> float
+(** [babel g s] is the Babel function μ₁(s): the maximum over columns
+    of the sum of the [s] largest absolute normalized inner products
+    with other columns — a tighter certificate than s·μ.
+    @raise Invalid_argument when [s] is out of range. *)
+
+val subset_condition :
+  ?trials:int -> Randkit.Prng.t -> Linalg.Mat.t -> s:int -> float * float
+(** [(mean, max)] condition number of [trials] (default 20) random
+    [K×s] column submatrices — an empirical restricted-isometry probe.
+    @raise Invalid_argument when [s] exceeds [min(K, M)]. *)

@@ -1,0 +1,73 @@
+open Linalg
+
+type step = { support : int array; residual_norm : float; model : Model.t }
+
+(* Indices of the [n] largest |values| (stable order not required). *)
+let top_indices values n =
+  let idx = Array.init (Array.length values) Fun.id in
+  Array.sort
+    (fun a b -> compare (Float.abs values.(b)) (Float.abs values.(a)))
+    idx;
+  Array.sub idx 0 (min n (Array.length idx))
+
+let path ?(max_iters = 50) ?(tol = 1e-7) g f ~s =
+  let k = Mat.rows g and m = Mat.cols g in
+  if Array.length f <> k then invalid_arg "Cosamp.path: response length mismatch";
+  if s < 1 || 3 * s > k || s > m then
+    invalid_arg "Cosamp.path: s must satisfy 1 <= s, 3s <= K, s <= M";
+  let res = ref (Array.copy f) in
+  let support = ref [||] in
+  let steps = ref [] in
+  let stop = ref false in
+  let prev_res_norm = ref (Vec.nrm2 f) in
+  let iter = ref 0 in
+  while (not !stop) && !iter < max_iters do
+    incr iter;
+    (* Signal proxy: residual correlations; take the 2s strongest. *)
+    let corr = Array.init m (fun j -> Mat.col_dot g j !res) in
+    let proxy = top_indices corr (2 * s) in
+    (* Merge with the current support. *)
+    let merged = Hashtbl.create (3 * s) in
+    Array.iter (fun j -> Hashtbl.replace merged j ()) !support;
+    Array.iter (fun j -> Hashtbl.replace merged j ()) proxy;
+    let cand = Array.of_seq (Hashtbl.to_seq_keys merged) in
+    Array.sort compare cand;
+    (* LS on the merged candidate set; prune to the s largest. *)
+    (match Lstsq.solve_subset g cand f with
+    | coeffs ->
+        let keep = top_indices coeffs s in
+        let new_support = Array.map (fun p -> cand.(p)) keep in
+        Array.sort compare new_support;
+        let final_coeffs = Lstsq.solve_subset g new_support f in
+        let new_res = Lstsq.residual_subset g new_support final_coeffs f in
+        let rn = Vec.nrm2 new_res in
+        let model =
+          Model.make ~basis_size:m ~support:new_support ~coeffs:final_coeffs
+        in
+        let repeated = new_support = !support in
+        support := new_support;
+        res := new_res;
+        steps := { support = new_support; residual_norm = rn; model } :: !steps;
+        if
+          repeated
+          || rn <= 1e-14 *. Float.max (Vec.nrm2 f) 1.
+          || Float.abs (!prev_res_norm -. rn) <= tol *. Float.max !prev_res_norm 1e-30
+        then stop := true;
+        prev_res_norm := rn
+    | exception Cholesky.Not_positive_definite _ ->
+        (* Degenerate merged set: stop with what we have. *)
+        stop := true)
+  done;
+  Array.of_list (List.rev !steps)
+
+let fit ?max_iters ?tol g f ~s =
+  let steps = path ?max_iters ?tol g f ~s in
+  if Array.length steps = 0 then
+    Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]
+  else begin
+    let best = ref steps.(0) in
+    Array.iter
+      (fun st -> if st.residual_norm < !best.residual_norm then best := st)
+      steps;
+    !best.model
+  end

@@ -1,0 +1,31 @@
+(** CoSaMP — compressive sampling matching pursuit (Needell & Tropp
+    2009) — an extension solver with {e}backtracking{i}.
+
+    OMP never revisits a selection; CoSaMP does. Each iteration merges
+    the current support with the 2s largest residual correlations,
+    least-squares-fits on the merged set (≤ 3s columns), and {e}prunes
+    back{i} to the s largest coefficients. Early wrong picks get evicted
+    — the failure mode OMP cannot repair — at the price of a bigger LS
+    solve per iteration. Completes the greedy family (STAR: no re-fit;
+    OMP: re-fit, no pruning; StOMP: batched; CoSaMP: re-fit + pruning). *)
+
+type step = {
+  support : int array;  (** support after pruning, sorted *)
+  residual_norm : float;
+  model : Model.t;
+}
+
+val path :
+  ?max_iters:int -> ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> s:int ->
+  step array
+(** [path g f ~s] targets sparsity [s]; stops when the residual stalls
+    (relative improvement below [tol], default 1e-7), the support
+    repeats, the residual is numerically zero, or [max_iters] (default
+    50) is reached.
+    @raise Invalid_argument when [s] is not in [1, min(K/3, M)] — the
+    merged LS solve needs [3s ≤ K]. *)
+
+val fit :
+  ?max_iters:int -> ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> s:int ->
+  Model.t
+(** Model of the best (lowest-residual) step of the path. *)

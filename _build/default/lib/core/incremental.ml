@@ -1,0 +1,52 @@
+type round = { samples : int; cv_error : float; lambda : int; model : Model.t }
+
+type result = { rounds : round array; final : Model.t; converged : bool }
+
+let run ?(initial = 50) ?(growth = 2.0) ?(tol = 0.05) ?(patience = 1)
+    ?(max_lambda = 100) ?(folds = 4) ~max_samples ~sample rng =
+  if initial <= 0 then invalid_arg "Incremental.run: initial must be positive";
+  if growth <= 1. then invalid_arg "Incremental.run: growth must exceed 1";
+  if initial > max_samples then
+    invalid_arg "Incremental.run: initial exceeds max_samples";
+  if tol < 0. then invalid_arg "Incremental.run: negative tolerance";
+  if patience <= 0 then invalid_arg "Incremental.run: patience must be positive";
+  let rounds = ref [] in
+  let still = ref patience in
+  let converged = ref false in
+  let k = ref initial in
+  let finished = ref false in
+  while not !finished do
+    let g, f = sample !k in
+    if Linalg.Mat.rows g <> !k || Array.length f <> !k then
+      invalid_arg "Incremental.run: sample returned the wrong number of rows";
+    let r =
+      Select.omp ~folds (Randkit.Prng.split rng)
+        ~max_lambda:(min max_lambda (max 1 (!k / folds * (folds - 1))))
+        g f
+    in
+    let err = r.Select.curve.(r.Select.lambda - 1) in
+    let this =
+      { samples = !k; cv_error = err; lambda = r.Select.lambda; model = r.Select.model }
+    in
+    (match !rounds with
+    | prev :: _ ->
+        let improvement =
+          if prev.cv_error <= 0. then 0.
+          else (prev.cv_error -. err) /. prev.cv_error
+        in
+        if improvement < tol then decr still else still := patience
+    | [] -> ());
+    rounds := this :: !rounds;
+    if !still <= 0 then begin
+      converged := true;
+      finished := true
+    end
+    else if !k >= max_samples then finished := true
+    else k := min max_samples (int_of_float (ceil (float_of_int !k *. growth)))
+  done;
+  let rounds = Array.of_list (List.rev !rounds) in
+  {
+    rounds;
+    final = rounds.(Array.length rounds - 1).model;
+    converged = !converged;
+  }

@@ -1,0 +1,65 @@
+open Linalg
+
+type solution = { model : Model.t; residual_norm : float; subsets_tried : int }
+
+let count_subsets ~m ~lambda =
+  if lambda < 0 || lambda > m then 0
+  else begin
+    let acc = ref 1. in
+    for i = 0 to lambda - 1 do
+      acc := !acc *. float_of_int (m - i) /. float_of_int (i + 1)
+    done;
+    if !acc >= float_of_int max_int then max_int
+    else int_of_float (Float.round !acc)
+  end
+
+let solve ?(max_subsets = 2_000_000) g f ~lambda =
+  let k = Mat.rows g and m = Mat.cols g in
+  if Array.length f <> k then invalid_arg "L0_exact.solve: response length mismatch";
+  if lambda <= 0 then invalid_arg "L0_exact.solve: lambda must be positive";
+  let s = min lambda (min k m) in
+  let n_subsets = count_subsets ~m ~lambda:s in
+  if n_subsets > max_subsets then
+    invalid_arg
+      (Printf.sprintf
+         "L0_exact.solve: C(%d, %d) = %d subsets exceeds the cap %d" m s
+         n_subsets max_subsets);
+  let best_res = ref Float.infinity in
+  let best_support = ref [||] and best_coeffs = ref [||] in
+  let tried = ref 0 in
+  let subset = Array.make s 0 in
+  (* Enumerate increasing index tuples recursively. *)
+  let rec go pos lo =
+    if pos = s then begin
+      incr tried;
+      match Lstsq.solve_subset g subset f with
+      | coeffs ->
+          let res = Vec.nrm2 (Lstsq.residual_subset g subset coeffs f) in
+          if res < !best_res then begin
+            best_res := res;
+            best_support := Array.copy subset;
+            best_coeffs := coeffs
+          end
+      | exception Cholesky.Not_positive_definite _ -> ()
+    end
+    else
+      for j = lo to m - (s - pos) do
+        subset.(pos) <- j;
+        go (pos + 1) (j + 1)
+      done
+  in
+  go 0 0;
+  if !best_support = [||] && s > 0 && !tried > 0 && !best_res = Float.infinity
+  then
+    (* Every subset was singular: return the empty model. *)
+    {
+      model = Model.make ~basis_size:m ~support:[||] ~coeffs:[||];
+      residual_norm = Vec.nrm2 f;
+      subsets_tried = !tried;
+    }
+  else
+    {
+      model = Model.make ~basis_size:m ~support:!best_support ~coeffs:!best_coeffs;
+      residual_norm = !best_res;
+      subsets_tried = !tried;
+    }

@@ -1,0 +1,26 @@
+(** Exact L0-constrained least squares by exhaustive subset search.
+
+    The paper's eq. (11) is NP-hard in general; for small dictionaries
+    it can be solved {e}exactly{i} by enumerating all supports of size
+    ≤ λ and least-squares-fitting each. This gives a ground-truth
+    optimum against which the heuristics (OMP, LAR, STAR) can be
+    measured — the suboptimality-gap ablation. Complexity is
+    O(C(M, λ)·(K·λ² + λ³)): keep [M ≤ ~30] and [λ ≤ ~4]. *)
+
+type solution = {
+  model : Model.t;
+  residual_norm : float;  (** ‖G·α − F‖₂ at the optimum *)
+  subsets_tried : int;
+}
+
+val solve : ?max_subsets:int -> Linalg.Mat.t -> Linalg.Vec.t -> lambda:int -> solution
+(** [solve g f ~lambda] minimizes [‖G·α − F‖₂] over all supports of
+    size exactly [min lambda (min K M)] (smaller supports are never
+    better on noisy data, and ties resolve to the first found).
+    Singular subsets (dependent columns) are skipped.
+    @param max_subsets safety cap (default 2,000,000) — exceeding it
+    raises [Invalid_argument] before any work is done.
+    @raise Invalid_argument when [lambda] is not positive. *)
+
+val count_subsets : m:int -> lambda:int -> int
+(** C(m, λ), saturating at [max_int] — for feasibility checks. *)

@@ -1,0 +1,222 @@
+open Linalg
+
+type mode = Lar | Lasso
+
+type step = {
+  added : int option;
+  dropped : int option;
+  max_corr : float;
+  model : Model.t;
+}
+
+(* Internal working state over unit-normalized columns x_j = G_j/‖G_j‖.
+   The normalized columns are never materialized: every x_j operation
+   divides by the stored norm on the fly. *)
+type state = {
+  g : Mat.t;
+  norms : Vec.t;
+  k : int;
+  m : int;
+  beta : Vec.t;  (* coefficients in normalized scale *)
+  mu : Vec.t;  (* current fit G·alpha = X·beta *)
+  mutable active : int list;  (* most recently added first *)
+  in_active : bool array;
+  mutable chol : Cholesky.Grow.t;  (* gram factor of active columns, oldest first *)
+}
+
+let xdot st j v = Mat.col_dot st.g j v /. st.norms.(j)
+
+let xxdot st i j =
+  let acc = ref 0. in
+  for r = 0 to st.k - 1 do
+    acc := !acc +. (Mat.unsafe_get st.g r i *. Mat.unsafe_get st.g r j)
+  done;
+  !acc /. (st.norms.(i) *. st.norms.(j))
+
+(* Active set in insertion (oldest-first) order, matching the Grow factor. *)
+let active_oldest_first st = Array.of_list (List.rev st.active)
+
+let append_to_chol st j =
+  let act = active_oldest_first st in
+  let cross = Array.map (fun i -> xxdot st i j) act in
+  Cholesky.Grow.append st.chol cross 1.
+
+let rebuild_chol st =
+  let act = active_oldest_first st in
+  let cap = min st.k st.m in
+  let chol = Cholesky.Grow.create (max cap 1) in
+  Array.iteri
+    (fun p j ->
+      let cross = Array.init p (fun q -> xxdot st act.(q) j) in
+      Cholesky.Grow.append chol cross 1.)
+    act;
+  st.chol <- chol
+
+let current_model st =
+  let support = ref [] and coeffs = ref [] in
+  for j = st.m - 1 downto 0 do
+    if st.beta.(j) <> 0. then begin
+      support := j :: !support;
+      coeffs := (st.beta.(j) /. st.norms.(j)) :: !coeffs
+    end
+  done;
+  Model.make ~basis_size:st.m
+    ~support:(Array.of_list !support)
+    ~coeffs:(Array.of_list !coeffs)
+
+let path ?(mode = Lar) ?(tol = 1e-10) g f ~max_steps =
+  let k = Mat.rows g and m = Mat.cols g in
+  if Array.length f <> k then invalid_arg "Lars.path: response length mismatch";
+  if max_steps <= 0 then invalid_arg "Lars.path: max_steps must be positive";
+  let norms = Polybasis.Design.column_norms g in
+  Array.iteri
+    (fun j n -> if n <= 0. then norms.(j) <- 1. else norms.(j) <- n)
+    norms;
+  let st =
+    {
+      g;
+      norms;
+      k;
+      m;
+      beta = Array.make m 0.;
+      mu = Array.make k 0.;
+      active = [];
+      in_active = Array.make m false;
+      chol = Cholesky.Grow.create (max (min k m) 1);
+    }
+  in
+  let steps = ref [] in
+  let stop = ref false in
+  let initial_c = ref 0. in
+  let nsteps = ref 0 in
+  let max_active = min k m in
+  while (not !stop) && !nsteps < max_steps do
+    incr nsteps;
+    let res = Vec.sub f st.mu in
+    (* Correlations of every column with the residual. *)
+    let c = Array.init m (fun j -> xdot st j res) in
+    (* C from the best column overall; the entering variable is the best
+       inactive one. *)
+    let big_c = ref 0. and enter = ref (-1) and enter_c = ref 0. in
+    for j = 0 to m - 1 do
+      let a = Float.abs c.(j) in
+      if a > !big_c then big_c := a;
+      if (not st.in_active.(j)) && a > !enter_c then begin
+        enter := j;
+        enter_c := a
+      end
+    done;
+    if !nsteps = 1 then initial_c := !big_c;
+    if !big_c <= tol *. Float.max !initial_c 1. then stop := true
+    else begin
+      (* Add the entering variable (unless the active set is saturated
+         or a lasso drop just occurred and no variable may enter). *)
+      let added =
+        if
+          !enter >= 0
+          && List.length st.active < max_active
+          && !enter_c >= !big_c -. (1e-9 *. !big_c) -. 1e-15
+        then begin
+          match append_to_chol st !enter with
+          | () ->
+              st.active <- !enter :: st.active;
+              st.in_active.(!enter) <- true;
+              Some !enter
+          | exception Cholesky.Not_positive_definite _ ->
+              (* Entering column linearly dependent on the active set. *)
+              None
+        end
+        else None
+      in
+      if st.active = [] then stop := true
+      else begin
+        let act = active_oldest_first st in
+        let s = Array.map (fun j -> if c.(j) >= 0. then 1. else -1.) act in
+        (* Equiangular direction: z = Gram⁻¹·s, A = 1/√(sᵀz),
+           coefficient direction d_j = A·z_j, fit direction u = Σ d_j x_j. *)
+        let z = Cholesky.Grow.solve st.chol s in
+        let sz = Vec.dot s z in
+        if sz <= 0. then stop := true
+        else begin
+          let a_a = 1. /. sqrt sz in
+          let d = Array.map (fun zj -> a_a *. zj) z in
+          let u = Array.make k 0. in
+          Array.iteri
+            (fun p j ->
+              let w = d.(p) /. st.norms.(j) in
+              for r = 0 to k - 1 do
+                u.(r) <- u.(r) +. (w *. Mat.unsafe_get st.g r j)
+              done)
+            act;
+          (* C recomputed over the active set (they are all equal up to
+             numerical noise; use the max for robustness). *)
+          let cc =
+            Array.fold_left
+              (fun acc j -> Float.max acc (Float.abs c.(j)))
+              0. act
+          in
+          (* Step length to the next entering variable. *)
+          let gamma = ref (cc /. a_a) in
+          for j = 0 to m - 1 do
+            if not st.in_active.(j) then begin
+              let aj = xdot st j u in
+              let cand1 = (cc -. c.(j)) /. (a_a -. aj) in
+              let cand2 = (cc +. c.(j)) /. (a_a +. aj) in
+              if cand1 > 1e-12 && cand1 < !gamma then gamma := cand1;
+              if cand2 > 1e-12 && cand2 < !gamma then gamma := cand2
+            end
+          done;
+          (* Lasso modification: first zero-crossing of an active
+             coefficient bounds the step. *)
+          let drop = ref (-1) in
+          if mode = Lasso then
+            Array.iteri
+              (fun p j ->
+                (* β_j moves by γ·d_j; it crosses zero at γ = −β_j/d_j. *)
+                if d.(p) <> 0. then begin
+                  let gz = -.st.beta.(j) /. d.(p) in
+                  if gz > 1e-12 && gz < !gamma then begin
+                    gamma := gz;
+                    drop := j
+                  end
+                end)
+              act;
+          (* Advance. *)
+          Array.iteri
+            (fun p j -> st.beta.(j) <- st.beta.(j) +. (!gamma *. d.(p)))
+            act;
+          Vec.axpy !gamma u st.mu;
+          let dropped =
+            if !drop >= 0 then begin
+              st.beta.(!drop) <- 0.;
+              st.active <- List.filter (fun j -> j <> !drop) st.active;
+              st.in_active.(!drop) <- false;
+              rebuild_chol st;
+              Some !drop
+            end
+            else None
+          in
+          steps :=
+            { added; dropped; max_corr = cc; model = current_model st }
+            :: !steps
+          (* When γ = C/A the full-LS endpoint of the active set was
+             reached; the residual is then uncorrelated with every
+             active column and the tol test stops the next iteration. *)
+        end
+      end
+    end
+  done;
+  Array.of_list (List.rev !steps)
+
+let fit ?mode ?tol g f ~lambda =
+  if lambda <= 0 then invalid_arg "Lars.fit: lambda must be positive";
+  (* Drops can make the path longer than the target support size. *)
+  let max_steps = (2 * lambda) + 8 in
+  let steps = path ?mode ?tol g f ~max_steps in
+  let best = ref None in
+  Array.iter
+    (fun s -> if Model.nnz s.model <= lambda then best := Some s.model)
+    steps;
+  match !best with
+  | Some m -> m
+  | None -> Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]

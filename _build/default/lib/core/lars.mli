@@ -1,0 +1,43 @@
+(** Least angle regression (Efron, Hastie, Johnstone & Tibshirani 2004)
+    — the algorithm of the target DAC 2009 paper ("LAR", reference [2]),
+    which relaxes the L0 constraint of eq. (11) to an L1 constraint and
+    traces the resulting regularization path.
+
+    Geometry: at each step the coefficient vector moves along the
+    {e}equiangular{i} direction of the active basis vectors — the
+    direction making equal angles with all of them — exactly until some
+    inactive vector becomes as correlated with the residual as the
+    active ones, which is then added. With the lasso modification, an
+    active coefficient that would cross zero is instead dropped at the
+    crossing and the direction recomputed, making the path coincide
+    with the lasso solution path.
+
+    Columns are normalized to unit Euclidean norm internally (Hermite
+    basis columns have norm ≈ √K already; normalization removes the
+    sampling fluctuation) and coefficients are reported in the original
+    column scale. *)
+
+type mode = Lar | Lasso
+
+type step = {
+  added : int option;  (** basis entering the active set this step *)
+  dropped : int option;  (** basis leaving (lasso mode only) *)
+  max_corr : float;  (** C: common absolute correlation of the active set *)
+  model : Model.t;  (** coefficients after the step (LARS shrinkage) *)
+}
+
+val path :
+  ?mode:mode -> ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> max_steps:int ->
+  step array
+(** [path g f ~max_steps] traces up to [max_steps] path steps (default
+    mode [Lar]). Stops early when the maximal correlation falls below
+    [tol] relative to its initial value (default [1e-10]), when the
+    active set saturates at [min(K, M)], or at the final unrestricted
+    LS point of the active set. *)
+
+val fit :
+  ?mode:mode -> ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> lambda:int ->
+  Model.t
+(** [fit g f ~lambda] is the last path model with at most [lambda]
+    active coefficients — λ plays the same sparsity-budget role as in
+    Algorithm 1. *)

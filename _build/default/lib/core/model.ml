@@ -1,0 +1,104 @@
+open Linalg
+
+type t = { basis_size : int; support : int array; coeffs : Vec.t }
+
+let make ~basis_size ~support ~coeffs =
+  if Array.length support <> Array.length coeffs then
+    invalid_arg "Model.make: support/coefficient length mismatch";
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= basis_size then
+        invalid_arg "Model.make: support index out of range")
+    support;
+  (* Sort by index, carry coefficients along, drop exact zeros. *)
+  let order = Array.init (Array.length support) (fun i -> i) in
+  Array.sort (fun a b -> compare support.(a) support.(b)) order;
+  let pairs =
+    Array.to_list order
+    |> List.filter_map (fun i ->
+           if coeffs.(i) = 0. then None else Some (support.(i), coeffs.(i)))
+  in
+  let rec check_distinct = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then invalid_arg "Model.make: duplicate support index";
+        check_distinct rest
+    | _ -> ()
+  in
+  check_distinct pairs;
+  {
+    basis_size;
+    support = Array.of_list (List.map fst pairs);
+    coeffs = Array.of_list (List.map snd pairs);
+  }
+
+let dense ~basis_size alpha =
+  if Array.length alpha <> basis_size then
+    invalid_arg "Model.dense: coefficient vector length mismatch";
+  let support = ref [] and coeffs = ref [] in
+  for j = basis_size - 1 downto 0 do
+    if alpha.(j) <> 0. then begin
+      support := j :: !support;
+      coeffs := alpha.(j) :: !coeffs
+    end
+  done;
+  {
+    basis_size;
+    support = Array.of_list !support;
+    coeffs = Array.of_list !coeffs;
+  }
+
+let nnz m = Array.length m.support
+
+let to_dense m =
+  let alpha = Array.make m.basis_size 0. in
+  Array.iteri (fun p j -> alpha.(j) <- m.coeffs.(p)) m.support;
+  alpha
+
+let coeff m j =
+  if j < 0 || j >= m.basis_size then invalid_arg "Model.coeff: index out of range";
+  let rec bsearch lo hi =
+    if lo >= hi then 0.
+    else
+      let mid = (lo + hi) / 2 in
+      if m.support.(mid) = j then m.coeffs.(mid)
+      else if m.support.(mid) < j then bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  bsearch 0 (Array.length m.support)
+
+let predict_design m g =
+  if Mat.cols g <> m.basis_size then
+    invalid_arg "Model.predict_design: design width mismatch";
+  let k = Mat.rows g in
+  let out = Array.make k 0. in
+  Array.iteri
+    (fun p j ->
+      let c = m.coeffs.(p) in
+      for i = 0 to k - 1 do
+        out.(i) <- out.(i) +. (c *. Mat.unsafe_get g i j)
+      done)
+    m.support;
+  out
+
+let predict_point m b dy =
+  if Polybasis.Basis.size b <> m.basis_size then
+    invalid_arg "Model.predict_point: basis size mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun p j ->
+      acc := !acc +. (m.coeffs.(p) *. Polybasis.Term.eval (Polybasis.Basis.term b j) dy))
+    m.support;
+  !acc
+
+let error_on m g f =
+  let pred = predict_design m g in
+  Stat.Metrics.relative_rms ~pred ~truth:f
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>sparse model: %d / %d non-zero@," (nnz m) m.basis_size;
+  let shown = min (nnz m) 10 in
+  for p = 0 to shown - 1 do
+    Format.fprintf fmt "  alpha[%d] = %+.6g@," m.support.(p) m.coeffs.(p)
+  done;
+  if nnz m > shown then Format.fprintf fmt "  ...@,";
+  Format.fprintf fmt "@]"

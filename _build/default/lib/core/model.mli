@@ -1,0 +1,46 @@
+(** Sparse response-surface models.
+
+    A fitted model is a support — the indices of the selected basis
+    functions within a dictionary of [basis_size] candidates — together
+    with their coefficients. All other coefficients are exactly zero
+    (Step 9 of Algorithm 1). Models predict either through a design
+    matrix (when the basis rows are already evaluated) or pointwise
+    through a [Polybasis.Basis.t]. *)
+
+type t = private {
+  basis_size : int;  (** M: dictionary size *)
+  support : int array;  (** selected basis indices, strictly increasing *)
+  coeffs : Linalg.Vec.t;  (** coefficient per support entry *)
+}
+
+val make : basis_size:int -> support:int array -> coeffs:Linalg.Vec.t -> t
+(** Validates lengths, index range; sorts the support (with matching
+    coefficient permutation) and drops exact zeros.
+    @raise Invalid_argument on duplicates or out-of-range indices. *)
+
+val dense : basis_size:int -> Linalg.Vec.t -> t
+(** [dense ~basis_size alpha] builds a model from a full coefficient
+    vector, keeping the non-zeros (LS fitting produces these). *)
+
+val nnz : t -> int
+(** Number of selected basis functions — the paper's ‖α‖₀. *)
+
+val to_dense : t -> Linalg.Vec.t
+(** Full-length coefficient vector α with zeros filled in. *)
+
+val coeff : t -> int -> float
+(** [coeff m j] is α_j (possibly 0). *)
+
+val predict_design : t -> Linalg.Mat.t -> Linalg.Vec.t
+(** [predict_design m g] is [G·α] touching only the support columns. *)
+
+val predict_point : t -> Polybasis.Basis.t -> Linalg.Vec.t -> float
+(** [predict_point m b dy] evaluates only the selected basis functions
+    at [dy] — O(nnz), independent of M. *)
+
+val error_on : t -> Linalg.Mat.t -> Linalg.Vec.t -> float
+(** [error_on m g f] is the relative-RMS modeling error of the model's
+    predictions [G·α] against the reference responses [f]
+    (see {!Stat.Metrics.relative_rms}). *)
+
+val pp : Format.formatter -> t -> unit

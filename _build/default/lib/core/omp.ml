@@ -1,0 +1,99 @@
+open Linalg
+
+type step = {
+  index : int;
+  correlation : float;
+  residual_norm : float;
+  model : Model.t;
+}
+
+let path ?(tol = 1e-12) g f ~max_lambda =
+  let k = Mat.rows g and m = Mat.cols g in
+  if Array.length f <> k then invalid_arg "Omp.path: response length mismatch";
+  if max_lambda <= 0 then invalid_arg "Omp.path: max_lambda must be positive";
+  if max_lambda > min k m then
+    invalid_arg "Omp.path: max_lambda exceeds min(samples, basis size)";
+  let selected = Array.make m false in
+  let support = Array.make max_lambda 0 in
+  let rhs = Array.make max_lambda 0. in
+  (* Gram factor of the selected columns, grown one column per step. *)
+  let chol = Cholesky.Grow.create max_lambda in
+  let res = Array.copy f in
+  let steps = ref [] in
+  let stop = ref false in
+  let initial_corr = ref 0. in
+  let p = ref 0 in
+  while (not !stop) && !p < max_lambda do
+    (* Step 3: inner products of the residual with every basis vector.
+       The 1/K factor of eq. (18) is a monotone scaling; the argmax is
+       unaffected, so we keep raw dot products. *)
+    let best = ref (-1) and best_abs = ref 0. in
+    for j = 0 to m - 1 do
+      if not selected.(j) then begin
+        let c = Float.abs (Mat.col_dot g j res) in
+        if c > !best_abs then begin
+          best := j;
+          best_abs := c
+        end
+      end
+    done;
+    if !p = 0 then initial_corr := !best_abs;
+    if !best < 0 || !best_abs <= tol *. Float.max !initial_corr 1. then
+      stop := true
+    else begin
+      let j = !best in
+      (* Steps 4–5: extend the selected set. *)
+      let cross =
+        Array.init !p (fun q ->
+            let jq = support.(q) in
+            let acc = ref 0. in
+            for i = 0 to k - 1 do
+              acc := !acc +. (Mat.unsafe_get g i jq *. Mat.unsafe_get g i j)
+            done;
+            !acc)
+      in
+      let diag =
+        let acc = ref 0. in
+        for i = 0 to k - 1 do
+          let v = Mat.unsafe_get g i j in
+          acc := !acc +. (v *. v)
+        done;
+        !acc
+      in
+      match Cholesky.Grow.append chol cross diag with
+      | exception Cholesky.Not_positive_definite _ ->
+          (* Column linearly dependent on the selected set: the LS re-fit
+             would be singular. Stop the path here. *)
+          stop := true
+      | () ->
+          support.(!p) <- j;
+          selected.(j) <- true;
+          rhs.(!p) <- Mat.col_dot g j f;
+          incr p;
+          (* Step 6: re-fit all selected coefficients (eq. (22)). *)
+          let coeffs = Cholesky.Grow.solve chol (Array.sub rhs 0 !p) in
+          (* Step 7: fresh residual from the re-fitted model. *)
+          let sub = Array.sub support 0 !p in
+          let new_res = Lstsq.residual_subset g sub coeffs f in
+          Array.blit new_res 0 res 0 k;
+          let model =
+            Model.make ~basis_size:m ~support:(Array.copy sub) ~coeffs
+          in
+          steps :=
+            {
+              index = j;
+              correlation = !best_abs /. float_of_int k;
+              residual_norm = Vec.nrm2 res;
+              model;
+            }
+            :: !steps;
+          if Vec.nrm2 res <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
+    end
+  done;
+  Array.of_list (List.rev !steps)
+
+let fit ?tol g f ~lambda =
+  let steps = path ?tol g f ~max_lambda:lambda in
+  if Array.length steps = 0 then
+    Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]
+  else steps.(Array.length steps - 1).model

@@ -1,0 +1,35 @@
+(** Orthogonal matching pursuit — Algorithm 1 of the paper.
+
+    Given the underdetermined system [G·α = F], OMP iteratively selects
+    the basis vector most correlated with the current residual
+    (eq. (18)), re-solves the least-squares coefficients of {e}all{i}
+    selected vectors (Step 6, eq. (22)), and recomputes the residual
+    (Step 7). Unselected coefficients are exactly zero (Step 9).
+
+    The re-fit is done incrementally: the Cholesky factor of the
+    selected-column Gram matrix grows by one row per iteration
+    ([Linalg.Cholesky.Grow]), so iteration [p] costs
+    O(K·M) for the correlation scan plus O(K·p + p²) for the re-fit —
+    the correlation scan dominates, exactly as in the paper's complexity
+    discussion. *)
+
+type step = {
+  index : int;  (** basis selected at this iteration *)
+  correlation : float;  (** |ξ| that won the selection *)
+  residual_norm : float;  (** ‖Res‖₂ after the re-fit *)
+  model : Model.t;  (** model after this iteration *)
+}
+
+val path :
+  ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> max_lambda:int -> step array
+(** [path g f ~max_lambda] runs up to [max_lambda] iterations and
+    returns one step record per iteration. Stops early when the largest
+    residual correlation falls below [tol] (default [1e-12]) relative to
+    the initial one, when the residual is numerically zero, or when the
+    next column is linearly dependent on the selected set.
+    @raise Invalid_argument when [max_lambda] exceeds [min(K, M)] or is
+    not positive. *)
+
+val fit : ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> lambda:int -> Model.t
+(** [fit g f ~lambda] is the model after [lambda] iterations (fewer if
+    the path stopped early; the last available model is returned). *)

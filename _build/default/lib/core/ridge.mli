@@ -1,0 +1,22 @@
+(** Ridge (L2-regularized) regression — an extension baseline.
+
+    Solves [(GᵀG + λ_reg·I)·α = Gᵀ·F]. Unlike the L0/L1 methods it
+    produces dense coefficients, but it is well-posed even for
+    underdetermined systems, making it a useful control: it shows that
+    {e}shrinkage alone{i}, without sparsity, does not reach the paper's
+    accuracy at small K (ablation bench A1). *)
+
+val fit :
+  ?unpenalized:int array -> Linalg.Mat.t -> Linalg.Vec.t -> reg:float ->
+  Model.t
+(** [unpenalized] lists columns exempt from the L2 penalty — pass
+    [[|0|]] when column 0 is the constant basis, so a large response
+    mean is absorbed by the intercept instead of being shrunk away.
+    @raise Invalid_argument when [reg <= 0] (the unregularized case is
+    [Ls.fit]) or an exempt column is out of range. *)
+
+val fit_cv :
+  ?unpenalized:int array -> Randkit.Prng.t -> folds:int -> regs:float array ->
+  Linalg.Mat.t -> Linalg.Vec.t -> Model.t * float
+(** Pick the regularization weight by Q-fold cross-validation over the
+    candidate grid; returns the refit on all data and the chosen weight. *)

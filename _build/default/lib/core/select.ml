@@ -1,0 +1,111 @@
+open Linalg
+
+type rule = Min_error | One_se
+
+type result = { model : Model.t; lambda : int; curve : float array }
+
+let generic ?(folds = 4) ?(rule = Min_error) rng ~max_lambda ~path_models g f =
+  if max_lambda <= 0 then invalid_arg "Select: max_lambda must be positive";
+  let n = Mat.rows g in
+  let plan = Stat.Crossval.make_plan rng ~n ~folds in
+  (* Per-fold error curves: the mean gives the paper's epsilon(lambda),
+     the spread gives the standard error the One_se rule needs. *)
+  let fold_curves =
+    Array.init folds (fun q ->
+        let train, held_out = Stat.Crossval.fold_indices plan q in
+        let g_tr = Mat.select_rows g train in
+        let f_tr = Array.map (fun i -> f.(i)) train in
+        let g_ho = Mat.select_rows g held_out in
+        let f_ho = Array.map (fun i -> f.(i)) held_out in
+        let models = path_models g_tr f_tr ~max_lambda in
+        if Array.length models = 0 then
+          invalid_arg "Select: solver produced an empty path";
+        Array.init max_lambda (fun l ->
+            let m = models.(min l (Array.length models - 1)) in
+            Model.error_on m g_ho f_ho))
+  in
+  let fq = float_of_int folds in
+  let curve =
+    Array.init max_lambda (fun l ->
+        Array.fold_left (fun acc fc -> acc +. (fc.(l) /. fq)) 0. fold_curves)
+  in
+  let best = Stat.Crossval.argmin curve in
+  let lambda =
+    match rule with
+    | Min_error -> best + 1
+    | One_se ->
+        (* Fold-to-fold standard error of the mean at the minimum. *)
+        let at_min = Array.map (fun fc -> fc.(best)) fold_curves in
+        let se =
+          if folds < 2 then 0.
+          else Stat.Descriptive.std at_min /. sqrt fq
+        in
+        let threshold = curve.(best) +. se in
+        let l = ref best in
+        (* Smallest lambda within one SE of the minimum. *)
+        for cand = best - 1 downto 0 do
+          if
+            (not (Float.is_nan curve.(cand)))
+            && curve.(cand) <= threshold
+          then l := cand
+        done;
+        !l + 1
+  in
+  let final = path_models g f ~max_lambda:lambda in
+  { model = final.(Array.length final - 1); lambda; curve }
+
+let clamp_lambda ~max_lambda cap =
+  (* Paths cannot exceed the solver's own bound on a fold's training
+     rows; the caller's max_lambda is clamped accordingly. *)
+  min max_lambda cap
+
+let omp ?folds ?rule rng ~max_lambda g f =
+  let cap_rows =
+    (* smallest fold training size: n − ceil(n/Q) *)
+    let n = Mat.rows g in
+    let q = match folds with Some q -> q | None -> 4 in
+    n - ((n + q - 1) / q)
+  in
+  let max_lambda = clamp_lambda ~max_lambda (min cap_rows (Mat.cols g)) in
+  generic ?folds ?rule rng ~max_lambda
+    ~path_models:(fun g f ~max_lambda ->
+      let max_lambda = min max_lambda (min (Mat.rows g) (Mat.cols g)) in
+      Array.map (fun s -> s.Omp.model) (Omp.path g f ~max_lambda))
+    g f
+
+let star ?folds ?rule rng ~max_lambda g f =
+  let max_lambda = clamp_lambda ~max_lambda (Mat.cols g) in
+  generic ?folds ?rule rng ~max_lambda
+    ~path_models:(fun g f ~max_lambda ->
+      Array.map (fun s -> s.Star.model) (Star.path g f ~max_lambda))
+    g f
+
+let lars ?folds ?rule ?mode rng ~max_lambda g f =
+  let cap_rows =
+    let n = Mat.rows g in
+    let q = match folds with Some q -> q | None -> 4 in
+    n - ((n + q - 1) / q)
+  in
+  let max_lambda = clamp_lambda ~max_lambda (min cap_rows (Mat.cols g)) in
+  generic ?folds ?rule rng ~max_lambda
+    ~path_models:(fun g f ~max_lambda ->
+      let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
+      let steps = Lars.path ?mode g f ~max_steps in
+      if Array.length steps = 0 then [||]
+      else begin
+        (* Entry λ−1 holds the last path model with at most λ active
+           coefficients, so the curve is indexed by support size exactly
+           as for OMP/STAR (lasso drops make steps ≠ support size). *)
+        let empty = Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||] in
+        let models = Array.make max_lambda empty in
+        Array.iter
+          (fun s ->
+            let n = Model.nnz s.Lars.model in
+            if n >= 1 && n <= max_lambda then
+              for l = n - 1 to max_lambda - 1 do
+                models.(l) <- s.Lars.model
+              done)
+          steps;
+        models
+      end)
+    g f

@@ -1,0 +1,45 @@
+(** Cross-validated choice of the sparsity level λ (Section IV-C).
+
+    For each fold, the solver's whole path (λ = 1 … max_lambda) is fit
+    on the training groups and scored on the held-out group, giving the
+    per-run error {e}function{i} ε_q(λ); the averaged curve ε(λ) is
+    minimized over λ and the winning λ is refit on the full data — the
+    exact procedure of Fig. 2 and the surrounding text. *)
+
+type rule =
+  | Min_error  (** λ at the minimum of ε(λ) — the paper's choice *)
+  | One_se
+      (** the smallest λ whose ε(λ) is within one fold-to-fold standard
+          error of the minimum — the classic parsimony-biased variant
+          (Hastie et al. §7.10); picks visibly sparser models when the
+          CV curve has a flat valley *)
+
+type result = {
+  model : Model.t;  (** refit on all data at the chosen λ *)
+  lambda : int;  (** chosen sparsity level (1-based) *)
+  curve : float array;  (** ε(λ) for λ = 1 … max_lambda *)
+}
+
+val omp :
+  ?folds:int -> ?rule:rule -> Randkit.Prng.t -> max_lambda:int ->
+  Linalg.Mat.t -> Linalg.Vec.t -> result
+(** Default [folds = 4] (the paper's Fig. 2 setting) and
+    [rule = Min_error]. *)
+
+val star :
+  ?folds:int -> ?rule:rule -> Randkit.Prng.t -> max_lambda:int ->
+  Linalg.Mat.t -> Linalg.Vec.t -> result
+
+val lars :
+  ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> Randkit.Prng.t ->
+  max_lambda:int -> Linalg.Mat.t -> Linalg.Vec.t -> result
+
+val generic :
+  ?folds:int -> ?rule:rule -> Randkit.Prng.t -> max_lambda:int ->
+  path_models:(Linalg.Mat.t -> Linalg.Vec.t -> max_lambda:int -> Model.t array) ->
+  Linalg.Mat.t -> Linalg.Vec.t -> result
+(** The underlying driver: [path_models] maps a training design/response
+    to the per-λ models (an array shorter than [max_lambda] is padded by
+    repeating its last model — an early-stopped path keeps its final
+    error for larger λ). Exposed for user-supplied solvers.
+    @raise Invalid_argument if a fold produces an empty path. *)

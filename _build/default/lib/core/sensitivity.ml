@@ -1,0 +1,67 @@
+let check model basis =
+  if Polybasis.Basis.size basis <> model.Model.basis_size then
+    invalid_arg "Sensitivity: basis size disagrees with model"
+
+(* Iterate the model's non-constant terms as (term, alpha^2). *)
+let iter_variance_terms model basis f =
+  Array.iteri
+    (fun p j ->
+      let term = Polybasis.Basis.term basis j in
+      if Polybasis.Term.total_degree term > 0 then
+        f term (model.Model.coeffs.(p) *. model.Model.coeffs.(p)))
+    model.Model.support
+
+let total_variance model basis =
+  check model basis;
+  let acc = ref 0. in
+  iter_variance_terms model basis (fun _ v -> acc := !acc +. v);
+  !acc
+
+let mean model basis =
+  check model basis;
+  let acc = ref 0. in
+  Array.iteri
+    (fun p j ->
+      if Polybasis.Term.total_degree (Polybasis.Basis.term basis j) = 0 then
+        acc := !acc +. model.Model.coeffs.(p))
+    model.Model.support;
+  !acc
+
+let shares_with ~keep model basis =
+  check model basis;
+  let n = Polybasis.Basis.dim basis in
+  let shares = Linalg.Vec.create n in
+  let total = total_variance model basis in
+  if total > 0. then
+    iter_variance_terms model basis (fun term v ->
+        if keep term then
+          List.iter (fun var -> shares.(var) <- shares.(var) +. (v /. total))
+            (Polybasis.Term.vars term));
+  shares
+
+let factor_shares model basis = shares_with ~keep:(fun _ -> true) model basis
+
+let main_effect_shares model basis =
+  shares_with
+    ~keep:(fun term -> List.length (Polybasis.Term.vars term) = 1)
+    model basis
+
+let interaction_share model basis =
+  check model basis;
+  let total = total_variance model basis in
+  if total = 0. then 0.
+  else begin
+    let acc = ref 0. in
+    iter_variance_terms model basis (fun term v ->
+        if List.length (Polybasis.Term.vars term) >= 2 then acc := !acc +. v);
+    !acc /. total
+  end
+
+let top_factors ?(n = 10) model basis =
+  let shares = factor_shares model basis in
+  let idx =
+    Array.to_list (Array.mapi (fun i s -> (i, s)) shares)
+    |> List.filter (fun (_, s) -> s > 0.)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  Array.of_list (List.filteri (fun i _ -> i < n) idx)

@@ -1,0 +1,38 @@
+(** Global variance decomposition of fitted models.
+
+    Because the dictionary is orthonormal under the sampling measure
+    (eq. (2)), a fitted model [f ≈ Σ α_m·g_m] has closed-form Sobol-style
+    variance structure: [Var f = Σ_{m ≠ const} α_m²], and the share of
+    any input factor is the sum of [α_m²] over the terms that involve
+    it. This turns a sparse RSM directly into a variation-source
+    ranking — the designer-facing payoff of the paper's models (e.g.
+    "offset is dominated by the input-pair mismatch"). *)
+
+val total_variance : Model.t -> Polybasis.Basis.t -> float
+(** Model variance under the standard-normal factor distribution:
+    [Σ α_m²] over non-constant terms.
+    @raise Invalid_argument when the basis size disagrees with the
+    model. *)
+
+val mean : Model.t -> Polybasis.Basis.t -> float
+(** Model mean: the constant term's coefficient (0 if unselected). *)
+
+val factor_shares : Model.t -> Polybasis.Basis.t -> Linalg.Vec.t
+(** [factor_shares m b] has one entry per input factor: the fraction of
+    model variance carried by terms involving that factor (total-effect
+    index). Interaction terms count toward every participating factor,
+    so the entries can sum to more than 1. Zero vector when the model
+    has no variance. *)
+
+val main_effect_shares : Model.t -> Polybasis.Basis.t -> Linalg.Vec.t
+(** Like {!factor_shares} but counting only the univariate terms of each
+    factor (first-order Sobol indices); entries sum to ≤ 1, with the
+    deficit being the interaction share. *)
+
+val interaction_share : Model.t -> Polybasis.Basis.t -> float
+(** Fraction of model variance in terms touching ≥ 2 factors. *)
+
+val top_factors : ?n:int -> Model.t -> Polybasis.Basis.t -> (int * float) array
+(** The [n] (default 10) largest total-effect factors as
+    [(factor, share)], sorted by decreasing share; factors with zero
+    share are omitted. *)

@@ -1,0 +1,121 @@
+let to_string m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "rsm-model 1\n";
+  Buffer.add_string buf (Printf.sprintf "basis_size %d\n" m.Model.basis_size);
+  Buffer.add_string buf (Printf.sprintf "nnz %d\n" (Model.nnz m));
+  Array.iteri
+    (fun p j ->
+      Buffer.add_string buf (Printf.sprintf "%d %.17g\n" j m.Model.coeffs.(p)))
+    m.Model.support;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match lines with
+  | header :: rest when String.trim header = "rsm-model 1" -> (
+      let parse_field name line =
+        match String.split_on_char ' ' line with
+        | [ key; v ] when key = name -> int_of_string_opt v
+        | _ -> None
+      in
+      match rest with
+      | size_line :: nnz_line :: coeff_lines -> (
+          match
+            (parse_field "basis_size" size_line, parse_field "nnz" nnz_line)
+          with
+          | Some basis_size, Some nnz ->
+              if basis_size < 0 then Error "negative basis_size"
+              else if List.length coeff_lines <> nnz then
+                Error
+                  (Printf.sprintf "expected %d coefficient lines, found %d" nnz
+                     (List.length coeff_lines))
+              else begin
+                let parsed =
+                  List.map
+                    (fun line ->
+                      match String.split_on_char ' ' line with
+                      | [ idx; value ] -> (
+                          match
+                            (int_of_string_opt idx, float_of_string_opt value)
+                          with
+                          | Some i, Some v -> Ok (i, v)
+                          | _ -> Error ("malformed coefficient line: " ^ line))
+                      | _ -> Error ("malformed coefficient line: " ^ line))
+                    coeff_lines
+                in
+                let rec collect acc = function
+                  | [] -> Ok (List.rev acc)
+                  | Ok x :: tl -> collect (x :: acc) tl
+                  | Error e :: _ -> Error e
+                in
+                match collect [] parsed with
+                | Error e -> Error e
+                | Ok pairs -> (
+                    let support = Array.of_list (List.map fst pairs) in
+                    let coeffs = Array.of_list (List.map snd pairs) in
+                    match Model.make ~basis_size ~support ~coeffs with
+                    | m -> Ok m
+                    | exception Invalid_argument e -> Error e)
+              end
+          | _ -> Error "missing basis_size or nnz header field")
+      | _ -> Error "truncated header")
+  | first :: _ -> Error ("unrecognized header: " ^ first)
+  | [] -> Error "empty input"
+
+let save path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string m))
+
+let term_expression t =
+  if Array.length t = 0 then ""
+  else
+    String.concat "*"
+      (Array.to_list
+         (Array.map
+            (fun (v, d) ->
+              match d with
+              | 1 -> Printf.sprintf "y%d" v
+              | 2 -> Printf.sprintf "((y%d^2 - 1)/sqrt2)" v
+              | 3 -> Printf.sprintf "((y%d^3 - 3*y%d)/sqrt6)" v v
+              | _ -> Printf.sprintf "He%d(y%d)" d v)
+            t))
+
+let to_expression m basis =
+  if Polybasis.Basis.size basis <> m.Model.basis_size then
+    invalid_arg "Serialize.to_expression: basis size disagrees with model";
+  if Model.nnz m = 0 then "f = 0"
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "f =";
+    Array.iteri
+      (fun p j ->
+        let c = m.Model.coeffs.(p) in
+        let term = Polybasis.Basis.term basis j in
+        let sign = if c >= 0. then (if p = 0 then " " else " + ") else " - " in
+        Buffer.add_string buf sign;
+        Buffer.add_string buf (Printf.sprintf "%.6g" (Float.abs c));
+        let e = term_expression term in
+        if e <> "" then begin
+          Buffer.add_char buf '*';
+          Buffer.add_string buf e
+        end)
+      m.Model.support;
+    Buffer.contents buf
+  end
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          of_string s)

@@ -1,0 +1,37 @@
+(** Plain-text persistence for fitted models.
+
+    A fitted sparse model is tiny (tens of coefficients for a
+    21 311-function dictionary), so a human-readable format costs
+    nothing and lets models move between runs, the CLI and other tools.
+
+    Format (version 1):
+    {v
+    rsm-model 1
+    basis_size <M>
+    nnz <n>
+    <index> <coefficient>   (n lines, %.17g round-trip precision)
+    v}
+    Lines starting with [#] are ignored. *)
+
+val to_string : Model.t -> string
+
+val of_string : string -> (Model.t, string) result
+(** Parse; [Error msg] describes the first problem found (bad header,
+    wrong counts, duplicate or out-of-range indices, malformed
+    numbers). *)
+
+val save : string -> Model.t -> unit
+(** [save path m] writes the model to [path] (truncating).
+    @raise Sys_error on IO failure. *)
+
+val load : string -> (Model.t, string) result
+(** [load path] reads a model back. IO failures are reported as
+    [Error]. *)
+
+val to_expression : Model.t -> Polybasis.Basis.t -> string
+(** Human-readable analytic form of the model, e.g.
+    ["f = 893.25 + 22.53*y3 - 6.17*(y9^2 - 1)/sqrt2 + ..."] — the
+    response-surface equation a datasheet or report would quote.
+    Normalized Hermite factors are spelled out so the expression is
+    directly evaluable.
+    @raise Invalid_argument when the basis size disagrees. *)

@@ -1,0 +1,97 @@
+open Linalg
+
+type method_ = Ls | Star | Lar | Lasso | Omp | Stomp | Cosamp
+
+let all = [ Ls; Star; Lar; Omp ]
+
+let name = function
+  | Ls -> "LS"
+  | Star -> "STAR"
+  | Lar -> "LAR"
+  | Lasso -> "LASSO"
+  | Omp -> "OMP"
+  | Stomp -> "StOMP"
+  | Cosamp -> "CoSaMP"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "ls" | "least-squares" -> Some Ls
+  | "star" -> Some Star
+  | "lar" | "lars" -> Some Lar
+  | "lasso" -> Some Lasso
+  | "omp" -> Some Omp
+  | "stomp" -> Some Stomp
+  | "cosamp" -> Some Cosamp
+  | _ -> None
+
+let needs_overdetermined = function Ls -> true | _ -> false
+
+let default_lambda g = max 1 (min (Mat.rows g) (Mat.cols g) / 2)
+
+let fit ?lambda g f m =
+  let lambda = match lambda with Some l -> l | None -> default_lambda g in
+  match m with
+  | Ls -> Ls.fit g f
+  | Star -> Star.fit g f ~lambda
+  | Lar -> Lars.fit ~mode:Lars.Lar g f ~lambda
+  | Lasso -> Lars.fit ~mode:Lars.Lasso g f ~lambda
+  | Omp -> Omp.fit g f ~lambda:(min lambda (min (Mat.rows g) (Mat.cols g)))
+  | Stomp -> Stomp.fit ~max_selected:(min lambda (min (Mat.rows g) (Mat.cols g))) g f
+  | Cosamp ->
+      Cosamp.fit g f ~s:(max 1 (min lambda (min (Mat.rows g / 3) (Mat.cols g))))
+
+let fit_cv ?folds ?max_lambda rng g f m =
+  let max_lambda =
+    match max_lambda with
+    | Some l -> l
+    | None -> max 1 (min (min (Mat.rows g / 2) (Mat.cols g)) 200)
+  in
+  match m with
+  | Ls -> Ls.fit g f
+  | Star -> (Select.star ?folds rng ~max_lambda g f).Select.model
+  | Lar -> (Select.lars ?folds ~mode:Lars.Lar rng ~max_lambda g f).Select.model
+  | Lasso ->
+      (Select.lars ?folds ~mode:Lars.Lasso rng ~max_lambda g f).Select.model
+  | Omp -> (Select.omp ?folds rng ~max_lambda g f).Select.model
+  | Stomp ->
+      (* StOMP's threshold, not lambda, is its knob; CV over a small
+         threshold grid. *)
+      let thresholds = [| 2.0; 2.5; 3.0 |] in
+      let n = Mat.rows g in
+      let folds_n = match folds with Some q -> q | None -> 4 in
+      let plan = Stat.Crossval.make_plan rng ~n ~folds:folds_n in
+      let curve =
+        Stat.Crossval.run_curves plan ~fit_curve:(fun ~train ~held_out ->
+            let g_tr = Mat.select_rows g train in
+            let f_tr = Array.map (fun i -> f.(i)) train in
+            let g_ho = Mat.select_rows g held_out in
+            let f_ho = Array.map (fun i -> f.(i)) held_out in
+            Array.map
+              (fun t ->
+                let m = Stomp.fit ~threshold:t g_tr f_tr in
+                Model.error_on m g_ho f_ho)
+              thresholds)
+      in
+      Stomp.fit ~threshold:thresholds.(Stat.Crossval.argmin curve) g f
+  | Cosamp ->
+      (* CV over the target sparsity s, like lambda for OMP. *)
+      let smax = max 1 (min (max_lambda / 2) (min (Mat.rows g / 3) (Mat.cols g))) in
+      let grid = Array.init (min smax 12) (fun i -> ((i + 1) * smax / min smax 12) |> max 1) in
+      let n = Mat.rows g in
+      let folds_n = match folds with Some q -> q | None -> 4 in
+      let plan = Stat.Crossval.make_plan rng ~n ~folds:folds_n in
+      let curve =
+        Stat.Crossval.run_curves plan ~fit_curve:(fun ~train ~held_out ->
+            let g_tr = Mat.select_rows g train in
+            let f_tr = Array.map (fun i -> f.(i)) train in
+            let g_ho = Mat.select_rows g held_out in
+            let f_ho = Array.map (fun i -> f.(i)) held_out in
+            Array.map
+              (fun s ->
+                match Cosamp.fit g_tr f_tr ~s with
+                | m -> Model.error_on m g_ho f_ho
+                | exception Invalid_argument _ -> Float.nan)
+              grid)
+      in
+      let s = grid.(Stat.Crossval.argmin curve) in
+      Cosamp.fit g f ~s

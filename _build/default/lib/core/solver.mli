@@ -1,0 +1,39 @@
+(** Unified solver front-end: the four techniques compared throughout
+    the paper's Section V, behind one dispatch type. The benches,
+    examples and CLI all go through this module so that every experiment
+    treats the methods symmetrically. *)
+
+type method_ =
+  | Ls  (** least-squares fitting [21] — needs K ≥ M *)
+  | Star  (** statistical regression, DAC 2008 [1] *)
+  | Lar  (** least angle regression, DAC 2009 [2] *)
+  | Lasso  (** LARS with the lasso modification (extension) *)
+  | Omp  (** orthogonal matching pursuit (the TCAD paper's method) *)
+  | Stomp  (** stagewise OMP (extension) *)
+  | Cosamp  (** CoSaMP with support pruning (extension) *)
+
+val all : method_ list
+(** The paper's four, in table order: [Ls; Star; Lar; Omp]. *)
+
+val name : method_ -> string
+
+val of_name : string -> method_ option
+(** Case-insensitive parse of [name]; ["lar"], ["lars"], ["lasso"],
+    ["stomp"] and ["cosamp"] are all understood. *)
+
+val needs_overdetermined : method_ -> bool
+(** True only for [Ls]. *)
+
+val fit :
+  ?lambda:int -> Linalg.Mat.t -> Linalg.Vec.t -> method_ -> Model.t
+(** [fit g f m] with a fixed sparsity budget [lambda] (ignored by [Ls]).
+    Default [lambda] is [min(K, M)/2] — prefer {!fit_cv} in real use.
+    @raise Invalid_argument when [Ls] is asked to fit an
+    underdetermined system. *)
+
+val fit_cv :
+  ?folds:int -> ?max_lambda:int -> Randkit.Prng.t -> Linalg.Mat.t ->
+  Linalg.Vec.t -> method_ -> Model.t
+(** Cross-validated fit: sparsity chosen per Section IV-C for the path
+    methods; plain LS for [Ls] (λ is meaningless there). Default
+    [max_lambda] is [min(K/2, M, 200)]. *)

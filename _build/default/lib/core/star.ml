@@ -1,0 +1,66 @@
+open Linalg
+
+type step = {
+  index : int;
+  coefficient : float;
+  residual_norm : float;
+  model : Model.t;
+}
+
+let path ?(tol = 1e-12) g f ~max_lambda =
+  let k = Mat.rows g and m = Mat.cols g in
+  if Array.length f <> k then invalid_arg "Star.path: response length mismatch";
+  if max_lambda <= 0 then invalid_arg "Star.path: max_lambda must be positive";
+  if max_lambda > m then invalid_arg "Star.path: max_lambda exceeds basis size";
+  let kf = float_of_int k in
+  let selected = Array.make m false in
+  let support = ref [] and coeffs = ref [] in
+  let res = Array.copy f in
+  let steps = ref [] in
+  let stop = ref false in
+  let initial_corr = ref 0. in
+  let p = ref 0 in
+  while (not !stop) && !p < max_lambda do
+    let best = ref (-1) and best_abs = ref 0. in
+    for j = 0 to m - 1 do
+      if not selected.(j) then begin
+        let c = Float.abs (Mat.col_dot g j res) in
+        if c > !best_abs then begin
+          best := j;
+          best_abs := c
+        end
+      end
+    done;
+    if !p = 0 then initial_corr := !best_abs;
+    if !best < 0 || !best_abs <= tol *. Float.max !initial_corr 1. then
+      stop := true
+    else begin
+      let j = !best in
+      (* Coefficient taken directly from the eq. (18) estimator —
+         no re-fit of previously selected coefficients. *)
+      let alpha = Mat.col_dot g j res /. kf in
+      selected.(j) <- true;
+      support := j :: !support;
+      coeffs := alpha :: !coeffs;
+      incr p;
+      for i = 0 to k - 1 do
+        res.(i) <- res.(i) -. (alpha *. Mat.unsafe_get g i j)
+      done;
+      let model =
+        Model.make ~basis_size:m
+          ~support:(Array.of_list !support)
+          ~coeffs:(Array.of_list !coeffs)
+      in
+      steps :=
+        { index = j; coefficient = alpha; residual_norm = Vec.nrm2 res; model }
+        :: !steps;
+      if Vec.nrm2 res <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
+    end
+  done;
+  Array.of_list (List.rev !steps)
+
+let fit ?tol g f ~lambda =
+  let steps = path ?tol g f ~max_lambda:lambda in
+  if Array.length steps = 0 then
+    Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]
+  else steps.(Array.length steps - 1).model

@@ -1,0 +1,26 @@
+(** STAR — statistical regression (Li & Liu, DAC 2008; reference [1] of
+    the paper).
+
+    STAR shares OMP's selection criterion — pick the basis vector whose
+    inner product with the residual is largest — but {e}skips the
+    least-squares re-fit{i}: the coefficient of the newly selected basis
+    function is set directly to the inner-product estimate
+    [ξ_s = (1/K)·G_sᵀ·Res] of eq. (18) (a plain matching pursuit).
+    Previously assigned coefficients are never revisited. The paper's
+    Section V attributes OMP's 1.5–5× accuracy edge precisely to this
+    difference, which the A1 ablation bench isolates. *)
+
+type step = {
+  index : int;
+  coefficient : float;  (** the inner-product estimate used as α_s *)
+  residual_norm : float;
+  model : Model.t;
+}
+
+val path :
+  ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> max_lambda:int -> step array
+(** Same contract as {!Omp.path}: one record per iteration, early stop
+    on vanishing correlation. [max_lambda] may not exceed [M] (there is
+    no LS system to keep over-determined, so [K] is not a bound). *)
+
+val fit : ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> lambda:int -> Model.t

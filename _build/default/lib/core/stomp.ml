@@ -1,0 +1,115 @@
+open Linalg
+
+type step = {
+  added : int array;
+  threshold : float;
+  residual_norm : float;
+  model : Model.t;
+}
+
+let path ?(threshold = 2.5) ?(max_stages = 10) ?max_selected g f =
+  let k = Mat.rows g and m = Mat.cols g in
+  if Array.length f <> k then invalid_arg "Stomp.path: response length mismatch";
+  if threshold <= 0. then invalid_arg "Stomp.path: threshold must be positive";
+  if max_stages <= 0 then invalid_arg "Stomp.path: max_stages must be positive";
+  let cap =
+    match max_selected with
+    | None -> min k m
+    | Some c ->
+        if c <= 0 || c > min k m then
+          invalid_arg "Stomp.path: max_selected outside (0, min(K, M)]";
+        c
+  in
+  let norms = Polybasis.Design.column_norms g in
+  let selected = Array.make m false in
+  let support = Array.make cap 0 in
+  let rhs = Array.make cap 0. in
+  let chol = Cholesky.Grow.create cap in
+  let n_sel = ref 0 in
+  let res = Array.copy f in
+  let steps = ref [] in
+  let stop = ref false in
+  let stage = ref 0 in
+  while (not !stop) && !stage < max_stages do
+    incr stage;
+    let res_norm = Vec.nrm2 res in
+    if res_norm <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
+    else begin
+      (* Donoho's threshold: admit columns whose normalized correlation
+         exceeds t times the per-column noise level sigma = ||Res||/sqrt K. *)
+      let thr = threshold *. res_norm /. sqrt (float_of_int k) in
+      let candidates = ref [] in
+      for j = 0 to m - 1 do
+        if (not selected.(j)) && norms.(j) > 0. then begin
+          let c = Float.abs (Mat.col_dot g j res) /. norms.(j) in
+          if c > thr then candidates := (c, j) :: !candidates
+        end
+      done;
+      let cands =
+        List.sort (fun (a, _) (b, _) -> compare b a) !candidates
+      in
+      if cands = [] then stop := true
+      else begin
+        let added = ref [] in
+        List.iter
+          (fun (_, j) ->
+            if !n_sel < cap then begin
+              let cross =
+                Array.init !n_sel (fun q ->
+                    let jq = support.(q) in
+                    let acc = ref 0. in
+                    for i = 0 to k - 1 do
+                      acc := !acc +. (Mat.unsafe_get g i jq *. Mat.unsafe_get g i j)
+                    done;
+                    !acc)
+              in
+              let diag =
+                let acc = ref 0. in
+                for i = 0 to k - 1 do
+                  let v = Mat.unsafe_get g i j in
+                  acc := !acc +. (v *. v)
+                done;
+                !acc
+              in
+              match Cholesky.Grow.append chol cross diag with
+              | () ->
+                  support.(!n_sel) <- j;
+                  rhs.(!n_sel) <- Mat.col_dot g j f;
+                  selected.(j) <- true;
+                  incr n_sel;
+                  added := j :: !added
+              | exception Cholesky.Not_positive_definite _ ->
+                  (* Dependent on the current selection: skip. *)
+                  ()
+            end)
+          cands;
+        if !added = [] then stop := true
+        else begin
+          (* Re-fit all selected coefficients, recompute the residual. *)
+          let sub = Array.sub support 0 !n_sel in
+          let coeffs = Cholesky.Grow.solve chol (Array.sub rhs 0 !n_sel) in
+          let new_res = Lstsq.residual_subset g sub coeffs f in
+          Array.blit new_res 0 res 0 k;
+          let model =
+            Model.make ~basis_size:m ~support:(Array.copy sub) ~coeffs
+          in
+          steps :=
+            {
+              added = Array.of_list (List.rev !added);
+              threshold = thr;
+              residual_norm = Vec.nrm2 res;
+              model;
+            }
+            :: !steps;
+          if !n_sel >= cap then stop := true
+        end
+      end
+    end
+  done;
+  Array.of_list (List.rev !steps)
+
+let fit ?threshold ?max_stages ?max_selected g f =
+  let steps = path ?threshold ?max_stages ?max_selected g f in
+  if Array.length steps = 0 then
+    Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]
+  else steps.(Array.length steps - 1).model

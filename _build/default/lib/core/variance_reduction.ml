@@ -1,0 +1,99 @@
+open Linalg
+
+type cv_estimate = {
+  mean : float;
+  plain_mean : float;
+  std_error : float;
+  plain_std_error : float;
+  variance_reduction : float;
+}
+
+let control_variate_mean ?(samples = 500) sim_eval model basis rng =
+  if samples <= 1 then
+    invalid_arg "Variance_reduction.control_variate_mean: need at least 2 samples";
+  if Polybasis.Basis.size basis <> model.Model.basis_size then
+    invalid_arg "Variance_reduction.control_variate_mean: basis mismatch";
+  let n = Polybasis.Basis.dim basis in
+  let model_mean = Sensitivity.mean model basis in
+  let sim_vals = Array.make samples 0. in
+  let diff_vals = Array.make samples 0. in
+  for i = 0 to samples - 1 do
+    let dy = Randkit.Gaussian.vector rng n in
+    let s = sim_eval dy in
+    sim_vals.(i) <- s;
+    diff_vals.(i) <- s -. Model.predict_point model basis dy
+  done;
+  let fs = float_of_int samples in
+  let plain_mean = Stat.Descriptive.mean sim_vals in
+  let plain_var = Stat.Descriptive.variance sim_vals in
+  let diff_var = Stat.Descriptive.variance diff_vals in
+  {
+    mean = Stat.Descriptive.mean diff_vals +. model_mean;
+    plain_mean;
+    std_error = sqrt (diff_var /. fs);
+    plain_std_error = sqrt (plain_var /. fs);
+    variance_reduction =
+      (if diff_var > 0. then plain_var /. diff_var else Float.infinity);
+  }
+
+type is_estimate = {
+  probability : float;
+  std_error : float;
+  shift_norm : float;
+  effective_samples : float;
+}
+
+let importance_sampling_tail ?(samples = 2000) sim_eval model basis rng
+    ~threshold =
+  if samples <= 1 then
+    invalid_arg "Variance_reduction.importance_sampling_tail: need samples";
+  if Polybasis.Basis.size basis <> model.Model.basis_size then
+    invalid_arg "Variance_reduction.importance_sampling_tail: basis mismatch";
+  let n = Polybasis.Basis.dim basis in
+  (* Linear direction of the model: the steepest-ascent axis. *)
+  let lin = Array.make n 0. in
+  let mean0 = Sensitivity.mean model basis in
+  Array.iteri
+    (fun p j ->
+      let term = Polybasis.Basis.term basis j in
+      if Polybasis.Term.total_degree term = 1 then
+        let v = List.hd (Polybasis.Term.vars term) in
+        lin.(v) <- lin.(v) +. model.Model.coeffs.(p))
+    model.Model.support;
+  let norm = Vec.nrm2 lin in
+  if norm = 0. then
+    invalid_arg
+      "Variance_reduction.importance_sampling_tail: model has no linear part";
+  (* Shift so the proposal mean sits at the threshold along the model:
+     mean0 + k·norm = threshold → k = (t − mean0)/norm, capped. *)
+  let kshift =
+    Float.max 0. (Float.min ((threshold -. mean0) /. norm) 6.)
+  in
+  let shift = Array.map (fun a -> kshift *. a /. norm) lin in
+  (* Draw from N(shift, I); weight = φ(x)/φ(x − shift)
+     = exp(−xᵀs + ‖s‖²/2). *)
+  let acc = ref 0. and acc2 = ref 0. in
+  let wsum = ref 0. and w2sum = ref 0. in
+  let half_s2 = 0.5 *. Vec.nrm2_sq shift in
+  for _ = 1 to samples do
+    let x = Randkit.Gaussian.vector rng n in
+    Vec.axpy 1. shift x;
+    let log_w = -.Vec.dot x shift +. half_s2 in
+    let w = exp log_w in
+    wsum := !wsum +. w;
+    w2sum := !w2sum +. (w *. w);
+    if sim_eval x > threshold then begin
+      acc := !acc +. w;
+      acc2 := !acc2 +. (w *. w)
+    end
+  done;
+  let fs = float_of_int samples in
+  let p = !acc /. fs in
+  let var = Float.max 0. ((!acc2 /. fs) -. (p *. p)) /. fs in
+  {
+    probability = p;
+    std_error = sqrt var;
+    shift_norm = kshift;
+    effective_samples =
+      (if !w2sum > 0. then !wsum *. !wsum /. !w2sum else 0.);
+  }

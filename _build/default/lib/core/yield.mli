@@ -1,0 +1,55 @@
+(** Parametric-yield estimation from fitted performance models.
+
+    The downstream use of RSM the paper's introduction motivates: once
+    [f(ΔY)] is an analytic model, performance distributions and yield
+    come from cheap model evaluations instead of transistor-level
+    simulation. Three estimators:
+
+    - {!gaussian}: exact for {e}linear{i} models — a linear combination
+      of standard normals is N(α₀, Σα²).
+    - {!monte_carlo}: model Monte Carlo for any model (e.g. quadratic),
+      with a binomial standard error.
+    - {!monte_carlo_values}: the raw model samples, for histograms and
+      quantiles. *)
+
+type spec = { lower : float; upper : float }
+(** Acceptance window; use [neg_infinity]/[infinity] for one-sided
+    specs. *)
+
+val spec_both : lower:float -> upper:float -> spec
+
+val spec_min : float -> spec
+(** Lower-bounded spec ("gain ≥ 60 dB"). *)
+
+val spec_max : float -> spec
+(** Upper-bounded spec ("delay ≤ 1 ns"). *)
+
+val gaussian : Model.t -> Polybasis.Basis.t -> spec -> float
+(** Closed-form yield assuming the model is linear in the factors.
+    @raise Invalid_argument if the model contains any term of degree
+    ≥ 2 (the Gaussian assumption would be wrong — use
+    {!monte_carlo}). *)
+
+val monte_carlo_values :
+  ?samples:int -> Model.t -> Polybasis.Basis.t -> Randkit.Prng.t -> float array
+(** [samples] (default 10 000) model evaluations at fresh standard-normal
+    factor draws — each costs O(nnz), independent of the dictionary
+    size. *)
+
+val monte_carlo :
+  ?samples:int -> Model.t -> Polybasis.Basis.t -> Randkit.Prng.t -> spec ->
+  float * float
+(** [(yield, standard_error)] by model Monte Carlo. *)
+
+val passes : spec -> float -> bool
+
+val joint_monte_carlo :
+  ?samples:int -> (Model.t * spec) list -> Polybasis.Basis.t ->
+  Randkit.Prng.t -> float * float
+(** [(yield, standard_error)] of meeting {e}every{i} spec
+    simultaneously, with all models evaluated at the {e}same{i} factor
+    draws — the correlations between metrics (e.g. gain and bandwidth
+    both ride on gm1) are captured automatically because the models
+    share factors. Multiplying marginal yields would ignore them.
+    @raise Invalid_argument on an empty spec list or a model whose
+    basis size disagrees with the shared basis. *)

@@ -1,0 +1,73 @@
+exception Not_positive_definite of int
+
+let factor a =
+  if Mat.rows a <> Mat.cols a then invalid_arg "Cholesky.factor: not square";
+  let n = Mat.rows a in
+  let l = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Mat.unsafe_get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.unsafe_get l i k *. Mat.unsafe_get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0. then raise (Not_positive_definite i);
+        Mat.unsafe_set l i i (sqrt !acc)
+      end
+      else Mat.unsafe_set l i j (!acc /. Mat.unsafe_get l j j)
+    done
+  done;
+  l
+
+let solve l b =
+  let y = Tri.solve_lower l b in
+  Tri.solve_lower_transposed l y
+
+let spd_solve a b = solve (factor a) b
+
+let log_det l =
+  let n = Mat.rows l in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Mat.unsafe_get l i i)
+  done;
+  2. *. !acc
+
+module Grow = struct
+  type t = { mutable k : int; cap : int; l : Mat.t }
+
+  let create cap =
+    if cap <= 0 then invalid_arg "Cholesky.Grow.create: capacity must be positive";
+    { k = 0; cap; l = Mat.create cap cap }
+
+  let size g = g.k
+
+  let append g v d =
+    if g.k >= g.cap then invalid_arg "Cholesky.Grow.append: capacity exceeded";
+    if Array.length v <> g.k then
+      invalid_arg "Cholesky.Grow.append: off-diagonal block length mismatch";
+    let k = g.k in
+    (* New row w of L solves L_k · w = v; new diagonal is sqrt(d − ‖w‖²). *)
+    let w = Tri.solve_lower_sub g.l k v in
+    let s = ref d in
+    for j = 0 to k - 1 do
+      Mat.unsafe_set g.l k j w.(j);
+      s := !s -. (w.(j) *. w.(j))
+    done;
+    if !s <= 0. then raise (Not_positive_definite k);
+    Mat.unsafe_set g.l k k (sqrt !s);
+    g.k <- k + 1
+
+  let solve g b =
+    if Array.length b <> g.k then
+      invalid_arg "Cholesky.Grow.solve: right-hand side length mismatch";
+    let y = Tri.solve_lower_sub g.l g.k b in
+    Tri.solve_lower_transposed_sub g.l g.k y
+
+  let remove_last g =
+    if g.k = 0 then invalid_arg "Cholesky.Grow.remove_last: empty factor";
+    g.k <- g.k - 1
+
+  let factor_copy g =
+    Mat.init g.k g.k (fun i j -> if j <= i then Mat.unsafe_get g.l i j else 0.)
+end

@@ -1,0 +1,72 @@
+type decomposition = { values : Vec.t; vectors : Mat.t }
+
+let off_diagonal_norm a =
+  let n = Mat.rows a in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = Mat.unsafe_get a i j in
+      acc := !acc +. (2. *. v *. v)
+    done
+  done;
+  sqrt !acc
+
+let symmetric ?(max_sweeps = 64) ?(tol = 1e-12) a0 =
+  if Mat.rows a0 <> Mat.cols a0 then invalid_arg "Eigen.symmetric: not square";
+  let scale = Float.max (Mat.max_abs a0) 1e-300 in
+  if not (Mat.is_symmetric ~tol:(1e-8 *. scale) a0) then
+    invalid_arg "Eigen.symmetric: matrix is not symmetric";
+  let n = Mat.rows a0 in
+  let a = Mat.copy a0 in
+  let v = Mat.identity n in
+  let fro = Float.max (Mat.frobenius a0) 1e-300 in
+  let sweep = ref 0 in
+  while off_diagonal_norm a > tol *. fro && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.unsafe_get a p q in
+        if Float.abs apq > 1e-300 then begin
+          let app = Mat.unsafe_get a p p and aqq = Mat.unsafe_get a q q in
+          (* Stable rotation angle computation (Golub & Van Loan 8.4). *)
+          let theta = (aqq -. app) /. (2. *. apq) in
+          let t =
+            let s = if theta >= 0. then 1. else -1. in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = t *. c in
+          (* Rotate rows/columns p and q of A. *)
+          for k = 0 to n - 1 do
+            let akp = Mat.unsafe_get a k p and akq = Mat.unsafe_get a k q in
+            Mat.unsafe_set a k p ((c *. akp) -. (s *. akq));
+            Mat.unsafe_set a k q ((s *. akp) +. (c *. akq))
+          done;
+          for k = 0 to n - 1 do
+            let apk = Mat.unsafe_get a p k and aqk = Mat.unsafe_get a q k in
+            Mat.unsafe_set a p k ((c *. apk) -. (s *. aqk));
+            Mat.unsafe_set a q k ((s *. apk) +. (c *. aqk))
+          done;
+          (* Accumulate the rotation into V. *)
+          for k = 0 to n - 1 do
+            let vkp = Mat.unsafe_get v k p and vkq = Mat.unsafe_get v k q in
+            Mat.unsafe_set v k p ((c *. vkp) -. (s *. vkq));
+            Mat.unsafe_set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  let order = Array.init n (fun i -> i) in
+  let diag = Array.init n (fun i -> Mat.unsafe_get a i i) in
+  Array.sort (fun i j -> compare diag.(j) diag.(i)) order;
+  let values = Array.map (fun i -> diag.(i)) order in
+  let vectors = Mat.init n n (fun i j -> Mat.unsafe_get v i order.(j)) in
+  { values; vectors }
+
+let reconstruct d =
+  let n = Array.length d.values in
+  let scaled =
+    Mat.init n n (fun i j -> Mat.unsafe_get d.vectors i j *. d.values.(j))
+  in
+  Mat.mul scaled (Mat.transpose d.vectors)

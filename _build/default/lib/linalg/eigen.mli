@@ -1,0 +1,25 @@
+(** Symmetric eigendecomposition by the cyclic Jacobi method.
+
+    Used by the PCA substrate to extract independent variation factors
+    from a correlated process-parameter covariance matrix. Jacobi is
+    O(n³) per sweep but robust, simple, and more than fast enough for the
+    covariance block sizes that arise here (PCA is applied per correlated
+    group, not to the full 10⁴-dimensional space). *)
+
+type decomposition = {
+  values : Vec.t;  (** Eigenvalues, sorted in decreasing order. *)
+  vectors : Mat.t;
+      (** Column [j] is the unit eigenvector for [values.(j)];
+          [A = V·diag(values)·Vᵀ]. *)
+}
+
+val symmetric : ?max_sweeps:int -> ?tol:float -> Mat.t -> decomposition
+(** [symmetric a] decomposes the symmetric matrix [a].
+    @param max_sweeps iteration cap (default 64).
+    @param tol off-diagonal convergence threshold relative to the
+    Frobenius norm (default 1e-12).
+    @raise Invalid_argument if [a] is not square or not symmetric to
+    within [1e-8] relative tolerance. *)
+
+val reconstruct : decomposition -> Mat.t
+(** [reconstruct d] is [V·diag(values)·Vᵀ] (for testing). *)

@@ -1,0 +1,38 @@
+type method_ = Qr | Normal
+
+let solve ?(method_ = Qr) a b =
+  if Mat.rows a < Mat.cols a then
+    invalid_arg "Lstsq.solve: system is underdetermined (rows < cols)";
+  if Array.length b <> Mat.rows a then
+    invalid_arg "Lstsq.solve: right-hand side length mismatch";
+  match method_ with
+  | Qr -> Qr.lstsq a b
+  | Normal ->
+      let g = Mat.gram a in
+      let rhs = Mat.tmulv a b in
+      Cholesky.spd_solve g rhs
+
+let solve_subset a idx b =
+  if Array.length b <> Mat.rows a then
+    invalid_arg "Lstsq.solve_subset: right-hand side length mismatch";
+  let g = Mat.cols_gram a idx in
+  let rhs = Array.map (fun j -> Mat.col_dot a j b) idx in
+  Cholesky.spd_solve g rhs
+
+let residual a x b =
+  let ax = Mat.mulv a x in
+  Vec.sub b ax
+
+let residual_subset a idx x b =
+  if Array.length idx <> Array.length x then
+    invalid_arg "Lstsq.residual_subset: support/coefficient length mismatch";
+  let res = Array.copy b in
+  let k = Mat.rows a in
+  for p = 0 to Array.length idx - 1 do
+    let j = idx.(p) and c = x.(p) in
+    if c <> 0. then
+      for i = 0 to k - 1 do
+        res.(i) <- res.(i) -. (c *. Mat.unsafe_get a i j)
+      done
+  done;
+  res

@@ -1,0 +1,26 @@
+(** Least-squares front-end.
+
+    Solves [argmin ‖A·x − b‖₂] for over-determined systems, choosing
+    between the QR route (robust; default) and the normal-equations route
+    (faster for very tall, well-conditioned matrices — one [n×n] Cholesky
+    after a Gram product). The greedy solvers in [lib/core] use the
+    column-subset variants to re-fit coefficients on a selected support. *)
+
+type method_ = Qr | Normal
+
+val solve : ?method_:method_ -> Mat.t -> Vec.t -> Vec.t
+(** [solve a b] is the least-squares solution. Default method [Qr].
+    @raise Invalid_argument when [a] has more columns than rows. *)
+
+val solve_subset : Mat.t -> int array -> Vec.t -> Vec.t
+(** [solve_subset a idx b] solves the least-squares problem restricted to
+    the columns of [a] listed in [idx], by normal equations on the small
+    Gram matrix (the subset is assumed small relative to the sample
+    count, as in OMP's Step 6). Returns the coefficients in [idx] order. *)
+
+val residual : Mat.t -> Vec.t -> Vec.t -> Vec.t
+(** [residual a x b] is [b − A·x]. *)
+
+val residual_subset : Mat.t -> int array -> Vec.t -> Vec.t -> Vec.t
+(** [residual_subset a idx x b] is [b − A₍idx₎·x] without materializing
+    the column subset. *)

@@ -1,0 +1,88 @@
+exception Singular of int
+
+(* Compact storage: L (unit diagonal, below) and U (on and above the
+   diagonal) share one matrix; [perm] records row exchanges; [sign] the
+   permutation parity. *)
+type t = { lu : Mat.t; perm : int array; sign : float }
+
+let factor a =
+  if Mat.rows a <> Mat.cols a then invalid_arg "Lu.factor: not square";
+  let n = Mat.rows a in
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivot: largest magnitude in column k at or below row k. *)
+    let pivot = ref k and best = ref (Float.abs (Mat.unsafe_get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Mat.unsafe_get lu i k) in
+      if v > !best then begin
+        pivot := i;
+        best := v
+      end
+    done;
+    if !best < 1e-300 then raise (Singular k);
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.unsafe_get lu k j in
+        Mat.unsafe_set lu k j (Mat.unsafe_get lu !pivot j);
+        Mat.unsafe_set lu !pivot j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tmp;
+      sign := -. !sign
+    end;
+    let ukk = Mat.unsafe_get lu k k in
+    for i = k + 1 to n - 1 do
+      let lik = Mat.unsafe_get lu i k /. ukk in
+      Mat.unsafe_set lu i k lik;
+      if lik <> 0. then
+        for j = k + 1 to n - 1 do
+          Mat.unsafe_set lu i j
+            (Mat.unsafe_get lu i j -. (lik *. Mat.unsafe_get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve f b =
+  let n = Mat.rows f.lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: length mismatch";
+  (* Apply permutation, then unit-lower forward then upper backward. *)
+  let x = Array.init n (fun i -> b.(f.perm.(i))) in
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.unsafe_get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.unsafe_get f.lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Mat.unsafe_get f.lu i i
+  done;
+  x
+
+let solve_many f b =
+  if Mat.rows b <> Mat.rows f.lu then invalid_arg "Lu.solve_many: shape mismatch";
+  let out = Mat.create (Mat.rows b) (Mat.cols b) in
+  for j = 0 to Mat.cols b - 1 do
+    Mat.set_col out j (solve f (Mat.col b j))
+  done;
+  out
+
+let det f =
+  let n = Mat.rows f.lu in
+  let acc = ref f.sign in
+  for i = 0 to n - 1 do
+    acc := !acc *. Mat.unsafe_get f.lu i i
+  done;
+  !acc
+
+let inverse f = solve_many f (Mat.identity (Mat.rows f.lu))
+
+let lu_solve a b = solve (factor a) b

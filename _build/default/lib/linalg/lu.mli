@@ -1,0 +1,32 @@
+(** LU factorization with partial pivoting.
+
+    General square solves, determinants and inverses — the workhorse for
+    the non-symmetric systems that appear outside the least-squares path
+    (e.g. solving for equiangular directions against non-Gram matrices,
+    and test oracles for the other factorizations). *)
+
+type t
+(** Opaque factorization [P·A = L·U]. *)
+
+exception Singular of int
+(** Raised (with the pivot column) when no usable pivot exists. *)
+
+val factor : Mat.t -> t
+(** [factor a] factorizes the square matrix [a] with row partial
+    pivoting.
+    @raise Invalid_argument when [a] is not square.
+    @raise Singular when a pivot column is numerically zero. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve f b] solves [A·x = b]. *)
+
+val solve_many : t -> Mat.t -> Mat.t
+(** [solve_many f b] solves [A·X = B] column by column. *)
+
+val det : t -> float
+(** Determinant (sign includes the permutation parity). *)
+
+val inverse : t -> Mat.t
+
+val lu_solve : Mat.t -> Vec.t -> Vec.t
+(** [lu_solve a b] is [solve (factor a) b]. *)

@@ -1,0 +1,124 @@
+(* Householder QR with reflectors stored below the diagonal of the working
+   matrix and the scaling factors in [beta]. Column j's reflector is
+   v = [1; a(j+1..m-1, j)] with H = I − beta·v·vᵀ. *)
+
+type t = { m : int; n : int; a : Mat.t; beta : float array; rdiag : float array }
+
+let factor a0 =
+  let m = Mat.rows a0 and n = Mat.cols a0 in
+  if m < n then invalid_arg "Qr.factor: matrix has more columns than rows";
+  let a = Mat.copy a0 in
+  let beta = Array.make n 0. in
+  let rdiag = Array.make n 0. in
+  for j = 0 to n - 1 do
+    (* Norm of the column below (and including) the diagonal. *)
+    let scale = ref 0. in
+    for i = j to m - 1 do
+      scale := Float.max !scale (Float.abs (Mat.unsafe_get a i j))
+    done;
+    if !scale = 0. then begin
+      beta.(j) <- 0.;
+      rdiag.(j) <- 0.
+    end
+    else begin
+      let s = ref 0. in
+      for i = j to m - 1 do
+        let v = Mat.unsafe_get a i j /. !scale in
+        s := !s +. (v *. v)
+      done;
+      let normx = !scale *. sqrt !s in
+      let ajj = Mat.unsafe_get a j j in
+      let alpha = if ajj >= 0. then -.normx else normx in
+      (* v = x − alpha·e1, normalized so v(j) = 1. *)
+      let v0 = ajj -. alpha in
+      beta.(j) <- -.(v0 /. alpha);
+      rdiag.(j) <- alpha;
+      for i = j + 1 to m - 1 do
+        Mat.unsafe_set a i j (Mat.unsafe_get a i j /. v0)
+      done;
+      Mat.unsafe_set a j j alpha;
+      (* Apply H to the trailing columns. *)
+      for k = j + 1 to n - 1 do
+        let acc = ref (Mat.unsafe_get a j k) in
+        for i = j + 1 to m - 1 do
+          acc := !acc +. (Mat.unsafe_get a i j *. Mat.unsafe_get a i k)
+        done;
+        let t = beta.(j) *. !acc in
+        Mat.unsafe_set a j k (Mat.unsafe_get a j k -. t);
+        for i = j + 1 to m - 1 do
+          Mat.unsafe_set a i k
+            (Mat.unsafe_get a i k -. (t *. Mat.unsafe_get a i j))
+        done
+      done
+    end
+  done;
+  { m; n; a; beta; rdiag }
+
+let r f =
+  Mat.init f.n f.n (fun i j -> if j >= i then Mat.unsafe_get f.a i j else 0.)
+
+let apply_reflectors_transposed f b =
+  (* y ← Qᵀ·b by applying H_0, H_1, ... in order. *)
+  let y = Array.copy b in
+  for j = 0 to f.n - 1 do
+    if f.beta.(j) <> 0. then begin
+      let acc = ref y.(j) in
+      for i = j + 1 to f.m - 1 do
+        acc := !acc +. (Mat.unsafe_get f.a i j *. y.(i))
+      done;
+      let t = f.beta.(j) *. !acc in
+      y.(j) <- y.(j) -. t;
+      for i = j + 1 to f.m - 1 do
+        y.(i) <- y.(i) -. (t *. Mat.unsafe_get f.a i j)
+      done
+    end
+  done;
+  y
+
+let qt_apply f b =
+  if Array.length b <> f.m then invalid_arg "Qr.qt_apply: length mismatch";
+  Array.sub (apply_reflectors_transposed f b) 0 f.n
+
+let q f =
+  (* Materialize thin Q by applying reflectors to the identity columns:
+     Q·e_k = H_0·…·H_{n-1}·e_k applied in reverse order. *)
+  let qm = Mat.create f.m f.n in
+  for k = 0 to f.n - 1 do
+    let y = Array.make f.m 0. in
+    y.(k) <- 1.;
+    for j = f.n - 1 downto 0 do
+      if f.beta.(j) <> 0. then begin
+        let acc = ref y.(j) in
+        for i = j + 1 to f.m - 1 do
+          acc := !acc +. (Mat.unsafe_get f.a i j *. y.(i))
+        done;
+        let t = f.beta.(j) *. !acc in
+        y.(j) <- y.(j) -. t;
+        for i = j + 1 to f.m - 1 do
+          y.(i) <- y.(i) -. (t *. Mat.unsafe_get f.a i j)
+        done
+      end
+    done;
+    Mat.set_col qm k y
+  done;
+  qm
+
+let solve f b =
+  if Array.length b <> f.m then invalid_arg "Qr.solve: length mismatch";
+  let y = qt_apply f b in
+  (* Back substitution against the R stored in the upper triangle of a. *)
+  let x = Array.make f.n 0. in
+  for i = f.n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to f.n - 1 do
+      acc := !acc -. (Mat.unsafe_get f.a i j *. x.(j))
+    done;
+    let d = Mat.unsafe_get f.a i i in
+    if Float.abs d < 1e-300 then raise (Tri.Singular i);
+    x.(i) <- !acc /. d
+  done;
+  x
+
+let lstsq a b = solve (factor a) b
+
+let rank_revealing_diag f = Array.map Float.abs f.rdiag

@@ -1,0 +1,38 @@
+(** Householder QR factorization and QR-based least squares.
+
+    For a matrix [A] of shape [m×n] with [m ≥ n], [factor] computes the
+    compact factorization [A = Q·R] where [Q] has orthonormal columns
+    ([m×n]) and [R] is upper triangular ([n×n]). The factored form stores
+    the Householder reflectors in place; [q] and [r] materialize the
+    factors on demand.
+
+    QR is numerically safer than normal equations when the design matrix
+    is ill-conditioned (condition number enters once rather than
+    squared); the library uses it for the over-determined LS baseline. *)
+
+type t
+(** Opaque factorization of an [m×n] matrix ([m ≥ n]). *)
+
+val factor : Mat.t -> t
+(** [factor a] computes the Householder QR factorization.
+    @raise Invalid_argument when [a] has more columns than rows. *)
+
+val r : t -> Mat.t
+(** [r f] is the [n×n] upper-triangular factor. *)
+
+val q : t -> Mat.t
+(** [q f] is the [m×n] thin orthogonal factor (materialized). *)
+
+val qt_apply : t -> Vec.t -> Vec.t
+(** [qt_apply f b] is the first [n] entries of [Qᵀ·b], computed by applying
+    the stored reflectors (no [Q] materialization). *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve f b] is the least-squares solution [argmin ‖A·x − b‖₂].
+    @raise Tri.Singular when [A] is numerically rank-deficient. *)
+
+val lstsq : Mat.t -> Vec.t -> Vec.t
+(** [lstsq a b] is [solve (factor a) b]. *)
+
+val rank_revealing_diag : t -> Vec.t
+(** Diagonal of [R] in absolute value — a cheap rank/conditioning probe. *)

@@ -1,0 +1,113 @@
+type t = { u : Mat.t; sigma : Vec.t; v : Mat.t }
+
+(* One-sided Jacobi: rotate column pairs of the working matrix W (a copy
+   of A) until all pairs are orthogonal; then σ_j = ‖w_j‖, u_j = w_j/σ_j,
+   and V accumulates the rotations. *)
+let decompose ?(max_sweeps = 60) ?(tol = 1e-12) a =
+  let m = Mat.rows a and n = Mat.cols a in
+  if m < n then invalid_arg "Svd.decompose: more columns than rows";
+  let w = Mat.copy a in
+  let v = Mat.identity n in
+  let col_dot p q =
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      acc := !acc +. (Mat.unsafe_get w i p *. Mat.unsafe_get w i q)
+    done;
+    !acc
+  in
+  let rotate p q c s =
+    for i = 0 to m - 1 do
+      let wip = Mat.unsafe_get w i p and wiq = Mat.unsafe_get w i q in
+      Mat.unsafe_set w i p ((c *. wip) +. (s *. wiq));
+      Mat.unsafe_set w i q ((c *. wiq) -. (s *. wip))
+    done;
+    for i = 0 to n - 1 do
+      let vip = Mat.unsafe_get v i p and viq = Mat.unsafe_get v i q in
+      Mat.unsafe_set v i p ((c *. vip) +. (s *. viq));
+      Mat.unsafe_set v i q ((c *. viq) -. (s *. vip))
+    done
+  in
+  let converged = ref false and sweep = ref 0 in
+  while (not !converged) && !sweep < max_sweeps do
+    incr sweep;
+    let off = ref 0. in
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = col_dot p q in
+        let app = col_dot p p and aqq = col_dot q q in
+        let denom = sqrt (app *. aqq) in
+        if denom > 0. && Float.abs apq > tol *. denom then begin
+          off := Float.max !off (Float.abs apq /. denom);
+          (* Jacobi rotation zeroing the (p,q) entry of WᵀW. With the
+             rotation convention used in [rotate] (new_p = c·p + s·q,
+             new_q = c·q − s·p), the zeroing angle satisfies
+             (c² − s²)·a_pq = c·s·(a_pp − a_qq). *)
+          let theta = (app -. aqq) /. (2. *. apq) in
+          let t =
+            let sign = if theta >= 0. then 1. else -1. in
+            sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = c *. t in
+          rotate p q c s
+        end
+      done
+    done;
+    if !off <= tol then converged := true
+  done;
+  (* Extract singular values and left vectors; sort decreasing. *)
+  let sig_unsorted =
+    Array.init n (fun j ->
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          let x = Mat.unsafe_get w i j in
+          acc := !acc +. (x *. x)
+        done;
+        sqrt !acc)
+  in
+  let order = Array.init n (fun j -> j) in
+  Array.sort (fun a b -> compare sig_unsorted.(b) sig_unsorted.(a)) order;
+  let sigma = Array.map (fun j -> sig_unsorted.(j)) order in
+  let u =
+    Mat.init m n (fun i jj ->
+        let j = order.(jj) in
+        if sigma.(jj) > 0. then Mat.unsafe_get w i j /. sigma.(jj) else 0.)
+  in
+  let v_sorted = Mat.init n n (fun i jj -> Mat.unsafe_get v i order.(jj)) in
+  { u; sigma; v = v_sorted }
+
+let reconstruct { u; sigma; v } =
+  let n = Array.length sigma in
+  let us = Mat.init (Mat.rows u) n (fun i j -> Mat.unsafe_get u i j *. sigma.(j)) in
+  Mat.mul us (Mat.transpose v)
+
+let rank ?(tol = 1e-10) d =
+  if Array.length d.sigma = 0 then 0
+  else begin
+    let top = d.sigma.(0) in
+    let r = ref 0 in
+    Array.iter (fun s -> if s > tol *. top then incr r) d.sigma;
+    !r
+  end
+
+let condition_number d =
+  let n = Array.length d.sigma in
+  if n = 0 then 1.
+  else if d.sigma.(n - 1) = 0. then Float.infinity
+  else d.sigma.(0) /. d.sigma.(n - 1)
+
+let pseudo_inverse ?(tol = 1e-10) d =
+  let n = Array.length d.sigma in
+  let top = if n = 0 then 0. else d.sigma.(0) in
+  (* V·diag(σ⁺)·Uᵀ *)
+  let vs =
+    Mat.init n n (fun i j ->
+        if d.sigma.(j) > tol *. top then Mat.unsafe_get d.v i j /. d.sigma.(j)
+        else 0.)
+  in
+  Mat.mul vs (Mat.transpose d.u)
+
+let solve_min_norm ?tol d b =
+  if Array.length b <> Mat.rows d.u then
+    invalid_arg "Svd.solve_min_norm: right-hand side length mismatch";
+  Mat.mulv (pseudo_inverse ?tol d) b

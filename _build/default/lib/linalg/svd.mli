@@ -1,0 +1,39 @@
+(** Singular value decomposition by one-sided Jacobi.
+
+    For [A] of shape [m×n] ([m ≥ n]) computes the thin decomposition
+    [A = U·diag(σ)·Vᵀ] with [U] ([m×n]) having orthonormal columns,
+    [V] ([n×n]) orthogonal and [σ₁ ≥ … ≥ σₙ ≥ 0].
+
+    One-sided Jacobi orthogonalizes the columns of a working copy of
+    [A] by plane rotations — slower than bidiagonalization-based
+    methods but simple, accurate for small singular values, and without
+    external dependencies. Used for dictionary-conditioning analysis
+    (mutual coherence / RIP-style diagnostics of sampled Hermite
+    dictionaries) and the pseudo-inverse. *)
+
+type t = { u : Mat.t; sigma : Vec.t; v : Mat.t }
+
+val decompose : ?max_sweeps:int -> ?tol:float -> Mat.t -> t
+(** [decompose a] computes the thin SVD.
+    @param max_sweeps Jacobi sweep cap (default 60).
+    @param tol off-orthogonality threshold (default 1e-12).
+    @raise Invalid_argument when [a] has more columns than rows
+    (transpose first). *)
+
+val reconstruct : t -> Mat.t
+(** [U·diag(σ)·Vᵀ] (for tests). *)
+
+val rank : ?tol:float -> t -> int
+(** Number of singular values above [tol·σ₁] (default 1e-10). *)
+
+val condition_number : t -> float
+(** [σ₁/σₙ]; [infinity] when σₙ = 0. *)
+
+val pseudo_inverse : ?tol:float -> t -> Mat.t
+(** Moore–Penrose pseudo-inverse [V·diag(σ⁺)·Uᵀ], truncating singular
+    values below [tol·σ₁] (default 1e-10). *)
+
+val solve_min_norm : ?tol:float -> t -> Vec.t -> Vec.t
+(** [solve_min_norm f b] is the minimum-norm least-squares solution
+    [A⁺·b] — the L2 answer to the underdetermined problem, against
+    which the sparse solutions are contrasted. *)

@@ -1,0 +1,66 @@
+exception Singular of int
+
+let eps_pivot = 1e-300
+
+let check_square name a =
+  if Mat.rows a <> Mat.cols a then invalid_arg ("Tri." ^ name ^ ": not square")
+
+let check_rhs name n b =
+  if Array.length b <> n then
+    invalid_arg ("Tri." ^ name ^ ": right-hand side length mismatch")
+
+let solve_lower_sub l k b =
+  if k < 0 || k > Mat.rows l || k > Mat.cols l then
+    invalid_arg "Tri.solve_lower_sub: block size out of range";
+  check_rhs "solve_lower_sub" k b;
+  let x = Array.make k 0. in
+  for i = 0 to k - 1 do
+    let acc = ref b.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.unsafe_get l i j *. x.(j))
+    done;
+    let d = Mat.unsafe_get l i i in
+    if Float.abs d < eps_pivot then raise (Singular i);
+    x.(i) <- !acc /. d
+  done;
+  x
+
+let solve_lower_transposed_sub l k b =
+  if k < 0 || k > Mat.rows l || k > Mat.cols l then
+    invalid_arg "Tri.solve_lower_transposed_sub: block size out of range";
+  check_rhs "solve_lower_transposed_sub" k b;
+  let x = Array.make k 0. in
+  for i = k - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to k - 1 do
+      acc := !acc -. (Mat.unsafe_get l j i *. x.(j))
+    done;
+    let d = Mat.unsafe_get l i i in
+    if Float.abs d < eps_pivot then raise (Singular i);
+    x.(i) <- !acc /. d
+  done;
+  x
+
+let solve_lower l b =
+  check_square "solve_lower" l;
+  solve_lower_sub l (Mat.rows l) b
+
+let solve_lower_transposed l b =
+  check_square "solve_lower_transposed" l;
+  solve_lower_transposed_sub l (Mat.rows l) b
+
+let solve_upper u b =
+  check_square "solve_upper" u;
+  let n = Mat.rows u in
+  check_rhs "solve_upper" n b;
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.unsafe_get u i j *. x.(j))
+    done;
+    let d = Mat.unsafe_get u i i in
+    if Float.abs d < eps_pivot then raise (Singular i);
+    x.(i) <- !acc /. d
+  done;
+  x

@@ -1,0 +1,150 @@
+type t = float array
+
+let create n = Array.make n 0.
+
+let init = Array.init
+
+let copy = Array.copy
+
+let dim = Array.length
+
+let fill v c = Array.fill v 0 (Array.length v) c
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let check_same_dim name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length x) (Array.length y))
+
+let dot x y =
+  check_same_dim "dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let nrm2_sq x =
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. x.(i))
+  done;
+  !acc
+
+(* Scaled two-pass norm in the style of LAPACK's dnrm2: track the running
+   maximum magnitude and accumulate squares relative to it. *)
+let nrm2 x =
+  let scale = ref 0. and ssq = ref 1. in
+  for i = 0 to Array.length x - 1 do
+    let xi = Float.abs x.(i) in
+    if xi > 0. then
+      if !scale < xi then begin
+        ssq := 1. +. (!ssq *. (!scale /. xi) *. (!scale /. xi));
+        scale := xi
+      end
+      else ssq := !ssq +. ((xi /. !scale) *. (xi /. !scale))
+  done;
+  !scale *. sqrt !ssq
+
+let asum x =
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. Float.abs x.(i)
+  done;
+  !acc
+
+let norm0 ?(tol = 0.) x =
+  let n = ref 0 in
+  for i = 0 to Array.length x - 1 do
+    if Float.abs x.(i) > tol then incr n
+  done;
+  !n
+
+let amax x =
+  if Array.length x = 0 then invalid_arg "Vec.amax: empty vector";
+  let best = ref 0 and best_v = ref (Float.abs x.(0)) in
+  for i = 1 to Array.length x - 1 do
+    let v = Float.abs x.(i) in
+    if v > !best_v then begin
+      best := i;
+      best_v := v
+    end
+  done;
+  !best
+
+let scal a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let axpy a x y =
+  check_same_dim "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let add x y =
+  check_same_dim "add" x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_same_dim "sub" x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let smul a x = Array.map (fun xi -> a *. xi) x
+
+let neg x = Array.map Float.neg x
+
+let map = Array.map
+
+let map2 f x y =
+  check_same_dim "map2" x y;
+  Array.init (Array.length x) (fun i -> f x.(i) y.(i))
+
+let sum x =
+  (* Kahan compensated summation: keeps the error independent of length. *)
+  let s = ref 0. and c = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let y = x.(i) -. !c in
+    let t = !s +. y in
+    c := t -. !s -. y;
+    s := t
+  done;
+  !s
+
+let mean x =
+  if Array.length x = 0 then invalid_arg "Vec.mean: empty vector";
+  sum x /. float_of_int (Array.length x)
+
+let dist2 x y =
+  check_same_dim "dist2" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let approx_equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length x - 1 do
+    if Float.abs (x.(i) -. y.(i)) > tol then ok := false
+  done;
+  !ok
+
+let pp fmt v =
+  let n = Array.length v in
+  Format.fprintf fmt "[";
+  let shown = min n 8 in
+  for i = 0 to shown - 1 do
+    if i > 0 then Format.fprintf fmt "; ";
+    Format.fprintf fmt "%g" v.(i)
+  done;
+  if n > shown then Format.fprintf fmt "; ... (%d total)" n;
+  Format.fprintf fmt "]"

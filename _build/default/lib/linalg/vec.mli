@@ -1,0 +1,86 @@
+(** Dense vectors of floats.
+
+    A vector is a plain [float array]; this module collects the numerical
+    kernels used throughout the library (BLAS level-1 style operations).
+    All binary operations require equal lengths and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a fresh zero vector of length [n]. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [| f 0; f 1; ...; f (n-1) |]. *)
+
+val copy : t -> t
+(** [copy v] is a fresh copy of [v]. *)
+
+val dim : t -> int
+(** [dim v] is the length of [v]. *)
+
+val fill : t -> float -> unit
+(** [fill v c] sets every entry of [v] to [c]. *)
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val dot : t -> t -> float
+(** [dot x y] is the inner product [Σ xᵢ·yᵢ]. *)
+
+val nrm2 : t -> float
+(** [nrm2 x] is the Euclidean norm [‖x‖₂], computed with scaling to
+    avoid premature overflow/underflow. *)
+
+val nrm2_sq : t -> float
+(** [nrm2_sq x] is [‖x‖₂²] (no scaling; fine for well-ranged data). *)
+
+val asum : t -> float
+(** [asum x] is the L1 norm [Σ |xᵢ|]. *)
+
+val norm0 : ?tol:float -> t -> int
+(** [norm0 ?tol x] counts entries with [|xᵢ| > tol] (default [tol = 0.]);
+    the "L0 norm" of the paper's sparsity constraint. *)
+
+val amax : t -> int
+(** [amax x] is the index of the entry with largest absolute value.
+    Raises [Invalid_argument] on the empty vector. *)
+
+val scal : float -> t -> unit
+(** [scal a x] scales [x] in place: [x ← a·x]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] updates [y ← a·x + y] in place. *)
+
+val add : t -> t -> t
+(** [add x y] is the fresh vector [x + y]. *)
+
+val sub : t -> t -> t
+(** [sub x y] is the fresh vector [x − y]. *)
+
+val smul : float -> t -> t
+(** [smul a x] is the fresh vector [a·x]. *)
+
+val neg : t -> t
+(** [neg x] is [−x], fresh. *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val sum : t -> float
+(** [sum x] is [Σ xᵢ] using Kahan compensated summation. *)
+
+val mean : t -> float
+(** [mean x] is the arithmetic mean. Raises on the empty vector. *)
+
+val dist2 : t -> t -> float
+(** [dist2 x y] is [‖x − y‖₂]. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** [approx_equal ?tol x y] holds when the vectors have equal length and
+    every entry differs by at most [tol] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer: [[1.; 2.; 3.]] style, abbreviated beyond 8 entries. *)

@@ -1,0 +1,1 @@
+lib/polybasis/basis.ml: Array Format Hashtbl List Term

@@ -1,0 +1,1 @@
+lib/polybasis/basis.mli: Format Linalg Term

@@ -1,0 +1,1 @@
+lib/polybasis/design.ml: Array Basis Linalg Mat Term

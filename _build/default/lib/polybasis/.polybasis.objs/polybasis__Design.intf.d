@@ -1,0 +1,1 @@
+lib/polybasis/design.mli: Basis Linalg

@@ -1,0 +1,1 @@
+lib/polybasis/term.ml: Array Format Hashtbl Hermite List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/polybasis/term.mli: Format Linalg

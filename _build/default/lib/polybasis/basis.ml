@@ -1,0 +1,150 @@
+type t = { dim : int; terms : Term.t array }
+
+let create dim terms =
+  if dim < 0 then invalid_arg "Basis.create: negative dimension";
+  Array.iter
+    (fun t ->
+      if Term.max_var t >= dim then
+        invalid_arg "Basis.create: term variable exceeds dimension")
+    terms;
+  { dim; terms }
+
+let size b = Array.length b.terms
+
+let dim b = b.dim
+
+let term b m =
+  if m < 0 || m >= Array.length b.terms then
+    invalid_arg "Basis.term: index out of range";
+  b.terms.(m)
+
+let constant_linear n =
+  if n < 0 then invalid_arg "Basis.constant_linear: negative dimension";
+  let terms =
+    Array.init (n + 1) (fun m -> if m = 0 then Term.constant else Term.linear (m - 1))
+  in
+  { dim = n; terms }
+
+let linear_only n =
+  if n < 0 then invalid_arg "Basis.linear_only: negative dimension";
+  { dim = n; terms = Array.init n Term.linear }
+
+let quadratic_size n = 1 + (2 * n) + (n * (n - 1) / 2)
+
+let quadratic_over dim vars =
+  let n = Array.length vars in
+  let m = quadratic_size n in
+  let terms = Array.make m Term.constant in
+  let k = ref 1 in
+  Array.iter
+    (fun v ->
+      terms.(!k) <- Term.linear v;
+      incr k)
+    vars;
+  Array.iter
+    (fun v ->
+      terms.(!k) <- Term.square v;
+      incr k)
+    vars;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      terms.(!k) <- Term.cross vars.(i) vars.(j);
+      incr k
+    done
+  done;
+  { dim; terms }
+
+let quadratic n =
+  if n < 0 then invalid_arg "Basis.quadratic: negative dimension";
+  quadratic_over n (Array.init n (fun i -> i))
+
+let quadratic_subset ~dim vars =
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= dim then
+        invalid_arg "Basis.quadratic_subset: variable out of range")
+    vars;
+  let seen = Hashtbl.create (Array.length vars) in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then
+        invalid_arg "Basis.quadratic_subset: duplicate variable";
+      Hashtbl.add seen v ())
+    vars;
+  quadratic_over dim vars
+
+let total_degree n d =
+  if n <= 0 then invalid_arg "Basis.total_degree: dimension must be positive";
+  if d < 0 then invalid_arg "Basis.total_degree: negative degree";
+  (* Enumerate multi-indices of total degree ≤ d recursively. *)
+  let acc = ref [] in
+  let rec go var remaining current =
+    if var = n then acc := Term.make current :: !acc
+    else
+      for deg = 0 to remaining do
+        go (var + 1) (remaining - deg)
+          (if deg > 0 then (var, deg) :: current else current)
+      done
+  in
+  go 0 d [];
+  let terms = Array.of_list !acc in
+  Array.sort Term.compare terms;
+  { dim = n; terms }
+
+let embed b vars ~dim =
+  if Array.length vars <> b.dim then
+    invalid_arg "Basis.embed: variable map length must equal the basis dimension";
+  let seen = Hashtbl.create (Array.length vars) in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= dim then invalid_arg "Basis.embed: target out of range";
+      if Hashtbl.mem seen v then invalid_arg "Basis.embed: duplicate target";
+      Hashtbl.add seen v ())
+    vars;
+  let terms =
+    Array.map
+      (fun t ->
+        Term.make (List.map (fun (v, d) -> (vars.(v), d)) (Array.to_list t)))
+      b.terms
+  in
+  { dim; terms }
+
+let max_degree b =
+  Array.fold_left (fun acc t -> max acc (Term.total_degree t)) 0 b.terms
+
+(* Per-variable Hermite tables shared across terms: tbl.(v).(d) = g_d(dy.(v)).
+   [fill_tables] reuses a caller-allocated table to keep the design-matrix
+   builder allocation-free per row. *)
+let fill_tables b tbl dy =
+  let maxd = Array.length tbl.(0) - 1 in
+  for v = 0 to b.dim - 1 do
+    let y = dy.(v) in
+    let row = tbl.(v) in
+    row.(0) <- 1.;
+    if maxd >= 1 then row.(1) <- y;
+    for k = 1 to maxd - 1 do
+      let fk = float_of_int k in
+      row.(k + 1) <- ((y *. row.(k)) -. (sqrt fk *. row.(k - 1))) /. sqrt (fk +. 1.)
+    done
+  done
+
+let make_tables b = Array.init b.dim (fun _ -> Array.make (max_degree b + 1) 0.)
+
+let eval_point b dy =
+  if Array.length dy <> b.dim then
+    invalid_arg "Basis.eval_point: point dimension mismatch";
+  if b.dim = 0 then Array.map (fun t -> Term.eval t dy) b.terms
+  else begin
+    let tbl = make_tables b in
+    fill_tables b tbl dy;
+    Array.map (fun t -> Term.eval_tables t tbl) b.terms
+  end
+
+let pp fmt b =
+  Format.fprintf fmt "@[<v>basis: %d functions over %d variables@," (size b) b.dim;
+  let shown = min (size b) 12 in
+  for m = 0 to shown - 1 do
+    Format.fprintf fmt "  g%d = %s@," m (Term.to_string b.terms.(m))
+  done;
+  if size b > shown then Format.fprintf fmt "  ...@,";
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+open Linalg
+
+let matrix_rows b samples =
+  let k = Array.length samples in
+  let m = Basis.size b in
+  let g = Mat.create k m in
+  if k > 0 then begin
+    Array.iter
+      (fun s ->
+        if Array.length s <> Basis.dim b then
+          invalid_arg "Design.matrix_rows: sample dimension mismatch")
+      samples;
+    if Basis.dim b = 0 then
+      for i = 0 to k - 1 do
+        for j = 0 to m - 1 do
+          Mat.unsafe_set g i j (Term.eval (Basis.term b j) samples.(i))
+        done
+      done
+    else begin
+      let tbl = Basis.make_tables b in
+      for i = 0 to k - 1 do
+        Basis.fill_tables b tbl samples.(i);
+        for j = 0 to m - 1 do
+          Mat.unsafe_set g i j (Term.eval_tables (Basis.term b j) tbl)
+        done
+      done
+    end
+  end;
+  g
+
+let matrix b samples =
+  if Mat.cols samples <> Basis.dim b then
+    invalid_arg "Design.matrix: sample dimension mismatch";
+  matrix_rows b (Array.init (Mat.rows samples) (fun i -> Mat.row samples i))
+
+let row = Basis.eval_point
+
+let column_norms g =
+  let k = Mat.rows g and m = Mat.cols g in
+  let out = Array.make m 0. in
+  for i = 0 to k - 1 do
+    for j = 0 to m - 1 do
+      let v = Mat.unsafe_get g i j in
+      out.(j) <- out.(j) +. (v *. v)
+    done
+  done;
+  Array.map sqrt out

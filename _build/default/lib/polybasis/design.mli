@@ -1,0 +1,21 @@
+(** Design-matrix assembly.
+
+    Builds the matrix [G] of eq. (6)–(8): [G(k, m) = g_m(ΔY^{(k)})] for
+    [K] sample rows and [M] basis functions. This is the object every
+    solver consumes; for the paper's large cases it is the dominant
+    memory cost (e.g. 1000 × 21 311 ≈ 170 MB), so rows are filled in
+    place from reusable per-variable Hermite tables. *)
+
+val matrix : Basis.t -> Linalg.Mat.t -> Linalg.Mat.t
+(** [matrix b samples] for [samples] of shape [K×N] is the [K×M] design
+    matrix. @raise Invalid_argument when [N ≠ Basis.dim b]. *)
+
+val matrix_rows : Basis.t -> Linalg.Vec.t array -> Linalg.Mat.t
+(** Same, from an array of sample vectors. *)
+
+val row : Basis.t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [row b dy] is one design row (alias of [Basis.eval_point]). *)
+
+val column_norms : Linalg.Mat.t -> Linalg.Vec.t
+(** Euclidean norm of every column — used to sanity-check conditioning
+    of the sampled dictionary. *)

@@ -1,0 +1,56 @@
+let check n = if n < 0 then invalid_arg "Hermite: negative degree"
+
+(* Normalized recurrence: g_{n+1}(y) = (y·g_n(y) − √n·g_{n-1}(y)) / √(n+1).
+   Follows from He_{n+1} = y·He_n − n·He_{n-1} and g_n = He_n/√(n!). *)
+let eval n y =
+  check n;
+  if n = 0 then 1.
+  else begin
+    let prev = ref 1. and cur = ref y in
+    for k = 1 to n - 1 do
+      let fk = float_of_int k in
+      let next = ((y *. !cur) -. (sqrt fk *. !prev)) /. sqrt (fk +. 1.) in
+      prev := !cur;
+      cur := next
+    done;
+    !cur
+  end
+
+let eval_all n y =
+  check n;
+  let out = Array.make (n + 1) 1. in
+  if n >= 1 then out.(1) <- y;
+  for k = 1 to n - 1 do
+    let fk = float_of_int k in
+    out.(k + 1) <- ((y *. out.(k)) -. (sqrt fk *. out.(k - 1))) /. sqrt (fk +. 1.)
+  done;
+  out
+
+let unnormalized n y =
+  check n;
+  if n = 0 then 1.
+  else begin
+    let prev = ref 1. and cur = ref y in
+    for k = 1 to n - 1 do
+      let next = (y *. !cur) -. (float_of_int k *. !prev) in
+      prev := !cur;
+      cur := next
+    done;
+    !cur
+  end
+
+let coefficients n =
+  check n;
+  (* He_{k+1} = y·He_k − k·He_{k-1}, carried on coefficient vectors. *)
+  let rec go k prev cur =
+    if k = n then cur
+    else begin
+      let next = Array.make (k + 2) 0. in
+      Array.iteri (fun i c -> next.(i + 1) <- next.(i + 1) +. c) cur;
+      Array.iteri
+        (fun i c -> next.(i) <- next.(i) -. (float_of_int k *. c))
+        prev;
+      go (k + 1) cur next
+    end
+  in
+  if n = 0 then [| 1. |] else go 1 [| 1. |] [| 0.; 1. |]

@@ -1,0 +1,58 @@
+(** Multi-index monomial terms over the independent factors ΔY.
+
+    A term is a sparse multi-index: a sorted array of
+    [(variable, degree)] pairs with strictly increasing variable indices
+    and strictly positive degrees. The associated basis function is the
+    product of normalized 1-D Hermite polynomials
+    [g_T(ΔY) = Π g_{d_v}(Δy_v)], which keeps the multi-dimensional family
+    orthonormal under the independent standard-normal measure
+    (eq. (2) and (4) of the paper). The constant term is the empty
+    array. *)
+
+type t = (int * int) array
+
+val constant : t
+
+val linear : int -> t
+(** [linear v] is the term [Δy_v]. *)
+
+val square : int -> t
+(** [square v] is the degree-2 term in variable [v]
+    (basis function [(Δy_v² − 1)/√2]). *)
+
+val cross : int -> int -> t
+(** [cross u v] is the term [Δy_u·Δy_v], [u ≠ v] (order-insensitive).
+    @raise Invalid_argument when [u = v]. *)
+
+val make : (int * int) list -> t
+(** [make pairs] normalizes an association list of (variable, degree):
+    merges duplicate variables, drops zero degrees, sorts.
+    @raise Invalid_argument on negative variables or degrees. *)
+
+val total_degree : t -> int
+(** Sum of degrees (0 for the constant term). *)
+
+val max_var : t -> int
+(** Largest variable index, or [-1] for the constant term. *)
+
+val vars : t -> int list
+
+val eval : t -> Linalg.Vec.t -> float
+(** [eval t dy] is [Π g_{d_v}(dy.(v))]. *)
+
+val eval_tables : t -> float array array -> float
+(** [eval_tables t tbl] evaluates using precomputed per-variable Hermite
+    tables: [tbl.(v).(d) = g_d(dy.(v))]. Used by the design-matrix
+    builder to avoid recomputing Hermite values term by term. *)
+
+val compare : t -> t -> int
+(** Graded ordering: by total degree first, then lexicographic — so the
+    constant sorts first, then linear terms in variable order, then
+    degree-2 terms. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** E.g. ["1"], ["y3"], ["y1*y7"], ["y2^2"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/randkit/gaussian.ml: Array Linalg Prng

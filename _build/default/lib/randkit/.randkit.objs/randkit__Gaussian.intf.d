@@ -1,0 +1,1 @@
+lib/randkit/gaussian.mli: Linalg Prng

@@ -1,0 +1,1 @@
+lib/randkit/lhs.ml: Array Float Prng

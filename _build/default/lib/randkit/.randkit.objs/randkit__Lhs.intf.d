@@ -1,0 +1,1 @@
+lib/randkit/lhs.mli: Linalg Prng

@@ -1,0 +1,1 @@
+lib/randkit/mvn.ml: Array Cholesky Gaussian Linalg Mat

@@ -1,0 +1,1 @@
+lib/randkit/mvn.mli: Linalg Prng

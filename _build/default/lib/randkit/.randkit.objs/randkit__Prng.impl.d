@@ -1,0 +1,1 @@
+lib/randkit/prng.ml: Array Int64

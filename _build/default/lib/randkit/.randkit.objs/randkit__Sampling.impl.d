@@ -1,0 +1,1 @@
+lib/randkit/sampling.ml: Array Float Prng

@@ -1,0 +1,1 @@
+lib/randkit/sampling.mli: Prng

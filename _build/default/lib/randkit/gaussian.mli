@@ -1,0 +1,22 @@
+(** Standard normal sampling.
+
+    The paper's variation model is jointly Gaussian after PCA; every
+    Monte-Carlo sample the "simulator" consumes is a vector of iid
+    standard normals drawn here. The Marsaglia polar method is used: no
+    trig calls, and the discarded second variate is cached. *)
+
+val sample : Prng.t -> float
+(** One standard normal draw, N(0, 1). *)
+
+val sample2 : Prng.t -> float * float
+(** One independent pair of standard normal draws. *)
+
+val vector : Prng.t -> int -> Linalg.Vec.t
+(** [vector g n] is a vector of [n] iid N(0, 1) draws. *)
+
+val matrix : Prng.t -> int -> int -> Linalg.Mat.t
+(** [matrix g r c] is an [r×c] matrix of iid N(0, 1) draws, filled row by
+    row (so the stream position after the call is deterministic). *)
+
+val scaled : Prng.t -> mean:float -> sigma:float -> float
+(** [scaled g ~mean ~sigma] is one N(mean, sigma²) draw. *)

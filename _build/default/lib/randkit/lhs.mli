@@ -1,0 +1,18 @@
+(** Latin hypercube sampling of standard-normal factors.
+
+    An alternative sampling plan to iid Monte Carlo: each of the [n]
+    dimensions is stratified into [k] equal-probability slices, one
+    sample per slice, with the slices randomly permuted per dimension.
+    Marginals are near-perfectly uniform over the strata, which reduces
+    the variance of the inner-product estimators (eq. (14)) that drive
+    basis selection — the A1(g)-adjacent sampling ablation uses this to
+    ask whether a smarter plan buys accuracy at equal K. *)
+
+val gaussian_points : Prng.t -> k:int -> n:int -> Linalg.Vec.t array
+(** [gaussian_points g ~k ~n] is [k] points in [n] dimensions whose
+    marginals are stratified standard normal (the uniform stratum
+    sample is pushed through the normal quantile).
+    @raise Invalid_argument on non-positive [k] or [n]. *)
+
+val uniform_points : Prng.t -> k:int -> n:int -> Linalg.Vec.t array
+(** Same stratification on [[0, 1)ⁿ] without the Gaussian transform. *)

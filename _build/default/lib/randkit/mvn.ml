@@ -1,0 +1,32 @@
+open Linalg
+
+type t = { n : int; l : Mat.t }
+
+let of_covariance sigma =
+  if Mat.rows sigma <> Mat.cols sigma then
+    invalid_arg "Mvn.of_covariance: covariance must be square";
+  { n = Mat.rows sigma; l = Cholesky.factor sigma }
+
+let dim s = s.n
+
+let sample s g =
+  let z = Gaussian.vector g s.n in
+  (* x = L·z, reading only the lower triangle. *)
+  let x = Array.make s.n 0. in
+  for i = 0 to s.n - 1 do
+    let acc = ref 0. in
+    for j = 0 to i do
+      acc := !acc +. (Mat.unsafe_get s.l i j *. z.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  x
+
+let sample_n s g k =
+  let m = Mat.create k s.n in
+  for i = 0 to k - 1 do
+    Mat.set_row m i (sample s g)
+  done;
+  m
+
+let covariance_factor s = Mat.copy s.l

@@ -1,0 +1,25 @@
+(** Correlated multivariate normal sampling.
+
+    Models the pre-PCA process parameters [ΔX ~ N(0, Σ)]: a sampler is
+    built once from the covariance (one Cholesky factorization) and then
+    produces draws at O(n²) each. The circuit substrate uses this to
+    generate correlated inter-die variations which PCA subsequently
+    whitens into the independent factors [ΔY]. *)
+
+type t
+(** A prepared sampler for a fixed covariance. *)
+
+val of_covariance : Linalg.Mat.t -> t
+(** [of_covariance sigma] prepares a sampler for [N(0, sigma)].
+    @raise Linalg.Cholesky.Not_positive_definite when [sigma] is not SPD. *)
+
+val dim : t -> int
+
+val sample : t -> Prng.t -> Linalg.Vec.t
+(** One draw [L·z] with [z] iid standard normal and [Σ = L·Lᵀ]. *)
+
+val sample_n : t -> Prng.t -> int -> Linalg.Mat.t
+(** [sample_n s g k] stacks [k] draws as rows of a [k×n] matrix. *)
+
+val covariance_factor : t -> Linalg.Mat.t
+(** The lower Cholesky factor [L] (fresh copy, for tests). *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    The generator is xoshiro256++ seeded through SplitMix64, giving
+    reproducible streams across runs and platforms — essential for the
+    benchmark harness, whose tables must be regenerable bit-for-bit from
+    a seed. States are explicit values; nothing is global. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed via SplitMix64
+    state expansion. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split g] derives an independent generator from [g], advancing [g].
+    Used to give each cross-validation fold / workload its own stream so
+    that changing one experiment does not perturb the others. *)
+
+val copy : t -> t
+(** [copy g] duplicates the state; both copies then produce the same
+    stream independently. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float g] is uniform on [[0, 1)] with 53-bit resolution. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform on [[0, n-1]] (rejection sampling, unbiased).
+    @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation g n] is a uniformly random permutation of [0..n-1]. *)

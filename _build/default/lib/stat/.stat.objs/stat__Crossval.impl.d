@@ -1,0 +1,1 @@
+lib/stat/crossval.ml: Array Float Randkit

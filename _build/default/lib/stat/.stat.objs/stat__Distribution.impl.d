@@ -1,0 +1,1 @@
+lib/stat/distribution.ml: Array Float List

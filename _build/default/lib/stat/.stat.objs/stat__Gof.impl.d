@@ -1,0 +1,1 @@
+lib/stat/gof.ml: Array Distribution Float

@@ -1,0 +1,1 @@
+lib/stat/gof.mli:

@@ -1,0 +1,1 @@
+lib/stat/histogram.ml: Array Buffer Descriptive Printf String

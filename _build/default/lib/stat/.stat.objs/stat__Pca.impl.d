@@ -1,0 +1,1 @@
+lib/stat/pca.ml: Array Descriptive Eigen Float Linalg Mat Vec

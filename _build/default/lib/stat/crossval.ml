@@ -1,0 +1,45 @@
+type plan = { folds : int; assignment : int array }
+
+let make_plan g ~n ~folds =
+  { folds; assignment = Randkit.Sampling.fold_assignment g ~n ~folds }
+
+let fold_indices plan q =
+  if q < 0 || q >= plan.folds then invalid_arg "Crossval.fold_indices: bad fold";
+  Randkit.Sampling.fold_split plan.assignment q
+
+let run plan ~fit ~error =
+  let total = ref 0. in
+  for q = 0 to plan.folds - 1 do
+    let train, held_out = fold_indices plan q in
+    let model = fit ~train in
+    total := !total +. error model ~held_out
+  done;
+  !total /. float_of_int plan.folds
+
+let run_curves plan ~fit_curve =
+  let acc = ref [||] in
+  for q = 0 to plan.folds - 1 do
+    let train, held_out = fold_indices plan q in
+    let curve = fit_curve ~train ~held_out in
+    if q = 0 then acc := Array.map (fun e -> e /. float_of_int plan.folds) curve
+    else begin
+      if Array.length curve <> Array.length !acc then
+        invalid_arg "Crossval.run_curves: runs returned curves of different lengths";
+      Array.iteri
+        (fun i e -> !acc.(i) <- !acc.(i) +. (e /. float_of_int plan.folds))
+        curve
+    end
+  done;
+  !acc
+
+let argmin curve =
+  if Array.length curve = 0 then invalid_arg "Crossval.argmin: empty curve";
+  let best = ref 0 and best_v = ref Float.infinity in
+  Array.iteri
+    (fun i v ->
+      if (not (Float.is_nan v)) && v < !best_v then begin
+        best := i;
+        best_v := v
+      end)
+    curve;
+  !best

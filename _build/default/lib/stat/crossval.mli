@@ -1,0 +1,36 @@
+(** Q-fold cross-validation (Section IV-C, Fig. 2 of the paper).
+
+    The driver is generic: a [fit] function is trained on the union of
+    Q−1 groups and an [error] function scores it on the held-out group;
+    the per-fold errors are averaged. For λ-sweeps the fit returns a
+    whole curve (error as a function of λ), matching the paper's
+    description that "εq is not simply a value, but a 1-D function
+    of λ". *)
+
+type plan = { folds : int; assignment : int array }
+(** A fold assignment over [n] sample indices. *)
+
+val make_plan : Randkit.Prng.t -> n:int -> folds:int -> plan
+(** Balanced random assignment (Fig. 2's partition into Q groups). *)
+
+val fold_indices : plan -> int -> int array * int array
+(** [fold_indices plan q] is [(train, held_out)] for run [q]. *)
+
+val run :
+  plan -> fit:(train:int array -> 'model) ->
+  error:('model -> held_out:int array -> float) -> float
+(** [run plan ~fit ~error] executes the Q runs and returns the average
+    held-out error [ (ε₁ + … + ε_Q)/Q ]. *)
+
+val run_curves :
+  plan -> fit_curve:(train:int array -> held_out:int array -> float array) ->
+  float array
+(** [run_curves plan ~fit_curve] supports λ-sweeps: each run returns the
+    error at every candidate λ measured on its held-out group; the
+    result is the pointwise average curve ε(λ). All runs must return
+    curves of equal length.
+    @raise Invalid_argument otherwise. *)
+
+val argmin : float array -> int
+(** Index of the smallest entry (first on ties); NaNs are ignored unless
+    all entries are NaN, in which case index 0 is returned. *)

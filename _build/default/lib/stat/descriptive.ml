@@ -1,0 +1,84 @@
+open Linalg
+
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty input")
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Vec.mean xs
+
+(* Welford's online algorithm: numerically stable single pass. *)
+let mean_and_m2 xs =
+  let mu = ref 0. and m2 = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let delta = x -. !mu in
+      mu := !mu +. (delta /. float_of_int (i + 1));
+      m2 := !m2 +. (delta *. (x -. !mu)))
+    xs;
+  (!mu, !m2)
+
+let variance xs =
+  check_nonempty "variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else
+    let _, m2 = mean_and_m2 xs in
+    m2 /. float_of_int (n - 1)
+
+let std xs = sqrt (variance xs)
+
+let min_max xs =
+  check_nonempty "min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let quantile xs p =
+  check_nonempty "quantile" xs;
+  if p < 0. || p > 1. then invalid_arg "Descriptive.quantile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = min (lo + 1) (n - 1) in
+    let w = h -. float_of_int lo in
+    ((1. -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let median xs = quantile xs 0.5
+
+let covariance xs ys =
+  check_nonempty "covariance" xs;
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Descriptive.covariance: length mismatch";
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else begin
+    let mx = mean xs and my = mean ys in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+    done;
+    !acc /. float_of_int (n - 1)
+  end
+
+let correlation xs ys =
+  let sx = std xs and sy = std ys in
+  if sx = 0. || sy = 0. then 0. else covariance xs ys /. (sx *. sy)
+
+let covariance_matrix d =
+  let n = Mat.rows d and p = Mat.cols d in
+  if n < 2 then invalid_arg "Descriptive.covariance_matrix: need at least 2 rows";
+  let mu = Array.init p (fun j -> Vec.mean (Mat.col d j)) in
+  let centered = Mat.init n p (fun i j -> Mat.unsafe_get d i j -. mu.(j)) in
+  Mat.smul (1. /. float_of_int (n - 1)) (Mat.gram centered)
+
+let standardize xs =
+  let mu = mean xs and s = std xs in
+  if s = 0. then Array.make (Array.length xs) 0.
+  else Array.map (fun x -> (x -. mu) /. s) xs

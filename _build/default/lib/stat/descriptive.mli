@@ -1,0 +1,34 @@
+(** Descriptive statistics over float arrays.
+
+    Variance uses Welford's single-pass algorithm; quantiles use linear
+    interpolation (type-7, the R default). All functions raise
+    [Invalid_argument] on empty input. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Unbiased sample variance (divides by [n − 1]); 0 for singletons. *)
+
+val std : float array -> float
+
+val min_max : float array -> float * float
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for [p ∈ [0,1]], linear interpolation between order
+    statistics. The input is not modified (a sorted copy is taken). *)
+
+val median : float array -> float
+
+val covariance : float array -> float array -> float
+(** Unbiased sample covariance of two equal-length series. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation; 0 when either series is constant. *)
+
+val covariance_matrix : Linalg.Mat.t -> Linalg.Mat.t
+(** [covariance_matrix d] for data rows: the [p×p] unbiased sample
+    covariance of the columns of the [n×p] matrix [d].
+    @raise Invalid_argument when [n < 2]. *)
+
+val standardize : float array -> float array
+(** [(x − mean)/std]; returns zeros if the series is constant. *)

@@ -1,0 +1,82 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  total : int;
+  n_underflow : int;
+  n_overflow : int;
+}
+
+let create ?(bins = 30) ?range xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.create: empty data";
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  let lo, hi =
+    match range with
+    | Some (lo, hi) ->
+        if hi <= lo then invalid_arg "Histogram.create: empty range";
+        (lo, hi)
+    | None ->
+        let lo, hi = Descriptive.min_max xs in
+        if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5)
+  in
+  let counts = Array.make bins 0 in
+  let under = ref 0 and over = ref 0 in
+  let w = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      if x < lo then incr under
+      else if x > hi then incr over
+      else begin
+        let b = min (bins - 1) (int_of_float ((x -. lo) /. w)) in
+        counts.(b) <- counts.(b) + 1
+      end)
+    xs;
+  { lo; hi; counts; total = Array.length xs; n_underflow = !under; n_overflow = !over }
+
+let bin_centers h =
+  let bins = Array.length h.counts in
+  let w = (h.hi -. h.lo) /. float_of_int bins in
+  Array.init bins (fun i -> h.lo +. (w *. (float_of_int i +. 0.5)))
+
+let densities h =
+  let bins = Array.length h.counts in
+  let w = (h.hi -. h.lo) /. float_of_int bins in
+  let in_range = h.total - h.n_underflow - h.n_overflow in
+  if in_range = 0 then Array.make bins 0.
+  else
+    Array.map (fun c -> float_of_int c /. (float_of_int in_range *. w)) h.counts
+
+let mode_bin h =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > h.counts.(!best) then best := i) h.counts;
+  !best
+
+let render ?(width = 50) h =
+  let buf = Buffer.create 1024 in
+  let peak = Array.fold_left max 1 h.counts in
+  let centers = bin_centers h in
+  Array.iteri
+    (fun i c ->
+      let bar = c * width / peak in
+      Buffer.add_string buf
+        (Printf.sprintf "%12.4g | %-*s %d\n" centers.(i) width
+           (String.make bar '#') c))
+    h.counts;
+  if h.n_underflow > 0 then
+    Buffer.add_string buf (Printf.sprintf "(underflow: %d)\n" h.n_underflow);
+  if h.n_overflow > 0 then
+    Buffer.add_string buf (Printf.sprintf "(overflow: %d)\n" h.n_overflow);
+  Buffer.contents buf
+
+let chi2_distance a b =
+  if Array.length a.counts <> Array.length b.counts || a.lo <> b.lo || a.hi <> b.hi
+  then invalid_arg "Histogram.chi2_distance: binnings differ";
+  let na = float_of_int (max a.total 1) and nb = float_of_int (max b.total 1) in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i ca ->
+      let p = float_of_int ca /. na in
+      let q = float_of_int b.counts.(i) /. nb in
+      if p +. q > 0. then acc := !acc +. ((p -. q) ** 2. /. (p +. q)))
+    a.counts;
+  !acc

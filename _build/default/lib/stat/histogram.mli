@@ -1,0 +1,38 @@
+(** Fixed-width histograms with a terminal renderer.
+
+    Used by the examples and the benchmark harness to show performance
+    distributions (model Monte Carlo vs simulator Monte Carlo) without a
+    plotting stack. *)
+
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  total : int;
+  n_underflow : int;
+  n_overflow : int;
+}
+
+val create : ?bins:int -> ?range:float * float -> float array -> t
+(** [create xs] bins the data into [bins] (default 30) equal-width bins.
+    The range defaults to the data min/max (degenerate data gets a unit
+    window around the value); out-of-range points are counted in the
+    under/overflow fields.
+    @raise Invalid_argument on empty data, non-positive bin count or an
+    empty range. *)
+
+val bin_centers : t -> float array
+
+val densities : t -> float array
+(** Counts normalized to integrate to 1 over the histogram range. *)
+
+val mode_bin : t -> int
+(** Index of the fullest bin (first on ties). *)
+
+val render : ?width:int -> t -> string
+(** Multi-line ASCII rendering, one row per bin. *)
+
+val chi2_distance : t -> t -> float
+(** Symmetric χ² distance between two histograms over the same binning:
+    [Σ (p_i − q_i)²/(p_i + q_i)] on normalized bin masses (0 = equal).
+    @raise Invalid_argument when the binnings differ. *)

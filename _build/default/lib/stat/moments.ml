@@ -1,0 +1,52 @@
+let central_moment r xs =
+  if Array.length xs = 0 then invalid_arg "Moments.central_moment: empty input";
+  if r < 0 then invalid_arg "Moments.central_moment: negative order";
+  if r = 0 then 1.
+  else begin
+    let mu = Descriptive.mean xs in
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. ((x -. mu) ** float_of_int r)) xs;
+    !acc /. float_of_int (Array.length xs)
+  end
+
+let skewness xs =
+  let m2 = central_moment 2 xs in
+  if m2 = 0. then 0. else central_moment 3 xs /. (m2 ** 1.5)
+
+let kurtosis_excess xs =
+  let m2 = central_moment 2 xs in
+  if m2 = 0. then 0. else (central_moment 4 xs /. (m2 *. m2)) -. 3.
+
+let summary xs =
+  let mu = Descriptive.mean xs in
+  let m2 = ref 0. and m3 = ref 0. and m4 = ref 0. in
+  Array.iter
+    (fun x ->
+      let d = x -. mu in
+      let d2 = d *. d in
+      m2 := !m2 +. d2;
+      m3 := !m3 +. (d2 *. d);
+      m4 := !m4 +. (d2 *. d2))
+    xs;
+  let n = float_of_int (Array.length xs) in
+  let m2 = !m2 /. n and m3 = !m3 /. n and m4 = !m4 /. n in
+  if m2 = 0. then (mu, 0., 0., 0.)
+  else (mu, sqrt m2, m3 /. (m2 ** 1.5), (m4 /. (m2 *. m2)) -. 3.)
+
+let cornish_fisher_quantile ~mean ~std ~skew ~kurt_excess p =
+  if std < 0. then invalid_arg "Moments.cornish_fisher_quantile: negative std";
+  let z = Distribution.quantile p in
+  (* Third-order Cornish-Fisher expansion. *)
+  let z2 = z *. z in
+  let w =
+    z
+    +. (skew /. 6. *. (z2 -. 1.))
+    +. (kurt_excess /. 24. *. z *. (z2 -. 3.))
+    -. (skew *. skew /. 36. *. z *. ((2. *. z2) -. 5.))
+  in
+  mean +. (std *. w)
+
+let jarque_bera xs =
+  let n = float_of_int (Array.length xs) in
+  let s = skewness xs and k = kurtosis_excess xs in
+  n /. 6. *. ((s *. s) +. (k *. k /. 4.))

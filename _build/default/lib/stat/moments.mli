@@ -1,0 +1,39 @@
+(** Higher-order sample moments and moment-based quantiles.
+
+    Quadratic response-surface models produce {e}non-Gaussian{i}
+    performance distributions (a quadratic form of Gaussians is skewed);
+    skewness/kurtosis quantify the departure, and the Cornish–Fisher
+    expansion turns the first four moments into corrected quantiles —
+    the moment-matching style of analysis the paper's introduction
+    cites (APEX, reference [8]). *)
+
+val central_moment : int -> float array -> float
+(** [central_moment r xs] is the [r]-th sample central moment
+    [1/n·Σ(x − x̄)^r].
+    @raise Invalid_argument on empty input or [r < 0]. *)
+
+val skewness : float array -> float
+(** Standardized third moment [m₃/m₂^{3/2}]; 0 for constant data. *)
+
+val kurtosis_excess : float array -> float
+(** Standardized fourth moment minus 3 ([0] for a Gaussian); 0 for
+    constant data. *)
+
+val summary : float array -> float * float * float * float
+(** [(mean, std, skewness, excess kurtosis)] in one pass over the
+    centered data. *)
+
+val cornish_fisher_quantile :
+  mean:float -> std:float -> skew:float -> kurt_excess:float -> float -> float
+(** [cornish_fisher_quantile ~mean ~std ~skew ~kurt_excess p] is the
+    third-order Cornish–Fisher approximation of the [p]-quantile of a
+    distribution with the given first four moments. Reduces to the
+    Gaussian quantile at [skew = kurt_excess = 0].
+    @raise Invalid_argument when [std < 0] or [p] outside (0, 1). *)
+
+val jarque_bera : float array -> float
+(** The Jarque–Bera normality statistic
+    [n/6·(S² + K²/4)] — asymptotically χ²(2) under normality, so values
+    ≳ 6 reject normality at the 5% level. Used by tests to confirm that
+    linear Hermite models produce Gaussian outputs and quadratic ones do
+    not. *)

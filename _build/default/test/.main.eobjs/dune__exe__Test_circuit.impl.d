@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Float Hashtbl Linalg List Mosfet Opamp Process Simulator Sram Stat Test_util Testbench

@@ -1,0 +1,1 @@
+test/test_cosamp.ml: Alcotest Array Linalg Mat QCheck Randkit Rsm Test_util Vec

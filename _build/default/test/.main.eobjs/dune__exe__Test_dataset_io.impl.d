@@ -1,0 +1,1 @@
+test/test_dataset_io.ml: Alcotest Array Buffer Circuit Filename Fun Polybasis Rsm Sys Test_util

@@ -1,0 +1,1 @@
+test/test_diagnostics.ml: Array Circuit Float Linalg Mat Polybasis Printf Randkit Rsm Test_util Vec

@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Array Float List Printf QCheck Randkit Stat String Test_util

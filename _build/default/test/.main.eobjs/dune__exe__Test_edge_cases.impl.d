@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Array Circuit Float Linalg Mat Polybasis Randkit Rsm Stat Test_util Vec

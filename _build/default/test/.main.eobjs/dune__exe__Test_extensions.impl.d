@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Circuit Float Fun Linalg Polybasis Printf Randkit Rsm Stat Test_util

@@ -1,0 +1,1 @@
+test/test_factor.ml: Alcotest Array Cholesky Eigen Linalg Lstsq Mat QCheck Qr Randkit Test_util Tri Vec

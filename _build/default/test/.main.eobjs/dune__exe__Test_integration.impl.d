@@ -1,0 +1,1 @@
+test/test_integration.ml: Array Circuit Float Linalg Polybasis Printf Randkit Rsm Test_util

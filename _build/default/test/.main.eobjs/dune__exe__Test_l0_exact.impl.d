@@ -1,0 +1,1 @@
+test/test_l0_exact.ml: Alcotest Array Linalg List Mat Printf Randkit Rsm Test_util Vec

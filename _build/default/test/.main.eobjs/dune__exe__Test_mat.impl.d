@@ -1,0 +1,1 @@
+test/test_mat.ml: Array Linalg Mat QCheck Randkit Test_util Vec

@@ -1,0 +1,1 @@
+test/test_misc_api.ml: Alcotest Array Float Format Fun Gen Linalg Mat Polybasis QCheck Qr Randkit Rsm Stat String Test_util Vec

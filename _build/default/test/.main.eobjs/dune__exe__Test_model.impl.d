@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Linalg Mat Polybasis Rsm Test_util

@@ -1,0 +1,1 @@
+test/test_moments.ml: Array Float List Polybasis Printf Randkit Rsm Stat Test_util

@@ -1,0 +1,1 @@
+test/test_polybasis.ml: Alcotest Array Basis Design Float Hermite Linalg List Mat Polybasis Printf QCheck Randkit Term Test_util

@@ -1,0 +1,1 @@
+test/test_randkit.ml: Alcotest Array Float Fun Hashtbl Linalg List Mat Printf QCheck Randkit Stat Test_util

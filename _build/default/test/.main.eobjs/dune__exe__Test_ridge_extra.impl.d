@@ -1,0 +1,1 @@
+test/test_ridge_extra.ml: Array Circuit Float Linalg Mat Randkit Rsm Stat Test_util

@@ -1,0 +1,1 @@
+test/test_round2.ml: Alcotest Array Cholesky Float Linalg Lu Mat Polybasis Printf Randkit Rsm Stat Svd Test_util

@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Array Linalg List Mat Randkit Rsm Test_util

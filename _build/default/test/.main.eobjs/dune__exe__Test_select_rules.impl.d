@@ -1,0 +1,1 @@
+test/test_select_rules.ml: Alcotest Array Linalg List Mat Randkit Rsm Test_util

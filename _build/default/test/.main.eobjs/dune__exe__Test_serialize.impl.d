@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Filename Fun Linalg Randkit Rsm Sys Test_util

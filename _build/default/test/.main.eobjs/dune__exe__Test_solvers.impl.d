@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Array Float Linalg List Lstsq Mat Polybasis QCheck Randkit Rsm Stat Test_util Vec

@@ -1,0 +1,1 @@
+test/test_stat.ml: Array Float Gen Hashtbl Linalg Mat QCheck Randkit Stat Test_util

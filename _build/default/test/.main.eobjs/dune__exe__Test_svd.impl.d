@@ -1,0 +1,1 @@
+test/test_svd.ml: Array Eigen Float Linalg Mat Printf QCheck Randkit Rsm Svd Test_util Vec

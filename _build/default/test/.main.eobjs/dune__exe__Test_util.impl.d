@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Linalg QCheck QCheck_alcotest Randkit

@@ -1,0 +1,1 @@
+test/test_variance_reduction.ml: Array Circuit Float Polybasis Printf Randkit Rsm Stat Test_util

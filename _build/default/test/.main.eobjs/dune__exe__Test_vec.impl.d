@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Float Gen Linalg QCheck Test_util Vec

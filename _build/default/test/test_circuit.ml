@@ -1,0 +1,376 @@
+open Circuit
+open Test_util
+
+(* --- Process --- *)
+
+let small_spec =
+  {
+    Process.default_spec with
+    n_global = 4;
+    n_devices = 3;
+    mismatch_vars_per_device = 3;
+    n_parasitics = 5;
+  }
+
+let test_process_dim () =
+  let p = Process.build small_spec in
+  check_int "dim" (4 + 9 + 5) (Process.dim p);
+  check_int "globals" 4 (Process.n_global_factors p)
+
+let test_process_validation () =
+  check_raises_invalid "corr >= 1" (fun () ->
+      ignore (Process.build { small_spec with global_corr = 1.0 }));
+  check_raises_invalid "no globals" (fun () ->
+      ignore (Process.build { small_spec with n_global = 0 }));
+  check_raises_invalid "few mismatch vars" (fun () ->
+      ignore (Process.build { small_spec with mismatch_vars_per_device = 2 }))
+
+let test_factor_indices_disjoint () =
+  let p = Process.build small_spec in
+  let seen = Hashtbl.create 32 in
+  for d = 0 to 2 do
+    for w = 0 to 2 do
+      let i = Process.mismatch_factor_index p ~device:d ~which:w in
+      check_bool "unique" false (Hashtbl.mem seen i);
+      Hashtbl.add seen i ();
+      check_bool "above globals" true (i >= 4)
+    done
+  done;
+  for q = 0 to 4 do
+    let i = Process.parasitic_factor_index p ~parasitic:q in
+    check_bool "parasitic unique" false (Hashtbl.mem seen i);
+    Hashtbl.add seen i ();
+    check_bool "in range" true (i < Process.dim p)
+  done
+
+let test_device_shift_zero_at_nominal () =
+  let p = Process.build small_spec in
+  let dy = Linalg.Vec.create (Process.dim p) in
+  let s = Process.device_shift p dy ~device:0 ~area_factor:1. in
+  check_float "dvth" 0. s.Process.dvth;
+  check_float "dbeta" 0. s.Process.dbeta_rel;
+  check_float "dlen" 0. s.Process.dlen_rel
+
+let test_device_shift_locality () =
+  (* Perturbing device 1's mismatch factor must not move device 0. *)
+  let p = Process.build small_spec in
+  let dy = Linalg.Vec.create (Process.dim p) in
+  dy.(Process.mismatch_factor_index p ~device:1 ~which:0) <- 3.;
+  let s0 = Process.device_shift p dy ~device:0 ~area_factor:1. in
+  let s1 = Process.device_shift p dy ~device:1 ~area_factor:1. in
+  check_float "device 0 untouched" 0. s0.Process.dvth;
+  check_bool "device 1 shifted" true (Float.abs s1.Process.dvth > 0.01)
+
+let test_global_shift_shared () =
+  (* Perturbing a global factor moves every device identically (same
+     area), i.e. inter-die variation is common-mode. *)
+  let p = Process.build small_spec in
+  let dy = Linalg.Vec.create (Process.dim p) in
+  dy.(0) <- 2.;
+  let s0 = Process.device_shift p dy ~device:0 ~area_factor:1. in
+  let s1 = Process.device_shift p dy ~device:1 ~area_factor:1. in
+  check_float ~eps:1e-12 "common vth" s0.Process.dvth s1.Process.dvth;
+  check_bool "nonzero" true (Float.abs s0.Process.dvth > 1e-6)
+
+let test_pelgrom_scaling () =
+  (* Mismatch shrinks as 1/sqrt(area). *)
+  let p = Process.build small_spec in
+  let dy = Linalg.Vec.create (Process.dim p) in
+  dy.(Process.mismatch_factor_index p ~device:0 ~which:0) <- 1.;
+  let s1 = Process.device_shift p dy ~device:0 ~area_factor:1. in
+  let s4 = Process.device_shift p dy ~device:0 ~area_factor:4. in
+  check_float ~eps:1e-12 "half sigma at 4x area" (s1.Process.dvth /. 2.)
+    s4.Process.dvth
+
+let test_mismatch_sigma_statistics () =
+  (* Over many draws the local V_TH sigma of a unit device matches spec
+     plus the global component in quadrature. *)
+  let p = Process.build small_spec in
+  let g = rng () in
+  let n = 20000 in
+  let vths =
+    Array.init n (fun _ ->
+        let dy = Process.sample p g in
+        (Process.device_shift p dy ~device:0 ~area_factor:1.).Process.dvth)
+  in
+  check_float ~eps:0.002 "mean 0" 0. (Stat.Descriptive.mean vths);
+  let sd = Stat.Descriptive.std vths in
+  check_bool "sigma at least local" true (sd >= small_spec.Process.vth_sigma_local);
+  check_bool "sigma bounded" true (sd < 3. *. small_spec.Process.vth_sigma_local)
+
+(* --- Mosfet --- *)
+
+let test_square_law () =
+  let d = Mosfet.nominal Mosfet.nmos_unit in
+  check_float "off" 0. (Mosfet.id_sat d ~vgs:0.2 ~vds:1.);
+  let id = Mosfet.id_sat d ~vgs:0.85 ~vds:0. in
+  (* 0.5 · 2e-3 · 0.5² = 0.25 mA *)
+  check_float ~eps:1e-12 "saturation current" 2.5e-4 id
+
+let test_vgs_inverse () =
+  let d = Mosfet.nominal Mosfet.nmos_unit in
+  let id = 1e-4 in
+  let vgs = Mosfet.vgs_for_current d ~id in
+  check_float ~eps:1e-9 "inverse of square law" id (Mosfet.id_sat d ~vgs ~vds:0.)
+
+let test_gm_gds () =
+  let d = Mosfet.nominal Mosfet.nmos_unit in
+  let id = 1e-4 in
+  check_float ~eps:1e-12 "gm" (sqrt (2. *. 2e-3 *. id)) (Mosfet.gm d ~id);
+  check_float ~eps:1e-12 "gds" (0.15 *. id) (Mosfet.gds d ~id);
+  check_float "gm at zero current" 0. (Mosfet.gm d ~id:0.)
+
+let test_vth_shift_reduces_current () =
+  let shifted =
+    { Mosfet.p = Mosfet.nmos_unit;
+      shift = { Process.dvth = 0.05; dbeta_rel = 0.; dlen_rel = 0. } }
+  in
+  let nominal = Mosfet.nominal Mosfet.nmos_unit in
+  check_bool "higher vth -> less current" true
+    (Mosfet.id_sat shifted ~vgs:0.8 ~vds:0.5
+    < Mosfet.id_sat nominal ~vgs:0.8 ~vds:0.5)
+
+let test_scaled () =
+  let d2 = Mosfet.nominal (Mosfet.scaled Mosfet.nmos_unit 2.) in
+  let d1 = Mosfet.nominal Mosfet.nmos_unit in
+  check_float ~eps:1e-15 "beta doubles"
+    (2. *. Mosfet.id_sat d1 ~vgs:0.8 ~vds:0.)
+    (Mosfet.id_sat d2 ~vgs:0.8 ~vds:0.);
+  check_raises_invalid "bad scale" (fun () -> ignore (Mosfet.scaled Mosfet.nmos_unit 0.))
+
+(* --- Opamp --- *)
+
+let amp = Opamp.build ~n_parasitics:50 ()
+
+let test_opamp_dims () =
+  check_int "reduced dim" (20 + 60 + 50) (Opamp.dim amp);
+  let full = Opamp.build () in
+  check_int "paper dim 630" 630 (Opamp.dim full)
+
+let test_opamp_nominal_sane () =
+  let gain = Opamp.nominal amp Opamp.Gain in
+  check_bool "gain 40..100 dB" true (gain > 40. && gain < 100.);
+  let bw = Opamp.nominal amp Opamp.Bandwidth in
+  check_bool "bandwidth 10..1000 MHz" true (bw > 10. && bw < 1000.);
+  let pw = Opamp.nominal amp Opamp.Power in
+  check_bool "power 10..5000 uW" true (pw > 10. && pw < 5000.);
+  check_float ~eps:1e-9 "offset zero at nominal" 0. (Opamp.nominal amp Opamp.Offset)
+
+let test_opamp_offset_antisymmetric () =
+  (* Swapping the input pair's V_TH mismatch flips the offset sign. *)
+  let p = Opamp.process amp in
+  let dy = Linalg.Vec.create (Opamp.dim amp) in
+  let i1 = Process.mismatch_factor_index p ~device:Opamp.Device.m1 ~which:0 in
+  let i2 = Process.mismatch_factor_index p ~device:Opamp.Device.m2 ~which:0 in
+  dy.(i1) <- 1.;
+  let v1 = Opamp.eval amp Opamp.Offset dy in
+  dy.(i1) <- 0.;
+  dy.(i2) <- 1.;
+  let v2 = Opamp.eval amp Opamp.Offset dy in
+  check_float ~eps:1e-9 "antisymmetric" (-.v1) v2;
+  check_bool "nonzero" true (Float.abs v1 > 1.)
+
+let test_opamp_offset_sparse () =
+  (* Mismatch of the second stage must not move the input offset. *)
+  let p = Opamp.process amp in
+  let dy = Linalg.Vec.create (Opamp.dim amp) in
+  dy.(Process.mismatch_factor_index p ~device:Opamp.Device.m6 ~which:0) <- 2.;
+  check_float ~eps:1e-9 "M6 does not affect offset" 0.
+    (Opamp.eval amp Opamp.Offset dy)
+
+let test_opamp_bandwidth_depends_on_cc () =
+  let p = Opamp.process amp in
+  let dy = Linalg.Vec.create (Opamp.dim amp) in
+  dy.(Process.parasitic_factor_index p ~parasitic:1) <- 2.;
+  let bw_hi_cc = Opamp.eval amp Opamp.Bandwidth dy in
+  check_bool "larger Cc -> lower bandwidth" true
+    (bw_hi_cc < Opamp.nominal amp Opamp.Bandwidth)
+
+let test_opamp_power_depends_on_bias_r () =
+  let p = Opamp.process amp in
+  let dy = Linalg.Vec.create (Opamp.dim amp) in
+  dy.(Process.parasitic_factor_index p ~parasitic:0) <- 2.;
+  let pw = Opamp.eval amp Opamp.Power dy in
+  check_bool "larger bias R -> lower power" true
+    (pw < Opamp.nominal amp Opamp.Power)
+
+let test_opamp_distal_parasitic_negligible () =
+  let p = Opamp.process amp in
+  let dy = Linalg.Vec.create (Opamp.dim amp) in
+  dy.(Process.parasitic_factor_index p ~parasitic:45) <- 3.;
+  let g0 = Opamp.nominal amp Opamp.Gain in
+  let g1 = Opamp.eval amp Opamp.Gain dy in
+  check_bool "tiny but non-zero" true
+    (Float.abs (g1 -. g0) > 0. && Float.abs (g1 -. g0) < 0.01 *. Float.abs g0)
+
+let test_opamp_eval_dim_check () =
+  check_raises_invalid "dim mismatch" (fun () ->
+      ignore (Opamp.eval amp Opamp.Gain [| 0. |]))
+
+let test_metric_names () =
+  Alcotest.(check (list string))
+    "names"
+    [ "gain"; "bandwidth"; "power"; "offset" ]
+    (List.map Opamp.metric_name Opamp.all_metrics)
+
+(* --- Sram --- *)
+
+let sram = Sram.build ~cells:60 ()
+
+let test_sram_dims () =
+  check_int "60 cells" ((18 * 60) + 60 + 10) (Sram.dim sram);
+  check_int "paper cells give 21310"
+    21310
+    ((18 * Sram.paper_cells) + 60 + 10)
+
+let test_sram_nominal_positive () =
+  let d = Sram.nominal_delay_ps sram in
+  check_bool "positive, sub-10ns" true (d > 100. && d < 10000.)
+
+let test_sram_accessed_cell_matters () =
+  let p = Sram.process sram in
+  let dy = Linalg.Vec.create (Sram.dim sram) in
+  (* Raise the accessed cell's pull-down V_TH: discharge is slower. *)
+  dy.(Process.mismatch_factor_index p ~device:(6 * Sram.accessed_cell) ~which:0) <- 3.;
+  let d = Sram.read_delay_ps sram dy in
+  check_bool "slower" true (d > Sram.nominal_delay_ps sram)
+
+let test_sram_far_cell_negligible () =
+  let p = Sram.process sram in
+  let dy = Linalg.Vec.create (Sram.dim sram) in
+  (* A random unaccessed cell's devices barely matter (leakage only). *)
+  let far = 40 in
+  for t = 0 to 5 do
+    dy.(Process.mismatch_factor_index p ~device:((6 * far) + t) ~which:0) <- 3.
+  done;
+  let d0 = Sram.nominal_delay_ps sram in
+  let d1 = Sram.read_delay_ps sram dy in
+  check_bool "relative effect under 1%" true (Float.abs (d1 -. d0) /. d0 < 0.01)
+
+let test_sram_sense_offset_matters () =
+  let p = Sram.process sram in
+  let dy = Linalg.Vec.create (Sram.dim sram) in
+  let sense0 = (6 * 60) + 0 in
+  dy.(Process.mismatch_factor_index p ~device:sense0 ~which:0) <- 3.;
+  let d = Sram.read_delay_ps sram dy in
+  check_bool "sense offset shifts delay" true
+    (Float.abs (d -. Sram.nominal_delay_ps sram) > 1.)
+
+let test_sram_important_factors () =
+  let f = Sram.important_factors sram in
+  check_bool "a few dozen" true (Array.length f > 20 && Array.length f < 200);
+  Array.iter
+    (fun i -> check_bool "in range" true (i >= 0 && i < Sram.dim sram))
+    f;
+  (* Strictly increasing means sorted and duplicate-free. *)
+  for i = 1 to Array.length f - 1 do
+    check_bool "sorted distinct" true (f.(i) > f.(i - 1))
+  done
+
+let test_sram_validation () =
+  check_raises_invalid "too few cells" (fun () -> ignore (Sram.build ~cells:5 ()))
+
+(* --- Simulator / Testbench --- *)
+
+let test_simulator_run () =
+  let sim = Simulator.make ~name:"sq" ~dim:3 ~seconds_per_sample:2. (fun v ->
+      Linalg.Vec.nrm2_sq v)
+  in
+  let g = rng () in
+  let d = Simulator.run sim g ~k:50 in
+  check_int "size" 50 (Simulator.dataset_size d);
+  Array.iteri
+    (fun i p ->
+      check_float ~eps:1e-12 "consistent" (Linalg.Vec.nrm2_sq p)
+        d.Simulator.values.(i))
+    d.Simulator.points;
+  check_float "cost" 100. (Simulator.simulated_cost sim ~k:50)
+
+let test_simulator_noise () =
+  let sim = Simulator.make ~name:"lin" ~dim:1 ~seconds_per_sample:1. (fun v -> v.(0)) in
+  let g = rng () in
+  let d = Simulator.run ~noise_rel:0.5 sim g ~k:2000 in
+  (* With 50% relative noise the values no longer match the evaluator. *)
+  let mismatches =
+    Array.to_list (Array.mapi (fun i p -> Float.abs (d.Simulator.values.(i) -. p.(0))) d.Simulator.points)
+  in
+  check_bool "noise present" true (List.exists (fun x -> x > 0.01) mismatches)
+
+let test_simulator_split () =
+  let sim = Simulator.make ~name:"id" ~dim:2 ~seconds_per_sample:0. (fun v -> v.(0)) in
+  let g = rng () in
+  let d = Simulator.run sim g ~k:10 in
+  let s = Simulator.split d [| 2; 5; 7 |] in
+  check_int "split size" 3 (Simulator.dataset_size s);
+  check_float "values follow" d.Simulator.values.(5) s.Simulator.values.(1)
+
+let test_points_matrix () =
+  let sim = Simulator.make ~name:"id" ~dim:3 ~seconds_per_sample:0. (fun v -> v.(0)) in
+  let g = rng () in
+  let d = Simulator.run sim g ~k:4 in
+  let m = Simulator.points_matrix d in
+  check_int "rows" 4 (Linalg.Mat.rows m);
+  check_int "cols" 3 (Linalg.Mat.cols m);
+  check_float "entry" d.Simulator.points.(2).(1) (Linalg.Mat.get m 2 1)
+
+let test_testbench_generate () =
+  let sim = Simulator.make ~name:"id" ~dim:2 ~seconds_per_sample:3. (fun v -> v.(0)) in
+  let g = rng () in
+  let e = Testbench.generate sim g ~train:20 ~test:30 in
+  check_int "train" 20 (Simulator.dataset_size e.Testbench.train);
+  check_int "test" 30 (Simulator.dataset_size e.Testbench.test);
+  check_float "training cost" 60. (Testbench.training_cost e)
+
+let test_testbench_independent_sets () =
+  (* Train and test come from split streams: no shared points. *)
+  let sim = Simulator.make ~name:"id" ~dim:2 ~seconds_per_sample:0. (fun v -> v.(0)) in
+  let g = rng () in
+  let e = Testbench.generate sim g ~train:10 ~test:10 in
+  Array.iter
+    (fun pt ->
+      Array.iter
+        (fun pt' ->
+          check_bool "distinct points" true
+            (Linalg.Vec.dist2 pt pt' > 1e-12))
+        e.Testbench.test.Simulator.points)
+    e.Testbench.train.Simulator.points
+
+let suite =
+  ( "circuit",
+    [
+      case "process: dimension" test_process_dim;
+      case "process: validation" test_process_validation;
+      case "process: factor indices disjoint" test_factor_indices_disjoint;
+      case "process: nominal shift zero" test_device_shift_zero_at_nominal;
+      case "process: mismatch locality" test_device_shift_locality;
+      case "process: globals are common-mode" test_global_shift_shared;
+      case "process: Pelgrom area scaling" test_pelgrom_scaling;
+      slow_case "process: mismatch sigma statistics" test_mismatch_sigma_statistics;
+      case "mosfet: square law" test_square_law;
+      case "mosfet: vgs inverse" test_vgs_inverse;
+      case "mosfet: gm/gds" test_gm_gds;
+      case "mosfet: vth sensitivity" test_vth_shift_reduces_current;
+      case "mosfet: scaling" test_scaled;
+      case "opamp: dimensions (630)" test_opamp_dims;
+      case "opamp: nominal sanity" test_opamp_nominal_sane;
+      case "opamp: offset antisymmetry" test_opamp_offset_antisymmetric;
+      case "opamp: offset sparsity" test_opamp_offset_sparse;
+      case "opamp: bandwidth vs Cc" test_opamp_bandwidth_depends_on_cc;
+      case "opamp: power vs bias R" test_opamp_power_depends_on_bias_r;
+      case "opamp: distal parasitics negligible" test_opamp_distal_parasitic_negligible;
+      case "opamp: eval dim check" test_opamp_eval_dim_check;
+      case "opamp: metric names" test_metric_names;
+      case "sram: dimensions (21310 at paper size)" test_sram_dims;
+      case "sram: nominal delay" test_sram_nominal_positive;
+      case "sram: accessed cell matters" test_sram_accessed_cell_matters;
+      case "sram: far cell negligible" test_sram_far_cell_negligible;
+      case "sram: sense offset matters" test_sram_sense_offset_matters;
+      case "sram: important factors" test_sram_important_factors;
+      case "sram: validation" test_sram_validation;
+      case "simulator: run" test_simulator_run;
+      case "simulator: noise injection" test_simulator_noise;
+      case "simulator: split" test_simulator_split;
+      case "simulator: points matrix" test_points_matrix;
+      case "testbench: generate" test_testbench_generate;
+      case "testbench: independent sets" test_testbench_independent_sets;
+    ] )

@@ -1,0 +1,102 @@
+open Test_util
+open Linalg
+
+let sparse_problem ?(noise = 0.) ~k ~m ~support ~coeffs seed =
+  let g = Randkit.Prng.create seed in
+  let design = Randkit.Gaussian.matrix g k m in
+  let f =
+    Array.init k (fun i ->
+        let acc = ref 0. in
+        Array.iteri
+          (fun p j -> acc := !acc +. (coeffs.(p) *. Mat.get design i j))
+          support;
+        !acc +. (noise *. Randkit.Gaussian.sample g))
+  in
+  (design, f)
+
+let test_exact_recovery () =
+  let support = [| 4; 11; 29; 47 |] and coeffs = [| 3.; -2.; 1.5; 0.9 |] in
+  let g, f = sparse_problem ~k:80 ~m:60 ~support ~coeffs 701 in
+  let m = Rsm.Cosamp.fit g f ~s:4 in
+  Alcotest.(check (array int)) "support" support m.Rsm.Model.support;
+  check_vec ~eps:1e-8 "coefficients" coeffs m.Rsm.Model.coeffs
+
+let test_support_size_bounded () =
+  let g, f =
+    sparse_problem ~noise:0.4 ~k:90 ~m:50 ~support:[| 3; 20 |]
+      ~coeffs:[| 2.; -1. |] 702
+  in
+  let steps = Rsm.Cosamp.path g f ~s:5 in
+  Array.iter
+    (fun st ->
+      check_bool "pruned to s" true (Array.length st.Rsm.Cosamp.support <= 5))
+    steps
+
+let test_backtracking_repairs_omp_failure () =
+  (* A correlated design where OMP's first pick can be wrong: CoSaMP's
+     pruning must do at least as well in residual at equal sparsity. *)
+  let gen = Randkit.Prng.create 703 in
+  let k = 60 and m = 40 in
+  let g = Mat.create k m in
+  (* Column 0 is an imperfect decoy aligned with col1 + col2: it wins
+     OMP's first correlation scan but cannot (with one more column)
+     reach the residual of the true pair {1, 2}. *)
+  let base = Array.init m (fun _ -> Randkit.Gaussian.vector gen k) in
+  for i = 0 to k - 1 do
+    for j = 1 to m - 1 do
+      Mat.set g i j base.(j).(i)
+    done;
+    Mat.set g i 0
+      (((base.(1).(i) +. base.(2).(i)) /. sqrt 2.)
+      +. (0.3 *. base.(0).(i)))
+  done;
+  let f = Array.init k (fun i -> Mat.get g i 1 +. Mat.get g i 2) in
+  let omp = Rsm.Omp.fit g f ~lambda:2 in
+  let cosamp = Rsm.Cosamp.fit g f ~s:2 in
+  let resid model = Vec.nrm2 (Vec.sub f (Rsm.Model.predict_design model g)) in
+  (* OMP is stuck with the decoy in its support; CoSaMP prunes it away. *)
+  check_bool "omp picked the decoy first" true
+    (Array.mem 0 omp.Rsm.Model.support);
+  Alcotest.(check (array int)) "cosamp finds the true pair" [| 1; 2 |]
+    cosamp.Rsm.Model.support;
+  check_bool "cosamp strictly better residual" true
+    (resid cosamp < resid omp)
+
+let test_residual_best_step_selected () =
+  let g, f =
+    sparse_problem ~noise:0.3 ~k:70 ~m:30 ~support:[| 2; 9; 21 |]
+      ~coeffs:[| 1.; -1.; 0.5 |] 704
+  in
+  let steps = Rsm.Cosamp.path g f ~s:3 in
+  let best = Rsm.Cosamp.fit g f ~s:3 in
+  let best_res = Vec.nrm2 (Vec.sub f (Rsm.Model.predict_design best g)) in
+  Array.iter
+    (fun st ->
+      check_bool "fit picks the best step" true
+        (best_res <= st.Rsm.Cosamp.residual_norm +. 1e-9))
+    steps
+
+let test_validation () =
+  let g, f = sparse_problem ~k:20 ~m:10 ~support:[| 1 |] ~coeffs:[| 1. |] 705 in
+  check_raises_invalid "s = 0" (fun () -> ignore (Rsm.Cosamp.path g f ~s:0));
+  check_raises_invalid "3s > K" (fun () -> ignore (Rsm.Cosamp.path g f ~s:7))
+
+let prop_recovery =
+  qtest ~count:15 "CoSaMP exact recovery on random 3-sparse problems"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let support = [| 2; 19; 33 |] and coeffs = [| 1.; -2.; 0.5 |] in
+      let g, f = sparse_problem ~k:60 ~m:40 ~support ~coeffs seed in
+      let m = Rsm.Cosamp.fit g f ~s:3 in
+      m.Rsm.Model.support = support)
+
+let suite =
+  ( "cosamp",
+    [
+      case "exact recovery" test_exact_recovery;
+      case "support pruned to s" test_support_size_bounded;
+      case "backtracking beats greedy on decoys" test_backtracking_repairs_omp_failure;
+      case "fit returns best step" test_residual_best_step_selected;
+      case "validation" test_validation;
+      prop_recovery;
+    ] )

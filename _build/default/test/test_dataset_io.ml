@@ -1,0 +1,117 @@
+open Test_util
+
+let dataset () =
+  {
+    Circuit.Simulator.points =
+      [| [| 1.5; -0.25; 0.125 |]; [| 0.; 1e-10; -3.7 |] |];
+    values = [| 893.25; -0.001 |];
+  }
+
+let test_roundtrip_string () =
+  let d = dataset () in
+  let buf = Buffer.create 128 in
+  let s =
+    let tmp = Filename.temp_file "ds" ".csv" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove tmp)
+      (fun () ->
+        Circuit.Dataset_io.save tmp d;
+        let ic = open_in tmp in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            really_input_string ic (in_channel_length ic)))
+  in
+  Buffer.add_string buf s;
+  match Circuit.Dataset_io.of_string s with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok d' ->
+      check_int "size" 2 (Circuit.Simulator.dataset_size d');
+      check_vec ~eps:0. "values exact" d.Circuit.Simulator.values
+        d'.Circuit.Simulator.values;
+      Array.iteri
+        (fun i p ->
+          check_vec ~eps:0. "points exact" p d'.Circuit.Simulator.points.(i))
+        d.Circuit.Simulator.points
+
+let test_header_and_errors () =
+  let expect_error name s =
+    match Circuit.Dataset_io.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected error" name
+  in
+  expect_error "empty" "";
+  expect_error "no f column" "y0,y1\n1,2\n";
+  expect_error "column mismatch" "y0,f\n1,2,3\n";
+  expect_error "bad number" "y0,f\n1,abc\n";
+  expect_error "header only" "y0,f\n";
+  (* comments skipped *)
+  match Circuit.Dataset_io.of_string "# note\ny0,f\n1,2\n" with
+  | Ok d ->
+      check_float "value parsed" 2. d.Circuit.Simulator.values.(0)
+  | Error e -> Alcotest.failf "comment handling: %s" e
+
+let test_fit_from_reloaded_dataset () =
+  (* Simulate, save, reload, fit: same model as fitting directly. *)
+  let amp = Circuit.Opamp.build ~n_parasitics:15 () in
+  let sim = Circuit.Opamp.simulator amp Circuit.Opamp.Offset in
+  let g = rng () in
+  let d = Circuit.Simulator.run sim g ~k:150 in
+  let tmp = Filename.temp_file "ds" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Circuit.Dataset_io.save tmp d;
+      match Circuit.Dataset_io.load tmp with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok d' ->
+          let basis = Polybasis.Basis.constant_linear (Circuit.Opamp.dim amp) in
+          let fit dd =
+            Rsm.Omp.fit
+              (Polybasis.Design.matrix_rows basis dd.Circuit.Simulator.points)
+              dd.Circuit.Simulator.values ~lambda:8
+          in
+          check_vec ~eps:0. "identical models"
+            (Rsm.Model.to_dense (fit d))
+            (Rsm.Model.to_dense (fit d')))
+
+(* --- expression export --- *)
+
+let test_expression_linear () =
+  let b = Polybasis.Basis.constant_linear 3 in
+  let m =
+    Rsm.Model.make ~basis_size:4 ~support:[| 0; 2 |] ~coeffs:[| 10.; -2.5 |]
+  in
+  Alcotest.(check string) "expression" "f = 10 - 2.5*y1"
+    (Rsm.Serialize.to_expression m b)
+
+let test_expression_quadratic () =
+  let b = Polybasis.Basis.quadratic 2 in
+  (* Find the y0^2 term index. *)
+  let sq =
+    let rec go i =
+      if Polybasis.Term.equal (Polybasis.Basis.term b i) (Polybasis.Term.square 0)
+      then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let m = Rsm.Model.make ~basis_size:(Polybasis.Basis.size b) ~support:[| sq |] ~coeffs:[| 3. |] in
+  Alcotest.(check string) "hermite spelled out" "f = 3*((y0^2 - 1)/sqrt2)"
+    (Rsm.Serialize.to_expression m b)
+
+let test_expression_empty () =
+  let b = Polybasis.Basis.constant_linear 2 in
+  let m = Rsm.Model.make ~basis_size:3 ~support:[||] ~coeffs:[||] in
+  Alcotest.(check string) "zero model" "f = 0" (Rsm.Serialize.to_expression m b)
+
+let suite =
+  ( "dataset-io",
+    [
+      case "csv roundtrip" test_roundtrip_string;
+      case "csv errors" test_header_and_errors;
+      case "fit from reloaded dataset" test_fit_from_reloaded_dataset;
+      case "expression: linear" test_expression_linear;
+      case "expression: quadratic hermite" test_expression_quadratic;
+      case "expression: empty" test_expression_empty;
+    ] )

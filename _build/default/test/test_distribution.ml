@@ -1,0 +1,140 @@
+(* Normal distribution functions and histograms. *)
+open Test_util
+
+let test_pdf () =
+  check_float ~eps:1e-12 "phi(0)" 0.3989422804014327 (Stat.Distribution.pdf 0.);
+  check_float ~eps:1e-10 "phi symmetric" (Stat.Distribution.pdf 1.3)
+    (Stat.Distribution.pdf (-1.3));
+  check_bool "decreasing in |x|" true
+    (Stat.Distribution.pdf 2. < Stat.Distribution.pdf 1.)
+
+let test_cdf_known_values () =
+  check_float ~eps:1e-6 "Phi(0)" 0.5 (Stat.Distribution.cdf 0.);
+  check_float ~eps:1e-5 "Phi(1.96)" 0.975 (Stat.Distribution.cdf 1.96);
+  check_float ~eps:1e-6 "Phi(-1) + Phi(1) = 1"
+    1.
+    (Stat.Distribution.cdf (-1.) +. Stat.Distribution.cdf 1.);
+  check_float ~eps:1e-4 "Phi(3)" 0.99865 (Stat.Distribution.cdf 3.);
+  check_bool "tails" true
+    (Stat.Distribution.cdf (-8.) < 1e-14 && Stat.Distribution.cdf 8. > 1. -. 1e-14)
+
+let test_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      check_float ~eps:1e-5
+        (Printf.sprintf "cdf(q(%g))" p)
+        p
+        (Stat.Distribution.cdf (Stat.Distribution.quantile p)))
+    [ 1e-6; 0.001; 0.025; 0.3; 0.5; 0.7; 0.975; 0.999; 1. -. 1e-6 ]
+
+let test_quantile_known () =
+  check_float ~eps:1e-5 "q(0.5)" 0. (Stat.Distribution.quantile 0.5);
+  check_float ~eps:1e-4 "q(0.975)" 1.959964 (Stat.Distribution.quantile 0.975);
+  check_raises_invalid "q(0)" (fun () -> ignore (Stat.Distribution.quantile 0.));
+  check_raises_invalid "q(1)" (fun () -> ignore (Stat.Distribution.quantile 1.))
+
+let test_gaussian_yield () =
+  check_float ~eps:1e-5 "symmetric window"
+    (Stat.Distribution.sigma_to_yield 1.)
+    (Stat.Distribution.gaussian_yield ~mean:10. ~sigma:2. ~lower:8. ~upper:12.);
+  check_float ~eps:1e-4 "3 sigma" 0.9973 (Stat.Distribution.sigma_to_yield 3.);
+  check_float ~eps:1e-6 "one-sided" 0.5
+    (Stat.Distribution.gaussian_yield ~mean:0. ~sigma:1. ~lower:0.
+       ~upper:Float.infinity);
+  check_raises_invalid "bad sigma" (fun () ->
+      ignore (Stat.Distribution.gaussian_yield ~mean:0. ~sigma:0. ~lower:0. ~upper:1.))
+
+let test_cdf_mc_agreement () =
+  (* Monte-Carlo check of cdf against actual Gaussian samples. *)
+  let g = rng () in
+  let n = 50000 in
+  let below = ref 0 in
+  for _ = 1 to n do
+    if Randkit.Gaussian.sample g < 1.2 then incr below
+  done;
+  check_float ~eps:0.01 "MC agreement"
+    (Stat.Distribution.cdf 1.2)
+    (float_of_int !below /. float_of_int n)
+
+(* --- Histogram --- *)
+
+let test_histogram_basic () =
+  let h = Stat.Histogram.create ~bins:4 ~range:(0., 4.) [| 0.5; 1.5; 1.6; 2.5; 3.5 |] in
+  Alcotest.(check (array int)) "counts" [| 1; 2; 1; 1 |] h.Stat.Histogram.counts;
+  check_int "total" 5 h.Stat.Histogram.total;
+  check_int "mode" 1 (Stat.Histogram.mode_bin h)
+
+let test_histogram_overflow () =
+  let h = Stat.Histogram.create ~bins:2 ~range:(0., 1.) [| -1.; 0.5; 2. |] in
+  check_int "under" 1 h.Stat.Histogram.n_underflow;
+  check_int "over" 1 h.Stat.Histogram.n_overflow
+
+let test_histogram_density_normalized () =
+  let g = rng () in
+  let data = Randkit.Gaussian.vector g 20000 in
+  let h = Stat.Histogram.create ~bins:40 ~range:(-4., 4.) data in
+  let d = Stat.Histogram.densities h in
+  let w = 8. /. 40. in
+  let integral = Array.fold_left (fun acc x -> acc +. (x *. w)) 0. d in
+  check_float ~eps:1e-9 "integrates to 1" 1. integral;
+  (* Peak near zero, matching the normal density. *)
+  let centers = Stat.Histogram.bin_centers h in
+  check_bool "mode near 0" true (Float.abs centers.(Stat.Histogram.mode_bin h) < 0.5)
+
+let test_histogram_edge_cases () =
+  check_raises_invalid "empty" (fun () -> ignore (Stat.Histogram.create [||]));
+  check_raises_invalid "bins 0" (fun () ->
+      ignore (Stat.Histogram.create ~bins:0 [| 1. |]));
+  (* Constant data gets a synthetic window. *)
+  let h = Stat.Histogram.create [| 5.; 5.; 5. |] in
+  check_int "all binned" 3
+    (Array.fold_left ( + ) 0 h.Stat.Histogram.counts)
+
+let test_histogram_render () =
+  let h = Stat.Histogram.create ~bins:3 ~range:(0., 3.) [| 0.5; 1.5; 1.7 |] in
+  let s = Stat.Histogram.render ~width:10 h in
+  check_bool "has bars" true (String.contains s '#');
+  check_bool "three lines" true
+    (List.length (String.split_on_char '\n' (String.trim s)) = 3)
+
+let test_chi2_distance () =
+  let g = rng () in
+  let a = Randkit.Gaussian.vector g 5000 in
+  let b = Randkit.Gaussian.vector g 5000 in
+  let shifted = Array.map (fun x -> x +. 3.) b in
+  let range = (-6., 6.) in
+  let ha = Stat.Histogram.create ~bins:24 ~range a in
+  let hb = Stat.Histogram.create ~bins:24 ~range b in
+  let hs = Stat.Histogram.create ~bins:24 ~range shifted in
+  check_float ~eps:1e-12 "self distance" 0. (Stat.Histogram.chi2_distance ha ha);
+  check_bool "same distribution close" true
+    (Stat.Histogram.chi2_distance ha hb < 0.05);
+  check_bool "shifted far" true
+    (Stat.Histogram.chi2_distance ha hs > 10. *. Stat.Histogram.chi2_distance ha hb);
+  let other = Stat.Histogram.create ~bins:10 ~range a in
+  check_raises_invalid "binning mismatch" (fun () ->
+      ignore (Stat.Histogram.chi2_distance ha other))
+
+let prop_quantile_monotone =
+  qtest ~count:50 "normal quantile is monotone"
+    QCheck.(pair (float_range 0.01 0.98) (float_range 0.001 0.01))
+    (fun (p, dp) ->
+      Stat.Distribution.quantile p < Stat.Distribution.quantile (p +. dp))
+
+let suite =
+  ( "distribution",
+    [
+      case "pdf" test_pdf;
+      case "cdf known values" test_cdf_known_values;
+      case "quantile roundtrip" test_quantile_roundtrip;
+      case "quantile known values" test_quantile_known;
+      case "gaussian yield" test_gaussian_yield;
+      slow_case "cdf vs Monte Carlo" test_cdf_mc_agreement;
+      case "histogram: basic" test_histogram_basic;
+      case "histogram: overflow" test_histogram_overflow;
+      case "histogram: density normalization" test_histogram_density_normalized;
+      case "histogram: edge cases" test_histogram_edge_cases;
+      case "histogram: render" test_histogram_render;
+      case "histogram: chi2 distance" test_chi2_distance;
+      prop_quantile_monotone;
+    ] )

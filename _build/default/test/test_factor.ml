@@ -1,0 +1,293 @@
+(* Triangular solves, Cholesky (incl. the growing factor), QR, eigen. *)
+open Linalg
+open Test_util
+
+let spd g n =
+  (* Random SPD: A = B·Bᵀ + n·I. *)
+  let b = Mat.init n n (fun _ _ -> Randkit.Prng.float g -. 0.5) in
+  Mat.add (Mat.gram (Mat.transpose b)) (Mat.smul (float_of_int n) (Mat.identity n))
+
+(* --- Tri --- *)
+
+let test_solve_lower () =
+  let l = Mat.of_arrays [| [| 2.; 0. |]; [| 1.; 3. |] |] in
+  let x = Tri.solve_lower l [| 4.; 11. |] in
+  check_vec "forward" [| 2.; 3. |] x
+
+let test_solve_upper () =
+  let u = Mat.of_arrays [| [| 2.; 1. |]; [| 0.; 3. |] |] in
+  let x = Tri.solve_upper u [| 7.; 9. |] in
+  check_vec "backward" [| 2.; 3. |] x
+
+let test_solve_lower_transposed () =
+  let l = Mat.of_arrays [| [| 2.; 0. |]; [| 1.; 3. |] |] in
+  let b = [| 5.; 6. |] in
+  let x = Tri.solve_lower_transposed l b in
+  check_vec "L^T x = b" b (Mat.mulv (Mat.transpose l) x)
+
+let test_singular () =
+  let l = Mat.of_arrays [| [| 0.; 0. |]; [| 1.; 3. |] |] in
+  (match Tri.solve_lower l [| 1.; 1. |] with
+  | exception Tri.Singular 0 -> ()
+  | _ -> Alcotest.fail "expected Singular 0");
+  check_raises_invalid "rhs mismatch" (fun () -> Tri.solve_lower l [| 1. |])
+
+let test_sub_solvers () =
+  let l = Mat.of_arrays [| [| 2.; 0.; 9. |]; [| 1.; 3.; 9. |]; [| 9.; 9.; 9. |] |] in
+  (* Leading 2×2 block only; junk elsewhere must be ignored. *)
+  let x = Tri.solve_lower_sub l 2 [| 4.; 11. |] in
+  check_vec "sub forward" [| 2.; 3. |] x
+
+(* --- Cholesky --- *)
+
+let test_factor_reconstruct () =
+  let g = rng () in
+  let a = spd g 6 in
+  let l = Cholesky.factor a in
+  check_mat ~eps:1e-9 "L L^T = A" a (Mat.mul l (Mat.transpose l))
+
+let test_factor_not_pd () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  match Cholesky.factor a with
+  | exception Cholesky.Not_positive_definite _ -> ()
+  | _ -> Alcotest.fail "expected Not_positive_definite"
+
+let test_spd_solve () =
+  let g = rng () in
+  let a = spd g 5 in
+  let x_true = Array.init 5 (fun i -> float_of_int i -. 2.) in
+  let b = Mat.mulv a x_true in
+  check_vec ~eps:1e-8 "solve" x_true (Cholesky.spd_solve a b)
+
+let test_log_det () =
+  let a = Mat.of_arrays [| [| 4.; 0. |]; [| 0.; 9. |] |] in
+  let l = Cholesky.factor a in
+  check_float ~eps:1e-12 "log det" (log 36.) (Cholesky.log_det l)
+
+let test_grow_matches_direct () =
+  let g = rng () in
+  let a = spd g 7 in
+  let grow = Cholesky.Grow.create 7 in
+  for k = 0 to 6 do
+    let v = Array.init k (fun i -> Mat.get a k i) in
+    Cholesky.Grow.append grow v (Mat.get a k k);
+    check_int "size" (k + 1) (Cholesky.Grow.size grow)
+  done;
+  let direct = Cholesky.factor a in
+  check_mat ~eps:1e-9 "grown factor = direct factor" direct
+    (Cholesky.Grow.factor_copy grow);
+  let b = Array.init 7 (fun i -> float_of_int (i + 1)) in
+  check_vec ~eps:1e-8 "grow solve" (Cholesky.spd_solve a b)
+    (Cholesky.Grow.solve grow b)
+
+let test_grow_remove_last () =
+  let g = rng () in
+  let a = spd g 5 in
+  let grow = Cholesky.Grow.create 5 in
+  for k = 0 to 4 do
+    Cholesky.Grow.append grow (Array.init k (fun i -> Mat.get a k i)) (Mat.get a k k)
+  done;
+  Cholesky.Grow.remove_last grow;
+  Cholesky.Grow.remove_last grow;
+  check_int "shrunk" 3 (Cholesky.Grow.size grow);
+  (* Re-append and verify the factor is still exact. *)
+  for k = 3 to 4 do
+    Cholesky.Grow.append grow (Array.init k (fun i -> Mat.get a k i)) (Mat.get a k k)
+  done;
+  check_mat ~eps:1e-9 "refilled" (Cholesky.factor a) (Cholesky.Grow.factor_copy grow)
+
+let test_grow_capacity_and_pd () =
+  let grow = Cholesky.Grow.create 1 in
+  Cholesky.Grow.append grow [||] 4.;
+  check_raises_invalid "capacity" (fun () -> Cholesky.Grow.append grow [| 1. |] 1.);
+  let grow2 = Cholesky.Grow.create 2 in
+  Cholesky.Grow.append grow2 [||] 1.;
+  (match Cholesky.Grow.append grow2 [| 1. |] 1. with
+  (* new column equal to the first: gram [[1,1],[1,1]] is singular *)
+  | exception Cholesky.Not_positive_definite _ -> ()
+  | _ -> Alcotest.fail "expected Not_positive_definite on dependent column")
+
+(* --- QR --- *)
+
+let random_tall g m n = Mat.init m n (fun _ _ -> Randkit.Prng.float g -. 0.5)
+
+let test_qr_reconstruct () =
+  let g = rng () in
+  let a = random_tall g 8 5 in
+  let f = Qr.factor a in
+  let q = Qr.q f and r = Qr.r f in
+  check_mat ~eps:1e-9 "QR = A" a (Mat.mul q r);
+  (* Orthonormal columns. *)
+  check_mat ~eps:1e-9 "Q^T Q = I" (Mat.identity 5) (Mat.gram q)
+
+let test_qr_r_upper_triangular () =
+  let g = rng () in
+  let f = Qr.factor (random_tall g 6 4) in
+  let r = Qr.r f in
+  for i = 1 to 3 do
+    for j = 0 to i - 1 do
+      check_float "below diag" 0. (Mat.get r i j)
+    done
+  done
+
+let test_qr_solve_exact () =
+  let g = rng () in
+  let a = random_tall g 6 6 in
+  let x_true = Array.init 6 (fun i -> float_of_int (i - 3)) in
+  let b = Mat.mulv a x_true in
+  check_vec ~eps:1e-8 "square solve" x_true (Qr.lstsq a b)
+
+let test_qr_lstsq_normal_equations () =
+  (* The LS solution must satisfy A^T(Ax − b) = 0. *)
+  let g = rng () in
+  let a = random_tall g 12 5 in
+  let b = Array.init 12 (fun _ -> Randkit.Prng.float g) in
+  let x = Qr.lstsq a b in
+  let grad = Mat.tmulv a (Lstsq.residual a x b) in
+  check_bool "gradient zero" true (Vec.nrm2 grad < 1e-9)
+
+let test_qt_apply () =
+  let g = rng () in
+  let a = random_tall g 7 4 in
+  let f = Qr.factor a in
+  let b = Array.init 7 (fun _ -> Randkit.Prng.float g) in
+  let explicit = Mat.tmulv (Qr.q f) b in
+  check_vec ~eps:1e-9 "qt_apply" explicit (Qr.qt_apply f b)
+
+let test_qr_underdetermined_rejected () =
+  check_raises_invalid "wide rejected" (fun () -> Qr.factor (Mat.create 2 5))
+
+(* --- Eigen --- *)
+
+let test_eigen_diag () =
+  let a = Mat.of_arrays [| [| 3.; 0. |]; [| 0.; 1. |] |] in
+  let d = Eigen.symmetric a in
+  check_float "largest" 3. d.Eigen.values.(0);
+  check_float "smallest" 1. d.Eigen.values.(1)
+
+let test_eigen_known () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1. *)
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  let d = Eigen.symmetric a in
+  check_float ~eps:1e-10 "ev1" 3. d.Eigen.values.(0);
+  check_float ~eps:1e-10 "ev2" 1. d.Eigen.values.(1)
+
+let test_eigen_reconstruct () =
+  let g = rng () in
+  let a = spd g 6 in
+  let d = Eigen.symmetric a in
+  check_mat ~eps:1e-8 "V D V^T = A" a (Eigen.reconstruct d)
+
+let test_eigen_orthonormal_vectors () =
+  let g = rng () in
+  let a = spd g 5 in
+  let d = Eigen.symmetric a in
+  check_mat ~eps:1e-8 "V^T V = I" (Mat.identity 5) (Mat.gram d.Eigen.vectors)
+
+let test_eigen_rejects_asymmetric () =
+  check_raises_invalid "asym" (fun () ->
+      ignore (Eigen.symmetric (Mat.of_arrays [| [| 1.; 2. |]; [| 0.; 1. |] |])))
+
+let test_eigen_trace_preserved () =
+  let g = rng () in
+  let a = spd g 7 in
+  let d = Eigen.symmetric a in
+  let tr = ref 0. in
+  for i = 0 to 6 do
+    tr := !tr +. Mat.get a i i
+  done;
+  check_float ~eps:1e-8 "trace = sum of eigenvalues" !tr (Vec.sum d.Eigen.values)
+
+(* --- Lstsq --- *)
+
+let test_lstsq_methods_agree () =
+  let g = rng () in
+  let a = random_tall g 15 6 in
+  let b = Array.init 15 (fun _ -> Randkit.Prng.float g) in
+  let x_qr = Lstsq.solve ~method_:Lstsq.Qr a b in
+  let x_ne = Lstsq.solve ~method_:Lstsq.Normal a b in
+  check_vec ~eps:1e-7 "QR vs normal equations" x_qr x_ne
+
+let test_solve_subset () =
+  let g = rng () in
+  let a = random_tall g 20 8 in
+  let b = Array.init 20 (fun _ -> Randkit.Prng.float g) in
+  let idx = [| 1; 4; 6 |] in
+  let coef = Lstsq.solve_subset a idx b in
+  let direct = Lstsq.solve (Mat.select_cols a idx) b in
+  check_vec ~eps:1e-8 "subset = direct on selected columns" direct coef
+
+let test_residual_subset () =
+  let g = rng () in
+  let a = random_tall g 10 5 in
+  let b = Array.init 10 (fun _ -> Randkit.Prng.float g) in
+  let idx = [| 0; 3 |] in
+  let x = [| 2.; -1. |] in
+  let direct = Lstsq.residual (Mat.select_cols a idx) x b in
+  check_vec ~eps:1e-12 "residual_subset" direct (Lstsq.residual_subset a idx x b)
+
+let test_lstsq_underdetermined_rejected () =
+  check_raises_invalid "underdetermined" (fun () ->
+      ignore (Lstsq.solve (Mat.create 3 5) [| 1.; 2.; 3. |]))
+
+let prop_cholesky_solve_random =
+  qtest ~count:30 "cholesky solves random SPD systems" QCheck.(int_range 1 8)
+    (fun n ->
+      let g = rng () in
+      let a = spd g n in
+      let x = Array.init n (fun i -> float_of_int i -. (float_of_int n /. 2.)) in
+      let b = Mat.mulv a x in
+      Vec.approx_equal ~tol:1e-6 x (Cholesky.spd_solve a b))
+
+let prop_qr_solution_optimal =
+  qtest ~count:30 "QR least-squares is optimal vs perturbations"
+    QCheck.(int_range 2 6)
+    (fun n ->
+      let g = rng () in
+      let a = random_tall g (2 * n) n in
+      let b = Array.init (2 * n) (fun _ -> Randkit.Prng.float g) in
+      let x = Qr.lstsq a b in
+      let base = Vec.nrm2 (Lstsq.residual a x b) in
+      (* Any perturbation of the solution can only increase the residual. *)
+      let ok = ref true in
+      for j = 0 to n - 1 do
+        let xp = Array.copy x in
+        xp.(j) <- xp.(j) +. 0.01;
+        if Vec.nrm2 (Lstsq.residual a xp b) < base -. 1e-12 then ok := false
+      done;
+      !ok)
+
+let suite =
+  ( "factorizations",
+    [
+      case "tri: solve_lower" test_solve_lower;
+      case "tri: solve_upper" test_solve_upper;
+      case "tri: lower transposed" test_solve_lower_transposed;
+      case "tri: singular" test_singular;
+      case "tri: sub-block solvers" test_sub_solvers;
+      case "cholesky: reconstruct" test_factor_reconstruct;
+      case "cholesky: rejects indefinite" test_factor_not_pd;
+      case "cholesky: spd_solve" test_spd_solve;
+      case "cholesky: log_det" test_log_det;
+      case "cholesky.grow: matches direct" test_grow_matches_direct;
+      case "cholesky.grow: remove_last" test_grow_remove_last;
+      case "cholesky.grow: capacity & dependent column" test_grow_capacity_and_pd;
+      case "qr: reconstruct" test_qr_reconstruct;
+      case "qr: R upper triangular" test_qr_r_upper_triangular;
+      case "qr: exact square solve" test_qr_solve_exact;
+      case "qr: normal equations hold" test_qr_lstsq_normal_equations;
+      case "qr: qt_apply" test_qt_apply;
+      case "qr: rejects wide" test_qr_underdetermined_rejected;
+      case "eigen: diagonal" test_eigen_diag;
+      case "eigen: known 2x2" test_eigen_known;
+      case "eigen: reconstruct" test_eigen_reconstruct;
+      case "eigen: orthonormal vectors" test_eigen_orthonormal_vectors;
+      case "eigen: rejects asymmetric" test_eigen_rejects_asymmetric;
+      case "eigen: trace preserved" test_eigen_trace_preserved;
+      case "lstsq: methods agree" test_lstsq_methods_agree;
+      case "lstsq: solve_subset" test_solve_subset;
+      case "lstsq: residual_subset" test_residual_subset;
+      case "lstsq: rejects underdetermined" test_lstsq_underdetermined_rejected;
+      prop_cholesky_solve_random;
+      prop_qr_solution_optimal;
+    ] )

@@ -1,0 +1,164 @@
+(* End-to-end integration: circuit simulator → Hermite design matrix →
+   sparse solvers → testing-set validation, i.e. the paper's full flow
+   at reduced scale. *)
+open Test_util
+
+let build_experiment ?(train = 250) ?(test = 800) ~metric () =
+  let amp = Circuit.Opamp.build ~n_parasitics:30 () in
+  let sim = Circuit.Opamp.simulator amp metric in
+  let g = rng () in
+  let e = Circuit.Testbench.generate sim g ~train ~test in
+  let basis = Polybasis.Basis.constant_linear (Circuit.Opamp.dim amp) in
+  let g_tr = Polybasis.Design.matrix_rows basis e.Circuit.Testbench.train.Circuit.Simulator.points in
+  let g_te = Polybasis.Design.matrix_rows basis e.Circuit.Testbench.test.Circuit.Simulator.points in
+  ( g_tr,
+    e.Circuit.Testbench.train.Circuit.Simulator.values,
+    g_te,
+    e.Circuit.Testbench.test.Circuit.Simulator.values,
+    amp )
+
+let test_offset_model_is_sparse_and_accurate () =
+  let g_tr, f_tr, g_te, f_te, _ = build_experiment ~metric:Circuit.Opamp.Offset () in
+  let r = Rsm.Select.omp (rng ()) ~max_lambda:40 g_tr f_tr in
+  let err = Rsm.Model.error_on r.Rsm.Select.model g_te f_te in
+  check_bool "testing error under 10%" true (err < 0.10);
+  check_bool "sparse" true (Rsm.Model.nnz r.Rsm.Select.model < 40)
+
+let test_offset_selects_input_pair () =
+  (* The selected factors must include the input-pair V_TH mismatch —
+     the physically dominant offset source (paper Section V-A). *)
+  let g_tr, f_tr, _, _, amp = build_experiment ~metric:Circuit.Opamp.Offset () in
+  let p = Circuit.Opamp.process amp in
+  let model = Rsm.Omp.fit g_tr f_tr ~lambda:10 in
+  let vth_m1 =
+    Circuit.Process.mismatch_factor_index p ~device:Circuit.Opamp.Device.m1 ~which:0
+  in
+  let vth_m2 =
+    Circuit.Process.mismatch_factor_index p ~device:Circuit.Opamp.Device.m2 ~which:0
+  in
+  (* Basis index = 1 + factor index (constant first). *)
+  check_bool "m1 vth selected" true (Rsm.Model.coeff model (vth_m1 + 1) <> 0.);
+  check_bool "m2 vth selected" true (Rsm.Model.coeff model (vth_m2 + 1) <> 0.);
+  (* And with opposite signs (differential pair). *)
+  check_bool "opposite signs" true
+    (Rsm.Model.coeff model (vth_m1 + 1) *. Rsm.Model.coeff model (vth_m2 + 1) < 0.)
+
+let test_sparse_methods_beat_ls_sample_for_sample () =
+  (* The paper's core claim: at K < M, the sparse methods deliver a
+     usable model while LS cannot even run; at K slightly above M, the
+     sparse methods still beat LS on the testing set. *)
+  let g_tr, f_tr, g_te, f_te, _ = build_experiment ~train:180 ~metric:Circuit.Opamp.Offset () in
+  (* K = 180 < M = 111? no — reduced opamp has dim 110, so M = 111 and
+     K = 180 is slightly over-determined: LS runs but overfits noise-
+     free? Compare testing errors. *)
+  let ls = Rsm.Ls.fit g_tr f_tr in
+  let omp = Rsm.Omp.fit g_tr f_tr ~lambda:20 in
+  let e_ls = Rsm.Model.error_on ls g_te f_te in
+  let e_omp = Rsm.Model.error_on omp g_te f_te in
+  check_bool "OMP no worse than 1.2x LS" true (e_omp < Float.max (1.2 *. e_ls) 0.1)
+
+let test_quadratic_improves_on_linear () =
+  (* Power is mildly nonlinear through the bias loop: a quadratic model
+     over the top linear factors must beat the pure linear model. *)
+  let amp = Circuit.Opamp.build ~n_parasitics:30 () in
+  let sim = Circuit.Opamp.simulator amp Circuit.Opamp.Power in
+  let g = rng () in
+  let e = Circuit.Testbench.generate sim g ~train:500 ~test:1500 in
+  let n = Circuit.Opamp.dim amp in
+  let lin_basis = Polybasis.Basis.constant_linear n in
+  let tr_pts = e.Circuit.Testbench.train.Circuit.Simulator.points in
+  let te_pts = e.Circuit.Testbench.test.Circuit.Simulator.points in
+  let f_tr = e.Circuit.Testbench.train.Circuit.Simulator.values in
+  let f_te = e.Circuit.Testbench.test.Circuit.Simulator.values in
+  let g_tr = Polybasis.Design.matrix_rows lin_basis tr_pts in
+  let g_te = Polybasis.Design.matrix_rows lin_basis te_pts in
+  let lin = Rsm.Omp.fit g_tr f_tr ~lambda:40 in
+  let e_lin = Rsm.Model.error_on lin g_te f_te in
+  (* Rank factors by linear coefficient magnitude, quadratic on top 12
+     (the paper's Section V-A.2 flow with 200 → here 12). *)
+  let dense = Rsm.Model.to_dense lin in
+  let scored = Array.init n (fun j -> (Float.abs dense.(j + 1), j)) in
+  Array.sort (fun (a, _) (b, _) -> compare b a) scored;
+  let top = Array.map snd (Array.sub scored 0 12) in
+  let quad_basis = Polybasis.Basis.quadratic_subset ~dim:n top in
+  let gq_tr = Polybasis.Design.matrix_rows quad_basis tr_pts in
+  let gq_te = Polybasis.Design.matrix_rows quad_basis te_pts in
+  let quad = Rsm.Omp.fit gq_tr f_tr ~lambda:60 in
+  let e_quad = Rsm.Model.error_on quad gq_te f_te in
+  check_bool
+    (Printf.sprintf "quadratic (%.4f) <= linear (%.4f)" e_quad e_lin)
+    true (e_quad <= e_lin +. 0.005)
+
+let test_sram_flow_small () =
+  (* SRAM read delay at reduced scale: underdetermined linear modeling,
+     K = 150 samples, M = 18·40+70+1 ≈ 791 coefficients. *)
+  let sram = Circuit.Sram.build ~cells:40 () in
+  let sim = Circuit.Sram.simulator sram in
+  let g = rng () in
+  let e = Circuit.Testbench.generate sim g ~train:150 ~test:500 in
+  let basis = Polybasis.Basis.constant_linear (Circuit.Sram.dim sram) in
+  let g_tr = Polybasis.Design.matrix_rows basis e.Circuit.Testbench.train.Circuit.Simulator.points in
+  let g_te = Polybasis.Design.matrix_rows basis e.Circuit.Testbench.test.Circuit.Simulator.points in
+  let f_tr = e.Circuit.Testbench.train.Circuit.Simulator.values in
+  let f_te = e.Circuit.Testbench.test.Circuit.Simulator.values in
+  check_bool "underdetermined" true (Linalg.Mat.rows g_tr < Linalg.Mat.cols g_tr);
+  let model = Rsm.Omp.fit g_tr f_tr ~lambda:50 in
+  let err = Rsm.Model.error_on model g_te f_te in
+  check_bool (Printf.sprintf "testing error %.4f under 30%%" err) true (err < 0.30);
+  (* Fig. 6's sparsity: the selected factors are a tiny fraction of M. *)
+  check_bool "sparse vs dictionary" true
+    (float_of_int (Rsm.Model.nnz model) < 0.1 *. float_of_int (Linalg.Mat.cols g_tr))
+
+let test_sram_selected_factors_physical () =
+  (* The factors OMP picks should largely be the physically important
+     ones (accessed cell, sense amp, drivers, globals). *)
+  let sram = Circuit.Sram.build ~cells:40 () in
+  let sim = Circuit.Sram.simulator sram in
+  let g = rng () in
+  let e = Circuit.Testbench.generate sim g ~train:200 ~test:100 in
+  let basis = Polybasis.Basis.constant_linear (Circuit.Sram.dim sram) in
+  let g_tr = Polybasis.Design.matrix_rows basis e.Circuit.Testbench.train.Circuit.Simulator.points in
+  let f_tr = e.Circuit.Testbench.train.Circuit.Simulator.values in
+  let model = Rsm.Omp.fit g_tr f_tr ~lambda:20 in
+  let important = Circuit.Sram.important_factors sram in
+  let is_important j = Array.mem j important in
+  let hits = ref 0 and total = ref 0 in
+  Array.iter
+    (fun bidx ->
+      if bidx > 0 then begin
+        incr total;
+        if is_important (bidx - 1) then incr hits
+      end)
+    model.Rsm.Model.support;
+  (* Replica cells are important-but-unlisted, so demand a majority,
+     not unanimity. *)
+  check_bool
+    (Printf.sprintf "%d/%d selected factors are physical" !hits !total)
+    true
+    (float_of_int !hits >= 0.5 *. float_of_int !total)
+
+let test_seed_reproducibility () =
+  (* The whole flow is a pure function of the seed. *)
+  let run () =
+    let amp = Circuit.Opamp.build ~n_parasitics:20 () in
+    let sim = Circuit.Opamp.simulator amp Circuit.Opamp.Gain in
+    let g = Randkit.Prng.create 777 in
+    let e = Circuit.Testbench.generate sim g ~train:100 ~test:50 in
+    let basis = Polybasis.Basis.constant_linear (Circuit.Opamp.dim amp) in
+    let g_tr = Polybasis.Design.matrix_rows basis e.Circuit.Testbench.train.Circuit.Simulator.points in
+    let model = Rsm.Omp.fit g_tr e.Circuit.Testbench.train.Circuit.Simulator.values ~lambda:10 in
+    Rsm.Model.to_dense model
+  in
+  check_vec ~eps:0. "bit-identical across runs" (run ()) (run ())
+
+let suite =
+  ( "integration",
+    [
+      slow_case "opamp offset: sparse & accurate" test_offset_model_is_sparse_and_accurate;
+      slow_case "opamp offset: physically meaningful support" test_offset_selects_input_pair;
+      slow_case "opamp: OMP competitive with LS" test_sparse_methods_beat_ls_sample_for_sample;
+      slow_case "opamp power: quadratic beats linear" test_quadratic_improves_on_linear;
+      slow_case "sram: underdetermined flow" test_sram_flow_small;
+      slow_case "sram: physical support" test_sram_selected_factors_physical;
+      case "reproducibility" test_seed_reproducibility;
+    ] )

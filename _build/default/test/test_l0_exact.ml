@@ -1,0 +1,88 @@
+open Test_util
+open Linalg
+
+let sparse_problem ?(noise = 0.) ~k ~m ~support ~coeffs seed =
+  let g = Randkit.Prng.create seed in
+  let design = Randkit.Gaussian.matrix g k m in
+  let f =
+    Array.init k (fun i ->
+        let acc = ref 0. in
+        Array.iteri
+          (fun p j -> acc := !acc +. (coeffs.(p) *. Mat.get design i j))
+          support;
+        !acc +. (noise *. Randkit.Gaussian.sample g))
+  in
+  (design, f)
+
+let test_count_subsets () =
+  check_int "C(5,2)" 10 (Rsm.L0_exact.count_subsets ~m:5 ~lambda:2);
+  check_int "C(20,3)" 1140 (Rsm.L0_exact.count_subsets ~m:20 ~lambda:3);
+  check_int "C(n,0)" 1 (Rsm.L0_exact.count_subsets ~m:5 ~lambda:0);
+  check_int "lambda > m" 0 (Rsm.L0_exact.count_subsets ~m:3 ~lambda:5)
+
+let test_exact_finds_planted_support () =
+  let support = [| 2; 11 |] and coeffs = [| 2.; -1. |] in
+  let g, f = sparse_problem ~k:40 ~m:15 ~support ~coeffs 401 in
+  let sol = Rsm.L0_exact.solve g f ~lambda:2 in
+  Alcotest.(check (array int)) "support" support sol.Rsm.L0_exact.model.Rsm.Model.support;
+  check_float ~eps:1e-8 "zero residual" 0. sol.Rsm.L0_exact.residual_norm;
+  check_int "tried all C(15,2)" 105 sol.Rsm.L0_exact.subsets_tried
+
+let test_omp_never_beats_exact () =
+  (* The NP-hard optimum lower-bounds every heuristic's residual. *)
+  List.iter
+    (fun seed ->
+      let g, f =
+        sparse_problem ~noise:0.5 ~k:30 ~m:12
+          ~support:[| 1; 7; 10 |] ~coeffs:[| 1.; -2.; 0.5 |] seed
+      in
+      let exact = Rsm.L0_exact.solve g f ~lambda:3 in
+      List.iter
+        (fun (name, model) ->
+          let res = Vec.nrm2 (Vec.sub f (Rsm.Model.predict_design model g)) in
+          check_bool
+            (Printf.sprintf "%s >= exact at seed %d" name seed)
+            true
+            (res >= exact.Rsm.L0_exact.residual_norm -. 1e-9))
+        [
+          ("OMP", Rsm.Omp.fit g f ~lambda:3);
+          ("STAR", Rsm.Star.fit g f ~lambda:3);
+          ("LAR", Rsm.Lars.fit g f ~lambda:3);
+        ])
+    [ 402; 403; 404; 405 ]
+
+let test_omp_usually_matches_exact () =
+  (* On incoherent problems OMP typically attains the exact optimum. *)
+  let hits = ref 0 in
+  let total = 10 in
+  for seed = 500 to 500 + total - 1 do
+    let g, f =
+      sparse_problem ~noise:0.2 ~k:50 ~m:14 ~support:[| 0; 8 |]
+        ~coeffs:[| 2.; 1.5 |] seed
+    in
+    let exact = Rsm.L0_exact.solve g f ~lambda:2 in
+    let omp = Rsm.Omp.fit g f ~lambda:2 in
+    let res = Vec.nrm2 (Vec.sub f (Rsm.Model.predict_design omp g)) in
+    if res <= exact.Rsm.L0_exact.residual_norm +. 1e-9 then incr hits
+  done;
+  check_bool
+    (Printf.sprintf "OMP optimal in %d/%d cases" !hits total)
+    true
+    (!hits >= 8)
+
+let test_exact_validation () =
+  let g, f = sparse_problem ~k:10 ~m:8 ~support:[| 1 |] ~coeffs:[| 1. |] 406 in
+  check_raises_invalid "lambda 0" (fun () ->
+      ignore (Rsm.L0_exact.solve g f ~lambda:0));
+  check_raises_invalid "cap exceeded" (fun () ->
+      ignore (Rsm.L0_exact.solve ~max_subsets:5 g f ~lambda:3))
+
+let suite =
+  ( "l0-exact",
+    [
+      case "subset counting" test_count_subsets;
+      case "finds planted support" test_exact_finds_planted_support;
+      case "heuristics never beat the optimum" test_omp_never_beats_exact;
+      case "OMP usually attains the optimum" test_omp_usually_matches_exact;
+      case "validation" test_exact_validation;
+    ] )

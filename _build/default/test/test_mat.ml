@@ -1,0 +1,177 @@
+open Linalg
+open Test_util
+
+let a23 () = Mat.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |]
+
+let test_create_dims () =
+  let a = Mat.create 2 3 in
+  check_int "rows" 2 (Mat.rows a);
+  check_int "cols" 3 (Mat.cols a);
+  check_float "zero" 0. (Mat.get a 1 2)
+
+let test_of_arrays () =
+  let a = a23 () in
+  check_float "get" 6. (Mat.get a 1 2);
+  check_raises_invalid "ragged" (fun () ->
+      Mat.of_arrays [| [| 1. |]; [| 1.; 2. |] |])
+
+let test_get_set_bounds () =
+  let a = Mat.create 2 2 in
+  Mat.set a 0 1 5.;
+  check_float "set/get" 5. (Mat.get a 0 1);
+  check_raises_invalid "row oob" (fun () -> Mat.get a 2 0);
+  check_raises_invalid "col oob" (fun () -> Mat.get a 0 2);
+  check_raises_invalid "negative" (fun () -> Mat.get a (-1) 0)
+
+let test_identity () =
+  let i3 = Mat.identity 3 in
+  check_float "diag" 1. (Mat.get i3 1 1);
+  check_float "off" 0. (Mat.get i3 0 1)
+
+let test_row_col () =
+  let a = a23 () in
+  check_vec "row" [| 4.; 5.; 6. |] (Mat.row a 1);
+  check_vec "col" [| 2.; 5. |] (Mat.col a 1);
+  let r = Mat.row a 0 in
+  r.(0) <- 99.;
+  check_float "row is a copy" 1. (Mat.get a 0 0)
+
+let test_set_row_col () =
+  let a = Mat.create 2 2 in
+  Mat.set_row a 0 [| 1.; 2. |];
+  Mat.set_col a 1 [| 7.; 8. |];
+  check_float "set_row" 1. (Mat.get a 0 0);
+  check_float "set_col wins" 7. (Mat.get a 0 1);
+  check_float "set_col" 8. (Mat.get a 1 1)
+
+let test_transpose () =
+  let a = a23 () in
+  let t = Mat.transpose a in
+  check_int "t rows" 3 (Mat.rows t);
+  check_float "entry" 6. (Mat.get t 2 1);
+  check_mat "double transpose" a (Mat.transpose t)
+
+let test_add_sub_smul () =
+  let a = a23 () in
+  check_mat "a+a = 2a" (Mat.smul 2. a) (Mat.add a a);
+  let z = Mat.sub a a in
+  check_float "a-a" 0. (Mat.frobenius z)
+
+let test_mul () =
+  let a = a23 () in
+  let b = Mat.of_arrays [| [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |] in
+  let c = Mat.mul a b in
+  check_mat "product" (Mat.of_arrays [| [| 4.; 5. |]; [| 10.; 11. |] |]) c;
+  check_raises_invalid "dim mismatch" (fun () -> Mat.mul a a)
+
+let test_mul_identity () =
+  let a = a23 () in
+  check_mat "a*I" a (Mat.mul a (Mat.identity 3));
+  check_mat "I*a" a (Mat.mul (Mat.identity 2) a)
+
+let test_mulv_tmulv () =
+  let a = a23 () in
+  check_vec "mulv" [| 14.; 32. |] (Mat.mulv a [| 1.; 2.; 3. |]);
+  check_vec "tmulv" [| 9.; 12.; 15. |] (Mat.tmulv a [| 1.; 2. |]);
+  (* tmulv must agree with explicit transpose multiply. *)
+  check_vec "tmulv = (a^T)v" (Mat.mulv (Mat.transpose a) [| 1.; 2. |])
+    (Mat.tmulv a [| 1.; 2. |])
+
+let test_gram () =
+  let a = a23 () in
+  let g = Mat.gram a in
+  check_mat "gram = a^T a" (Mat.mul (Mat.transpose a) a) g;
+  check_bool "symmetric" true (Mat.is_symmetric g)
+
+let test_col_dot () =
+  let a = a23 () in
+  check_float "col_dot" (Vec.dot (Mat.col a 1) [| 3.; 4. |])
+    (Mat.col_dot a 1 [| 3.; 4. |]);
+  check_raises_invalid "col oob" (fun () -> Mat.col_dot a 3 [| 1.; 2. |])
+
+let test_col_sub_dot () =
+  let a = a23 () in
+  check_float "prefix 1" 2. (Mat.col_sub_dot a 1 1 [| 1.; 99. |]);
+  check_float "full" (Mat.col_dot a 1 [| 1.; 2. |])
+    (Mat.col_sub_dot a 1 2 [| 1.; 2. |])
+
+let test_select_cols_rows () =
+  let a = a23 () in
+  let s = Mat.select_cols a [| 2; 0 |] in
+  check_mat "select_cols" (Mat.of_arrays [| [| 3.; 1. |]; [| 6.; 4. |] |]) s;
+  let r = Mat.select_rows a [| 1 |] in
+  check_mat "select_rows" (Mat.of_arrays [| [| 4.; 5.; 6. |] |]) r;
+  check_raises_invalid "col oob" (fun () -> Mat.select_cols a [| 5 |]);
+  check_raises_invalid "row oob" (fun () -> Mat.select_rows a [| 2 |])
+
+let test_cols_gram () =
+  let a = a23 () in
+  let idx = [| 0; 2 |] in
+  check_mat "cols_gram"
+    (Mat.gram (Mat.select_cols a idx))
+    (Mat.cols_gram a idx)
+
+let test_frobenius_max_abs () =
+  let a = Mat.of_arrays [| [| 3.; 0. |]; [| 0.; -4. |] |] in
+  check_float "frobenius" 5. (Mat.frobenius a);
+  check_float "max_abs" 4. (Mat.max_abs a)
+
+let test_is_symmetric () =
+  check_bool "sym" true (Mat.is_symmetric (Mat.identity 3));
+  check_bool "not sym" false (Mat.is_symmetric (a23 ()));
+  check_bool "asym" false
+    (Mat.is_symmetric (Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 1. |] |]))
+
+let random_mat g r c =
+  Mat.init r c (fun _ _ -> Randkit.Prng.float g -. 0.5)
+
+let prop_mul_associative =
+  qtest ~count:30 "matrix multiply associative" QCheck.(int_range 1 6)
+    (fun n ->
+      let g = rng () in
+      let a = random_mat g n n and b = random_mat g n n and c = random_mat g n n in
+      Mat.approx_equal ~tol:1e-9 (Mat.mul (Mat.mul a b) c) (Mat.mul a (Mat.mul b c)))
+
+let prop_transpose_product =
+  qtest ~count:30 "(ab)^T = b^T a^T" QCheck.(int_range 1 6)
+    (fun n ->
+      let g = rng () in
+      let a = random_mat g n (n + 1) and b = random_mat g (n + 1) n in
+      Mat.approx_equal ~tol:1e-9
+        (Mat.transpose (Mat.mul a b))
+        (Mat.mul (Mat.transpose b) (Mat.transpose a)))
+
+let prop_gram_psd =
+  qtest ~count:30 "gram is PSD on random vectors" QCheck.(int_range 1 6)
+    (fun n ->
+      let g = rng () in
+      let a = random_mat g (n + 2) n in
+      let gr = Mat.gram a in
+      let x = Array.init n (fun _ -> Randkit.Prng.float g -. 0.5) in
+      Vec.dot x (Mat.mulv gr x) >= -1e-9)
+
+let suite =
+  ( "mat",
+    [
+      case "create/dims" test_create_dims;
+      case "of_arrays" test_of_arrays;
+      case "get/set bounds" test_get_set_bounds;
+      case "identity" test_identity;
+      case "row/col" test_row_col;
+      case "set_row/set_col" test_set_row_col;
+      case "transpose" test_transpose;
+      case "add/sub/smul" test_add_sub_smul;
+      case "mul" test_mul;
+      case "mul identity" test_mul_identity;
+      case "mulv/tmulv" test_mulv_tmulv;
+      case "gram" test_gram;
+      case "col_dot" test_col_dot;
+      case "col_sub_dot" test_col_sub_dot;
+      case "select cols/rows" test_select_cols_rows;
+      case "cols_gram" test_cols_gram;
+      case "frobenius/max_abs" test_frobenius_max_abs;
+      case "is_symmetric" test_is_symmetric;
+      prop_mul_associative;
+      prop_transpose_product;
+      prop_gram_psd;
+    ] )

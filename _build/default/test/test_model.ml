@@ -1,0 +1,71 @@
+open Test_util
+open Linalg
+
+let test_make_sorts () =
+  let m = Rsm.Model.make ~basis_size:10 ~support:[| 7; 2 |] ~coeffs:[| 1.; 2. |] in
+  Alcotest.(check (array int)) "sorted" [| 2; 7 |] m.Rsm.Model.support;
+  check_vec "coeffs follow" [| 2.; 1. |] m.Rsm.Model.coeffs
+
+let test_make_drops_zeros () =
+  let m =
+    Rsm.Model.make ~basis_size:5 ~support:[| 0; 1; 2 |] ~coeffs:[| 1.; 0.; 3. |]
+  in
+  check_int "nnz" 2 (Rsm.Model.nnz m);
+  Alcotest.(check (array int)) "support" [| 0; 2 |] m.Rsm.Model.support
+
+let test_make_validation () =
+  check_raises_invalid "duplicate" (fun () ->
+      ignore (Rsm.Model.make ~basis_size:5 ~support:[| 1; 1 |] ~coeffs:[| 1.; 2. |]));
+  check_raises_invalid "out of range" (fun () ->
+      ignore (Rsm.Model.make ~basis_size:5 ~support:[| 5 |] ~coeffs:[| 1. |]));
+  check_raises_invalid "length mismatch" (fun () ->
+      ignore (Rsm.Model.make ~basis_size:5 ~support:[| 1 |] ~coeffs:[| 1.; 2. |]))
+
+let test_dense_roundtrip () =
+  let alpha = [| 0.; 1.5; 0.; -2.; 0. |] in
+  let m = Rsm.Model.dense ~basis_size:5 alpha in
+  check_int "nnz" 2 (Rsm.Model.nnz m);
+  check_vec "roundtrip" alpha (Rsm.Model.to_dense m)
+
+let test_coeff_lookup () =
+  let m = Rsm.Model.make ~basis_size:100 ~support:[| 3; 50; 99 |]
+      ~coeffs:[| 1.; 2.; 3. |]
+  in
+  check_float "hit" 2. (Rsm.Model.coeff m 50);
+  check_float "miss" 0. (Rsm.Model.coeff m 51);
+  check_float "first" 1. (Rsm.Model.coeff m 3);
+  check_float "last" 3. (Rsm.Model.coeff m 99);
+  check_raises_invalid "oob" (fun () -> ignore (Rsm.Model.coeff m 100))
+
+let test_predict_design () =
+  let g = Mat.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let m = Rsm.Model.make ~basis_size:3 ~support:[| 0; 2 |] ~coeffs:[| 1.; 2. |] in
+  check_vec "sparse predict" [| 7.; 16. |] (Rsm.Model.predict_design m g);
+  (* Must equal the dense product. *)
+  check_vec "dense agrees" (Mat.mulv g (Rsm.Model.to_dense m))
+    (Rsm.Model.predict_design m g)
+
+let test_predict_point () =
+  let b = Polybasis.Basis.constant_linear 3 in
+  let m = Rsm.Model.make ~basis_size:4 ~support:[| 0; 2 |] ~coeffs:[| 10.; 2. |] in
+  (* 10·1 + 2·y1 *)
+  check_float ~eps:1e-12 "point" 11. (Rsm.Model.predict_point m b [| 9.; 0.5; 9. |])
+
+let test_error_on () =
+  let g = Mat.of_arrays [| [| 1. |]; [| 2. |]; [| 3. |] |] in
+  let m = Rsm.Model.make ~basis_size:1 ~support:[| 0 |] ~coeffs:[| 1. |] in
+  let f = [| 1.; 2.; 3. |] in
+  check_float "exact fit" 0. (Rsm.Model.error_on m g f)
+
+let suite =
+  ( "model",
+    [
+      case "make sorts support" test_make_sorts;
+      case "make drops zeros" test_make_drops_zeros;
+      case "make validation" test_make_validation;
+      case "dense roundtrip" test_dense_roundtrip;
+      case "coeff binary search" test_coeff_lookup;
+      case "predict via design" test_predict_design;
+      case "predict pointwise" test_predict_point;
+      case "error_on" test_error_on;
+    ] )

@@ -1,0 +1,302 @@
+open Polybasis
+open Test_util
+
+(* --- Hermite --- *)
+
+let test_low_degrees () =
+  (* Eq. (3) of the paper: g1 = 1, g2 = y, g3 = (y² − 1)/√2. *)
+  List.iter
+    (fun y ->
+      check_float "g0" 1. (Hermite.eval 0 y);
+      check_float "g1" y (Hermite.eval 1 y);
+      check_float ~eps:1e-12 "g2" (((y *. y) -. 1.) /. sqrt 2.) (Hermite.eval 2 y);
+      check_float ~eps:1e-12 "g3"
+        (((y *. y *. y) -. (3. *. y)) /. sqrt 6.)
+        (Hermite.eval 3 y))
+    [ -2.3; -0.5; 0.; 0.7; 1.9 ]
+
+let test_unnormalized () =
+  check_float "He2" 3. (Hermite.unnormalized 2 2.);
+  check_float "He3" 2. (Hermite.unnormalized 3 2.);
+  (* g_n = He_n / sqrt(n!) *)
+  check_float ~eps:1e-12 "normalization factor"
+    (Hermite.unnormalized 4 1.3 /. sqrt 24.)
+    (Hermite.eval 4 1.3)
+
+let test_eval_all_consistent () =
+  let ys = Hermite.eval_all 6 0.8 in
+  for n = 0 to 6 do
+    check_float ~eps:1e-12 (Printf.sprintf "eval_all %d" n) (Hermite.eval n 0.8)
+      ys.(n)
+  done
+
+let test_coefficients () =
+  (* He_3 = y³ − 3y. *)
+  check_vec "He3 coeffs" [| 0.; -3.; 0.; 1. |] (Hermite.coefficients 3);
+  check_vec "He0" [| 1. |] (Hermite.coefficients 0);
+  check_vec "He1" [| 0.; 1. |] (Hermite.coefficients 1)
+
+let test_negative_degree () =
+  check_raises_invalid "negative" (fun () -> ignore (Hermite.eval (-1) 0.))
+
+let mc_inner_product ?(n = 200000) f g =
+  (* Monte-Carlo estimate of E[f(y)·g(y)] under the standard normal. *)
+  let r = rng () in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    let y = Randkit.Gaussian.sample r in
+    acc := !acc +. (f y *. g y)
+  done;
+  !acc /. float_of_int n
+
+let test_orthonormality_mc () =
+  (* Eq. (2): E[gᵢ gⱼ] = δᵢⱼ, verified by Monte Carlo. *)
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      let est = mc_inner_product (Hermite.eval i) (Hermite.eval j) in
+      let expected = if i = j then 1. else 0. in
+      check_float ~eps:0.05
+        (Printf.sprintf "E[g%d g%d]" i j)
+        expected est
+    done
+  done
+
+(* --- Term --- *)
+
+let test_term_constructors () =
+  check_bool "constant empty" true (Term.constant = [||]);
+  check_int "linear degree" 1 (Term.total_degree (Term.linear 3));
+  check_int "square degree" 2 (Term.total_degree (Term.square 3));
+  check_int "cross degree" 2 (Term.total_degree (Term.cross 1 5));
+  check_bool "cross order-insensitive" true
+    (Term.equal (Term.cross 5 1) (Term.cross 1 5));
+  check_raises_invalid "cross same var" (fun () -> ignore (Term.cross 2 2))
+
+let test_term_make () =
+  let t = Term.make [ (3, 1); (1, 2); (3, 1) ] in
+  (* merged: y1² · y3² *)
+  check_int "degree" 4 (Term.total_degree t);
+  check_int "max var" 3 (Term.max_var t);
+  Alcotest.(check (list int)) "vars" [ 1; 3 ] (Term.vars t);
+  check_bool "zero degrees dropped" true
+    (Term.equal Term.constant (Term.make [ (0, 0) ]));
+  check_raises_invalid "negative var" (fun () -> ignore (Term.make [ (-1, 1) ]))
+
+let test_term_eval () =
+  let dy = [| 0.5; -1.2; 2.0 |] in
+  check_float "constant" 1. (Term.eval Term.constant dy);
+  check_float "linear" (-1.2) (Term.eval (Term.linear 1) dy);
+  check_float ~eps:1e-12 "cross" (0.5 *. 2.0) (Term.eval (Term.cross 0 2) dy);
+  check_float ~eps:1e-12 "square"
+    (((2.0 *. 2.0) -. 1.) /. sqrt 2.)
+    (Term.eval (Term.square 2) dy);
+  check_raises_invalid "var out of range" (fun () ->
+      ignore (Term.eval (Term.linear 5) dy))
+
+let test_term_ordering () =
+  check_bool "constant < linear" true (Term.compare Term.constant (Term.linear 0) < 0);
+  check_bool "linear < quadratic" true
+    (Term.compare (Term.linear 9) (Term.square 0) < 0);
+  check_bool "graded lex within degree" true
+    (Term.compare (Term.linear 1) (Term.linear 2) < 0)
+
+let test_term_to_string () =
+  Alcotest.(check string) "constant" "1" (Term.to_string Term.constant);
+  Alcotest.(check string) "linear" "y4" (Term.to_string (Term.linear 4));
+  Alcotest.(check string) "square" "y2^2" (Term.to_string (Term.square 2));
+  Alcotest.(check string) "cross" "y1*y7" (Term.to_string (Term.cross 7 1))
+
+(* --- Basis --- *)
+
+let test_constant_linear () =
+  let b = Basis.constant_linear 4 in
+  check_int "size" 5 (Basis.size b);
+  check_int "dim" 4 (Basis.dim b);
+  check_bool "first constant" true (Term.equal Term.constant (Basis.term b 0));
+  check_bool "then linear" true (Term.equal (Term.linear 2) (Basis.term b 3))
+
+let test_quadratic_counts () =
+  (* Paper Section V-A.2: 200-dimensional quadratic model has 20301
+     coefficients. *)
+  check_int "paper count" 20301 (Basis.quadratic_size 200);
+  let b = Basis.quadratic 4 in
+  check_int "n=4" (1 + 8 + 6) (Basis.size b);
+  check_int "matches closed form" (Basis.quadratic_size 4) (Basis.size b)
+
+let test_quadratic_subset () =
+  let b = Basis.quadratic_subset ~dim:10 [| 2; 7; 9 |] in
+  check_int "size" (Basis.quadratic_size 3) (Basis.size b);
+  check_int "embedded dim" 10 (Basis.dim b);
+  (* Every term only references the selected variables. *)
+  for m = 0 to Basis.size b - 1 do
+    List.iter
+      (fun v -> check_bool "var in subset" true (List.mem v [ 2; 7; 9 ]))
+      (Term.vars (Basis.term b m))
+  done;
+  check_raises_invalid "duplicate" (fun () ->
+      ignore (Basis.quadratic_subset ~dim:10 [| 1; 1 |]));
+  check_raises_invalid "out of range" (fun () ->
+      ignore (Basis.quadratic_subset ~dim:10 [| 10 |]))
+
+let test_total_degree_basis () =
+  let b = Basis.total_degree 3 2 in
+  (* C(3+2,2) = 10 terms of degree ≤ 2 in 3 variables. *)
+  check_int "count" 10 (Basis.size b);
+  check_int "max degree" 2 (Basis.max_degree b);
+  let b3 = Basis.total_degree 2 3 in
+  check_int "C(5,3)" 10 (Basis.size b3);
+  check_int "cubic present" 3 (Basis.max_degree b3)
+
+let test_eval_point_matches_terms () =
+  let b = Basis.quadratic 3 in
+  let g = rng () in
+  let dy = Randkit.Gaussian.vector g 3 in
+  let row = Basis.eval_point b dy in
+  for m = 0 to Basis.size b - 1 do
+    check_float ~eps:1e-12
+      (Printf.sprintf "term %d" m)
+      (Term.eval (Basis.term b m) dy)
+      row.(m)
+  done
+
+let test_basis_validation () =
+  check_raises_invalid "term exceeds dim" (fun () ->
+      ignore (Basis.create 2 [| Term.linear 2 |]))
+
+let test_embed () =
+  (* Local quadratic over 2 variables, embedded at factors {5, 9} of a
+     12-dimensional space. *)
+  let local = Basis.total_degree 2 2 in
+  let b = Basis.embed local [| 5; 9 |] ~dim:12 in
+  check_int "size preserved" (Basis.size local) (Basis.size b);
+  check_int "dim retargeted" 12 (Basis.dim b);
+  for m = 0 to Basis.size b - 1 do
+    List.iter
+      (fun v -> check_bool "vars mapped" true (v = 5 || v = 9))
+      (Term.vars (Basis.term b m))
+  done;
+  (* Evaluation agrees with the local basis at the projected point. *)
+  let g = rng () in
+  let dy = Randkit.Gaussian.vector g 12 in
+  let local_row = Basis.eval_point local [| dy.(5); dy.(9) |] in
+  let embedded_row = Basis.eval_point b dy in
+  let sort a = let c = Array.copy a in Array.sort compare c; c in
+  (* Term order may differ after re-normalization; compare as multisets. *)
+  check_vec ~eps:1e-12 "values agree as multisets" (sort local_row)
+    (sort embedded_row);
+  check_raises_invalid "duplicate target" (fun () ->
+      ignore (Basis.embed local [| 3; 3 |] ~dim:12));
+  check_raises_invalid "out of range" (fun () ->
+      ignore (Basis.embed local [| 5; 12 |] ~dim:12));
+  check_raises_invalid "length mismatch" (fun () ->
+      ignore (Basis.embed local [| 5 |] ~dim:12))
+
+let test_multidim_orthonormality_mc () =
+  (* Eq. (4): 2-D Hermite functions are orthonormal under iid N(0,1). *)
+  let b = Basis.quadratic 2 in
+  let g = rng () in
+  let n = 100000 in
+  let sz = Basis.size b in
+  let acc = Array.make_matrix sz sz 0. in
+  for _ = 1 to n do
+    let dy = Randkit.Gaussian.vector g 2 in
+    let row = Basis.eval_point b dy in
+    for i = 0 to sz - 1 do
+      for j = i to sz - 1 do
+        acc.(i).(j) <- acc.(i).(j) +. (row.(i) *. row.(j))
+      done
+    done
+  done;
+  for i = 0 to sz - 1 do
+    for j = i to sz - 1 do
+      let est = acc.(i).(j) /. float_of_int n in
+      let expected = if i = j then 1. else 0. in
+      check_float ~eps:0.06 (Printf.sprintf "E[g%d g%d]" i j) expected est
+    done
+  done
+
+(* --- Design --- *)
+
+let test_design_matrix () =
+  let open Linalg in
+  let b = Basis.constant_linear 2 in
+  let samples = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let g = Design.matrix b samples in
+  check_mat "linear design"
+    (Mat.of_arrays [| [| 1.; 1.; 2. |]; [| 1.; 3.; 4. |] |])
+    g
+
+let test_design_rows_equals_matrix () =
+  let open Linalg in
+  let b = Basis.quadratic 3 in
+  let g = rng () in
+  let pts = Array.init 5 (fun _ -> Randkit.Gaussian.vector g 3) in
+  let m1 = Design.matrix_rows b pts in
+  let m2 = Design.matrix b (Mat.init 5 3 (fun i j -> pts.(i).(j))) in
+  check_mat ~eps:1e-12 "two builders agree" m1 m2
+
+let test_design_column_norms () =
+  let open Linalg in
+  let g = Mat.of_arrays [| [| 3.; 0. |]; [| 4.; 1. |] |] in
+  check_vec ~eps:1e-12 "norms" [| 5.; 1. |] (Design.column_norms g)
+
+let test_design_columns_near_unit_variance () =
+  (* Sampled Hermite columns have norm ≈ √K: the dictionary is roughly
+     normalized, which the solvers rely on. *)
+  let b = Basis.quadratic 4 in
+  let g = rng () in
+  let k = 4000 in
+  let pts = Array.init k (fun _ -> Randkit.Gaussian.vector g 4) in
+  let d = Design.matrix_rows b pts in
+  let norms = Design.column_norms d in
+  let root_k = sqrt (float_of_int k) in
+  Array.iteri
+    (fun j n ->
+      check_bool
+        (Printf.sprintf "col %d norm within 10%% of sqrt K" j)
+        true
+        (Float.abs ((n /. root_k) -. 1.) < 0.1))
+    norms
+
+let prop_eval_point_dimension =
+  qtest ~count:30 "eval_point length = basis size" QCheck.(int_range 1 6)
+    (fun n ->
+      let b = Basis.quadratic n in
+      let g = rng () in
+      let dy = Randkit.Gaussian.vector g n in
+      Array.length (Basis.eval_point b dy) = Basis.size b)
+
+let prop_quadratic_size_formula =
+  qtest ~count:50 "quadratic size matches formula" QCheck.(int_range 0 60)
+    (fun n -> Basis.size (Basis.quadratic n) = 1 + (2 * n) + (n * (n - 1) / 2))
+
+let suite =
+  ( "polybasis",
+    [
+      case "hermite: low degrees (paper eq. 3)" test_low_degrees;
+      case "hermite: unnormalized" test_unnormalized;
+      case "hermite: eval_all" test_eval_all_consistent;
+      case "hermite: coefficients" test_coefficients;
+      case "hermite: rejects negative degree" test_negative_degree;
+      slow_case "hermite: MC orthonormality (paper eq. 2)" test_orthonormality_mc;
+      case "term: constructors" test_term_constructors;
+      case "term: make merges/sorts" test_term_make;
+      case "term: eval" test_term_eval;
+      case "term: graded ordering" test_term_ordering;
+      case "term: to_string" test_term_to_string;
+      case "basis: constant+linear" test_constant_linear;
+      case "basis: quadratic counts (paper 20301)" test_quadratic_counts;
+      case "basis: quadratic subset" test_quadratic_subset;
+      case "basis: total degree" test_total_degree_basis;
+      case "basis: eval_point vs terms" test_eval_point_matches_terms;
+      case "basis: validation" test_basis_validation;
+      case "basis: embed" test_embed;
+      slow_case "basis: 2-D MC orthonormality (paper eq. 4)"
+        test_multidim_orthonormality_mc;
+      case "design: linear matrix" test_design_matrix;
+      case "design: rows = matrix" test_design_rows_equals_matrix;
+      case "design: column norms" test_design_column_norms;
+      slow_case "design: columns near sqrt K" test_design_columns_near_unit_variance;
+      prop_eval_point_dimension;
+      prop_quadratic_size_formula;
+    ] )

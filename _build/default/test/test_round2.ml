@@ -1,0 +1,305 @@
+(* Second-round extensions: LU, FISTA, coherence diagnostics, Latin
+   hypercube sampling, Kolmogorov-Smirnov, joint yield. *)
+open Test_util
+open Linalg
+
+(* --- LU --- *)
+
+let random_square g n = Mat.init n n (fun _ _ -> Randkit.Prng.float g -. 0.5)
+
+let test_lu_solve () =
+  let g = rng () in
+  let a = random_square g 7 in
+  let x_true = Array.init 7 (fun i -> float_of_int (i - 3)) in
+  let b = Mat.mulv a x_true in
+  check_vec ~eps:1e-8 "solve" x_true (Lu.lu_solve a b)
+
+let test_lu_pivoting_needed () =
+  (* Zero on the leading diagonal: fails without pivoting. *)
+  let a = Mat.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_vec ~eps:1e-12 "swap solve" [| 2.; 1. |] (Lu.lu_solve a [| 1.; 2. |])
+
+let test_lu_det () =
+  let a = Mat.of_arrays [| [| 2.; 0. |]; [| 0.; 3. |] |] in
+  check_float ~eps:1e-12 "diag det" 6. (Lu.det (Lu.factor a));
+  (* Permutation parity: swapping rows flips the sign. *)
+  let b = Mat.of_arrays [| [| 0.; 3. |]; [| 2.; 0. |] |] in
+  check_float ~eps:1e-12 "swapped det" (-6.) (Lu.det (Lu.factor b))
+
+let test_lu_det_vs_cholesky () =
+  let g = rng () in
+  let b = random_square g 5 in
+  let a = Mat.add (Mat.gram b) (Mat.smul 5. (Mat.identity 5)) in
+  let l = Cholesky.factor a in
+  check_float ~eps:1e-6 "log det agreement" (Cholesky.log_det l)
+    (log (Lu.det (Lu.factor a)))
+
+let test_lu_inverse () =
+  let g = rng () in
+  let a = random_square g 6 in
+  let inv = Lu.inverse (Lu.factor a) in
+  check_mat ~eps:1e-8 "A A^-1 = I" (Mat.identity 6) (Mat.mul a inv)
+
+let test_lu_singular () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  match Lu.factor a with
+  | exception Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+(* --- FISTA --- *)
+
+let sparse_problem ?(noise = 0.) ~k ~m ~support ~coeffs seed =
+  let g = Randkit.Prng.create seed in
+  let design = Randkit.Gaussian.matrix g k m in
+  let f =
+    Array.init k (fun i ->
+        let acc = ref 0. in
+        Array.iteri
+          (fun p j -> acc := !acc +. (coeffs.(p) *. Mat.get design i j))
+          support;
+        !acc +. (noise *. Randkit.Gaussian.sample g))
+  in
+  (design, f)
+
+let test_lipschitz_vs_svd () =
+  let g = rng () in
+  let a = Randkit.Gaussian.matrix g 30 10 in
+  let l = Rsm.Fista.lipschitz ~iters:200 a in
+  let d = Svd.decompose a in
+  check_float ~eps:1e-4 "L = sigma_max^2" (d.Svd.sigma.(0) ** 2.) l
+
+let test_fista_matches_cd () =
+  (* Same convex program, same solution: FISTA vs coordinate descent. *)
+  let g, f =
+    sparse_problem ~noise:0.2 ~k:80 ~m:40 ~support:[| 3; 20 |]
+      ~coeffs:[| 2.; -1. |] 201
+  in
+  let reg = 0.2 *. Rsm.Lasso_cd.max_reg g f in
+  let cd = Rsm.Lasso_cd.fit ~tol:1e-12 g f ~reg in
+  let fista = Rsm.Fista.fit ~max_iters:5000 ~tol:1e-14 g f ~reg in
+  let o_cd = Rsm.Fista.objective g f ~reg cd in
+  let o_fista = Rsm.Fista.objective g f ~reg fista in
+  check_float ~eps:1e-4 "objectives equal" o_cd o_fista;
+  check_vec ~eps:1e-3 "solutions equal" (Rsm.Model.to_dense cd)
+    (Rsm.Model.to_dense fista)
+
+let test_fista_zero_at_max_reg () =
+  let g, f =
+    sparse_problem ~k:50 ~m:20 ~support:[| 5 |] ~coeffs:[| 1. |] 202
+  in
+  let m = Rsm.Fista.fit g f ~reg:(Rsm.Lasso_cd.max_reg g f *. 1.01) in
+  check_int "all zeros above max penalty" 0 (Rsm.Model.nnz m)
+
+let test_fista_validation () =
+  let g, f = sparse_problem ~k:10 ~m:5 ~support:[| 1 |] ~coeffs:[| 1. |] 203 in
+  check_raises_invalid "negative reg" (fun () ->
+      ignore (Rsm.Fista.fit g f ~reg:(-1.)))
+
+(* --- Coherence --- *)
+
+let test_coherence_orthogonal () =
+  check_float "identity columns" 0. (Rsm.Coherence.mutual_coherence (Mat.identity 5));
+  check_bool "infinite bound" true
+    (Rsm.Coherence.coherence_recovery_bound (Mat.identity 5) = Float.infinity)
+
+let test_coherence_duplicate_columns () =
+  let a = Mat.of_arrays [| [| 1.; 1.; 0. |]; [| 0.; 0.; 1. |] |] in
+  check_float ~eps:1e-12 "identical columns" 1. (Rsm.Coherence.mutual_coherence a)
+
+let test_coherence_random_gaussian () =
+  (* Random K x M Gaussian: coherence ~ sqrt(log M / K), well below 1. *)
+  let g = rng () in
+  let a = Randkit.Gaussian.matrix g 200 50 in
+  let mu = Rsm.Coherence.mutual_coherence a in
+  check_bool "moderate coherence" true (mu > 0.05 && mu < 0.5)
+
+let test_babel_bounds () =
+  let g = rng () in
+  let a = Randkit.Gaussian.matrix g 100 20 in
+  let mu = Rsm.Coherence.mutual_coherence a in
+  let b1 = Rsm.Coherence.babel a 1 in
+  let b3 = Rsm.Coherence.babel a 3 in
+  check_float ~eps:1e-12 "babel(1) = mu" mu b1;
+  check_bool "monotone in s" true (b3 >= b1);
+  check_bool "babel(s) <= s mu" true (b3 <= (3. *. mu) +. 1e-12)
+
+let test_subset_condition () =
+  let g = rng () in
+  let a = Randkit.Gaussian.matrix g 150 40 in
+  let mean_k, max_k = Rsm.Coherence.subset_condition (rng ()) a ~s:5 in
+  check_bool "mean <= max" true (mean_k <= max_k +. 1e-12);
+  check_bool "well conditioned subsets" true (max_k < 3.);
+  check_raises_invalid "s too big" (fun () ->
+      ignore (Rsm.Coherence.subset_condition (rng ()) a ~s:41))
+
+let test_hermite_dictionary_certificate () =
+  (* The sampled Hermite dictionary used in the paper's regime passes
+     the empirical conditioning probe. *)
+  let b = Polybasis.Basis.quadratic 8 in
+  let g = rng () in
+  let pts = Array.init 300 (fun _ -> Randkit.Gaussian.vector g 8) in
+  let design = Polybasis.Design.matrix_rows b pts in
+  let mean_k, _ = Rsm.Coherence.subset_condition (rng ()) design ~s:10 in
+  check_bool "restricted condition under 3" true (mean_k < 3.)
+
+(* --- LHS --- *)
+
+let test_lhs_stratification () =
+  let g = rng () in
+  let pts = Randkit.Lhs.uniform_points g ~k:32 ~n:3 in
+  check_int "count" 32 (Array.length pts);
+  (* Each dimension has exactly one point per stratum. *)
+  for d = 0 to 2 do
+    let seen = Array.make 32 false in
+    Array.iter
+      (fun p ->
+        let s = int_of_float (p.(d) *. 32.) in
+        check_bool "stratum unique" false seen.(s);
+        seen.(s) <- true)
+      pts
+  done
+
+let test_lhs_gaussian_marginals () =
+  let g = rng () in
+  let pts = Randkit.Lhs.gaussian_points g ~k:2000 ~n:2 in
+  let col d = Array.map (fun p -> p.(d)) pts in
+  (* Stratified normal: mean and variance extremely close to 0/1. *)
+  check_float ~eps:0.01 "mean" 0. (Stat.Descriptive.mean (col 0));
+  check_float ~eps:0.02 "variance" 1. (Stat.Descriptive.variance (col 1));
+  (* Quantile transform agrees with Stat.Distribution. *)
+  let u = 0.3 in
+  let via_stat = Stat.Distribution.quantile u in
+  let pts1 = Randkit.Lhs.gaussian_points (Randkit.Prng.create 1) ~k:1 ~n:1 in
+  ignore pts1;
+  check_bool "transform sane" true (Float.abs via_stat < 1.)
+
+let test_lhs_validation () =
+  let g = rng () in
+  check_raises_invalid "k = 0" (fun () ->
+      ignore (Randkit.Lhs.uniform_points g ~k:0 ~n:1))
+
+let test_lhs_reduces_mean_estimator_variance () =
+  (* The stratified plan's sample mean of a monotone function has lower
+     variance than iid MC: check across repeated runs. *)
+  let f p = p.(0) +. (0.5 *. p.(1)) in
+  let runs = 40 and k = 64 in
+  let means plan =
+    Array.init runs (fun r ->
+        let g = Randkit.Prng.create (1000 + r) in
+        let pts = plan g in
+        Stat.Descriptive.mean (Array.map f pts))
+  in
+  let lhs_var =
+    Stat.Descriptive.variance (means (fun g -> Randkit.Lhs.gaussian_points g ~k ~n:2))
+  in
+  let mc_var =
+    Stat.Descriptive.variance
+      (means (fun g -> Array.init k (fun _ -> Randkit.Gaussian.vector g 2)))
+  in
+  check_bool
+    (Printf.sprintf "LHS variance (%.2e) well below MC (%.2e)" lhs_var mc_var)
+    true
+    (lhs_var < 0.3 *. mc_var)
+
+(* --- GOF --- *)
+
+let test_ks_identical () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  check_float "identical" 0. (Stat.Gof.ks_two_sample a a)
+
+let test_ks_disjoint () =
+  let a = [| 1.; 2. |] and b = [| 10.; 11. |] in
+  check_float "disjoint = 1" 1. (Stat.Gof.ks_two_sample a b)
+
+let test_ks_same_distribution_small () =
+  let g = rng () in
+  let a = Randkit.Gaussian.vector g 3000 in
+  let b = Randkit.Gaussian.vector g 3000 in
+  let d = Stat.Gof.ks_two_sample a b in
+  check_bool "below critical" true
+    (d < Stat.Gof.ks_critical ~alpha:0.01 ~n1:3000 ~n2:3000)
+
+let test_ks_shifted_detected () =
+  let g = rng () in
+  let a = Randkit.Gaussian.vector g 2000 in
+  let b = Array.map (fun x -> x +. 0.3) (Randkit.Gaussian.vector g 2000) in
+  check_bool "shift rejected" true
+    (Stat.Gof.ks_two_sample a b > Stat.Gof.ks_critical ~alpha:0.01 ~n1:2000 ~n2:2000)
+
+let test_ks_normal () =
+  let g = rng () in
+  let a = Array.map (fun x -> (2. *. x) +. 5.) (Randkit.Gaussian.vector g 4000) in
+  let d_right = Stat.Gof.ks_normal ~mean:5. ~sigma:2. a in
+  let d_wrong = Stat.Gof.ks_normal ~mean:0. ~sigma:1. a in
+  check_bool "right parameters fit" true (d_right < 0.03);
+  check_bool "wrong parameters do not" true (d_wrong > 0.5)
+
+(* --- joint yield --- *)
+
+let test_joint_yield_correlated_specs () =
+  let b = Polybasis.Basis.constant_linear 1 in
+  (* Two perfectly correlated metrics: f1 = y0, f2 = 2 y0. Joint yield
+     of {f1 <= 0} and {f2 <= 0} is 0.5, not 0.25. *)
+  let m1 = Rsm.Model.make ~basis_size:2 ~support:[| 1 |] ~coeffs:[| 1. |] in
+  let m2 = Rsm.Model.make ~basis_size:2 ~support:[| 1 |] ~coeffs:[| 2. |] in
+  let g = rng () in
+  let y, se =
+    Rsm.Yield.joint_monte_carlo ~samples:40000
+      [ (m1, Rsm.Yield.spec_max 0.); (m2, Rsm.Yield.spec_max 0.) ]
+      b g
+  in
+  check_bool "joint = marginal for perfectly correlated" true
+    (Float.abs (y -. 0.5) < 4. *. se)
+
+let test_joint_yield_independent_specs () =
+  let b = Polybasis.Basis.constant_linear 2 in
+  (* Independent metrics: f1 = y0, f2 = y1: joint {<=0, <=0} = 0.25. *)
+  let m1 = Rsm.Model.make ~basis_size:3 ~support:[| 1 |] ~coeffs:[| 1. |] in
+  let m2 = Rsm.Model.make ~basis_size:3 ~support:[| 2 |] ~coeffs:[| 1. |] in
+  let g = rng () in
+  let y, se =
+    Rsm.Yield.joint_monte_carlo ~samples:40000
+      [ (m1, Rsm.Yield.spec_max 0.); (m2, Rsm.Yield.spec_max 0.) ]
+      b g
+  in
+  check_bool "joint = product for independent" true
+    (Float.abs (y -. 0.25) < 4. *. se)
+
+let test_joint_yield_validation () =
+  let b = Polybasis.Basis.constant_linear 1 in
+  check_raises_invalid "empty" (fun () ->
+      ignore (Rsm.Yield.joint_monte_carlo [] b (rng ())))
+
+let suite =
+  ( "round2",
+    [
+      case "lu: solve" test_lu_solve;
+      case "lu: pivoting" test_lu_pivoting_needed;
+      case "lu: determinant" test_lu_det;
+      case "lu: det vs cholesky" test_lu_det_vs_cholesky;
+      case "lu: inverse" test_lu_inverse;
+      case "lu: singular" test_lu_singular;
+      case "fista: lipschitz = sigma_max^2" test_lipschitz_vs_svd;
+      case "fista: matches coordinate descent" test_fista_matches_cd;
+      case "fista: zero at max reg" test_fista_zero_at_max_reg;
+      case "fista: validation" test_fista_validation;
+      case "coherence: orthogonal" test_coherence_orthogonal;
+      case "coherence: duplicates" test_coherence_duplicate_columns;
+      case "coherence: random gaussian" test_coherence_random_gaussian;
+      case "coherence: babel bounds" test_babel_bounds;
+      case "coherence: subset conditioning" test_subset_condition;
+      slow_case "coherence: Hermite dictionary certificate"
+        test_hermite_dictionary_certificate;
+      case "lhs: stratification" test_lhs_stratification;
+      slow_case "lhs: gaussian marginals" test_lhs_gaussian_marginals;
+      case "lhs: validation" test_lhs_validation;
+      slow_case "lhs: variance reduction" test_lhs_reduces_mean_estimator_variance;
+      case "ks: identical" test_ks_identical;
+      case "ks: disjoint" test_ks_disjoint;
+      slow_case "ks: same distribution" test_ks_same_distribution_small;
+      slow_case "ks: shift detected" test_ks_shifted_detected;
+      slow_case "ks: one-sample normal" test_ks_normal;
+      slow_case "joint yield: correlated" test_joint_yield_correlated_specs;
+      slow_case "joint yield: independent" test_joint_yield_independent_specs;
+      case "joint yield: validation" test_joint_yield_validation;
+    ] )

@@ -1,0 +1,148 @@
+(* Cross-validated λ selection and the unified solver front-end. *)
+open Test_util
+open Linalg
+
+let sparse_problem ?(noise = 0.) ~k ~m ~support ~coeffs seed =
+  let g = Randkit.Prng.create seed in
+  let design = Randkit.Gaussian.matrix g k m in
+  let f =
+    Array.init k (fun i ->
+        let acc = ref 0. in
+        Array.iteri
+          (fun p j -> acc := !acc +. (coeffs.(p) *. Mat.get design i j))
+          support;
+        !acc +. (noise *. Randkit.Gaussian.sample g))
+  in
+  (design, f)
+
+let test_omp_cv_finds_true_sparsity () =
+  let g, f =
+    sparse_problem ~noise:0.05 ~k:120 ~m:60 ~support:[| 5; 20; 40 |]
+      ~coeffs:[| 2.; -1.; 1.5 |] 31
+  in
+  let r = Rsm.Select.omp (rng ()) ~max_lambda:15 g f in
+  check_bool "lambda near 3" true (r.Rsm.Select.lambda >= 3 && r.Rsm.Select.lambda <= 6);
+  check_bool "true support inside" true
+    (List.for_all
+       (fun j -> Rsm.Model.coeff r.Rsm.Select.model j <> 0.)
+       [ 5; 20; 40 ])
+
+let test_cv_curve_shape () =
+  (* ε(λ) must drop sharply until the true sparsity then flatten/rise:
+     the minimum is not in the first λ, and clearly below λ=1's error. *)
+  let g, f =
+    sparse_problem ~noise:0.1 ~k:100 ~m:50 ~support:[| 3; 30 |]
+      ~coeffs:[| 2.; 2. |] 32
+  in
+  let r = Rsm.Select.omp (rng ()) ~max_lambda:10 g f in
+  let curve = r.Rsm.Select.curve in
+  check_int "curve length" 10 (Array.length curve);
+  check_bool "error at optimum << error at 1" true
+    (curve.(r.Rsm.Select.lambda - 1) < 0.5 *. curve.(0))
+
+let test_star_cv_runs () =
+  let g, f =
+    sparse_problem ~noise:0.1 ~k:100 ~m:50 ~support:[| 3; 30 |]
+      ~coeffs:[| 2.; 2. |] 33
+  in
+  let r = Rsm.Select.star (rng ()) ~max_lambda:10 g f in
+  check_bool "model non-empty" true (Rsm.Model.nnz r.Rsm.Select.model > 0)
+
+let test_lars_cv_runs () =
+  let g, f =
+    sparse_problem ~noise:0.1 ~k:100 ~m:50 ~support:[| 3; 30 |]
+      ~coeffs:[| 2.; 2. |] 34
+  in
+  let r = Rsm.Select.lars (rng ()) ~max_lambda:10 g f in
+  check_bool "model non-empty" true (Rsm.Model.nnz r.Rsm.Select.model > 0);
+  check_bool "support includes truth" true
+    (Rsm.Model.coeff r.Rsm.Select.model 3 <> 0.
+    && Rsm.Model.coeff r.Rsm.Select.model 30 <> 0.)
+
+let test_generic_pads_short_paths () =
+  (* A solver whose path stops after 2 models must still give a curve of
+     the requested length. *)
+  let g, f =
+    sparse_problem ~k:40 ~m:20 ~support:[| 1 |] ~coeffs:[| 1. |] 35
+  in
+  let r =
+    Rsm.Select.generic (rng ()) ~max_lambda:8
+      ~path_models:(fun g f ~max_lambda ->
+        let n = min max_lambda 2 in
+        Array.init n (fun l -> Rsm.Omp.fit g f ~lambda:(l + 1)))
+      g f
+  in
+  check_int "curve padded" 8 (Array.length r.Rsm.Select.curve)
+
+let test_folds_parameter () =
+  let g, f =
+    sparse_problem ~noise:0.1 ~k:60 ~m:30 ~support:[| 2 |] ~coeffs:[| 1. |] 36
+  in
+  (* Q = 2, 5: both must run; the paper's Fig. 2 uses Q = 4 by default. *)
+  List.iter
+    (fun q ->
+      let r = Rsm.Select.omp ~folds:q (rng ()) ~max_lambda:6 g f in
+      check_bool "ran" true (Array.length r.Rsm.Select.curve = 6))
+    [ 2; 5 ]
+
+(* --- Solver front-end --- *)
+
+let test_solver_names () =
+  Alcotest.(check (list string))
+    "table order"
+    [ "LS"; "STAR"; "LAR"; "OMP" ]
+    (List.map Rsm.Solver.name Rsm.Solver.all)
+
+let test_solver_of_name () =
+  check_bool "omp" true (Rsm.Solver.of_name "OMP" = Some Rsm.Solver.Omp);
+  check_bool "lars alias" true (Rsm.Solver.of_name "lars" = Some Rsm.Solver.Lar);
+  check_bool "lasso" true (Rsm.Solver.of_name "Lasso" = Some Rsm.Solver.Lasso);
+  check_bool "stomp" true (Rsm.Solver.of_name "stomp" = Some Rsm.Solver.Stomp);
+  check_bool "cosamp" true (Rsm.Solver.of_name "CoSaMP" = Some Rsm.Solver.Cosamp);
+  check_bool "unknown" true (Rsm.Solver.of_name "svm" = None)
+
+let test_solver_fit_dispatch () =
+  let g, f =
+    sparse_problem ~noise:0.05 ~k:80 ~m:40 ~support:[| 2; 9 |]
+      ~coeffs:[| 1.; -1. |] 37
+  in
+  List.iter
+    (fun meth ->
+      let m = Rsm.Solver.fit ~lambda:4 g f meth in
+      let e = Rsm.Model.error_on m g f in
+      check_bool (Rsm.Solver.name meth ^ " trains") true (e < 0.9))
+    [ Rsm.Solver.Ls; Rsm.Solver.Star; Rsm.Solver.Lar; Rsm.Solver.Lasso;
+      Rsm.Solver.Omp; Rsm.Solver.Stomp; Rsm.Solver.Cosamp ]
+
+let test_solver_fit_cv_dispatch () =
+  let g, f =
+    sparse_problem ~noise:0.05 ~k:80 ~m:40 ~support:[| 2; 9 |]
+      ~coeffs:[| 1.; -1. |] 38
+  in
+  List.iter
+    (fun meth ->
+      let m = Rsm.Solver.fit_cv (rng ()) ~max_lambda:8 g f meth in
+      check_bool (Rsm.Solver.name meth ^ " cv trains") true
+        (Rsm.Model.error_on m g f < 0.9))
+    (Rsm.Solver.all @ [ Rsm.Solver.Stomp; Rsm.Solver.Cosamp ])
+
+let test_needs_overdetermined () =
+  check_bool "only LS" true
+    (List.map Rsm.Solver.needs_overdetermined Rsm.Solver.all
+    = [ true; false; false; false ])
+
+let suite =
+  ( "select",
+    [
+      case "omp cv: finds true sparsity" test_omp_cv_finds_true_sparsity;
+      case "cv curve shape" test_cv_curve_shape;
+      case "star cv" test_star_cv_runs;
+      case "lars cv" test_lars_cv_runs;
+      case "generic: pads short paths" test_generic_pads_short_paths;
+      case "fold count parameter" test_folds_parameter;
+      case "solver: names" test_solver_names;
+      case "solver: of_name" test_solver_of_name;
+      case "solver: fit dispatch" test_solver_fit_dispatch;
+      case "solver: fit_cv dispatch" test_solver_fit_cv_dispatch;
+      case "solver: needs_overdetermined" test_needs_overdetermined;
+    ] )

@@ -1,0 +1,76 @@
+open Test_util
+
+let model () =
+  Rsm.Model.make ~basis_size:21311 ~support:[| 0; 7; 20310; 21310 |]
+    ~coeffs:[| 893.25; -1.5e-7; 0.3333333333333333; 2.7182818284590452 |]
+
+let test_roundtrip_string () =
+  let m = model () in
+  match Rsm.Serialize.of_string (Rsm.Serialize.to_string m) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok m' ->
+      check_int "basis size" m.Rsm.Model.basis_size m'.Rsm.Model.basis_size;
+      Alcotest.(check (array int)) "support" m.Rsm.Model.support m'.Rsm.Model.support;
+      check_vec ~eps:0. "coefficients bit-exact" m.Rsm.Model.coeffs
+        m'.Rsm.Model.coeffs
+
+let test_roundtrip_file () =
+  let m = model () in
+  let path = Filename.temp_file "rsm_model" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rsm.Serialize.save path m;
+      match Rsm.Serialize.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok m' ->
+          check_vec ~eps:0. "coefficients" m.Rsm.Model.coeffs m'.Rsm.Model.coeffs)
+
+let test_empty_model () =
+  let m = Rsm.Model.make ~basis_size:10 ~support:[||] ~coeffs:[||] in
+  match Rsm.Serialize.of_string (Rsm.Serialize.to_string m) with
+  | Ok m' -> check_int "nnz" 0 (Rsm.Model.nnz m')
+  | Error e -> Alcotest.failf "empty model failed: %s" e
+
+let expect_error name s =
+  match Rsm.Serialize.of_string s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+
+let test_rejects_garbage () =
+  expect_error "empty" "";
+  expect_error "bad header" "not-a-model\n";
+  expect_error "wrong version" "rsm-model 2\nbasis_size 3\nnnz 0\n";
+  expect_error "count mismatch" "rsm-model 1\nbasis_size 3\nnnz 2\n0 1.0\n";
+  expect_error "index out of range" "rsm-model 1\nbasis_size 3\nnnz 1\n5 1.0\n";
+  expect_error "duplicate index" "rsm-model 1\nbasis_size 5\nnnz 2\n1 1.0\n1 2.0\n";
+  expect_error "bad float" "rsm-model 1\nbasis_size 3\nnnz 1\n0 abc\n"
+
+let test_comments_ignored () =
+  let s = "rsm-model 1\n# a comment\nbasis_size 4\nnnz 1\n# another\n2 1.5\n" in
+  match Rsm.Serialize.of_string s with
+  | Ok m -> check_float "value" 1.5 (Rsm.Model.coeff m 2)
+  | Error e -> Alcotest.failf "comments broke parsing: %s" e
+
+let test_predictions_survive_roundtrip () =
+  let gen = Randkit.Prng.create 91 in
+  let g = Randkit.Gaussian.matrix gen 40 25 in
+  let f = Array.init 40 (fun i -> Linalg.Mat.get g i 3 -. (2. *. Linalg.Mat.get g i 11)) in
+  let m = Rsm.Omp.fit g f ~lambda:2 in
+  match Rsm.Serialize.of_string (Rsm.Serialize.to_string m) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok m' ->
+      check_vec ~eps:0. "identical predictions"
+        (Rsm.Model.predict_design m g)
+        (Rsm.Model.predict_design m' g)
+
+let suite =
+  ( "serialize",
+    [
+      case "roundtrip via string" test_roundtrip_string;
+      case "roundtrip via file" test_roundtrip_file;
+      case "empty model" test_empty_model;
+      case "rejects garbage" test_rejects_garbage;
+      case "comments ignored" test_comments_ignored;
+      case "predictions survive roundtrip" test_predictions_survive_roundtrip;
+    ] )

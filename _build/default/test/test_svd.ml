@@ -1,0 +1,133 @@
+open Linalg
+open Test_util
+
+let random_mat g r c = Mat.init r c (fun _ _ -> Randkit.Prng.float g -. 0.5)
+
+let test_diag () =
+  let a = Mat.of_arrays [| [| 3.; 0. |]; [| 0.; -4. |] |] in
+  let d = Svd.decompose a in
+  check_float ~eps:1e-10 "sigma1" 4. d.Svd.sigma.(0);
+  check_float ~eps:1e-10 "sigma2" 3. d.Svd.sigma.(1)
+
+let test_reconstruct () =
+  let g = rng () in
+  let a = random_mat g 8 5 in
+  let d = Svd.decompose a in
+  check_mat ~eps:1e-8 "U S V^T = A" a (Svd.reconstruct d)
+
+let test_orthogonality () =
+  let g = rng () in
+  let a = random_mat g 7 4 in
+  let d = Svd.decompose a in
+  check_mat ~eps:1e-8 "U^T U = I" (Mat.identity 4) (Mat.gram d.Svd.u);
+  check_mat ~eps:1e-8 "V^T V = I" (Mat.identity 4) (Mat.gram d.Svd.v)
+
+let test_singular_values_sorted_nonneg () =
+  let g = rng () in
+  let d = Svd.decompose (random_mat g 10 6) in
+  Array.iteri
+    (fun i s ->
+      check_bool "non-negative" true (s >= 0.);
+      if i > 0 then check_bool "sorted" true (s <= d.Svd.sigma.(i - 1)))
+    d.Svd.sigma
+
+let test_rank_deficient () =
+  (* Two identical columns: rank 1. *)
+  let a = Mat.of_arrays [| [| 1.; 1. |]; [| 2.; 2. |]; [| 3.; 3. |] |] in
+  let d = Svd.decompose a in
+  check_int "rank" 1 (Svd.rank d);
+  check_bool "condition infinite" true (Svd.condition_number d = Float.infinity)
+
+let test_condition_number () =
+  let a = Mat.of_arrays [| [| 10.; 0. |]; [| 0.; 0.1 |] |] in
+  let d = Svd.decompose a in
+  check_float ~eps:1e-8 "kappa" 100. (Svd.condition_number d)
+
+let test_sigma_vs_eigen () =
+  (* Singular values of A = sqrt of eigenvalues of A^T A. *)
+  let g = rng () in
+  let a = random_mat g 9 4 in
+  let d = Svd.decompose a in
+  let e = Eigen.symmetric (Mat.gram a) in
+  for i = 0 to 3 do
+    check_float ~eps:1e-7
+      (Printf.sprintf "sigma%d" i)
+      (sqrt (Float.max e.Eigen.values.(i) 0.))
+      d.Svd.sigma.(i)
+  done
+
+let test_pseudo_inverse () =
+  let g = rng () in
+  let a = random_mat g 8 4 in
+  let d = Svd.decompose a in
+  let pinv = Svd.pseudo_inverse d in
+  (* A+ A = I for full column rank. *)
+  check_mat ~eps:1e-8 "A+ A = I" (Mat.identity 4) (Mat.mul pinv a)
+
+let test_min_norm_solution () =
+  (* Underdetermined (via transpose trick): among all LS solutions the
+     SVD one has minimal norm. Compare with the QR LS solution on an
+     over-determined consistent system: they agree. *)
+  let g = rng () in
+  let a = random_mat g 10 5 in
+  let x_true = Array.init 5 (fun i -> float_of_int i -. 2.) in
+  let b = Mat.mulv a x_true in
+  let d = Svd.decompose a in
+  check_vec ~eps:1e-7 "min-norm = exact for consistent full-rank" x_true
+    (Svd.solve_min_norm d b)
+
+let test_min_norm_dense_vs_sparse () =
+  (* The L2 minimum-norm answer to an underdetermined sparse problem is
+     dense and wrong, while OMP recovers the truth: the contrast the
+     paper's Section III draws. A^T has shape 5x10 -> solve with pinv of
+     the transpose. *)
+  let g = rng () in
+  let wide = random_mat g 30 60 in
+  let x_sparse = Array.make 60 0. in
+  x_sparse.(7) <- 2.;
+  x_sparse.(41) <- -1.;
+  let b = Mat.mulv wide x_sparse in
+  (* min-norm via pinv of wide = (pinv of wide^T)^T trick: decompose
+     wide^T (60x30, m>=n ok). pinv(A) = pinv(A^T)^T. *)
+  let d = Svd.decompose (Mat.transpose wide) in
+  let pinv_t = Svd.pseudo_inverse d in
+  let x_l2 = Mat.mulv (Mat.transpose pinv_t) b in
+  check_bool "L2 solution is dense" true (Vec.norm0 ~tol:1e-6 x_l2 > 20);
+  let omp = Rsm.Omp.fit wide b ~lambda:2 in
+  check_vec ~eps:1e-6 "OMP finds the sparse truth" x_sparse
+    (Rsm.Model.to_dense omp)
+
+let prop_reconstruct_random =
+  qtest ~count:20 "SVD reconstructs random matrices"
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (m0, n0) ->
+      let m = max m0 n0 and n = min m0 n0 in
+      let g = rng () in
+      let a = random_mat g m n in
+      Mat.approx_equal ~tol:1e-7 a (Svd.reconstruct (Svd.decompose a)))
+
+let prop_frobenius_invariant =
+  qtest ~count:20 "Frobenius norm = l2 norm of singular values"
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let g = rng () in
+      let a = random_mat g (n + 3) n in
+      let d = Svd.decompose a in
+      Float.abs (Mat.frobenius a -. Vec.nrm2 d.Svd.sigma) < 1e-8)
+
+let suite =
+  ( "svd",
+    [
+      case "diagonal" test_diag;
+      case "reconstruction" test_reconstruct;
+      case "orthogonal factors" test_orthogonality;
+      case "singular values sorted" test_singular_values_sorted_nonneg;
+      case "rank deficiency" test_rank_deficient;
+      case "condition number" test_condition_number;
+      case "sigma = sqrt eig(A^T A)" test_sigma_vs_eigen;
+      case "pseudo-inverse" test_pseudo_inverse;
+      case "min-norm solve" test_min_norm_solution;
+      case "L2 dense vs OMP sparse (Section III)" test_min_norm_dense_vs_sparse;
+      prop_reconstruct_random;
+      prop_frobenius_invariant;
+    ] )

@@ -1,0 +1,32 @@
+(* Shared helpers for the test suites. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+let check_vec ?(eps = 1e-9) msg expected actual =
+  if not (Linalg.Vec.approx_equal ~tol:eps expected actual) then
+    Alcotest.failf "%s: vectors differ:@ %a@ vs@ %a" msg Linalg.Vec.pp expected
+      Linalg.Vec.pp actual
+
+let check_mat ?(eps = 1e-9) msg expected actual =
+  if not (Linalg.Mat.approx_equal ~tol:eps expected actual) then
+    Alcotest.failf "%s: matrices differ" msg
+
+let rng () = Randkit.Prng.create 20260705
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let slow_case name f = Alcotest.test_case name `Slow f

@@ -1,0 +1,142 @@
+open Test_util
+
+(* A "simulator": linear Gaussian function plus a small nonlinearity the
+   model does not capture. *)
+let basis2 = Polybasis.Basis.constant_linear 2
+
+let sim_eval dy = 10. +. (3. *. dy.(0)) +. (4. *. dy.(1)) +. (0.1 *. dy.(0) *. dy.(0))
+
+let fitted_model () =
+  (* Fit the linear model from samples of the simulator itself. *)
+  let g = Randkit.Prng.create 601 in
+  let pts = Array.init 200 (fun _ -> Randkit.Gaussian.vector g 2) in
+  let design = Polybasis.Design.matrix_rows basis2 pts in
+  let f = Array.map sim_eval pts in
+  Rsm.Omp.fit design f ~lambda:3
+
+(* --- control variates --- *)
+
+let test_cv_unbiased_and_tighter () =
+  let model = fitted_model () in
+  let e =
+    Rsm.Variance_reduction.control_variate_mean ~samples:400 sim_eval model
+      basis2 (rng ())
+  in
+  (* True mean = 10 + 0.1·E[y²] = 10.1. *)
+  check_bool "CV estimate near truth" true
+    (Float.abs (e.Rsm.Variance_reduction.mean -. 10.1)
+    < 5. *. e.Rsm.Variance_reduction.std_error +. 0.02);
+  check_bool "large variance reduction" true
+    (e.Rsm.Variance_reduction.variance_reduction > 20.);
+  check_bool "CV se below plain se" true
+    (e.Rsm.Variance_reduction.std_error < e.Rsm.Variance_reduction.plain_std_error)
+
+let test_cv_useless_model_harmless () =
+  (* A zero model: CV reduces to plain MC (ratio ~ 1). *)
+  let zero = Rsm.Model.make ~basis_size:3 ~support:[||] ~coeffs:[||] in
+  let e =
+    Rsm.Variance_reduction.control_variate_mean ~samples:300 sim_eval zero
+      basis2 (rng ())
+  in
+  check_float ~eps:1e-9 "same estimate" e.Rsm.Variance_reduction.plain_mean
+    e.Rsm.Variance_reduction.mean;
+  check_float ~eps:1e-9 "ratio 1" 1. e.Rsm.Variance_reduction.variance_reduction
+
+let test_cv_validation () =
+  let model = fitted_model () in
+  check_raises_invalid "one sample" (fun () ->
+      ignore
+        (Rsm.Variance_reduction.control_variate_mean ~samples:1 sim_eval model
+           basis2 (rng ())))
+
+(* --- importance sampling --- *)
+
+let test_is_matches_closed_form () =
+  (* Pure linear simulator: f ~ N(10, 25); P(f > 25) = 1 − Φ(3) ≈ 1.35e-3.
+     Plain MC with 2000 samples sees ~2.7 events; IS nails it. *)
+  let lin_eval dy = 10. +. (3. *. dy.(0)) +. (4. *. dy.(1)) in
+  let model =
+    Rsm.Model.make ~basis_size:3 ~support:[| 0; 1; 2 |] ~coeffs:[| 10.; 3.; 4. |]
+  in
+  let e =
+    Rsm.Variance_reduction.importance_sampling_tail ~samples:4000 lin_eval
+      model basis2 (rng ()) ~threshold:25.
+  in
+  let truth = 1. -. Stat.Distribution.cdf 3. in
+  check_bool
+    (Printf.sprintf "IS %.2e vs truth %.2e" e.Rsm.Variance_reduction.probability truth)
+    true
+    (Float.abs (e.Rsm.Variance_reduction.probability -. truth)
+    < Float.max (5. *. e.Rsm.Variance_reduction.std_error) (0.3 *. truth));
+  (* The shifted proposal concentrates the weight where failures live:
+     the relative precision of the tail estimate is what matters (the
+     raw effective-sample count is dominated by the non-failing bulk). *)
+  check_bool "tight relative standard error" true
+    (e.Rsm.Variance_reduction.std_error
+    < 0.3 *. e.Rsm.Variance_reduction.probability)
+
+let test_is_deep_tail () =
+  (* P(f > mean + 5 sigma) ≈ 2.87e-7: unreachable by plain MC at any
+     sane budget, routine for IS. *)
+  let lin_eval dy = 10. +. (3. *. dy.(0)) +. (4. *. dy.(1)) in
+  let model =
+    Rsm.Model.make ~basis_size:3 ~support:[| 0; 1; 2 |] ~coeffs:[| 10.; 3.; 4. |]
+  in
+  let e =
+    Rsm.Variance_reduction.importance_sampling_tail ~samples:6000 lin_eval
+      model basis2 (rng ()) ~threshold:35.
+  in
+  let truth = 1. -. Stat.Distribution.cdf 5. in
+  check_bool
+    (Printf.sprintf "5-sigma: IS %.2e vs truth %.2e" e.Rsm.Variance_reduction.probability truth)
+    true
+    (e.Rsm.Variance_reduction.probability > 0.2 *. truth
+    && e.Rsm.Variance_reduction.probability < 5. *. truth)
+
+let test_is_requires_linear_part () =
+  let zero = Rsm.Model.make ~basis_size:3 ~support:[||] ~coeffs:[||] in
+  check_raises_invalid "no linear part" (fun () ->
+      ignore
+        (Rsm.Variance_reduction.importance_sampling_tail sim_eval zero basis2
+           (rng ()) ~threshold:20.))
+
+let test_is_on_circuit_model () =
+  (* End to end on the SRAM: estimate the probability of a read slower
+     than nominal + 5 sigma using the fitted model to steer sampling,
+     with the real simulator in the loop. *)
+  let sram = Circuit.Sram.build ~cells:40 () in
+  let sim = Circuit.Sram.simulator sram in
+  let g = rng () in
+  let data = Circuit.Simulator.run sim g ~k:250 in
+  let basis = Polybasis.Basis.constant_linear (Circuit.Sram.dim sram) in
+  let design = Polybasis.Design.matrix_rows basis data.Circuit.Simulator.points in
+  let model = Rsm.Omp.fit design data.Circuit.Simulator.values ~lambda:40 in
+  let mu = Stat.Descriptive.mean data.Circuit.Simulator.values in
+  let sd = Stat.Descriptive.std data.Circuit.Simulator.values in
+  let threshold = mu +. (5. *. sd) in
+  let e =
+    Rsm.Variance_reduction.importance_sampling_tail ~samples:1500
+      (fun dy -> Circuit.Sram.read_delay_ps sram dy)
+      model basis g ~threshold
+  in
+  (* Ground truth ~ Phi-bar(5) if the delay were exactly the linear
+     model; the simulator's nonlinearity moves it, so only demand the
+     right order of magnitude. *)
+  check_bool
+    (Printf.sprintf "5-sigma delay probability %.2e plausible"
+       e.Rsm.Variance_reduction.probability)
+    true
+    (e.Rsm.Variance_reduction.probability > 1e-9
+    && e.Rsm.Variance_reduction.probability < 1e-4)
+
+let suite =
+  ( "variance-reduction",
+    [
+      case "cv: unbiased and tighter" test_cv_unbiased_and_tighter;
+      case "cv: useless model harmless" test_cv_useless_model_harmless;
+      case "cv: validation" test_cv_validation;
+      slow_case "is: matches closed form at 3 sigma" test_is_matches_closed_form;
+      slow_case "is: reaches the 5-sigma tail" test_is_deep_tail;
+      case "is: requires linear part" test_is_requires_linear_part;
+      slow_case "is: end-to-end on the SRAM" test_is_on_circuit_model;
+    ] )

@@ -1,0 +1,124 @@
+open Linalg
+open Test_util
+
+let test_create_init () =
+  let v = Vec.create 4 in
+  check_vec "zeros" [| 0.; 0.; 0.; 0. |] v;
+  let w = Vec.init 3 (fun i -> float_of_int (i * i)) in
+  check_vec "init" [| 0.; 1.; 4. |] w;
+  check_int "dim" 3 (Vec.dim w)
+
+let test_copy_independent () =
+  let v = [| 1.; 2. |] in
+  let w = Vec.copy v in
+  w.(0) <- 9.;
+  check_float "original untouched" 1. v.(0)
+
+let test_dot () =
+  check_float "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  check_float "dot empty" 0. (Vec.dot [||] [||]);
+  check_raises_invalid "dot mismatch" (fun () -> Vec.dot [| 1. |] [| 1.; 2. |])
+
+let test_nrm2 () =
+  check_float "3-4-5" 5. (Vec.nrm2 [| 3.; 4. |]);
+  check_float "zero" 0. (Vec.nrm2 [| 0.; 0. |]);
+  check_float "empty" 0. (Vec.nrm2 [||]);
+  (* Scaling protects against overflow. *)
+  let big = Vec.nrm2 [| 1e200; 1e200 |] in
+  check_bool "no overflow" true (Float.is_finite big);
+  check_float ~eps:1e186 "scaled value" (sqrt 2. *. 1e200) big
+
+let test_nrm2_sq () = check_float "nrm2_sq" 25. (Vec.nrm2_sq [| 3.; 4. |])
+
+let test_asum_norm0 () =
+  check_float "asum" 6. (Vec.asum [| 1.; -2.; 3. |]);
+  check_int "norm0" 2 (Vec.norm0 [| 0.; -2.; 3. |]);
+  check_int "norm0 tol" 1 (Vec.norm0 ~tol:2.5 [| 0.; -2.; 3. |])
+
+let test_amax () =
+  check_int "amax" 1 (Vec.amax [| 1.; -5.; 3. |]);
+  check_int "amax first" 0 (Vec.amax [| 2.; -2. |]);
+  check_raises_invalid "amax empty" (fun () -> Vec.amax [||])
+
+let test_scal_axpy () =
+  let v = [| 1.; 2. |] in
+  Vec.scal 3. v;
+  check_vec "scal" [| 3.; 6. |] v;
+  let y = [| 1.; 1. |] in
+  Vec.axpy 2. [| 1.; 2. |] y;
+  check_vec "axpy" [| 3.; 5. |] y
+
+let test_add_sub_smul_neg () =
+  check_vec "add" [| 4.; 6. |] (Vec.add [| 1.; 2. |] [| 3.; 4. |]);
+  check_vec "sub" [| -2.; -2. |] (Vec.sub [| 1.; 2. |] [| 3.; 4. |]);
+  check_vec "smul" [| 2.; 4. |] (Vec.smul 2. [| 1.; 2. |]);
+  check_vec "neg" [| -1.; 2. |] (Vec.neg [| 1.; -2. |])
+
+let test_sum_kahan () =
+  (* Compensated summation keeps tiny terms that naive addition drops. *)
+  let n = 10000 in
+  let v = Array.make (n + 1) 1e-12 in
+  v.(0) <- 1e4;
+  let s = Vec.sum v in
+  check_float ~eps:1e-16 "kahan" (1e4 +. (float_of_int n *. 1e-12)) s
+
+let test_mean () =
+  check_float "mean" 2. (Vec.mean [| 1.; 2.; 3. |]);
+  check_raises_invalid "mean empty" (fun () -> Vec.mean [||])
+
+let test_dist2 () =
+  check_float "dist" 5. (Vec.dist2 [| 0.; 0. |] [| 3.; 4. |])
+
+let test_fill () =
+  let v = Vec.create 3 in
+  Vec.fill v 7.;
+  check_vec "fill" [| 7.; 7.; 7. |] v
+
+let test_of_to_list () =
+  check_vec "of_list" [| 1.; 2. |] (Vec.of_list [ 1.; 2. ]);
+  Alcotest.(check (list (float 0.))) "to_list" [ 1.; 2. ] (Vec.to_list [| 1.; 2. |])
+
+let prop_dot_commutative =
+  qtest "dot commutative"
+    QCheck.(pair (array_of_size Gen.(1 -- 20) (float_bound_exclusive 100.))
+              (array_of_size Gen.(1 -- 20) (float_bound_exclusive 100.)))
+    (fun (a, b) ->
+      let n = min (Array.length a) (Array.length b) in
+      let a = Array.sub a 0 n and b = Array.sub b 0 n in
+      Float.abs (Vec.dot a b -. Vec.dot b a) < 1e-9)
+
+let prop_triangle_inequality =
+  qtest "norm triangle inequality"
+    QCheck.(array_of_size Gen.(1 -- 20) (float_range (-100.) 100.))
+    (fun a ->
+      let b = Array.map (fun x -> x *. 0.7 +. 1.) a in
+      Vec.nrm2 (Vec.add a b) <= Vec.nrm2 a +. Vec.nrm2 b +. 1e-9)
+
+let prop_cauchy_schwarz =
+  qtest "Cauchy-Schwarz"
+    QCheck.(array_of_size Gen.(1 -- 20) (float_range (-10.) 10.))
+    (fun a ->
+      let b = Array.mapi (fun i x -> x +. float_of_int i) a in
+      Float.abs (Vec.dot a b) <= (Vec.nrm2 a *. Vec.nrm2 b) +. 1e-9)
+
+let suite =
+  ( "vec",
+    [
+      case "create/init" test_create_init;
+      case "copy independence" test_copy_independent;
+      case "dot" test_dot;
+      case "nrm2" test_nrm2;
+      case "nrm2_sq" test_nrm2_sq;
+      case "asum/norm0" test_asum_norm0;
+      case "amax" test_amax;
+      case "scal/axpy" test_scal_axpy;
+      case "add/sub/smul/neg" test_add_sub_smul_neg;
+      case "kahan sum" test_sum_kahan;
+      case "mean" test_mean;
+      case "dist2" test_dist2;
+      case "fill" test_fill;
+      case "of/to list" test_of_to_list;
+      prop_dot_commutative;
+      prop_triangle_inequality;
+      prop_cauchy_schwarz;
+    ] )
