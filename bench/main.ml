@@ -29,6 +29,24 @@ let run_all quick full =
   Printf.printf "\nAll experiments complete. See EXPERIMENTS.md for the \
                  paper-vs-measured record.\n"
 
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "%d is not a positive integer" n))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let domains =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "domains" ]
+        ~doc:
+          "Domains for the parallel arm of the speed comparison (default: \
+           RSM_NUM_DOMAINS or the recommended domain count).")
+
 let cmd_of name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ quick $ full)
 
@@ -58,8 +76,14 @@ let () =
         (fun quick _ -> Ablation.run ~quick ());
       cmd_of "recovery" "K = O(P log M) recovery phase diagram (A2)"
         (fun quick _ -> Recovery.run ~quick ());
-      cmd_of "speed" "Bechamel fitting-kernel micro-benchmarks"
-        (fun _ _ -> Speed.run ());
+      Cmd.v
+        (Cmd.info "speed"
+           ~doc:
+             "Fitting-kernel micro-benchmarks + sequential-vs-parallel \
+              speedup report (JSON)")
+        Term.(
+          const (fun quick _ domains -> Speed.run ~quick ?domains ())
+          $ quick $ full $ domains);
     ]
   in
   exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -1,6 +1,7 @@
-(* Bechamel micro-benchmarks: one Test.make per paper table, timing the
-   fitting kernel that dominates each table's "fitting cost" row at a
-   reduced-but-same-shape size, plus the shared design-matrix kernel. *)
+(* Fitting-kernel speed: bechamel micro-benchmarks per paper table, plus
+   a sequential-vs-parallel comparison of the four parallelized hot
+   paths (design matrix, Gᵀ·r correlation sweep, Q-fold CV, Monte-Carlo
+   simulation batch) that emits a JSON speedup report. *)
 
 open Bechamel
 open Toolkit
@@ -48,7 +49,7 @@ let tests () =
       (Staged.stage (fun () -> ignore (Polybasis.Design.matrix_rows basis pts)));
   ]
 
-let run () =
+let bechamel () =
   Printf.printf "\n=== Bechamel fitting-kernel timings ===\n%!";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -69,3 +70,121 @@ let run () =
           | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
         stats)
     (tests ())
+
+(* --- sequential vs parallel speedup report ------------------------- *)
+
+(* Best-of-R wall clock: robust against scheduler noise without needing
+   bechamel's regression machinery for multi-millisecond kernels. *)
+let best_of ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type kernel = { name : string; run : Parallel.Pool.t -> unit }
+
+(* The default SRAM workload: the paper's headline case at bench scale. *)
+let sram_kernels ~quick =
+  let cells = if quick then 24 else 120 in
+  let k = if quick then 60 else 400 in
+  let mc = if quick then 200 else 2000 in
+  let sram = Circuit.Sram.build ~cells () in
+  let sim = Circuit.Sram.simulator sram in
+  let dim = Circuit.Sram.dim sram in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let rng = Randkit.Prng.create 11 in
+  let pts = Array.init k (fun _ -> Randkit.Gaussian.vector rng dim) in
+  let g = Polybasis.Design.matrix_rows ~pool:(Parallel.Pool.create ~domains:1 ()) basis pts in
+  let f = Array.map (fun p -> sim.Circuit.Simulator.eval p) pts in
+  let res = Randkit.Gaussian.vector rng k in
+  let skip = Array.make (Polybasis.Basis.size basis) false in
+  let lambda = min 20 (min k (Polybasis.Basis.size basis)) in
+  [
+    {
+      name = "design_matrix";
+      run = (fun pool -> ignore (Polybasis.Design.matrix_rows ~pool basis pts));
+    };
+    {
+      name = "omp_corr_sweep";
+      run =
+        (fun pool ->
+          for _ = 1 to 20 do
+            ignore (Rsm.Corr_sweep.argmax_abs ~pool ~skip g res)
+          done);
+    };
+    {
+      name = "omp_fit";
+      run = (fun pool -> ignore (Rsm.Omp.fit ~pool g f ~lambda));
+    };
+    {
+      name = "cv_select_omp";
+      run =
+        (fun pool ->
+          let rng = Randkit.Prng.create 17 in
+          ignore (Rsm.Select.omp ~pool rng ~max_lambda:(min 10 lambda) g f));
+    };
+    {
+      name = "simulator_batch";
+      run =
+        (fun pool ->
+          let rng = Randkit.Prng.create 23 in
+          ignore (Circuit.Simulator.run ~pool sim rng ~k:mc));
+    };
+  ]
+
+let speedup ~quick ~domains () =
+  let domains =
+    match domains with Some d -> d | None -> Parallel.Pool.default_domains ()
+  in
+  let reps = if quick then 2 else 3 in
+  let kernels = sram_kernels ~quick in
+  Printf.printf "\n=== Sequential vs parallel (%d domain%s) ===\n%!" domains
+    (if domains = 1 then "" else "s");
+  let seq_pool = Parallel.Pool.create ~domains:1 () in
+  let par_pool = Parallel.Pool.create ~domains () in
+  let rows =
+    List.map
+      (fun kernel ->
+        (* Warm both arms once so allocation effects are shared. *)
+        kernel.run seq_pool;
+        kernel.run par_pool;
+        let seq_s = best_of ~reps (fun () -> kernel.run seq_pool) in
+        let par_s = best_of ~reps (fun () -> kernel.run par_pool) in
+        let sp = seq_s /. par_s in
+        Printf.printf "%-18s seq %8.1f ms   par %8.1f ms   speedup %5.2fx\n%!"
+          kernel.name (1e3 *. seq_s) (1e3 *. par_s) sp;
+        (kernel.name, seq_s, par_s, sp))
+      kernels
+  in
+  Parallel.Pool.shutdown seq_pool;
+  Parallel.Pool.shutdown par_pool;
+  let json =
+    let b = Buffer.create 512 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" domains);
+    Buffer.add_string b "  \"kernels\": [\n";
+    List.iteri
+      (fun i (name, seq_s, par_s, sp) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"name\": %S, \"seq_s\": %.6f, \"par_s\": %.6f, \
+              \"speedup\": %.3f}%s\n"
+             name seq_s par_s sp
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string b "  ]\n}\n";
+    Buffer.contents b
+  in
+  print_string json;
+  let oc = open_out "speed_report.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "JSON report written to speed_report.json\n%!"
+
+let run ?(quick = false) ?domains () =
+  speedup ~quick ~domains ();
+  if not quick then bechamel ()

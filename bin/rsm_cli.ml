@@ -71,6 +71,31 @@ let parasitics =
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let positive_int =
+  let parse s =
+    match Cmdliner.Arg.conv_parser Cmdliner.Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "%d is not a positive integer" n))
+    | Error _ as e -> e
+  in
+  Cmdliner.Arg.conv (parse, Cmdliner.Arg.conv_printer Cmdliner.Arg.int)
+
+let domains =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domains for the parallel fitting engine (design matrix, \
+           correlation sweeps, CV folds, Monte-Carlo batches). Defaults to \
+           $(b,RSM_NUM_DOMAINS) or the machine's recommended domain count. \
+           Results are bitwise independent of this setting for a fixed seed.")
+
+(* Apply --domains before any kernel touches the shared default pool. *)
+let use_domains n =
+  Option.iter Parallel.Pool.set_default_domains n;
+  Parallel.Pool.default ()
+
 let samples =
   Arg.(value & opt int 1000 & info [ "samples" ] ~docv:"K"
          ~doc:"Monte-Carlo / training sample count.")
@@ -100,12 +125,13 @@ let info_cmd =
 (* --- mc --- *)
 
 let mc_cmd =
-  let run circuit metric cells parasitics seed samples =
+  let run circuit metric cells parasitics seed samples domains =
     match make_workload ~circuit ~metric ~cells ~parasitics with
     | Error e -> err_exit e
     | Ok w ->
+        let pool = use_domains domains in
         let rng = Randkit.Prng.create seed in
-        let d = Circuit.Simulator.run w.sim rng ~k:samples in
+        let d = Circuit.Simulator.run ~pool w.sim rng ~k:samples in
         let v = d.Circuit.Simulator.values in
         Printf.printf "%s: %d Monte-Carlo samples over %d factors\n" w.name
           samples w.dim;
@@ -122,7 +148,9 @@ let mc_cmd =
   in
   Cmd.v
     (Cmd.info "mc" ~doc:"Monte-Carlo performance statistics of a workload.")
-    Term.(const run $ circuit $ metric $ cells $ parasitics $ seed $ samples)
+    Term.(
+      const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
+      $ domains)
 
 (* --- model --- *)
 
@@ -145,16 +173,19 @@ let save_model_arg =
 
 let model_cmd =
   let run circuit metric cells parasitics seed samples test method_name
-      max_lambda save_model =
+      max_lambda save_model domains =
     match make_workload ~circuit ~metric ~cells ~parasitics with
     | Error e -> err_exit e
     | Ok w -> (
         match Rsm.Solver.of_name method_name with
         | None -> err_exit (Printf.sprintf "unknown method %S" method_name)
         | Some meth ->
+            let pool = use_domains domains in
             let rng = Randkit.Prng.create seed in
             let basis = Polybasis.Basis.constant_linear w.dim in
-            let e = Circuit.Testbench.generate w.sim rng ~train:samples ~test in
+            let e =
+              Circuit.Testbench.generate ~pool w.sim rng ~train:samples ~test
+            in
             let g_tr =
               Polybasis.Design.matrix_rows basis
                 e.Circuit.Testbench.train.Circuit.Simulator.points
@@ -199,7 +230,7 @@ let model_cmd =
        ~doc:"Fit a sparse performance model and validate it on fresh samples.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ test_arg $ method_arg $ max_lambda_arg $ save_model_arg)
+      $ test_arg $ method_arg $ max_lambda_arg $ save_model_arg $ domains)
 
 let predict_cmd =
   let model_file =
@@ -208,7 +239,8 @@ let predict_cmd =
       & opt (some string) None
       & info [ "model" ] ~docv:"FILE" ~doc:"Model file written by --save-model.")
   in
-  let run circuit metric cells parasitics seed samples model_file =
+  let run circuit metric cells parasitics seed samples model_file domains =
+    let pool = use_domains domains in
     match make_workload ~circuit ~metric ~cells ~parasitics with
     | Error e -> err_exit e
     | Ok w -> (
@@ -223,7 +255,7 @@ let predict_cmd =
                     wrong circuit or size options"
                    model.Rsm.Model.basis_size (Polybasis.Basis.size basis));
             let rng = Randkit.Prng.create seed in
-            let data = Circuit.Simulator.run w.sim rng ~k:samples in
+            let data = Circuit.Simulator.run ~pool w.sim rng ~k:samples in
             let pred =
               Array.map
                 (fun p -> Rsm.Model.predict_point model basis p)
@@ -247,21 +279,25 @@ let predict_cmd =
        ~doc:"Load a saved model and validate it against fresh simulations.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ model_file)
+      $ model_file $ domains)
 
 (* --- yield / sensitivity: fit a model, then use it --- *)
 
-let fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda =
+let fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
+    ~domains =
   match make_workload ~circuit ~metric ~cells ~parasitics with
   | Error e -> err_exit e
   | Ok w ->
+      let pool = use_domains domains in
       let rng = Randkit.Prng.create seed in
       let basis = Polybasis.Basis.constant_linear w.dim in
-      let data = Circuit.Simulator.run w.sim rng ~k:samples in
+      let data = Circuit.Simulator.run ~pool w.sim rng ~k:samples in
       let g =
-        Polybasis.Design.matrix_rows basis data.Circuit.Simulator.points
+        Polybasis.Design.matrix_rows ~pool basis data.Circuit.Simulator.points
       in
-      let r = Rsm.Select.omp rng ~max_lambda g data.Circuit.Simulator.values in
+      let r =
+        Rsm.Select.omp ~pool rng ~max_lambda g data.Circuit.Simulator.values
+      in
       (w, basis, r.Rsm.Select.model, rng)
 
 let lower_arg =
@@ -273,9 +309,11 @@ let upper_arg =
        & info [ "upper" ] ~docv:"X" ~doc:"Upper spec bound.")
 
 let yield_cmd =
-  let run circuit metric cells parasitics seed samples max_lambda lower upper =
+  let run circuit metric cells parasitics seed samples max_lambda lower upper
+      domains =
     let w, basis, model, rng =
       fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
+        ~domains
     in
     if lower = Float.neg_infinity && upper = Float.infinity then
       err_exit "give at least one of --lower / --upper";
@@ -297,12 +335,13 @@ let yield_cmd =
        ~doc:"Estimate parametric yield against a spec window from a fitted model.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ max_lambda_arg $ lower_arg $ upper_arg)
+      $ max_lambda_arg $ lower_arg $ upper_arg $ domains)
 
 let sensitivity_cmd =
-  let run circuit metric cells parasitics seed samples max_lambda =
+  let run circuit metric cells parasitics seed samples max_lambda domains =
     let w, basis, model, _rng =
       fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
+        ~domains
     in
     Printf.printf "%s | variance attribution from %d simulations (%d bases)\n"
       w.name samples (Rsm.Model.nnz model);
@@ -320,7 +359,7 @@ let sensitivity_cmd =
        ~doc:"Rank variation sources by their share of the modeled variance.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ max_lambda_arg)
+      $ max_lambda_arg $ domains)
 
 let corner_cmd =
   let sigma_arg =
@@ -331,9 +370,11 @@ let corner_cmd =
     Arg.(value & flag & info [ "maximize" ]
            ~doc:"Find the largest value (default: smallest).")
   in
-  let run circuit metric cells parasitics seed samples max_lambda sigma maximize =
+  let run circuit metric cells parasitics seed samples max_lambda sigma maximize
+      domains =
     let w, basis, model, _ =
       fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
+        ~domains
     in
     let e = Rsm.Corner.linear_worst model basis ~sigma ~maximize in
     Printf.printf "%s | %s corner at %.1f sigma (model from %d simulations)\n"
@@ -356,7 +397,7 @@ let corner_cmd =
        ~doc:"Extract the worst-case process corner from a fitted model.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ max_lambda_arg $ sigma_arg $ maximize_arg)
+      $ max_lambda_arg $ sigma_arg $ maximize_arg $ domains)
 
 let () =
   let info =

@@ -19,10 +19,24 @@ let run_one sim g =
   let p = Randkit.Gaussian.vector g sim.dim in
   (p, sim.eval p)
 
-let run ?(noise_rel = 0.) sim g ~k =
+let run ?(noise_rel = 0.) ?pool sim g ~k =
   if k <= 0 then invalid_arg "Simulator.run: sample count must be positive";
+  (* Points are always drawn sequentially from the caller's generator so
+     the stream — and hence the dataset — is identical whether or not
+     the evaluations below run in parallel. *)
   let points = Array.init k (fun _ -> Randkit.Gaussian.vector g sim.dim) in
-  let values = Array.map sim.eval points in
+  let values =
+    match pool with
+    | None -> Array.map sim.eval points
+    | Some pool ->
+        (* Batch-parallel evaluation: the expensive part (the stand-in
+           for one transistor-level simulation per point) fans out over
+           the pool; each index writes its own slot. *)
+        let out = Array.make k 0. in
+        Parallel.Pool.parallel_for pool ~lo:0 ~hi:k (fun i ->
+            out.(i) <- sim.eval points.(i));
+        out
+  in
   if noise_rel > 0. && k > 1 then begin
     let sigma = Stat.Descriptive.std values in
     for i = 0 to k - 1 do

@@ -27,11 +27,22 @@ val run_one : t -> Randkit.Prng.t -> Linalg.Vec.t * float
 (** Draw one Monte-Carlo point (iid standard normal factors, Section IV-A:
     "we randomly draw K sampling points based on pdf(ΔY)") and evaluate. *)
 
-val run : ?noise_rel:float -> t -> Randkit.Prng.t -> k:int -> dataset
+val run :
+  ?noise_rel:float -> ?pool:Parallel.Pool.t -> t -> Randkit.Prng.t -> k:int ->
+  dataset
 (** [run sim g ~k] draws [k] samples. [noise_rel] adds Gaussian
     observation noise with sigma equal to that fraction of the sample
     standard deviation of the clean responses (simulator numerical
-    noise); default 0. *)
+    noise); default 0.
+
+    With [?pool] the [k] evaluations of [eval] — the Monte-Carlo batch
+    that stands in for [k] transistor-level simulations — run
+    batch-parallel over the pool. The sample points (and the optional
+    noise) are always drawn sequentially from [g], so the dataset is
+    bitwise identical with and without a pool, at every domain count.
+    [eval] is then called from several domains concurrently and must be
+    thread-safe; the built-in circuit evaluators are pure. Default:
+    sequential (arbitrary user closures stay safe). *)
 
 val simulated_cost : t -> k:int -> float
 (** [k · seconds_per_sample]: the simulation cost a real flow would pay. *)

@@ -4,13 +4,13 @@ type experiment = {
   test : Simulator.dataset;
 }
 
-let generate ?(noise_rel = 0.) sim g ~train ~test =
+let generate ?(noise_rel = 0.) ?pool sim g ~train ~test =
   let g_train = Randkit.Prng.split g in
   let g_test = Randkit.Prng.split g in
   {
     sim;
-    train = Simulator.run ~noise_rel sim g_train ~k:train;
-    test = Simulator.run ~noise_rel sim g_test ~k:test;
+    train = Simulator.run ~noise_rel ?pool sim g_train ~k:train;
+    test = Simulator.run ~noise_rel ?pool sim g_test ~k:test;
   }
 
 let training_cost e =

@@ -10,10 +10,12 @@ type experiment = {
 }
 
 val generate :
-  ?noise_rel:float -> Simulator.t -> Randkit.Prng.t -> train:int -> test:int ->
-  experiment
+  ?noise_rel:float -> ?pool:Parallel.Pool.t -> Simulator.t -> Randkit.Prng.t ->
+  train:int -> test:int -> experiment
 (** Draw the two independent sets from their own split PRNG streams (so
-    growing one set never perturbs the other). *)
+    growing one set never perturbs the other). [?pool] is forwarded to
+    {!Simulator.run} for batch-parallel evaluation; the datasets are
+    bitwise identical with and without it. *)
 
 val training_cost : experiment -> float
 (** Accounted simulation seconds for the training set (the "simulation

@@ -1,0 +1,41 @@
+(** The greedy correlation step shared by the sparse solvers.
+
+    Every iteration of OMP (Algorithm 1, Step 3), STAR and LAR scans the
+    inner products of the current residual with all [M] dictionary
+    columns — the [Gᵀ·r] sweep that dominates the paper's fitting-cost
+    analysis at O(K·M) per iteration. This module evaluates that sweep
+    column-chunk-parallel over a {!Parallel.Pool}:
+
+    - each chunk owns a contiguous column block and walks the row-major
+      design matrix row-by-row (the cache-friendly order), accumulating
+      its block of [Gᵀ·r] partial sums locally — no atomics, no shared
+      accumulation;
+    - each column's dot product is accumulated over rows in ascending
+      order exactly as the sequential [Mat.col_dot], so every entry of
+      the result is {e bitwise identical} to the sequential sweep for
+      every domain count;
+    - the argmax combine keeps the strictly larger magnitude and, on
+      exact ties, the lower column index — the same winner a sequential
+      first-strictly-greater scan selects.
+
+    Passing no [?pool] uses {!Parallel.Pool.default}. *)
+
+val gram_tr :
+  ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [gram_tr g r] is the length-[M] vector [Gᵀ·r]. Bitwise identical to
+    [Array.init m (fun j -> Mat.col_dot g j r)] for every domain count.
+    @raise Invalid_argument on a length mismatch. *)
+
+val argmax_abs :
+  ?pool:Parallel.Pool.t ->
+  skip:bool array ->
+  Linalg.Mat.t ->
+  Linalg.Vec.t ->
+  int * float
+(** [argmax_abs ~skip g r] is [(j*, |⟨G_{j*}, r⟩|)] over the columns
+    with [skip.(j) = false] — the eq. (18) selection (the paper's 1/K
+    factor is a monotone scaling and is left to the caller). Returns
+    [(-1, 0.)] when every column is skipped or all correlations are
+    zero. Deterministic for every domain count (see above).
+    @raise Invalid_argument when [skip] is not of length [M] or [r] not
+    of length [K]. *)

@@ -24,8 +24,6 @@ type state = {
   mutable chol : Cholesky.Grow.t;  (* gram factor of active columns, oldest first *)
 }
 
-let xdot st j v = Mat.col_dot st.g j v /. st.norms.(j)
-
 let xxdot st i j =
   let acc = ref 0. in
   for r = 0 to st.k - 1 do
@@ -64,7 +62,7 @@ let current_model st =
     ~support:(Array.of_list !support)
     ~coeffs:(Array.of_list !coeffs)
 
-let path ?(mode = Lar) ?(tol = 1e-10) g f ~max_steps =
+let path ?(mode = Lar) ?(tol = 1e-10) ?pool g f ~max_steps =
   let k = Mat.rows g and m = Mat.cols g in
   if Array.length f <> k then invalid_arg "Lars.path: response length mismatch";
   if max_steps <= 0 then invalid_arg "Lars.path: max_steps must be positive";
@@ -93,8 +91,10 @@ let path ?(mode = Lar) ?(tol = 1e-10) g f ~max_steps =
   while (not !stop) && !nsteps < max_steps do
     incr nsteps;
     let res = Vec.sub f st.mu in
-    (* Correlations of every column with the residual. *)
-    let c = Array.init m (fun j -> xdot st j res) in
+    (* Correlations of every column with the residual: a column-parallel
+       Gᵀ·r sweep, bitwise equal to the sequential per-column xdot. *)
+    let gtr = Corr_sweep.gram_tr ?pool st.g res in
+    let c = Array.init m (fun j -> gtr.(j) /. st.norms.(j)) in
     (* C from the best column overall; the entering variable is the best
        inactive one. *)
     let big_c = ref 0. and enter = ref (-1) and enter_c = ref 0. in
@@ -155,11 +155,15 @@ let path ?(mode = Lar) ?(tol = 1e-10) g f ~max_steps =
               (fun acc j -> Float.max acc (Float.abs c.(j)))
               0. act
           in
-          (* Step length to the next entering variable. *)
+          (* Step length to the next entering variable. The inner
+             products of every column with the equiangular direction u
+             are the second Gᵀ·r-shaped sweep of the iteration; the
+             O(M) min scan that follows stays sequential. *)
+          let gu = Corr_sweep.gram_tr ?pool st.g u in
           let gamma = ref (cc /. a_a) in
           for j = 0 to m - 1 do
             if not st.in_active.(j) then begin
-              let aj = xdot st j u in
+              let aj = gu.(j) /. st.norms.(j) in
               let cand1 = (cc -. c.(j)) /. (a_a -. aj) in
               let cand2 = (cc +. c.(j)) /. (a_a +. aj) in
               if cand1 > 1e-12 && cand1 < !gamma then gamma := cand1;
@@ -208,11 +212,11 @@ let path ?(mode = Lar) ?(tol = 1e-10) g f ~max_steps =
   done;
   Array.of_list (List.rev !steps)
 
-let fit ?mode ?tol g f ~lambda =
+let fit ?mode ?tol ?pool g f ~lambda =
   if lambda <= 0 then invalid_arg "Lars.fit: lambda must be positive";
   (* Drops can make the path longer than the target support size. *)
   let max_steps = (2 * lambda) + 8 in
-  let steps = path ?mode ?tol g f ~max_steps in
+  let steps = path ?mode ?tol ?pool g f ~max_steps in
   let best = ref None in
   Array.iter
     (fun s -> if Model.nnz s.model <= lambda then best := Some s.model)

@@ -27,17 +27,25 @@ type step = {
 }
 
 val path :
-  ?mode:mode -> ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> max_steps:int ->
-  step array
+  ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t ->
+  Linalg.Vec.t -> max_steps:int -> step array
 (** [path g f ~max_steps] traces up to [max_steps] path steps (default
     mode [Lar]). Stops early when the maximal correlation falls below
     [tol] relative to its initial value (default [1e-10]), when the
     active set saturates at [min(K, M)], or at the final unrestricted
-    LS point of the active set. *)
+    LS point of the active set.
+
+    The two O(K·M) sweeps of every step — the correlations [Gᵀ·res] and
+    the step-length inner products [Gᵀ·u] against the equiangular
+    direction — run column-parallel over [pool] (default:
+    {!Parallel.Pool.default}); entering/leaving variables, step lengths
+    and coefficients are bitwise identical to the sequential sweeps for
+    every domain count (each dot product is accumulated whole). *)
 
 val fit :
-  ?mode:mode -> ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> lambda:int ->
-  Model.t
+  ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t ->
+  Linalg.Vec.t -> lambda:int -> Model.t
 (** [fit g f ~lambda] is the last path model with at most [lambda]
     active coefficients — λ plays the same sparsity-budget role as in
-    Algorithm 1. *)
+    Algorithm 1. Same parallelism and determinism guarantee as
+    {!path}. *)

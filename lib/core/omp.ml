@@ -7,7 +7,7 @@ type step = {
   model : Model.t;
 }
 
-let path ?(tol = 1e-12) g f ~max_lambda =
+let path ?(tol = 1e-12) ?pool g f ~max_lambda =
   let k = Mat.rows g and m = Mat.cols g in
   if Array.length f <> k then invalid_arg "Omp.path: response length mismatch";
   if max_lambda <= 0 then invalid_arg "Omp.path: max_lambda must be positive";
@@ -26,22 +26,14 @@ let path ?(tol = 1e-12) g f ~max_lambda =
   while (not !stop) && !p < max_lambda do
     (* Step 3: inner products of the residual with every basis vector.
        The 1/K factor of eq. (18) is a monotone scaling; the argmax is
-       unaffected, so we keep raw dot products. *)
-    let best = ref (-1) and best_abs = ref 0. in
-    for j = 0 to m - 1 do
-      if not selected.(j) then begin
-        let c = Float.abs (Mat.col_dot g j res) in
-        if c > !best_abs then begin
-          best := j;
-          best_abs := c
-        end
-      end
-    done;
-    if !p = 0 then initial_corr := !best_abs;
-    if !best < 0 || !best_abs <= tol *. Float.max !initial_corr 1. then
+       unaffected, so we keep raw dot products. The sweep is
+       column-parallel and bitwise equal to this sequential scan. *)
+    let best, best_abs = Corr_sweep.argmax_abs ?pool ~skip:selected g res in
+    if !p = 0 then initial_corr := best_abs;
+    if best < 0 || best_abs <= tol *. Float.max !initial_corr 1. then
       stop := true
     else begin
-      let j = !best in
+      let j = best in
       (* Steps 4–5: extend the selected set. *)
       let cross =
         Array.init !p (fun q ->
@@ -82,7 +74,7 @@ let path ?(tol = 1e-12) g f ~max_lambda =
           steps :=
             {
               index = j;
-              correlation = !best_abs /. float_of_int k;
+              correlation = best_abs /. float_of_int k;
               residual_norm = Vec.nrm2 res;
               model;
             }
@@ -92,8 +84,8 @@ let path ?(tol = 1e-12) g f ~max_lambda =
   done;
   Array.of_list (List.rev !steps)
 
-let fit ?tol g f ~lambda =
-  let steps = path ?tol g f ~max_lambda:lambda in
+let fit ?tol ?pool g f ~lambda =
+  let steps = path ?tol ?pool g f ~max_lambda:lambda in
   if Array.length steps = 0 then
     Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]
   else steps.(Array.length steps - 1).model

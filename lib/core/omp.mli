@@ -21,15 +21,26 @@ type step = {
 }
 
 val path :
-  ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> max_lambda:int -> step array
+  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
+  max_lambda:int -> step array
 (** [path g f ~max_lambda] runs up to [max_lambda] iterations and
     returns one step record per iteration. Stops early when the largest
     residual correlation falls below [tol] (default [1e-12]) relative to
     the initial one, when the residual is numerically zero, or when the
     next column is linearly dependent on the selected set.
+
+    The O(K·M) Step-3 correlation sweep — the dominant cost per
+    iteration — runs column-parallel over [pool] (default:
+    {!Parallel.Pool.default}) via {!Corr_sweep}; the selected support,
+    coefficients and residuals are bitwise identical to the sequential
+    scan for every domain count (each column's dot product is
+    accumulated whole, never split).
     @raise Invalid_argument when [max_lambda] exceeds [min(K, M)] or is
     not positive. *)
 
-val fit : ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> lambda:int -> Model.t
+val fit :
+  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
+  lambda:int -> Model.t
 (** [fit g f ~lambda] is the model after [lambda] iterations (fewer if
-    the path stopped early; the last available model is returned). *)
+    the path stopped early; the last available model is returned). Same
+    parallelism and determinism guarantee as {!path}. *)

@@ -4,26 +4,36 @@ type rule = Min_error | One_se
 
 type result = { model : Model.t; lambda : int; curve : float array }
 
-let generic ?(folds = 4) ?(rule = Min_error) rng ~max_lambda ~path_models g f =
+let generic ?(folds = 4) ?(rule = Min_error) ?pool rng ~max_lambda ~path_models
+    g f =
   if max_lambda <= 0 then invalid_arg "Select: max_lambda must be positive";
   let n = Mat.rows g in
   let plan = Stat.Crossval.make_plan rng ~n ~folds in
+  (* Per-fold streams are split from the master generator in fold order
+     before any fold runs, so a stochastic solver draws the same stream
+     in fold q whether the folds run sequentially or in parallel. *)
+  let fold_rngs = Randkit.Prng.split_n rng folds in
+  let refit_rng = Randkit.Prng.split rng in
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   (* Per-fold error curves: the mean gives the paper's epsilon(lambda),
-     the spread gives the standard error the One_se rule needs. *)
-  let fold_curves =
-    Array.init folds (fun q ->
-        let train, held_out = Stat.Crossval.fold_indices plan q in
-        let g_tr = Mat.select_rows g train in
-        let f_tr = Array.map (fun i -> f.(i)) train in
-        let g_ho = Mat.select_rows g held_out in
-        let f_ho = Array.map (fun i -> f.(i)) held_out in
-        let models = path_models g_tr f_tr ~max_lambda in
-        if Array.length models = 0 then
-          invalid_arg "Select: solver produced an empty path";
+     the spread gives the standard error the One_se rule needs. Folds
+     are fitted in parallel (one chunk per fold); each writes only its
+     own slot, and the averaging below runs in fold order, so the curve
+     is bitwise independent of the domain count. *)
+  let fold_curves = Array.make folds [||] in
+  Parallel.Pool.parallel_for pool ~chunks:folds ~lo:0 ~hi:folds (fun q ->
+      let train, held_out = Stat.Crossval.fold_indices plan q in
+      let g_tr = Mat.select_rows g train in
+      let f_tr = Array.map (fun i -> f.(i)) train in
+      let g_ho = Mat.select_rows g held_out in
+      let f_ho = Array.map (fun i -> f.(i)) held_out in
+      let models = path_models ~rng:fold_rngs.(q) g_tr f_tr ~max_lambda in
+      if Array.length models = 0 then
+        invalid_arg "Select: solver produced an empty path";
+      fold_curves.(q) <-
         Array.init max_lambda (fun l ->
             let m = models.(min l (Array.length models - 1)) in
-            Model.error_on m g_ho f_ho))
-  in
+            Model.error_on m g_ho f_ho));
   let fq = float_of_int folds in
   let curve =
     Array.init max_lambda (fun l ->
@@ -51,7 +61,7 @@ let generic ?(folds = 4) ?(rule = Min_error) rng ~max_lambda ~path_models g f =
         done;
         !l + 1
   in
-  let final = path_models g f ~max_lambda:lambda in
+  let final = path_models ~rng:refit_rng g f ~max_lambda:lambda in
   { model = final.(Array.length final - 1); lambda; curve }
 
 let clamp_lambda ~max_lambda cap =
@@ -59,7 +69,7 @@ let clamp_lambda ~max_lambda cap =
      rows; the caller's max_lambda is clamped accordingly. *)
   min max_lambda cap
 
-let omp ?folds ?rule rng ~max_lambda g f =
+let omp ?folds ?rule ?pool rng ~max_lambda g f =
   let cap_rows =
     (* smallest fold training size: n − ceil(n/Q) *)
     let n = Mat.rows g in
@@ -67,30 +77,30 @@ let omp ?folds ?rule rng ~max_lambda g f =
     n - ((n + q - 1) / q)
   in
   let max_lambda = clamp_lambda ~max_lambda (min cap_rows (Mat.cols g)) in
-  generic ?folds ?rule rng ~max_lambda
-    ~path_models:(fun g f ~max_lambda ->
+  generic ?folds ?rule ?pool rng ~max_lambda
+    ~path_models:(fun ~rng:_ g f ~max_lambda ->
       let max_lambda = min max_lambda (min (Mat.rows g) (Mat.cols g)) in
-      Array.map (fun s -> s.Omp.model) (Omp.path g f ~max_lambda))
+      Array.map (fun s -> s.Omp.model) (Omp.path ?pool g f ~max_lambda))
     g f
 
-let star ?folds ?rule rng ~max_lambda g f =
+let star ?folds ?rule ?pool rng ~max_lambda g f =
   let max_lambda = clamp_lambda ~max_lambda (Mat.cols g) in
-  generic ?folds ?rule rng ~max_lambda
-    ~path_models:(fun g f ~max_lambda ->
-      Array.map (fun s -> s.Star.model) (Star.path g f ~max_lambda))
+  generic ?folds ?rule ?pool rng ~max_lambda
+    ~path_models:(fun ~rng:_ g f ~max_lambda ->
+      Array.map (fun s -> s.Star.model) (Star.path ?pool g f ~max_lambda))
     g f
 
-let lars ?folds ?rule ?mode rng ~max_lambda g f =
+let lars ?folds ?rule ?mode ?pool rng ~max_lambda g f =
   let cap_rows =
     let n = Mat.rows g in
     let q = match folds with Some q -> q | None -> 4 in
     n - ((n + q - 1) / q)
   in
   let max_lambda = clamp_lambda ~max_lambda (min cap_rows (Mat.cols g)) in
-  generic ?folds ?rule rng ~max_lambda
-    ~path_models:(fun g f ~max_lambda ->
+  generic ?folds ?rule ?pool rng ~max_lambda
+    ~path_models:(fun ~rng:_ g f ~max_lambda ->
       let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
-      let steps = Lars.path ?mode g f ~max_steps in
+      let steps = Lars.path ?mode ?pool g f ~max_steps in
       if Array.length steps = 0 then [||]
       else begin
         (* Entry λ−1 holds the last path model with at most λ active

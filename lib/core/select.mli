@@ -2,9 +2,21 @@
 
     For each fold, the solver's whole path (λ = 1 … max_lambda) is fit
     on the training groups and scored on the held-out group, giving the
-    per-run error {e}function{i} ε_q(λ); the averaged curve ε(λ) is
+    per-run error {e function} ε_q(λ); the averaged curve ε(λ) is
     minimized over λ and the winning λ is refit on the full data — the
-    exact procedure of Fig. 2 and the surrounding text. *)
+    exact procedure of Fig. 2 and the surrounding text.
+
+    {2 Parallelism and determinism}
+
+    The Q fold fits are independent and run fold-parallel over [?pool]
+    (default: {!Parallel.Pool.default}); the underlying solvers also
+    parallelize their own Gᵀ·r correlation sweeps over the same pool.
+    Each fold receives its own PRNG stream, split from the master
+    generator {e in fold order before any fold runs}
+    ({!Randkit.Prng.split_n}), and the fold curves are averaged in fold
+    order after all folds complete. The selected λ, the curve and the
+    refit model are therefore bitwise identical to a sequential run for
+    a fixed seed, at {e every} domain count. *)
 
 type rule =
   | Min_error  (** λ at the minimum of ε(λ) — the paper's choice *)
@@ -21,25 +33,34 @@ type result = {
 }
 
 val omp :
-  ?folds:int -> ?rule:rule -> Randkit.Prng.t -> max_lambda:int ->
-  Linalg.Mat.t -> Linalg.Vec.t -> result
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
+  max_lambda:int -> Linalg.Mat.t -> Linalg.Vec.t -> result
 (** Default [folds = 4] (the paper's Fig. 2 setting) and
     [rule = Min_error]. *)
 
 val star :
-  ?folds:int -> ?rule:rule -> Randkit.Prng.t -> max_lambda:int ->
-  Linalg.Mat.t -> Linalg.Vec.t -> result
-
-val lars :
-  ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> Randkit.Prng.t ->
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
   max_lambda:int -> Linalg.Mat.t -> Linalg.Vec.t -> result
 
+val lars :
+  ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> ?pool:Parallel.Pool.t ->
+  Randkit.Prng.t -> max_lambda:int -> Linalg.Mat.t -> Linalg.Vec.t -> result
+
 val generic :
-  ?folds:int -> ?rule:rule -> Randkit.Prng.t -> max_lambda:int ->
-  path_models:(Linalg.Mat.t -> Linalg.Vec.t -> max_lambda:int -> Model.t array) ->
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
+  max_lambda:int ->
+  path_models:
+    (rng:Randkit.Prng.t -> Linalg.Mat.t -> Linalg.Vec.t -> max_lambda:int ->
+     Model.t array) ->
   Linalg.Mat.t -> Linalg.Vec.t -> result
 (** The underlying driver: [path_models] maps a training design/response
     to the per-λ models (an array shorter than [max_lambda] is padded by
     repeating its last model — an early-stopped path keeps its final
     error for larger λ). Exposed for user-supplied solvers.
+
+    [path_models] may be called concurrently from several domains (one
+    per fold) and must not share mutable state across calls; the [rng]
+    it receives is the fold's own deterministic stream (the final refit
+    gets one more dedicated stream), so stochastic solvers stay
+    reproducible under fold-parallel execution.
     @raise Invalid_argument if a fold produces an empty path. *)

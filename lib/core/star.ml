@@ -7,7 +7,7 @@ type step = {
   model : Model.t;
 }
 
-let path ?(tol = 1e-12) g f ~max_lambda =
+let path ?(tol = 1e-12) ?pool g f ~max_lambda =
   let k = Mat.rows g and m = Mat.cols g in
   if Array.length f <> k then invalid_arg "Star.path: response length mismatch";
   if max_lambda <= 0 then invalid_arg "Star.path: max_lambda must be positive";
@@ -21,21 +21,14 @@ let path ?(tol = 1e-12) g f ~max_lambda =
   let initial_corr = ref 0. in
   let p = ref 0 in
   while (not !stop) && !p < max_lambda do
-    let best = ref (-1) and best_abs = ref 0. in
-    for j = 0 to m - 1 do
-      if not selected.(j) then begin
-        let c = Float.abs (Mat.col_dot g j res) in
-        if c > !best_abs then begin
-          best := j;
-          best_abs := c
-        end
-      end
-    done;
-    if !p = 0 then initial_corr := !best_abs;
-    if !best < 0 || !best_abs <= tol *. Float.max !initial_corr 1. then
+    (* Column-parallel eq. (18) sweep, bitwise equal to the sequential
+       scan for every domain count. *)
+    let best, best_abs = Corr_sweep.argmax_abs ?pool ~skip:selected g res in
+    if !p = 0 then initial_corr := best_abs;
+    if best < 0 || best_abs <= tol *. Float.max !initial_corr 1. then
       stop := true
     else begin
-      let j = !best in
+      let j = best in
       (* Coefficient taken directly from the eq. (18) estimator —
          no re-fit of previously selected coefficients. *)
       let alpha = Mat.col_dot g j res /. kf in
@@ -59,8 +52,8 @@ let path ?(tol = 1e-12) g f ~max_lambda =
   done;
   Array.of_list (List.rev !steps)
 
-let fit ?tol g f ~lambda =
-  let steps = path ?tol g f ~max_lambda:lambda in
+let fit ?tol ?pool g f ~lambda =
+  let steps = path ?tol ?pool g f ~max_lambda:lambda in
   if Array.length steps = 0 then
     Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]
   else steps.(Array.length steps - 1).model

@@ -18,9 +18,17 @@ type step = {
 }
 
 val path :
-  ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> max_lambda:int -> step array
+  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
+  max_lambda:int -> step array
 (** Same contract as {!Omp.path}: one record per iteration, early stop
     on vanishing correlation. [max_lambda] may not exceed [M] (there is
-    no LS system to keep over-determined, so [K] is not a bound). *)
+    no LS system to keep over-determined, so [K] is not a bound).
 
-val fit : ?tol:float -> Linalg.Mat.t -> Linalg.Vec.t -> lambda:int -> Model.t
+    The eq. (18) correlation sweep runs column-parallel over [pool]
+    (default: {!Parallel.Pool.default}); selections and coefficients are
+    bitwise identical to the sequential scan for every domain count. *)
+
+val fit :
+  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
+  lambda:int -> Model.t
+(** Same parallelism and determinism guarantee as {!path}. *)

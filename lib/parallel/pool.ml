@@ -1,0 +1,202 @@
+(* A deliberately small domain pool: one FIFO of chunk tasks guarded by
+   a mutex/condition pair, workers that loop pop-run, and a caller that
+   enqueues, helps drain the queue, then blocks on a per-call latch.
+   No work stealing: chunk boundaries are fixed up front, which is what
+   makes the floating-point story of the numeric kernels auditable. *)
+
+type t = {
+  size : int;  (* total lanes, caller included *)
+  mutex : Mutex.t;
+  work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let num_domains pool = pool.size
+
+let default_override = ref None
+
+let env_domains () =
+  match Sys.getenv_opt "RSM_NUM_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default_domains () =
+  match !default_override with
+  | Some n -> n
+  | None -> (
+      match env_domains () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+let set_default_domains n =
+  if n < 1 then invalid_arg "Pool.set_default_domains: count must be positive";
+  default_override := Some n
+
+let worker pool () =
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.closed do
+      Condition.wait pool.work pool.mutex
+    done;
+    if Queue.is_empty pool.queue then begin
+      (* closed and drained *)
+      running := false;
+      Mutex.unlock pool.mutex
+    end
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      (* Tasks are wrapped by [run_chunks] and never raise. *)
+      task ()
+    end
+  done
+
+let create ?domains () =
+  let n =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  let n = max 1 (min n 128) in
+  let pool =
+    {
+      size = n;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.closed then Mutex.unlock pool.mutex
+  else begin
+    pool.closed <- true;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Run [exec c] for every chunk [0 ≤ c < chunks]; all chunks complete
+   even if some raise, and the lowest-indexed failure is re-raised —
+   the same exception a sequential [for] loop would have surfaced. *)
+let run_chunks pool ~chunks exec =
+  if chunks = 1 || pool.size = 1 then
+    for c = 0 to chunks - 1 do
+      exec c
+    done
+  else begin
+    let latch_mutex = Mutex.create () in
+    let latch = Condition.create () in
+    let remaining = ref chunks in
+    let failure = ref None in
+    let task c () =
+      (try exec c
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock latch_mutex;
+         (match !failure with
+         | Some (c0, _, _) when c0 < c -> ()
+         | _ -> failure := Some (c, e, bt));
+         Mutex.unlock latch_mutex);
+      Mutex.lock latch_mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast latch;
+      Mutex.unlock latch_mutex
+    in
+    Mutex.lock pool.mutex;
+    if pool.closed then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool: submit to a shut-down pool"
+    end;
+    for c = 1 to chunks - 1 do
+      Queue.push (task c) pool.queue
+    done;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    (* The caller is a lane too: run chunk 0, then help drain whatever
+       is still queued (also keeps nested calls deadlock-free). *)
+    task 0 ();
+    let draining = ref true in
+    while !draining do
+      Mutex.lock pool.mutex;
+      if Queue.is_empty pool.queue then begin
+        Mutex.unlock pool.mutex;
+        draining := false
+      end
+      else begin
+        let t = Queue.pop pool.queue in
+        Mutex.unlock pool.mutex;
+        t ()
+      end
+    done;
+    Mutex.lock latch_mutex;
+    while !remaining > 0 do
+      Condition.wait latch latch_mutex
+    done;
+    Mutex.unlock latch_mutex;
+    match !failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let chunk_count pool ?chunks len =
+  let c = match chunks with Some c -> max 1 c | None -> pool.size in
+  min c len
+
+let chunk_bounds ~lo ~len ~chunks c =
+  (lo + (c * len / chunks), lo + ((c + 1) * len / chunks))
+
+let parallel_for_chunks pool ?chunks ~lo ~hi body =
+  let len = hi - lo in
+  if len > 0 then begin
+    let chunks = chunk_count pool ?chunks len in
+    run_chunks pool ~chunks (fun c ->
+        let clo, chi = chunk_bounds ~lo ~len ~chunks c in
+        body ~lo:clo ~hi:chi)
+  end
+
+let parallel_for pool ?chunks ~lo ~hi body =
+  parallel_for_chunks pool ?chunks ~lo ~hi (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        body i
+      done)
+
+let parallel_reduce pool ?chunks ~lo ~hi ~init ~fold ~combine =
+  let len = hi - lo in
+  if len <= 0 then init
+  else begin
+    let chunks = chunk_count pool ?chunks len in
+    let partials = Array.make chunks init in
+    run_chunks pool ~chunks (fun c ->
+        let clo, chi = chunk_bounds ~lo ~len ~chunks c in
+        partials.(c) <- fold ~lo:clo ~hi:chi);
+    (* Chunk-order combine: the reduction tree is fixed by the chunking,
+       not by completion order. *)
+    Array.fold_left combine init partials
+  end
+
+let the_default = ref None
+
+let default () =
+  let want = default_domains () in
+  match !the_default with
+  | Some pool when pool.size = want && not pool.closed -> pool
+  | prev ->
+      (match prev with Some pool -> shutdown pool | None -> ());
+      let pool = create ~domains:want () in
+      the_default := Some pool;
+      pool

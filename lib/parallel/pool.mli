@@ -1,0 +1,99 @@
+(** Shared-memory domain pool for the fitting engine's data-parallel
+    kernels.
+
+    The pool owns [domains − 1] worker domains (the caller is the final
+    lane) that drain a FIFO of chunk tasks. There is no work stealing
+    and no atomics in the numeric kernels: every parallel operation
+    splits its index range into {e fixed, contiguous chunks} computed
+    from the range and the chunk count alone, so the floating-point
+    evaluation order — and therefore the result bits — is a pure
+    function of the inputs and the chunking, never of scheduling.
+
+    {2 Determinism contract}
+
+    - [parallel_for] / [parallel_for_chunks] perform pure maps over
+      disjoint indices: results are bitwise identical to a sequential
+      loop for {e every} domain count.
+    - [parallel_reduce] combines the per-chunk partials sequentially in
+      chunk-index order. For a fixed chunk count (by default the pool
+      size) the result is bitwise reproducible; across different domain
+      counts the partial boundaries move, so order-sensitive
+      floating-point combines may drift within FP tolerance (the
+      library's own reductions are max/argmax selections and
+      whole-column dot products, which are exact and therefore bitwise
+      identical across all domain counts — see PERFORMANCE.md).
+
+    {2 Failure semantics}
+
+    If a chunk body raises, the remaining chunks still run to
+    completion, the exception of the {e lowest-indexed} failing chunk is
+    re-raised in the caller (matching what a sequential loop would have
+    raised first), and the pool stays fully usable — a failed
+    [parallel_for] never wedges worker domains. *)
+
+type t
+(** A pool handle. Pools are cheap (one [Domain.spawn] per worker at
+    creation, nothing per operation beyond closure allocation) but not
+    free; create one per process or benchmark arm, not per call. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of [domains] total lanes
+    ([domains − 1] workers plus the calling domain). Omitting [domains]
+    uses {!default_domains}. The count is clamped to [1 … 128];
+    [domains = 1] yields a pool whose operations run sequentially in the
+    caller with no queue traffic. *)
+
+val num_domains : t -> int
+(** Total lane count of the pool (workers + caller). *)
+
+val shutdown : t -> unit
+(** Drain outstanding tasks, stop and join the workers. Idempotent.
+    Submitting to a shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    also on exception. *)
+
+val parallel_for : t -> ?chunks:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi body] applies [body i] for every
+    [lo ≤ i < hi], split into [chunks] contiguous chunks (default: the
+    pool size). Bodies must only write to disjoint locations per index.
+    Empty ranges are a no-op; [chunks] is clamped to the range length. *)
+
+val parallel_for_chunks :
+  t -> ?chunks:int -> lo:int -> hi:int -> (lo:int -> hi:int -> unit) -> unit
+(** Chunk-granular variant: [body ~lo ~hi] receives one half-open
+    sub-range per chunk. Use it when per-chunk setup (scratch buffers,
+    Hermite tables) should be amortized over the chunk instead of paid
+    per index. *)
+
+val parallel_reduce :
+  t ->
+  ?chunks:int ->
+  lo:int ->
+  hi:int ->
+  init:'a ->
+  fold:(lo:int -> hi:int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a
+(** [parallel_reduce pool ~lo ~hi ~init ~fold ~combine] evaluates
+    [fold ~lo ~hi] on every chunk concurrently and returns
+    [combine (… (combine init p₀) …) p_{c−1}] — partials folded
+    {e left-to-right in chunk order}, never in completion order. An
+    empty range returns [init]. *)
+
+val default_domains : unit -> int
+(** Lane count used for pools created without [~domains] and for the
+    shared {!default} pool: {!set_default_domains} override if set, else
+    the [RSM_NUM_DOMAINS] environment variable (ignored unless a
+    positive integer), else [Domain.recommended_domain_count ()]. *)
+
+val set_default_domains : int -> unit
+(** Process-wide override (the CLI/bench [--domains] flag). Takes
+    precedence over [RSM_NUM_DOMAINS]. A live {!default} pool of a
+    different size is shut down and recreated on the next {!default}
+    call. @raise Invalid_argument if the count is not positive. *)
+
+val default : unit -> t
+(** The lazily created process-wide pool that every [?pool]-taking
+    kernel falls back to. Call it from the main domain only. *)

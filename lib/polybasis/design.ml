@@ -1,6 +1,6 @@
 open Linalg
 
-let matrix_rows b samples =
+let matrix_rows ?pool b samples =
   let k = Array.length samples in
   let m = Basis.size b in
   let g = Mat.create k m in
@@ -10,28 +10,32 @@ let matrix_rows b samples =
         if Array.length s <> Basis.dim b then
           invalid_arg "Design.matrix_rows: sample dimension mismatch")
       samples;
+    let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
+    (* Row-parallel: each chunk owns a disjoint row block of [g] and its
+       own Hermite scratch tables, so rows are evaluated exactly as in a
+       sequential loop — the result is bitwise identical for every
+       domain count. *)
     if Basis.dim b = 0 then
-      for i = 0 to k - 1 do
-        for j = 0 to m - 1 do
-          Mat.unsafe_set g i j (Term.eval (Basis.term b j) samples.(i))
-        done
-      done
-    else begin
-      let tbl = Basis.make_tables b in
-      for i = 0 to k - 1 do
-        Basis.fill_tables b tbl samples.(i);
-        for j = 0 to m - 1 do
-          Mat.unsafe_set g i j (Term.eval_tables (Basis.term b j) tbl)
-        done
-      done
-    end
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:k (fun i ->
+          for j = 0 to m - 1 do
+            Mat.unsafe_set g i j (Term.eval (Basis.term b j) samples.(i))
+          done)
+    else
+      Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:k (fun ~lo ~hi ->
+          let tbl = Basis.make_tables b in
+          for i = lo to hi - 1 do
+            Basis.fill_tables b tbl samples.(i);
+            for j = 0 to m - 1 do
+              Mat.unsafe_set g i j (Term.eval_tables (Basis.term b j) tbl)
+            done
+          done)
   end;
   g
 
-let matrix b samples =
+let matrix ?pool b samples =
   if Mat.cols samples <> Basis.dim b then
     invalid_arg "Design.matrix: sample dimension mismatch";
-  matrix_rows b (Array.init (Mat.rows samples) (fun i -> Mat.row samples i))
+  matrix_rows ?pool b (Array.init (Mat.rows samples) (fun i -> Mat.row samples i))
 
 let row = Basis.eval_point
 

@@ -6,12 +6,18 @@
     memory cost (e.g. 1000 × 21 311 ≈ 170 MB), so rows are filled in
     place from reusable per-variable Hermite tables. *)
 
-val matrix : Basis.t -> Linalg.Mat.t -> Linalg.Mat.t
+val matrix : ?pool:Parallel.Pool.t -> Basis.t -> Linalg.Mat.t -> Linalg.Mat.t
 (** [matrix b samples] for [samples] of shape [K×N] is the [K×M] design
-    matrix. @raise Invalid_argument when [N ≠ Basis.dim b]. *)
+    matrix. Rows are evaluated in parallel over [pool] (default: the
+    shared {!Parallel.Pool.default} pool); each chunk fills a disjoint
+    row block from its own Hermite tables, so the result is bitwise
+    identical to the sequential evaluation for every domain count.
+    @raise Invalid_argument when [N ≠ Basis.dim b]. *)
 
-val matrix_rows : Basis.t -> Linalg.Vec.t array -> Linalg.Mat.t
-(** Same, from an array of sample vectors. *)
+val matrix_rows :
+  ?pool:Parallel.Pool.t -> Basis.t -> Linalg.Vec.t array -> Linalg.Mat.t
+(** Same, from an array of sample vectors; identical parallelism and
+    determinism guarantee as {!matrix}. *)
 
 val row : Basis.t -> Linalg.Vec.t -> Linalg.Vec.t
 (** [row b dy] is one design row (alias of [Basis.eval_point]). *)

@@ -50,6 +50,17 @@ let split g =
     { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
   else { s0; s1; s2; s3 }
 
+let split_n g n =
+  if n < 0 then invalid_arg "Prng.split_n: negative count";
+  (* Children are derived in index order from the parent alone, before
+     any of them is used: handing child i to the i-th parallel task
+     gives every task the same stream regardless of execution order. *)
+  let children = Array.make n g in
+  for i = 0 to n - 1 do
+    children.(i) <- split g
+  done;
+  children
+
 let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
 
 let float g =

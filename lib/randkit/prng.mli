@@ -17,6 +17,15 @@ val split : t -> t
     Used to give each cross-validation fold / workload its own stream so
     that changing one experiment does not perturb the others. *)
 
+val split_n : t -> int -> t array
+(** [split_n g n] derives [n] independent child generators from [g] in
+    index order, advancing [g] by [n] splits. The children depend only
+    on [g]'s state and their index — never on which domain later
+    consumes them — so handing child [i] to parallel task [i] (a CV
+    fold, a sample chunk) makes a parallel run draw exactly the streams
+    a sequential run would, for every domain count.
+    @raise Invalid_argument if [n < 0]. *)
+
 val copy : t -> t
 (** [copy g] duplicates the state; both copies then produce the same
     stream independently. *)

@@ -7,20 +7,45 @@ let fold_indices plan q =
   if q < 0 || q >= plan.folds then invalid_arg "Crossval.fold_indices: bad fold";
   Randkit.Sampling.fold_split plan.assignment q
 
-let run plan ~fit ~error =
+(* Run the Q fold bodies — fold-parallel when a pool is supplied — and
+   collect one result per fold. The combination of the results always
+   happens sequentially in fold order afterwards, so parallel execution
+   never changes the bits of the averages. *)
+let fold_results pool plan body =
+  let out = Array.make plan.folds None in
+  let run_fold q =
+    let train, held_out = fold_indices plan q in
+    out.(q) <- Some (body q ~train ~held_out)
+  in
+  (match pool with
+  | None ->
+      for q = 0 to plan.folds - 1 do
+        run_fold q
+      done
+  | Some pool ->
+      Parallel.Pool.parallel_for pool ~chunks:plan.folds ~lo:0 ~hi:plan.folds
+        run_fold);
+  Array.map (function Some r -> r | None -> assert false) out
+
+let run ?pool plan ~fit ~error =
+  let errs =
+    fold_results pool plan (fun _ ~train ~held_out ->
+        let model = fit ~train in
+        error model ~held_out)
+  in
   let total = ref 0. in
   for q = 0 to plan.folds - 1 do
-    let train, held_out = fold_indices plan q in
-    let model = fit ~train in
-    total := !total +. error model ~held_out
+    total := !total +. errs.(q)
   done;
   !total /. float_of_int plan.folds
 
-let run_curves plan ~fit_curve =
+let run_curves ?pool plan ~fit_curve =
+  let curves =
+    fold_results pool plan (fun _ ~train ~held_out -> fit_curve ~train ~held_out)
+  in
   let acc = ref [||] in
   for q = 0 to plan.folds - 1 do
-    let train, held_out = fold_indices plan q in
-    let curve = fit_curve ~train ~held_out in
+    let curve = curves.(q) in
     if q = 0 then acc := Array.map (fun e -> e /. float_of_int plan.folds) curve
     else begin
       if Array.length curve <> Array.length !acc then

@@ -17,19 +17,31 @@ val fold_indices : plan -> int -> int array * int array
 (** [fold_indices plan q] is [(train, held_out)] for run [q]. *)
 
 val run :
-  plan -> fit:(train:int array -> 'model) ->
+  ?pool:Parallel.Pool.t -> plan -> fit:(train:int array -> 'model) ->
   error:('model -> held_out:int array -> float) -> float
 (** [run plan ~fit ~error] executes the Q runs and returns the average
-    held-out error [ (ε₁ + … + ε_Q)/Q ]. *)
+    held-out error [ (ε₁ + … + ε_Q)/Q ].
+
+    With [?pool] the Q runs execute fold-parallel (one fold per chunk);
+    [fit] and [error] are then called from several domains concurrently
+    and must not share mutable state (capture a per-fold
+    {!Randkit.Prng.split_n} stream, never one shared generator). The
+    per-fold errors are summed in fold order after all folds complete,
+    so the average is bitwise identical to the sequential run for every
+    domain count. Without [?pool] the folds run sequentially, exactly as
+    before — side-effecting closures remain safe. *)
 
 val run_curves :
-  plan -> fit_curve:(train:int array -> held_out:int array -> float array) ->
+  ?pool:Parallel.Pool.t -> plan ->
+  fit_curve:(train:int array -> held_out:int array -> float array) ->
   float array
 (** [run_curves plan ~fit_curve] supports λ-sweeps: each run returns the
     error at every candidate λ measured on its held-out group; the
     result is the pointwise average curve ε(λ). All runs must return
-    curves of equal length.
-    @raise Invalid_argument otherwise. *)
+    curves of equal length. [?pool] has the same contract and
+    determinism guarantee as in {!run}: fold-parallel fits, fold-order
+    averaging, bitwise-stable result.
+    @raise Invalid_argument on curves of different lengths. *)
 
 val argmin : float array -> int
 (** Index of the smallest entry (first on ties); NaNs are ignored unless

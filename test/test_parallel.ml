@@ -1,0 +1,256 @@
+(* The domain pool and the determinism contract of the parallel kernels:
+   every parallelized hot path must return the same bits as its
+   sequential counterpart for a fixed seed, at every domain count. *)
+open Test_util
+
+let pool_counts = [ 1; 2; 4 ]
+
+(* --- pool mechanics ------------------------------------------------ *)
+
+let test_empty_range () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let hits = ref 0 in
+      Parallel.Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> incr hits);
+      check_int "empty range: body never runs" 0 !hits;
+      let r =
+        Parallel.Pool.parallel_reduce pool ?chunks:None ~lo:3 ~hi:3 ~init:42
+          ~fold:(fun ~lo:_ ~hi:_ -> 0)
+          ~combine:( + )
+      in
+      check_int "empty reduce returns init" 42 r)
+
+let test_single_item () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let seen = ref [] in
+      Parallel.Pool.parallel_for pool ~lo:3 ~hi:4 (fun i ->
+          seen := i :: !seen);
+      check_bool "single index visited once" true (!seen = [ 3 ]))
+
+let test_range_smaller_than_domains () =
+  Parallel.Pool.with_pool ~domains:8 (fun pool ->
+      let hits = Array.make 3 0 in
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:3 (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Array.iteri
+        (fun i h -> check_int (Printf.sprintf "index %d hit once" i) 1 h)
+        hits)
+
+let test_for_chunks_covers_range () =
+  Parallel.Pool.with_pool ~domains:3 (fun pool ->
+      let hits = Array.make 100 0 in
+      Parallel.Pool.parallel_for_chunks pool ~chunks:7 ~lo:0 ~hi:100
+        (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Array.iteri
+        (fun i h -> check_int (Printf.sprintf "index %d hit once" i) 1 h)
+        hits)
+
+let test_reduce_sum () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun chunks ->
+          let s =
+            Parallel.Pool.parallel_reduce pool ~chunks ~lo:0 ~hi:1000 ~init:0
+              ~fold:(fun ~lo ~hi ->
+                let a = ref 0 in
+                for i = lo to hi - 1 do
+                  a := !a + i
+                done;
+                !a)
+              ~combine:( + )
+          in
+          check_int (Printf.sprintf "sum with %d chunks" chunks) 499500 s)
+        [ 1; 2; 3; 7; 1000 ])
+
+let test_reduce_combines_in_chunk_order () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let ranges =
+        Parallel.Pool.parallel_reduce pool ~chunks:5 ~lo:0 ~hi:53 ~init:[]
+          ~fold:(fun ~lo ~hi -> [ (lo, hi) ])
+          ~combine:( @ )
+      in
+      check_int "five chunks" 5 (List.length ranges);
+      let expected_lo = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          check_int "chunks contiguous and in order" !expected_lo lo;
+          check_bool "chunk non-empty" true (hi > lo);
+          expected_lo := hi)
+        ranges;
+      check_int "chunks cover the range" 53 !expected_lo)
+
+let test_exception_propagates_pool_survives () =
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      (match
+         Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+             if i >= 50 then failwith "boom")
+       with
+      | () -> Alcotest.fail "expected the body's exception to propagate"
+      | exception Failure msg -> check_bool "body exception" true (msg = "boom"));
+      (* The pool must stay fully usable after a failed operation. *)
+      let hits = Array.make 10 0 in
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:10 (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Array.iter (fun h -> check_int "usable after failure" 1 h) hits)
+
+let test_lowest_chunk_exception_wins () =
+  (* Every chunk raises; the re-raised exception must be the one a
+     sequential loop would have hit first (lowest chunk index). *)
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      match
+        Parallel.Pool.parallel_for_chunks pool ~chunks:4 ~lo:0 ~hi:100
+          (fun ~lo ~hi:_ -> failwith (Printf.sprintf "chunk@%d" lo))
+      with
+      | () -> Alcotest.fail "expected an exception"
+      | exception Failure msg -> check_bool "lowest chunk wins" true (msg = "chunk@0"))
+
+let test_domain_clamping () =
+  Parallel.Pool.with_pool ~domains:0 (fun pool ->
+      check_int "domains clamped up to 1" 1 (Parallel.Pool.num_domains pool));
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      check_int "requested count kept" 4 (Parallel.Pool.num_domains pool))
+
+let test_shutdown_semantics () =
+  let pool = Parallel.Pool.create ~domains:2 () in
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool (* idempotent *);
+  check_raises_invalid "submit after shutdown" (fun () ->
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:4 ignore);
+  check_raises_invalid "set_default_domains 0" (fun () ->
+      Parallel.Pool.set_default_domains 0)
+
+let test_nested_parallel_no_deadlock () =
+  (* Select's fold-parallel CV calls OMP's column-parallel sweep on the
+     same pool; the caller-helps scheduler must not deadlock. *)
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let total = ref 0 in
+      let mu = Mutex.create () in
+      Parallel.Pool.parallel_for pool ~lo:0 ~hi:8 (fun _ ->
+          let s =
+            Parallel.Pool.parallel_reduce pool ?chunks:None ~lo:0 ~hi:100
+              ~init:0
+              ~fold:(fun ~lo ~hi ->
+                let a = ref 0 in
+                for i = lo to hi - 1 do
+                  a := !a + i
+                done;
+                !a)
+              ~combine:( + )
+          in
+          Mutex.lock mu;
+          total := !total + s;
+          Mutex.unlock mu);
+      check_int "nested reduce per outer index" (8 * 4950) !total)
+
+(* --- determinism of the parallel kernels --------------------------- *)
+
+let with_pools f =
+  List.map (fun d -> Parallel.Pool.with_pool ~domains:d f) pool_counts
+
+let all_equal msg = function
+  | [] | [ _ ] -> ()
+  | ref :: rest ->
+      List.iteri
+        (fun i x ->
+          check_bool
+            (Printf.sprintf "%s: domains=%d equals domains=1" msg
+               (List.nth pool_counts (i + 1)))
+            true (x = ref))
+        rest
+
+let sparse_problem ~k ~m seed =
+  let rng = Randkit.Prng.create seed in
+  let g = Randkit.Gaussian.matrix rng k m in
+  let f =
+    Array.init k (fun i ->
+        (2. *. Linalg.Mat.get g i 1)
+        -. (1.5 *. Linalg.Mat.get g i (m / 2))
+        +. Linalg.Mat.get g i (m - 1)
+        +. (0.05 *. Randkit.Gaussian.sample rng))
+  in
+  (g, f)
+
+let prop_design_matrix_deterministic seed =
+  let rng = Randkit.Prng.create seed in
+  let dim = 3 + Randkit.Prng.int rng 3 in
+  let basis = Polybasis.Basis.quadratic dim in
+  let pts = Array.init 17 (fun _ -> Randkit.Gaussian.vector rng dim) in
+  let mats =
+    with_pools (fun pool ->
+        Linalg.Mat.to_arrays (Polybasis.Design.matrix_rows ~pool basis pts))
+  in
+  all_equal "design matrix bits" mats;
+  true
+
+let prop_omp_fit_deterministic seed =
+  let g, f = sparse_problem ~k:40 ~m:25 seed in
+  let fits =
+    with_pools (fun pool ->
+        let m = Rsm.Omp.fit ~pool g f ~lambda:5 in
+        (m.Rsm.Model.support, Array.copy m.Rsm.Model.coeffs))
+  in
+  all_equal "OMP support and coefficient bits" fits;
+  true
+
+let prop_cv_select_deterministic seed =
+  let g, f = sparse_problem ~k:40 ~m:25 seed in
+  let results =
+    with_pools (fun pool ->
+        let r =
+          Rsm.Select.omp ~pool (Randkit.Prng.create (seed + 1)) ~max_lambda:6 g
+            f
+        in
+        (r.Rsm.Select.lambda, Array.copy r.Rsm.Select.curve,
+         Rsm.Model.to_dense r.Rsm.Select.model))
+  in
+  all_equal "CV lambda, curve and model bits" results;
+  true
+
+let prop_simulator_batch_deterministic seed =
+  let sram = Circuit.Sram.build ~cells:12 () in
+  let sim = Circuit.Sram.simulator sram in
+  let sequential =
+    Circuit.Simulator.run sim (Randkit.Prng.create seed) ~k:30
+  in
+  let batches =
+    with_pools (fun pool ->
+        Circuit.Simulator.run ~pool sim (Randkit.Prng.create seed) ~k:30)
+  in
+  List.iter
+    (fun (d : Circuit.Simulator.dataset) ->
+      check_bool "points identical" true (d.points = sequential.points);
+      check_bool "values identical" true (d.values = sequential.values))
+    batches;
+  true
+
+let seed_gen = QCheck.int_range 1 10_000
+
+let suite =
+  ( "parallel",
+    [
+      case "pool: empty range" test_empty_range;
+      case "pool: single item" test_single_item;
+      case "pool: range < domains" test_range_smaller_than_domains;
+      case "pool: chunked for covers range" test_for_chunks_covers_range;
+      case "pool: reduce sums" test_reduce_sum;
+      case "pool: reduce combines in chunk order"
+        test_reduce_combines_in_chunk_order;
+      case "pool: exception propagates, pool survives"
+        test_exception_propagates_pool_survives;
+      case "pool: lowest-chunk exception wins"
+        test_lowest_chunk_exception_wins;
+      case "pool: domain count clamping" test_domain_clamping;
+      case "pool: shutdown semantics" test_shutdown_semantics;
+      case "pool: nested parallelism does not deadlock"
+        test_nested_parallel_no_deadlock;
+      qtest ~count:15 "design matrix: parallel == sequential" seed_gen
+        prop_design_matrix_deterministic;
+      qtest ~count:15 "omp fit: parallel == sequential" seed_gen
+        prop_omp_fit_deterministic;
+      qtest ~count:8 "cv selection: parallel == sequential" seed_gen
+        prop_cv_select_deterministic;
+      qtest ~count:8 "simulator batch: parallel == sequential" seed_gen
+        prop_simulator_batch_deterministic;
+    ] )

@@ -67,7 +67,7 @@ let test_generic_pads_short_paths () =
   in
   let r =
     Rsm.Select.generic (rng ()) ~max_lambda:8
-      ~path_models:(fun g f ~max_lambda ->
+      ~path_models:(fun ~rng:_ g f ~max_lambda ->
         let n = min max_lambda 2 in
         Array.init n (fun l -> Rsm.Omp.fit g f ~lambda:(l + 1)))
       g f
