@@ -38,6 +38,34 @@ let print_table ~title ~header rows =
 
 let pct x = Printf.sprintf "%.2f%%" (100. *. x)
 
+(* Process peak resident set (VmHWM) in MB, or -1 where /proc is
+   unavailable. A lifetime high-water mark: read it right after the
+   scenario whose footprint is being measured. *)
+let peak_rss_mb () =
+  match open_in "/proc/self/status" with
+  | exception _ -> -1.
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> -1.
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+              let rest = String.sub line 6 (String.length line - 6) in
+              let fields =
+                String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) rest)
+                |> List.filter (fun s -> s <> "")
+              in
+              match fields with
+              | kb :: _ -> (
+                  match float_of_string_opt kb with
+                  | Some v -> v /. 1024.
+                  | None -> -1.)
+              | [] -> -1.
+            end
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in ic) scan
+
 let secs x =
   if x >= 3600. then Printf.sprintf "%.1f h" (x /. 3600.)
   else if x >= 60. then Printf.sprintf "%.1f min" (x /. 60.)

@@ -112,8 +112,9 @@ let sram_kernels ~quick =
       name = "omp_corr_sweep";
       run =
         (fun pool ->
+          let src = Polybasis.Design.Provider.dense g in
           for _ = 1 to 20 do
-            ignore (Rsm.Corr_sweep.argmax_abs ~pool ~skip g res)
+            ignore (Rsm.Corr_sweep.argmax_abs ~pool ~skip src res)
           done);
     };
     {
@@ -136,16 +137,98 @@ let sram_kernels ~quick =
     };
   ]
 
+(* Dense vs streamed correlation sweep over the same quadratic
+   dictionary: the acceptance gate for the matrix-free engine is that
+   streaming the Hermite tiles stays within a small factor of reading a
+   materialized matrix. *)
+let sweep_kernels ~quick =
+  let n = if quick then 44 else 139 in
+  let k = if quick then 120 else 500 in
+  let reps = if quick then 4 else 6 in
+  let basis = Polybasis.Basis.quadratic n in
+  let rng = Randkit.Prng.create 31 in
+  let pts = Array.init k (fun _ -> Randkit.Gaussian.vector rng n) in
+  let streamed = Polybasis.Design.Provider.streamed basis pts in
+  let dense =
+    Polybasis.Design.Provider.dense
+      (Polybasis.Design.matrix_rows
+         ~pool:(Parallel.Pool.create ~domains:1 ())
+         basis pts)
+  in
+  let res = Randkit.Gaussian.vector rng k in
+  let sweep src pool =
+    for _ = 1 to reps do
+      ignore (Rsm.Corr_sweep.gram_tr ~pool src res)
+    done
+  in
+  [
+    { name = "sweep_dense"; run = sweep dense };
+    { name = "sweep_streamed"; run = sweep streamed };
+  ]
+
+(* Paper-scale matrix-free OMP: M ≈ 10⁵ columns (quick: 10⁴) that are
+   never materialized. Runs before everything else so the VmHWM reading
+   reflects this scenario's footprint. *)
+type bigm_report = {
+  bm : int;
+  bk : int;
+  blambda : int;
+  fit_s : float;
+  rss_mb : float;
+  bnnz : int;
+}
+
+let bigm ~quick ~pool =
+  let n = if quick then 140 else 446 in
+  let k = if quick then 150 else 500 in
+  let lambda = if quick then 8 else 15 in
+  let basis = Polybasis.Basis.quadratic n in
+  let m = Polybasis.Basis.size basis in
+  let rng = Randkit.Prng.create 41 in
+  let pts = Array.init k (fun _ -> Randkit.Gaussian.vector rng n) in
+  let src = Polybasis.Design.Provider.streamed basis pts in
+  (* Sparse synthetic response: a handful of true columns plus noise. *)
+  let p_true = min 10 lambda in
+  let support = Randkit.Sampling.subsample rng (Array.init m Fun.id) p_true in
+  let f = Array.init k (fun _ -> 0.05 *. Randkit.Gaussian.sample rng) in
+  Array.iter
+    (fun j ->
+      let col = Polybasis.Design.Provider.column src j in
+      for i = 0 to k - 1 do
+        f.(i) <- f.(i) +. col.(i)
+      done)
+    support;
+  let t0 = Unix.gettimeofday () in
+  let model = Rsm.Omp.fit_p ~pool src f ~lambda in
+  let fit_s = Unix.gettimeofday () -. t0 in
+  let rss_mb = Bench_util.peak_rss_mb () in
+  Printf.printf
+    "bigm (matrix-free OMP): K=%d M=%d lambda=%d  fit %.2f s  nnz %d  peak \
+     RSS %.0f MB\n\
+     %!"
+    k m lambda fit_s (Rsm.Model.nnz model) rss_mb;
+  { bm = m; bk = k; blambda = lambda; fit_s; rss_mb; bnnz = Rsm.Model.nnz model }
+
+let out_dir = Filename.concat "bench" "out"
+
+let ensure_out_dir () =
+  (try Unix.mkdir "bench" 0o755 with Unix.Unix_error _ -> ());
+  try Unix.mkdir out_dir 0o755 with Unix.Unix_error _ -> ()
+
 let speedup ~quick ~domains () =
   let domains =
     match domains with Some d -> d | None -> Parallel.Pool.default_domains ()
   in
   let reps = if quick then 2 else 3 in
-  let kernels = sram_kernels ~quick in
-  Printf.printf "\n=== Sequential vs parallel (%d domain%s) ===\n%!" domains
-    (if domains = 1 then "" else "s");
+  Printf.printf "\n=== Matrix-free big-M scenario ===\n%!" ;
   let seq_pool = Parallel.Pool.create ~domains:1 () in
   let par_pool = Parallel.Pool.create ~domains () in
+  (* First, before any dense matrices are built, so VmHWM is this
+     scenario's peak. *)
+  let big = bigm ~quick ~pool:par_pool in
+  let kernels = sram_kernels ~quick @ sweep_kernels ~quick in
+  Printf.printf "\n=== Sequential vs parallel (%d domain%s) ===\n%!" domains
+    (if domains = 1 then "" else "s");
   let rows =
     List.map
       (fun kernel ->
@@ -166,6 +249,11 @@ let speedup ~quick ~domains () =
     let b = Buffer.create 512 in
     Buffer.add_string b "{\n";
     Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" domains);
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"bigm\": {\"m\": %d, \"k\": %d, \"lambda\": %d, \"fit_s\": %.3f, \
+          \"peak_rss_mb\": %.1f, \"nnz\": %d},\n"
+         big.bm big.bk big.blambda big.fit_s big.rss_mb big.bnnz);
     Buffer.add_string b "  \"kernels\": [\n";
     List.iteri
       (fun i (name, seq_s, par_s, sp) ->
@@ -180,10 +268,12 @@ let speedup ~quick ~domains () =
     Buffer.contents b
   in
   print_string json;
-  let oc = open_out "speed_report.json" in
+  ensure_out_dir ();
+  let report = Filename.concat out_dir "speed_report.json" in
+  let oc = open_out report in
   output_string oc json;
   close_out oc;
-  Printf.printf "JSON report written to speed_report.json\n%!"
+  Printf.printf "JSON report written to %s\n%!" report
 
 let run ?(quick = false) ?domains () =
   speedup ~quick ~domains ();

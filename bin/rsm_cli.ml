@@ -96,6 +96,44 @@ let use_domains n =
   Option.iter Parallel.Pool.set_default_domains n;
   Parallel.Pool.default ()
 
+let engine =
+  Arg.(
+    value
+    & vflag `Auto
+        [
+          ( `Streamed,
+            info [ "matrix-free" ]
+              ~doc:
+                "Stream design-matrix columns on demand from cached Hermite \
+                 tables instead of materializing the K×M matrix. Bitwise \
+                 identical results; peak memory independent of M." );
+          ( `Dense,
+            info [ "dense" ]
+              ~doc:
+                "Materialize the full design matrix (fastest when it fits in \
+                 memory)." );
+        ])
+
+(* Auto: go matrix-free when the dense K×M matrix would exceed ~1 GiB. *)
+let dense_bytes_budget = 1 lsl 30
+
+let choose_streamed engine ~k ~m =
+  match engine with
+  | `Streamed -> true
+  | `Dense -> false
+  | `Auto -> 8 * k * m > dense_bytes_budget
+
+let provider_of ?pool engine basis pts =
+  let k = Array.length pts and m = Polybasis.Basis.size basis in
+  if choose_streamed engine ~k ~m then
+    Polybasis.Design.Provider.streamed basis pts
+  else
+    Polybasis.Design.Provider.dense
+      (Polybasis.Design.matrix_rows ?pool basis pts)
+
+let engine_name src =
+  if Polybasis.Design.Provider.is_streamed src then "matrix-free" else "dense"
+
 let samples =
   Arg.(value & opt int 1000 & info [ "samples" ] ~docv:"K"
          ~doc:"Monte-Carlo / training sample count.")
@@ -173,7 +211,7 @@ let save_model_arg =
 
 let model_cmd =
   let run circuit metric cells parasitics seed samples test method_name
-      max_lambda save_model domains =
+      max_lambda save_model domains engine =
     match make_workload ~circuit ~metric ~cells ~parasitics with
     | Error e -> err_exit e
     | Ok w -> (
@@ -186,33 +224,35 @@ let model_cmd =
             let e =
               Circuit.Testbench.generate ~pool w.sim rng ~train:samples ~test
             in
-            let g_tr =
-              Polybasis.Design.matrix_rows basis
+            let src_tr =
+              provider_of ~pool engine basis
                 e.Circuit.Testbench.train.Circuit.Simulator.points
             in
-            let g_te =
-              Polybasis.Design.matrix_rows basis
+            let src_te =
+              provider_of ~pool engine basis
                 e.Circuit.Testbench.test.Circuit.Simulator.points
             in
             let f_tr = e.Circuit.Testbench.train.Circuit.Simulator.values in
             let f_te = e.Circuit.Testbench.test.Circuit.Simulator.values in
+            let m_cols = Polybasis.Design.Provider.cols src_tr in
             if
               Rsm.Solver.needs_overdetermined meth
-              && Linalg.Mat.rows g_tr < Linalg.Mat.cols g_tr
+              && Polybasis.Design.Provider.rows src_tr < m_cols
             then
               err_exit
                 (Printf.sprintf
                    "LS needs at least %d samples for %d coefficients; got %d \
                     (use omp/lar/star, the point of the paper)"
-                   (Linalg.Mat.cols g_tr) (Linalg.Mat.cols g_tr) samples);
+                   m_cols m_cols samples);
             let model, fit_s =
               Circuit.Testbench.timed (fun () ->
-                  Rsm.Solver.fit_cv ~max_lambda rng g_tr f_tr meth)
+                  Rsm.Solver.fit_cv_p ~max_lambda rng src_tr f_tr meth)
             in
             Printf.printf "%s | %s | K = %d training samples, M = %d bases\n"
-              w.name (Rsm.Solver.name meth) samples (Linalg.Mat.cols g_tr);
+              w.name (Rsm.Solver.name meth) samples m_cols;
+            Printf.printf "  design engine : %s\n" (engine_name src_tr);
             Printf.printf "  testing error : %.2f%% (on %d fresh samples)\n"
-              (100. *. Rsm.Model.error_on model g_te f_te)
+              (100. *. Rsm.Model.error_on_p model src_te f_te)
               test;
             Printf.printf "  bases selected: %d\n" (Rsm.Model.nnz model);
             Printf.printf "  fitting cost  : %.2f s (measured)\n" fit_s;
@@ -230,7 +270,8 @@ let model_cmd =
        ~doc:"Fit a sparse performance model and validate it on fresh samples.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ test_arg $ method_arg $ max_lambda_arg $ save_model_arg $ domains)
+      $ test_arg $ method_arg $ max_lambda_arg $ save_model_arg $ domains
+      $ engine)
 
 let predict_cmd =
   let model_file =
@@ -284,7 +325,7 @@ let predict_cmd =
 (* --- yield / sensitivity: fit a model, then use it --- *)
 
 let fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
-    ~domains =
+    ~domains ~engine =
   match make_workload ~circuit ~metric ~cells ~parasitics with
   | Error e -> err_exit e
   | Ok w ->
@@ -292,11 +333,9 @@ let fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
       let rng = Randkit.Prng.create seed in
       let basis = Polybasis.Basis.constant_linear w.dim in
       let data = Circuit.Simulator.run ~pool w.sim rng ~k:samples in
-      let g =
-        Polybasis.Design.matrix_rows ~pool basis data.Circuit.Simulator.points
-      in
+      let src = provider_of ~pool engine basis data.Circuit.Simulator.points in
       let r =
-        Rsm.Select.omp ~pool rng ~max_lambda g data.Circuit.Simulator.values
+        Rsm.Select.omp_p ~pool rng ~max_lambda src data.Circuit.Simulator.values
       in
       (w, basis, r.Rsm.Select.model, rng)
 
@@ -310,10 +349,10 @@ let upper_arg =
 
 let yield_cmd =
   let run circuit metric cells parasitics seed samples max_lambda lower upper
-      domains =
+      domains engine =
     let w, basis, model, rng =
       fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
-        ~domains
+        ~domains ~engine
     in
     if lower = Float.neg_infinity && upper = Float.infinity then
       err_exit "give at least one of --lower / --upper";
@@ -335,13 +374,14 @@ let yield_cmd =
        ~doc:"Estimate parametric yield against a spec window from a fitted model.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ max_lambda_arg $ lower_arg $ upper_arg $ domains)
+      $ max_lambda_arg $ lower_arg $ upper_arg $ domains $ engine)
 
 let sensitivity_cmd =
-  let run circuit metric cells parasitics seed samples max_lambda domains =
+  let run circuit metric cells parasitics seed samples max_lambda domains engine
+      =
     let w, basis, model, _rng =
       fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
-        ~domains
+        ~domains ~engine
     in
     Printf.printf "%s | variance attribution from %d simulations (%d bases)\n"
       w.name samples (Rsm.Model.nnz model);
@@ -359,7 +399,7 @@ let sensitivity_cmd =
        ~doc:"Rank variation sources by their share of the modeled variance.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ max_lambda_arg $ domains)
+      $ max_lambda_arg $ domains $ engine)
 
 let corner_cmd =
   let sigma_arg =
@@ -371,10 +411,10 @@ let corner_cmd =
            ~doc:"Find the largest value (default: smallest).")
   in
   let run circuit metric cells parasitics seed samples max_lambda sigma maximize
-      domains =
+      domains engine =
     let w, basis, model, _ =
       fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
-        ~domains
+        ~domains ~engine
     in
     let e = Rsm.Corner.linear_worst model basis ~sigma ~maximize in
     Printf.printf "%s | %s corner at %.1f sigma (model from %d simulations)\n"
@@ -397,7 +437,7 @@ let corner_cmd =
        ~doc:"Extract the worst-case process corner from a fitted model.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ max_lambda_arg $ sigma_arg $ maximize_arg $ domains)
+      $ max_lambda_arg $ sigma_arg $ maximize_arg $ domains $ engine)
 
 let () =
   let info =

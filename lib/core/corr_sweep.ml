@@ -1,65 +1,5 @@
-open Linalg
+module Provider = Polybasis.Design.Provider
 
-(* Per-chunk partial sweep: accumulate the [lo, hi) block of Gᵀ·r into
-   [out], walking rows outermost so the row-major matrix streams through
-   cache. Row order is ascending, matching Mat.col_dot bit for bit. *)
-let sweep_block g r out ~lo ~hi =
-  let k = Mat.rows g and m = Mat.cols g in
-  let data = g.Mat.data in
-  for i = 0 to k - 1 do
-    let base = i * m in
-    let ri = Array.unsafe_get r i in
-    for j = lo to hi - 1 do
-      Array.unsafe_set out j
-        (Array.unsafe_get out j +. (Array.unsafe_get data (base + j) *. ri))
-    done
-  done
+let gram_tr ?pool src r = Provider.gram_tr ?pool src r
 
-let check g r =
-  if Array.length r <> Mat.rows g then
-    invalid_arg "Corr_sweep: residual length mismatch"
-
-let gram_tr ?pool g r =
-  check g r;
-  let m = Mat.cols g in
-  let out = Array.make m 0. in
-  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
-  Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:m (fun ~lo ~hi ->
-      sweep_block g r out ~lo ~hi);
-  out
-
-let argmax_abs ?pool ~skip g r =
-  check g r;
-  let m = Mat.cols g in
-  if Array.length skip <> m then
-    invalid_arg "Corr_sweep.argmax_abs: skip length mismatch";
-  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
-  Parallel.Pool.parallel_reduce pool ?chunks:None ~lo:0 ~hi:m ~init:(-1, 0.)
-    ~fold:(fun ~lo ~hi ->
-      let dots = Array.make (hi - lo) 0. in
-      let k = Mat.rows g in
-      let data = g.Mat.data in
-      for i = 0 to k - 1 do
-        let base = (i * m) + lo in
-        let ri = Array.unsafe_get r i in
-        for j = 0 to hi - lo - 1 do
-          Array.unsafe_set dots j
-            (Array.unsafe_get dots j
-            +. (Array.unsafe_get data (base + j) *. ri))
-        done
-      done;
-      let best = ref (-1) and best_abs = ref 0. in
-      for j = lo to hi - 1 do
-        if not skip.(j) then begin
-          let c = Float.abs dots.(j - lo) in
-          if c > !best_abs then begin
-            best := j;
-            best_abs := c
-          end
-        end
-      done;
-      (!best, !best_abs))
-    ~combine:(fun (ja, ca) (jb, cb) ->
-      (* Strict > keeps the earlier chunk's winner on exact ties — the
-         same column a sequential left-to-right scan would pick. *)
-      if cb > ca then (jb, cb) else (ja, ca))
+let argmax_abs ?pool ~skip src r = Provider.argmax_abs ?pool ~skip src r

@@ -3,17 +3,18 @@
     Every iteration of OMP (Algorithm 1, Step 3), STAR and LAR scans the
     inner products of the current residual with all [M] dictionary
     columns — the [Gᵀ·r] sweep that dominates the paper's fitting-cost
-    analysis at O(K·M) per iteration. This module evaluates that sweep
-    column-chunk-parallel over a {!Parallel.Pool}:
+    analysis at O(K·M) per iteration. The sweep consumes a
+    {!Polybasis.Design.Provider}, so the same solver code runs against a
+    materialized matrix or the matrix-free Hermite-table generator:
 
-    - each chunk owns a contiguous column block and walks the row-major
-      design matrix row-by-row (the cache-friendly order), accumulating
-      its block of [Gᵀ·r] partial sums locally — no atomics, no shared
-      accumulation;
+    - each chunk owns a contiguous column block; dense providers walk
+      the row-major matrix row-by-row (the cache-friendly order),
+      streamed providers fuse column generation into the dot product —
+      no atomics, no shared accumulation either way;
     - each column's dot product is accumulated over rows in ascending
       order exactly as the sequential [Mat.col_dot], so every entry of
-      the result is {e bitwise identical} to the sequential sweep for
-      every domain count;
+      the result is {e bitwise identical} to the sequential dense sweep
+      for every domain count and either provider form;
     - the argmax combine keeps the strictly larger magnitude and, on
       exact ties, the lower column index — the same winner a sequential
       first-strictly-greater scan selects.
@@ -21,18 +22,22 @@
     Passing no [?pool] uses {!Parallel.Pool.default}. *)
 
 val gram_tr :
-  ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t -> Linalg.Vec.t
-(** [gram_tr g r] is the length-[M] vector [Gᵀ·r]. Bitwise identical to
-    [Array.init m (fun j -> Mat.col_dot g j r)] for every domain count.
+  ?pool:Parallel.Pool.t ->
+  Polybasis.Design.Provider.t ->
+  Linalg.Vec.t ->
+  Linalg.Vec.t
+(** [gram_tr src r] is the length-[M] vector [Gᵀ·r]. Bitwise identical
+    to [Array.init m (fun j -> Mat.col_dot g j r)] on the dense form for
+    every domain count.
     @raise Invalid_argument on a length mismatch. *)
 
 val argmax_abs :
   ?pool:Parallel.Pool.t ->
   skip:bool array ->
-  Linalg.Mat.t ->
+  Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   int * float
-(** [argmax_abs ~skip g r] is [(j*, |⟨G_{j*}, r⟩|)] over the columns
+(** [argmax_abs ~skip src r] is [(j*, |⟨G_{j*}, r⟩|)] over the columns
     with [skip.(j) = false] — the eq. (18) selection (the paper's 1/K
     factor is a monotone scaling and is left to the caller). Returns
     [(-1, 0.)] when every column is skipped or all correlations are

@@ -1,4 +1,5 @@
 open Linalg
+module Provider = Polybasis.Design.Provider
 
 type mode = Lar | Lasso
 
@@ -11,9 +12,12 @@ type step = {
 
 (* Internal working state over unit-normalized columns x_j = G_j/‖G_j‖.
    The normalized columns are never materialized: every x_j operation
-   divides by the stored norm on the fly. *)
+   divides by the stored norm on the fly. Active columns are
+   materialized once into the per-fit cache (K floats each) — the only
+   columns LAR ever touches individually. *)
 type state = {
-  g : Mat.t;
+  src : Provider.t;
+  cache : Provider.Cache.t;
   norms : Vec.t;
   k : int;
   m : int;
@@ -25,11 +29,7 @@ type state = {
 }
 
 let xxdot st i j =
-  let acc = ref 0. in
-  for r = 0 to st.k - 1 do
-    acc := !acc +. (Mat.unsafe_get st.g r i *. Mat.unsafe_get st.g r j)
-  done;
-  !acc /. (st.norms.(i) *. st.norms.(j))
+  Provider.Cache.col_col_dot st.cache i j /. (st.norms.(i) *. st.norms.(j))
 
 (* Active set in insertion (oldest-first) order, matching the Grow factor. *)
 let active_oldest_first st = Array.of_list (List.rev st.active)
@@ -62,17 +62,18 @@ let current_model st =
     ~support:(Array.of_list !support)
     ~coeffs:(Array.of_list !coeffs)
 
-let path ?(mode = Lar) ?(tol = 1e-10) ?pool g f ~max_steps =
-  let k = Mat.rows g and m = Mat.cols g in
+let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool src f ~max_steps =
+  let k = Provider.rows src and m = Provider.cols src in
   if Array.length f <> k then invalid_arg "Lars.path: response length mismatch";
   if max_steps <= 0 then invalid_arg "Lars.path: max_steps must be positive";
-  let norms = Polybasis.Design.column_norms g in
+  let norms = Provider.column_norms ?pool src in
   Array.iteri
     (fun j n -> if n <= 0. then norms.(j) <- 1. else norms.(j) <- n)
     norms;
   let st =
     {
-      g;
+      src;
+      cache = Provider.Cache.create src;
       norms;
       k;
       m;
@@ -93,7 +94,7 @@ let path ?(mode = Lar) ?(tol = 1e-10) ?pool g f ~max_steps =
     let res = Vec.sub f st.mu in
     (* Correlations of every column with the residual: a column-parallel
        Gᵀ·r sweep, bitwise equal to the sequential per-column xdot. *)
-    let gtr = Corr_sweep.gram_tr ?pool st.g res in
+    let gtr = Corr_sweep.gram_tr ?pool st.src res in
     let c = Array.init m (fun j -> gtr.(j) /. st.norms.(j)) in
     (* C from the best column overall; the entering variable is the best
        inactive one. *)
@@ -144,8 +145,9 @@ let path ?(mode = Lar) ?(tol = 1e-10) ?pool g f ~max_steps =
           Array.iteri
             (fun p j ->
               let w = d.(p) /. st.norms.(j) in
+              let colj = Provider.Cache.column st.cache j in
               for r = 0 to k - 1 do
-                u.(r) <- u.(r) +. (w *. Mat.unsafe_get st.g r j)
+                u.(r) <- u.(r) +. (w *. Array.unsafe_get colj r)
               done)
             act;
           (* C recomputed over the active set (they are all equal up to
@@ -159,7 +161,7 @@ let path ?(mode = Lar) ?(tol = 1e-10) ?pool g f ~max_steps =
              products of every column with the equiangular direction u
              are the second Gᵀ·r-shaped sweep of the iteration; the
              O(M) min scan that follows stays sequential. *)
-          let gu = Corr_sweep.gram_tr ?pool st.g u in
+          let gu = Corr_sweep.gram_tr ?pool st.src u in
           let gamma = ref (cc /. a_a) in
           for j = 0 to m - 1 do
             if not st.in_active.(j) then begin
@@ -212,15 +214,22 @@ let path ?(mode = Lar) ?(tol = 1e-10) ?pool g f ~max_steps =
   done;
   Array.of_list (List.rev !steps)
 
-let fit ?mode ?tol ?pool g f ~lambda =
+let fit_p ?mode ?tol ?pool src f ~lambda =
   if lambda <= 0 then invalid_arg "Lars.fit: lambda must be positive";
   (* Drops can make the path longer than the target support size. *)
   let max_steps = (2 * lambda) + 8 in
-  let steps = path ?mode ?tol ?pool g f ~max_steps in
+  let steps = path_p ?mode ?tol ?pool src f ~max_steps in
   let best = ref None in
   Array.iter
     (fun s -> if Model.nnz s.model <= lambda then best := Some s.model)
     steps;
   match !best with
   | Some m -> m
-  | None -> Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]
+  | None ->
+      Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
+
+let path ?mode ?tol ?pool g f ~max_steps =
+  path_p ?mode ?tol ?pool (Provider.dense g) f ~max_steps
+
+let fit ?mode ?tol ?pool g f ~lambda =
+  fit_p ?mode ?tol ?pool (Provider.dense g) f ~lambda

@@ -15,7 +15,12 @@
     Columns are normalized to unit Euclidean norm internally (Hermite
     basis columns have norm ≈ √K already; normalization removes the
     sampling fluctuation) and coefficients are reported in the original
-    column scale. *)
+    column scale.
+
+    Consumes a {!Polybasis.Design.Provider} ([_p] variants): the two
+    per-step sweeps stream columns on demand, active columns are cached
+    (K floats each) for Gram updates and the equiangular direction —
+    dense and matrix-free runs are bitwise identical. *)
 
 type mode = Lar | Lasso
 
@@ -26,26 +31,46 @@ type step = {
   model : Model.t;  (** coefficients after the step (LARS shrinkage) *)
 }
 
-val path :
-  ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t ->
-  Linalg.Vec.t -> max_steps:int -> step array
-(** [path g f ~max_steps] traces up to [max_steps] path steps (default
-    mode [Lar]). Stops early when the maximal correlation falls below
-    [tol] relative to its initial value (default [1e-10]), when the
-    active set saturates at [min(K, M)], or at the final unrestricted
-    LS point of the active set.
+val path_p :
+  ?mode:mode ->
+  ?tol:float ->
+  ?pool:Parallel.Pool.t ->
+  Polybasis.Design.Provider.t ->
+  Linalg.Vec.t ->
+  max_steps:int ->
+  step array
+(** [path_p src f ~max_steps] traces up to [max_steps] path steps
+    (default mode [Lar]). Stops early when the maximal correlation falls
+    below [tol] relative to its initial value (default [1e-10]), when
+    the active set saturates at [min(K, M)], or at the final
+    unrestricted LS point of the active set.
 
     The two O(K·M) sweeps of every step — the correlations [Gᵀ·res] and
     the step-length inner products [Gᵀ·u] against the equiangular
     direction — run column-parallel over [pool] (default:
     {!Parallel.Pool.default}); entering/leaving variables, step lengths
-    and coefficients are bitwise identical to the sequential sweeps for
-    every domain count (each dot product is accumulated whole). *)
+    and coefficients are bitwise identical to the sequential dense
+    sweeps for every domain count and either provider form (each dot
+    product is accumulated whole). *)
+
+val fit_p :
+  ?mode:mode ->
+  ?tol:float ->
+  ?pool:Parallel.Pool.t ->
+  Polybasis.Design.Provider.t ->
+  Linalg.Vec.t ->
+  lambda:int ->
+  Model.t
+(** [fit_p src f ~lambda] is the last path model with at most [lambda]
+    active coefficients — λ plays the same sparsity-budget role as in
+    Algorithm 1. *)
+
+val path :
+  ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t ->
+  Linalg.Vec.t -> max_steps:int -> step array
+(** {!path_p} over [Provider.dense g]. *)
 
 val fit :
   ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t ->
   Linalg.Vec.t -> lambda:int -> Model.t
-(** [fit g f ~lambda] is the last path model with at most [lambda]
-    active coefficients — λ plays the same sparsity-budget role as in
-    Algorithm 1. Same parallelism and determinism guarantee as
-    {!path}. *)
+(** {!fit_p} over [Provider.dense g]. *)

@@ -90,8 +90,30 @@ let predict_point m b dy =
     m.support;
   !acc
 
+let predict_p m src =
+  if Polybasis.Design.Provider.cols src <> m.basis_size then
+    invalid_arg "Model.predict_p: design width mismatch";
+  let k = Polybasis.Design.Provider.rows src in
+  let out = Array.make k 0. in
+  let buf = Array.make k 0. in
+  (* Same support order and per-row accumulation as [predict_design] —
+     bitwise identical on the dense form. *)
+  Array.iteri
+    (fun p j ->
+      let c = m.coeffs.(p) in
+      Polybasis.Design.Provider.column_into src j buf;
+      for i = 0 to k - 1 do
+        out.(i) <- out.(i) +. (c *. Array.unsafe_get buf i)
+      done)
+    m.support;
+  out
+
 let error_on m g f =
   let pred = predict_design m g in
+  Stat.Metrics.relative_rms ~pred ~truth:f
+
+let error_on_p m src f =
+  let pred = predict_p m src in
   Stat.Metrics.relative_rms ~pred ~truth:f
 
 let pp fmt m =

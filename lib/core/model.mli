@@ -38,9 +38,17 @@ val predict_point : t -> Polybasis.Basis.t -> Linalg.Vec.t -> float
 (** [predict_point m b dy] evaluates only the selected basis functions
     at [dy] — O(nnz), independent of M. *)
 
+val predict_p : t -> Polybasis.Design.Provider.t -> Linalg.Vec.t
+(** [predict_p m src] is [G·α] streaming only the support columns from
+    the provider (one reusable K buffer) — bitwise identical to
+    {!predict_design} on the dense form. *)
+
 val error_on : t -> Linalg.Mat.t -> Linalg.Vec.t -> float
 (** [error_on m g f] is the relative-RMS modeling error of the model's
     predictions [G·α] against the reference responses [f]
     (see {!Stat.Metrics.relative_rms}). *)
+
+val error_on_p : t -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> float
+(** {!error_on} over a provider; bitwise identical on the dense form. *)
 
 val pp : Format.formatter -> t -> unit

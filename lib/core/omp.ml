@@ -1,4 +1,5 @@
 open Linalg
+module Provider = Polybasis.Design.Provider
 
 type step = {
   index : int;
@@ -7,8 +8,8 @@ type step = {
   model : Model.t;
 }
 
-let path ?(tol = 1e-12) ?pool g f ~max_lambda =
-  let k = Mat.rows g and m = Mat.cols g in
+let path_p ?(tol = 1e-12) ?pool src f ~max_lambda =
+  let k = Provider.rows src and m = Provider.cols src in
   if Array.length f <> k then invalid_arg "Omp.path: response length mismatch";
   if max_lambda <= 0 then invalid_arg "Omp.path: max_lambda must be positive";
   if max_lambda > min k m then
@@ -18,6 +19,10 @@ let path ?(tol = 1e-12) ?pool g f ~max_lambda =
   let rhs = Array.make max_lambda 0. in
   (* Gram factor of the selected columns, grown one column per step. *)
   let chol = Cholesky.Grow.create max_lambda in
+  (* Active-set columns are touched every remaining iteration (cross
+     products, re-fit residual); cache them once materialized — λ
+     columns of K floats, never the full matrix. *)
+  let cache = Provider.Cache.create src in
   let res = Array.copy f in
   let steps = ref [] in
   let stop = ref false in
@@ -28,30 +33,20 @@ let path ?(tol = 1e-12) ?pool g f ~max_lambda =
        The 1/K factor of eq. (18) is a monotone scaling; the argmax is
        unaffected, so we keep raw dot products. The sweep is
        column-parallel and bitwise equal to this sequential scan. *)
-    let best, best_abs = Corr_sweep.argmax_abs ?pool ~skip:selected g res in
+    let best, best_abs = Corr_sweep.argmax_abs ?pool ~skip:selected src res in
     if !p = 0 then initial_corr := best_abs;
     if best < 0 || best_abs <= tol *. Float.max !initial_corr 1. then
       stop := true
     else begin
       let j = best in
-      (* Steps 4–5: extend the selected set. *)
+      (* Steps 4–5: extend the selected set. Cross products against the
+         selected columns go through the one shared column-dot kernel
+         (cached columns, rows ascending — same bits as the dense
+         Mat-based loops this replaced). *)
       let cross =
-        Array.init !p (fun q ->
-            let jq = support.(q) in
-            let acc = ref 0. in
-            for i = 0 to k - 1 do
-              acc := !acc +. (Mat.unsafe_get g i jq *. Mat.unsafe_get g i j)
-            done;
-            !acc)
+        Array.init !p (fun q -> Provider.Cache.col_col_dot cache support.(q) j)
       in
-      let diag =
-        let acc = ref 0. in
-        for i = 0 to k - 1 do
-          let v = Mat.unsafe_get g i j in
-          acc := !acc +. (v *. v)
-        done;
-        !acc
-      in
+      let diag = Provider.Cache.col_col_dot cache j j in
       match Cholesky.Grow.append chol cross diag with
       | exception Cholesky.Not_positive_definite _ ->
           (* Column linearly dependent on the selected set: the LS re-fit
@@ -60,13 +55,15 @@ let path ?(tol = 1e-12) ?pool g f ~max_lambda =
       | () ->
           support.(!p) <- j;
           selected.(j) <- true;
-          rhs.(!p) <- Mat.col_dot g j f;
+          rhs.(!p) <- Provider.Cache.col_dot cache j f;
           incr p;
           (* Step 6: re-fit all selected coefficients (eq. (22)). *)
           let coeffs = Cholesky.Grow.solve chol (Array.sub rhs 0 !p) in
-          (* Step 7: fresh residual from the re-fitted model. *)
+          (* Step 7: fresh residual from the re-fitted model, applied
+             over the cached support columns. *)
           let sub = Array.sub support 0 !p in
-          let new_res = Lstsq.residual_subset g sub coeffs f in
+          let cols = Array.map (Provider.Cache.column cache) sub in
+          let new_res = Lstsq.residual_cols cols coeffs f in
           Array.blit new_res 0 res 0 k;
           let model =
             Model.make ~basis_size:m ~support:(Array.copy sub) ~coeffs
@@ -84,8 +81,13 @@ let path ?(tol = 1e-12) ?pool g f ~max_lambda =
   done;
   Array.of_list (List.rev !steps)
 
-let fit ?tol ?pool g f ~lambda =
-  let steps = path ?tol ?pool g f ~max_lambda:lambda in
+let fit_p ?tol ?pool src f ~lambda =
+  let steps = path_p ?tol ?pool src f ~max_lambda:lambda in
   if Array.length steps = 0 then
-    Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]
+    Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
   else steps.(Array.length steps - 1).model
+
+let path ?tol ?pool g f ~max_lambda =
+  path_p ?tol ?pool (Provider.dense g) f ~max_lambda
+
+let fit ?tol ?pool g f ~lambda = fit_p ?tol ?pool (Provider.dense g) f ~lambda

@@ -11,7 +11,14 @@
     ([Linalg.Cholesky.Grow]), so iteration [p] costs
     O(K·M) for the correlation scan plus O(K·p + p²) for the re-fit —
     the correlation scan dominates, exactly as in the paper's complexity
-    discussion. *)
+    discussion.
+
+    The solver consumes a {!Polybasis.Design.Provider} ([_p] variants),
+    so it runs unchanged against a materialized matrix or the
+    matrix-free Hermite-table generator — bitwise-identical paths either
+    way. Active-set columns (cross products, re-fit residuals) are
+    materialized once into a per-fit column cache: O(K·λ) extra memory,
+    never O(K·M). *)
 
 type step = {
   index : int;  (** basis selected at this iteration *)
@@ -20,10 +27,14 @@ type step = {
   model : Model.t;  (** model after this iteration *)
 }
 
-val path :
-  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
-  max_lambda:int -> step array
-(** [path g f ~max_lambda] runs up to [max_lambda] iterations and
+val path_p :
+  ?tol:float ->
+  ?pool:Parallel.Pool.t ->
+  Polybasis.Design.Provider.t ->
+  Linalg.Vec.t ->
+  max_lambda:int ->
+  step array
+(** [path_p src f ~max_lambda] runs up to [max_lambda] iterations and
     returns one step record per iteration. Stops early when the largest
     residual correlation falls below [tol] (default [1e-12]) relative to
     the initial one, when the residual is numerically zero, or when the
@@ -33,14 +44,27 @@ val path :
     iteration — runs column-parallel over [pool] (default:
     {!Parallel.Pool.default}) via {!Corr_sweep}; the selected support,
     coefficients and residuals are bitwise identical to the sequential
-    scan for every domain count (each column's dot product is
-    accumulated whole, never split).
+    dense scan for every domain count and either provider form (each
+    column's dot product is accumulated whole, never split).
     @raise Invalid_argument when [max_lambda] exceeds [min(K, M)] or is
     not positive. *)
+
+val fit_p :
+  ?tol:float ->
+  ?pool:Parallel.Pool.t ->
+  Polybasis.Design.Provider.t ->
+  Linalg.Vec.t ->
+  lambda:int ->
+  Model.t
+(** [fit_p src f ~lambda] is the model after [lambda] iterations (fewer
+    if the path stopped early; the last available model is returned). *)
+
+val path :
+  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
+  max_lambda:int -> step array
+(** [path g f ~max_lambda] is {!path_p} over [Provider.dense g]. *)
 
 val fit :
   ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
   lambda:int -> Model.t
-(** [fit g f ~lambda] is the model after [lambda] iterations (fewer if
-    the path stopped early; the last available model is returned). Same
-    parallelism and determinism guarantee as {!path}. *)
+(** [fit g f ~lambda] is {!fit_p} over [Provider.dense g]. *)

@@ -1,13 +1,13 @@
-open Linalg
+module Provider = Polybasis.Design.Provider
 
 type rule = Min_error | One_se
 
 type result = { model : Model.t; lambda : int; curve : float array }
 
-let generic ?(folds = 4) ?(rule = Min_error) ?pool rng ~max_lambda ~path_models
-    g f =
+let generic_p ?(folds = 4) ?(rule = Min_error) ?pool rng ~max_lambda
+    ~path_models src f =
   if max_lambda <= 0 then invalid_arg "Select: max_lambda must be positive";
-  let n = Mat.rows g in
+  let n = Provider.rows src in
   let plan = Stat.Crossval.make_plan rng ~n ~folds in
   (* Per-fold streams are split from the master generator in fold order
      before any fold runs, so a stochastic solver draws the same stream
@@ -23,17 +23,17 @@ let generic ?(folds = 4) ?(rule = Min_error) ?pool rng ~max_lambda ~path_models
   let fold_curves = Array.make folds [||] in
   Parallel.Pool.parallel_for pool ~chunks:folds ~lo:0 ~hi:folds (fun q ->
       let train, held_out = Stat.Crossval.fold_indices plan q in
-      let g_tr = Mat.select_rows g train in
+      let src_tr = Provider.select_rows src train in
       let f_tr = Array.map (fun i -> f.(i)) train in
-      let g_ho = Mat.select_rows g held_out in
+      let src_ho = Provider.select_rows src held_out in
       let f_ho = Array.map (fun i -> f.(i)) held_out in
-      let models = path_models ~rng:fold_rngs.(q) g_tr f_tr ~max_lambda in
+      let models = path_models ~rng:fold_rngs.(q) src_tr f_tr ~max_lambda in
       if Array.length models = 0 then
         invalid_arg "Select: solver produced an empty path";
       fold_curves.(q) <-
         Array.init max_lambda (fun l ->
             let m = models.(min l (Array.length models - 1)) in
-            Model.error_on m g_ho f_ho));
+            Model.error_on_p m src_ho f_ho));
   let fq = float_of_int folds in
   let curve =
     Array.init max_lambda (fun l ->
@@ -61,52 +61,66 @@ let generic ?(folds = 4) ?(rule = Min_error) ?pool rng ~max_lambda ~path_models
         done;
         !l + 1
   in
-  let final = path_models ~rng:refit_rng g f ~max_lambda:lambda in
+  let final = path_models ~rng:refit_rng src f ~max_lambda:lambda in
   { model = final.(Array.length final - 1); lambda; curve }
+
+let generic ?folds ?rule ?pool rng ~max_lambda ~path_models g f =
+  generic_p ?folds ?rule ?pool rng ~max_lambda
+    ~path_models:(fun ~rng src f ~max_lambda ->
+      path_models ~rng (Provider.to_dense ?pool src) f ~max_lambda)
+    (Provider.dense g) f
 
 let clamp_lambda ~max_lambda cap =
   (* Paths cannot exceed the solver's own bound on a fold's training
      rows; the caller's max_lambda is clamped accordingly. *)
   min max_lambda cap
 
-let omp ?folds ?rule ?pool rng ~max_lambda g f =
+let omp_p ?folds ?rule ?pool rng ~max_lambda src f =
   let cap_rows =
     (* smallest fold training size: n − ceil(n/Q) *)
-    let n = Mat.rows g in
+    let n = Provider.rows src in
     let q = match folds with Some q -> q | None -> 4 in
     n - ((n + q - 1) / q)
   in
-  let max_lambda = clamp_lambda ~max_lambda (min cap_rows (Mat.cols g)) in
-  generic ?folds ?rule ?pool rng ~max_lambda
-    ~path_models:(fun ~rng:_ g f ~max_lambda ->
-      let max_lambda = min max_lambda (min (Mat.rows g) (Mat.cols g)) in
-      Array.map (fun s -> s.Omp.model) (Omp.path ?pool g f ~max_lambda))
-    g f
+  let max_lambda =
+    clamp_lambda ~max_lambda (min cap_rows (Provider.cols src))
+  in
+  generic_p ?folds ?rule ?pool rng ~max_lambda
+    ~path_models:(fun ~rng:_ src f ~max_lambda ->
+      let max_lambda =
+        min max_lambda (min (Provider.rows src) (Provider.cols src))
+      in
+      Array.map (fun s -> s.Omp.model) (Omp.path_p ?pool src f ~max_lambda))
+    src f
 
-let star ?folds ?rule ?pool rng ~max_lambda g f =
-  let max_lambda = clamp_lambda ~max_lambda (Mat.cols g) in
-  generic ?folds ?rule ?pool rng ~max_lambda
-    ~path_models:(fun ~rng:_ g f ~max_lambda ->
-      Array.map (fun s -> s.Star.model) (Star.path ?pool g f ~max_lambda))
-    g f
+let star_p ?folds ?rule ?pool rng ~max_lambda src f =
+  let max_lambda = clamp_lambda ~max_lambda (Provider.cols src) in
+  generic_p ?folds ?rule ?pool rng ~max_lambda
+    ~path_models:(fun ~rng:_ src f ~max_lambda ->
+      Array.map (fun s -> s.Star.model) (Star.path_p ?pool src f ~max_lambda))
+    src f
 
-let lars ?folds ?rule ?mode ?pool rng ~max_lambda g f =
+let lars_p ?folds ?rule ?mode ?pool rng ~max_lambda src f =
   let cap_rows =
-    let n = Mat.rows g in
+    let n = Provider.rows src in
     let q = match folds with Some q -> q | None -> 4 in
     n - ((n + q - 1) / q)
   in
-  let max_lambda = clamp_lambda ~max_lambda (min cap_rows (Mat.cols g)) in
-  generic ?folds ?rule ?pool rng ~max_lambda
-    ~path_models:(fun ~rng:_ g f ~max_lambda ->
+  let max_lambda =
+    clamp_lambda ~max_lambda (min cap_rows (Provider.cols src))
+  in
+  generic_p ?folds ?rule ?pool rng ~max_lambda
+    ~path_models:(fun ~rng:_ src f ~max_lambda ->
       let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
-      let steps = Lars.path ?mode ?pool g f ~max_steps in
+      let steps = Lars.path_p ?mode ?pool src f ~max_steps in
       if Array.length steps = 0 then [||]
       else begin
         (* Entry λ−1 holds the last path model with at most λ active
            coefficients, so the curve is indexed by support size exactly
            as for OMP/STAR (lasso drops make steps ≠ support size). *)
-        let empty = Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||] in
+        let empty =
+          Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
+        in
         let models = Array.make max_lambda empty in
         Array.iter
           (fun s ->
@@ -118,4 +132,13 @@ let lars ?folds ?rule ?mode ?pool rng ~max_lambda g f =
           steps;
         models
       end)
-    g f
+    src f
+
+let omp ?folds ?rule ?pool rng ~max_lambda g f =
+  omp_p ?folds ?rule ?pool rng ~max_lambda (Provider.dense g) f
+
+let star ?folds ?rule ?pool rng ~max_lambda g f =
+  star_p ?folds ?rule ?pool rng ~max_lambda (Provider.dense g) f
+
+let lars ?folds ?rule ?mode ?pool rng ~max_lambda g f =
+  lars_p ?folds ?rule ?mode ?pool rng ~max_lambda (Provider.dense g) f

@@ -6,6 +6,12 @@
     minimized over λ and the winning λ is refit on the full data — the
     exact procedure of Fig. 2 and the surrounding text.
 
+    The [_p] variants consume a {!Polybasis.Design.Provider}, so the
+    whole CV loop runs matrix-free: fold providers are row-subset
+    rebuilds (no K×M gather), held-out scoring streams only the support
+    columns. Dense and matrix-free runs select the same λ and model,
+    bit for bit.
+
     {2 Parallelism and determinism}
 
     The Q fold fits are independent and run fold-parallel over [?pool]
@@ -32,11 +38,44 @@ type result = {
   curve : float array;  (** ε(λ) for λ = 1 … max_lambda *)
 }
 
+val omp_p :
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
+  max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
+(** Default [folds = 4] (the paper's Fig. 2 setting) and
+    [rule = Min_error]. *)
+
+val star_p :
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
+  max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
+
+val lars_p :
+  ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> ?pool:Parallel.Pool.t ->
+  Randkit.Prng.t -> max_lambda:int -> Polybasis.Design.Provider.t ->
+  Linalg.Vec.t -> result
+
+val generic_p :
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
+  max_lambda:int ->
+  path_models:
+    (rng:Randkit.Prng.t -> Polybasis.Design.Provider.t -> Linalg.Vec.t ->
+     max_lambda:int -> Model.t array) ->
+  Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
+(** The underlying driver: [path_models] maps a training design/response
+    to the per-λ models (an array shorter than [max_lambda] is padded by
+    repeating its last model — an early-stopped path keeps its final
+    error for larger λ). Exposed for user-supplied solvers.
+
+    [path_models] may be called concurrently from several domains (one
+    per fold) and must not share mutable state across calls; the [rng]
+    it receives is the fold's own deterministic stream (the final refit
+    gets one more dedicated stream), so stochastic solvers stay
+    reproducible under fold-parallel execution.
+    @raise Invalid_argument if a fold produces an empty path. *)
+
 val omp :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
   max_lambda:int -> Linalg.Mat.t -> Linalg.Vec.t -> result
-(** Default [folds = 4] (the paper's Fig. 2 setting) and
-    [rule = Min_error]. *)
+(** {!omp_p} over [Provider.dense g]. *)
 
 val star :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
@@ -53,14 +92,5 @@ val generic :
     (rng:Randkit.Prng.t -> Linalg.Mat.t -> Linalg.Vec.t -> max_lambda:int ->
      Model.t array) ->
   Linalg.Mat.t -> Linalg.Vec.t -> result
-(** The underlying driver: [path_models] maps a training design/response
-    to the per-λ models (an array shorter than [max_lambda] is padded by
-    repeating its last model — an early-stopped path keeps its final
-    error for larger λ). Exposed for user-supplied solvers.
-
-    [path_models] may be called concurrently from several domains (one
-    per fold) and must not share mutable state across calls; the [rng]
-    it receives is the fold's own deterministic stream (the final refit
-    gets one more dedicated stream), so stochastic solvers stay
-    reproducible under fold-parallel execution.
-    @raise Invalid_argument if a fold produces an empty path. *)
+(** {!generic_p} over [Provider.dense g]; [path_models] receives each
+    fold's materialized training matrix (free for a dense provider). *)

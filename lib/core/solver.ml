@@ -1,4 +1,5 @@
 open Linalg
+module Provider = Polybasis.Design.Provider
 
 type method_ = Ls | Star | Lar | Lasso | Omp | Stomp | Cosamp
 
@@ -95,3 +96,23 @@ let fit_cv ?folds ?max_lambda rng g f m =
       in
       let s = grid.(Stat.Crossval.argmin curve) in
       Cosamp.fit g f ~s
+
+let fit_cv_p ?folds ?max_lambda rng src f m =
+  let max_lambda =
+    match max_lambda with
+    | Some l -> l
+    | None ->
+        max 1 (min (min (Provider.rows src / 2) (Provider.cols src)) 200)
+  in
+  match m with
+  | Star -> (Select.star_p ?folds rng ~max_lambda src f).Select.model
+  | Lar ->
+      (Select.lars_p ?folds ~mode:Lars.Lar rng ~max_lambda src f).Select.model
+  | Lasso ->
+      (Select.lars_p ?folds ~mode:Lars.Lasso rng ~max_lambda src f)
+        .Select.model
+  | Omp -> (Select.omp_p ?folds rng ~max_lambda src f).Select.model
+  | Ls | Stomp | Cosamp ->
+      (* These paths need the materialized matrix (full LS / batch
+         thresholding); free for a dense provider. *)
+      fit_cv ?folds ~max_lambda rng (Provider.to_dense src) f m

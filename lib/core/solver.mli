@@ -37,3 +37,11 @@ val fit_cv :
 (** Cross-validated fit: sparsity chosen per Section IV-C for the path
     methods; plain LS for [Ls] (λ is meaningless there). Default
     [max_lambda] is [min(K/2, M, 200)]. *)
+
+val fit_cv_p :
+  ?folds:int -> ?max_lambda:int -> Randkit.Prng.t ->
+  Polybasis.Design.Provider.t -> Linalg.Vec.t -> method_ -> Model.t
+(** {!fit_cv} over a design provider. The greedy path methods (STAR,
+    LAR, LASSO, OMP) run fully matrix-free on a streamed provider,
+    bitwise matching the dense run; [Ls], [Stomp] and [Cosamp]
+    materialize the matrix (free when the provider is dense). *)

@@ -1,4 +1,5 @@
 open Linalg
+module Provider = Polybasis.Design.Provider
 
 type step = {
   index : int;
@@ -7,13 +8,14 @@ type step = {
   model : Model.t;
 }
 
-let path ?(tol = 1e-12) ?pool g f ~max_lambda =
-  let k = Mat.rows g and m = Mat.cols g in
+let path_p ?(tol = 1e-12) ?pool src f ~max_lambda =
+  let k = Provider.rows src and m = Provider.cols src in
   if Array.length f <> k then invalid_arg "Star.path: response length mismatch";
   if max_lambda <= 0 then invalid_arg "Star.path: max_lambda must be positive";
   if max_lambda > m then invalid_arg "Star.path: max_lambda exceeds basis size";
   let kf = float_of_int k in
   let selected = Array.make m false in
+  let cache = Provider.Cache.create src in
   let support = ref [] and coeffs = ref [] in
   let res = Array.copy f in
   let steps = ref [] in
@@ -23,21 +25,24 @@ let path ?(tol = 1e-12) ?pool g f ~max_lambda =
   while (not !stop) && !p < max_lambda do
     (* Column-parallel eq. (18) sweep, bitwise equal to the sequential
        scan for every domain count. *)
-    let best, best_abs = Corr_sweep.argmax_abs ?pool ~skip:selected g res in
+    let best, best_abs = Corr_sweep.argmax_abs ?pool ~skip:selected src res in
     if !p = 0 then initial_corr := best_abs;
     if best < 0 || best_abs <= tol *. Float.max !initial_corr 1. then
       stop := true
     else begin
       let j = best in
       (* Coefficient taken directly from the eq. (18) estimator —
-         no re-fit of previously selected coefficients. *)
-      let alpha = Mat.col_dot g j res /. kf in
+         no re-fit of previously selected coefficients. The selected
+         column is materialized once and reused for the residual
+         update. *)
+      let colj = Provider.Cache.column cache j in
+      let alpha = Vec.dot colj res /. kf in
       selected.(j) <- true;
       support := j :: !support;
       coeffs := alpha :: !coeffs;
       incr p;
       for i = 0 to k - 1 do
-        res.(i) <- res.(i) -. (alpha *. Mat.unsafe_get g i j)
+        res.(i) <- res.(i) -. (alpha *. Array.unsafe_get colj i)
       done;
       let model =
         Model.make ~basis_size:m
@@ -52,8 +57,13 @@ let path ?(tol = 1e-12) ?pool g f ~max_lambda =
   done;
   Array.of_list (List.rev !steps)
 
-let fit ?tol ?pool g f ~lambda =
-  let steps = path ?tol ?pool g f ~max_lambda:lambda in
+let fit_p ?tol ?pool src f ~lambda =
+  let steps = path_p ?tol ?pool src f ~max_lambda:lambda in
   if Array.length steps = 0 then
-    Model.make ~basis_size:(Mat.cols g) ~support:[||] ~coeffs:[||]
+    Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
   else steps.(Array.length steps - 1).model
+
+let path ?tol ?pool g f ~max_lambda =
+  path_p ?tol ?pool (Provider.dense g) f ~max_lambda
+
+let fit ?tol ?pool g f ~lambda = fit_p ?tol ?pool (Provider.dense g) f ~lambda

@@ -8,7 +8,11 @@
     [ξ_s = (1/K)·G_sᵀ·Res] of eq. (18) (a plain matching pursuit).
     Previously assigned coefficients are never revisited. The paper's
     Section V attributes OMP's 1.5–5× accuracy edge precisely to this
-    difference, which the A1 ablation bench isolates. *)
+    difference, which the A1 ablation bench isolates.
+
+    Consumes a {!Polybasis.Design.Provider} ([_p] variants): dense and
+    matrix-free runs are bitwise identical. Selected columns are cached
+    (K floats each) for the coefficient estimate and residual update. *)
 
 type step = {
   index : int;
@@ -17,18 +21,37 @@ type step = {
   model : Model.t;
 }
 
-val path :
-  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
-  max_lambda:int -> step array
-(** Same contract as {!Omp.path}: one record per iteration, early stop
+val path_p :
+  ?tol:float ->
+  ?pool:Parallel.Pool.t ->
+  Polybasis.Design.Provider.t ->
+  Linalg.Vec.t ->
+  max_lambda:int ->
+  step array
+(** Same contract as {!Omp.path_p}: one record per iteration, early stop
     on vanishing correlation. [max_lambda] may not exceed [M] (there is
     no LS system to keep over-determined, so [K] is not a bound).
 
     The eq. (18) correlation sweep runs column-parallel over [pool]
     (default: {!Parallel.Pool.default}); selections and coefficients are
-    bitwise identical to the sequential scan for every domain count. *)
+    bitwise identical to the sequential dense scan for every domain
+    count and either provider form. *)
+
+val fit_p :
+  ?tol:float ->
+  ?pool:Parallel.Pool.t ->
+  Polybasis.Design.Provider.t ->
+  Linalg.Vec.t ->
+  lambda:int ->
+  Model.t
+(** The model after the last path step. *)
+
+val path :
+  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
+  max_lambda:int -> step array
+(** {!path_p} over [Provider.dense g]. *)
 
 val fit :
   ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
   lambda:int -> Model.t
-(** Same parallelism and determinism guarantee as {!path}. *)
+(** {!fit_p} over [Provider.dense g]. *)

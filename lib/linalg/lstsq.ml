@@ -23,6 +23,22 @@ let residual a x b =
   let ax = Mat.mulv a x in
   Vec.sub b ax
 
+let residual_cols cols x b =
+  if Array.length cols <> Array.length x then
+    invalid_arg "Lstsq.residual_cols: column/coefficient length mismatch";
+  let k = Array.length b in
+  let res = Array.copy b in
+  for p = 0 to Array.length cols - 1 do
+    let col = cols.(p) and c = x.(p) in
+    if Array.length col <> k then
+      invalid_arg "Lstsq.residual_cols: column length mismatch";
+    if c <> 0. then
+      for i = 0 to k - 1 do
+        res.(i) <- res.(i) -. (c *. col.(i))
+      done
+  done;
+  res
+
 let residual_subset a idx x b =
   if Array.length idx <> Array.length x then
     invalid_arg "Lstsq.residual_subset: support/coefficient length mismatch";

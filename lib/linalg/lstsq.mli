@@ -24,3 +24,12 @@ val residual : Mat.t -> Vec.t -> Vec.t -> Vec.t
 val residual_subset : Mat.t -> int array -> Vec.t -> Vec.t -> Vec.t
 (** [residual_subset a idx x b] is [b − A₍idx₎·x] without materializing
     the column subset. *)
+
+val residual_cols : Vec.t array -> Vec.t -> Vec.t -> Vec.t
+(** [residual_cols cols x b] is [b − Σₚ x.(p)·cols.(p)] over an array of
+    already-materialized columns — the matrix-free solvers keep their
+    small active set as a [K×p] column cache and never touch the full
+    design matrix here. Columns are applied in ascending [p] with exact
+    zeros skipped, bitwise matching {!residual_subset} on the same
+    columns.
+    @raise Invalid_argument on any length mismatch. *)

@@ -182,6 +182,20 @@ let col_dot a j x =
   done;
   !acc
 
+let col_col_dot a i j =
+  if i < 0 || i >= a.cols || j < 0 || j >= a.cols then
+    invalid_arg "Mat.col_col_dot: column out of bounds";
+  let acc = ref 0. in
+  let ii = ref i and jj = ref j in
+  for _ = 0 to a.rows - 1 do
+    acc :=
+      !acc
+      +. (Array.unsafe_get a.data !ii *. Array.unsafe_get a.data !jj);
+    ii := !ii + a.cols;
+    jj := !jj + a.cols
+  done;
+  !acc
+
 let col_sub_dot a j k x =
   if j < 0 || j >= a.cols then invalid_arg "Mat.col_sub_dot: column out of bounds";
   if k < 0 || k > a.rows || k > Array.length x then

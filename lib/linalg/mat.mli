@@ -74,6 +74,12 @@ val gram : t -> t
 val col_dot : t -> int -> Vec.t -> float
 (** [col_dot a j x] is [⟨column j of a, x⟩] without copying the column. *)
 
+val col_col_dot : t -> int -> int -> float
+(** [col_col_dot a i j] is [⟨column i, column j⟩], accumulated over rows
+    in ascending order — the one shared kernel behind the greedy
+    solvers' active-set cross products (OMP steps 4–5, LARS Gram
+    updates). Bitwise identical to [Vec.dot (col a i) (col a j)]. *)
+
 val col_sub_dot : t -> int -> int -> Vec.t -> float
 (** [col_sub_dot a j k x] is [Σ_{i<k} a(i,j)·x(i)]: the dot product of the
     first [k] entries of column [j] against the first [k] entries of [x]. *)

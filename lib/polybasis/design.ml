@@ -39,13 +39,457 @@ let matrix ?pool b samples =
 
 let row = Basis.eval_point
 
-let column_norms g =
+let column_norms ?pool g =
   let k = Mat.rows g and m = Mat.cols g in
   let out = Array.make m 0. in
-  for i = 0 to k - 1 do
-    for j = 0 to m - 1 do
-      let v = Mat.unsafe_get g i j in
-      out.(j) <- out.(j) +. (v *. v)
-    done
-  done;
+  if k > 0 && m > 0 then begin
+    let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
+    (* Column-chunked; each column's sum of squares is accumulated over
+       rows in ascending order, so the result is bitwise identical to
+       the sequential double loop for every domain count. *)
+    Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:m (fun ~lo ~hi ->
+        let data = g.Mat.data in
+        for i = 0 to k - 1 do
+          let base = i * m in
+          for j = lo to hi - 1 do
+            let v = Array.unsafe_get data (base + j) in
+            Array.unsafe_set out j (Array.unsafe_get out j +. (v *. v))
+          done
+        done)
+  end;
   Array.map sqrt out
+
+module Provider = struct
+  (* A compiled term: per-column offsets into the transposed Hermite
+     value table, so the hot sweep dispatches once per column and the
+     row loop is pure float loads. The offset of (variable v, degree d)
+     is the base of the contiguous length-K slice holding g_d(Δy_v) for
+     every sample. *)
+  type cterm =
+    | Const
+    | Single of int
+    | Pair of int * int
+    | Many of int array
+
+  type streamed = {
+    basis : Basis.t;
+    samples : Vec.t array;
+    sk : int;  (* rows K *)
+    sm : int;  (* columns M *)
+    (* vtab.((v·ord1 + d)·K + i) = g_d(samples.(i).(v)): K·N·(order+1)
+       floats, independent of M — the whole point of the provider. *)
+    vtab : float array;
+    cterms : cterm array;
+    tile : int;
+    (* Reusable scratch buffers (per-length free lists) checked out by
+       sweep chunks and column materializations, so steady-state sweeps
+       allocate nothing per iteration. *)
+    scratch : (int, float array Stack.t) Hashtbl.t;
+    lock : Mutex.t;
+  }
+
+  type t = Dense of Mat.t | Streamed of streamed
+
+  let default_tile_cols = 256
+
+  (* The same three-term recurrence as [Basis.fill_tables], evaluated
+     slice-by-slice: bitwise-identical Hermite values, laid out with the
+     sample index innermost so per-column sweeps read contiguously. *)
+  let build_vtab b samples k =
+    let n = Basis.dim b in
+    let ord1 = Basis.max_degree b + 1 in
+    let vtab = Array.make (n * ord1 * k) 0. in
+    for v = 0 to n - 1 do
+      let base = v * ord1 * k in
+      for i = 0 to k - 1 do
+        Array.unsafe_set vtab (base + i) 1.
+      done;
+      if ord1 >= 2 then
+        for i = 0 to k - 1 do
+          Array.unsafe_set vtab (base + k + i) samples.(i).(v)
+        done;
+      for d = 1 to ord1 - 2 do
+        let fd = float_of_int d in
+        let sd = sqrt fd and sd1 = sqrt (fd +. 1.) in
+        let prev = base + (d * k)
+        and prev2 = base + ((d - 1) * k)
+        and cur = base + ((d + 1) * k) in
+        for i = 0 to k - 1 do
+          let y = samples.(i).(v) in
+          Array.unsafe_set vtab (cur + i)
+            (((y *. Array.unsafe_get vtab (prev + i))
+             -. (sd *. Array.unsafe_get vtab (prev2 + i)))
+            /. sd1)
+        done
+      done
+    done;
+    vtab
+
+  let compile_terms b k =
+    let ord1 = Basis.max_degree b + 1 in
+    let off (v, d) = ((v * ord1) + d) * k in
+    Array.init (Basis.size b) (fun j ->
+        match Basis.term b j with
+        | [||] -> Const
+        | [| p |] -> Single (off p)
+        | [| p; q |] -> Pair (off p, off q)
+        | pairs -> Many (Array.map off pairs))
+
+  let dense g = Dense g
+
+  let streamed ?(tile_cols = default_tile_cols) b samples =
+    if tile_cols < 1 then
+      invalid_arg "Design.Provider.streamed: tile_cols must be positive";
+    Array.iter
+      (fun s ->
+        if Array.length s <> Basis.dim b then
+          invalid_arg "Design.Provider.streamed: sample dimension mismatch")
+      samples;
+    let k = Array.length samples in
+    Streamed
+      {
+        basis = b;
+        samples;
+        sk = k;
+        sm = Basis.size b;
+        vtab = build_vtab b samples k;
+        cterms = compile_terms b k;
+        tile = tile_cols;
+        scratch = Hashtbl.create 4;
+        lock = Mutex.create ();
+      }
+
+  let rows = function Dense g -> Mat.rows g | Streamed s -> s.sk
+
+  let cols = function Dense g -> Mat.cols g | Streamed s -> s.sm
+
+  let tile_cols = function
+    | Dense _ -> default_tile_cols
+    | Streamed s -> s.tile
+
+  let is_streamed = function Dense _ -> false | Streamed _ -> true
+
+  let acquire s len =
+    Mutex.lock s.lock;
+    let buf =
+      match Hashtbl.find_opt s.scratch len with
+      | Some st when not (Stack.is_empty st) -> Some (Stack.pop st)
+      | _ -> None
+    in
+    Mutex.unlock s.lock;
+    match buf with Some b -> b | None -> Array.make len 0.
+
+  let release s buf =
+    let len = Array.length buf in
+    Mutex.lock s.lock;
+    let st =
+      match Hashtbl.find_opt s.scratch len with
+      | Some st -> st
+      | None ->
+          let st = Stack.create () in
+          Hashtbl.add s.scratch len st;
+          st
+    in
+    Stack.push buf st;
+    Mutex.unlock s.lock
+
+  (* --- streamed per-column kernels --------------------------------- *)
+
+  (* Column inner products ⟨g_j, r⟩ for j ∈ [lo, hi), written to
+     out.(off + j − lo). Each column is generated on the fly from the
+     Hermite slices and accumulated whole, over rows in ascending order
+     — bitwise the dots a dense sweep produces on the materialized
+     matrix. The per-column dispatch is hoisted out of the row loop. *)
+  let dots_block s r out ~lo ~hi ~off =
+    let k = s.sk in
+    let vt = s.vtab in
+    for j = lo to hi - 1 do
+      let acc = ref 0. in
+      (match Array.unsafe_get s.cterms j with
+      | Const ->
+          for i = 0 to k - 1 do
+            acc := !acc +. Array.unsafe_get r i
+          done
+      | Single o ->
+          for i = 0 to k - 1 do
+            acc :=
+              !acc +. (Array.unsafe_get vt (o + i) *. Array.unsafe_get r i)
+          done
+      | Pair (o1, o2) ->
+          for i = 0 to k - 1 do
+            acc :=
+              !acc
+              +. (Array.unsafe_get vt (o1 + i)
+                  *. Array.unsafe_get vt (o2 + i)
+                 *. Array.unsafe_get r i)
+          done
+      | Many offs ->
+          for i = 0 to k - 1 do
+            let e = ref 1. in
+            Array.iter (fun o -> e := !e *. Array.unsafe_get vt (o + i)) offs;
+            acc := !acc +. (!e *. Array.unsafe_get r i)
+          done);
+      out.(off + j - lo) <- !acc
+    done
+
+  let entry s j i =
+    match s.cterms.(j) with
+    | Const -> 1.
+    | Single o -> Array.unsafe_get s.vtab (o + i)
+    | Pair (o1, o2) ->
+        Array.unsafe_get s.vtab (o1 + i) *. Array.unsafe_get s.vtab (o2 + i)
+    | Many offs ->
+        let e = ref 1. in
+        Array.iter (fun o -> e := !e *. Array.unsafe_get s.vtab (o + i)) offs;
+        !e
+
+  let check_col name p j =
+    if j < 0 || j >= cols p then
+      invalid_arg (Printf.sprintf "Design.Provider.%s: column out of bounds" name)
+
+  let column_into p j buf =
+    check_col "column_into" p j;
+    if Array.length buf <> rows p then
+      invalid_arg "Design.Provider.column_into: buffer length mismatch";
+    match p with
+    | Dense g ->
+        for i = 0 to Mat.rows g - 1 do
+          buf.(i) <- Mat.unsafe_get g i j
+        done
+    | Streamed s ->
+        for i = 0 to s.sk - 1 do
+          buf.(i) <- entry s j i
+        done
+
+  let column p j =
+    let buf = Array.make (rows p) 0. in
+    column_into p j buf;
+    buf
+
+  let col_dot p j x =
+    check_col "col_dot" p j;
+    if Array.length x <> rows p then
+      invalid_arg "Design.Provider.col_dot: length mismatch";
+    match p with
+    | Dense g -> Mat.col_dot g j x
+    | Streamed s ->
+        let out = [| 0. |] in
+        dots_block s x out ~lo:j ~hi:(j + 1) ~off:0;
+        out.(0)
+
+  let col_col_dot p i j =
+    check_col "col_col_dot" p i;
+    check_col "col_col_dot" p j;
+    match p with
+    | Dense g -> Mat.col_col_dot g i j
+    | Streamed s ->
+        let bi = acquire s s.sk and bj = acquire s s.sk in
+        column_into p i bi;
+        column_into p j bj;
+        let d = Vec.dot bi bj in
+        release s bi;
+        release s bj;
+        d
+
+  let to_dense ?pool = function
+    | Dense g -> g
+    | Streamed s -> matrix_rows ?pool s.basis s.samples
+
+  let select_rows p idx =
+    match p with
+    | Dense g -> Dense (Mat.select_rows g idx)
+    | Streamed s ->
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= s.sk then
+              invalid_arg "Design.Provider.select_rows: row out of bounds")
+          idx;
+        streamed ~tile_cols:s.tile s.basis
+          (Array.map (fun i -> s.samples.(i)) idx)
+
+  (* Materialize the column block [jlo, jhi) into a reusable K×B tile
+     (row-major within the block). This is the bounded-memory unit every
+     dense-output path works in: at most K·tile_cols floats live at once
+     per consumer, never K·M. *)
+  let with_tile p ~jlo ~jhi f =
+    if jlo < 0 || jhi > cols p || jlo > jhi then
+      invalid_arg "Design.Provider.with_tile: block out of bounds";
+    let k = rows p in
+    let w = jhi - jlo in
+    match p with
+    | Dense g ->
+        let tile = Array.make (max 1 (k * w)) 0. in
+        for i = 0 to k - 1 do
+          let base = i * w in
+          for dj = 0 to w - 1 do
+            Array.unsafe_set tile (base + dj) (Mat.unsafe_get g i (jlo + dj))
+          done
+        done;
+        f tile
+    | Streamed s ->
+        let tile = acquire s (max 1 (k * w)) in
+        for dj = 0 to w - 1 do
+          let j = jlo + dj in
+          for i = 0 to k - 1 do
+            Array.unsafe_set tile ((i * w) + dj) (entry s j i)
+          done
+        done;
+        Fun.protect ~finally:(fun () -> release s tile) (fun () -> f tile)
+
+  let columns p idx =
+    let k = rows p in
+    let out = Mat.create k (Array.length idx) in
+    let buf = Array.make k 0. in
+    Array.iteri
+      (fun q j ->
+        column_into p j buf;
+        for i = 0 to k - 1 do
+          Mat.unsafe_set out i q buf.(i)
+        done)
+      idx;
+    out
+
+  (* --- the blocked correlation sweeps ------------------------------ *)
+
+  let check_r p r =
+    if Array.length r <> rows p then
+      invalid_arg "Design.Provider: residual length mismatch"
+
+  (* Dense partial sweep: accumulate the [lo, hi) block of Gᵀ·r into
+     [out], rows outermost so the row-major matrix streams through
+     cache, with the column loop unrolled 4-wide (each column still
+     accumulates over rows in ascending order — same bits as
+     [Mat.col_dot], the unroll only interleaves independent columns). *)
+  let dense_sweep_block g r out ~lo ~hi =
+    let k = Mat.rows g and m = Mat.cols g in
+    let data = g.Mat.data in
+    for i = 0 to k - 1 do
+      let base = i * m in
+      let ri = Array.unsafe_get r i in
+      let j = ref lo in
+      while !j + 4 <= hi do
+        let j0 = !j in
+        Array.unsafe_set out j0
+          (Array.unsafe_get out j0
+          +. (Array.unsafe_get data (base + j0) *. ri));
+        Array.unsafe_set out (j0 + 1)
+          (Array.unsafe_get out (j0 + 1)
+          +. (Array.unsafe_get data (base + j0 + 1) *. ri));
+        Array.unsafe_set out (j0 + 2)
+          (Array.unsafe_get out (j0 + 2)
+          +. (Array.unsafe_get data (base + j0 + 2) *. ri));
+        Array.unsafe_set out (j0 + 3)
+          (Array.unsafe_get out (j0 + 3)
+          +. (Array.unsafe_get data (base + j0 + 3) *. ri));
+        j := j0 + 4
+      done;
+      while !j < hi do
+        Array.unsafe_set out !j
+          (Array.unsafe_get out !j
+          +. (Array.unsafe_get data (base + !j) *. ri));
+        incr j
+      done
+    done
+
+  let gram_tr ?pool p r =
+    check_r p r;
+    let m = cols p in
+    let out = Array.make m 0. in
+    let pool = match pool with Some q -> q | None -> Parallel.Pool.default () in
+    (match p with
+    | Dense g ->
+        Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:m (fun ~lo ~hi ->
+            dense_sweep_block g r out ~lo ~hi)
+    | Streamed s ->
+        Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:m (fun ~lo ~hi ->
+            dots_block s r out ~lo ~hi ~off:lo));
+    out
+
+  let scan_argmax dots skip ~lo ~hi =
+    let best = ref (-1) and best_abs = ref 0. in
+    for j = lo to hi - 1 do
+      if not skip.(j) then begin
+        let c = Float.abs dots.(j - lo) in
+        if c > !best_abs then begin
+          best := j;
+          best_abs := c
+        end
+      end
+    done;
+    (!best, !best_abs)
+
+  let argmax_abs ?pool ~skip p r =
+    check_r p r;
+    let m = cols p in
+    if Array.length skip <> m then
+      invalid_arg "Design.Provider.argmax_abs: skip length mismatch";
+    let pool = match pool with Some q -> q | None -> Parallel.Pool.default () in
+    Parallel.Pool.parallel_reduce pool ?chunks:None ~lo:0 ~hi:m ~init:(-1, 0.)
+      ~fold:(fun ~lo ~hi ->
+        match p with
+        | Dense g ->
+            (* Per-chunk dots buffer indexed from 0; each column still
+               accumulates over rows in ascending order. *)
+            let dots = Array.make (hi - lo) 0. in
+            let k = Mat.rows g and mm = Mat.cols g in
+            let data = g.Mat.data in
+            for i = 0 to k - 1 do
+              let base = (i * mm) + lo in
+              let ri = Array.unsafe_get r i in
+              for j = 0 to hi - lo - 1 do
+                Array.unsafe_set dots j
+                  (Array.unsafe_get dots j
+                  +. (Array.unsafe_get data (base + j) *. ri))
+              done
+            done;
+            scan_argmax dots skip ~lo ~hi
+        | Streamed s ->
+            let dots = acquire s (hi - lo) in
+            dots_block s r dots ~lo ~hi ~off:0;
+            let result = scan_argmax dots skip ~lo ~hi in
+            release s dots;
+            result)
+      ~combine:(fun (ja, ca) (jb, cb) ->
+        (* Strict > keeps the earlier chunk's winner on exact ties — the
+           same column a sequential left-to-right scan would pick. *)
+        if cb > ca then (jb, cb) else (ja, ca))
+
+  let column_norms ?pool p =
+    match p with
+    | Dense g -> column_norms ?pool g
+    | Streamed s ->
+        let out = Array.make s.sm 0. in
+        let pool =
+          match pool with Some q -> q | None -> Parallel.Pool.default ()
+        in
+        Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:s.sm (fun ~lo ~hi ->
+            for j = lo to hi - 1 do
+              let acc = ref 0. in
+              for i = 0 to s.sk - 1 do
+                let v = entry s j i in
+                acc := !acc +. (v *. v)
+              done;
+              out.(j) <- sqrt !acc
+            done);
+        out
+
+  module Cache = struct
+    type provider = t
+
+    type t = { src : provider; tbl : (int, Vec.t) Hashtbl.t }
+
+    let create src = { src; tbl = Hashtbl.create 64 }
+
+    let column c j =
+      match Hashtbl.find_opt c.tbl j with
+      | Some col -> col
+      | None ->
+          let col = column c.src j in
+          Hashtbl.add c.tbl j col;
+          col
+
+    let col_dot c j x = Vec.dot (column c j) x
+
+    let col_col_dot c i j = Vec.dot (column c i) (column c j)
+  end
+end

@@ -1,10 +1,12 @@
 (** Design-matrix assembly.
 
     Builds the matrix [G] of eq. (6)–(8): [G(k, m) = g_m(ΔY^{(k)})] for
-    [K] sample rows and [M] basis functions. This is the object every
-    solver consumes; for the paper's large cases it is the dominant
-    memory cost (e.g. 1000 × 21 311 ≈ 170 MB), so rows are filled in
-    place from reusable per-variable Hermite tables. *)
+    [K] sample rows and [M] basis functions. For the paper's large cases
+    the dense matrix is the dominant memory cost (e.g. 1000 × 21 311 ≈
+    170 MB), so two forms exist: the materialized [Mat.t] built here,
+    and the matrix-free {!Provider} that streams column blocks on demand
+    from per-sample Hermite tables (peak memory [O(K·B)] scratch plus
+    [O(K·N·(order+1))] tables, independent of [M]). *)
 
 val matrix : ?pool:Parallel.Pool.t -> Basis.t -> Linalg.Mat.t -> Linalg.Mat.t
 (** [matrix b samples] for [samples] of shape [K×N] is the [K×M] design
@@ -22,6 +24,132 @@ val matrix_rows :
 val row : Basis.t -> Linalg.Vec.t -> Linalg.Vec.t
 (** [row b dy] is one design row (alias of [Basis.eval_point]). *)
 
-val column_norms : Linalg.Mat.t -> Linalg.Vec.t
-(** Euclidean norm of every column — used to sanity-check conditioning
-    of the sampled dictionary. *)
+val column_norms : ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t
+(** Euclidean norm of every column — used by LAR's normalization and to
+    sanity-check conditioning of the sampled dictionary. Columns are
+    chunked over [pool]; each column's sum of squares accumulates over
+    rows in ascending order, so the result is bitwise identical to the
+    sequential loop for every domain count. *)
+
+(** A design-matrix source the solvers consume without knowing whether
+    the matrix is materialized.
+
+    [Dense] wraps an existing [Mat.t]. [Streamed] generates any column
+    on demand from cached 1-D Hermite value tables — [K·N·(order+1)]
+    floats built once per fit by the same three-term recurrence as
+    {!Basis.fill_tables}, laid out sample-innermost so per-column sweeps
+    read contiguous memory. Every term is pre-compiled to absolute
+    table offsets, so the correlation sweep's inner loop is pure float
+    loads and multiplies.
+
+    {b Bitwise contract}: every streamed entry equals the dense entry
+    produced by {!matrix_rows} bit for bit (same recurrence, same
+    product order as [Term.eval_tables]), and every kernel below
+    accumulates whole columns over rows in ascending order. Dense and
+    streamed providers therefore yield bitwise-identical sweeps, norms,
+    dots — and hence identical solver paths — at every domain count. *)
+module Provider : sig
+  type t
+
+  val dense : Linalg.Mat.t -> t
+  (** Wrap a materialized design matrix; all kernels delegate to the
+      existing dense implementations. *)
+
+  val streamed : ?tile_cols:int -> Basis.t -> Linalg.Vec.t array -> t
+  (** [streamed b samples] is the matrix-free provider for the design
+      matrix {!matrix_rows}[ b samples], built without materializing
+      it. [tile_cols] (default 256) bounds the width of column blocks
+      materialized at a time by {!with_tile} and consumers that batch
+      columns; it does not affect results.
+      @raise Invalid_argument on sample-dimension mismatch or
+      non-positive [tile_cols]. *)
+
+  val rows : t -> int
+  (** Sample count [K]. *)
+
+  val cols : t -> int
+  (** Basis-function count [M]. *)
+
+  val tile_cols : t -> int
+
+  val is_streamed : t -> bool
+
+  val to_dense : ?pool:Parallel.Pool.t -> t -> Linalg.Mat.t
+  (** The full [K×M] matrix. Free for [Dense]; materializes (via
+      {!matrix_rows}) for [Streamed] — only call this on paths that
+      genuinely need the dense form. *)
+
+  val select_rows : t -> int array -> t
+  (** Row-subset provider (the CV folds). [Dense] gathers rows;
+      [Streamed] rebuilds the Hermite tables over the sample subset —
+      bitwise identical to gathering rows of the materialized matrix. *)
+
+  val column : t -> int -> Linalg.Vec.t
+  (** [column p j] is a fresh copy of column [j]. *)
+
+  val column_into : t -> int -> Linalg.Vec.t -> unit
+  (** [column_into p j buf] writes column [j] into the caller's reusable
+      [K]-length buffer. *)
+
+  val columns : t -> int array -> Linalg.Mat.t
+  (** [columns p idx] materializes the listed columns as a small
+      [K×|idx|] matrix (the active-set cache of the matrix-free
+      solvers). *)
+
+  val col_dot : t -> int -> Linalg.Vec.t -> float
+  (** [col_dot p j x] is [⟨column j, x⟩], rows ascending — bitwise
+      [Mat.col_dot] on the dense form. *)
+
+  val col_col_dot : t -> int -> int -> float
+  (** [⟨column i, column j⟩] — bitwise [Mat.col_col_dot] on the dense
+      form. *)
+
+  val with_tile : t -> jlo:int -> jhi:int -> (float array -> 'a) -> 'a
+  (** [with_tile p ~jlo ~jhi f] materializes the column block
+      [jlo, jhi) into a reusable row-major [K×(jhi−jlo)] scratch tile
+      and applies [f]. The tile is recycled after [f] returns; do not
+      retain it. This is the bounded-memory unit for dense-block
+      consumers: at most [K·tile_cols] floats live per consumer. *)
+
+  val column_norms : ?pool:Parallel.Pool.t -> t -> Linalg.Vec.t
+  (** Euclidean norm of every column; bitwise equal to
+      {!column_norms} of the dense form at every domain count. *)
+
+  val gram_tr : ?pool:Parallel.Pool.t -> t -> Linalg.Vec.t -> Linalg.Vec.t
+  (** [gram_tr p r] is the full correlation sweep [Gᵀ·r] (OMP step 3 /
+      LAR step 2), column-chunked over [pool]. Streamed providers fuse
+      generation into the dot product — each column is never stored.
+      Bitwise identical dense vs streamed at every domain count. *)
+
+  val argmax_abs :
+    ?pool:Parallel.Pool.t -> skip:bool array -> t -> Linalg.Vec.t -> int * float
+  (** [argmax_abs ~skip p r] is [(j*, |⟨g_{j*}, r⟩|)] over columns with
+      [skip.(j) = false], or [(-1, 0.)] when all are skipped. Ties keep
+      the lowest column index (strict [>] scan; earlier chunk wins the
+      combine), matching a sequential left-to-right scan. *)
+
+  (** Per-fit cache of materialized active-set columns. The greedy
+      solvers touch a few hundred columns out of up to ~10⁵; caching
+      them (K floats each) keeps the active-set work (cross products,
+      re-fit residuals, direction updates) dense-speed without the full
+      matrix. Not thread-safe — one cache per solver invocation. *)
+  module Cache : sig
+    type provider := t
+
+    type t
+
+    val create : provider -> t
+
+    val column : t -> int -> Linalg.Vec.t
+    (** Materialize-once copy of column [j]; later calls return the same
+        array. Treat it as read-only. *)
+
+    val col_dot : t -> int -> Linalg.Vec.t -> float
+    (** [Vec.dot] of the cached column against [x] — bitwise
+        {!Provider.col_dot}. *)
+
+    val col_col_dot : t -> int -> int -> float
+    (** [Vec.dot] of two cached columns — bitwise
+        {!Provider.col_col_dot}. *)
+  end
+end
