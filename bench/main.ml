@@ -26,8 +26,10 @@ let run_all quick full =
   Fig6.run ~quick ~full ();
   Ablation.run ~quick ();
   Recovery.run ~quick ();
+  let robust_ok = Robustness.run ~quick () in
   Printf.printf "\nAll experiments complete. See EXPERIMENTS.md for the \
-                 paper-vs-measured record.\n"
+                 paper-vs-measured record.\n";
+  if not robust_ok then exit 1
 
 let positive_int =
   let parse s =
@@ -76,6 +78,9 @@ let () =
         (fun quick _ -> Ablation.run ~quick ());
       cmd_of "recovery" "K = O(P log M) recovery phase diagram (A2)"
         (fun quick _ -> Recovery.run ~quick ());
+      cmd_of "robustness"
+        "Fault injection, screening and checkpoint/resume checks"
+        (fun quick _ -> if not (Robustness.run ~quick ()) then exit 1);
       Cmd.v
         (Cmd.info "speed"
            ~doc:

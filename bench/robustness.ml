@@ -1,0 +1,186 @@
+(* Robustness scenario: the fault-tolerant pipeline under fire.
+
+   Three claims are checked, PASS/FAIL per line:
+
+   1. With 10% injected simulator faults (NaN returns, gross outliers,
+      transient crashes), OMP and LAR still complete through the
+      [Robust.Pipeline] and land within 2x of the clean-run testing
+      error on the same seed.
+   2. A checkpointed OMP (and STAR) fit killed mid-path and resumed from
+      the last checkpoint produces a bitwise-identical model
+      ([Rsm.Serialize.to_string] equality) to an uninterrupted run.
+   3. Overheads are measured and printed (screening cost, injection +
+      retry cost) so PERFORMANCE.md numbers stay reproducible. *)
+
+open Bench_util
+module Simulator = Circuit.Simulator
+
+let offset_sim ~quick =
+  let amp = Circuit.Opamp.build ~n_parasitics:(if quick then 60 else 200) () in
+  (Circuit.Opamp.simulator amp Circuit.Opamp.Offset, Circuit.Opamp.dim amp)
+
+(* Outliers far outside any plausible bulk (offset >= 500 against a
+   response spread of ~12), so the MAD screen must catch every one —
+   borderline outliers inside the screen band are a statistics question,
+   not a robustness one. *)
+let bench_faults =
+  Simulator.fault_plan ~rate:0.10 ~outlier_scale:500. ()
+
+let pipeline_error ~faults ~method_ ~samples ~test ~max_lambda sim basis =
+  let cfg =
+    match
+      Robust.Pipeline.config ~method_ ~max_lambda ~samples ~faults
+        ~retry:(Simulator.retry_policy ())
+        ~min_samples:(samples / 2) ()
+    with
+    | Ok cfg -> cfg
+    | Error e -> failwith (Robust.Error.to_string e)
+  in
+  let rng = Randkit.Prng.create default_seed in
+  match Robust.Pipeline.fit cfg sim basis rng with
+  | Error e -> Error (Robust.Error.to_string e)
+  | Ok o ->
+      (* Fresh clean test set, decoupled from the training stream. *)
+      let test_rng = Randkit.Prng.create (default_seed + 1) in
+      let td = Simulator.run sim test_rng ~k:test in
+      let src_te =
+        Polybasis.Design.Provider.dense
+          (Polybasis.Design.matrix_rows basis td.Simulator.points)
+      in
+      Ok (Rsm.Model.error_on_p o.Robust.Pipeline.model src_te td.Simulator.values, o)
+
+let check failures name ok detail =
+  Printf.printf "  [%s] %s%s\n"
+    (if ok then "PASS" else "FAIL")
+    name
+    (if detail = "" then "" else " — " ^ detail);
+  if not ok then failures := name :: !failures
+
+(* Claim 2: kill the fit at [kill_at] selections (keeping the last
+   checkpoint), resume, and compare the final model byte-for-byte with
+   an uninterrupted run. *)
+let checkpoint_roundtrip_omp src f ~lambda ~kill_at =
+  let full = Rsm.Omp.fit_p src f ~lambda in
+  let last = ref None in
+  let _interrupted : Rsm.Omp.step array =
+    Rsm.Omp.path_p ~checkpoint_every:5 ~on_checkpoint:(fun c -> last := Some c)
+      src f ~max_lambda:kill_at
+  in
+  match !last with
+  | None -> false
+  | Some ckpt ->
+      let resumed = Rsm.Omp.fit_p ?resume:(Some ckpt) src f ~lambda in
+      Rsm.Serialize.to_string resumed = Rsm.Serialize.to_string full
+
+let checkpoint_roundtrip_star src f ~lambda ~kill_at =
+  let full = Rsm.Star.fit_p src f ~lambda in
+  let last = ref None in
+  let _interrupted : Rsm.Star.step array =
+    Rsm.Star.path_p ~checkpoint_every:5 ~on_checkpoint:(fun c -> last := Some c)
+      src f ~max_lambda:kill_at
+  in
+  match !last with
+  | None -> false
+  | Some ckpt ->
+      let resumed = Rsm.Star.fit_p ?resume:(Some ckpt) src f ~lambda in
+      Rsm.Serialize.to_string resumed = Rsm.Serialize.to_string full
+
+let run ~quick () =
+  let samples = if quick then 200 else 500 in
+  let test = if quick then 400 else 1000 in
+  let max_lambda = if quick then 12 else 25 in
+  let sim, dim = offset_sim ~quick in
+  let basis = Polybasis.Basis.constant_linear dim in
+  Printf.printf
+    "\n=== Robustness: 10%% fault injection, screening, checkpoint/resume ===\n";
+  Printf.printf
+    "OpAmp offset, %d factors, K = %d training / %d testing samples\n" dim
+    samples test;
+  let failures = ref [] in
+
+  (* --- Claim 1: fit quality under faults, OMP and LAR. --- *)
+  List.iter
+    (fun method_ ->
+      let name = Rsm.Solver.name method_ in
+      match
+        pipeline_error ~faults:Simulator.no_faults ~method_ ~samples ~test
+          ~max_lambda sim basis
+      with
+      | Error e -> check failures (name ^ " clean fit") false e
+      | Ok (clean_err, _) -> (
+          match
+            pipeline_error ~faults:bench_faults ~method_ ~samples ~test
+              ~max_lambda sim basis
+          with
+          | Error e -> check failures (name ^ " faulty fit") false e
+          | Ok (fault_err, o) ->
+              let r = o.Robust.Pipeline.run_report in
+              let hygiene =
+                match o.Robust.Pipeline.screen_report with
+                | Some s -> Robust.Screen.report_summary s
+                | None -> "screen: off"
+              in
+              Printf.printf "  %-5s clean %.2f%%  faulty %.2f%%  (%d faults, \
+                             %d retries; %s)\n"
+                name (100. *. clean_err) (100. *. fault_err)
+                r.Simulator.faults_injected r.Simulator.retries hygiene;
+              check failures
+                (name ^ " within 2x of clean error under 10% faults")
+                (Float.is_finite fault_err
+                && fault_err <= (2. *. clean_err) +. 1e-12)
+                (Printf.sprintf "%.2f%% vs %.2f%%" (100. *. fault_err)
+                   (100. *. clean_err))))
+    [ Rsm.Solver.Omp; Rsm.Solver.Lar ];
+
+  (* --- Claim 2: bitwise checkpoint/resume. --- *)
+  let rng = Randkit.Prng.create default_seed in
+  let data = Simulator.run sim rng ~k:samples in
+  let src =
+    Polybasis.Design.Provider.dense
+      (Polybasis.Design.matrix_rows basis data.Simulator.points)
+  in
+  let f = data.Simulator.values in
+  let lambda = min max_lambda (min samples (Polybasis.Basis.size basis)) in
+  check failures "OMP killed-at-10-then-resumed fit is bitwise identical"
+    (checkpoint_roundtrip_omp src f ~lambda ~kill_at:(min 10 lambda))
+    "";
+  check failures "STAR killed-at-10-then-resumed fit is bitwise identical"
+    (checkpoint_roundtrip_star src f ~lambda ~kill_at:(min 10 lambda))
+    "";
+
+  (* --- Claim 3: measured overheads. --- *)
+  let reps = if quick then 10 else 20 in
+  let timed_mean f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let t_clean =
+    timed_mean (fun () ->
+        let rng = Randkit.Prng.create default_seed in
+        ignore (Simulator.run sim rng ~k:samples))
+  in
+  let t_robust =
+    timed_mean (fun () ->
+        let rng = Randkit.Prng.create default_seed in
+        ignore
+          (Simulator.run_robust ~faults:bench_faults
+             ~retry:(Simulator.retry_policy ()) sim rng ~k:samples))
+  in
+  let t_screen = timed_mean (fun () -> ignore (Robust.Screen.screen data)) in
+  Printf.printf
+    "  overhead: clean sampling %.2f ms, 10%%-fault sampling+retry %.2f ms \
+     (%+.0f%%), MAD screen of %d rows %.3f ms (means of %d runs)\n"
+    (1e3 *. t_clean) (1e3 *. t_robust)
+    (100. *. ((t_robust /. Float.max t_clean 1e-9) -. 1.))
+    samples (1e3 *. t_screen) reps;
+
+  (match !failures with
+  | [] ->
+      Printf.printf "robustness: all checks passed\n";
+      true
+  | fs ->
+      Printf.printf "robustness: %d check(s) FAILED\n" (List.length fs);
+      false)

@@ -142,6 +142,20 @@ let err_exit msg =
   prerr_endline ("rsm: " ^ msg);
   exit 2
 
+(* Up-front numeric validation: one friendly line and exit 2, never an
+   exception out of the middle of a run. *)
+let check_at_least name floor v =
+  if v < floor then
+    err_exit (Printf.sprintf "--%s must be at least %d (got %d)" name floor v)
+
+let check_unit_interval name v =
+  if not (Float.is_finite v) || v < 0. || v >= 1. then
+    err_exit (Printf.sprintf "--%s must lie in [0, 1) (got %g)" name v)
+
+let check_sizes ~cells ~parasitics =
+  check_at_least "cells" 1 cells;
+  check_at_least "parasitics" 0 parasitics
+
 (* --- info --- *)
 
 let info_cmd =
@@ -164,6 +178,8 @@ let info_cmd =
 
 let mc_cmd =
   let run circuit metric cells parasitics seed samples domains =
+    check_at_least "samples" 1 samples;
+    check_sizes ~cells ~parasitics;
     match make_workload ~circuit ~metric ~cells ~parasitics with
     | Error e -> err_exit e
     | Ok w ->
@@ -209,9 +225,82 @@ let save_model_arg =
        & info [ "save-model" ] ~docv:"FILE"
            ~doc:"Write the fitted model to FILE (rsm-model text format).")
 
+let folds_arg =
+  Arg.(value & opt int 4 & info [ "folds" ] ~docv:"Q"
+         ~doc:"Cross-validation folds for the sparsity selection.")
+
+let fault_rate_arg =
+  Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"R"
+         ~doc:"Injected simulator fault probability per attempt, in [0, 1). \
+               Faults mix NaN returns, finite outliers and transient \
+               crashes; retries and screening must absorb them.")
+
+let retries_arg =
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+         ~doc:"Total attempts per sample (1 = no retry).")
+
+let no_screen_arg =
+  Arg.(value & flag & info [ "no-screen" ]
+         ~doc:"Disable the MAD outlier screen on the training responses.")
+
+let screen_threshold_arg =
+  Arg.(value & opt float 6.0 & info [ "screen-threshold" ] ~docv:"Z"
+         ~doc:"Robust z-score beyond which a training response is dropped.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Checkpoint the solver state to FILE while fitting. Implies \
+                 a fixed-sparsity fit at --max-lambda (checkpointing \
+                 mid-cross-validation is not meaningful); omp and star only.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Resume the fit from the --checkpoint file instead of starting \
+               over. The finished model is bitwise identical to an \
+               uninterrupted run with the same seed.")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 10 & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Iterations between checkpoint writes.")
+
+let print_run_reports run_report screen_report =
+  Printf.printf "  hygiene       : %s\n"
+    (Circuit.Simulator.report_summary run_report);
+  match screen_report with
+  | Some r -> Printf.printf "  hygiene       : %s\n" (Robust.Screen.report_summary r)
+  | None -> Printf.printf "  hygiene       : screen: off\n"
+
+let print_model_notes model =
+  Array.iter
+    (fun note -> Printf.printf "  note          : %s\n" note)
+    (Rsm.Model.notes model)
+
+let save_model_maybe save_model model =
+  match save_model with
+  | None -> ()
+  | Some path ->
+      Rsm.Serialize.save path model;
+      Printf.printf "  model saved   : %s\n" path
+
 let model_cmd =
   let run circuit metric cells parasitics seed samples test method_name
-      max_lambda save_model domains engine =
+      max_lambda save_model domains engine folds fault_rate retries no_screen
+      screen_threshold checkpoint resume checkpoint_every =
+    check_at_least "samples" 1 samples;
+    check_at_least "test" 1 test;
+    check_at_least "max-lambda" 1 max_lambda;
+    check_at_least "folds" 2 folds;
+    check_at_least "retries" 1 retries;
+    check_at_least "checkpoint-every" 1 checkpoint_every;
+    check_unit_interval "fault-rate" fault_rate;
+    if screen_threshold <= 0. || not (Float.is_finite screen_threshold) then
+      err_exit
+        (Printf.sprintf "--screen-threshold must be positive (got %g)"
+           screen_threshold);
+    if resume && checkpoint = None then
+      err_exit "--resume needs --checkpoint FILE to resume from";
+    check_sizes ~cells ~parasitics;
     match make_workload ~circuit ~metric ~cells ~parasitics with
     | Error e -> err_exit e
     | Ok w -> (
@@ -221,49 +310,153 @@ let model_cmd =
             let pool = use_domains domains in
             let rng = Randkit.Prng.create seed in
             let basis = Polybasis.Basis.constant_linear w.dim in
-            let e =
-              Circuit.Testbench.generate ~pool w.sim rng ~train:samples ~test
+            let m_cols = Polybasis.Basis.size basis in
+            let faults =
+              if fault_rate > 0. then
+                Circuit.Simulator.fault_plan ~rate:fault_rate ()
+              else Circuit.Simulator.no_faults
             in
-            let src_tr =
-              provider_of ~pool engine basis
-                e.Circuit.Testbench.train.Circuit.Simulator.points
+            let retry =
+              Circuit.Simulator.retry_policy ~max_attempts:retries ()
             in
-            let src_te =
-              provider_of ~pool engine basis
-                e.Circuit.Testbench.test.Circuit.Simulator.points
-            in
-            let f_tr = e.Circuit.Testbench.train.Circuit.Simulator.values in
-            let f_te = e.Circuit.Testbench.test.Circuit.Simulator.values in
-            let m_cols = Polybasis.Design.Provider.cols src_tr in
             if
-              Rsm.Solver.needs_overdetermined meth
-              && Polybasis.Design.Provider.rows src_tr < m_cols
+              Rsm.Solver.needs_overdetermined meth && samples < m_cols
             then
               err_exit
                 (Printf.sprintf
                    "LS needs at least %d samples for %d coefficients; got %d \
                     (use omp/lar/star, the point of the paper)"
                    m_cols m_cols samples);
-            let model, fit_s =
-              Circuit.Testbench.timed (fun () ->
-                  Rsm.Solver.fit_cv_p ~max_lambda rng src_tr f_tr meth)
-            in
-            Printf.printf "%s | %s | K = %d training samples, M = %d bases\n"
-              w.name (Rsm.Solver.name meth) samples m_cols;
-            Printf.printf "  design engine : %s\n" (engine_name src_tr);
-            Printf.printf "  testing error : %.2f%% (on %d fresh samples)\n"
-              (100. *. Rsm.Model.error_on_p model src_te f_te)
-              test;
-            Printf.printf "  bases selected: %d\n" (Rsm.Model.nnz model);
-            Printf.printf "  fitting cost  : %.2f s (measured)\n" fit_s;
-            Printf.printf "  sim cost      : %.0f s (accounted at %.2f s/sample)\n"
-              (Circuit.Testbench.training_cost e)
-              w.sim.Circuit.Simulator.seconds_per_sample;
-            match save_model with
-            | None -> ()
-            | Some path ->
-                Rsm.Serialize.save path model;
-                Printf.printf "  model saved   : %s\n" path)
+            match checkpoint with
+            | Some ckpt_file -> (
+                (* Fixed-λ checkpointed fit: simulate robustly, screen,
+                   then run the solver with periodic state saves. *)
+                if meth <> Rsm.Solver.Omp && meth <> Rsm.Solver.Star then
+                  err_exit "--checkpoint supports the omp and star methods only";
+                let data, run_report =
+                  Circuit.Simulator.run_robust ~pool ~faults ~retry w.sim rng
+                    ~k:samples
+                in
+                let data, screen_report =
+                  if no_screen then (data, None)
+                  else
+                    let d, r =
+                      Robust.Screen.screen ~threshold:screen_threshold data
+                    in
+                    (d, Some r)
+                in
+                let src =
+                  provider_of ~pool engine basis data.Circuit.Simulator.points
+                in
+                let f_tr = data.Circuit.Simulator.values in
+                let resume_state =
+                  if not resume then None
+                  else
+                    match Rsm.Serialize.Checkpoint.load ckpt_file with
+                    | Ok c -> Some c
+                    | Error e ->
+                        err_exit
+                          (Printf.sprintf "cannot load checkpoint %s: %s"
+                             ckpt_file e)
+                in
+                let on_checkpoint c =
+                  Rsm.Serialize.Checkpoint.save ckpt_file c
+                in
+                let lambda =
+                  min max_lambda
+                    (min (Polybasis.Design.Provider.rows src) m_cols)
+                in
+                let model, fit_s =
+                  Circuit.Testbench.timed (fun () ->
+                      match meth with
+                      | Rsm.Solver.Omp ->
+                          Rsm.Omp.fit_p ~pool ~on_singular:`Fallback
+                            ~checkpoint_every ~on_checkpoint
+                            ?resume:resume_state src f_tr ~lambda
+                      | _ ->
+                          Rsm.Star.fit_p ~pool ~checkpoint_every ~on_checkpoint
+                            ?resume:resume_state src f_tr ~lambda)
+                in
+                let test_data =
+                  Circuit.Simulator.run ~pool w.sim rng ~k:test
+                in
+                let src_te =
+                  provider_of ~pool engine basis
+                    test_data.Circuit.Simulator.points
+                in
+                Printf.printf
+                  "%s | %s | K = %d training samples, M = %d bases | fixed \
+                   lambda = %d (checkpointed)\n"
+                  w.name (Rsm.Solver.name meth) samples m_cols lambda;
+                Printf.printf "  design engine : %s\n" (engine_name src);
+                print_run_reports run_report screen_report;
+                Printf.printf "  checkpoint    : %s (every %d iterations%s)\n"
+                  ckpt_file checkpoint_every
+                  (if resume then ", resumed" else "");
+                Printf.printf "  testing error : %.2f%% (on %d fresh samples)\n"
+                  (100.
+                  *. Rsm.Model.error_on_p model src_te
+                       test_data.Circuit.Simulator.values)
+                  test;
+                Printf.printf "  bases selected: %d\n" (Rsm.Model.nnz model);
+                print_model_notes model;
+                Printf.printf "  fitting cost  : %.2f s (measured)\n" fit_s;
+                save_model_maybe save_model model)
+            | None -> (
+                let cfg =
+                  match
+                    Robust.Pipeline.config ~method_:meth ~folds ~max_lambda
+                      ~samples ~screen:(not no_screen)
+                      ~screen_threshold ~faults ~retry
+                      ~min_samples:(min samples (max 8 (samples / 2)))
+                      ~streamed:
+                        (choose_streamed engine ~k:samples ~m:m_cols)
+                      ()
+                  with
+                  | Ok cfg -> cfg
+                  | Error e -> err_exit (Robust.Error.to_string e)
+                in
+                match
+                  Circuit.Testbench.timed (fun () ->
+                      Robust.Pipeline.fit ~pool cfg w.sim basis rng)
+                with
+                | Error e, _ -> err_exit (Robust.Error.to_string e)
+                | Ok o, fit_s ->
+                    let model = o.Robust.Pipeline.model in
+                    let test_data =
+                      Circuit.Simulator.run ~pool w.sim rng ~k:test
+                    in
+                    let src_te =
+                      provider_of ~pool engine basis
+                        test_data.Circuit.Simulator.points
+                    in
+                    Printf.printf
+                      "%s | %s | K = %d training samples, M = %d bases\n"
+                      w.name (Rsm.Solver.name meth)
+                      (Circuit.Simulator.dataset_size o.Robust.Pipeline.dataset)
+                      m_cols;
+                    Printf.printf "  design engine : %s\n"
+                      (if cfg.Robust.Pipeline.streamed then "matrix-free"
+                       else "dense");
+                    print_run_reports o.Robust.Pipeline.run_report
+                      o.Robust.Pipeline.screen_report;
+                    Printf.printf
+                      "  testing error : %.2f%% (on %d fresh samples)\n"
+                      (100.
+                      *. Rsm.Model.error_on_p model src_te
+                           test_data.Circuit.Simulator.values)
+                      test;
+                    Printf.printf "  bases selected: %d\n" (Rsm.Model.nnz model);
+                    print_model_notes model;
+                    Printf.printf "  fitting cost  : %.2f s (measured)\n" fit_s;
+                    Printf.printf
+                      "  sim cost      : %.0f s (accounted at %.2f s/sample, \
+                       +%.0f s retry overhead)\n"
+                      (Circuit.Simulator.simulated_cost w.sim ~k:samples)
+                      w.sim.Circuit.Simulator.seconds_per_sample
+                      o.Robust.Pipeline.run_report
+                        .Circuit.Simulator.accounted_extra_seconds;
+                    save_model_maybe save_model model))
   in
   Cmd.v
     (Cmd.info "model"
@@ -271,7 +464,9 @@ let model_cmd =
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
       $ test_arg $ method_arg $ max_lambda_arg $ save_model_arg $ domains
-      $ engine)
+      $ engine $ folds_arg $ fault_rate_arg $ retries_arg $ no_screen_arg
+      $ screen_threshold_arg $ checkpoint_arg $ resume_arg
+      $ checkpoint_every_arg)
 
 let predict_cmd =
   let model_file =
@@ -446,8 +641,19 @@ let () =
         "Large-scale analog/RF performance variability modeling by sparse \
          regression (OMP / LAR / STAR / LS)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ info_cmd; mc_cmd; model_cmd; predict_cmd; yield_cmd; sensitivity_cmd;
-            corner_cmd ]))
+  (* ~catch:false so exceptions reach our guard instead of cmdliner's
+     backtrace printer; every failure becomes one "rsm: ..." line. *)
+  let code =
+    match
+      Robust.Error.guard (fun () ->
+          Cmd.eval ~catch:false
+            (Cmd.group info
+               [ info_cmd; mc_cmd; model_cmd; predict_cmd; yield_cmd;
+                 sensitivity_cmd; corner_cmd ]))
+    with
+    | Ok code -> code
+    | Error e ->
+        prerr_endline ("rsm: " ^ Robust.Error.to_string e);
+        2
+  in
+  exit code

@@ -1,6 +1,22 @@
+let check_finite_dataset d =
+  Array.iteri
+    (fun i p ->
+      if not (Float.is_finite d.Simulator.values.(i)) then
+        invalid_arg
+          (Printf.sprintf "Dataset_io: row %d has a non-finite value" i);
+      Array.iteri
+        (fun j x ->
+          if not (Float.is_finite x) then
+            invalid_arg
+              (Printf.sprintf
+                 "Dataset_io: row %d, factor %d is non-finite" i j))
+        p)
+    d.Simulator.points
+
 let to_channel oc d =
   let n = Array.length d.Simulator.points in
   if n = 0 then invalid_arg "Dataset_io: empty dataset";
+  check_finite_dataset d;
   let dim = Array.length d.Simulator.points.(0) in
   for j = 0 to dim - 1 do
     Printf.fprintf oc "y%d," j
@@ -17,14 +33,16 @@ let save path d =
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> to_channel oc d)
 
 let of_string s =
+  (* Keep physical line numbers through the blank/comment filter so
+     every diagnostic points at the offending line of the file. *)
   let lines =
     String.split_on_char '\n' s
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
   in
   match lines with
   | [] -> Error "empty input"
-  | header :: rows -> (
+  | (_, header) :: rows -> (
       let cols = String.split_on_char ',' header in
       let ncols = List.length cols in
       if ncols < 2 then Error "header must have at least one factor and f"
@@ -32,28 +50,46 @@ let of_string s =
         Error "last header column must be 'f'"
       else begin
         let dim = ncols - 1 in
-        let parse_row idx line =
+        let parse_row lineno line =
           let cells = String.split_on_char ',' line in
-          if List.length cells <> ncols then
-            Error (Printf.sprintf "row %d: expected %d columns" idx ncols)
+          let found = List.length cells in
+          if found <> ncols then
+            Error
+              (Printf.sprintf
+                 "line %d: expected %d columns, found %d (ragged row)" lineno
+                 ncols found)
           else begin
-            let values = List.map float_of_string_opt cells in
-            if List.exists (fun v -> v = None) values then
-              Error (Printf.sprintf "row %d: malformed number" idx)
-            else begin
-              let arr = Array.of_list (List.map Option.get values) in
-              Ok (Array.sub arr 0 dim, arr.(dim))
-            end
+            let rec parse j acc = function
+              | [] -> Ok (List.rev acc)
+              | cell :: tl -> (
+                  match float_of_string_opt cell with
+                  | None ->
+                      Error
+                        (Printf.sprintf "line %d, column %d: malformed number %S"
+                           lineno (j + 1) cell)
+                  | Some v when not (Float.is_finite v) ->
+                      Error
+                        (Printf.sprintf
+                           "line %d, column %d: non-finite value %S (NaN/Inf \
+                            rows must be screened out, not stored)"
+                           lineno (j + 1) cell)
+                  | Some v -> parse (j + 1) (v :: acc) tl)
+            in
+            match parse 0 [] cells with
+            | Error e -> Error e
+            | Ok vs ->
+                let arr = Array.of_list vs in
+                Ok (Array.sub arr 0 dim, arr.(dim))
           end
         in
-        let rec collect i acc = function
+        let rec collect acc = function
           | [] -> Ok (List.rev acc)
-          | row :: tl -> (
-              match parse_row i row with
-              | Ok x -> collect (i + 1) (x :: acc) tl
+          | (lineno, row) :: tl -> (
+              match parse_row lineno row with
+              | Ok x -> collect (x :: acc) tl
               | Error e -> Error e)
         in
-        match collect 1 [] rows with
+        match collect [] rows with
         | Error e -> Error e
         | Ok [] -> Error "no data rows"
         | Ok pairs ->

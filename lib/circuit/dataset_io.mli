@@ -11,12 +11,16 @@
 
 val save : string -> Simulator.dataset -> unit
 (** [save path d] writes the dataset (truncating [path]).
-    @raise Invalid_argument on an empty dataset.
+    @raise Invalid_argument on an empty dataset or one containing a
+    non-finite value or factor — corrupt rows must be screened out
+    ([Robust.Screen]) before persisting, never silently stored.
     @raise Sys_error on IO failure. *)
 
 val load : string -> (Simulator.dataset, string) result
 (** [load path] reads a dataset back; [Error] describes the first
-    malformed line (wrong column count, bad number, missing header). *)
+    malformed line with its physical line number: ragged rows (wrong
+    column count), malformed numbers, NaN/Inf values, missing header.
+    A dataset that loads is guaranteed all-finite and rectangular. *)
 
 val to_channel : out_channel -> Simulator.dataset -> unit
 

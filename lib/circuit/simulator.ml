@@ -19,6 +19,248 @@ let run_one sim g =
   let p = Randkit.Gaussian.vector g sim.dim in
   (p, sim.eval p)
 
+(* --- fault injection and retry ------------------------------------- *)
+
+type fault_kind = Nan_return | Inf_return | Outlier | Transient | Hang
+
+type fault_plan = {
+  rate : float;
+  mix : (fault_kind * float) array;
+  outlier_scale : float;
+  hang_seconds : float;
+  fault_seed : int;
+}
+
+let fault_plan ?(rate = 0.1)
+    ?(mix = [| (Nan_return, 1.); (Outlier, 1.); (Transient, 1.) |])
+    ?(outlier_scale = 50.) ?(hang_seconds = 30.) ?(fault_seed = 0x5eed) () =
+  if not (rate >= 0. && rate < 1.) then
+    invalid_arg "Simulator.fault_plan: rate must be in [0, 1)";
+  if Array.length mix = 0 then invalid_arg "Simulator.fault_plan: empty mix";
+  let total =
+    Array.fold_left
+      (fun acc (_, w) ->
+        if not (w >= 0.) || not (Float.is_finite w) then
+          invalid_arg "Simulator.fault_plan: mix weights must be finite and >= 0";
+        acc +. w)
+      0. mix
+  in
+  if total <= 0. then
+    invalid_arg "Simulator.fault_plan: mix weights sum to zero";
+  if outlier_scale <= 0. then
+    invalid_arg "Simulator.fault_plan: outlier_scale must be positive";
+  if hang_seconds < 0. then
+    invalid_arg "Simulator.fault_plan: negative hang_seconds";
+  { rate; mix; outlier_scale; hang_seconds; fault_seed }
+
+let no_faults = fault_plan ~rate:0. ()
+
+type retry_policy = { max_attempts : int; backoff_seconds : float }
+
+let retry_policy ?(max_attempts = 3) ?(backoff_seconds = 1.) () =
+  if max_attempts < 1 then
+    invalid_arg "Simulator.retry_policy: max_attempts must be >= 1";
+  if backoff_seconds < 0. then
+    invalid_arg "Simulator.retry_policy: negative backoff";
+  { max_attempts; backoff_seconds }
+
+let no_retry = { max_attempts = 1; backoff_seconds = 0. }
+
+type run_report = {
+  requested : int;
+  delivered : int;
+  failed : int array;
+  faults_injected : int;
+  nonfinite_faults : int;
+  outliers_injected : int;
+  transient_faults : int;
+  hang_faults : int;
+  retries : int;
+  accounted_extra_seconds : float;
+}
+
+let clean_report ~requested =
+  {
+    requested;
+    delivered = requested;
+    failed = [||];
+    faults_injected = 0;
+    nonfinite_faults = 0;
+    outliers_injected = 0;
+    transient_faults = 0;
+    hang_faults = 0;
+    retries = 0;
+    accounted_extra_seconds = 0.;
+  }
+
+let report_summary r =
+  Printf.sprintf
+    "%d/%d samples delivered; %d faults injected (%d non-finite, %d outliers, \
+     %d transient, %d hangs); %d retries; %d abandoned; %.1f s of extra \
+     simulation accounted"
+    r.delivered r.requested r.faults_injected r.nonfinite_faults
+    r.outliers_injected r.transient_faults r.hang_faults r.retries
+    (Array.length r.failed) r.accounted_extra_seconds
+
+(* Per-sample bookkeeping, aggregated sequentially after the (possibly
+   parallel) evaluation sweep so the report is deterministic. *)
+type sample_stats = {
+  mutable s_injected : int;
+  mutable s_nonfinite : int;
+  mutable s_outliers : int;
+  mutable s_transient : int;
+  mutable s_hangs : int;
+  mutable s_retries : int;
+  mutable s_extra : float;
+}
+
+let pick_kind plan fs =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. plan.mix in
+  let u = Randkit.Prng.float fs *. total in
+  let acc = ref 0. and kind = ref (fst plan.mix.(0)) in
+  (try
+     Array.iter
+       (fun (k, w) ->
+         acc := !acc +. w;
+         if u < !acc then begin
+           kind := k;
+           raise Exit
+         end)
+       plan.mix
+   with Exit -> ());
+  !kind
+
+(* Evaluate one sample under the plan: up to [max_attempts] attempts,
+   each either a fault drawn from the per-sample stream [fs] or a real
+   evaluation. Non-finite returns (injected or genuine) are detected at
+   this boundary and retried; outliers are finite garbage and pass
+   through — the downstream screen is responsible for them. Every retry
+   and simulated hang is accounted in simulator seconds but never
+   actually slept. *)
+let eval_sample plan retry sim fs st p =
+  let delivered = ref None in
+  let attempt = ref 0 in
+  while !delivered = None && !attempt < retry.max_attempts do
+    incr attempt;
+    if !attempt > 1 then begin
+      st.s_retries <- st.s_retries + 1;
+      (* Deterministic exponential backoff: 1x, 2x, 4x ... of the base. *)
+      st.s_extra <-
+        st.s_extra
+        +. (retry.backoff_seconds *. float_of_int (1 lsl (!attempt - 2)))
+        +. sim.seconds_per_sample
+    end;
+    let candidate =
+      if plan.rate > 0. && Randkit.Prng.float fs < plan.rate then begin
+        st.s_injected <- st.s_injected + 1;
+        match pick_kind plan fs with
+        | Nan_return ->
+            st.s_nonfinite <- st.s_nonfinite + 1;
+            Some Float.nan
+        | Inf_return ->
+            st.s_nonfinite <- st.s_nonfinite + 1;
+            Some
+              (if Randkit.Prng.bool fs then Float.infinity
+               else Float.neg_infinity)
+        | Outlier ->
+            st.s_outliers <- st.s_outliers + 1;
+            let v = sim.eval p in
+            let sign = if Randkit.Prng.bool fs then 1. else -1. in
+            Some (v +. (sign *. plan.outlier_scale *. (1. +. Float.abs v)))
+        | Transient ->
+            st.s_transient <- st.s_transient + 1;
+            None
+        | Hang ->
+            st.s_hangs <- st.s_hangs + 1;
+            st.s_extra <- st.s_extra +. plan.hang_seconds;
+            None
+      end
+      else Some (sim.eval p)
+    in
+    match candidate with
+    | Some v when Float.is_finite v -> delivered := Some v
+    | Some _ | None -> () (* failed attempt: crash, hang, or garbage *)
+  done;
+  !delivered
+
+let run_robust ?(noise_rel = 0.) ?pool ?(faults = no_faults)
+    ?(retry = no_retry) sim g ~k =
+  if k <= 0 then invalid_arg "Simulator.run_robust: sample count must be positive";
+  (* Points come sequentially from the caller's generator (same stream
+     as [run]); fault decisions come from per-sample streams split off
+     the plan's own seed before any evaluation, so the outcome of sample
+     [i] is a pure function of (plan, retry, i) — bitwise identical at
+     every domain count, and unperturbed by other samples' retries. *)
+  let points = Array.init k (fun _ -> Randkit.Gaussian.vector g sim.dim) in
+  let streams = Randkit.Prng.split_n (Randkit.Prng.create faults.fault_seed) k in
+  let out = Array.make k Float.nan in
+  let ok = Array.make k false in
+  let stats =
+    Array.init k (fun _ ->
+        {
+          s_injected = 0;
+          s_nonfinite = 0;
+          s_outliers = 0;
+          s_transient = 0;
+          s_hangs = 0;
+          s_retries = 0;
+          s_extra = 0.;
+        })
+  in
+  let body i =
+    match eval_sample faults retry sim streams.(i) stats.(i) points.(i) with
+    | Some v ->
+        out.(i) <- v;
+        ok.(i) <- true
+    | None -> ()
+  in
+  (match pool with
+  | None ->
+      for i = 0 to k - 1 do
+        body i
+      done
+  | Some pool -> Parallel.Pool.parallel_for pool ~lo:0 ~hi:k body);
+  let kept = ref [] and failed = ref [] in
+  for i = k - 1 downto 0 do
+    if ok.(i) then kept := i :: !kept else failed := i :: !failed
+  done;
+  let kept = Array.of_list !kept in
+  let d =
+    {
+      points = Array.map (fun i -> points.(i)) kept;
+      values = Array.map (fun i -> out.(i)) kept;
+    }
+  in
+  let k' = Array.length kept in
+  if noise_rel > 0. && k' > 1 then begin
+    let sigma = Stat.Descriptive.std d.values in
+    for i = 0 to k' - 1 do
+      d.values.(i) <-
+        d.values.(i) +. (noise_rel *. sigma *. Randkit.Gaussian.sample g)
+    done
+  end;
+  let report =
+    Array.fold_left
+      (fun acc st ->
+        {
+          acc with
+          faults_injected = acc.faults_injected + st.s_injected;
+          nonfinite_faults = acc.nonfinite_faults + st.s_nonfinite;
+          outliers_injected = acc.outliers_injected + st.s_outliers;
+          transient_faults = acc.transient_faults + st.s_transient;
+          hang_faults = acc.hang_faults + st.s_hangs;
+          retries = acc.retries + st.s_retries;
+          accounted_extra_seconds = acc.accounted_extra_seconds +. st.s_extra;
+        })
+      {
+        (clean_report ~requested:k) with
+        delivered = k';
+        failed = Array.of_list !failed;
+      }
+      stats
+  in
+  (d, report)
+
 let run ?(noise_rel = 0.) ?pool sim g ~k =
   if k <= 0 then invalid_arg "Simulator.run: sample count must be positive";
   (* Points are always drawn sequentially from the caller's generator so

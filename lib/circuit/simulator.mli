@@ -44,6 +44,115 @@ val run :
     thread-safe; the built-in circuit evaluators are pure. Default:
     sequential (arbitrary user closures stay safe). *)
 
+(** {2 Fault injection and retry}
+
+    Real transistor-level simulations fail: runs diverge and return
+    NaN/Inf, license servers drop mid-batch (transient), jobs hang, and
+    occasionally a run converges to garbage that is numerically finite
+    (outlier). The fault plan injects exactly those modes so the fitting
+    pipeline's hygiene (retry, screening, fallbacks) can be exercised
+    and benchmarked deterministically. *)
+
+type fault_kind =
+  | Nan_return  (** simulation diverged: NaN result (detectable) *)
+  | Inf_return  (** simulation diverged: ±∞ result (detectable) *)
+  | Outlier
+      (** converged to finite garbage — {e not} detectable at the
+          simulator boundary; the dataset screen must catch it *)
+  | Transient  (** run crashed / license lost: no value, retry may work *)
+  | Hang  (** run hung until a timeout: no value, accounted wall time *)
+
+type fault_plan = {
+  rate : float;  (** per-attempt probability of any fault, in [0, 1) *)
+  mix : (fault_kind * float) array;  (** relative weights of the modes *)
+  outlier_scale : float;  (** outlier offset in units of [1 + |value|] *)
+  hang_seconds : float;  (** accounted timeout charged per hang *)
+  fault_seed : int;  (** seed of the fault stream, independent of sampling *)
+}
+
+val fault_plan :
+  ?rate:float ->
+  ?mix:(fault_kind * float) array ->
+  ?outlier_scale:float ->
+  ?hang_seconds:float ->
+  ?fault_seed:int ->
+  unit ->
+  fault_plan
+(** Validated constructor. Defaults: [rate = 0.1], an equal-weight
+    NaN/outlier/transient mix, [outlier_scale = 50], [hang_seconds =
+    30], [fault_seed = 0x5eed].
+    @raise Invalid_argument on a rate outside [[0, 1)], an empty or
+    negative-weight mix, or non-positive scales. *)
+
+val no_faults : fault_plan
+(** Rate-0 plan: {!run_robust} then behaves exactly like {!run} (plus
+    the finite-value check on genuine evaluator output). *)
+
+type retry_policy = {
+  max_attempts : int;  (** total attempts per sample (1 = no retry) *)
+  backoff_seconds : float;
+      (** accounted base backoff; attempt [a] charges [2^(a-2)] times
+          this (deterministic exponential backoff, never slept) *)
+}
+
+val retry_policy :
+  ?max_attempts:int -> ?backoff_seconds:float -> unit -> retry_policy
+(** Defaults: [max_attempts = 3], [backoff_seconds = 1].
+    @raise Invalid_argument when [max_attempts < 1] or the backoff is
+    negative. *)
+
+val no_retry : retry_policy
+
+type run_report = {
+  requested : int;  (** K asked for *)
+  delivered : int;  (** rows actually in the dataset *)
+  failed : int array;
+      (** sample indices abandoned after exhausting retries — recorded,
+          never fatal *)
+  faults_injected : int;
+  nonfinite_faults : int;  (** NaN/Inf faults (all detected and retried) *)
+  outliers_injected : int;  (** finite garbage delivered into the dataset *)
+  transient_faults : int;
+  hang_faults : int;
+  retries : int;
+  accounted_extra_seconds : float;
+      (** retry re-runs, backoff and hang timeouts, on the simulator's
+          cost scale — the price of the retry policy *)
+}
+
+val clean_report : requested:int -> run_report
+(** The all-zeros report of a fault-free run of [requested] samples. *)
+
+val report_summary : run_report -> string
+(** One-line human-readable summary of a run report. *)
+
+val run_robust :
+  ?noise_rel:float ->
+  ?pool:Parallel.Pool.t ->
+  ?faults:fault_plan ->
+  ?retry:retry_policy ->
+  t ->
+  Randkit.Prng.t ->
+  k:int ->
+  dataset * run_report
+(** [run_robust sim g ~k] is {!run} hardened against failure: each
+    sample is attempted up to [retry.max_attempts] times; non-finite
+    results (injected by [faults] {e or} produced by the evaluator
+    itself) and transient/hang faults are retried; samples still failing
+    are dropped from the dataset and recorded in [report.failed].
+    Injected outliers are finite and pass through — screening them is
+    the job of [Robust.Screen].
+
+    Determinism: sample points are drawn sequentially from [g] exactly
+    as in {!run}; each sample's fault/retry decisions come from its own
+    stream, split from [faults.fault_seed] by sample index before any
+    evaluation ({!Randkit.Prng.split_n}). The dataset and report are
+    therefore bitwise identical with and without [?pool], at every
+    domain count — and with [faults = no_faults] and a clean evaluator
+    the dataset is bitwise identical to {!run}'s. [noise_rel] is applied
+    to the delivered rows only, drawing from [g] in row order.
+    @raise Invalid_argument when [k <= 0]. *)
+
 val simulated_cost : t -> k:int -> float
 (** [k · seconds_per_sample]: the simulation cost a real flow would pay. *)
 

@@ -25,6 +25,8 @@ type state = {
   mu : Vec.t;  (* current fit G·alpha = X·beta *)
   mutable active : int list;  (* most recently added first *)
   in_active : bool array;
+  banned : bool array;  (* dependent columns excluded under `Fallback *)
+  mutable notes : string list;  (* degradation events, attached to models *)
   mutable chol : Cholesky.Grow.t;  (* gram factor of active columns, oldest first *)
 }
 
@@ -58,11 +60,15 @@ let current_model st =
       coeffs := (st.beta.(j) /. st.norms.(j)) :: !coeffs
     end
   done;
-  Model.make ~basis_size:st.m
-    ~support:(Array.of_list !support)
-    ~coeffs:(Array.of_list !coeffs)
+  let model =
+    Model.make ~basis_size:st.m
+      ~support:(Array.of_list !support)
+      ~coeffs:(Array.of_list !coeffs)
+  in
+  List.fold_left Model.add_note model (List.rev st.notes)
 
-let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool src f ~max_steps =
+let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
+    ~max_steps =
   let k = Provider.rows src and m = Provider.cols src in
   if Array.length f <> k then invalid_arg "Lars.path: response length mismatch";
   if max_steps <= 0 then invalid_arg "Lars.path: max_steps must be positive";
@@ -81,6 +87,8 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool src f ~max_steps =
       mu = Array.make k 0.;
       active = [];
       in_active = Array.make m false;
+      banned = Array.make m false;
+      notes = [];
       chol = Cholesky.Grow.create (max (min k m) 1);
     }
   in
@@ -102,7 +110,7 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool src f ~max_steps =
     for j = 0 to m - 1 do
       let a = Float.abs c.(j) in
       if a > !big_c then big_c := a;
-      if (not st.in_active.(j)) && a > !enter_c then begin
+      if (not st.in_active.(j)) && (not st.banned.(j)) && a > !enter_c then begin
         enter := j;
         enter_c := a
       end
@@ -123,9 +131,19 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool src f ~max_steps =
               st.active <- !enter :: st.active;
               st.in_active.(!enter) <- true;
               Some !enter
-          | exception Cholesky.Not_positive_definite _ ->
+          | exception Cholesky.Not_positive_definite _ -> (
               (* Entering column linearly dependent on the active set. *)
-              None
+              match on_singular with
+              | `Stop -> None
+              | `Fallback ->
+                  (* Exclude the dependent column from every later enter
+                     scan so the path keeps moving instead of stalling on
+                     it; record the event in the step models. *)
+                  st.banned.(!enter) <- true;
+                  st.notes <-
+                    Printf.sprintf "lars: banned dependent column %d" !enter
+                    :: st.notes;
+                  None)
         end
         else None
       in
@@ -197,7 +215,19 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool src f ~max_steps =
               st.beta.(!drop) <- 0.;
               st.active <- List.filter (fun j -> j <> !drop) st.active;
               st.in_active.(!drop) <- false;
-              rebuild_chol st;
+              (match rebuild_chol st with
+              | () -> ()
+              | exception (Cholesky.Not_positive_definite _ as e) -> (
+                  match on_singular with
+                  | `Stop -> raise e
+                  | `Fallback ->
+                      (* The remaining active Gram factor itself went
+                         non-SPD: no usable direction is left; end the
+                         path at the last consistent model. *)
+                      st.notes <-
+                        "lars: stopped on non-SPD active set after drop"
+                        :: st.notes;
+                      stop := true));
               Some !drop
             end
             else None
@@ -214,11 +244,11 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool src f ~max_steps =
   done;
   Array.of_list (List.rev !steps)
 
-let fit_p ?mode ?tol ?pool src f ~lambda =
+let fit_p ?mode ?tol ?pool ?on_singular src f ~lambda =
   if lambda <= 0 then invalid_arg "Lars.fit: lambda must be positive";
   (* Drops can make the path longer than the target support size. *)
   let max_steps = (2 * lambda) + 8 in
-  let steps = path_p ?mode ?tol ?pool src f ~max_steps in
+  let steps = path_p ?mode ?tol ?pool ?on_singular src f ~max_steps in
   let best = ref None in
   Array.iter
     (fun s -> if Model.nnz s.model <= lambda then best := Some s.model)
@@ -228,8 +258,8 @@ let fit_p ?mode ?tol ?pool src f ~lambda =
   | None ->
       Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
 
-let path ?mode ?tol ?pool g f ~max_steps =
-  path_p ?mode ?tol ?pool (Provider.dense g) f ~max_steps
+let path ?mode ?tol ?pool ?on_singular g f ~max_steps =
+  path_p ?mode ?tol ?pool ?on_singular (Provider.dense g) f ~max_steps
 
-let fit ?mode ?tol ?pool g f ~lambda =
-  fit_p ?mode ?tol ?pool (Provider.dense g) f ~lambda
+let fit ?mode ?tol ?pool ?on_singular g f ~lambda =
+  fit_p ?mode ?tol ?pool ?on_singular (Provider.dense g) f ~lambda

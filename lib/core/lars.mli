@@ -35,6 +35,7 @@ val path_p :
   ?mode:mode ->
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_steps:int ->
@@ -44,6 +45,15 @@ val path_p :
     below [tol] relative to its initial value (default [1e-10]), when
     the active set saturates at [min(K, M)], or at the final
     unrestricted LS point of the active set.
+
+    [on_singular] governs degenerate Gram factors. With [`Stop] (the
+    default, the historical behavior) a linearly dependent entering
+    column is simply not added this step, and a non-SPD rebuild after a
+    lasso drop raises. With [`Fallback] a dependent entering column is
+    {e}banned{i} — excluded from all later enter scans so the path keeps
+    moving — and a non-SPD rebuild ends the path at the last consistent
+    model; both events are recorded in the step models' {!Model.notes}.
+    Clean paths are bitwise unaffected by the choice.
 
     The two O(K·M) sweeps of every step — the correlations [Gᵀ·res] and
     the step-length inner products [Gᵀ·u] against the equiangular
@@ -57,6 +67,7 @@ val fit_p :
   ?mode:mode ->
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->
@@ -66,11 +77,13 @@ val fit_p :
     Algorithm 1. *)
 
 val path :
-  ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t ->
+  ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] -> Linalg.Mat.t ->
   Linalg.Vec.t -> max_steps:int -> step array
 (** {!path_p} over [Provider.dense g]. *)
 
 val fit :
-  ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t ->
+  ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] -> Linalg.Mat.t ->
   Linalg.Vec.t -> lambda:int -> Model.t
 (** {!fit_p} over [Provider.dense g]. *)

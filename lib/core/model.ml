@@ -1,6 +1,11 @@
 open Linalg
 
-type t = { basis_size : int; support : int array; coeffs : Vec.t }
+type t = {
+  basis_size : int;
+  support : int array;
+  coeffs : Vec.t;
+  notes : string array;
+}
 
 let make ~basis_size ~support ~coeffs =
   if Array.length support <> Array.length coeffs then
@@ -29,7 +34,16 @@ let make ~basis_size ~support ~coeffs =
     basis_size;
     support = Array.of_list (List.map fst pairs);
     coeffs = Array.of_list (List.map snd pairs);
+    notes = [||];
   }
+
+let notes m = m.notes
+
+let with_notes m notes = { m with notes }
+
+let add_note m note =
+  if Array.exists (String.equal note) m.notes then m
+  else { m with notes = Array.append m.notes [| note |] }
 
 let dense ~basis_size alpha =
   if Array.length alpha <> basis_size then
@@ -45,6 +59,7 @@ let dense ~basis_size alpha =
     basis_size;
     support = Array.of_list !support;
     coeffs = Array.of_list !coeffs;
+    notes = [||];
   }
 
 let nnz m = Array.length m.support

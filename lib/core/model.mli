@@ -11,12 +11,25 @@ type t = private {
   basis_size : int;  (** M: dictionary size *)
   support : int array;  (** selected basis indices, strictly increasing *)
   coeffs : Linalg.Vec.t;  (** coefficient per support entry *)
+  notes : string array;
+      (** provenance metadata (numerical fallbacks fired during the fit,
+          degradation events); empty for a clean fit *)
 }
 
 val make : basis_size:int -> support:int array -> coeffs:Linalg.Vec.t -> t
 (** Validates lengths, index range; sorts the support (with matching
-    coefficient permutation) and drops exact zeros.
+    coefficient permutation) and drops exact zeros. The built model has
+    no notes; attach provenance with {!with_notes}/{!add_note}.
     @raise Invalid_argument on duplicates or out-of-range indices. *)
+
+val notes : t -> string array
+(** Provenance notes attached during fitting — e.g. which rung of the
+    {!Refit} fallback ladder fired. Empty for a clean fit. *)
+
+val with_notes : t -> string array -> t
+
+val add_note : t -> string -> t
+(** [add_note m s] appends [s] unless an identical note is present. *)
 
 val dense : basis_size:int -> Linalg.Vec.t -> t
 (** [dense ~basis_size alpha] builds a model from a full coefficient

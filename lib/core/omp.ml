@@ -8,17 +8,20 @@ type step = {
   model : Model.t;
 }
 
-let path_p ?(tol = 1e-12) ?pool src f ~max_lambda =
+let path_p ?(tol = 1e-12) ?pool ?(on_singular = `Stop) ?(checkpoint_every = 0)
+    ?on_checkpoint ?resume src f ~max_lambda =
   let k = Provider.rows src and m = Provider.cols src in
   if Array.length f <> k then invalid_arg "Omp.path: response length mismatch";
   if max_lambda <= 0 then invalid_arg "Omp.path: max_lambda must be positive";
   if max_lambda > min k m then
     invalid_arg "Omp.path: max_lambda exceeds min(samples, basis size)";
+  if checkpoint_every < 0 then
+    invalid_arg "Omp.path: negative checkpoint interval";
   let selected = Array.make m false in
-  let support = Array.make max_lambda 0 in
-  let rhs = Array.make max_lambda 0. in
+  let support = Array.make (max max_lambda 1) 0 in
+  let rhs = Array.make (max max_lambda 1) 0. in
   (* Gram factor of the selected columns, grown one column per step. *)
-  let chol = Cholesky.Grow.create max_lambda in
+  let chol = Cholesky.Grow.create (max max_lambda 1) in
   (* Active-set columns are touched every remaining iteration (cross
      products, re-fit residual); cache them once materialized — λ
      columns of K floats, never the full matrix. *)
@@ -28,6 +31,128 @@ let path_p ?(tol = 1e-12) ?pool src f ~max_lambda =
   let stop = ref false in
   let initial_corr = ref 0. in
   let p = ref 0 in
+  (* Once the Gram factor went non-SPD and `Fallback was requested, the
+     incremental factor is abandoned and every re-fit runs the
+     Refit ladder over the cached active columns; the rung that fired is
+     recorded in the step's model notes. Clean paths never enter this
+     mode, so their bits are untouched. *)
+  let degraded = ref false in
+  let fallback_note = ref None in
+  (* Accept column [j]: extend the Gram factor (or enter degraded mode),
+     record support and right-hand side. Returns false when the path
+     must stop instead ([`Stop] on a dependent column). Shared by live
+     selection and checkpoint replay so both degrade identically. *)
+  let accept j =
+    let ok =
+      if !degraded then true
+      else begin
+        let cross =
+          Array.init !p (fun q -> Provider.Cache.col_col_dot cache support.(q) j)
+        in
+        let diag = Provider.Cache.col_col_dot cache j j in
+        match Cholesky.Grow.append chol cross diag with
+        | () -> true
+        | exception Cholesky.Not_positive_definite _ -> (
+            (* Column linearly dependent on the selected set: the plain
+               LS re-fit would be singular. *)
+            match on_singular with
+            | `Stop -> false
+            | `Fallback ->
+                degraded := true;
+                true)
+      end
+    in
+    if ok then begin
+      support.(!p) <- j;
+      selected.(j) <- true;
+      rhs.(!p) <- Provider.Cache.col_dot cache j f;
+      incr p
+    end;
+    ok
+  in
+  (* Step 6: re-fit all selected coefficients (eq. (22)) — through the
+     incremental factor normally, through the fallback ladder once
+     degraded. *)
+  let refit_coeffs () =
+    if not !degraded then Cholesky.Grow.solve chol (Array.sub rhs 0 !p)
+    else begin
+      let cols =
+        Array.map (Provider.Cache.column cache) (Array.sub support 0 !p)
+      in
+      let coeffs, fb = Refit.solve_cols cols f in
+      fallback_note := Refit.note fb;
+      coeffs
+    end
+  in
+  let make_model coeffs =
+    let model =
+      Model.make ~basis_size:m ~support:(Array.sub support 0 !p) ~coeffs
+    in
+    match !fallback_note with
+    | None -> model
+    | Some note -> Model.add_note model note
+  in
+  let residual_refresh coeffs =
+    let sub = Array.sub support 0 !p in
+    let cols = Array.map (Provider.Cache.column cache) sub in
+    let new_res = Lstsq.residual_cols cols coeffs f in
+    Array.blit new_res 0 res 0 k
+  in
+  let emit_checkpoint () =
+    match on_checkpoint with
+    | Some cb when checkpoint_every > 0 && !p mod checkpoint_every = 0 ->
+        cb
+          {
+            Serialize.Checkpoint.solver = "omp";
+            k;
+            m;
+            scale = !initial_corr;
+            support = Array.sub support 0 !p;
+          }
+    | _ -> ()
+  in
+  (* Resume: replay the checkpointed selections without the O(K·M)
+     correlation sweeps, then run one re-fit and residual refresh —
+     bitwise the state an uninterrupted run had after the same steps. *)
+  (match resume with
+  | None -> ()
+  | Some c ->
+      let open Serialize.Checkpoint in
+      if c.solver <> "omp" then
+        invalid_arg
+          (Printf.sprintf "Omp.path: checkpoint is for solver %S" c.solver);
+      if c.k <> k || c.m <> m then
+        invalid_arg
+          (Printf.sprintf
+             "Omp.path: checkpoint shape %dx%d disagrees with problem %dx%d"
+             c.k c.m k m);
+      if Array.length c.support > max_lambda then
+        invalid_arg "Omp.path: checkpoint support exceeds max_lambda";
+      initial_corr := c.scale;
+      Array.iter
+        (fun j ->
+          if selected.(j) then
+            invalid_arg "Omp.path: duplicate support index in checkpoint";
+          if not (accept j) then
+            invalid_arg
+              "Omp.path: checkpoint replays a singular step (was it written \
+               with ~on_singular:`Fallback?)")
+        c.support;
+      if !p > 0 then begin
+        let coeffs = refit_coeffs () in
+        residual_refresh coeffs;
+        let rn = Vec.nrm2 res in
+        steps :=
+          [
+            {
+              index = support.(!p - 1);
+              correlation = 0.;
+              residual_norm = rn;
+              model = make_model coeffs;
+            };
+          ];
+        if rn <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
+      end);
   while (not !stop) && !p < max_lambda do
     (* Step 3: inner products of the residual with every basis vector.
        The 1/K factor of eq. (18) is a monotone scaling; the argmax is
@@ -37,57 +162,38 @@ let path_p ?(tol = 1e-12) ?pool src f ~max_lambda =
     if !p = 0 then initial_corr := best_abs;
     if best < 0 || best_abs <= tol *. Float.max !initial_corr 1. then
       stop := true
+    else if not (accept best) then stop := true
     else begin
-      let j = best in
-      (* Steps 4–5: extend the selected set. Cross products against the
-         selected columns go through the one shared column-dot kernel
-         (cached columns, rows ascending — same bits as the dense
-         Mat-based loops this replaced). *)
-      let cross =
-        Array.init !p (fun q -> Provider.Cache.col_col_dot cache support.(q) j)
-      in
-      let diag = Provider.Cache.col_col_dot cache j j in
-      match Cholesky.Grow.append chol cross diag with
-      | exception Cholesky.Not_positive_definite _ ->
-          (* Column linearly dependent on the selected set: the LS re-fit
-             would be singular. Stop the path here. *)
-          stop := true
-      | () ->
-          support.(!p) <- j;
-          selected.(j) <- true;
-          rhs.(!p) <- Provider.Cache.col_dot cache j f;
-          incr p;
-          (* Step 6: re-fit all selected coefficients (eq. (22)). *)
-          let coeffs = Cholesky.Grow.solve chol (Array.sub rhs 0 !p) in
-          (* Step 7: fresh residual from the re-fitted model, applied
-             over the cached support columns. *)
-          let sub = Array.sub support 0 !p in
-          let cols = Array.map (Provider.Cache.column cache) sub in
-          let new_res = Lstsq.residual_cols cols coeffs f in
-          Array.blit new_res 0 res 0 k;
-          let model =
-            Model.make ~basis_size:m ~support:(Array.copy sub) ~coeffs
-          in
-          steps :=
-            {
-              index = j;
-              correlation = best_abs /. float_of_int k;
-              residual_norm = Vec.nrm2 res;
-              model;
-            }
-            :: !steps;
-          if Vec.nrm2 res <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
+      let coeffs = refit_coeffs () in
+      (* Step 7: fresh residual from the re-fitted model, applied over
+         the cached support columns. *)
+      residual_refresh coeffs;
+      steps :=
+        {
+          index = best;
+          correlation = best_abs /. float_of_int k;
+          residual_norm = Vec.nrm2 res;
+          model = make_model coeffs;
+        }
+        :: !steps;
+      emit_checkpoint ();
+      if Vec.nrm2 res <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
     end
   done;
   Array.of_list (List.rev !steps)
 
-let fit_p ?tol ?pool src f ~lambda =
-  let steps = path_p ?tol ?pool src f ~max_lambda:lambda in
+let fit_p ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint ?resume src f
+    ~lambda =
+  let steps =
+    path_p ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint ?resume src
+      f ~max_lambda:lambda
+  in
   if Array.length steps = 0 then
     Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
   else steps.(Array.length steps - 1).model
 
-let path ?tol ?pool g f ~max_lambda =
-  path_p ?tol ?pool (Provider.dense g) f ~max_lambda
+let path ?tol ?pool ?on_singular g f ~max_lambda =
+  path_p ?tol ?pool ?on_singular (Provider.dense g) f ~max_lambda
 
-let fit ?tol ?pool g f ~lambda = fit_p ?tol ?pool (Provider.dense g) f ~lambda
+let fit ?tol ?pool ?on_singular g f ~lambda =
+  fit_p ?tol ?pool ?on_singular (Provider.dense g) f ~lambda

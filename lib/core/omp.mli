@@ -30,6 +30,10 @@ type step = {
 val path_p :
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
+  ?resume:Serialize.Checkpoint.t ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_lambda:int ->
@@ -37,8 +41,26 @@ val path_p :
 (** [path_p src f ~max_lambda] runs up to [max_lambda] iterations and
     returns one step record per iteration. Stops early when the largest
     residual correlation falls below [tol] (default [1e-12]) relative to
-    the initial one, when the residual is numerically zero, or when the
-    next column is linearly dependent on the selected set.
+    the initial one, or when the residual is numerically zero.
+
+    [on_singular] decides what happens when the next selected column is
+    linearly dependent on the active set (the incremental Gram factor
+    raises {!Linalg.Cholesky.Not_positive_definite}): [`Stop] (default,
+    the historical behavior) ends the path; [`Fallback] accepts the
+    column and routes every further re-fit through the {!Refit}
+    degradation ladder (Cholesky → QR → ridge jitter), recording the
+    rung that fired in the step models' {!Model.notes}. Clean paths are
+    bitwise unaffected by the choice.
+
+    With [checkpoint_every = n > 0] and an [on_checkpoint] callback, the
+    selection state is handed out every [n] completed iterations (the
+    callback typically writes it with {!Serialize.Checkpoint.save}).
+    [resume] replays a previous checkpoint before the first sweep:
+    selections are re-accepted and re-fit from the provider without the
+    O(K·M) correlation scans, after which the path continues exactly
+    where it stopped — the final model is bitwise identical to an
+    uninterrupted run with the same inputs. The replayed state is
+    returned as one leading step (its [correlation] is 0).
 
     The O(K·M) Step-3 correlation sweep — the dominant cost per
     iteration — runs column-parallel over [pool] (default:
@@ -47,11 +69,17 @@ val path_p :
     dense scan for every domain count and either provider form (each
     column's dot product is accumulated whole, never split).
     @raise Invalid_argument when [max_lambda] exceeds [min(K, M)] or is
-    not positive. *)
+    not positive, when the checkpoint interval is negative, or when
+    [resume] disagrees with the problem (wrong solver, shape, duplicate
+    or out-of-range support, more support than [max_lambda]). *)
 
 val fit_p :
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
+  ?resume:Serialize.Checkpoint.t ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->
@@ -60,11 +88,13 @@ val fit_p :
     if the path stopped early; the last available model is returned). *)
 
 val path :
-  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
+  ?tol:float -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] -> Linalg.Mat.t -> Linalg.Vec.t ->
   max_lambda:int -> step array
 (** [path g f ~max_lambda] is {!path_p} over [Provider.dense g]. *)
 
 val fit :
-  ?tol:float -> ?pool:Parallel.Pool.t -> Linalg.Mat.t -> Linalg.Vec.t ->
+  ?tol:float -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] -> Linalg.Mat.t -> Linalg.Vec.t ->
   lambda:int -> Model.t
 (** [fit g f ~lambda] is {!fit_p} over [Provider.dense g]. *)

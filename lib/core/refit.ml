@@ -1,0 +1,65 @@
+open Linalg
+
+type fallback = Direct | Qr_fallback | Ridge_fallback of float
+
+let note = function
+  | Direct -> None
+  | Qr_fallback -> Some "refit: qr fallback"
+  | Ridge_fallback eps ->
+      Some (Printf.sprintf "refit: ridge fallback (jitter %.3g)" eps)
+
+let gram cols =
+  let p = Array.length cols in
+  let a = Mat.create p p in
+  for i = 0 to p - 1 do
+    for j = 0 to i do
+      let d = Vec.dot cols.(i) cols.(j) in
+      Mat.unsafe_set a i j d;
+      Mat.unsafe_set a j i d
+    done
+  done;
+  a
+
+let solve_cols cols f =
+  let p = Array.length cols in
+  if p = 0 then ([||], Direct)
+  else begin
+    let a = gram cols in
+    let b = Array.map (fun c -> Vec.dot c f) cols in
+    match Cholesky.spd_solve a b with
+    | x -> (x, Direct)
+    | exception Cholesky.Not_positive_definite _ -> (
+        (* Rung 2: Householder QR on the K×p active-column matrix. The
+           condition number enters once instead of squared, so QR
+           survives Gram matrices that are merely ill-conditioned. *)
+        let k = Array.length f in
+        let qr_solve () =
+          let m = Mat.init k p (fun i q -> cols.(q).(i)) in
+          Qr.lstsq m f
+        in
+        match qr_solve () with
+        | x -> (x, Qr_fallback)
+        | exception (Tri.Singular _ | Invalid_argument _) ->
+            (* Rung 3: ridge-jittered normal equations. The active set is
+               genuinely rank-deficient; a tiny L2 jitter picks the
+               minimum-norm-ish solution and always succeeds for a large
+               enough jitter (escalated x100 per try). *)
+            let mean_diag =
+              let acc = ref 0. in
+              for i = 0 to p - 1 do
+                acc := !acc +. Mat.unsafe_get a i i
+              done;
+              Float.max (!acc /. float_of_int p) 1e-300
+            in
+            let rec attempt eps tries =
+              let aj =
+                Mat.init p p (fun i j ->
+                    Mat.unsafe_get a i j +. if i = j then eps else 0.)
+              in
+              match Cholesky.spd_solve aj b with
+              | x -> (x, Ridge_fallback eps)
+              | exception Cholesky.Not_positive_definite _ when tries < 20 ->
+                  attempt (eps *. 100.) (tries + 1)
+            in
+            attempt (1e-10 *. mean_diag) 0)
+  end

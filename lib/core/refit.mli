@@ -1,0 +1,32 @@
+(** Degradation ladder for the active-set least-squares re-fit.
+
+    The greedy solvers re-fit the coefficients of their selected columns
+    every iteration through a growing Cholesky factor of the Gram
+    matrix. On clean data that factor is SPD by construction; on
+    corrupted or degenerate data (duplicated basis columns, a sample set
+    too small for the support, outlier-poisoned correlations) the
+    factorization raises {!Linalg.Cholesky.Not_positive_definite}. When
+    a solver runs with [~on_singular:`Fallback], it routes the re-fit
+    through this ladder instead of aborting:
+
+    + normal equations via Cholesky (the fast path, [Direct]);
+    + Householder QR on the K×p active-column matrix ([Qr_fallback]);
+    + ridge-jittered normal equations with an escalating jitter
+      ([Ridge_fallback]), which always succeeds.
+
+    Which rung fired is recorded in the fitted {!Model.t}'s notes. *)
+
+type fallback =
+  | Direct  (** plain Cholesky succeeded — no degradation *)
+  | Qr_fallback  (** Cholesky failed; QR least squares succeeded *)
+  | Ridge_fallback of float
+      (** QR failed too; solved with this L2 jitter on the Gram diagonal *)
+
+val note : fallback -> string option
+(** Model-metadata note for a fallback, [None] for [Direct]. *)
+
+val solve_cols : Linalg.Vec.t array -> Linalg.Vec.t -> Linalg.Vec.t * fallback
+(** [solve_cols cols f] is the least-squares coefficient vector for
+    [argmin ‖cols·x − f‖₂] over the materialized active columns,
+    together with the ladder rung that produced it. An empty column set
+    returns [([||], Direct)]. *)

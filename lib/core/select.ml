@@ -75,7 +75,7 @@ let clamp_lambda ~max_lambda cap =
      rows; the caller's max_lambda is clamped accordingly. *)
   min max_lambda cap
 
-let omp_p ?folds ?rule ?pool rng ~max_lambda src f =
+let omp_p ?folds ?rule ?pool ?on_singular rng ~max_lambda src f =
   let cap_rows =
     (* smallest fold training size: n − ceil(n/Q) *)
     let n = Provider.rows src in
@@ -90,7 +90,9 @@ let omp_p ?folds ?rule ?pool rng ~max_lambda src f =
       let max_lambda =
         min max_lambda (min (Provider.rows src) (Provider.cols src))
       in
-      Array.map (fun s -> s.Omp.model) (Omp.path_p ?pool src f ~max_lambda))
+      Array.map
+        (fun s -> s.Omp.model)
+        (Omp.path_p ?pool ?on_singular src f ~max_lambda))
     src f
 
 let star_p ?folds ?rule ?pool rng ~max_lambda src f =
@@ -100,7 +102,7 @@ let star_p ?folds ?rule ?pool rng ~max_lambda src f =
       Array.map (fun s -> s.Star.model) (Star.path_p ?pool src f ~max_lambda))
     src f
 
-let lars_p ?folds ?rule ?mode ?pool rng ~max_lambda src f =
+let lars_p ?folds ?rule ?mode ?pool ?on_singular rng ~max_lambda src f =
   let cap_rows =
     let n = Provider.rows src in
     let q = match folds with Some q -> q | None -> 4 in
@@ -112,7 +114,7 @@ let lars_p ?folds ?rule ?mode ?pool rng ~max_lambda src f =
   generic_p ?folds ?rule ?pool rng ~max_lambda
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
       let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
-      let steps = Lars.path_p ?mode ?pool src f ~max_steps in
+      let steps = Lars.path_p ?mode ?pool ?on_singular src f ~max_steps in
       if Array.length steps = 0 then [||]
       else begin
         (* Entry λ−1 holds the last path model with at most λ active
@@ -134,11 +136,12 @@ let lars_p ?folds ?rule ?mode ?pool rng ~max_lambda src f =
       end)
     src f
 
-let omp ?folds ?rule ?pool rng ~max_lambda g f =
-  omp_p ?folds ?rule ?pool rng ~max_lambda (Provider.dense g) f
+let omp ?folds ?rule ?pool ?on_singular rng ~max_lambda g f =
+  omp_p ?folds ?rule ?pool ?on_singular rng ~max_lambda (Provider.dense g) f
 
 let star ?folds ?rule ?pool rng ~max_lambda g f =
   star_p ?folds ?rule ?pool rng ~max_lambda (Provider.dense g) f
 
-let lars ?folds ?rule ?mode ?pool rng ~max_lambda g f =
-  lars_p ?folds ?rule ?mode ?pool rng ~max_lambda (Provider.dense g) f
+let lars ?folds ?rule ?mode ?pool ?on_singular rng ~max_lambda g f =
+  lars_p ?folds ?rule ?mode ?pool ?on_singular rng ~max_lambda
+    (Provider.dense g) f

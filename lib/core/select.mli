@@ -39,10 +39,12 @@ type result = {
 }
 
 val omp_p :
-  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] -> Randkit.Prng.t ->
   max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
 (** Default [folds = 4] (the paper's Fig. 2 setting) and
-    [rule = Min_error]. *)
+    [rule = Min_error]. [on_singular] is forwarded to {!Omp.path_p} for
+    every fold fit and the final refit. *)
 
 val star_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
@@ -50,8 +52,11 @@ val star_p :
 
 val lars_p :
   ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] ->
   Randkit.Prng.t -> max_lambda:int -> Polybasis.Design.Provider.t ->
   Linalg.Vec.t -> result
+(** [on_singular] is forwarded to {!Lars.path_p} for every fold fit and
+    the final refit. *)
 
 val generic_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
@@ -73,7 +78,8 @@ val generic_p :
     @raise Invalid_argument if a fold produces an empty path. *)
 
 val omp :
-  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] -> Randkit.Prng.t ->
   max_lambda:int -> Linalg.Mat.t -> Linalg.Vec.t -> result
 (** {!omp_p} over [Provider.dense g]. *)
 
@@ -83,6 +89,7 @@ val star :
 
 val lars :
   ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] ->
   Randkit.Prng.t -> max_lambda:int -> Linalg.Mat.t -> Linalg.Vec.t -> result
 
 val generic :

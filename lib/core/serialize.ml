@@ -1,6 +1,15 @@
 let to_string m =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "rsm-model 1\n";
+  (* Notes ride as comment lines: older parsers skip them, this one
+     round-trips them. Newlines inside a note would break the framing. *)
+  Array.iter
+    (fun note ->
+      let flat =
+        String.map (function '\n' | '\r' -> ' ' | c -> c) note
+      in
+      Buffer.add_string buf ("#note " ^ flat ^ "\n"))
+    (Model.notes m);
   Buffer.add_string buf (Printf.sprintf "basis_size %d\n" m.Model.basis_size);
   Buffer.add_string buf (Printf.sprintf "nnz %d\n" (Model.nnz m));
   Array.iteri
@@ -9,10 +18,21 @@ let to_string m =
     m.Model.support;
   Buffer.contents buf
 
+let note_prefix = "#note "
+
 let of_string s =
+  let raw = String.split_on_char '\n' s |> List.map String.trim in
+  let notes =
+    List.filter_map
+      (fun l ->
+        if String.starts_with ~prefix:note_prefix l then
+          Some (String.sub l (String.length note_prefix)
+                  (String.length l - String.length note_prefix))
+        else None)
+      raw
+  in
   let lines =
-    String.split_on_char '\n' s
-    |> List.map String.trim
+    raw
     |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
   in
   match lines with
@@ -58,7 +78,7 @@ let of_string s =
                     let support = Array.of_list (List.map fst pairs) in
                     let coeffs = Array.of_list (List.map snd pairs) in
                     match Model.make ~basis_size ~support ~coeffs with
-                    | m -> Ok m
+                    | m -> Ok (Model.with_notes m (Array.of_list notes))
                     | exception Invalid_argument e -> Error e)
               end
           | _ -> Error "missing basis_size or nnz header field")
@@ -119,3 +139,95 @@ let load path =
           let n = in_channel_length ic in
           let s = really_input_string ic n in
           of_string s)
+
+module Checkpoint = struct
+  type t = {
+    solver : string;
+    k : int;
+    m : int;
+    scale : float;
+    support : int array;
+  }
+
+  let to_string c =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "rsm-ckpt 1\n";
+    Buffer.add_string buf (Printf.sprintf "solver %s\n" c.solver);
+    Buffer.add_string buf (Printf.sprintf "k %d\n" c.k);
+    Buffer.add_string buf (Printf.sprintf "m %d\n" c.m);
+    Buffer.add_string buf (Printf.sprintf "scale %.17g\n" c.scale);
+    Buffer.add_string buf (Printf.sprintf "iter %d\n" (Array.length c.support));
+    Buffer.add_string buf "support";
+    Array.iter (fun j -> Buffer.add_string buf (Printf.sprintf " %d" j)) c.support;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let of_string s =
+    let lines =
+      String.split_on_char '\n' s
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    let field name conv line =
+      match String.index_opt line ' ' with
+      | Some i when String.sub line 0 i = name -> (
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          match conv (String.trim rest) with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "malformed %s field: %s" name line))
+      | _ -> Error (Printf.sprintf "expected '%s <value>', got: %s" name line)
+    in
+    let ( let* ) = Result.bind in
+    match lines with
+    | header :: solver_l :: k_l :: m_l :: scale_l :: iter_l :: support_l :: []
+      when header = "rsm-ckpt 1" ->
+        let* solver = field "solver" Option.some solver_l in
+        let* k = field "k" int_of_string_opt k_l in
+        let* m = field "m" int_of_string_opt m_l in
+        let* scale = field "scale" float_of_string_opt scale_l in
+        let* iter = field "iter" int_of_string_opt iter_l in
+        let* support =
+          field "support"
+            (fun rest ->
+              let toks =
+                String.split_on_char ' ' rest
+                |> List.filter (fun t -> t <> "")
+              in
+              let parsed = List.map int_of_string_opt toks in
+              if List.exists Option.is_none parsed then None
+              else Some (Array.of_list (List.map Option.get parsed)))
+            support_l
+        in
+        if k <= 0 || m <= 0 then Error "non-positive problem shape"
+        else if not (Float.is_finite scale) then Error "non-finite scale"
+        else if Array.length support <> iter then
+          Error
+            (Printf.sprintf "iter %d disagrees with %d support entries" iter
+               (Array.length support))
+        else if Array.exists (fun j -> j < 0 || j >= m) support then
+          Error "support index out of range"
+        else Ok { solver; k; m; scale; support }
+    | first :: _ when first <> "rsm-ckpt 1" ->
+        Error ("unrecognized checkpoint header: " ^ first)
+    | _ -> Error "truncated checkpoint"
+
+  let save path c =
+    (* Write-then-rename: a crash mid-write never clobbers the previous
+       good checkpoint, which is the whole point of having one. *)
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string c));
+    Sys.rename tmp path
+
+  let load path =
+    match open_in path with
+    | exception Sys_error e -> Error e
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let n = in_channel_length ic in
+            of_string (really_input_string ic n))
+end

@@ -7,11 +7,14 @@
     Format (version 1):
     {v
     rsm-model 1
+    #note <text>            (0+ lines: model provenance notes)
     basis_size <M>
     nnz <n>
     <index> <coefficient>   (n lines, %.17g round-trip precision)
     v}
-    Lines starting with [#] are ignored. *)
+    Lines starting with [#] are ignored, except [#note ] lines which
+    round-trip the model's {!Model.notes} (older parsers skip them as
+    comments). *)
 
 val to_string : Model.t -> string
 
@@ -27,6 +30,46 @@ val save : string -> Model.t -> unit
 val load : string -> (Model.t, string) result
 (** [load path] reads a model back. IO failures are reported as
     [Error]. *)
+
+(** Crash-safe persistence of greedy-solver progress.
+
+    A long OMP/STAR fit on a large dictionary can run for hours; a
+    killed process should not mean starting over. The checkpoint records
+    the selected support (plus the initial-correlation scale of the
+    relative stopping test) — everything else (Gram factor, coefficients,
+    residual) is replayed bit-for-bit from the design provider on
+    resume, at O(K·p²) replay cost instead of O(K·M·p) fitting cost.
+
+    Format (version 1):
+    {v
+    rsm-ckpt 1
+    solver <omp|star>
+    k <K>
+    m <M>
+    scale <initial correlation, %.17g>
+    iter <p>
+    support <j_0> ... <j_{p-1}>
+    v} *)
+module Checkpoint : sig
+  type t = {
+    solver : string;  (** "omp" or "star" *)
+    k : int;  (** sample count the fit ran with *)
+    m : int;  (** dictionary size the fit ran with *)
+    scale : float;  (** initial correlation (stopping-test reference) *)
+    support : int array;  (** columns selected so far, selection order *)
+  }
+
+  val to_string : t -> string
+
+  val of_string : string -> (t, string) result
+
+  val save : string -> t -> unit
+  (** Atomic write (temp file + rename): a crash mid-checkpoint never
+      corrupts the previous good checkpoint.
+      @raise Sys_error on IO failure. *)
+
+  val load : string -> (t, string) result
+end
 
 val to_expression : Model.t -> Polybasis.Basis.t -> string
 (** Human-readable analytic form of the model, e.g.

@@ -97,7 +97,7 @@ let fit_cv ?folds ?max_lambda rng g f m =
       let s = grid.(Stat.Crossval.argmin curve) in
       Cosamp.fit g f ~s
 
-let fit_cv_p ?folds ?max_lambda rng src f m =
+let fit_cv_p ?folds ?max_lambda ?on_singular rng src f m =
   let max_lambda =
     match max_lambda with
     | Some l -> l
@@ -107,11 +107,14 @@ let fit_cv_p ?folds ?max_lambda rng src f m =
   match m with
   | Star -> (Select.star_p ?folds rng ~max_lambda src f).Select.model
   | Lar ->
-      (Select.lars_p ?folds ~mode:Lars.Lar rng ~max_lambda src f).Select.model
-  | Lasso ->
-      (Select.lars_p ?folds ~mode:Lars.Lasso rng ~max_lambda src f)
+      (Select.lars_p ?folds ~mode:Lars.Lar ?on_singular rng ~max_lambda src f)
         .Select.model
-  | Omp -> (Select.omp_p ?folds rng ~max_lambda src f).Select.model
+  | Lasso ->
+      (Select.lars_p ?folds ~mode:Lars.Lasso ?on_singular rng ~max_lambda src
+         f)
+        .Select.model
+  | Omp ->
+      (Select.omp_p ?folds ?on_singular rng ~max_lambda src f).Select.model
   | Ls | Stomp | Cosamp ->
       (* These paths need the materialized matrix (full LS / batch
          thresholding); free for a dense provider. *)

@@ -39,9 +39,16 @@ val fit_cv :
     [max_lambda] is [min(K/2, M, 200)]. *)
 
 val fit_cv_p :
-  ?folds:int -> ?max_lambda:int -> Randkit.Prng.t ->
+  ?folds:int -> ?max_lambda:int -> ?on_singular:[ `Stop | `Fallback ] ->
+  Randkit.Prng.t ->
   Polybasis.Design.Provider.t -> Linalg.Vec.t -> method_ -> Model.t
 (** {!fit_cv} over a design provider. The greedy path methods (STAR,
     LAR, LASSO, OMP) run fully matrix-free on a streamed provider,
     bitwise matching the dense run; [Ls], [Stomp] and [Cosamp]
-    materialize the matrix (free when the provider is dense). *)
+    materialize the matrix (free when the provider is dense).
+
+    [on_singular] selects the degenerate-Gram policy for the OMP and
+    LAR/LASSO fits (see {!Omp.path_p} and {!Lars.path_p}); [`Fallback]
+    routes singular active-set re-fits through the {!Refit} ladder
+    instead of stopping, recording the rung in {!Model.notes}. Ignored
+    by the other methods. *)

@@ -8,11 +8,14 @@ type step = {
   model : Model.t;
 }
 
-let path_p ?(tol = 1e-12) ?pool src f ~max_lambda =
+let path_p ?(tol = 1e-12) ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
+    src f ~max_lambda =
   let k = Provider.rows src and m = Provider.cols src in
   if Array.length f <> k then invalid_arg "Star.path: response length mismatch";
   if max_lambda <= 0 then invalid_arg "Star.path: max_lambda must be positive";
   if max_lambda > m then invalid_arg "Star.path: max_lambda exceeds basis size";
+  if checkpoint_every < 0 then
+    invalid_arg "Star.path: negative checkpoint interval";
   let kf = float_of_int k in
   let selected = Array.make m false in
   let cache = Provider.Cache.create src in
@@ -22,6 +25,77 @@ let path_p ?(tol = 1e-12) ?pool src f ~max_lambda =
   let stop = ref false in
   let initial_corr = ref 0. in
   let p = ref 0 in
+  (* Accept column [j]: matching-pursuit coefficient from the current
+     residual, subtract its contribution. The exact operation order is
+     shared by live selection and checkpoint replay, so a resumed path
+     reproduces an uninterrupted run bit for bit. *)
+  let accept j =
+    let colj = Provider.Cache.column cache j in
+    let alpha = Vec.dot colj res /. kf in
+    selected.(j) <- true;
+    support := j :: !support;
+    coeffs := alpha :: !coeffs;
+    incr p;
+    for i = 0 to k - 1 do
+      res.(i) <- res.(i) -. (alpha *. Array.unsafe_get colj i)
+    done;
+    alpha
+  in
+  let make_model () =
+    Model.make ~basis_size:m
+      ~support:(Array.of_list !support)
+      ~coeffs:(Array.of_list !coeffs)
+  in
+  let emit_checkpoint () =
+    match on_checkpoint with
+    | Some cb when checkpoint_every > 0 && !p mod checkpoint_every = 0 ->
+        (* Selection order, newest last — the replay order. *)
+        cb
+          {
+            Serialize.Checkpoint.solver = "star";
+            k;
+            m;
+            scale = !initial_corr;
+            support = Array.of_list (List.rev !support);
+          }
+    | _ -> ()
+  in
+  (match resume with
+  | None -> ()
+  | Some c ->
+      let open Serialize.Checkpoint in
+      if c.solver <> "star" then
+        invalid_arg
+          (Printf.sprintf "Star.path: checkpoint is for solver %S" c.solver);
+      if c.k <> k || c.m <> m then
+        invalid_arg
+          (Printf.sprintf
+             "Star.path: checkpoint shape %dx%d disagrees with problem %dx%d"
+             c.k c.m k m);
+      if Array.length c.support > max_lambda then
+        invalid_arg "Star.path: checkpoint support exceeds max_lambda";
+      initial_corr := c.scale;
+      let last_alpha = ref 0. and last_j = ref (-1) in
+      Array.iter
+        (fun j ->
+          if selected.(j) then
+            invalid_arg "Star.path: duplicate support index in checkpoint";
+          last_alpha := accept j;
+          last_j := j)
+        c.support;
+      if !p > 0 then begin
+        let rn = Vec.nrm2 res in
+        steps :=
+          [
+            {
+              index = !last_j;
+              coefficient = !last_alpha;
+              residual_norm = rn;
+              model = make_model ();
+            };
+          ];
+        if rn <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
+      end);
   while (not !stop) && !p < max_lambda do
     (* Column-parallel eq. (18) sweep, bitwise equal to the sequential
        scan for every domain count. *)
@@ -30,35 +104,30 @@ let path_p ?(tol = 1e-12) ?pool src f ~max_lambda =
     if best < 0 || best_abs <= tol *. Float.max !initial_corr 1. then
       stop := true
     else begin
-      let j = best in
       (* Coefficient taken directly from the eq. (18) estimator —
          no re-fit of previously selected coefficients. The selected
          column is materialized once and reused for the residual
          update. *)
-      let colj = Provider.Cache.column cache j in
-      let alpha = Vec.dot colj res /. kf in
-      selected.(j) <- true;
-      support := j :: !support;
-      coeffs := alpha :: !coeffs;
-      incr p;
-      for i = 0 to k - 1 do
-        res.(i) <- res.(i) -. (alpha *. Array.unsafe_get colj i)
-      done;
-      let model =
-        Model.make ~basis_size:m
-          ~support:(Array.of_list !support)
-          ~coeffs:(Array.of_list !coeffs)
-      in
+      let alpha = accept best in
       steps :=
-        { index = j; coefficient = alpha; residual_norm = Vec.nrm2 res; model }
+        {
+          index = best;
+          coefficient = alpha;
+          residual_norm = Vec.nrm2 res;
+          model = make_model ();
+        }
         :: !steps;
+      emit_checkpoint ();
       if Vec.nrm2 res <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
     end
   done;
   Array.of_list (List.rev !steps)
 
-let fit_p ?tol ?pool src f ~lambda =
-  let steps = path_p ?tol ?pool src f ~max_lambda:lambda in
+let fit_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume src f ~lambda =
+  let steps =
+    path_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume src f
+      ~max_lambda:lambda
+  in
   if Array.length steps = 0 then
     Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
   else steps.(Array.length steps - 1).model

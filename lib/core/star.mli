@@ -24,6 +24,9 @@ type step = {
 val path_p :
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
+  ?resume:Serialize.Checkpoint.t ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_lambda:int ->
@@ -31,6 +34,14 @@ val path_p :
 (** Same contract as {!Omp.path_p}: one record per iteration, early stop
     on vanishing correlation. [max_lambda] may not exceed [M] (there is
     no LS system to keep over-determined, so [K] is not a bound).
+
+    [checkpoint_every]/[on_checkpoint]/[resume] follow the
+    {!Omp.path_p} checkpoint contract with solver tag ["star"]: the
+    checkpoint stores the selection order, and a resume replays the
+    matching-pursuit coefficient and residual updates from the provider
+    (no correlation sweeps), after which the continued path is bitwise
+    identical to an uninterrupted run. The replayed state is returned as
+    one leading step.
 
     The eq. (18) correlation sweep runs column-parallel over [pool]
     (default: {!Parallel.Pool.default}); selections and coefficients are
@@ -40,6 +51,9 @@ val path_p :
 val fit_p :
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
+  ?resume:Serialize.Checkpoint.t ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->

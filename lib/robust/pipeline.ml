@@ -1,0 +1,111 @@
+module Provider = Polybasis.Design.Provider
+
+type config = {
+  method_ : Rsm.Solver.method_;
+  folds : int;
+  max_lambda : int;
+  samples : int;
+  screen : bool;
+  screen_threshold : float;
+  faults : Circuit.Simulator.fault_plan;
+  retry : Circuit.Simulator.retry_policy;
+  min_samples : int;
+  streamed : bool;
+}
+
+let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
+    ?(samples = 1000) ?(screen = true)
+    ?(screen_threshold = Screen.default_threshold)
+    ?(faults = Circuit.Simulator.no_faults)
+    ?(retry = Circuit.Simulator.retry_policy ()) ?(min_samples = 30)
+    ?(streamed = false) () =
+  let fail fmt = Printf.ksprintf (fun m -> Error (Error.Invalid_input m)) fmt in
+  if folds < 2 then fail "folds must be at least 2, got %d" folds
+  else if max_lambda < 1 then fail "max_lambda must be positive, got %d" max_lambda
+  else if samples < 1 then fail "samples must be positive, got %d" samples
+  else if screen_threshold <= 0. then
+    fail "screen threshold must be positive, got %g" screen_threshold
+  else if min_samples < 1 then
+    fail "min_samples must be positive, got %d" min_samples
+  else if min_samples > samples then
+    fail "min_samples (%d) exceeds the requested sample count (%d)" min_samples
+      samples
+  else
+    Ok
+      {
+        method_;
+        folds;
+        max_lambda;
+        samples;
+        screen;
+        screen_threshold;
+        faults;
+        retry;
+        min_samples;
+        streamed;
+      }
+
+type outcome = {
+  model : Rsm.Model.t;
+  dataset : Circuit.Simulator.dataset;
+  run_report : Circuit.Simulator.run_report;
+  screen_report : Screen.report option;
+}
+
+let ( let* ) = Result.bind
+
+let fit ?pool cfg sim basis rng =
+  let* data, run_report =
+    Error.guard (fun () ->
+        Circuit.Simulator.run_robust ?pool ~faults:cfg.faults ~retry:cfg.retry
+          sim rng ~k:cfg.samples)
+  in
+  let* data, screen_report =
+    if not cfg.screen then Ok (data, None)
+    else
+      let* d, r =
+        Error.guard (fun () ->
+            Screen.screen ~threshold:cfg.screen_threshold data)
+      in
+      Ok (d, Some r)
+  in
+  let n = Circuit.Simulator.dataset_size data in
+  if n < cfg.min_samples then
+    Error
+      (Error.Simulation
+         (Printf.sprintf
+            "only %d of %d requested samples survived delivery and screening \
+             (minimum %d); raise the sample count, the retry budget, or the \
+             screen threshold"
+            n cfg.samples cfg.min_samples))
+  else
+    let* model =
+      Error.guard (fun () ->
+          let pts = data.Circuit.Simulator.points in
+          let src =
+            if cfg.streamed then Provider.streamed basis pts
+            else Provider.dense (Polybasis.Design.matrix_rows ?pool basis pts)
+          in
+          Rsm.Solver.fit_cv_p ~folds:cfg.folds ~max_lambda:cfg.max_lambda
+            ~on_singular:`Fallback rng src data.Circuit.Simulator.values
+            cfg.method_)
+    in
+    Ok { model; dataset = data; run_report; screen_report }
+
+let outcome_summary o =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Circuit.Simulator.report_summary o.run_report);
+  Buffer.add_char buf '\n';
+  (match o.screen_report with
+  | Some r ->
+      Buffer.add_string buf (Screen.report_summary r);
+      Buffer.add_char buf '\n'
+  | None -> Buffer.add_string buf "screen: off\n");
+  Buffer.add_string buf
+    (Printf.sprintf "model: %d bases selected from %d rows"
+       (Rsm.Model.nnz o.model)
+       (Circuit.Simulator.dataset_size o.dataset));
+  Array.iter
+    (fun note -> Buffer.add_string buf (Printf.sprintf "\nnote: %s" note))
+    (Rsm.Model.notes o.model);
+  Buffer.contents buf

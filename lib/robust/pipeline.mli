@@ -1,0 +1,72 @@
+(** The fault-tolerant end-to-end fit: simulate (with retries), screen,
+    build the design, fit with numerical fallbacks — one call, one
+    structured result.
+
+    The stages compose the hardening added across the codebase:
+    {!Circuit.Simulator.run_robust} retries detectable failures and
+    drops samples that never deliver, {!Screen.screen} removes
+    non-finite and outlier rows before any basis function is evaluated,
+    and the solver runs with [~on_singular:`Fallback] so a degenerate
+    active-set Gram matrix degrades through the {!Rsm.Refit} ladder
+    instead of aborting. Nothing in this module raises on the expected
+    failure paths — everything is an {!Error.t}. *)
+
+type config = {
+  method_ : Rsm.Solver.method_;
+  folds : int;  (** CV folds for the λ selection *)
+  max_lambda : int;  (** sparsity-search upper bound *)
+  samples : int;  (** Monte-Carlo samples to request *)
+  screen : bool;  (** run the MAD outlier screen *)
+  screen_threshold : float;  (** robust z-score cut *)
+  faults : Circuit.Simulator.fault_plan;  (** injected failure model *)
+  retry : Circuit.Simulator.retry_policy;
+  min_samples : int;  (** fewest surviving rows acceptable for a fit *)
+  streamed : bool;  (** matrix-free design instead of materialized *)
+}
+
+val config :
+  ?method_:Rsm.Solver.method_ ->
+  ?folds:int ->
+  ?max_lambda:int ->
+  ?samples:int ->
+  ?screen:bool ->
+  ?screen_threshold:float ->
+  ?faults:Circuit.Simulator.fault_plan ->
+  ?retry:Circuit.Simulator.retry_policy ->
+  ?min_samples:int ->
+  ?streamed:bool ->
+  unit ->
+  (config, Error.t) result
+(** Validated constructor. Defaults: OMP, 4 folds, [max_lambda = 100],
+    1000 samples, screening on at {!Screen.default_threshold}, no
+    injected faults, the default retry policy
+    ({!Circuit.Simulator.retry_policy}), [min_samples = 30], dense
+    design. Returns [Error (Invalid_input _)] on non-positive counts or
+    thresholds, or [min_samples > samples]. *)
+
+type outcome = {
+  model : Rsm.Model.t;
+      (** the fitted model; {!Rsm.Model.notes} records any numerical
+          fallbacks that fired *)
+  dataset : Circuit.Simulator.dataset;  (** the rows the fit actually used *)
+  run_report : Circuit.Simulator.run_report;  (** delivery/retry accounting *)
+  screen_report : Screen.report option;  (** [None] when screening is off *)
+}
+
+val fit :
+  ?pool:Parallel.Pool.t ->
+  config ->
+  Circuit.Simulator.t ->
+  Polybasis.Basis.t ->
+  Randkit.Prng.t ->
+  (outcome, Error.t) result
+(** Run the full pipeline. Deterministic for a fixed seed at every
+    domain count (the underlying stages all pre-split their PRNG
+    streams). Fails with [Simulation _] when fewer than
+    [config.min_samples] rows survive delivery and screening, with
+    [Invalid_input _] / [Numerical _] / [Internal _] when a stage
+    raises. *)
+
+val outcome_summary : outcome -> string
+(** Multi-line human-readable account: delivery, hygiene, model size and
+    any fallback notes. *)

@@ -1,0 +1,85 @@
+type reason =
+  | Non_finite_point
+  | Non_finite_value
+  | Outlier of float
+
+type report = {
+  total : int;
+  kept : int array;
+  dropped : (int * reason) array;
+  center : float;
+  spread : float;
+  threshold : float;
+}
+
+let default_threshold = 6.0
+
+(* 1.4826 ≈ 1/Φ⁻¹(3/4): makes the MAD a consistent sigma estimate for a
+   normal bulk. *)
+let mad_consistency = 1.4826
+
+let reason_to_string = function
+  | Non_finite_point -> "non-finite factor point"
+  | Non_finite_value -> "non-finite response"
+  | Outlier z -> Printf.sprintf "outlier (robust z = %.1f)" z
+
+let screen ?(threshold = default_threshold) (d : Circuit.Simulator.dataset) =
+  if threshold <= 0. then invalid_arg "Screen.screen: threshold must be positive";
+  let n = Array.length d.Circuit.Simulator.values in
+  if n = 0 then invalid_arg "Screen.screen: empty dataset";
+  let finite_row = Array.make n true in
+  let dropped = ref [] in
+  for i = 0 to n - 1 do
+    if Array.exists (fun x -> not (Float.is_finite x)) d.points.(i) then begin
+      finite_row.(i) <- false;
+      dropped := (i, Non_finite_point) :: !dropped
+    end
+    else if not (Float.is_finite d.values.(i)) then begin
+      finite_row.(i) <- false;
+      dropped := (i, Non_finite_value) :: !dropped
+    end
+  done;
+  let finite_values =
+    Array.of_list
+      (List.filteri (fun i _ -> finite_row.(i)) (Array.to_list d.values))
+  in
+  let center, spread =
+    if Array.length finite_values = 0 then (Float.nan, 0.)
+    else begin
+      let med = Stat.Descriptive.median finite_values in
+      let dev = Array.map (fun v -> Float.abs (v -. med)) finite_values in
+      (med, mad_consistency *. Stat.Descriptive.median dev)
+    end
+  in
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    if finite_row.(i) then begin
+      (* Zero spread (over half the bulk identical): no usable z-score,
+         skip the outlier screen rather than dropping everything that
+         differs from the mode. *)
+      let z = if spread > 0. then Float.abs (d.values.(i) -. center) /. spread else 0. in
+      if spread > 0. && z > threshold then
+        dropped := (i, Outlier z) :: !dropped
+      else kept := i :: !kept
+    end
+  done;
+  let kept = Array.of_list !kept in
+  let dropped =
+    let a = Array.of_list !dropped in
+    Array.sort (fun (i, _) (j, _) -> compare i j) a;
+    a
+  in
+  let report = { total = n; kept; dropped; center; spread; threshold } in
+  (Circuit.Simulator.split d kept, report)
+
+let report_summary r =
+  let count p = Array.fold_left (fun acc (_, why) -> if p why then acc + 1 else acc) 0 r.dropped in
+  let nf =
+    count (function Non_finite_point | Non_finite_value -> true | _ -> false)
+  in
+  let out = count (function Outlier _ -> true | _ -> false) in
+  Printf.sprintf
+    "screen: kept %d/%d rows (dropped %d: %d non-finite, %d outliers) \
+     center %.6g spread %.6g threshold %.1f"
+    (Array.length r.kept) r.total (Array.length r.dropped) nf out r.center
+    r.spread r.threshold

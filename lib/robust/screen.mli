@@ -1,0 +1,57 @@
+(** Sample hygiene: screen a simulated dataset before the design matrix
+    is built.
+
+    Two screens run in order. The {e finiteness} screen drops rows whose
+    factor point or response holds a NaN/Inf — those would poison every
+    inner product downstream. The {e outlier} screen drops rows whose
+    response sits implausibly far from the bulk, measured on the robust
+    MAD scale: with [med] the median response and
+    [sigma = 1.4826·MAD] (the consistency constant for a normal bulk),
+    a row is dropped when [|f − med| > threshold·sigma]. The median/MAD
+    pair keeps its breakdown point at 50%, so the screen stays honest
+    even when the faults it hunts contaminate a large fraction of the
+    batch — a plain mean/std screen would be dragged by exactly the
+    outliers it is meant to find.
+
+    Screening happens in value space, before any basis evaluation, so it
+    works identically for Dense and Streamed design providers — by the
+    time a provider exists, only clean rows are left. *)
+
+type reason =
+  | Non_finite_point  (** a factor coordinate is NaN/Inf *)
+  | Non_finite_value  (** the response is NaN/Inf *)
+  | Outlier of float  (** robust z-score that crossed the threshold *)
+
+type report = {
+  total : int;  (** rows examined *)
+  kept : int array;  (** surviving row indices, ascending *)
+  dropped : (int * reason) array;  (** dropped rows with the reason, ascending *)
+  center : float;  (** median of the finite responses *)
+  spread : float;  (** robust sigma = 1.4826·MAD of the finite responses *)
+  threshold : float;  (** the z-score cut that was applied *)
+}
+
+val default_threshold : float
+(** 6.0 — far beyond any Gaussian bulk, so clean data is essentially
+    never clipped, while the injected [outlier_scale]-sized garbage sits
+    tens of sigmas out. *)
+
+val screen :
+  ?threshold:float ->
+  Circuit.Simulator.dataset ->
+  Circuit.Simulator.dataset * report
+(** [screen d] returns the surviving sub-dataset (points shared, not
+    copied — {!Circuit.Simulator.split}) and the hygiene report.
+
+    Degenerate spread: when the MAD is zero (over half the responses
+    identical) no finite row can be z-scored, so the outlier screen is
+    skipped and only non-finite rows are dropped — reported with
+    [spread = 0].
+    @raise Invalid_argument when [threshold <= 0] or the dataset is
+    empty. *)
+
+val reason_to_string : reason -> string
+
+val report_summary : report -> string
+(** One line: totals kept/dropped, with per-reason counts — the
+    grep-able hygiene line the CLI prints. *)

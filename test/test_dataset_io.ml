@@ -51,6 +51,55 @@ let test_header_and_errors () =
       check_float "value parsed" 2. d.Circuit.Simulator.values.(0)
   | Error e -> Alcotest.failf "comment handling: %s" e
 
+let test_malformed_line_numbers () =
+  (* Diagnostics must name the physical line of the file, counting
+     blanks and comments. *)
+  let expect_error_containing name needle s =
+    match Circuit.Dataset_io.of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected error" name
+    | Error e ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        if not (contains e needle) then
+          Alcotest.failf "%s: error %S does not mention %S" name e needle
+  in
+  (* Line 1 comment, line 2 header, line 3 good, line 4 ragged. *)
+  expect_error_containing "ragged row line number" "line 4"
+    "# comment\ny0,f\n1,2\n1,2,3\n";
+  expect_error_containing "ragged says ragged" "ragged"
+    "y0,f\n1,2,3\n";
+  (* Blank line between rows still counts in the numbering. *)
+  expect_error_containing "bad number line/column" "line 4, column 2"
+    "y0,f\n1,2\n\n3,oops\n";
+  expect_error_containing "nan rejected" "non-finite"
+    "y0,f\n1,nan\n";
+  expect_error_containing "inf rejected with position" "line 2, column 1"
+    "y0,f\ninf,2\n";
+  expect_error_containing "negative infinity rejected" "non-finite"
+    "y0,f\n1,-infinity\n"
+
+let test_save_rejects_non_finite () =
+  let bad_value =
+    { Circuit.Simulator.points = [| [| 1.; 2. |] |]; values = [| Float.nan |] }
+  in
+  let bad_point =
+    {
+      Circuit.Simulator.points = [| [| Float.infinity; 2. |] |];
+      values = [| 1. |];
+    }
+  in
+  let tmp = Filename.temp_file "ds" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      check_raises_invalid "save NaN value" (fun () ->
+          Circuit.Dataset_io.save tmp bad_value);
+      check_raises_invalid "save Inf point" (fun () ->
+          Circuit.Dataset_io.save tmp bad_point))
+
 let test_fit_from_reloaded_dataset () =
   (* Simulate, save, reload, fit: same model as fitting directly. *)
   let amp = Circuit.Opamp.build ~n_parasitics:15 () in
@@ -110,6 +159,8 @@ let suite =
     [
       case "csv roundtrip" test_roundtrip_string;
       case "csv errors" test_header_and_errors;
+      case "csv malformed rows: line-numbered errors" test_malformed_line_numbers;
+      case "csv save rejects non-finite data" test_save_rejects_non_finite;
       case "fit from reloaded dataset" test_fit_from_reloaded_dataset;
       case "expression: linear" test_expression_linear;
       case "expression: quadratic hermite" test_expression_quadratic;

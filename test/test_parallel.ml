@@ -82,29 +82,73 @@ let test_reduce_combines_in_chunk_order () =
       check_int "chunks cover the range" 53 !expected_lo)
 
 let test_exception_propagates_pool_survives () =
-  Parallel.Pool.with_pool ~domains:4 (fun pool ->
-      (match
-         Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
-             if i >= 50 then failwith "boom")
-       with
-      | () -> Alcotest.fail "expected the body's exception to propagate"
-      | exception Failure msg -> check_bool "body exception" true (msg = "boom"));
-      (* The pool must stay fully usable after a failed operation. *)
-      let hits = Array.make 10 0 in
-      Parallel.Pool.parallel_for pool ~lo:0 ~hi:10 (fun i ->
-          hits.(i) <- hits.(i) + 1);
-      Array.iter (fun h -> check_int "usable after failure" 1 h) hits)
+  (* The failure contract must hold at every domain count, including the
+     degenerate single-domain pool. *)
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          (match
+             Parallel.Pool.parallel_for pool ~lo:0 ~hi:100 (fun i ->
+                 if i >= 50 then failwith "boom")
+           with
+          | () -> Alcotest.fail "expected the body's exception to propagate"
+          | exception Failure msg ->
+              check_bool
+                (Printf.sprintf "body exception (domains=%d)" domains)
+                true (msg = "boom"));
+          (* The pool must stay fully usable after a failed operation. *)
+          let hits = Array.make 10 0 in
+          Parallel.Pool.parallel_for pool ~lo:0 ~hi:10 (fun i ->
+              hits.(i) <- hits.(i) + 1);
+          Array.iter
+            (fun h ->
+              check_int
+                (Printf.sprintf "usable after failure (domains=%d)" domains)
+                1 h)
+            hits))
+    pool_counts
 
 let test_lowest_chunk_exception_wins () =
   (* Every chunk raises; the re-raised exception must be the one a
-     sequential loop would have hit first (lowest chunk index). *)
-  Parallel.Pool.with_pool ~domains:4 (fun pool ->
-      match
-        Parallel.Pool.parallel_for_chunks pool ~chunks:4 ~lo:0 ~hi:100
-          (fun ~lo ~hi:_ -> failwith (Printf.sprintf "chunk@%d" lo))
-      with
-      | () -> Alcotest.fail "expected an exception"
-      | exception Failure msg -> check_bool "lowest chunk wins" true (msg = "chunk@0"))
+     sequential loop would have hit first (lowest chunk index) — at
+     every domain count. *)
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          match
+            Parallel.Pool.parallel_for_chunks pool ~chunks:4 ~lo:0 ~hi:100
+              (fun ~lo ~hi:_ -> failwith (Printf.sprintf "chunk@%d" lo))
+          with
+          | () -> Alcotest.fail "expected an exception"
+          | exception Failure msg ->
+              check_bool
+                (Printf.sprintf "lowest chunk wins (domains=%d)" domains)
+                true
+                (msg = "chunk@0")))
+    pool_counts
+
+let test_partial_failure_lowest_index_wins () =
+  (* Only some chunks raise; the winner must still be the lowest-indexed
+     failing chunk, and successful chunks' work must have completed. *)
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          let done_ = Array.make 4 false in
+          match
+            Parallel.Pool.parallel_for_chunks pool ~chunks:4 ~lo:0 ~hi:4
+              (fun ~lo ~hi:_ ->
+                if lo = 1 || lo = 3 then
+                  failwith (Printf.sprintf "chunk@%d" lo)
+                else done_.(lo) <- true)
+          with
+          | () -> Alcotest.fail "expected an exception"
+          | exception Failure msg ->
+              check_bool
+                (Printf.sprintf "lowest failing chunk wins (domains=%d)"
+                   domains)
+                true (msg = "chunk@1");
+              check_bool "non-failing chunk 0 ran" true done_.(0)))
+    pool_counts
 
 let test_domain_clamping () =
   Parallel.Pool.with_pool ~domains:0 (fun pool ->
@@ -241,6 +285,8 @@ let suite =
         test_exception_propagates_pool_survives;
       case "pool: lowest-chunk exception wins"
         test_lowest_chunk_exception_wins;
+      case "pool: partial failure, lowest failing chunk wins"
+        test_partial_failure_lowest_index_wins;
       case "pool: domain count clamping" test_domain_clamping;
       case "pool: shutdown semantics" test_shutdown_semantics;
       case "pool: nested parallelism does not deadlock"

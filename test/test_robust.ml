@@ -1,0 +1,472 @@
+(* The fault-tolerant pipeline: injection determinism, retry accounting,
+   the MAD screen, the numerical fallback ladder, checkpoint/resume and
+   the structured error surface. *)
+open Test_util
+module Simulator = Circuit.Simulator
+
+let pool_counts = [ 1; 2; 4 ]
+
+let small_sim () =
+  let amp = Circuit.Opamp.build ~n_parasitics:15 () in
+  (Circuit.Opamp.simulator amp Circuit.Opamp.Offset, Circuit.Opamp.dim amp)
+
+let faults_10pct =
+  Simulator.fault_plan ~rate:0.10 ~outlier_scale:500. ()
+
+(* --- fault injection and retry ------------------------------------- *)
+
+let test_no_faults_matches_run () =
+  let sim, _ = small_sim () in
+  let d = Simulator.run sim (Randkit.Prng.create 42) ~k:60 in
+  let d', report =
+    Simulator.run_robust ~faults:Simulator.no_faults
+      sim (Randkit.Prng.create 42) ~k:60
+  in
+  check_bool "points bitwise" true (d.Simulator.points = d'.Simulator.points);
+  check_bool "values bitwise" true (d.Simulator.values = d'.Simulator.values);
+  check_int "all delivered" 60 report.Simulator.delivered;
+  check_int "no faults" 0 report.Simulator.faults_injected;
+  check_int "no retries" 0 report.Simulator.retries
+
+let test_robust_run_pool_parity () =
+  (* The faulty run must be bitwise identical at every domain count and
+     without a pool: fault decisions are split per sample up front. *)
+  let sim, _ = small_sim () in
+  let sequential =
+    Simulator.run_robust ~faults:faults_10pct
+      sim (Randkit.Prng.create 7) ~k:80
+  in
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          let d, r =
+            Simulator.run_robust ~pool ~faults:faults_10pct
+              sim (Randkit.Prng.create 7) ~k:80
+          in
+          let d0, r0 = sequential in
+          check_bool
+            (Printf.sprintf "points bitwise (domains=%d)" domains)
+            true (d.Simulator.points = d0.Simulator.points);
+          check_bool
+            (Printf.sprintf "values bitwise (domains=%d)" domains)
+            true (d.Simulator.values = d0.Simulator.values);
+          check_bool
+            (Printf.sprintf "report identical (domains=%d)" domains)
+            true (r = r0)))
+    pool_counts
+
+let test_retry_recovers_transients () =
+  (* A transient-only fault mix: every fault is retryable, so with
+     enough attempts everything is delivered; with none, the abandoned
+     samples are recorded rather than raised. *)
+  let sim, _ = small_sim () in
+  let faults =
+    Simulator.fault_plan ~rate:0.3
+      ~mix:[| (Simulator.Transient, 1.) |] ()
+  in
+  let _, with_retry =
+    Simulator.run_robust ~faults
+      ~retry:(Simulator.retry_policy ~max_attempts:8 ())
+      sim (Randkit.Prng.create 11) ~k:100
+  in
+  check_int "retries recover everything" 100 with_retry.Simulator.delivered;
+  check_bool "faults were actually injected" true
+    (with_retry.Simulator.faults_injected > 0);
+  check_bool "retries were charged" true (with_retry.Simulator.retries > 0);
+  check_bool "backoff accounted" true
+    (with_retry.Simulator.accounted_extra_seconds > 0.);
+  let d, no_retry =
+    Simulator.run_robust ~faults ~retry:Simulator.no_retry
+      sim (Randkit.Prng.create 11) ~k:100
+  in
+  let abandoned = Array.length no_retry.Simulator.failed in
+  check_bool "some samples abandoned without retry" true (abandoned > 0);
+  check_int "delivered + failed = requested" 100
+    (no_retry.Simulator.delivered + abandoned);
+  check_int "dataset matches the report" no_retry.Simulator.delivered
+    (Simulator.dataset_size d)
+
+let test_fault_accounting_consistent () =
+  let sim, _ = small_sim () in
+  let _, r =
+    Simulator.run_robust ~faults:faults_10pct
+      ~retry:(Simulator.retry_policy ())
+      sim (Randkit.Prng.create 3) ~k:200
+  in
+  check_int "fault modes sum to the total"
+    r.Simulator.faults_injected
+    (r.Simulator.nonfinite_faults + r.Simulator.outliers_injected
+    + r.Simulator.transient_faults + r.Simulator.hang_faults);
+  check_bool "summary is one line" true
+    (not (String.contains (Simulator.report_summary r) '\n'))
+
+let test_fault_plan_validation () =
+  check_raises_invalid "rate 1.0" (fun () ->
+      Simulator.fault_plan ~rate:1.0 ());
+  check_raises_invalid "negative rate" (fun () ->
+      Simulator.fault_plan ~rate:(-0.1) ());
+  check_raises_invalid "empty mix" (fun () ->
+      Simulator.fault_plan ~mix:[||] ());
+  check_raises_invalid "zero attempts" (fun () ->
+      Simulator.retry_policy ~max_attempts:0 ())
+
+(* --- sample screening ---------------------------------------------- *)
+
+let screen_dataset values =
+  {
+    Simulator.points = Array.map (fun _ -> [| 0.5; -0.5 |]) values;
+    values;
+  }
+
+let test_screen_drops_non_finite () =
+  let d = screen_dataset [| 1.0; Float.nan; 2.0; Float.infinity; 1.5 |] in
+  d.Simulator.points.(2) <- [| Float.nan; 0. |];
+  let kept, report = Robust.Screen.screen d in
+  check_int "kept count" 2 (Simulator.dataset_size kept);
+  check_bool "kept indices" true (report.Robust.Screen.kept = [| 0; 4 |]);
+  let reasons = Array.map snd report.Robust.Screen.dropped in
+  check_bool "NaN value dropped" true
+    (Array.exists (( = ) Robust.Screen.Non_finite_value) reasons);
+  check_bool "NaN point dropped" true
+    (Array.exists (( = ) Robust.Screen.Non_finite_point) reasons);
+  check_int "three dropped" 3 (Array.length report.Robust.Screen.dropped)
+
+let test_screen_drops_outlier () =
+  (* A tight bulk plus one absurd value: the robust z-score must flag
+     exactly the absurd one, and the recorded z must cross the cut. *)
+  let bulk = Array.init 40 (fun i -> float_of_int (i mod 7) /. 10.) in
+  let values = Array.append bulk [| 1e6 |] in
+  let kept, report = Robust.Screen.screen (screen_dataset values) in
+  check_int "one dropped" 1 (Array.length report.Robust.Screen.dropped);
+  let idx, reason = report.Robust.Screen.dropped.(0) in
+  check_int "the outlier row" 40 idx;
+  (match reason with
+  | Robust.Screen.Outlier z ->
+      check_bool "z beyond threshold" true
+        (z > report.Robust.Screen.threshold)
+  | _ -> Alcotest.fail "expected an Outlier reason");
+  check_int "bulk kept" 40 (Simulator.dataset_size kept);
+  check_bool "summary mentions the drop" true
+    (String.length (Robust.Screen.report_summary report) > 0)
+
+let test_screen_zero_spread_guard () =
+  (* Over half the responses identical -> MAD = 0: no finite row can be
+     z-scored, so the outlier screen must stand down rather than drop
+     everything that differs from the median. *)
+  let values = Array.append (Array.make 30 5.0) [| 999.0; Float.nan |] in
+  let kept, report = Robust.Screen.screen (screen_dataset values) in
+  check_float ~eps:0. "spread is zero" 0. report.Robust.Screen.spread;
+  check_int "only the NaN dropped" 1 (Array.length report.Robust.Screen.dropped);
+  check_int "the finite oddball survives" 31 (Simulator.dataset_size kept)
+
+let test_screen_validation () =
+  check_raises_invalid "zero threshold" (fun () ->
+      Robust.Screen.screen ~threshold:0. (screen_dataset [| 1. |]));
+  check_raises_invalid "empty dataset" (fun () ->
+      Robust.Screen.screen (screen_dataset [||]))
+
+(* --- numerical fallback ladder ------------------------------------- *)
+
+let test_refit_direct_on_clean_cols () =
+  let c0 = [| 1.; 0.; 0.; 1. |] and c1 = [| 0.; 1.; 1.; 0. |] in
+  let f = [| 2.; -3.; -3.; 2. |] in
+  let x, rung = Rsm.Refit.solve_cols [| c0; c1 |] f in
+  check_bool "clean columns stay on the fast path" true
+    (rung = Rsm.Refit.Direct);
+  check_float "x0" 2. x.(0);
+  check_float "x1" (-3.) x.(1);
+  check_bool "no note for Direct" true (Rsm.Refit.note rung = None)
+
+let test_refit_ladder_on_duplicate_cols () =
+  (* An exactly duplicated column makes the Gram matrix singular:
+     Cholesky must fail, and whichever rung answers must still produce
+     a least-squares-quality residual. *)
+  let rng = Randkit.Prng.create 5 in
+  let c0 = Randkit.Gaussian.vector rng 12 in
+  let f = Array.map (fun v -> 3. *. v) c0 in
+  let x, rung = Rsm.Refit.solve_cols [| c0; Array.copy c0; |] f in
+  check_bool "a fallback rung fired" true (rung <> Rsm.Refit.Direct);
+  (match Rsm.Refit.note rung with
+  | Some note -> check_bool "note non-empty" true (String.length note > 0)
+  | None -> Alcotest.fail "fallback must carry a note");
+  let residual =
+    Array.mapi (fun i fi -> fi -. ((x.(0) +. x.(1)) *. c0.(i))) f
+  in
+  check_bool "residual still tiny" true (Linalg.Vec.nrm2 residual < 1e-6)
+
+let duplicate_column_problem () =
+  (* Two identical columns and a response that is not exhausted by one
+     of them: after the first selection the other duplicate is the only
+     column left, so OMP is forced into the singular Gram matrix. *)
+  let rng = Randkit.Prng.create 17 in
+  let c = Randkit.Gaussian.vector rng 20 in
+  let f =
+    Array.mapi (fun i v -> (3. *. v) +. (0.05 *. float_of_int (i mod 3))) c
+  in
+  (Linalg.Mat.init 20 2 (fun i _ -> c.(i)), f)
+
+let test_omp_on_singular_stop_vs_fallback () =
+  (* [tol = 0.] disables the relative-correlation stop so the sweep is
+     forced to hand the duplicate to the Gram update. *)
+  let g, f = duplicate_column_problem () in
+  let stop_path = Rsm.Omp.path ~tol:0. g f ~max_lambda:2 in
+  check_int "`Stop truncates the path at the singular step" 1
+    (Array.length stop_path);
+  let fb_path = Rsm.Omp.path ~tol:0. ~on_singular:`Fallback g f ~max_lambda:2 in
+  check_int "`Fallback completes the path" 2 (Array.length fb_path);
+  let m = fb_path.(1).Rsm.Omp.model in
+  check_bool "degradation recorded in the model notes" true
+    (Array.length (Rsm.Model.notes m) > 0);
+  check_bool "degraded fit is still finite" true
+    (Array.for_all Float.is_finite m.Rsm.Model.coeffs)
+
+let test_lars_on_singular_bans_column () =
+  let g, f = duplicate_column_problem () in
+  (* Both policies must terminate; `Fallback additionally records the
+     ban in the final model's notes. *)
+  let r_stop = Rsm.Lars.fit ~tol:0. g f ~lambda:2 in
+  check_bool "`Stop returns a finite model" true
+    (Array.for_all Float.is_finite r_stop.Rsm.Model.coeffs);
+  let r = Rsm.Lars.fit ~tol:0. ~on_singular:`Fallback g f ~lambda:2 in
+  check_bool "`Fallback returns a finite model" true
+    (Array.for_all Float.is_finite r.Rsm.Model.coeffs);
+  check_bool "ban recorded in notes" true
+    (Array.exists
+       (fun n ->
+         (* The banned-column note names the lars solver. *)
+         String.length n >= 5 && String.sub n 0 5 = "lars:")
+       (Rsm.Model.notes r))
+
+(* --- checkpoint / resume ------------------------------------------- *)
+
+let test_checkpoint_string_roundtrip () =
+  let c =
+    {
+      Rsm.Serialize.Checkpoint.solver = "omp";
+      k = 120;
+      m = 300;
+      scale = 17.25;
+      support = [| 4; 0; 299 |];
+    }
+  in
+  (match Rsm.Serialize.Checkpoint.of_string
+           (Rsm.Serialize.Checkpoint.to_string c)
+   with
+  | Ok c' -> check_bool "record round-trips" true (c = c')
+  | Error e -> Alcotest.failf "roundtrip: %s" e);
+  (match Rsm.Serialize.Checkpoint.of_string "not-a-checkpoint" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage header must not parse");
+  let tmp = Filename.temp_file "ckpt" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Rsm.Serialize.Checkpoint.save tmp c;
+      match Rsm.Serialize.Checkpoint.load tmp with
+      | Ok c' -> check_bool "file round-trips" true (c = c')
+      | Error e -> Alcotest.failf "load: %s" e)
+
+let sparse_problem ~k ~m seed =
+  let rng = Randkit.Prng.create seed in
+  let g = Randkit.Gaussian.matrix rng k m in
+  let f =
+    Array.init k (fun i ->
+        (2. *. Linalg.Mat.get g i 1)
+        -. (1.5 *. Linalg.Mat.get g i (m / 2))
+        +. Linalg.Mat.get g i (m - 1)
+        +. (0.05 *. Randkit.Gaussian.sample rng))
+  in
+  (Polybasis.Design.Provider.dense g, f)
+
+let resume_bitwise ~fit_p ~interrupted_path ~lambda ~kill_at src f =
+  let full = fit_p ?resume:None src f ~lambda in
+  let last = ref None in
+  interrupted_path ~on_checkpoint:(fun c -> last := Some c) ~max_lambda:kill_at
+    src f;
+  match !last with
+  | None -> Alcotest.fail "no checkpoint was emitted"
+  | Some ckpt ->
+      let resumed = fit_p ?resume:(Some ckpt) src f ~lambda in
+      check_bool "resumed model is bitwise identical" true
+        (Rsm.Serialize.to_string resumed = Rsm.Serialize.to_string full)
+
+let test_omp_resume_bitwise () =
+  let src, f = sparse_problem ~k:40 ~m:25 901 in
+  resume_bitwise
+    ~fit_p:(fun ?resume src f ~lambda -> Rsm.Omp.fit_p ?resume src f ~lambda)
+    ~interrupted_path:(fun ~on_checkpoint ~max_lambda src f ->
+      ignore (Rsm.Omp.path_p ~checkpoint_every:2 ~on_checkpoint src f ~max_lambda))
+    ~lambda:6 ~kill_at:4 src f
+
+let test_star_resume_bitwise () =
+  let src, f = sparse_problem ~k:40 ~m:25 902 in
+  resume_bitwise
+    ~fit_p:(fun ?resume src f ~lambda -> Rsm.Star.fit_p ?resume src f ~lambda)
+    ~interrupted_path:(fun ~on_checkpoint ~max_lambda src f ->
+      ignore
+        (Rsm.Star.path_p ~checkpoint_every:2 ~on_checkpoint src f ~max_lambda))
+    ~lambda:6 ~kill_at:4 src f
+
+let test_resume_validation () =
+  let src, f = sparse_problem ~k:40 ~m:25 903 in
+  let ckpt solver support =
+    { Rsm.Serialize.Checkpoint.solver; k = 40; m = 25; scale = 1.; support }
+  in
+  check_raises_invalid "wrong solver tag" (fun () ->
+      Rsm.Omp.fit_p ~resume:(ckpt "star" [| 0 |]) src f ~lambda:4);
+  check_raises_invalid "wrong shape" (fun () ->
+      Rsm.Omp.fit_p
+        ~resume:{ (ckpt "omp" [| 0 |]) with Rsm.Serialize.Checkpoint.m = 99 }
+        src f ~lambda:4);
+  check_raises_invalid "duplicate support" (fun () ->
+      Rsm.Omp.fit_p ~resume:(ckpt "omp" [| 3; 3 |]) src f ~lambda:4);
+  check_raises_invalid "support out of range" (fun () ->
+      Rsm.Omp.fit_p ~resume:(ckpt "omp" [| 25 |]) src f ~lambda:4)
+
+let test_model_notes_roundtrip () =
+  let m =
+    Rsm.Model.make ~basis_size:10 ~support:[| 1; 7 |] ~coeffs:[| 0.5; -2. |]
+  in
+  let m = Rsm.Model.add_note m "refit: qr fallback" in
+  let m = Rsm.Model.add_note m "refit: qr fallback" (* deduplicated *) in
+  let m = Rsm.Model.add_note m "lars: banned dependent column 3" in
+  check_int "notes deduplicated" 2 (Array.length (Rsm.Model.notes m));
+  match Rsm.Serialize.of_string (Rsm.Serialize.to_string m) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok m' ->
+      check_bool "notes round-trip through the model file" true
+        (Rsm.Model.notes m = Rsm.Model.notes m');
+      check_vec ~eps:0. "coefficients exact" (Rsm.Model.to_dense m)
+        (Rsm.Model.to_dense m')
+
+(* --- pipeline and errors ------------------------------------------- *)
+
+let test_pipeline_config_validation () =
+  let expect_invalid name r =
+    match r with
+    | Error (Robust.Error.Invalid_input _) -> ()
+    | Error e ->
+        Alcotest.failf "%s: wrong category %s" name (Robust.Error.to_string e)
+    | Ok _ -> Alcotest.failf "%s: expected an error" name
+  in
+  expect_invalid "samples 0" (Robust.Pipeline.config ~samples:0 ());
+  expect_invalid "folds 1" (Robust.Pipeline.config ~folds:1 ());
+  expect_invalid "max_lambda 0" (Robust.Pipeline.config ~max_lambda:0 ());
+  expect_invalid "threshold 0" (Robust.Pipeline.config ~screen_threshold:0. ());
+  expect_invalid "min_samples > samples"
+    (Robust.Pipeline.config ~samples:50 ~min_samples:51 ())
+
+let test_pipeline_end_to_end_with_faults () =
+  let sim, dim = small_sim () in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let cfg =
+    match
+      Robust.Pipeline.config ~samples:150 ~folds:3 ~max_lambda:6
+        ~faults:faults_10pct
+        ~retry:(Simulator.retry_policy ())
+        ~min_samples:75 ()
+    with
+    | Ok cfg -> cfg
+    | Error e -> Alcotest.failf "config: %s" (Robust.Error.to_string e)
+  in
+  match Robust.Pipeline.fit cfg sim basis (rng ()) with
+  | Error e -> Alcotest.failf "fit: %s" (Robust.Error.to_string e)
+  | Ok o ->
+      let r = o.Robust.Pipeline.run_report in
+      check_bool "faults were injected" true (r.Simulator.faults_injected > 0);
+      check_bool "survivors above the floor" true
+        (Simulator.dataset_size o.Robust.Pipeline.dataset >= 75);
+      check_bool "model selected something" true
+        (Array.length o.Robust.Pipeline.model.Rsm.Model.support > 0);
+      check_bool "coefficients finite" true
+        (Array.for_all Float.is_finite o.Robust.Pipeline.model.Rsm.Model.coeffs);
+      (match o.Robust.Pipeline.screen_report with
+      | None -> Alcotest.fail "screening was on: report expected"
+      | Some s ->
+          check_int "screen saw every delivered row"
+            r.Simulator.delivered s.Robust.Screen.total);
+      check_bool "summary non-empty" true
+        (String.length (Robust.Pipeline.outcome_summary o) > 0)
+
+let test_pipeline_min_samples_failure () =
+  let sim, dim = small_sim () in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let cfg =
+    match
+      Robust.Pipeline.config ~samples:40
+        ~faults:(Simulator.fault_plan ~rate:0.5
+                   ~mix:[| (Simulator.Transient, 1.) |] ())
+        ~retry:Simulator.no_retry ~min_samples:40 ()
+    with
+    | Ok cfg -> cfg
+    | Error e -> Alcotest.failf "config: %s" (Robust.Error.to_string e)
+  in
+  match Robust.Pipeline.fit cfg sim basis (rng ()) with
+  | Error (Robust.Error.Simulation msg) ->
+      check_bool "diagnostic names the shortfall" true (String.length msg > 0)
+  | Error e ->
+      Alcotest.failf "wrong category: %s" (Robust.Error.to_string e)
+  | Ok _ -> Alcotest.fail "expected a Simulation error"
+
+let test_error_classification () =
+  let open Robust.Error in
+  (match of_exn (Invalid_argument "x") with
+  | Invalid_input _ -> ()
+  | e -> Alcotest.failf "Invalid_argument -> %s" (to_string e));
+  (match of_exn (Sys_error "disk on fire") with
+  | Io _ -> ()
+  | e -> Alcotest.failf "Sys_error -> %s" (to_string e));
+  (match of_exn (Linalg.Cholesky.Not_positive_definite 3) with
+  | Numerical _ -> ()
+  | e -> Alcotest.failf "NPD -> %s" (to_string e));
+  (match of_exn Exit with
+  | Internal _ -> ()
+  | e -> Alcotest.failf "unknown exn -> %s" (to_string e));
+  (match guard (fun () -> 41 + 1) with
+  | Ok 42 -> ()
+  | _ -> Alcotest.fail "guard must pass values through");
+  (match guard (fun () -> failwith "nope") with
+  | Error (Invalid_input _) -> ()
+  | _ -> Alcotest.fail "guard must classify Failure");
+  check_bool "to_string prefixes the category" true
+    (to_string (Numerical "x") = "numerical: x")
+
+let suite =
+  ( "robust",
+    [
+      case "injection off: run_robust == run bitwise" test_no_faults_matches_run;
+      case "injection: pool parity at 1/2/4 domains"
+        test_robust_run_pool_parity;
+      case "retry recovers transients; abandonment recorded"
+        test_retry_recovers_transients;
+      case "fault accounting is self-consistent"
+        test_fault_accounting_consistent;
+      case "fault plan validation" test_fault_plan_validation;
+      case "screen: non-finite rows dropped" test_screen_drops_non_finite;
+      case "screen: MAD outlier dropped with its z-score"
+        test_screen_drops_outlier;
+      case "screen: zero-spread guard" test_screen_zero_spread_guard;
+      case "screen: validation" test_screen_validation;
+      case "refit: clean columns stay Direct" test_refit_direct_on_clean_cols;
+      case "refit: duplicate columns ride the ladder"
+        test_refit_ladder_on_duplicate_cols;
+      case "omp: on_singular Stop vs Fallback"
+        test_omp_on_singular_stop_vs_fallback;
+      case "lars: on_singular bans the dependent column"
+        test_lars_on_singular_bans_column;
+      case "checkpoint: string and file round-trip"
+        test_checkpoint_string_roundtrip;
+      case "omp: killed-then-resumed fit is bitwise identical"
+        test_omp_resume_bitwise;
+      case "star: killed-then-resumed fit is bitwise identical"
+        test_star_resume_bitwise;
+      case "resume: checkpoint validation" test_resume_validation;
+      case "model notes round-trip through serialization"
+        test_model_notes_roundtrip;
+      case "pipeline: config validation" test_pipeline_config_validation;
+      case "pipeline: end-to-end fit under 10% faults"
+        test_pipeline_end_to_end_with_faults;
+      case "pipeline: min_samples shortfall is a Simulation error"
+        test_pipeline_min_samples_failure;
+      case "errors: classification and guard" test_error_classification;
+    ] )
