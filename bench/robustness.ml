@@ -6,11 +6,14 @@
       transient crashes), OMP and LAR still complete through the
       [Robust.Pipeline] and land within 2x of the clean-run testing
       error on the same seed.
-   2. A checkpointed OMP (and STAR) fit killed mid-path and resumed from
-      the last checkpoint produces a bitwise-identical model
-      ([Rsm.Serialize.to_string] equality) to an uninterrupted run.
+   2. A checkpointed OMP, STAR or LAR fit killed mid-path and resumed
+      from the last checkpoint produces a bitwise-identical model
+      ([Rsm.Serialize.to_string] equality) to an uninterrupted run; a
+      4-fold LAR CV sweep killed after two folds resumes from its
+      per-fold checkpoint files to the same selection, bit for bit.
    3. Overheads are measured and printed (screening cost, injection +
-      retry cost) so PERFORMANCE.md numbers stay reproducible. *)
+      retry cost, LAR event-log checkpoint write and replay cost) so
+      PERFORMANCE.md numbers stay reproducible. *)
 
 open Bench_util
 module Simulator = Circuit.Simulator
@@ -85,6 +88,54 @@ let checkpoint_roundtrip_star src f ~lambda ~kill_at =
       let resumed = Rsm.Star.fit_p ?resume:(Some ckpt) src f ~lambda in
       Rsm.Serialize.to_string resumed = Rsm.Serialize.to_string full
 
+(* LAR walks an equiangular path, so its checkpoint is an event log
+   replayed against the provider rather than a support list. *)
+let checkpoint_roundtrip_lar src f ~lambda ~kill_at =
+  let full = Rsm.Lars.fit_p ~on_singular:`Fallback src f ~lambda in
+  let last = ref None in
+  let _interrupted : Rsm.Lars.step array =
+    Rsm.Lars.path_p ~on_singular:`Fallback ~checkpoint_every:5
+      ~on_checkpoint:(fun c -> last := Some c)
+      src f ~max_steps:kill_at
+  in
+  match !last with
+  | None -> false
+  | Some ckpt ->
+      let resumed =
+        Rsm.Lars.fit_p ~on_singular:`Fallback ?resume:(Some ckpt) src f ~lambda
+      in
+      Rsm.Serialize.to_string resumed = Rsm.Serialize.to_string full
+
+(* A 4-fold CV sweep killed after two folds: the surviving per-fold
+   checkpoint files must carry the resumed sweep to the same bits. *)
+let cv_resume_roundtrip src f ~max_lambda =
+  let run ?checkpoint ?resume () =
+    Rsm.Select.lars_p ?checkpoint ?resume ~on_singular:`Fallback
+      (Randkit.Prng.create default_seed)
+      ~max_lambda src f
+  in
+  let fingerprint (r : Rsm.Select.result) =
+    ( r.Rsm.Select.lambda,
+      Array.copy r.Rsm.Select.curve,
+      Rsm.Serialize.to_string r.Rsm.Select.model )
+  in
+  let full = fingerprint (run ()) in
+  let dir = Filename.temp_file "rsm-bench-cv" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fn -> Sys.remove (Filename.concat dir fn))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let base = Filename.concat dir "cv" in
+      ignore (run ~checkpoint:base ());
+      Sys.remove (Rsm.Serialize.Checkpoint.Cv.fold_file base 2);
+      Sys.remove (Rsm.Serialize.Checkpoint.Cv.fold_file base 3);
+      fingerprint (run ~checkpoint:base ~resume:true ()) = full)
+
 let run ~quick () =
   let samples = if quick then 200 else 500 in
   let test = if quick then 400 else 1000 in
@@ -147,6 +198,12 @@ let run ~quick () =
   check failures "STAR killed-at-10-then-resumed fit is bitwise identical"
     (checkpoint_roundtrip_star src f ~lambda ~kill_at:(min 10 lambda))
     "";
+  check failures "LAR killed-at-10-then-resumed fit is bitwise identical"
+    (checkpoint_roundtrip_lar src f ~lambda ~kill_at:(min 10 lambda))
+    "";
+  check failures "LAR 4-fold CV killed-after-2-folds resumes bitwise"
+    (cv_resume_roundtrip src f ~max_lambda:(min 8 lambda))
+    "";
 
   (* --- Claim 3: measured overheads. --- *)
   let reps = if quick then 10 else 20 in
@@ -176,6 +233,42 @@ let run ~quick () =
     (1e3 *. t_clean) (1e3 *. t_robust)
     (100. *. ((t_robust /. Float.max t_clean 1e-9) -. 1.))
     samples (1e3 *. t_screen) reps;
+  (* LARS event-log checkpointing: per-step capture + atomic file write
+     on the walk, and full-log replay against the provider on resume. *)
+  let ckpt_file = Filename.temp_file "rsm-bench-lar" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists ckpt_file then Sys.remove ckpt_file)
+    (fun () ->
+      let t_lar_plain =
+        timed_mean (fun () ->
+            ignore
+              (Rsm.Lars.path_p ~on_singular:`Fallback src f ~max_steps:lambda))
+      in
+      let t_lar_ckpt =
+        timed_mean (fun () ->
+            ignore
+              (Rsm.Lars.path_p ~on_singular:`Fallback ~checkpoint_every:1
+                 ~on_checkpoint:(Rsm.Serialize.Checkpoint.Lars.save ckpt_file)
+                 src f ~max_steps:lambda))
+      in
+      let terminal =
+        match Rsm.Serialize.Checkpoint.Lars.load ckpt_file with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      let t_lar_replay =
+        timed_mean (fun () ->
+            ignore
+              (Rsm.Lars.path_p ~on_singular:`Fallback ~resume:terminal src f
+                 ~max_steps:lambda))
+      in
+      Printf.printf
+        "  checkpoint: LAR %d-step path %.2f ms plain, %.2f ms with \
+         every-step file checkpoints (%+.0f%%), %.2f ms full-log replay on \
+         resume (means of %d runs)\n"
+        lambda (1e3 *. t_lar_plain) (1e3 *. t_lar_ckpt)
+        (100. *. ((t_lar_ckpt /. Float.max t_lar_plain 1e-9) -. 1.))
+        (1e3 *. t_lar_replay) reps);
 
   (match !failures with
   | [] ->

@@ -226,8 +226,12 @@ let save_model_arg =
            ~doc:"Write the fitted model to FILE (rsm-model text format).")
 
 let folds_arg =
-  Arg.(value & opt int 4 & info [ "folds" ] ~docv:"Q"
-         ~doc:"Cross-validation folds for the sparsity selection.")
+  Arg.(value & opt (some int) None & info [ "folds" ] ~docv:"Q"
+         ~doc:"Cross-validation folds for the sparsity selection (default 4). \
+               Combined with --checkpoint, an explicit --folds selects \
+               per-fold CV checkpointing: every finished fold writes \
+               FILE.fold<q> and a killed sweep resumes at the first \
+               unfinished fold.")
 
 let fault_rate_arg =
   Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"R"
@@ -250,9 +254,11 @@ let screen_threshold_arg =
 let checkpoint_arg =
   Arg.(value & opt (some string) None
        & info [ "checkpoint" ] ~docv:"FILE"
-           ~doc:"Checkpoint the solver state to FILE while fitting. Implies \
-                 a fixed-sparsity fit at --max-lambda (checkpointing \
-                 mid-cross-validation is not meaningful); omp and star only.")
+           ~doc:"Checkpoint the solver state to FILE while fitting (omp, \
+                 star, lar and lasso). Without --folds this is a \
+                 fixed-sparsity fit at --max-lambda with periodic state \
+                 saves; with an explicit --folds the cross-validated sweep \
+                 itself is checkpointed per fold (FILE.fold<q>).")
 
 let resume_arg =
   Arg.(value & flag & info [ "resume" ]
@@ -290,7 +296,8 @@ let model_cmd =
     check_at_least "samples" 1 samples;
     check_at_least "test" 1 test;
     check_at_least "max-lambda" 1 max_lambda;
-    check_at_least "folds" 2 folds;
+    let folds_n = Option.value folds ~default:4 in
+    check_at_least "folds" 2 folds_n;
     check_at_least "retries" 1 retries;
     check_at_least "checkpoint-every" 1 checkpoint_every;
     check_unit_interval "fault-rate" fault_rate;
@@ -328,11 +335,19 @@ let model_cmd =
                     (use omp/lar/star, the point of the paper)"
                    m_cols m_cols samples);
             match checkpoint with
-            | Some ckpt_file -> (
+            | Some ckpt_file when folds = None -> (
                 (* Fixed-λ checkpointed fit: simulate robustly, screen,
-                   then run the solver with periodic state saves. *)
-                if meth <> Rsm.Solver.Omp && meth <> Rsm.Solver.Star then
-                  err_exit "--checkpoint supports the omp and star methods only";
+                   then run the solver with periodic state saves. (An
+                   explicit --folds routes a checkpointed run through
+                   the per-fold CV branch below instead.) *)
+                (match meth with
+                | Rsm.Solver.Omp | Rsm.Solver.Star | Rsm.Solver.Lar
+                | Rsm.Solver.Lasso ->
+                    ()
+                | _ ->
+                    err_exit
+                      "--checkpoint supports the omp, star, lar and lasso \
+                       methods only");
                 let data, run_report =
                   Circuit.Simulator.run_robust ~pool ~faults ~retry w.sim rng
                     ~k:samples
@@ -340,28 +355,16 @@ let model_cmd =
                 let data, screen_report =
                   if no_screen then (data, None)
                   else
-                    let d, r =
+                    match
                       Robust.Screen.screen ~threshold:screen_threshold data
-                    in
-                    (d, Some r)
+                    with
+                    | Ok (d, r) -> (d, Some r)
+                    | Error e -> err_exit (Robust.Error.to_string e)
                 in
                 let src =
                   provider_of ~pool engine basis data.Circuit.Simulator.points
                 in
                 let f_tr = data.Circuit.Simulator.values in
-                let resume_state =
-                  if not resume then None
-                  else
-                    match Rsm.Serialize.Checkpoint.load ckpt_file with
-                    | Ok c -> Some c
-                    | Error e ->
-                        err_exit
-                          (Printf.sprintf "cannot load checkpoint %s: %s"
-                             ckpt_file e)
-                in
-                let on_checkpoint c =
-                  Rsm.Serialize.Checkpoint.save ckpt_file c
-                in
                 let lambda =
                   min max_lambda
                     (min (Polybasis.Design.Provider.rows src) m_cols)
@@ -369,12 +372,53 @@ let model_cmd =
                 let model, fit_s =
                   Circuit.Testbench.timed (fun () ->
                       match meth with
-                      | Rsm.Solver.Omp ->
-                          Rsm.Omp.fit_p ~pool ~on_singular:`Fallback
-                            ~checkpoint_every ~on_checkpoint
-                            ?resume:resume_state src f_tr ~lambda
+                      | Rsm.Solver.Omp | Rsm.Solver.Star -> (
+                          let resume_state =
+                            if not resume then None
+                            else
+                              match Rsm.Serialize.Checkpoint.load ckpt_file with
+                              | Ok c -> Some c
+                              | Error e ->
+                                  err_exit
+                                    (Printf.sprintf
+                                       "cannot load checkpoint %s: %s"
+                                       ckpt_file e)
+                          in
+                          let on_checkpoint c =
+                            Rsm.Serialize.Checkpoint.save ckpt_file c
+                          in
+                          match meth with
+                          | Rsm.Solver.Omp ->
+                              Rsm.Omp.fit_p ~pool ~on_singular:`Fallback
+                                ~checkpoint_every ~on_checkpoint
+                                ?resume:resume_state src f_tr ~lambda
+                          | _ ->
+                              Rsm.Star.fit_p ~pool ~checkpoint_every
+                                ~on_checkpoint ?resume:resume_state src f_tr
+                                ~lambda)
                       | _ ->
-                          Rsm.Star.fit_p ~pool ~checkpoint_every ~on_checkpoint
+                          (* lar / lasso: the event-log LARS checkpoint. *)
+                          let resume_state =
+                            if not resume then None
+                            else
+                              match
+                                Rsm.Serialize.Checkpoint.Lars.load ckpt_file
+                              with
+                              | Ok c -> Some c
+                              | Error e ->
+                                  err_exit
+                                    (Printf.sprintf
+                                       "cannot load checkpoint %s: %s"
+                                       ckpt_file e)
+                          in
+                          let mode =
+                            if meth = Rsm.Solver.Lasso then Rsm.Lars.Lasso
+                            else Rsm.Lars.Lar
+                          in
+                          Rsm.Lars.fit_p ~mode ~pool ~on_singular:`Fallback
+                            ~checkpoint_every
+                            ~on_checkpoint:(fun c ->
+                              Rsm.Serialize.Checkpoint.Lars.save ckpt_file c)
                             ?resume:resume_state src f_tr ~lambda)
                 in
                 let test_data =
@@ -402,16 +446,18 @@ let model_cmd =
                 print_model_notes model;
                 Printf.printf "  fitting cost  : %.2f s (measured)\n" fit_s;
                 save_model_maybe save_model model)
-            | None -> (
+            | _ -> (
+                (* Cross-validated fit; with --checkpoint and an explicit
+                   --folds the sweep writes per-fold checkpoint files. *)
                 let cfg =
                   match
-                    Robust.Pipeline.config ~method_:meth ~folds ~max_lambda
-                      ~samples ~screen:(not no_screen)
+                    Robust.Pipeline.config ~method_:meth ~folds:folds_n
+                      ~max_lambda ~samples ~screen:(not no_screen)
                       ~screen_threshold ~faults ~retry
                       ~min_samples:(min samples (max 8 (samples / 2)))
                       ~streamed:
                         (choose_streamed engine ~k:samples ~m:m_cols)
-                      ()
+                      ?checkpoint ~resume ()
                   with
                   | Ok cfg -> cfg
                   | Error e -> err_exit (Robust.Error.to_string e)
@@ -438,6 +484,12 @@ let model_cmd =
                     Printf.printf "  design engine : %s\n"
                       (if cfg.Robust.Pipeline.streamed then "matrix-free"
                        else "dense");
+                    (match checkpoint with
+                    | Some base ->
+                        Printf.printf
+                          "  checkpoint    : %s.fold<q> (per-fold CV%s)\n" base
+                          (if resume then ", resumed" else "")
+                    | None -> ());
                     print_run_reports o.Robust.Pipeline.run_report
                       o.Robust.Pipeline.screen_report;
                     Printf.printf

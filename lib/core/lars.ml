@@ -67,11 +67,186 @@ let current_model st =
   in
   List.fold_left Model.add_note model (List.rev st.notes)
 
-let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
-    ~max_steps =
+module Ckpt = Serialize.Checkpoint.Lars
+
+let mode_tag = function Lar -> "lar" | Lasso -> "lasso"
+
+(* Residual-correlation signs of the active set, oldest first — a
+   human-readable state fingerprint stored next to the mu/beta digests.
+   The per-column dot over cached columns is bitwise equal to the
+   corresponding entry of the live Gᵀ·r sweep. *)
+let residual_signs st f =
+  let res = Vec.sub f st.mu in
+  Array.map
+    (fun j ->
+      if Provider.Cache.col_dot st.cache j res /. st.norms.(j) >= 0. then 1.
+      else -1.)
+    (active_oldest_first st)
+
+let banned_columns st =
+  let acc = ref [] in
+  for j = st.m - 1 downto 0 do
+    if st.banned.(j) then acc := j :: !acc
+  done;
+  Array.of_list !acc
+
+(* Snapshot the walk for persistence: the event log (newest first here)
+   plus the derived terminal state used to validate a later replay. *)
+let capture st ~mode ~scale ~f events =
+  {
+    Ckpt.mode = mode_tag mode;
+    k = st.k;
+    m = st.m;
+    scale;
+    active = active_oldest_first st;
+    signs = residual_signs st f;
+    banned = banned_columns st;
+    events = Array.of_list (List.rev events);
+    notes = Array.of_list (List.rev st.notes);
+    mu_digest = Ckpt.digest st.mu;
+    beta_digest = Ckpt.digest st.beta;
+  }
+
+(* Replay the checkpointed event log against the design provider. The
+   recorded gammas replace the two O(K·M) sweeps of every live step, so
+   replay costs O(E·p·K) (active-column dots only) yet reproduces
+   mu/beta/active/chol — and every step record — bit-for-bit: each
+   arithmetic sequence below is the exact sequence the live loop runs.
+   The terminal digests/sets in the checkpoint then guard against
+   resuming with different data, mode or [on_singular] policy. *)
+let replay st (ck : Ckpt.t) ~mode ~on_singular f steps stop =
+  let fail msg = invalid_arg ("Lars.path: resume: " ^ msg) in
+  if ck.Ckpt.k <> st.k || ck.Ckpt.m <> st.m then
+    fail
+      (Printf.sprintf "checkpoint shape %dx%d disagrees with problem %dx%d"
+         ck.Ckpt.k ck.Ckpt.m st.k st.m);
+  if ck.Ckpt.mode <> mode_tag mode then
+    fail
+      (Printf.sprintf "checkpoint mode %s disagrees with requested mode %s"
+         ck.Ckpt.mode (mode_tag mode));
+  Array.iter
+    (fun (e : Ckpt.event) ->
+      if !stop then fail "events continue past a terminal state";
+      (* A live ban consumes its whole iteration as a zero-length step:
+         no add, no drop, no movement. Replay it the same way. *)
+      if e.banned >= 0 then begin
+        (match on_singular with
+        | `Stop ->
+            fail
+              "checkpoint recorded a banned column (was it written with \
+               ~on_singular:`Fallback?)"
+        | `Fallback -> ());
+        if st.banned.(e.banned) then fail "column banned twice";
+        if e.added >= 0 || e.dropped >= 0 || e.gamma <> 0. then
+          fail "ban event must be a zero-length step";
+        if st.active = [] then fail "ban event with an empty active set";
+        st.banned.(e.banned) <- true;
+        st.notes <-
+          Printf.sprintf "lars: banned dependent column %d" e.banned
+          :: st.notes;
+        let act = active_oldest_first st in
+        let res = Vec.sub f st.mu in
+        let cc =
+          Array.fold_left
+            (fun acc j ->
+              Float.max acc
+                (Float.abs
+                   (Provider.Cache.col_dot st.cache j res /. st.norms.(j))))
+            0. act
+        in
+        steps :=
+          { added = None; dropped = None; max_corr = cc;
+            model = current_model st }
+          :: !steps
+      end
+      else begin
+      if e.added >= 0 then begin
+        if st.in_active.(e.added) then fail "column added twice";
+        (match append_to_chol st e.added with
+        | () -> ()
+        | exception Cholesky.Not_positive_definite _ ->
+            fail "replayed entering column is linearly dependent");
+        st.active <- e.added :: st.active;
+        st.in_active.(e.added) <- true
+      end;
+      if st.active = [] then fail "step event with an empty active set";
+      let act = active_oldest_first st in
+      let res = Vec.sub f st.mu in
+      let c =
+        Array.map
+          (fun j -> Provider.Cache.col_dot st.cache j res /. st.norms.(j))
+          act
+      in
+      let s = Array.map (fun cj -> if cj >= 0. then 1. else -1.) c in
+      let z = Cholesky.Grow.solve st.chol s in
+      let sz = Vec.dot s z in
+      if sz <= 0. then fail "non-positive equiangular normalization";
+      let a_a = 1. /. sqrt sz in
+      let d = Array.map (fun zj -> a_a *. zj) z in
+      let u = Array.make st.k 0. in
+      Array.iteri
+        (fun p j ->
+          let w = d.(p) /. st.norms.(j) in
+          let colj = Provider.Cache.column st.cache j in
+          for r = 0 to st.k - 1 do
+            u.(r) <- u.(r) +. (w *. Array.unsafe_get colj r)
+          done)
+        act;
+      let cc =
+        Array.fold_left (fun acc cj -> Float.max acc (Float.abs cj)) 0. c
+      in
+      let gamma = e.Ckpt.gamma in
+      Array.iteri
+        (fun p j -> st.beta.(j) <- st.beta.(j) +. (gamma *. d.(p)))
+        act;
+      Vec.axpy gamma u st.mu;
+      let dropped =
+        if e.dropped >= 0 then begin
+          if mode <> Lasso then fail "drop event outside lasso mode";
+          if not st.in_active.(e.dropped) then
+            fail "replayed drop of an inactive column";
+          st.beta.(e.dropped) <- 0.;
+          st.active <- List.filter (fun j -> j <> e.dropped) st.active;
+          st.in_active.(e.dropped) <- false;
+          (match rebuild_chol st with
+          | () -> ()
+          | exception Cholesky.Not_positive_definite _ -> (
+              match on_singular with
+              | `Stop -> fail "non-SPD active set after replayed drop"
+              | `Fallback ->
+                  st.notes <-
+                    "lars: stopped on non-SPD active set after drop"
+                    :: st.notes;
+                  stop := true));
+          Some e.Ckpt.dropped
+        end
+        else None
+      in
+      let added = if e.added >= 0 then Some e.Ckpt.added else None in
+      steps :=
+        { added; dropped; max_corr = cc; model = current_model st } :: !steps
+      end)
+    ck.Ckpt.events;
+  if active_oldest_first st <> ck.Ckpt.active then
+    fail "replayed active set disagrees with the checkpoint";
+  if banned_columns st <> ck.Ckpt.banned then
+    fail "replayed banned set disagrees with the checkpoint";
+  if Array.of_list (List.rev st.notes) <> ck.Ckpt.notes then
+    fail "replayed notes disagree with the checkpoint";
+  if residual_signs st f <> ck.Ckpt.signs then
+    fail "replayed correlation signs disagree with the checkpoint";
+  if Ckpt.digest st.mu <> ck.Ckpt.mu_digest then
+    fail "fit-vector digest mismatch (different data or flags?)";
+  if Ckpt.digest st.beta <> ck.Ckpt.beta_digest then
+    fail "coefficient digest mismatch (different data or flags?)"
+
+let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
+    ?(checkpoint_every = 0) ?on_checkpoint ?resume src f ~max_steps =
   let k = Provider.rows src and m = Provider.cols src in
   if Array.length f <> k then invalid_arg "Lars.path: response length mismatch";
   if max_steps <= 0 then invalid_arg "Lars.path: max_steps must be positive";
+  if checkpoint_every < 0 then
+    invalid_arg "Lars.path: negative checkpoint interval";
   let norms = Provider.column_norms ?pool src in
   Array.iteri
     (fun j n -> if n <= 0. then norms.(j) <- 1. else norms.(j) <- n)
@@ -96,6 +271,30 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
   let stop = ref false in
   let initial_c = ref 0. in
   let nsteps = ref 0 in
+  (* Event log of the walk so far (newest first): one entry per pushed
+     step, feeding checkpoint capture. *)
+  let events = ref [] in
+  let nevents = ref 0 in
+  let last_ckpt = ref 0 in
+  let emit_checkpoint () =
+    match on_checkpoint with
+    | None -> ()
+    | Some cb ->
+        cb (capture st ~mode ~scale:!initial_c ~f !events);
+        last_ckpt := !nevents
+  in
+  (match resume with
+  | None -> ()
+  | Some ck ->
+      replay st ck ~mode ~on_singular f steps stop;
+      (* Every non-terminal live iteration pushes exactly one step, so
+         the iteration counter resumes at the event count. *)
+      let n = Array.length ck.Ckpt.events in
+      nsteps := n;
+      nevents := n;
+      last_ckpt := n;
+      events := List.rev (Array.to_list ck.Ckpt.events);
+      initial_c := ck.Ckpt.scale);
   let max_active = min k m in
   while (not !stop) && !nsteps < max_steps do
     incr nsteps;
@@ -109,7 +308,10 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
     let big_c = ref 0. and enter = ref (-1) and enter_c = ref 0. in
     for j = 0 to m - 1 do
       let a = Float.abs c.(j) in
-      if a > !big_c then big_c := a;
+      (* Banned columns are out of the walk: letting one set C would
+         hold the stop criterion hostage and fail the near-tie entry
+         test against a correlation nothing can ever act on. *)
+      if (not st.banned.(j)) && a > !big_c then big_c := a;
       if (not st.in_active.(j)) && (not st.banned.(j)) && a > !enter_c then begin
         enter := j;
         enter_c := a
@@ -120,6 +322,7 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
     else begin
       (* Add the entering variable (unless the active set is saturated
          or a lasso drop just occurred and no variable may enter). *)
+      let banned_now = ref (-1) in
       let added =
         if
           !enter >= 0
@@ -140,6 +343,7 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
                      scan so the path keeps moving instead of stalling on
                      it; record the event in the step models. *)
                   st.banned.(!enter) <- true;
+                  banned_now := !enter;
                   st.notes <-
                     Printf.sprintf "lars: banned dependent column %d" !enter
                     :: st.notes;
@@ -148,6 +352,33 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
         else None
       in
       if st.active = [] then stop := true
+      else if !banned_now >= 0 then begin
+        (* A ban consumes the iteration without moving. The column that
+           should enter instead is usually already at the correlation
+           tie, so its γ candidate is ~0 and the scan below would
+           reject it — the step would then run unbounded past the tie
+           and leave the active set non-equicorrelated for good
+           (observed as a 2-cycle that never reaches the LS point).
+           Record a zero-length step so the ban lands in the path and
+           the event log; the next iteration re-scans without the
+           column and hands the step to the true entrant. *)
+        let act = active_oldest_first st in
+        let cc =
+          Array.fold_left
+            (fun acc j -> Float.max acc (Float.abs c.(j)))
+            0. act
+        in
+        steps :=
+          { added = None; dropped = None; max_corr = cc;
+            model = current_model st }
+          :: !steps;
+        events :=
+          { Ckpt.added = -1; banned = !banned_now; dropped = -1; gamma = 0. }
+          :: !events;
+        incr nevents;
+        if checkpoint_every > 0 && !nevents mod checkpoint_every = 0 then
+          emit_checkpoint ()
+      end
       else begin
         let act = active_oldest_first st in
         let s = Array.map (fun j -> if c.(j) >= 0. then 1. else -1.) act in
@@ -182,7 +413,10 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
           let gu = Corr_sweep.gram_tr ?pool st.src u in
           let gamma = ref (cc /. a_a) in
           for j = 0 to m - 1 do
-            if not st.in_active.(j) then begin
+            (* Banned columns can never enter, so letting them bound the
+               step stalls the walk at their crossing point — skip them
+               like active ones. *)
+            if (not st.in_active.(j)) && not st.banned.(j) then begin
               let aj = gu.(j) /. st.norms.(j) in
               let cand1 = (cc -. c.(j)) /. (a_a -. aj) in
               let cand2 = (cc +. c.(j)) /. (a_a +. aj) in
@@ -234,7 +468,18 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
           in
           steps :=
             { added; dropped; max_corr = cc; model = current_model st }
-            :: !steps
+            :: !steps;
+          events :=
+            {
+              Ckpt.added = (match added with Some j -> j | None -> -1);
+              banned = !banned_now;
+              dropped = (match dropped with Some j -> j | None -> -1);
+              gamma = !gamma;
+            }
+            :: !events;
+          incr nevents;
+          if checkpoint_every > 0 && !nevents mod checkpoint_every = 0 then
+            emit_checkpoint ()
           (* When γ = C/A the full-LS endpoint of the active set was
              reached; the residual is then uncorrelated with every
              active column and the tol test stops the next iteration. *)
@@ -242,21 +487,48 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
       end
     end
   done;
+  (* Terminal checkpoint: whatever the cadence, a completed path leaves
+     a checkpoint of its full event log, so resuming from it replays the
+     whole walk rather than a stale prefix. *)
+  if !nevents > !last_ckpt then emit_checkpoint ();
   Array.of_list (List.rev !steps)
 
-let fit_p ?mode ?tol ?pool ?on_singular src f ~lambda =
+let fit_p ?mode ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint
+    ?resume src f ~lambda =
   if lambda <= 0 then invalid_arg "Lars.fit: lambda must be positive";
   (* Drops can make the path longer than the target support size. *)
-  let max_steps = (2 * lambda) + 8 in
-  let steps = path_p ?mode ?tol ?pool ?on_singular src f ~max_steps in
-  let best = ref None in
-  Array.iter
-    (fun s -> if Model.nnz s.model <= lambda then best := Some s.model)
-    steps;
-  match !best with
-  | Some m -> m
-  | None ->
-      Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
+  let base_steps = (2 * lambda) + 8 in
+  let rec run max_steps =
+    let steps =
+      path_p ?mode ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint
+        ?resume src f ~max_steps
+    in
+    let best = ref None in
+    Array.iter
+      (fun s -> if Model.nnz s.model <= lambda then best := Some s.model)
+      steps;
+    match !best with
+    | Some m -> m
+    | None ->
+        if Array.length steps >= max_steps && max_steps < 8 * base_steps then
+          (* The step budget truncated the path (drops/bans ate it all)
+             before any model fit inside the sparsity budget: extend the
+             walk rather than silently giving up. Replay from the resume
+             checkpoint (when any) is cheap, so re-running the path is
+             dominated by the new live steps. *)
+          run (2 * max_steps)
+        else
+          (* Genuinely no qualifying model even with headroom: say so on
+             the returned model instead of handing back a bare zero fit. *)
+          Model.add_note
+            (Model.make ~basis_size:(Provider.cols src) ~support:[||]
+               ~coeffs:[||])
+            (Printf.sprintf
+               "lars: path ended after %d steps with no model of at most %d \
+                bases"
+               (Array.length steps) lambda)
+  in
+  run base_steps
 
 let path ?mode ?tol ?pool ?on_singular g f ~max_steps =
   path_p ?mode ?tol ?pool ?on_singular (Provider.dense g) f ~max_steps

@@ -36,6 +36,9 @@ val path_p :
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
   ?on_singular:[ `Stop | `Fallback ] ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Serialize.Checkpoint.Lars.t -> unit) ->
+  ?resume:Serialize.Checkpoint.Lars.t ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_steps:int ->
@@ -50,10 +53,14 @@ val path_p :
     default, the historical behavior) a linearly dependent entering
     column is simply not added this step, and a non-SPD rebuild after a
     lasso drop raises. With [`Fallback] a dependent entering column is
-    {e}banned{i} — excluded from all later enter scans so the path keeps
-    moving — and a non-SPD rebuild ends the path at the last consistent
-    model; both events are recorded in the step models' {!Model.notes}.
-    Clean paths are bitwise unaffected by the choice.
+    {e}banned{i} — excluded from C, the enter scan and the γ scan from
+    then on — and the iteration is recorded as a {e}zero-length step{i}
+    (no coefficient movement), so the next iteration hands the step to
+    the true entrant; advancing past a ban instead would overshoot the
+    correlation tie and leave the active set non-equicorrelated. A
+    non-SPD rebuild after a lasso drop ends the path at the last
+    consistent model. Both events are recorded in the step models'
+    {!Model.notes}. Clean paths are bitwise unaffected by the choice.
 
     The two O(K·M) sweeps of every step — the correlations [Gᵀ·res] and
     the step-length inner products [Gᵀ·u] against the equiangular
@@ -61,20 +68,40 @@ val path_p :
     {!Parallel.Pool.default}); entering/leaving variables, step lengths
     and coefficients are bitwise identical to the sequential dense
     sweeps for every domain count and either provider form (each dot
-    product is accumulated whole). *)
+    product is accumulated whole).
+
+    Checkpointing: with [checkpoint_every = n > 0],
+    [on_checkpoint] receives a {!Serialize.Checkpoint.Lars.t} event-log
+    snapshot of the walk every [n] completed steps, and (whatever the
+    cadence, including [checkpoint_every = 0]) once more when the path
+    ends, so a finished run always leaves its full log. [resume] replays
+    a snapshot's event log against the provider before any live step:
+    recorded gammas replace the two O(K·M) sweeps, so replay costs
+    O(steps·active·K) and reproduces every step record — models, notes,
+    order — bit-for-bit at any domain count. Resuming with a different
+    dataset, [mode] or [on_singular] policy than the checkpoint was
+    written under raises [Invalid_argument] (terminal digests and
+    active/banned/sign sets are all validated). *)
 
 val fit_p :
   ?mode:mode ->
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
   ?on_singular:[ `Stop | `Fallback ] ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Serialize.Checkpoint.Lars.t -> unit) ->
+  ?resume:Serialize.Checkpoint.Lars.t ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->
   Model.t
 (** [fit_p src f ~lambda] is the last path model with at most [lambda]
     active coefficients — λ plays the same sparsity-budget role as in
-    Algorithm 1. *)
+    Algorithm 1. The step budget starts at [2·lambda + 8] and doubles
+    (up to 8×) while the budget truncates the path before any model fits
+    the sparsity bound; if even then no step qualifies, the returned
+    empty model carries a [Model.notes] entry saying so rather than
+    being silently zero. Checkpoint arguments behave as in {!path_p}. *)
 
 val path :
   ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t ->

@@ -98,9 +98,11 @@ let path_p ?(tol = 1e-12) ?pool ?(on_singular = `Stop) ?(checkpoint_every = 0)
     let new_res = Lstsq.residual_cols cols coeffs f in
     Array.blit new_res 0 res 0 k
   in
-  let emit_checkpoint () =
+  let last_ckpt = ref 0 in
+  let emit_now () =
     match on_checkpoint with
-    | Some cb when checkpoint_every > 0 && !p mod checkpoint_every = 0 ->
+    | None -> ()
+    | Some cb ->
         cb
           {
             Serialize.Checkpoint.solver = "omp";
@@ -108,8 +110,11 @@ let path_p ?(tol = 1e-12) ?pool ?(on_singular = `Stop) ?(checkpoint_every = 0)
             m;
             scale = !initial_corr;
             support = Array.sub support 0 !p;
-          }
-    | _ -> ()
+          };
+        last_ckpt := !p
+  in
+  let emit_checkpoint () =
+    if checkpoint_every > 0 && !p mod checkpoint_every = 0 then emit_now ()
   in
   (* Resume: replay the checkpointed selections without the O(K·M)
      correlation sweeps, then run one re-fit and residual refresh —
@@ -153,6 +158,7 @@ let path_p ?(tol = 1e-12) ?pool ?(on_singular = `Stop) ?(checkpoint_every = 0)
           ];
         if rn <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
       end);
+  last_ckpt := !p;
   while (not !stop) && !p < max_lambda do
     (* Step 3: inner products of the residual with every basis vector.
        The 1/K factor of eq. (18) is a monotone scaling; the argmax is
@@ -180,6 +186,10 @@ let path_p ?(tol = 1e-12) ?pool ?(on_singular = `Stop) ?(checkpoint_every = 0)
       if Vec.nrm2 res <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
     end
   done;
+  (* Terminal checkpoint: when lambda is not a multiple of the cadence
+     the mod test above skips the final selections, and a resume would
+     replay a stale prefix — always leave the completed support. *)
+  if !p > !last_ckpt then emit_now ();
   Array.of_list (List.rev !steps)
 
 let fit_p ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint ?resume src f

@@ -54,7 +54,10 @@ val path_p :
 
     With [checkpoint_every = n > 0] and an [on_checkpoint] callback, the
     selection state is handed out every [n] completed iterations (the
-    callback typically writes it with {!Serialize.Checkpoint.save}).
+    callback typically writes it with {!Serialize.Checkpoint.save}), and
+    once more when the path ends with selections past the last cadence
+    point — a completed path always leaves its full support, even when
+    the iteration count is not a multiple of [n].
     [resume] replays a previous checkpoint before the first sweep:
     selections are re-accepted and re-fit from the provider without the
     O(K·M) correlation scans, after which the path continues exactly

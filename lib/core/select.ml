@@ -4,36 +4,89 @@ type rule = Min_error | One_se
 
 type result = { model : Model.t; lambda : int; curve : float array }
 
-let generic_p ?(folds = 4) ?(rule = Min_error) ?pool rng ~max_lambda
-    ~path_models src f =
+(* File-backed fold cache over [Serialize.Checkpoint.Cv]: every finished
+   fold writes [<base>.fold<q>]; on resume, files whose shape and plan
+   digest match are loaded back and their folds skipped. A checkpoint
+   from a different seed, dataset size, fold count or lambda grid is a
+   hard error, never silently blended into the average. *)
+let fold_cache ~base ~resume ~folds ~n ~max_lambda ~plan_digest =
+  let module Cv = Serialize.Checkpoint.Cv in
+  let load q =
+    if not resume then None
+    else
+      let path = Cv.fold_file base q in
+      if not (Sys.file_exists path) then None
+      else
+        match Cv.load path with
+        | Error e ->
+            invalid_arg (Printf.sprintf "Select: fold checkpoint %s: %s" path e)
+        | Ok c ->
+            if c.Cv.fold <> q then
+              invalid_arg
+                (Printf.sprintf "Select: fold checkpoint %s is for fold %d"
+                   path c.Cv.fold);
+            if c.Cv.folds <> folds || c.Cv.n <> n || c.Cv.max_lambda <> max_lambda
+            then
+              invalid_arg
+                (Printf.sprintf
+                   "Select: fold checkpoint %s shape (%d folds, n=%d, \
+                    max_lambda=%d) disagrees with the sweep (%d folds, n=%d, \
+                    max_lambda=%d)"
+                   path c.Cv.folds c.Cv.n c.Cv.max_lambda folds n max_lambda);
+            if c.Cv.plan_digest <> plan_digest then
+              invalid_arg
+                (Printf.sprintf
+                   "Select: fold checkpoint %s was written for a different \
+                    fold plan (different seed or data?)"
+                   path);
+            Some c.Cv.curve
+  in
+  let store q curve =
+    Cv.save (Cv.fold_file base q)
+      { Cv.fold = q; folds; n; max_lambda; plan_digest; curve }
+  in
+  { Stat.Crossval.load; store }
+
+let generic_p ?(folds = 4) ?(rule = Min_error) ?pool ?checkpoint
+    ?(resume = false) rng ~max_lambda ~path_models src f =
   if max_lambda <= 0 then invalid_arg "Select: max_lambda must be positive";
   let n = Provider.rows src in
   let plan = Stat.Crossval.make_plan rng ~n ~folds in
   (* Per-fold streams are split from the master generator in fold order
-     before any fold runs, so a stochastic solver draws the same stream
-     in fold q whether the folds run sequentially or in parallel. *)
+     before any fold runs — also before any checkpointed fold is loaded
+     and skipped — so a stochastic solver draws the same stream in fold
+     q whether the folds run sequentially, in parallel, or resumed. *)
   let fold_rngs = Randkit.Prng.split_n rng folds in
   let refit_rng = Randkit.Prng.split rng in
   let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  let cache =
+    match checkpoint with
+    | None -> None
+    | Some base ->
+        let plan_digest =
+          Serialize.Checkpoint.Cv.plan_digest plan.Stat.Crossval.assignment
+        in
+        Some (fold_cache ~base ~resume ~folds ~n ~max_lambda ~plan_digest)
+  in
   (* Per-fold error curves: the mean gives the paper's epsilon(lambda),
      the spread gives the standard error the One_se rule needs. Folds
      are fitted in parallel (one chunk per fold); each writes only its
      own slot, and the averaging below runs in fold order, so the curve
      is bitwise independent of the domain count. *)
-  let fold_curves = Array.make folds [||] in
-  Parallel.Pool.parallel_for pool ~chunks:folds ~lo:0 ~hi:folds (fun q ->
-      let train, held_out = Stat.Crossval.fold_indices plan q in
-      let src_tr = Provider.select_rows src train in
-      let f_tr = Array.map (fun i -> f.(i)) train in
-      let src_ho = Provider.select_rows src held_out in
-      let f_ho = Array.map (fun i -> f.(i)) held_out in
-      let models = path_models ~rng:fold_rngs.(q) src_tr f_tr ~max_lambda in
-      if Array.length models = 0 then
-        invalid_arg "Select: solver produced an empty path";
-      fold_curves.(q) <-
+  let fold_curves =
+    Stat.Crossval.run_fold_curves ~pool ?cache plan
+      ~fit_curve:(fun q ~train ~held_out ->
+        let src_tr = Provider.select_rows src train in
+        let f_tr = Array.map (fun i -> f.(i)) train in
+        let src_ho = Provider.select_rows src held_out in
+        let f_ho = Array.map (fun i -> f.(i)) held_out in
+        let models = path_models ~rng:fold_rngs.(q) src_tr f_tr ~max_lambda in
+        if Array.length models = 0 then
+          invalid_arg "Select: solver produced an empty path";
         Array.init max_lambda (fun l ->
             let m = models.(min l (Array.length models - 1)) in
-            Model.error_on_p m src_ho f_ho));
+            Model.error_on_p m src_ho f_ho))
+  in
   let fq = float_of_int folds in
   let curve =
     Array.init max_lambda (fun l ->
@@ -75,7 +128,8 @@ let clamp_lambda ~max_lambda cap =
      rows; the caller's max_lambda is clamped accordingly. *)
   min max_lambda cap
 
-let omp_p ?folds ?rule ?pool ?on_singular rng ~max_lambda src f =
+let omp_p ?folds ?rule ?pool ?on_singular ?checkpoint ?resume rng ~max_lambda
+    src f =
   let cap_rows =
     (* smallest fold training size: n − ceil(n/Q) *)
     let n = Provider.rows src in
@@ -85,7 +139,7 @@ let omp_p ?folds ?rule ?pool ?on_singular rng ~max_lambda src f =
   let max_lambda =
     clamp_lambda ~max_lambda (min cap_rows (Provider.cols src))
   in
-  generic_p ?folds ?rule ?pool rng ~max_lambda
+  generic_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
       let max_lambda =
         min max_lambda (min (Provider.rows src) (Provider.cols src))
@@ -95,14 +149,15 @@ let omp_p ?folds ?rule ?pool ?on_singular rng ~max_lambda src f =
         (Omp.path_p ?pool ?on_singular src f ~max_lambda))
     src f
 
-let star_p ?folds ?rule ?pool rng ~max_lambda src f =
+let star_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda src f =
   let max_lambda = clamp_lambda ~max_lambda (Provider.cols src) in
-  generic_p ?folds ?rule ?pool rng ~max_lambda
+  generic_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
       Array.map (fun s -> s.Star.model) (Star.path_p ?pool src f ~max_lambda))
     src f
 
-let lars_p ?folds ?rule ?mode ?pool ?on_singular rng ~max_lambda src f =
+let lars_p ?folds ?rule ?mode ?pool ?on_singular ?checkpoint ?resume rng
+    ~max_lambda src f =
   let cap_rows =
     let n = Provider.rows src in
     let q = match folds with Some q -> q | None -> 4 in
@@ -111,7 +166,7 @@ let lars_p ?folds ?rule ?mode ?pool ?on_singular rng ~max_lambda src f =
   let max_lambda =
     clamp_lambda ~max_lambda (min cap_rows (Provider.cols src))
   in
-  generic_p ?folds ?rule ?pool rng ~max_lambda
+  generic_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
       let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
       let steps = Lars.path_p ?mode ?pool ?on_singular src f ~max_steps in

@@ -40,26 +40,31 @@ type result = {
 
 val omp_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
-  ?on_singular:[ `Stop | `Fallback ] -> Randkit.Prng.t ->
+  ?on_singular:[ `Stop | `Fallback ] ->
+  ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
   max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
 (** Default [folds = 4] (the paper's Fig. 2 setting) and
     [rule = Min_error]. [on_singular] is forwarded to {!Omp.path_p} for
-    every fold fit and the final refit. *)
+    every fold fit and the final refit. [checkpoint]/[resume] as in
+    {!generic_p}. *)
 
 val star_p :
-  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
+  ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
   max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
 
 val lars_p :
   ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> ?pool:Parallel.Pool.t ->
   ?on_singular:[ `Stop | `Fallback ] ->
+  ?checkpoint:string -> ?resume:bool ->
   Randkit.Prng.t -> max_lambda:int -> Polybasis.Design.Provider.t ->
   Linalg.Vec.t -> result
 (** [on_singular] is forwarded to {!Lars.path_p} for every fold fit and
-    the final refit. *)
+    the final refit. [checkpoint]/[resume] as in {!generic_p}. *)
 
 val generic_p :
-  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t -> Randkit.Prng.t ->
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
+  ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
   max_lambda:int ->
   path_models:
     (rng:Randkit.Prng.t -> Polybasis.Design.Provider.t -> Linalg.Vec.t ->
@@ -75,6 +80,18 @@ val generic_p :
     it receives is the fold's own deterministic stream (the final refit
     gets one more dedicated stream), so stochastic solvers stay
     reproducible under fold-parallel execution.
+
+    With [checkpoint = base], every finished fold writes a
+    {!Serialize.Checkpoint.Cv} file at [base.fold<q>] (atomic rename).
+    With [resume = true] (requires [checkpoint]), matching fold files
+    are loaded back and their fits skipped, so a killed sweep resumes at
+    the first unfinished fold; per-fold PRNG streams are split before
+    any fold runs either way, and loaded curves round-trip at full
+    precision, so the selected λ, curve and refit model are bitwise
+    identical to an uninterrupted run at every domain count. A fold file
+    whose shape or fold-plan digest disagrees with the sweep (different
+    seed, data size, fold count or λ grid) raises [Invalid_argument]
+    rather than polluting the average.
     @raise Invalid_argument if a fold produces an empty path. *)
 
 val omp :

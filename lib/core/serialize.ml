@@ -211,17 +211,17 @@ module Checkpoint = struct
         Error ("unrecognized checkpoint header: " ^ first)
     | _ -> Error "truncated checkpoint"
 
-  let save path c =
-    (* Write-then-rename: a crash mid-write never clobbers the previous
-       good checkpoint, which is the whole point of having one. *)
+  (* Write-then-rename: a crash mid-write never clobbers the previous
+     good checkpoint, which is the whole point of having one. *)
+  let atomic_write path s =
     let tmp = path ^ ".tmp" in
     let oc = open_out tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (to_string c));
+      (fun () -> output_string oc s);
     Sys.rename tmp path
 
-  let load path =
+  let read_file path of_string =
     match open_in path with
     | exception Sys_error e -> Error e
     | ic ->
@@ -230,4 +230,302 @@ module Checkpoint = struct
           (fun () ->
             let n = in_channel_length ic in
             of_string (really_input_string ic n))
+
+  let save path c = atomic_write path (to_string c)
+
+  let load path = read_file path of_string
+
+  (* FNV-1a over the raw bytes, the state-digest primitive of the LARS
+     and CV checkpoint records. *)
+  let fnv_offset = 0xcbf29ce484222325L
+  let fnv_prime = 0x100000001b3L
+
+  let fnv_fold_int64 h bits =
+    let h = ref h in
+    for b = 0 to 7 do
+      let byte =
+        Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * b)) 0xffL)
+      in
+      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+    done;
+    !h
+
+  let digest_floats v =
+    Array.fold_left
+      (fun h x -> fnv_fold_int64 h (Int64.bits_of_float x))
+      fnv_offset v
+
+  let digest_ints v =
+    Array.fold_left (fun h x -> fnv_fold_int64 h (Int64.of_int x)) fnv_offset v
+
+  (* Shared line-parsing helpers for the v2 records. *)
+  let field_of name conv line =
+    let fail () =
+      Error (Printf.sprintf "expected '%s <value>', got: %s" name line)
+    in
+    match String.index_opt line ' ' with
+    | Some i when String.sub line 0 i = name -> (
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        match conv (String.trim rest) with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "malformed %s field: %s" name line))
+    | None when line = name -> (
+        (* A list field with zero elements prints as the bare name. *)
+        match conv "" with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "malformed %s field: %s" name line))
+    | _ -> fail ()
+
+  let int_list_of_string s =
+    let toks = String.split_on_char ' ' s |> List.filter (fun t -> t <> "") in
+    let parsed = List.map int_of_string_opt toks in
+    if List.exists Option.is_none parsed then None
+    else Some (Array.of_list (List.map Option.get parsed))
+
+  let hex64_of_string s =
+    match Int64.of_string_opt ("0x" ^ s) with Some v -> Some v | None -> None
+
+  let rec take_fields acc n parse = function
+    | rest when n = 0 -> Ok (List.rev acc, rest)
+    | [] -> Error "truncated checkpoint: missing repeated fields"
+    | line :: rest -> (
+        match parse line with
+        | Ok v -> take_fields (v :: acc) (n - 1) parse rest
+        | Error e -> Error e)
+
+  module Lars = struct
+    type event = {
+      added : int;  (* entering column, or -1 *)
+      banned : int;  (* column banned as dependent this step, or -1 *)
+      dropped : int;  (* lasso drop, or -1 *)
+      gamma : float;  (* the step length actually taken *)
+    }
+
+    type t = {
+      mode : string;
+      k : int;
+      m : int;
+      scale : float;
+      active : int array;
+      signs : float array;
+      banned : int array;
+      events : event array;
+      notes : string array;
+      mu_digest : int64;
+      beta_digest : int64;
+    }
+
+    let digest = digest_floats
+
+    let to_string c =
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "rsm-ckpt 2\n";
+      Buffer.add_string buf "solver lars\n";
+      Buffer.add_string buf (Printf.sprintf "mode %s\n" c.mode);
+      Buffer.add_string buf (Printf.sprintf "k %d\n" c.k);
+      Buffer.add_string buf (Printf.sprintf "m %d\n" c.m);
+      Buffer.add_string buf (Printf.sprintf "scale %.17g\n" c.scale);
+      let ints name a =
+        Buffer.add_string buf name;
+        Array.iter (fun j -> Buffer.add_string buf (Printf.sprintf " %d" j)) a;
+        Buffer.add_char buf '\n'
+      in
+      ints "active" c.active;
+      ints "signs" (Array.map (fun s -> if s >= 0. then 1 else -1) c.signs);
+      ints "banned" c.banned;
+      Buffer.add_string buf (Printf.sprintf "nsteps %d\n" (Array.length c.events));
+      Array.iter
+        (fun e ->
+          Buffer.add_string buf
+            (Printf.sprintf "event %d %d %d %.17g\n" e.added e.banned e.dropped
+               e.gamma))
+        c.events;
+      Buffer.add_string buf (Printf.sprintf "nnotes %d\n" (Array.length c.notes));
+      Array.iter
+        (fun note ->
+          let flat =
+            String.map (function '\n' | '\r' -> ' ' | ch -> ch) note
+          in
+          Buffer.add_string buf (Printf.sprintf "note %s\n" flat))
+        c.notes;
+      Buffer.add_string buf (Printf.sprintf "mu_digest %Lx\n" c.mu_digest);
+      Buffer.add_string buf (Printf.sprintf "beta_digest %Lx\n" c.beta_digest);
+      Buffer.contents buf
+
+    let of_string s =
+      let lines =
+        String.split_on_char '\n' s
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "")
+      in
+      let ( let* ) = Result.bind in
+      match lines with
+      | header :: solver_l :: mode_l :: k_l :: m_l :: scale_l :: active_l
+        :: signs_l :: banned_l :: nsteps_l :: rest
+        when header = "rsm-ckpt 2" ->
+          let* solver = field_of "solver" Option.some solver_l in
+          if solver <> "lars" then
+            Error ("checkpoint is for solver " ^ solver ^ ", expected lars")
+          else
+            let* mode = field_of "mode" Option.some mode_l in
+            let* k = field_of "k" int_of_string_opt k_l in
+            let* m = field_of "m" int_of_string_opt m_l in
+            let* scale = field_of "scale" float_of_string_opt scale_l in
+            let* active = field_of "active" int_list_of_string active_l in
+            let* sign_ints = field_of "signs" int_list_of_string signs_l in
+            let* banned = field_of "banned" int_list_of_string banned_l in
+            let* nsteps = field_of "nsteps" int_of_string_opt nsteps_l in
+            let parse_event line =
+              match
+                String.split_on_char ' ' line
+                |> List.filter (fun t -> t <> "")
+              with
+              | [ "event"; a; b; d; g ] -> (
+                  match
+                    ( int_of_string_opt a,
+                      int_of_string_opt b,
+                      int_of_string_opt d,
+                      float_of_string_opt g )
+                  with
+                  | Some added, Some banned, Some dropped, Some gamma ->
+                      Ok { added; banned; dropped; gamma }
+                  | _ -> Error ("malformed event line: " ^ line))
+              | _ -> Error ("malformed event line: " ^ line)
+            in
+            let* events, rest = take_fields [] nsteps parse_event rest in
+            let* nnotes, rest =
+              match rest with
+              | l :: rest ->
+                  let* n = field_of "nnotes" int_of_string_opt l in
+                  if n < 0 then Error "negative note count" else Ok (n, rest)
+              | [] -> Error "truncated checkpoint: missing nnotes"
+            in
+            let* notes, rest =
+              take_fields [] nnotes (field_of "note" Option.some) rest
+            in
+            let* mu_digest, beta_digest =
+              match rest with
+              | [ mu_l; beta_l ] ->
+                  let* mu = field_of "mu_digest" hex64_of_string mu_l in
+                  let* beta = field_of "beta_digest" hex64_of_string beta_l in
+                  Ok (mu, beta)
+              | _ -> Error "truncated checkpoint: missing state digests"
+            in
+            if k <= 0 || m <= 0 then Error "non-positive problem shape"
+            else if mode <> "lar" && mode <> "lasso" then
+              Error ("unknown lars mode: " ^ mode)
+            else if not (Float.is_finite scale) then Error "non-finite scale"
+            else if Array.length sign_ints <> Array.length active then
+              Error "signs do not align with the active set"
+            else if
+              Array.exists (fun j -> j < 0 || j >= m) active
+              || Array.exists (fun j -> j < 0 || j >= m) banned
+            then Error "column index out of range"
+            else if Array.exists (fun v -> v <> 1 && v <> -1) sign_ints then
+              Error "signs must be +/-1"
+            else if
+              List.exists
+                (fun e ->
+                  e.added < -1 || e.added >= m || e.banned < -1 || e.banned >= m
+                  || e.dropped < -1 || e.dropped >= m
+                  || not (Float.is_finite e.gamma))
+                events
+            then Error "event out of range or non-finite gamma"
+            else
+              Ok
+                {
+                  mode;
+                  k;
+                  m;
+                  scale;
+                  active;
+                  signs = Array.map float_of_int sign_ints;
+                  banned;
+                  events = Array.of_list events;
+                  notes = Array.of_list notes;
+                  mu_digest;
+                  beta_digest;
+                }
+      | first :: _ when first <> "rsm-ckpt 2" ->
+          Error ("unrecognized checkpoint header: " ^ first)
+      | _ -> Error "truncated checkpoint"
+
+    let save path c = atomic_write path (to_string c)
+
+    let load path = read_file path of_string
+  end
+
+  module Cv = struct
+    type t = {
+      fold : int;
+      folds : int;
+      n : int;
+      max_lambda : int;
+      plan_digest : int64;
+      curve : float array;
+    }
+
+    let plan_digest = digest_ints
+
+    let fold_file base q = Printf.sprintf "%s.fold%d" base q
+
+    let to_string c =
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf "rsm-cv-ckpt 1\n";
+      Buffer.add_string buf (Printf.sprintf "fold %d\n" c.fold);
+      Buffer.add_string buf (Printf.sprintf "folds %d\n" c.folds);
+      Buffer.add_string buf (Printf.sprintf "n %d\n" c.n);
+      Buffer.add_string buf (Printf.sprintf "max_lambda %d\n" c.max_lambda);
+      Buffer.add_string buf (Printf.sprintf "plan_digest %Lx\n" c.plan_digest);
+      Buffer.add_string buf "curve";
+      Array.iter
+        (fun e -> Buffer.add_string buf (Printf.sprintf " %.17g" e))
+        c.curve;
+      Buffer.add_char buf '\n';
+      Buffer.contents buf
+
+    let of_string s =
+      let lines =
+        String.split_on_char '\n' s
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "")
+      in
+      let ( let* ) = Result.bind in
+      match lines with
+      | [ header; fold_l; folds_l; n_l; ml_l; digest_l; curve_l ]
+        when header = "rsm-cv-ckpt 1" ->
+          let* fold = field_of "fold" int_of_string_opt fold_l in
+          let* folds = field_of "folds" int_of_string_opt folds_l in
+          let* n = field_of "n" int_of_string_opt n_l in
+          let* max_lambda = field_of "max_lambda" int_of_string_opt ml_l in
+          let* plan_digest = field_of "plan_digest" hex64_of_string digest_l in
+          let* curve =
+            field_of "curve"
+              (fun rest ->
+                let toks =
+                  String.split_on_char ' ' rest
+                  |> List.filter (fun t -> t <> "")
+                in
+                let parsed = List.map float_of_string_opt toks in
+                if List.exists Option.is_none parsed then None
+                else Some (Array.of_list (List.map Option.get parsed)))
+              curve_l
+          in
+          if folds < 2 then Error "fewer than 2 folds"
+          else if fold < 0 || fold >= folds then Error "fold index out of range"
+          else if n <= 0 then Error "non-positive sample count"
+          else if max_lambda <= 0 then Error "non-positive max_lambda"
+          else if Array.length curve <> max_lambda then
+            Error
+              (Printf.sprintf "curve has %d entries, expected %d"
+                 (Array.length curve) max_lambda)
+          else Ok { fold; folds; n; max_lambda; plan_digest; curve }
+      | first :: _ when first <> "rsm-cv-ckpt 1" ->
+          Error ("unrecognized fold-checkpoint header: " ^ first)
+      | _ -> Error "truncated fold checkpoint"
+
+    let save path c = atomic_write path (to_string c)
+
+    let load path = read_file path of_string
+  end
 end

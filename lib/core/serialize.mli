@@ -69,6 +69,122 @@ module Checkpoint : sig
       @raise Sys_error on IO failure. *)
 
   val load : string -> (t, string) result
+
+  (** Versioned checkpoint of the LARS equiangular walk.
+
+      Unlike OMP/STAR, the LARS path state is not just a support: the
+      walk's history (entering order, signs, per-step gamma, lasso
+      drops, banned dependent columns) determines every later step. The
+      record is an event log — one line per path step — replayed
+      bit-for-bit against the design provider on resume, at O(K·p²)
+      replay cost (no O(K·M) correlation sweeps). FNV-1a digests of the
+      [mu]/[beta] vectors guard against resuming with a different
+      dataset, mode or [on_singular] policy than the one that wrote the
+      checkpoint.
+
+      Format (version 2):
+      {v
+      rsm-ckpt 2
+      solver lars
+      mode <lar|lasso>
+      k <K>
+      m <M>
+      scale <initial correlation, %.17g>
+      active <j_0> ... <j_{a-1}>     (insertion order)
+      signs <s_0> ... <s_{a-1}>      (+1/-1, aligned with active)
+      banned <j> ...                 (possibly empty)
+      nsteps <E>
+      event <added> <banned> <dropped> <gamma>   (E lines, -1 = none)
+      nnotes <N>
+      note <text>                    (N lines)
+      mu_digest <hex64>
+      beta_digest <hex64>
+      v} *)
+  module Lars : sig
+    type event = {
+      added : int;  (** entering column this step, or -1 *)
+      banned : int;  (** column banned as dependent this step, or -1 *)
+      dropped : int;  (** lasso zero-crossing drop this step, or -1 *)
+      gamma : float;  (** step length taken along the equiangular direction *)
+    }
+
+    type t = {
+      mode : string;  (** "lar" or "lasso" *)
+      k : int;
+      m : int;
+      scale : float;  (** initial correlation (stopping-test reference) *)
+      active : int array;  (** active set in insertion order *)
+      signs : float array;  (** correlation signs, aligned with [active] *)
+      banned : int array;  (** columns excluded as linearly dependent *)
+      events : event array;  (** one entry per completed path step *)
+      notes : string array;  (** degradation notes accumulated so far *)
+      mu_digest : int64;  (** FNV-1a digest of the fit vector's float bits *)
+      beta_digest : int64;  (** FNV-1a digest of the coefficient vector *)
+    }
+
+    val digest : float array -> int64
+    (** FNV-1a 64-bit over the IEEE-754 bit patterns, in index order.
+        Bitwise-sensitive: any ULP difference changes the digest. *)
+
+    val to_string : t -> string
+
+    val of_string : string -> (t, string) result
+
+    val save : string -> t -> unit
+    (** Atomic write, like {!Checkpoint.save}.
+        @raise Sys_error on IO failure. *)
+
+    val load : string -> (t, string) result
+  end
+
+  (** Per-fold checkpoints for cross-validation sweeps.
+
+      A killed CV run resumes at the first unfinished fold: each
+      completed fold writes [<base>.fold<q>] holding its full error
+      curve at %.17g (exact double round-trip), so averaging loaded and
+      refitted curves in fold order is bitwise identical to the
+      uninterrupted sweep. [plan_digest] fingerprints the shuffled
+      fold-assignment plan, so a checkpoint from a different seed,
+      dataset size or fold count is rejected rather than silently
+      blended in.
+
+      Format (version 1):
+      {v
+      rsm-cv-ckpt 1
+      fold <q>
+      folds <Q>
+      n <samples>
+      max_lambda <L>
+      plan_digest <hex64>
+      curve <e_1> ... <e_L>          (%.17g)
+      v} *)
+  module Cv : sig
+    type t = {
+      fold : int;  (** fold index in [0, folds) *)
+      folds : int;
+      n : int;  (** dataset size the plan was built for *)
+      max_lambda : int;
+      plan_digest : int64;  (** FNV-1a digest of the fold-assignment plan *)
+      curve : float array;  (** held-out error per lambda, length max_lambda *)
+    }
+
+    val plan_digest : int array -> int64
+    (** FNV-1a 64-bit over the per-sample fold assignments. *)
+
+    val fold_file : string -> int -> string
+    (** [fold_file base q] is the checkpoint path for fold [q]:
+        ["<base>.fold<q>"]. *)
+
+    val to_string : t -> string
+
+    val of_string : string -> (t, string) result
+
+    val save : string -> t -> unit
+    (** Atomic write, like {!Checkpoint.save}.
+        @raise Sys_error on IO failure. *)
+
+    val load : string -> (t, string) result
+  end
 end
 
 val to_expression : Model.t -> Polybasis.Basis.t -> string

@@ -97,24 +97,31 @@ let fit_cv ?folds ?max_lambda rng g f m =
       let s = grid.(Stat.Crossval.argmin curve) in
       Cosamp.fit g f ~s
 
-let fit_cv_p ?folds ?max_lambda ?on_singular rng src f m =
+let fit_cv_p ?folds ?max_lambda ?on_singular ?cv_checkpoint ?cv_resume rng src
+    f m =
   let max_lambda =
     match max_lambda with
     | Some l -> l
     | None ->
         max 1 (min (min (Provider.rows src / 2) (Provider.cols src)) 200)
   in
+  let checkpoint = cv_checkpoint and resume = cv_resume in
   match m with
-  | Star -> (Select.star_p ?folds rng ~max_lambda src f).Select.model
+  | Star ->
+      (Select.star_p ?folds ?checkpoint ?resume rng ~max_lambda src f)
+        .Select.model
   | Lar ->
-      (Select.lars_p ?folds ~mode:Lars.Lar ?on_singular rng ~max_lambda src f)
+      (Select.lars_p ?folds ~mode:Lars.Lar ?on_singular ?checkpoint ?resume rng
+         ~max_lambda src f)
         .Select.model
   | Lasso ->
-      (Select.lars_p ?folds ~mode:Lars.Lasso ?on_singular rng ~max_lambda src
-         f)
+      (Select.lars_p ?folds ~mode:Lars.Lasso ?on_singular ?checkpoint ?resume
+         rng ~max_lambda src f)
         .Select.model
   | Omp ->
-      (Select.omp_p ?folds ?on_singular rng ~max_lambda src f).Select.model
+      (Select.omp_p ?folds ?on_singular ?checkpoint ?resume rng ~max_lambda src
+         f)
+        .Select.model
   | Ls | Stomp | Cosamp ->
       (* These paths need the materialized matrix (full LS / batch
          thresholding); free for a dense provider. *)

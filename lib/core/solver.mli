@@ -40,7 +40,7 @@ val fit_cv :
 
 val fit_cv_p :
   ?folds:int -> ?max_lambda:int -> ?on_singular:[ `Stop | `Fallback ] ->
-  Randkit.Prng.t ->
+  ?cv_checkpoint:string -> ?cv_resume:bool -> Randkit.Prng.t ->
   Polybasis.Design.Provider.t -> Linalg.Vec.t -> method_ -> Model.t
 (** {!fit_cv} over a design provider. The greedy path methods (STAR,
     LAR, LASSO, OMP) run fully matrix-free on a streamed provider,
@@ -51,4 +51,9 @@ val fit_cv_p :
     LAR/LASSO fits (see {!Omp.path_p} and {!Lars.path_p}); [`Fallback]
     routes singular active-set re-fits through the {!Refit} ladder
     instead of stopping, recording the rung in {!Model.notes}. Ignored
-    by the other methods. *)
+    by the other methods.
+
+    [cv_checkpoint]/[cv_resume] enable per-fold CV checkpointing for the
+    path methods (STAR, LAR, LASSO, OMP) — see {!Select.generic_p}.
+    Ignored by [Ls]/[Stomp]/[Cosamp], which have no λ sweep to
+    checkpoint. *)

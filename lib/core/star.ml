@@ -46,9 +46,11 @@ let path_p ?(tol = 1e-12) ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
       ~support:(Array.of_list !support)
       ~coeffs:(Array.of_list !coeffs)
   in
-  let emit_checkpoint () =
+  let last_ckpt = ref 0 in
+  let emit_now () =
     match on_checkpoint with
-    | Some cb when checkpoint_every > 0 && !p mod checkpoint_every = 0 ->
+    | None -> ()
+    | Some cb ->
         (* Selection order, newest last — the replay order. *)
         cb
           {
@@ -57,8 +59,11 @@ let path_p ?(tol = 1e-12) ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
             m;
             scale = !initial_corr;
             support = Array.of_list (List.rev !support);
-          }
-    | _ -> ()
+          };
+        last_ckpt := !p
+  in
+  let emit_checkpoint () =
+    if checkpoint_every > 0 && !p mod checkpoint_every = 0 then emit_now ()
   in
   (match resume with
   | None -> ()
@@ -96,6 +101,7 @@ let path_p ?(tol = 1e-12) ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
           ];
         if rn <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
       end);
+  last_ckpt := !p;
   while (not !stop) && !p < max_lambda do
     (* Column-parallel eq. (18) sweep, bitwise equal to the sequential
        scan for every domain count. *)
@@ -121,6 +127,10 @@ let path_p ?(tol = 1e-12) ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
       if Vec.nrm2 res <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
     end
   done;
+  (* Terminal checkpoint: when lambda is not a multiple of the cadence
+     the mod test above skips the final selections, and a resume would
+     replay a stale prefix — always leave the completed support. *)
+  if !p > !last_ckpt then emit_now ();
   Array.of_list (List.rev !steps)
 
 let fit_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume src f ~lambda =

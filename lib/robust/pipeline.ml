@@ -11,6 +11,8 @@ type config = {
   retry : Circuit.Simulator.retry_policy;
   min_samples : int;
   streamed : bool;
+  checkpoint : string option;
+  resume : bool;
 }
 
 let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
@@ -18,7 +20,7 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
     ?(screen_threshold = Screen.default_threshold)
     ?(faults = Circuit.Simulator.no_faults)
     ?(retry = Circuit.Simulator.retry_policy ()) ?(min_samples = 30)
-    ?(streamed = false) () =
+    ?(streamed = false) ?checkpoint ?(resume = false) () =
   let fail fmt = Printf.ksprintf (fun m -> Error (Error.Invalid_input m)) fmt in
   if folds < 2 then fail "folds must be at least 2, got %d" folds
   else if max_lambda < 1 then fail "max_lambda must be positive, got %d" max_lambda
@@ -30,6 +32,18 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
   else if min_samples > samples then
     fail "min_samples (%d) exceeds the requested sample count (%d)" min_samples
       samples
+  else if resume && checkpoint = None then
+    fail "resume requires a checkpoint path"
+  else if
+    checkpoint <> None
+    && not
+         (match method_ with
+         | Rsm.Solver.Star | Rsm.Solver.Lar | Rsm.Solver.Lasso | Rsm.Solver.Omp
+           ->
+             true
+         | _ -> false)
+  then
+    fail "checkpointing supports the star, lar, lasso and omp methods only"
   else
     Ok
       {
@@ -43,6 +57,8 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
         retry;
         min_samples;
         streamed;
+        checkpoint;
+        resume;
       }
 
 type outcome = {
@@ -64,8 +80,12 @@ let fit ?pool cfg sim basis rng =
     if not cfg.screen then Ok (data, None)
     else
       let* d, r =
-        Error.guard (fun () ->
-            Screen.screen ~threshold:cfg.screen_threshold data)
+        match
+          Error.guard (fun () ->
+              Screen.screen ~threshold:cfg.screen_threshold data)
+        with
+        | Ok inner -> inner  (* the screen's own typed verdict *)
+        | Error e -> Error e  (* the guard caught a raise *)
       in
       Ok (d, Some r)
   in
@@ -87,7 +107,8 @@ let fit ?pool cfg sim basis rng =
             else Provider.dense (Polybasis.Design.matrix_rows ?pool basis pts)
           in
           Rsm.Solver.fit_cv_p ~folds:cfg.folds ~max_lambda:cfg.max_lambda
-            ~on_singular:`Fallback rng src data.Circuit.Simulator.values
+            ~on_singular:`Fallback ?cv_checkpoint:cfg.checkpoint
+            ~cv_resume:cfg.resume rng src data.Circuit.Simulator.values
             cfg.method_)
     in
     Ok { model; dataset = data; run_report; screen_report }

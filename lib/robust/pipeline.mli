@@ -22,6 +22,9 @@ type config = {
   retry : Circuit.Simulator.retry_policy;
   min_samples : int;  (** fewest surviving rows acceptable for a fit *)
   streamed : bool;  (** matrix-free design instead of materialized *)
+  checkpoint : string option;
+      (** base path for per-fold CV checkpoints ({!Rsm.Select}) *)
+  resume : bool;  (** load matching fold checkpoints before fitting *)
 }
 
 val config :
@@ -35,14 +38,18 @@ val config :
   ?retry:Circuit.Simulator.retry_policy ->
   ?min_samples:int ->
   ?streamed:bool ->
+  ?checkpoint:string ->
+  ?resume:bool ->
   unit ->
   (config, Error.t) result
 (** Validated constructor. Defaults: OMP, 4 folds, [max_lambda = 100],
     1000 samples, screening on at {!Screen.default_threshold}, no
     injected faults, the default retry policy
     ({!Circuit.Simulator.retry_policy}), [min_samples = 30], dense
-    design. Returns [Error (Invalid_input _)] on non-positive counts or
-    thresholds, or [min_samples > samples]. *)
+    design, no checkpointing. Returns [Error (Invalid_input _)] on
+    non-positive counts or thresholds, [min_samples > samples], [resume]
+    without [checkpoint], or [checkpoint] with a method that has no λ
+    sweep (LS/StOMP/CoSaMP). *)
 
 type outcome = {
   model : Rsm.Model.t;

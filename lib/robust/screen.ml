@@ -43,13 +43,20 @@ let screen ?(threshold = default_threshold) (d : Circuit.Simulator.dataset) =
     Array.of_list
       (List.filteri (fun i _ -> finite_row.(i)) (Array.to_list d.values))
   in
+  if Array.length finite_values = 0 then
+    (* No finite row: there is no bulk to center on, and a NaN center
+       would silently poison every downstream inner product. *)
+    Error
+      (Error.Simulation
+         (Printf.sprintf
+            "screening dropped all %d rows as non-finite; the simulation \
+             produced no usable sample"
+            n))
+  else begin
   let center, spread =
-    if Array.length finite_values = 0 then (Float.nan, 0.)
-    else begin
-      let med = Stat.Descriptive.median finite_values in
-      let dev = Array.map (fun v -> Float.abs (v -. med)) finite_values in
-      (med, mad_consistency *. Stat.Descriptive.median dev)
-    end
+    let med = Stat.Descriptive.median finite_values in
+    let dev = Array.map (fun v -> Float.abs (v -. med)) finite_values in
+    (med, mad_consistency *. Stat.Descriptive.median dev)
   in
   let kept = ref [] in
   for i = n - 1 downto 0 do
@@ -70,7 +77,8 @@ let screen ?(threshold = default_threshold) (d : Circuit.Simulator.dataset) =
     a
   in
   let report = { total = n; kept; dropped; center; spread; threshold } in
-  (Circuit.Simulator.split d kept, report)
+  Ok (Circuit.Simulator.split d kept, report)
+  end
 
 let report_summary r =
   let count p = Array.fold_left (fun acc (_, why) -> if p why then acc + 1 else acc) 0 r.dropped in
@@ -78,8 +86,11 @@ let report_summary r =
     count (function Non_finite_point | Non_finite_value -> true | _ -> false)
   in
   let out = count (function Outlier _ -> true | _ -> false) in
+  (* Belt and braces: a report should never carry a non-finite center or
+     spread anymore, but "n/a" beats printing "nan" at an operator. *)
+  let num v = if Float.is_finite v then Printf.sprintf "%.6g" v else "n/a" in
   Printf.sprintf
     "screen: kept %d/%d rows (dropped %d: %d non-finite, %d outliers) \
-     center %.6g spread %.6g threshold %.1f"
-    (Array.length r.kept) r.total (Array.length r.dropped) nf out r.center
-    r.spread r.threshold
+     center %s spread %s threshold %.1f"
+    (Array.length r.kept) r.total (Array.length r.dropped) nf out
+    (num r.center) (num r.spread) r.threshold

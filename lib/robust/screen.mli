@@ -39,7 +39,7 @@ val default_threshold : float
 val screen :
   ?threshold:float ->
   Circuit.Simulator.dataset ->
-  Circuit.Simulator.dataset * report
+  (Circuit.Simulator.dataset * report, Error.t) result
 (** [screen d] returns the surviving sub-dataset (points shared, not
     copied — {!Circuit.Simulator.split}) and the hygiene report.
 
@@ -47,8 +47,13 @@ val screen :
     identical) no finite row can be z-scored, so the outlier screen is
     skipped and only non-finite rows are dropped — reported with
     [spread = 0].
+
+    When {e every} row is non-finite there is no bulk to center on;
+    rather than handing back an empty kept set with a NaN center that
+    poisons the downstream fit, the call returns
+    [Error (Simulation _)] (exit-2 one-liner in the CLI).
     @raise Invalid_argument when [threshold <= 0] or the dataset is
-    empty. *)
+    empty — caller bugs, not data conditions. *)
 
 val reason_to_string : reason -> string
 

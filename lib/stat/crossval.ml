@@ -39,9 +39,35 @@ let run ?pool plan ~fit ~error =
   done;
   !total /. float_of_int plan.folds
 
+type fold_cache = {
+  load : int -> float array option;
+  store : int -> float array -> unit;
+}
+
+let run_fold_curves ?pool ?cache plan ~fit_curve =
+  (* Cached folds are looked up sequentially before the (possibly
+     parallel) fold bodies run, so cache IO never races and a resume
+     leaves the fold-order PRNG discipline of the caller untouched —
+     streams are split before any fold runs either way. *)
+  let cached = Array.make plan.folds None in
+  (match cache with
+  | None -> ()
+  | Some c ->
+      for q = 0 to plan.folds - 1 do
+        cached.(q) <- c.load q
+      done);
+  fold_results pool plan (fun q ~train ~held_out ->
+      match cached.(q) with
+      | Some curve -> curve
+      | None ->
+          let curve = fit_curve q ~train ~held_out in
+          (match cache with None -> () | Some c -> c.store q curve);
+          curve)
+
 let run_curves ?pool plan ~fit_curve =
   let curves =
-    fold_results pool plan (fun _ ~train ~held_out -> fit_curve ~train ~held_out)
+    run_fold_curves ?pool plan ~fit_curve:(fun _ ~train ~held_out ->
+        fit_curve ~train ~held_out)
   in
   let acc = ref [||] in
   for q = 0 to plan.folds - 1 do

@@ -31,6 +31,35 @@ val run :
     domain count. Without [?pool] the folds run sequentially, exactly as
     before — side-effecting closures remain safe. *)
 
+type fold_cache = {
+  load : int -> float array option;
+      (** [load q] returns fold [q]'s previously computed curve, or
+          [None] to fit it. Called sequentially, in fold order, before
+          any fold body runs. *)
+  store : int -> float array -> unit;
+      (** [store q curve] persists a freshly fitted fold curve; called
+          from the fold body (possibly from a worker domain — stores for
+          distinct folds must not share unsynchronized state). *)
+}
+(** Hook for per-fold checkpointing of a λ-sweep: a killed CV run
+    resumes at the first fold [load] cannot supply. The IO itself (file
+    naming, validation against the plan) lives with the caller — see
+    [Rsm.Select]. *)
+
+val run_fold_curves :
+  ?pool:Parallel.Pool.t -> ?cache:fold_cache -> plan ->
+  fit_curve:(int -> train:int array -> held_out:int array -> float array) ->
+  float array array
+(** [run_fold_curves plan ~fit_curve] is the per-fold layer under
+    {!run_curves}: it returns the Q raw curves in fold order without
+    averaging (the caller may need the spread, e.g. a one-SE rule).
+    [fit_curve] additionally receives the fold index. With [?cache],
+    folds whose curve [load]s are skipped entirely and fresh curves are
+    handed to [store]; because a stored curve is the bitwise result of
+    the fold fit (text checkpoints must round-trip at full precision,
+    e.g. ["%.17g"]), a resumed run averages to exactly the bits of an
+    uninterrupted one. [?pool] as in {!run}. *)
+
 val run_curves :
   ?pool:Parallel.Pool.t -> plan ->
   fit_curve:(train:int array -> held_out:int array -> float array) ->

@@ -252,6 +252,79 @@ let prop_cv_select_deterministic seed =
   all_equal "CV lambda, curve and model bits" results;
   true
 
+let test_lars_resume_domain_parity () =
+  (* A LARS checkpoint written under one domain count must resume to
+     the same bits under every other: replay recomputes correlations
+     per active column, live steps sweep in parallel — both are
+     domain-count invariant. *)
+  let g, f = sparse_problem ~k:40 ~m:25 913 in
+  let src = Polybasis.Design.Provider.dense g in
+  let full =
+    Rsm.Serialize.to_string
+      (Rsm.Lars.fit_p ~on_singular:`Fallback src f ~lambda:4)
+  in
+  let ck = ref None in
+  ignore
+    (Rsm.Lars.path_p ~on_singular:`Fallback ~checkpoint_every:2
+       ~on_checkpoint:(fun c -> ck := Some c)
+       src f ~max_steps:3);
+  let ck = Option.get !ck in
+  let fits =
+    with_pools (fun pool ->
+        Rsm.Serialize.to_string
+          (Rsm.Lars.fit_p ~pool ~on_singular:`Fallback ~resume:ck src f
+             ~lambda:4))
+  in
+  all_equal "resumed LARS model bits" fits;
+  List.iter
+    (fun s -> check_bool "resumed equals uninterrupted" true (s = full))
+    fits
+
+let test_cv_resume_domain_parity () =
+  (* A CV sweep killed after two folds must resume bitwise at every
+     domain count: cached folds load in fold order, refitted folds keep
+     their original PRNG streams. *)
+  let g, f = sparse_problem ~k:48 ~m:12 914 in
+  let src = Polybasis.Design.Provider.dense g in
+  let run ?pool ?checkpoint ?resume () =
+    Rsm.Select.omp_p ?pool ?checkpoint ?resume ~folds:4
+      (Randkit.Prng.create 55)
+      ~max_lambda:5 src f
+  in
+  let fingerprint (r : Rsm.Select.result) =
+    ( r.Rsm.Select.lambda,
+      Array.copy r.Rsm.Select.curve,
+      Rsm.Serialize.to_string r.Rsm.Select.model )
+  in
+  let full = fingerprint (run ()) in
+  let dir = Filename.temp_file "rsm-cvpar" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fn -> Sys.remove (Filename.concat dir fn))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let base = Filename.concat dir "cv" in
+      let fold_file = Rsm.Serialize.Checkpoint.Cv.fold_file base in
+      ignore (run ~checkpoint:base ());
+      let results =
+        with_pools (fun pool ->
+            (* Re-kill before every resume so each domain count refits
+               folds 2 and 3 rather than loading a predecessor's files. *)
+            List.iter
+              (fun q ->
+                if Sys.file_exists (fold_file q) then Sys.remove (fold_file q))
+              [ 2; 3 ];
+            fingerprint (run ~pool ~checkpoint:base ~resume:true ()))
+      in
+      all_equal "resumed CV selection bits" results;
+      List.iter
+        (fun r -> check_bool "resumed equals uninterrupted" true (r = full))
+        results)
+
 let prop_simulator_batch_deterministic seed =
   let sram = Circuit.Sram.build ~cells:12 () in
   let sim = Circuit.Sram.simulator sram in
@@ -297,6 +370,8 @@ let suite =
         prop_omp_fit_deterministic;
       qtest ~count:8 "cv selection: parallel == sequential" seed_gen
         prop_cv_select_deterministic;
+      case "lars resume: domain-count parity" test_lars_resume_domain_parity;
+      case "cv resume: domain-count parity" test_cv_resume_domain_parity;
       qtest ~count:8 "simulator batch: parallel == sequential" seed_gen
         prop_simulator_batch_deterministic;
     ] )

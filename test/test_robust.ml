@@ -118,10 +118,15 @@ let screen_dataset values =
     values;
   }
 
+let screen_ok ?threshold d =
+  match Robust.Screen.screen ?threshold d with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("screen failed: " ^ Robust.Error.to_string e)
+
 let test_screen_drops_non_finite () =
   let d = screen_dataset [| 1.0; Float.nan; 2.0; Float.infinity; 1.5 |] in
   d.Simulator.points.(2) <- [| Float.nan; 0. |];
-  let kept, report = Robust.Screen.screen d in
+  let kept, report = screen_ok d in
   check_int "kept count" 2 (Simulator.dataset_size kept);
   check_bool "kept indices" true (report.Robust.Screen.kept = [| 0; 4 |]);
   let reasons = Array.map snd report.Robust.Screen.dropped in
@@ -136,7 +141,7 @@ let test_screen_drops_outlier () =
      exactly the absurd one, and the recorded z must cross the cut. *)
   let bulk = Array.init 40 (fun i -> float_of_int (i mod 7) /. 10.) in
   let values = Array.append bulk [| 1e6 |] in
-  let kept, report = Robust.Screen.screen (screen_dataset values) in
+  let kept, report = screen_ok (screen_dataset values) in
   check_int "one dropped" 1 (Array.length report.Robust.Screen.dropped);
   let idx, reason = report.Robust.Screen.dropped.(0) in
   check_int "the outlier row" 40 idx;
@@ -154,7 +159,7 @@ let test_screen_zero_spread_guard () =
      z-scored, so the outlier screen must stand down rather than drop
      everything that differs from the median. *)
   let values = Array.append (Array.make 30 5.0) [| 999.0; Float.nan |] in
-  let kept, report = Robust.Screen.screen (screen_dataset values) in
+  let kept, report = screen_ok (screen_dataset values) in
   check_float ~eps:0. "spread is zero" 0. report.Robust.Screen.spread;
   check_int "only the NaN dropped" 1 (Array.length report.Robust.Screen.dropped);
   check_int "the finite oddball survives" 31 (Simulator.dataset_size kept)
@@ -323,6 +328,355 @@ let test_resume_validation () =
   check_raises_invalid "support out of range" (fun () ->
       Rsm.Omp.fit_p ~resume:(ckpt "omp" [| 25 |]) src f ~lambda:4)
 
+let test_terminal_checkpoint_emitted () =
+  (* A path whose length is not a multiple of the cadence must still
+     leave a checkpoint of its completed self; and a callback with the
+     cadence off gets exactly the terminal one. *)
+  let src, f = sparse_problem ~k:40 ~m:25 908 in
+  let terminal name path_with =
+    let supports = ref [] in
+    path_with ~on_checkpoint:(fun (c : Rsm.Serialize.Checkpoint.t) ->
+        supports := Array.length c.Rsm.Serialize.Checkpoint.support :: !supports);
+    match !supports with
+    | last :: _ -> check_int (name ^ ": terminal checkpoint is full") 5 last
+    | [] -> Alcotest.fail (name ^ ": no checkpoint emitted")
+  in
+  terminal "omp" (fun ~on_checkpoint ->
+      ignore
+        (Rsm.Omp.path_p ~checkpoint_every:2 ~on_checkpoint src f ~max_lambda:5));
+  terminal "star" (fun ~on_checkpoint ->
+      ignore
+        (Rsm.Star.path_p ~checkpoint_every:2 ~on_checkpoint src f
+           ~max_lambda:5));
+  let count = ref 0 in
+  ignore (Rsm.Omp.path_p ~on_checkpoint:(fun _ -> incr count) src f ~max_lambda:5);
+  check_int "cadence off: exactly the terminal checkpoint" 1 !count
+
+(* --- LARS checkpoint / resume -------------------------------------- *)
+
+module LarsCkpt = Rsm.Serialize.Checkpoint.Lars
+module CvCkpt = Rsm.Serialize.Checkpoint.Cv
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let near_tie_ban_problem seed =
+  (* Column 1 duplicates column 0 exactly; column 2 carries real signal.
+     The duplicate ties with its twin at every enter scan, so under
+     `Fallback it is banned the moment it tries to enter — with the
+     true entrant already sitting at the correlation tie. *)
+  let k = 20 in
+  let rng = Randkit.Prng.create seed in
+  let c0 = Randkit.Gaussian.vector rng k in
+  let c2 = Randkit.Gaussian.vector rng k in
+  let g =
+    Linalg.Mat.init k 3 (fun i j ->
+        match j with 0 | 1 -> c0.(i) | _ -> c2.(i))
+  in
+  let f = Array.init k (fun i -> (3. *. c0.(i)) +. c2.(i)) in
+  (g, f)
+
+let test_lars_ban_zero_step_regression () =
+  (* Regression for the two banned-column bugs: the γ scan letting a
+     banned column bound the step, and the ban iteration advancing with
+     an unbounded γ (the true entrant already ties, so its candidate ~0
+     is rejected by the scan).  Either bug leaves the walk
+     non-equicorrelated: it oscillates forever instead of reaching the
+     LS point of the planted support {0, 2}. *)
+  List.iter
+    (fun seed ->
+      let tag msg = Printf.sprintf "seed %d: %s" seed msg in
+      let g, f = near_tie_ban_problem seed in
+      let steps =
+        Rsm.Lars.path ~tol:0. ~on_singular:`Fallback g f ~max_steps:8
+      in
+      let last = steps.(Array.length steps - 1) in
+      check_bool (tag "path reaches the LS point") true
+        (last.Rsm.Lars.max_corr < 1e-8);
+      check_bool (tag "support is the planted {0,2}") true
+        (last.Rsm.Lars.model.Rsm.Model.support = [| 0; 2 |]);
+      check_bool (tag "ban recorded in the notes") true
+        (Array.exists
+           (( = ) "lars: banned dependent column 1")
+           (Rsm.Model.notes last.Rsm.Lars.model));
+      (* The ban iteration itself must not move the coefficients. *)
+      let ban_idx = ref (-1) in
+      Array.iteri
+        (fun i (s : Rsm.Lars.step) ->
+          if
+            !ban_idx < 0
+            && Array.length (Rsm.Model.notes s.Rsm.Lars.model) > 0
+          then ban_idx := i)
+        steps;
+      check_bool (tag "ban happens after the first entry") true (!ban_idx > 0);
+      check_vec ~eps:0. (tag "ban step is zero-length")
+        (Rsm.Model.to_dense steps.(!ban_idx - 1).Rsm.Lars.model)
+        (Rsm.Model.to_dense steps.(!ban_idx).Rsm.Lars.model))
+    [ 4; 5 ]
+
+let test_lars_checkpoint_roundtrip () =
+  (* A consistent little walk: add 3, ban 2 (zero-length step), add 0,
+     then a lasso drop of 3 — final active {0}. *)
+  let c =
+    {
+      LarsCkpt.mode = "lasso";
+      k = 20;
+      m = 6;
+      scale = 4.5;
+      active = [| 0 |];
+      signs = [| -1. |];
+      banned = [| 2 |];
+      events =
+        [|
+          { LarsCkpt.added = 3; banned = -1; dropped = -1; gamma = 0.25 };
+          { LarsCkpt.added = -1; banned = 2; dropped = -1; gamma = 0. };
+          { LarsCkpt.added = 0; banned = -1; dropped = -1; gamma = 0.125 };
+          { LarsCkpt.added = -1; banned = -1; dropped = 3; gamma = 1e-3 };
+        |];
+      notes = [| "lars: banned dependent column 2" |];
+      mu_digest = LarsCkpt.digest [| 0.5; -1.25 |];
+      beta_digest = LarsCkpt.digest [| 0.; 3.5 |];
+    }
+  in
+  (match LarsCkpt.of_string (LarsCkpt.to_string c) with
+  | Ok c' -> check_bool "lars record round-trips" true (c = c')
+  | Error e -> Alcotest.failf "lars roundtrip: %s" e);
+  (match LarsCkpt.of_string "not-a-checkpoint" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse");
+  (match
+     LarsCkpt.of_string (Rsm.Serialize.Checkpoint.to_string
+        { Rsm.Serialize.Checkpoint.solver = "omp"; k = 20; m = 6; scale = 1.;
+          support = [| 0 |] })
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a v1 checkpoint must not parse as a LARS log");
+  let tmp = Filename.temp_file "lars-ckpt" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      LarsCkpt.save tmp c;
+      match LarsCkpt.load tmp with
+      | Ok c' -> check_bool "lars file round-trips" true (c = c')
+      | Error e -> Alcotest.failf "lars load: %s" e)
+
+let test_cv_checkpoint_roundtrip () =
+  check_bool "fold file naming" true
+    (CvCkpt.fold_file "/tmp/x/cv" 3 = "/tmp/x/cv.fold3");
+  let c =
+    {
+      CvCkpt.fold = 1;
+      folds = 4;
+      n = 80;
+      max_lambda = 6;
+      plan_digest = CvCkpt.plan_digest [| 0; 1; 2; 3; 0; 1 |];
+      curve = [| 0.5; 0.25; 0.125; 0.1; 0.25; 0.5 |];
+    }
+  in
+  (match CvCkpt.of_string (CvCkpt.to_string c) with
+  | Ok c' -> check_bool "cv record round-trips" true (c = c')
+  | Error e -> Alcotest.failf "cv roundtrip: %s" e);
+  (match CvCkpt.of_string "rsm-cv-ckpt 9\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown cv version must not parse");
+  let tmp = Filename.temp_file "cv-ckpt" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      CvCkpt.save tmp c;
+      match CvCkpt.load tmp with
+      | Ok c' -> check_bool "cv file round-trips" true (c = c')
+      | Error e -> Alcotest.failf "cv load: %s" e)
+
+(* Hex floats + the serialized model make the comparison bitwise. *)
+let lars_steps_fingerprint steps =
+  String.concat "\n"
+    (Array.to_list
+       (Array.map
+          (fun (s : Rsm.Lars.step) ->
+            Printf.sprintf "%d %d %h %s"
+              (match s.Rsm.Lars.added with Some j -> j | None -> -1)
+              (match s.Rsm.Lars.dropped with Some j -> j | None -> -1)
+              s.Rsm.Lars.max_corr
+              (Rsm.Serialize.to_string s.Rsm.Lars.model))
+          steps))
+
+let test_lars_resume_bitwise () =
+  let src, f = sparse_problem ~k:40 ~m:25 904 in
+  List.iter
+    (fun mode ->
+      let full =
+        Rsm.Lars.path_p ~mode ~on_singular:`Fallback src f ~max_steps:8
+      in
+      let ckpts = ref [] in
+      ignore
+        (Rsm.Lars.path_p ~mode ~on_singular:`Fallback ~checkpoint_every:2
+           ~on_checkpoint:(fun c -> ckpts := c :: !ckpts)
+           src f ~max_steps:8);
+      (* "Kill" after the first cadence checkpoint (two events in). *)
+      let kill = List.hd (List.rev !ckpts) in
+      check_int "kill point is mid-path" 2 (Array.length kill.LarsCkpt.events);
+      let resumed =
+        Rsm.Lars.path_p ~mode ~on_singular:`Fallback ~resume:kill src f
+          ~max_steps:8
+      in
+      check_bool "resumed path is bitwise identical" true
+        (lars_steps_fingerprint resumed = lars_steps_fingerprint full);
+      let m_full =
+        Rsm.Lars.fit_p ~mode ~on_singular:`Fallback src f ~lambda:3
+      in
+      let m_res =
+        Rsm.Lars.fit_p ~mode ~on_singular:`Fallback ~resume:kill src f
+          ~lambda:3
+      in
+      check_bool "resumed fit is bitwise identical" true
+        (Rsm.Serialize.to_string m_res = Rsm.Serialize.to_string m_full))
+    [ Rsm.Lars.Lar; Rsm.Lars.Lasso ]
+
+let test_lars_resume_with_ban_event () =
+  (* The event log must replay a ban — a zero-length step — exactly. *)
+  let g, f = near_tie_ban_problem 4 in
+  let src = Polybasis.Design.Provider.dense g in
+  let full =
+    Rsm.Lars.path_p ~tol:0. ~on_singular:`Fallback src f ~max_steps:6
+  in
+  let ckpts = ref [] in
+  ignore
+    (Rsm.Lars.path_p ~tol:0. ~on_singular:`Fallback ~checkpoint_every:1
+       ~on_checkpoint:(fun c -> ckpts := c :: !ckpts)
+       src f ~max_steps:6);
+  let ordered = List.rev !ckpts in
+  (* The second checkpoint sits right after the ban's zero-length step. *)
+  let kill = List.nth ordered 1 in
+  check_bool "checkpoint carries the ban" true
+    (kill.LarsCkpt.banned = [| 1 |]
+    && Array.exists (fun (e : LarsCkpt.event) -> e.LarsCkpt.banned = 1)
+         kill.LarsCkpt.events);
+  let resumed =
+    Rsm.Lars.path_p ~tol:0. ~on_singular:`Fallback ~resume:kill src f
+      ~max_steps:6
+  in
+  check_bool "path with a replayed ban is bitwise identical" true
+    (lars_steps_fingerprint resumed = lars_steps_fingerprint full)
+
+let test_lars_resume_validation () =
+  let src, f = sparse_problem ~k:40 ~m:25 905 in
+  let ck = ref None in
+  ignore
+    (Rsm.Lars.path_p ~on_singular:`Fallback ~checkpoint_every:2
+       ~on_checkpoint:(fun c -> ck := Some c)
+       src f ~max_steps:4);
+  let ck = Option.get !ck in
+  check_raises_invalid "wrong mode" (fun () ->
+      Rsm.Lars.path_p ~mode:Rsm.Lars.Lasso ~on_singular:`Fallback ~resume:ck
+        src f ~max_steps:8);
+  check_raises_invalid "wrong shape" (fun () ->
+      Rsm.Lars.path_p ~on_singular:`Fallback
+        ~resume:{ ck with LarsCkpt.m = 99 }
+        src f ~max_steps:8);
+  check_raises_invalid "different data" (fun () ->
+      let src2, _ = sparse_problem ~k:40 ~m:25 906 in
+      Rsm.Lars.path_p ~on_singular:`Fallback ~resume:ck src2 f ~max_steps:8);
+  let g, fb = near_tie_ban_problem 4 in
+  let srcb = Polybasis.Design.Provider.dense g in
+  let ckb = ref None in
+  ignore
+    (Rsm.Lars.path_p ~tol:0. ~on_singular:`Fallback ~checkpoint_every:2
+       ~on_checkpoint:(fun c -> ckb := Some c)
+       srcb fb ~max_steps:4);
+  check_raises_invalid "ban event under `Stop" (fun () ->
+      Rsm.Lars.path_p ~tol:0. ~on_singular:`Stop ~resume:(Option.get !ckb)
+        srcb fb ~max_steps:6)
+
+let test_lars_fit_empty_path_note () =
+  (* A zero response stops the walk before any step: the fit must say
+     so on the returned model instead of handing back a bare zero. *)
+  let src, _ = sparse_problem ~k:30 ~m:10 907 in
+  let f = Array.make 30 0. in
+  let m = Rsm.Lars.fit_p src f ~lambda:3 in
+  check_int "no bases selected" 0 (Rsm.Model.nnz m);
+  check_bool "note explains the empty model" true
+    (Array.exists
+       (fun n -> contains n "no model of at most 3 bases")
+       (Rsm.Model.notes m))
+
+let test_screen_all_non_finite_error () =
+  let d = screen_dataset [| Float.nan; Float.infinity; Float.nan |] in
+  (match Robust.Screen.screen d with
+  | Error (Robust.Error.Simulation msg) ->
+      check_bool "message counts the rows" true (contains msg "3 rows")
+  | Error e -> Alcotest.failf "wrong category: %s" (Robust.Error.to_string e)
+  | Ok _ -> Alcotest.fail "all-non-finite dataset must not screen Ok");
+  (* Belt and braces: a non-finite center prints n/a, never nan. *)
+  let r =
+    {
+      Robust.Screen.total = 3;
+      kept = [||];
+      dropped = [||];
+      center = Float.nan;
+      spread = Float.nan;
+      threshold = 6.;
+    }
+  in
+  let s = Robust.Screen.report_summary r in
+  check_bool "summary prints n/a" true (contains s "n/a");
+  check_bool "summary never prints nan" true (not (contains s "nan"))
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "rsm-cv" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fn -> Sys.remove (Filename.concat dir fn))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let select_fingerprint (r : Rsm.Select.result) =
+  Printf.sprintf "%d|%s|%s" r.Rsm.Select.lambda
+    (String.concat ","
+       (Array.to_list (Array.map (Printf.sprintf "%h") r.Rsm.Select.curve)))
+    (Rsm.Serialize.to_string r.Rsm.Select.model)
+
+let test_cv_fold_checkpoint_resume () =
+  let src, f = sparse_problem ~k:48 ~m:12 909 in
+  let run ?checkpoint ?resume () =
+    Rsm.Select.omp_p ?checkpoint ?resume ~folds:4
+      (Randkit.Prng.create 77)
+      ~max_lambda:5 src f
+  in
+  let full = run () in
+  with_temp_dir (fun dir ->
+      let base = Filename.concat dir "cv" in
+      let ck_run = run ~checkpoint:base () in
+      check_bool "checkpointed sweep bitwise equals the plain sweep" true
+        (select_fingerprint ck_run = select_fingerprint full);
+      for q = 0 to 3 do
+        check_bool
+          (Printf.sprintf "fold %d checkpoint written" q)
+          true
+          (Sys.file_exists (CvCkpt.fold_file base q))
+      done;
+      (* Kill after two folds: later fold files never made it to disk. *)
+      Sys.remove (CvCkpt.fold_file base 2);
+      Sys.remove (CvCkpt.fold_file base 3);
+      let resumed = run ~checkpoint:base ~resume:true () in
+      check_bool "resumed sweep bitwise equals the full sweep" true
+        (select_fingerprint resumed = select_fingerprint full);
+      (* A fold record written under a different plan must be rejected,
+         not silently averaged in. *)
+      (match CvCkpt.load (CvCkpt.fold_file base 0) with
+      | Error e -> Alcotest.failf "reload: %s" e
+      | Ok c ->
+          CvCkpt.save (CvCkpt.fold_file base 0)
+            { c with CvCkpt.plan_digest = Int64.lognot c.CvCkpt.plan_digest });
+      check_raises_invalid "foreign plan digest rejected" (fun () ->
+          run ~checkpoint:base ~resume:true ()))
+
 let test_model_notes_roundtrip () =
   let m =
     Rsm.Model.make ~basis_size:10 ~support:[| 1; 7 |] ~coeffs:[| 0.5; -2. |]
@@ -461,6 +815,23 @@ let suite =
       case "star: killed-then-resumed fit is bitwise identical"
         test_star_resume_bitwise;
       case "resume: checkpoint validation" test_resume_validation;
+      case "omp/star: terminal checkpoint always emitted"
+        test_terminal_checkpoint_emitted;
+      case "lars: banned column takes a zero-length step"
+        test_lars_ban_zero_step_regression;
+      case "lars: checkpoint record round-trips"
+        test_lars_checkpoint_roundtrip;
+      case "cv: fold checkpoint record round-trips"
+        test_cv_checkpoint_roundtrip;
+      case "lars: killed-then-resumed path and fit are bitwise identical"
+        test_lars_resume_bitwise;
+      case "lars: ban event replays bitwise" test_lars_resume_with_ban_event;
+      case "lars: resume validation" test_lars_resume_validation;
+      case "lars: empty path is annotated" test_lars_fit_empty_path_note;
+      case "screen: all-non-finite dataset is a typed error"
+        test_screen_all_non_finite_error;
+      case "cv: killed-then-resumed sweep is bitwise identical"
+        test_cv_fold_checkpoint_resume;
       case "model notes round-trip through serialization"
         test_model_notes_roundtrip;
       case "pipeline: config validation" test_pipeline_config_validation;
