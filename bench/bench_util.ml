@@ -71,6 +71,74 @@ let secs x =
   else if x >= 60. then Printf.sprintf "%.1f min" (x /. 60.)
   else Printf.sprintf "%.1f s" x
 
+(* --- canonical speed summary --------------------------------------- *)
+
+(* BENCH_speed.json (repo root, tracked in git) records one scenario per
+   line: `  "name": <single-line JSON object>`. Scenarios merge
+   textually — a bench run replaces its own line and leaves the others —
+   so no JSON parser is needed. *)
+let summary_file = "BENCH_speed.json"
+
+let update_summary ~scenario ~payload =
+  if String.contains payload '\n' then
+    invalid_arg "Bench_util.update_summary: payload must be a single line";
+  let lines =
+    match open_in summary_file with
+    | exception _ -> []
+    | ic ->
+        let rec collect acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> collect (line :: acc)
+        in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> collect [])
+  in
+  let entries =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if String.length line < 4 || line.[0] <> '"' then None
+        else
+          match String.index_from_opt line 1 '"' with
+          | None -> None
+          | Some close -> (
+              let name = String.sub line 1 (close - 1) in
+              let rest =
+                String.sub line (close + 1) (String.length line - close - 1)
+              in
+              match String.index_opt rest ':' with
+              | None -> None
+              | Some c ->
+                  let v =
+                    String.trim
+                      (String.sub rest (c + 1) (String.length rest - c - 1))
+                  in
+                  let v =
+                    if String.length v > 0 && v.[String.length v - 1] = ','
+                    then String.sub v 0 (String.length v - 1)
+                    else v
+                  in
+                  if name = "" || v = "" then None else Some (name, v)))
+      lines
+  in
+  let entries =
+    if List.mem_assoc scenario entries then
+      List.map
+        (fun (n, v) -> if n = scenario then (n, payload) else (n, v))
+        entries
+    else entries @ [ (scenario, payload) ]
+  in
+  let oc = open_out summary_file in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (n, v) ->
+      output_string oc
+        (Printf.sprintf "  %S: %s%s\n" n v
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  output_string oc "}\n";
+  close_out oc
+
 (* --- experiment plumbing --- *)
 
 type prepared = {

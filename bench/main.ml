@@ -89,6 +89,17 @@ let () =
         Term.(
           const (fun quick _ domains -> Speed.run ~quick ?domains ())
           $ quick $ full $ domains);
+      Cmd.v
+        (Cmd.info "sweep"
+           ~doc:
+             "Gram-cached incremental sweep and fused multi-residual CV \
+              sweep: per-step cost vs the exact engines, with embedded \
+              parity checks (exit 1 on violation). Updates \
+              BENCH_speed.json.")
+        Term.(
+          const (fun quick _ domains ->
+              Speed.sweep_scenario ~quick ~domains ())
+          $ quick $ full $ domains);
     ]
   in
   exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -273,7 +273,235 @@ let speedup ~quick ~domains () =
   let oc = open_out report in
   output_string oc json;
   close_out oc;
-  Printf.printf "JSON report written to %s\n%!" report
+  Printf.printf "JSON report written to %s\n%!" report;
+  (* One-line summary entry in the canonical tracked report. *)
+  let payload =
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"domains\": %d, \"bigm\": {\"m\": %d, \"k\": %d, \"fit_s\": %.3f, \
+          \"peak_rss_mb\": %.1f}, \"kernels\": {"
+         domains big.bm big.bk big.fit_s big.rss_mb);
+    List.iteri
+      (fun i (name, seq_s, par_s, sp) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%s\"%s\": {\"seq_s\": %.6f, \"par_s\": %.6f, \"speedup\": %.3f}"
+             (if i = 0 then "" else ", ")
+             name seq_s par_s sp))
+      rows;
+    Buffer.add_string b "}}";
+    Buffer.contents b
+  in
+  Bench_util.update_summary ~scenario:"speed" ~payload;
+  Printf.printf "summary updated in %s\n%!" Bench_util.summary_file
+
+(* --- gram-cached sweep engine scenario ----------------------------- *)
+
+(* Median-of-R wall clock for the per-step sweep kernels: a median is
+   the right summary when each rep does identical work and we report a
+   ratio of two of them. *)
+let median_of ~reps f =
+  let ts =
+    Array.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare ts;
+  ts.(reps / 2)
+
+let rel_gap a b =
+  let scale = max (Float.abs a) (Float.abs b) in
+  if scale = 0. then 0. else Float.abs (a -. b) /. scale
+
+(* Per-step sweep-phase cost of the gram-cached incremental correlation
+   engine against the exact full sweep, and the fused multi-residual CV
+   sweep against Q per-fold sweeps — at paper-scale M (quadratic
+   dictionary, M ≈ 5·10⁴) unless --quick. Every timed kernel is guarded
+   by its parity contract (incremental ≤ 1e-10 relative, fused bitwise);
+   a violation fails the bench with exit 1, so this scenario doubles as
+   the sweep-parity smoke for CI. *)
+let sweep_scenario ~quick ~domains () =
+  let domains =
+    match domains with Some d -> d | None -> Parallel.Pool.default_domains ()
+  in
+  let n = if quick then 60 else 316 in
+  let k = if quick then 120 else 500 in
+  let p = if quick then 8 else 20 in
+  let q = 4 in
+  let reps = if quick then 3 else 5 in
+  let basis = Polybasis.Basis.quadratic n in
+  let m = Polybasis.Basis.size basis in
+  let rng = Randkit.Prng.create 47 in
+  let pts = Array.init k (fun _ -> Randkit.Gaussian.vector rng n) in
+  let src = Polybasis.Design.Provider.streamed basis pts in
+  let res = Randkit.Gaussian.vector rng k in
+  let support = Randkit.Sampling.subsample rng (Array.init m Fun.id) p in
+  Array.sort compare support;
+  let skip = Array.make m false in
+  let assignment =
+    Randkit.Sampling.fold_assignment (Randkit.Prng.create 53) ~n:k ~folds:q
+  in
+  let fold_rows =
+    Array.init q (fun fq -> fst (Randkit.Sampling.fold_split assignment fq))
+  in
+  let fold_res =
+    Array.map (fun rows -> Array.map (fun i -> res.(i)) rows) fold_rows
+  in
+  let fold_skips = Array.init q (fun _ -> Array.make m false) in
+  let failures = ref 0 in
+  let check name ok =
+    if not ok then begin
+      incr failures;
+      Printf.printf "PARITY FAILURE: %s\n%!" name
+    end
+  in
+  Printf.printf
+    "\n=== Sweep engine scenario: K=%d M=%d p=%d Q=%d (%d domain%s) ===\n%!"
+    k m p q domains (if domains = 1 then "" else "s");
+  let measure domains =
+    let pool = Parallel.Pool.create ~domains () in
+    (* Incremental arm: cache the p active Gram columns, then time one
+       per-step selection sweep = delta update (O(p·M)) + argmax read
+       (O(M)) against the exact argmax sweep (O(K·M) with streamed
+       column generation). *)
+    let inc = Rsm.Corr_sweep.Inc.create ~pool ~refresh:0 src res in
+    Array.iter
+      (fun j ->
+        Rsm.Corr_sweep.Inc.ensure_gram inc j
+          (Polybasis.Design.Provider.column src j))
+      support;
+    let deltas =
+      Array.mapi
+        (fun i j -> (j, (if i mod 2 = 0 then 1e-9 else -1e-9)))
+        support
+    in
+    (* Parity: push a real coefficient movement through the delta path
+       and compare against an exact sweep of the moved residual. *)
+    let real_deltas = Array.map (fun j -> (j, 1e-3)) support in
+    Rsm.Corr_sweep.Inc.apply_deltas inc real_deltas;
+    let moved = Array.copy res in
+    Array.iter
+      (fun j ->
+        let col = Polybasis.Design.Provider.column src j in
+        for i = 0 to k - 1 do
+          moved.(i) <- moved.(i) -. (1e-3 *. col.(i))
+        done)
+      support;
+    let exact_moved = Rsm.Corr_sweep.gram_tr ~pool src moved in
+    let c = Rsm.Corr_sweep.Inc.correlations inc in
+    let worst = ref 0. in
+    Array.iteri
+      (fun j v -> worst := Float.max !worst (rel_gap v c.(j)))
+      exact_moved;
+    check
+      (Printf.sprintf "incremental vs exact correlations (%.2e rel)" !worst)
+      (!worst <= 1e-10);
+    let exact_sweep_s =
+      median_of ~reps (fun () ->
+          ignore (Rsm.Corr_sweep.argmax_abs ~pool ~skip src res))
+    in
+    let inc_sweep_s =
+      median_of ~reps (fun () ->
+          Rsm.Corr_sweep.Inc.apply_deltas inc deltas;
+          ignore (Rsm.Corr_sweep.Inc.argmax_abs ~skip inc))
+    in
+    (* Fused arm: one multi-residual sweep against Q per-fold sweeps
+       over row-subset providers — same numbers, column generation paid
+       once. *)
+    let per_fold () =
+      Array.init q (fun fq ->
+          Rsm.Corr_sweep.gram_tr ~pool
+            (Polybasis.Design.Provider.select_rows src fold_rows.(fq))
+            fold_res.(fq))
+    in
+    let fused () =
+      Rsm.Corr_sweep.gram_tr_multi ~pool src ~rows:fold_rows fold_res
+    in
+    let ref_out = per_fold () and fused_out = fused () in
+    check "fused multi-sweep bitwise vs per-fold sweeps"
+      (Array.for_all2 (fun a b -> a = b) ref_out fused_out);
+    let picks =
+      Rsm.Corr_sweep.argmax_abs_multi ~pool ~skips:fold_skips src
+        ~rows:fold_rows fold_res
+    in
+    check "fused argmax bitwise vs per-fold argmax"
+      (Array.for_all2
+         (fun (j, v) cref ->
+           let j', v' =
+             let best = ref (-1) and best_v = ref 0. in
+             Array.iteri
+               (fun jj cv ->
+                 if Float.abs cv > !best_v then begin
+                   best := jj;
+                   best_v := Float.abs cv
+                 end)
+               cref;
+             (!best, !best_v)
+           in
+           j = j' && v = v')
+         picks ref_out);
+    let fold_sweep_s = median_of ~reps (fun () -> ignore (per_fold ())) in
+    let fused_sweep_s = median_of ~reps (fun () -> ignore (fused ())) in
+    Parallel.Pool.shutdown pool;
+    Printf.printf
+      "domains=%d  exact %8.2f ms  incremental %8.2f ms  (%.1fx)\n\
+       domains=%d  %d-fold %8.2f ms  fused       %8.2f ms  (%.1fx)\n%!"
+      domains (1e3 *. exact_sweep_s) (1e3 *. inc_sweep_s)
+      (exact_sweep_s /. inc_sweep_s)
+      domains q (1e3 *. fold_sweep_s) (1e3 *. fused_sweep_s)
+      (fold_sweep_s /. fused_sweep_s);
+    (exact_sweep_s, inc_sweep_s, fold_sweep_s, fused_sweep_s)
+  in
+  let arms =
+    if domains = 1 then [ (1, measure 1) ]
+    else begin
+      let one = measure 1 in
+      let par = measure domains in
+      [ (1, one); (domains, par) ]
+    end
+  in
+  let rss_mb = Bench_util.peak_rss_mb () in
+  (* Column-generation work: rows whose streamed basis entries each
+     per-step sweep evaluates, per column. Q per-fold sweeps regenerate
+     every column on their own train rows (Σ|train_q| = (Q−1)·K rows);
+     the fused sweep generates each column once over the K union rows. *)
+  let gen_rows_per_fold =
+    Array.fold_left (fun acc rows -> acc + Array.length rows) 0 fold_rows
+  in
+  let gen_work_ratio = float_of_int gen_rows_per_fold /. float_of_int k in
+  Printf.printf
+    "column generation: per-fold %d rows/column, fused %d rows/column \
+     (%.1fx less generation work)\n%!"
+    gen_rows_per_fold k gen_work_ratio;
+  let payload =
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"m\": %d, \"k\": %d, \"p\": %d, \"q\": %d, \
+          \"gen_rows_per_fold\": %d, \"gen_rows_fused\": %d, \
+          \"gen_work_ratio\": %.2f, \"per_domains\": {"
+         m k p q gen_rows_per_fold k gen_work_ratio);
+    List.iteri
+      (fun i (d, (ex, inc, fold, fused)) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%s\"%d\": {\"exact_sweep_s\": %.6f, \"inc_sweep_s\": %.6f, \
+              \"inc_speedup\": %.2f, \"fold_sweep_s\": %.6f, \
+              \"fused_sweep_s\": %.6f, \"fused_speedup\": %.2f}"
+             (if i = 0 then "" else ", ")
+             d ex inc (ex /. inc) fold fused (fold /. fused)))
+      arms;
+    Buffer.add_string b (Printf.sprintf "}, \"peak_rss_mb\": %.1f}" rss_mb);
+    Buffer.contents b
+  in
+  Bench_util.update_summary ~scenario:"sweep" ~payload;
+  Printf.printf "summary updated in %s\n%!" Bench_util.summary_file;
+  if !failures > 0 then begin
+    Printf.printf "sweep scenario: %d parity failure(s)\n%!" !failures;
+    exit 1
+  end
 
 let run ?(quick = false) ?domains () =
   speedup ~quick ~domains ();

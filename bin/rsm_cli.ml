@@ -270,6 +270,51 @@ let checkpoint_every_arg =
   Arg.(value & opt int 10 & info [ "checkpoint-every" ] ~docv:"N"
          ~doc:"Iterations between checkpoint writes.")
 
+let sweep_arg =
+  Arg.(
+    value
+    & opt (enum [ ("exact", `Exact); ("incremental", `Incremental) ]) `Exact
+    & info [ "sweep" ] ~docv:"MODE"
+        ~doc:
+          "Correlation engine for the path solvers: $(b,exact) recomputes \
+           the full G^T.r sweep every step (bitwise-reference mode); \
+           $(b,incremental) delta-updates the correlations from cached Gram \
+           columns, turning the per-step sweep from O(K.M) into O(p.M) — \
+           validated against exact to 1e-10 relative, not bitwise.")
+
+let sweep_refresh_arg =
+  Arg.(value & opt int Rsm.Corr_sweep.default_refresh
+       & info [ "sweep-refresh" ] ~docv:"N"
+           ~doc:"Exact-refresh cadence of the incremental sweep: every N \
+                 movement steps the correlations are recomputed from scratch \
+                 to wash out drift (0 = never).")
+
+let fused_cv_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "fused-cv" ]
+              ~doc:
+                "Advance all CV fold solvers in lockstep, sharing each \
+                 step's design-column generation across folds (one fused \
+                 multi-residual sweep per step). Bitwise identical model; \
+                 pays streamed column generation once per step instead of \
+                 once per fold. Default: on for the matrix-free engine with \
+                 the exact sweep." );
+          ( Some false,
+            info [ "per-fold-cv" ]
+              ~doc:"Fit each CV fold independently (the classic driver)." );
+        ])
+
+let rescreen_arg =
+  Arg.(value & flag & info [ "rescreen" ]
+         ~doc:"After the fit, rescreen the training rows on the model's \
+               residuals (robust MAD scale, --screen-threshold) and repair \
+               the coefficients by down-dating the active-set Gram factor \
+               for the dropped rows instead of refitting from scratch.")
+
 let print_run_reports run_report screen_report =
   Printf.printf "  hygiene       : %s\n"
     (Circuit.Simulator.report_summary run_report);
@@ -292,7 +337,8 @@ let save_model_maybe save_model model =
 let model_cmd =
   let run circuit metric cells parasitics seed samples test method_name
       max_lambda save_model domains engine folds fault_rate retries no_screen
-      screen_threshold checkpoint resume checkpoint_every =
+      screen_threshold checkpoint resume checkpoint_every sweep_mode
+      sweep_refresh fused_cv rescreen =
     check_at_least "samples" 1 samples;
     check_at_least "test" 1 test;
     check_at_least "max-lambda" 1 max_lambda;
@@ -300,6 +346,12 @@ let model_cmd =
     check_at_least "folds" 2 folds_n;
     check_at_least "retries" 1 retries;
     check_at_least "checkpoint-every" 1 checkpoint_every;
+    check_at_least "sweep-refresh" 0 sweep_refresh;
+    let sweep =
+      match sweep_mode with
+      | `Exact -> Rsm.Corr_sweep.Exact
+      | `Incremental -> Rsm.Corr_sweep.incremental ~refresh:sweep_refresh ()
+    in
     check_unit_interval "fault-rate" fault_rate;
     if screen_threshold <= 0. || not (Float.is_finite screen_threshold) then
       err_exit
@@ -391,11 +443,11 @@ let model_cmd =
                           | Rsm.Solver.Omp ->
                               Rsm.Omp.fit_p ~pool ~on_singular:`Fallback
                                 ~checkpoint_every ~on_checkpoint
-                                ?resume:resume_state src f_tr ~lambda
+                                ?resume:resume_state ~sweep src f_tr ~lambda
                           | _ ->
                               Rsm.Star.fit_p ~pool ~checkpoint_every
-                                ~on_checkpoint ?resume:resume_state src f_tr
-                                ~lambda)
+                                ~on_checkpoint ?resume:resume_state ~sweep src
+                                f_tr ~lambda)
                       | _ ->
                           (* lar / lasso: the event-log LARS checkpoint. *)
                           let resume_state =
@@ -419,7 +471,7 @@ let model_cmd =
                             ~checkpoint_every
                             ~on_checkpoint:(fun c ->
                               Rsm.Serialize.Checkpoint.Lars.save ckpt_file c)
-                            ?resume:resume_state src f_tr ~lambda)
+                            ?resume:resume_state ~sweep src f_tr ~lambda)
                 in
                 let test_data =
                   Circuit.Simulator.run ~pool w.sim rng ~k:test
@@ -433,6 +485,8 @@ let model_cmd =
                    lambda = %d (checkpointed)\n"
                   w.name (Rsm.Solver.name meth) samples m_cols lambda;
                 Printf.printf "  design engine : %s\n" (engine_name src);
+                Printf.printf "  sweep engine  : %s\n"
+                  (Rsm.Corr_sweep.sweep_to_string sweep);
                 print_run_reports run_report screen_report;
                 Printf.printf "  checkpoint    : %s (every %d iterations%s)\n"
                   ckpt_file checkpoint_every
@@ -457,7 +511,7 @@ let model_cmd =
                       ~min_samples:(min samples (max 8 (samples / 2)))
                       ~streamed:
                         (choose_streamed engine ~k:samples ~m:m_cols)
-                      ?checkpoint ~resume ()
+                      ?checkpoint ~resume ~sweep ?fused_cv ~rescreen ()
                   with
                   | Ok cfg -> cfg
                   | Error e -> err_exit (Robust.Error.to_string e)
@@ -484,6 +538,12 @@ let model_cmd =
                     Printf.printf "  design engine : %s\n"
                       (if cfg.Robust.Pipeline.streamed then "matrix-free"
                        else "dense");
+                    Printf.printf "  sweep engine  : %s%s\n"
+                      (Rsm.Corr_sweep.sweep_to_string sweep)
+                      (match fused_cv with
+                      | Some true -> ", fused CV"
+                      | Some false -> ", per-fold CV"
+                      | None -> ", auto CV driver");
                     (match checkpoint with
                     | Some base ->
                         Printf.printf
@@ -518,7 +578,8 @@ let model_cmd =
       $ test_arg $ method_arg $ max_lambda_arg $ save_model_arg $ domains
       $ engine $ folds_arg $ fault_rate_arg $ retries_arg $ no_screen_arg
       $ screen_threshold_arg $ checkpoint_arg $ resume_arg
-      $ checkpoint_every_arg)
+      $ checkpoint_every_arg $ sweep_arg $ sweep_refresh_arg $ fused_cv_arg
+      $ rescreen_arg)
 
 let predict_cmd =
   let model_file =

@@ -19,7 +19,42 @@
       exact ties, the lower column index — the same winner a sequential
       first-strictly-greater scan selects.
 
+    Two cost levers beyond the exact sweep (this PR's engine):
+
+    - {b Incremental mode} ({!sweep} = [Incremental]): cache
+      [v_j = Gᵀ·g_j] once when column j enters the active set, then
+      update [c' = c − Σ_{j∈A} Δβ_j·v_j] at O(p·M) per step instead of
+      O(K·M) (Efron et al. 2004, §"computations"). Numerically
+      different from the exact sweep (float drift, bounded by the
+      [refresh] cadence of exact re-sweeps), hence opt-in — solvers
+      default to [Exact].
+    - {b Fused multi-residual sweeps} ({!gram_tr_multi} /
+      {!argmax_abs_multi}): generate each column once and dot it
+      against Q fold residuals — bitwise identical to Q independent
+      sweeps; this is how fused CV pays streamed column generation once
+      per step instead of once per fold.
+
     Passing no [?pool] uses {!Parallel.Pool.default}. *)
+
+type sweep =
+  | Exact  (** full O(K·M) sweep every step — bitwise reference mode *)
+  | Incremental of { refresh : int }
+      (** Gram-cached delta updates, with an exact full-sweep refresh
+          every [refresh] movement steps ([0] = never refresh on
+          cadence; an exact refresh still happens at every checkpoint
+          emission so resumed runs stay bitwise equal to uninterrupted
+          ones). *)
+
+val default_refresh : int
+(** Default refresh cadence (16 steps) for incremental mode. *)
+
+val incremental : ?refresh:int -> unit -> sweep
+(** [incremental ()] is [Incremental { refresh = default_refresh }]. *)
+
+val sweep_of_string : string -> sweep option
+(** Parses ["exact"] / ["incremental"] (default cadence). *)
+
+val sweep_to_string : sweep -> string
 
 val gram_tr :
   ?pool:Parallel.Pool.t ->
@@ -44,3 +79,94 @@ val argmax_abs :
     zero. Deterministic for every domain count (see above).
     @raise Invalid_argument when [skip] is not of length [M] or [r] not
     of length [K]. *)
+
+val gram_tr_multi :
+  ?pool:Parallel.Pool.t ->
+  Polybasis.Design.Provider.t ->
+  rows:int array array ->
+  Linalg.Vec.t array ->
+  Linalg.Vec.t array
+(** Re-export of {!Polybasis.Design.Provider.gram_tr_multi}: per-fold
+    [Gᵀ·r] with each column generated once — bitwise identical to the Q
+    independent per-fold sweeps. *)
+
+val argmax_abs_multi :
+  ?pool:Parallel.Pool.t ->
+  skips:bool array array ->
+  Polybasis.Design.Provider.t ->
+  rows:int array array ->
+  Linalg.Vec.t array ->
+  (int * float) array
+(** Re-export of {!Polybasis.Design.Provider.argmax_abs_multi}: the
+    fused selection kernel of the lockstep CV driver in {!Select}. *)
+
+(** The Gram-cached incremental correlation state.
+
+    Maintains the correlation vector [c = Gᵀ·r] across solver steps via
+    cached Gram columns instead of full sweeps. Cost model per step:
+    O(K·M) once per {e entering} column ({!ensure_gram}) plus O(p·M)
+    for the delta update, against O(K·M) for every exact sweep — the
+    win grows with K/p (the LAR path additionally replaces its second
+    per-step sweep, [Gᵀ·u], with the O(p·M) {!combination}). Memory:
+    O(M) per cached active column, O(M·p) total.
+
+    Not bitwise: each update introduces rounding the exact sweep does
+    not; the [refresh] cadence (plus a forced refresh at every
+    checkpoint emission) bounds the drift, and the test suite validates
+    ≤1e-10 relative agreement of the resulting models. *)
+module Inc : sig
+  type t
+
+  val create :
+    ?pool:Parallel.Pool.t ->
+    refresh:int ->
+    Polybasis.Design.Provider.t ->
+    Linalg.Vec.t ->
+    t
+  (** [create ~refresh src r] performs one exact sweep of [r] and
+      starts the maintained state. [refresh = 0] disables cadence-based
+      refreshes. @raise Invalid_argument on negative [refresh]. *)
+
+  val correlations : t -> Linalg.Vec.t
+  (** The maintained [c] — a live buffer, mutated by the update calls;
+      copy before storing. *)
+
+  val cached : t -> int
+  (** Number of cached Gram columns (= memory in units of M floats). *)
+
+  val ensure_gram : t -> int -> Linalg.Vec.t -> unit
+  (** [ensure_gram t j col] caches [v_j = Gᵀ·col] (one O(K·M) sweep) if
+      column [j] has no cached Gram column yet. [col] must be the
+      materialized column [j] — the solvers pass their active-set cache
+      entry, so no extra column generation happens. *)
+
+  val apply_deltas : t -> (int * float) array -> unit
+  (** [apply_deltas t deltas] applies [c ← c − Σ Δβ_j·v_j] for
+      [(j, Δβ_j)] pairs, O(p·M). Every listed column must have been
+      {!ensure_gram}'d. *)
+
+  val combination : t -> (int * float) array -> Linalg.Vec.t
+  (** [combination t terms] is [Σ w_j·v_j] for [(j, w_j)] pairs — the
+      cached image [Gᵀ·u] of a direction [u = Σ w_j·g_j], O(p·M). *)
+
+  val retreat : t -> float -> Linalg.Vec.t -> unit
+  (** [retreat t γ a] applies [c ← c − γ·a] for a precomputed direction
+      image [a] (e.g. the {!combination} result), O(M). *)
+
+  val note_step : t -> unit
+  (** Count one completed movement step toward the refresh cadence. *)
+
+  val due : t -> bool
+  (** Whether the cadence calls for an exact refresh now. *)
+
+  val refresh : t -> Linalg.Vec.t -> unit
+  (** [refresh t r] replaces [c] by an exact sweep of [r] and resets
+      the cadence counter. Solvers call this on cadence {e and} at
+      every checkpoint emission, so a resumed run (which starts from an
+      exact sweep at the checkpoint) stays bitwise equal to the
+      uninterrupted run. *)
+
+  val argmax_abs : skip:bool array -> t -> int * float
+  (** Selection over the maintained vector — sequential O(M), same
+      strict [>] / lowest-index tie rule as the exact {!argmax_abs}. *)
+end

@@ -241,7 +241,8 @@ let replay st (ck : Ckpt.t) ~mode ~on_singular f steps stop =
     fail "coefficient digest mismatch (different data or flags?)"
 
 let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
-    ?(checkpoint_every = 0) ?on_checkpoint ?resume src f ~max_steps =
+    ?(checkpoint_every = 0) ?on_checkpoint ?resume
+    ?(sweep = Corr_sweep.Exact) src f ~max_steps =
   let k = Provider.rows src and m = Provider.cols src in
   if Array.length f <> k then invalid_arg "Lars.path: response length mismatch";
   if max_steps <= 0 then invalid_arg "Lars.path: max_steps must be positive";
@@ -276,13 +277,6 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
   let events = ref [] in
   let nevents = ref 0 in
   let last_ckpt = ref 0 in
-  let emit_checkpoint () =
-    match on_checkpoint with
-    | None -> ()
-    | Some cb ->
-        cb (capture st ~mode ~scale:!initial_c ~f !events);
-        last_ckpt := !nevents
-  in
   (match resume with
   | None -> ()
   | Some ck ->
@@ -295,13 +289,50 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
       last_ckpt := n;
       events := List.rev (Array.to_list ck.Ckpt.events);
       initial_c := ck.Ckpt.scale);
+  (* Incremental correlation state, created after any resume replay so
+     its initial exact sweep sees the resumed residual — the same
+     refresh point the uninterrupted run hit when it emitted the
+     checkpoint (emission forces an exact refresh below), which is what
+     keeps resumed incremental runs bitwise equal to uninterrupted
+     ones. Replayed active columns get their Gram columns rebuilt here
+     (same O(K·M) sweeps, hence same values, as the original run's
+     [ensure_gram] calls). *)
+  let inc =
+    match sweep with
+    | Corr_sweep.Exact -> None
+    | Corr_sweep.Incremental { refresh } ->
+        let ic =
+          Corr_sweep.Inc.create ?pool ~refresh src (Vec.sub f st.mu)
+        in
+        List.iter
+          (fun j ->
+            Corr_sweep.Inc.ensure_gram ic j (Provider.Cache.column st.cache j))
+          (List.rev st.active);
+        Some ic
+  in
+  let emit_checkpoint () =
+    match on_checkpoint with
+    | None -> ()
+    | Some cb ->
+        cb (capture st ~mode ~scale:!initial_c ~f !events);
+        last_ckpt := !nevents;
+        (* Checkpoint-aligned exact refresh: see [inc] above. *)
+        (match inc with
+        | None -> ()
+        | Some ic -> Corr_sweep.Inc.refresh ic (Vec.sub f st.mu))
+  in
   let max_active = min k m in
   while (not !stop) && !nsteps < max_steps do
     incr nsteps;
-    let res = Vec.sub f st.mu in
-    (* Correlations of every column with the residual: a column-parallel
-       Gᵀ·r sweep, bitwise equal to the sequential per-column xdot. *)
-    let gtr = Corr_sweep.gram_tr ?pool st.src res in
+    (* Correlations of every column with the residual. Exact mode runs
+       the column-parallel Gᵀ·r sweep (bitwise equal to the sequential
+       per-column xdot); incremental mode reads the delta-maintained
+       vector — O(M) instead of O(K·M). *)
+    let gtr =
+      match inc with
+      | None -> Corr_sweep.gram_tr ?pool st.src (Vec.sub f st.mu)
+      | Some ic -> Corr_sweep.Inc.correlations ic
+    in
     let c = Array.init m (fun j -> gtr.(j) /. st.norms.(j)) in
     (* C from the best column overall; the entering variable is the best
        inactive one. *)
@@ -333,6 +364,13 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
           | () ->
               st.active <- !enter :: st.active;
               st.in_active.(!enter) <- true;
+              (* Entering column: cache v_j = Gᵀ·g_j once — the O(K·M)
+                 build that every later delta update amortizes. *)
+              (match inc with
+              | None -> ()
+              | Some ic ->
+                  Corr_sweep.Inc.ensure_gram ic !enter
+                    (Provider.Cache.column st.cache !enter));
               Some !enter
           | exception Cholesky.Not_positive_definite _ -> (
               (* Entering column linearly dependent on the active set. *)
@@ -409,8 +447,17 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
           (* Step length to the next entering variable. The inner
              products of every column with the equiangular direction u
              are the second Gᵀ·r-shaped sweep of the iteration; the
-             O(M) min scan that follows stays sequential. *)
-          let gu = Corr_sweep.gram_tr ?pool st.src u in
+             O(M) min scan that follows stays sequential. Incremental
+             mode assembles Gᵀ·u from the cached Gram columns of the
+             active set (u = Σ w_p·x_{j_p}) at O(p·M) — this is the
+             sweep the Gram cache eliminates outright. *)
+          let gu =
+            match inc with
+            | None -> Corr_sweep.gram_tr ?pool st.src u
+            | Some ic ->
+                Corr_sweep.Inc.combination ic
+                  (Array.mapi (fun p j -> (j, d.(p) /. st.norms.(j))) act)
+          in
           let gamma = ref (cc /. a_a) in
           for j = 0 to m - 1 do
             (* Banned columns can never enter, so letting them bound the
@@ -444,6 +491,18 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
             (fun p j -> st.beta.(j) <- st.beta.(j) +. (!gamma *. d.(p)))
             act;
           Vec.axpy !gamma u st.mu;
+          (* The residual moved by −γ·u, so c moved by −γ·(Gᵀ·u) — the
+             delta update replacing the next iteration's full sweep.
+             Drops below only zero an already-crossed coefficient and
+             rebuild the factor; they do not move mu, so c needs no
+             further update. *)
+          (match inc with
+          | None -> ()
+          | Some ic ->
+              Corr_sweep.Inc.retreat ic !gamma gu;
+              Corr_sweep.Inc.note_step ic;
+              if Corr_sweep.Inc.due ic then
+                Corr_sweep.Inc.refresh ic (Vec.sub f st.mu));
           let dropped =
             if !drop >= 0 then begin
               st.beta.(!drop) <- 0.;
@@ -494,14 +553,14 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
   Array.of_list (List.rev !steps)
 
 let fit_p ?mode ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint
-    ?resume src f ~lambda =
+    ?resume ?sweep src f ~lambda =
   if lambda <= 0 then invalid_arg "Lars.fit: lambda must be positive";
   (* Drops can make the path longer than the target support size. *)
   let base_steps = (2 * lambda) + 8 in
   let rec run max_steps =
     let steps =
       path_p ?mode ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint
-        ?resume src f ~max_steps
+        ?resume ?sweep src f ~max_steps
     in
     let best = ref None in
     Array.iter

@@ -39,6 +39,7 @@ val path_p :
   ?checkpoint_every:int ->
   ?on_checkpoint:(Serialize.Checkpoint.Lars.t -> unit) ->
   ?resume:Serialize.Checkpoint.Lars.t ->
+  ?sweep:Corr_sweep.sweep ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_steps:int ->
@@ -81,7 +82,25 @@ val path_p :
     order — bit-for-bit at any domain count. Resuming with a different
     dataset, [mode] or [on_singular] policy than the checkpoint was
     written under raises [Invalid_argument] (terminal digests and
-    active/banned/sign sets are all validated). *)
+    active/banned/sign sets are all validated).
+
+    [sweep] selects the correlation engine (default
+    {!Corr_sweep.Exact}). [Incremental] is where the Gram cache pays on
+    this solver: of the two O(K·M) sweeps per step, the correlation
+    sweep becomes an O(M) read of the delta-maintained vector and the
+    [Gᵀ·u] sweep becomes an O(p·M) combination of cached Gram columns —
+    only entering columns still cost one O(K·M) cache build. Exact
+    refreshes run on the [refresh] cadence of movement steps and at
+    every checkpoint emission, so a resumed incremental run (whose
+    replay rebuilds the cache and re-sweeps at the checkpoint) stays
+    bitwise equal to an uninterrupted incremental run in every step's
+    state — entries, drops, coefficients, models. The one exception is
+    the diagnostic [max_corr] of {e replayed} steps: replay recomputes
+    it with exact per-column dots, while the interrupted run read it
+    from the delta-maintained vector, so the two may differ by ~1 ulp
+    between refresh points (the live continuation past the checkpoint
+    is bitwise, [max_corr] included). Against [Exact] the mode is
+    ≤1e-10-validated, not bitwise — hence opt-in. *)
 
 val fit_p :
   ?mode:mode ->
@@ -91,6 +110,7 @@ val fit_p :
   ?checkpoint_every:int ->
   ?on_checkpoint:(Serialize.Checkpoint.Lars.t -> unit) ->
   ?resume:Serialize.Checkpoint.Lars.t ->
+  ?sweep:Corr_sweep.sweep ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->

@@ -8,117 +8,221 @@ type step = {
   model : Model.t;
 }
 
-let path_p ?(tol = 1e-12) ?pool ?(on_singular = `Stop) ?(checkpoint_every = 0)
-    ?on_checkpoint ?resume src f ~max_lambda =
-  let k = Provider.rows src and m = Provider.cols src in
-  if Array.length f <> k then invalid_arg "Omp.path: response length mismatch";
-  if max_lambda <= 0 then invalid_arg "Omp.path: max_lambda must be positive";
-  if max_lambda > min k m then
-    invalid_arg "Omp.path: max_lambda exceeds min(samples, basis size)";
-  if checkpoint_every < 0 then
-    invalid_arg "Omp.path: negative checkpoint interval";
-  let selected = Array.make m false in
-  let support = Array.make (max max_lambda 1) 0 in
-  let rhs = Array.make (max max_lambda 1) 0. in
-  (* Gram factor of the selected columns, grown one column per step. *)
-  let chol = Cholesky.Grow.create (max max_lambda 1) in
-  (* Active-set columns are touched every remaining iteration (cross
-     products, re-fit residual); cache them once materialized — λ
-     columns of K floats, never the full matrix. *)
-  let cache = Provider.Cache.create src in
-  let res = Array.copy f in
-  let steps = ref [] in
-  let stop = ref false in
-  let initial_corr = ref 0. in
-  let p = ref 0 in
-  (* Once the Gram factor went non-SPD and `Fallback was requested, the
-     incremental factor is abandoned and every re-fit runs the
-     Refit ladder over the cached active columns; the rung that fired is
-     recorded in the step's model notes. Clean paths never enter this
-     mode, so their bits are untouched. *)
-  let degraded = ref false in
-  let fallback_note = ref None in
+(* The per-step state machine behind [path_p], exposed so the fused CV
+   driver in [Select] can run Q fold solvers in lockstep: each round it
+   computes all Q selections with one fused multi-residual sweep and
+   feeds them to [advance]. [advance] applies exactly the statements the
+   historical loop body ran, in the same order, so driving an engine
+   with selections from [Corr_sweep.argmax_abs] reproduces the
+   monolithic loop bit for bit. *)
+module Engine = struct
+  type t = {
+    k : int;
+    m : int;
+    tol : float;
+    on_singular : [ `Stop | `Fallback ];
+    max_lambda : int;
+    f : Vec.t;
+    selected : bool array;
+    support : int array;
+    rhs : float array;
+    (* Gram factor of the selected columns, grown one column per step. *)
+    chol : Cholesky.Grow.t;
+    (* Active-set columns are touched every remaining iteration (cross
+       products, re-fit residual); cache them once materialized — λ
+       columns of K floats, never the full matrix. *)
+    cache : Provider.Cache.t;
+    res : Vec.t;
+    mutable steps_rev : step list;
+    mutable stop : bool;
+    mutable initial_corr : float;
+    mutable p : int;
+    (* Once the Gram factor went non-SPD and `Fallback was requested,
+       the incremental factor is abandoned and every re-fit runs the
+       Refit ladder over the cached active columns; the rung that fired
+       is recorded in the step's model notes. Clean paths never enter
+       this mode, so their bits are untouched. *)
+    mutable degraded : bool;
+    mutable fallback_note : string option;
+    mutable coeffs : float array;
+  }
+
+  let create ?(tol = 1e-12) ?(on_singular = `Stop) src f ~max_lambda =
+    let k = Provider.rows src and m = Provider.cols src in
+    if Array.length f <> k then
+      invalid_arg "Omp.path: response length mismatch";
+    if max_lambda <= 0 then invalid_arg "Omp.path: max_lambda must be positive";
+    if max_lambda > min k m then
+      invalid_arg "Omp.path: max_lambda exceeds min(samples, basis size)";
+    {
+      k;
+      m;
+      tol;
+      on_singular;
+      max_lambda;
+      f;
+      selected = Array.make m false;
+      support = Array.make (max max_lambda 1) 0;
+      rhs = Array.make (max max_lambda 1) 0.;
+      chol = Cholesky.Grow.create (max max_lambda 1);
+      cache = Provider.Cache.create src;
+      res = Array.copy f;
+      steps_rev = [];
+      stop = false;
+      initial_corr = 0.;
+      p = 0;
+      degraded = false;
+      fallback_note = None;
+      coeffs = [||];
+    }
+
+  let size t = t.p
+  let finished t = t.stop || t.p >= t.max_lambda
+  let residual t = t.res
+  let skip_mask t = t.selected
+  let support t = Array.sub t.support 0 t.p
+  let coeffs t = t.coeffs
+  let scale t = t.initial_corr
+  let column t j = Provider.Cache.column t.cache j
+  let steps t = Array.of_list (List.rev t.steps_rev)
+
   (* Accept column [j]: extend the Gram factor (or enter degraded mode),
      record support and right-hand side. Returns false when the path
      must stop instead ([`Stop] on a dependent column). Shared by live
      selection and checkpoint replay so both degrade identically. *)
-  let accept j =
+  let accept t j =
     let ok =
-      if !degraded then true
+      if t.degraded then true
       else begin
         let cross =
-          Array.init !p (fun q -> Provider.Cache.col_col_dot cache support.(q) j)
+          Array.init t.p (fun q ->
+              Provider.Cache.col_col_dot t.cache t.support.(q) j)
         in
-        let diag = Provider.Cache.col_col_dot cache j j in
-        match Cholesky.Grow.append chol cross diag with
+        let diag = Provider.Cache.col_col_dot t.cache j j in
+        match Cholesky.Grow.append t.chol cross diag with
         | () -> true
         | exception Cholesky.Not_positive_definite _ -> (
             (* Column linearly dependent on the selected set: the plain
                LS re-fit would be singular. *)
-            match on_singular with
+            match t.on_singular with
             | `Stop -> false
             | `Fallback ->
-                degraded := true;
+                t.degraded <- true;
                 true)
       end
     in
     if ok then begin
-      support.(!p) <- j;
-      selected.(j) <- true;
-      rhs.(!p) <- Provider.Cache.col_dot cache j f;
-      incr p
+      t.support.(t.p) <- j;
+      t.selected.(j) <- true;
+      t.rhs.(t.p) <- Provider.Cache.col_dot t.cache j t.f;
+      t.p <- t.p + 1
     end;
     ok
-  in
+
   (* Step 6: re-fit all selected coefficients (eq. (22)) — through the
      incremental factor normally, through the fallback ladder once
      degraded. *)
-  let refit_coeffs () =
-    if not !degraded then Cholesky.Grow.solve chol (Array.sub rhs 0 !p)
+  let refit_coeffs t =
+    if not t.degraded then Cholesky.Grow.solve t.chol (Array.sub t.rhs 0 t.p)
     else begin
       let cols =
-        Array.map (Provider.Cache.column cache) (Array.sub support 0 !p)
+        Array.map (Provider.Cache.column t.cache) (Array.sub t.support 0 t.p)
       in
-      let coeffs, fb = Refit.solve_cols cols f in
-      fallback_note := Refit.note fb;
+      let coeffs, fb = Refit.solve_cols cols t.f in
+      t.fallback_note <- Refit.note fb;
       coeffs
     end
-  in
-  let make_model coeffs =
+
+  let make_model t coeffs =
     let model =
-      Model.make ~basis_size:m ~support:(Array.sub support 0 !p) ~coeffs
+      Model.make ~basis_size:t.m ~support:(Array.sub t.support 0 t.p) ~coeffs
     in
-    match !fallback_note with
+    match t.fallback_note with
     | None -> model
     | Some note -> Model.add_note model note
-  in
-  let residual_refresh coeffs =
-    let sub = Array.sub support 0 !p in
-    let cols = Array.map (Provider.Cache.column cache) sub in
-    let new_res = Lstsq.residual_cols cols coeffs f in
-    Array.blit new_res 0 res 0 k
-  in
-  let last_ckpt = ref 0 in
-  let emit_now () =
-    match on_checkpoint with
-    | None -> ()
-    | Some cb ->
-        cb
+
+  let residual_refresh t coeffs =
+    let sub = Array.sub t.support 0 t.p in
+    let cols = Array.map (Provider.Cache.column t.cache) sub in
+    let new_res = Lstsq.residual_cols cols coeffs t.f in
+    Array.blit new_res 0 t.res 0 t.k
+
+  (* Apply one selection (the [Corr_sweep.argmax_abs] result on this
+     engine's residual). Returns true when a step was recorded — false
+     means the path stopped without moving. *)
+  let advance t (best, best_abs) =
+    if finished t then false
+    else begin
+      if t.p = 0 then t.initial_corr <- best_abs;
+      if best < 0 || best_abs <= t.tol *. Float.max t.initial_corr 1. then begin
+        t.stop <- true;
+        false
+      end
+      else if not (accept t best) then begin
+        t.stop <- true;
+        false
+      end
+      else begin
+        let coeffs = refit_coeffs t in
+        (* Step 7: fresh residual from the re-fitted model, applied over
+           the cached support columns. *)
+        residual_refresh t coeffs;
+        t.coeffs <- coeffs;
+        t.steps_rev <-
           {
-            Serialize.Checkpoint.solver = "omp";
-            k;
-            m;
-            scale = !initial_corr;
-            support = Array.sub support 0 !p;
-          };
-        last_ckpt := !p
-  in
-  let emit_checkpoint () =
-    if checkpoint_every > 0 && !p mod checkpoint_every = 0 then emit_now ()
-  in
-  (* Resume: replay the checkpointed selections without the O(K·M)
+            index = best;
+            correlation = best_abs /. float_of_int t.k;
+            residual_norm = Vec.nrm2 t.res;
+            model = make_model t coeffs;
+          }
+          :: t.steps_rev;
+        if Vec.nrm2 t.res <= 1e-14 *. Float.max (Vec.nrm2 t.f) 1. then
+          t.stop <- true;
+        true
+      end
+    end
+
+  (* Resume: replay checkpointed selections without the O(K·M)
      correlation sweeps, then run one re-fit and residual refresh —
      bitwise the state an uninterrupted run had after the same steps. *)
+  let replay t ~scale support =
+    if Array.length support > t.max_lambda then
+      invalid_arg "Omp.path: checkpoint support exceeds max_lambda";
+    t.initial_corr <- scale;
+    Array.iter
+      (fun j ->
+        if t.selected.(j) then
+          invalid_arg "Omp.path: duplicate support index in checkpoint";
+        if not (accept t j) then
+          invalid_arg
+            "Omp.path: checkpoint replays a singular step (was it written \
+             with ~on_singular:`Fallback?)")
+      support;
+    if t.p > 0 then begin
+      let coeffs = refit_coeffs t in
+      residual_refresh t coeffs;
+      t.coeffs <- coeffs;
+      let rn = Vec.nrm2 t.res in
+      t.steps_rev <-
+        [
+          {
+            index = t.support.(t.p - 1);
+            correlation = 0.;
+            residual_norm = rn;
+            model = make_model t coeffs;
+          };
+        ];
+      if rn <= 1e-14 *. Float.max (Vec.nrm2 t.f) 1. then t.stop <- true
+    end
+end
+
+let path_p ?tol ?pool ?on_singular ?(checkpoint_every = 0) ?on_checkpoint
+    ?resume ?(sweep = Corr_sweep.Exact) src f ~max_lambda =
+  if checkpoint_every < 0 then
+    invalid_arg "Omp.path: negative checkpoint interval";
+  let eng = Engine.create ?tol ?on_singular src f ~max_lambda in
+  let k = eng.Engine.k and m = eng.Engine.m in
+  let last_ckpt = ref 0 in
   (match resume with
   | None -> ()
   | Some c ->
@@ -131,72 +235,90 @@ let path_p ?(tol = 1e-12) ?pool ?(on_singular = `Stop) ?(checkpoint_every = 0)
           (Printf.sprintf
              "Omp.path: checkpoint shape %dx%d disagrees with problem %dx%d"
              c.k c.m k m);
-      if Array.length c.support > max_lambda then
-        invalid_arg "Omp.path: checkpoint support exceeds max_lambda";
-      initial_corr := c.scale;
-      Array.iter
-        (fun j ->
-          if selected.(j) then
-            invalid_arg "Omp.path: duplicate support index in checkpoint";
-          if not (accept j) then
-            invalid_arg
-              "Omp.path: checkpoint replays a singular step (was it written \
-               with ~on_singular:`Fallback?)")
-        c.support;
-      if !p > 0 then begin
-        let coeffs = refit_coeffs () in
-        residual_refresh coeffs;
-        let rn = Vec.nrm2 res in
-        steps :=
-          [
-            {
-              index = support.(!p - 1);
-              correlation = 0.;
-              residual_norm = rn;
-              model = make_model coeffs;
-            };
-          ];
-        if rn <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
-      end);
-  last_ckpt := !p;
-  while (not !stop) && !p < max_lambda do
+      Engine.replay eng ~scale:c.scale c.support);
+  last_ckpt := Engine.size eng;
+  (* Incremental mode: maintain c = Gᵀ·res through cached Gram columns.
+     Created after any resume replay so the initial exact sweep sees the
+     resumed residual — the same refresh point the uninterrupted run hit
+     when it emitted the checkpoint. *)
+  let inc =
+    match sweep with
+    | Corr_sweep.Exact -> None
+    | Corr_sweep.Incremental { refresh } ->
+        Some (Corr_sweep.Inc.create ?pool ~refresh src (Engine.residual eng))
+  in
+  let prev_coeffs = ref (Array.copy (Engine.coeffs eng)) in
+  let emit_now () =
+    match on_checkpoint with
+    | None -> ()
+    | Some cb ->
+        cb
+          {
+            Serialize.Checkpoint.solver = "omp";
+            k;
+            m;
+            scale = Engine.scale eng;
+            support = Engine.support eng;
+          };
+        last_ckpt := Engine.size eng;
+        (* Checkpoint-aligned exact refresh: a resumed incremental run
+           rebuilds c from an exact sweep here, so refreshing now keeps
+           the uninterrupted run bitwise equal to any resumed one. *)
+        (match inc with
+        | None -> ()
+        | Some ic -> Corr_sweep.Inc.refresh ic (Engine.residual eng))
+  in
+  let emit_checkpoint () =
+    if checkpoint_every > 0 && Engine.size eng mod checkpoint_every = 0 then
+      emit_now ()
+  in
+  while not (Engine.finished eng) do
     (* Step 3: inner products of the residual with every basis vector.
        The 1/K factor of eq. (18) is a monotone scaling; the argmax is
-       unaffected, so we keep raw dot products. The sweep is
-       column-parallel and bitwise equal to this sequential scan. *)
-    let best, best_abs = Corr_sweep.argmax_abs ?pool ~skip:selected src res in
-    if !p = 0 then initial_corr := best_abs;
-    if best < 0 || best_abs <= tol *. Float.max !initial_corr 1. then
-      stop := true
-    else if not (accept best) then stop := true
-    else begin
-      let coeffs = refit_coeffs () in
-      (* Step 7: fresh residual from the re-fitted model, applied over
-         the cached support columns. *)
-      residual_refresh coeffs;
-      steps :=
-        {
-          index = best;
-          correlation = best_abs /. float_of_int k;
-          residual_norm = Vec.nrm2 res;
-          model = make_model coeffs;
-        }
-        :: !steps;
-      emit_checkpoint ();
-      if Vec.nrm2 res <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
+       unaffected, so we keep raw dot products. Exact mode sweeps all
+       columns (bitwise equal to the sequential scan); incremental mode
+       scans the delta-maintained correlation vector. *)
+    let pick =
+      match inc with
+      | None ->
+          Corr_sweep.argmax_abs ?pool ~skip:(Engine.skip_mask eng) src
+            (Engine.residual eng)
+      | Some ic -> Corr_sweep.Inc.argmax_abs ~skip:(Engine.skip_mask eng) ic
+    in
+    if Engine.advance eng pick then begin
+      (match inc with
+      | None -> ()
+      | Some ic ->
+          let sup = Engine.support eng and cur = Engine.coeffs eng in
+          let np = Array.length sup in
+          let jnew = sup.(np - 1) in
+          Corr_sweep.Inc.ensure_gram ic jnew (Engine.column eng jnew);
+          let prev = !prev_coeffs in
+          let deltas =
+            Array.init np (fun q ->
+                ( sup.(q),
+                  cur.(q) -. (if q < Array.length prev then prev.(q) else 0.)
+                ))
+          in
+          Corr_sweep.Inc.apply_deltas ic deltas;
+          prev_coeffs := Array.copy cur;
+          Corr_sweep.Inc.note_step ic;
+          if Corr_sweep.Inc.due ic then
+            Corr_sweep.Inc.refresh ic (Engine.residual eng));
+      emit_checkpoint ()
     end
   done;
   (* Terminal checkpoint: when lambda is not a multiple of the cadence
      the mod test above skips the final selections, and a resume would
      replay a stale prefix — always leave the completed support. *)
-  if !p > !last_ckpt then emit_now ();
-  Array.of_list (List.rev !steps)
+  if Engine.size eng > !last_ckpt then emit_now ();
+  Engine.steps eng
 
-let fit_p ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint ?resume src f
-    ~lambda =
+let fit_p ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint ?resume
+    ?sweep src f ~lambda =
   let steps =
-    path_p ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint ?resume src
-      f ~max_lambda:lambda
+    path_p ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint ?resume
+      ?sweep src f ~max_lambda:lambda
   in
   if Array.length steps = 0 then
     Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]

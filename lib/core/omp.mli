@@ -27,6 +27,45 @@ type step = {
   model : Model.t;  (** model after this iteration *)
 }
 
+(** The per-step OMP state machine behind {!path_p}, exposed for the
+    fused lockstep CV driver in {!Select}: create one engine per fold,
+    compute all live folds' selections with one
+    {!Corr_sweep.argmax_abs_multi} call, feed each to {!Engine.advance}.
+    Driving an engine with the selections {!Corr_sweep.argmax_abs}
+    produces on its own residual replays the monolithic loop bit for
+    bit, so fused CV is bitwise identical to fold-at-a-time CV. *)
+module Engine : sig
+  type t
+
+  val create :
+    ?tol:float ->
+    ?on_singular:[ `Stop | `Fallback ] ->
+    Polybasis.Design.Provider.t ->
+    Linalg.Vec.t ->
+    max_lambda:int ->
+    t
+  (** Same validation and defaults as {!path_p}. *)
+
+  val finished : t -> bool
+  (** True once the path stopped or reached [max_lambda] steps. *)
+
+  val size : t -> int
+  (** Number of selected columns so far. *)
+
+  val residual : t -> Linalg.Vec.t
+  (** Live residual buffer (read-only; refreshed by {!advance}). *)
+
+  val skip_mask : t -> bool array
+  (** Live selected-column mask — the [~skip] argument for the sweep. *)
+
+  val advance : t -> int * float -> bool
+  (** [advance t (j*, |c*|)] applies one selection; true iff a step was
+      recorded (false = the path stopped without moving). *)
+
+  val steps : t -> step array
+  (** Steps recorded so far, oldest first. *)
+end
+
 val path_p :
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
@@ -34,6 +73,7 @@ val path_p :
   ?checkpoint_every:int ->
   ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
   ?resume:Serialize.Checkpoint.t ->
+  ?sweep:Corr_sweep.sweep ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_lambda:int ->
@@ -65,6 +105,18 @@ val path_p :
     uninterrupted run with the same inputs. The replayed state is
     returned as one leading step (its [correlation] is 0).
 
+    [sweep] selects the correlation engine (default
+    {!Corr_sweep.Exact}). [Incremental] maintains the correlation
+    vector through Gram-cached delta updates (O(p·M) per step after an
+    O(K·M) cache build per entering column) with exact refreshes on the
+    configured cadence and at every checkpoint emission; selections may
+    differ from the exact sweep within float-drift tolerance (validated
+    ≤1e-10 relative in the test suite), so the mode is opt-in. For OMP
+    the entering column's cache build costs what the sweep it replaces
+    did, so this mode is roughly cost-neutral per step — the LAR path
+    (two sweeps, one eliminated outright) is where it pays; it is
+    supported here for mode-uniformity across solvers.
+
     The O(K·M) Step-3 correlation sweep — the dominant cost per
     iteration — runs column-parallel over [pool] (default:
     {!Parallel.Pool.default}) via {!Corr_sweep}; the selected support,
@@ -83,6 +135,7 @@ val fit_p :
   ?checkpoint_every:int ->
   ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
   ?resume:Serialize.Checkpoint.t ->
+  ?sweep:Corr_sweep.sweep ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->

@@ -47,8 +47,20 @@ let fold_cache ~base ~resume ~folds ~n ~max_lambda ~plan_digest =
   in
   { Stat.Crossval.load; store }
 
-let generic_p ?(folds = 4) ?(rule = Min_error) ?pool ?checkpoint
-    ?(resume = false) rng ~max_lambda ~path_models src f =
+(* Held-out error curve of a fitted fold path — shared verbatim by the
+   per-fold and fused drivers so their curves come from the same float
+   sequence. *)
+let held_out_curve ~max_lambda src f models held_out =
+  if Array.length models = 0 then
+    invalid_arg "Select: solver produced an empty path";
+  let src_ho = Provider.select_rows src held_out in
+  let f_ho = Array.map (fun i -> f.(i)) held_out in
+  Array.init max_lambda (fun l ->
+      let m = models.(min l (Array.length models - 1)) in
+      Model.error_on_p m src_ho f_ho)
+
+let generic_impl ?(folds = 4) ?(rule = Min_error) ?pool ?checkpoint
+    ?(resume = false) ?fused_curves rng ~max_lambda ~path_models src f =
   if max_lambda <= 0 then invalid_arg "Select: max_lambda must be positive";
   let n = Provider.rows src in
   let plan = Stat.Crossval.make_plan rng ~n ~folds in
@@ -69,23 +81,24 @@ let generic_p ?(folds = 4) ?(rule = Min_error) ?pool ?checkpoint
         Some (fold_cache ~base ~resume ~folds ~n ~max_lambda ~plan_digest)
   in
   (* Per-fold error curves: the mean gives the paper's epsilon(lambda),
-     the spread gives the standard error the One_se rule needs. Folds
-     are fitted in parallel (one chunk per fold); each writes only its
-     own slot, and the averaging below runs in fold order, so the curve
-     is bitwise independent of the domain count. *)
+     the spread gives the standard error the One_se rule needs. In the
+     per-fold driver, folds are fitted in parallel (one chunk per
+     fold); the fused driver instead runs all fold solvers in lockstep
+     sharing one multi-residual sweep per step. Either way each fold
+     owns its own slot and the averaging below runs in fold order, so
+     the curve is bitwise independent of the driver and domain count. *)
   let fold_curves =
-    Stat.Crossval.run_fold_curves ~pool ?cache plan
-      ~fit_curve:(fun q ~train ~held_out ->
-        let src_tr = Provider.select_rows src train in
-        let f_tr = Array.map (fun i -> f.(i)) train in
-        let src_ho = Provider.select_rows src held_out in
-        let f_ho = Array.map (fun i -> f.(i)) held_out in
-        let models = path_models ~rng:fold_rngs.(q) src_tr f_tr ~max_lambda in
-        if Array.length models = 0 then
-          invalid_arg "Select: solver produced an empty path";
-        Array.init max_lambda (fun l ->
-            let m = models.(min l (Array.length models - 1)) in
-            Model.error_on_p m src_ho f_ho))
+    match fused_curves with
+    | Some fit_curves -> Stat.Crossval.run_fold_curves_batch ?cache plan ~fit_curves
+    | None ->
+        Stat.Crossval.run_fold_curves ~pool ?cache plan
+          ~fit_curve:(fun q ~train ~held_out ->
+            let src_tr = Provider.select_rows src train in
+            let f_tr = Array.map (fun i -> f.(i)) train in
+            let models =
+              path_models ~rng:fold_rngs.(q) src_tr f_tr ~max_lambda
+            in
+            held_out_curve ~max_lambda src f models held_out)
   in
   let fq = float_of_int folds in
   let curve =
@@ -117,6 +130,11 @@ let generic_p ?(folds = 4) ?(rule = Min_error) ?pool ?checkpoint
   let final = path_models ~rng:refit_rng src f ~max_lambda:lambda in
   { model = final.(Array.length final - 1); lambda; curve }
 
+let generic_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda
+    ~path_models src f =
+  generic_impl ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda
+    ~path_models src f
+
 let generic ?folds ?rule ?pool rng ~max_lambda ~path_models g f =
   generic_p ?folds ?rule ?pool rng ~max_lambda
     ~path_models:(fun ~rng src f ~max_lambda ->
@@ -128,8 +146,110 @@ let clamp_lambda ~max_lambda cap =
      rows; the caller's max_lambda is clamped accordingly. *)
   min max_lambda cap
 
-let omp_p ?folds ?rule ?pool ?on_singular ?checkpoint ?resume rng ~max_lambda
-    src f =
+(* Whether a fused lockstep drive applies: fused sweeps require the
+   exact correlation engine (the incremental engine maintains per-fold
+   state the multi sweep cannot share), and by default they are worth
+   it exactly when column generation is the cost being amortized —
+   streamed providers. [?fused] overrides the default either way. *)
+let resolve_fused ~sweep ~fused src =
+  (match sweep with
+  | None | Some Corr_sweep.Exact -> true
+  | Some (Corr_sweep.Incremental _) -> false)
+  && (match fused with Some b -> b | None -> Provider.is_streamed src)
+
+(* Fused lockstep fold fitting: one solver engine per uncached fold;
+   each round computes every live fold's selection with a single fused
+   multi-residual sweep over the full provider (per-fold training rows
+   as index sets), then advances each engine one step. A fold's sweep
+   accumulates over exactly its training rows in ascending order —
+   bitwise the sweep over its [select_rows] provider — and the engines
+   replay the monolithic loop bodies, so the resulting curves are
+   bitwise identical to fold-at-a-time fitting while streamed column
+   generation is paid once per round instead of once per live fold. *)
+let fused_omp_curves ?on_singular ?pool src f ~max_lambda pending =
+  let engines =
+    Array.map
+      (fun (_, train, _) ->
+        let src_tr = Provider.select_rows src train in
+        let f_tr = Array.map (fun i -> f.(i)) train in
+        let ml =
+          min max_lambda (min (Provider.rows src_tr) (Provider.cols src_tr))
+        in
+        (Omp.Engine.create ?on_singular src_tr f_tr ~max_lambda:ml, train))
+      pending
+  in
+  let running = ref true in
+  while !running do
+    let live = ref [] in
+    for i = Array.length engines - 1 downto 0 do
+      if not (Omp.Engine.finished (fst engines.(i))) then live := i :: !live
+    done;
+    match !live with
+    | [] -> running := false
+    | live ->
+        let live = Array.of_list live in
+        let rows = Array.map (fun i -> snd engines.(i)) live in
+        let rs =
+          Array.map (fun i -> Omp.Engine.residual (fst engines.(i))) live
+        in
+        let skips =
+          Array.map (fun i -> Omp.Engine.skip_mask (fst engines.(i))) live
+        in
+        let picks = Corr_sweep.argmax_abs_multi ?pool ~skips src ~rows rs in
+        Array.iteri
+          (fun ii i -> ignore (Omp.Engine.advance (fst engines.(i)) picks.(ii)))
+          live
+  done;
+  Array.mapi
+    (fun i (_, _, held_out) ->
+      let models =
+        Array.map (fun s -> s.Omp.model) (Omp.Engine.steps (fst engines.(i)))
+      in
+      held_out_curve ~max_lambda src f models held_out)
+    pending
+
+let fused_star_curves ?pool src f ~max_lambda pending =
+  let engines =
+    Array.map
+      (fun (_, train, _) ->
+        let src_tr = Provider.select_rows src train in
+        let f_tr = Array.map (fun i -> f.(i)) train in
+        (Star.Engine.create src_tr f_tr ~max_lambda, train))
+      pending
+  in
+  let running = ref true in
+  while !running do
+    let live = ref [] in
+    for i = Array.length engines - 1 downto 0 do
+      if not (Star.Engine.finished (fst engines.(i))) then live := i :: !live
+    done;
+    match !live with
+    | [] -> running := false
+    | live ->
+        let live = Array.of_list live in
+        let rows = Array.map (fun i -> snd engines.(i)) live in
+        let rs =
+          Array.map (fun i -> Star.Engine.residual (fst engines.(i))) live
+        in
+        let skips =
+          Array.map (fun i -> Star.Engine.skip_mask (fst engines.(i))) live
+        in
+        let picks = Corr_sweep.argmax_abs_multi ?pool ~skips src ~rows rs in
+        Array.iteri
+          (fun ii i ->
+            ignore (Star.Engine.advance (fst engines.(i)) picks.(ii)))
+          live
+  done;
+  Array.mapi
+    (fun i (_, _, held_out) ->
+      let models =
+        Array.map (fun s -> s.Star.model) (Star.Engine.steps (fst engines.(i)))
+      in
+      held_out_curve ~max_lambda src f models held_out)
+    pending
+
+let omp_p ?folds ?rule ?pool ?on_singular ?sweep ?fused ?checkpoint ?resume
+    rng ~max_lambda src f =
   let cap_rows =
     (* smallest fold training size: n − ceil(n/Q) *)
     let n = Provider.rows src in
@@ -139,24 +259,39 @@ let omp_p ?folds ?rule ?pool ?on_singular ?checkpoint ?resume rng ~max_lambda
   let max_lambda =
     clamp_lambda ~max_lambda (min cap_rows (Provider.cols src))
   in
-  generic_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda
+  let fused_curves =
+    if resolve_fused ~sweep ~fused src then
+      Some (fused_omp_curves ?on_singular ?pool src f ~max_lambda)
+    else None
+  in
+  generic_impl ?folds ?rule ?pool ?checkpoint ?resume ?fused_curves rng
+    ~max_lambda
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
       let max_lambda =
         min max_lambda (min (Provider.rows src) (Provider.cols src))
       in
       Array.map
         (fun s -> s.Omp.model)
-        (Omp.path_p ?pool ?on_singular src f ~max_lambda))
+        (Omp.path_p ?pool ?on_singular ?sweep src f ~max_lambda))
     src f
 
-let star_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda src f =
+let star_p ?folds ?rule ?pool ?sweep ?fused ?checkpoint ?resume rng ~max_lambda
+    src f =
   let max_lambda = clamp_lambda ~max_lambda (Provider.cols src) in
-  generic_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda
+  let fused_curves =
+    if resolve_fused ~sweep ~fused src then
+      Some (fused_star_curves ?pool src f ~max_lambda)
+    else None
+  in
+  generic_impl ?folds ?rule ?pool ?checkpoint ?resume ?fused_curves rng
+    ~max_lambda
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
-      Array.map (fun s -> s.Star.model) (Star.path_p ?pool src f ~max_lambda))
+      Array.map
+        (fun s -> s.Star.model)
+        (Star.path_p ?pool ?sweep src f ~max_lambda))
     src f
 
-let lars_p ?folds ?rule ?mode ?pool ?on_singular ?checkpoint ?resume rng
+let lars_p ?folds ?rule ?mode ?pool ?on_singular ?sweep ?checkpoint ?resume rng
     ~max_lambda src f =
   let cap_rows =
     let n = Provider.rows src in
@@ -169,7 +304,9 @@ let lars_p ?folds ?rule ?mode ?pool ?on_singular ?checkpoint ?resume rng
   generic_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
       let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
-      let steps = Lars.path_p ?mode ?pool ?on_singular src f ~max_steps in
+      let steps =
+        Lars.path_p ?mode ?pool ?on_singular ?sweep src f ~max_steps
+      in
       if Array.length steps = 0 then [||]
       else begin
         (* Entry λ−1 holds the last path model with at most λ active

@@ -41,26 +41,42 @@ type result = {
 val omp_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
   ?on_singular:[ `Stop | `Fallback ] ->
+  ?sweep:Corr_sweep.sweep -> ?fused:bool ->
   ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
   max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
 (** Default [folds = 4] (the paper's Fig. 2 setting) and
     [rule = Min_error]. [on_singular] is forwarded to {!Omp.path_p} for
     every fold fit and the final refit. [checkpoint]/[resume] as in
-    {!generic_p}. *)
+    {!generic_p}.
+
+    [sweep] (default [Exact]) is forwarded to the fold fits and the
+    final refit. [fused] controls the {e fused lockstep} fold driver:
+    all fold solvers advance in lockstep, each round computing every
+    live fold's selection with one {!Corr_sweep.argmax_abs_multi}
+    sweep, so streamed column generation is paid once per round instead
+    of once per fold — with curves, λ and model bitwise identical to
+    the fold-at-a-time driver. Default: on for streamed providers with
+    the exact sweep, off otherwise; an [Incremental] sweep forces it
+    off (per-fold incremental state cannot share one sweep). *)
 
 val star_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
+  ?sweep:Corr_sweep.sweep -> ?fused:bool ->
   ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
   max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
+(** [sweep]/[fused] as in {!omp_p}. *)
 
 val lars_p :
   ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> ?pool:Parallel.Pool.t ->
   ?on_singular:[ `Stop | `Fallback ] ->
+  ?sweep:Corr_sweep.sweep ->
   ?checkpoint:string -> ?resume:bool ->
   Randkit.Prng.t -> max_lambda:int -> Polybasis.Design.Provider.t ->
   Linalg.Vec.t -> result
 (** [on_singular] is forwarded to {!Lars.path_p} for every fold fit and
-    the final refit. [checkpoint]/[resume] as in {!generic_p}. *)
+    the final refit. [checkpoint]/[resume] as in {!generic_p}. [sweep]
+    as in {!omp_p} (no fused driver for the LAR walk — its per-step
+    state is not a single argmax selection). *)
 
 val generic_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->

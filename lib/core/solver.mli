@@ -40,6 +40,7 @@ val fit_cv :
 
 val fit_cv_p :
   ?folds:int -> ?max_lambda:int -> ?on_singular:[ `Stop | `Fallback ] ->
+  ?sweep:Corr_sweep.sweep -> ?fused:bool ->
   ?cv_checkpoint:string -> ?cv_resume:bool -> Randkit.Prng.t ->
   Polybasis.Design.Provider.t -> Linalg.Vec.t -> method_ -> Model.t
 (** {!fit_cv} over a design provider. The greedy path methods (STAR,
@@ -52,6 +53,11 @@ val fit_cv_p :
     routes singular active-set re-fits through the {!Refit} ladder
     instead of stopping, recording the rung in {!Model.notes}. Ignored
     by the other methods.
+
+    [sweep] selects the correlation engine for the path methods (default
+    {!Corr_sweep.Exact}); [fused] controls the fused lockstep CV driver
+    for OMP/STAR — both forwarded to the {!Select} [_p] entry points
+    (see {!Select.omp_p}). Ignored by [Ls]/[Stomp]/[Cosamp].
 
     [cv_checkpoint]/[cv_resume] enable per-fold CV checkpointing for the
     path methods (STAR, LAR, LASSO, OMP) — see {!Select.generic_p}.

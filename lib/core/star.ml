@@ -8,63 +8,148 @@ type step = {
   model : Model.t;
 }
 
-let path_p ?(tol = 1e-12) ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
-    src f ~max_lambda =
-  let k = Provider.rows src and m = Provider.cols src in
-  if Array.length f <> k then invalid_arg "Star.path: response length mismatch";
-  if max_lambda <= 0 then invalid_arg "Star.path: max_lambda must be positive";
-  if max_lambda > m then invalid_arg "Star.path: max_lambda exceeds basis size";
-  if checkpoint_every < 0 then
-    invalid_arg "Star.path: negative checkpoint interval";
-  let kf = float_of_int k in
-  let selected = Array.make m false in
-  let cache = Provider.Cache.create src in
-  let support = ref [] and coeffs = ref [] in
-  let res = Array.copy f in
-  let steps = ref [] in
-  let stop = ref false in
-  let initial_corr = ref 0. in
-  let p = ref 0 in
+(* Per-step state machine behind [path_p] — same role as [Omp.Engine]:
+   the fused CV driver in [Select] runs Q fold engines in lockstep with
+   one fused multi-residual sweep per round. [advance] runs exactly the
+   historical loop body, so the fused drive is bitwise identical. *)
+module Engine = struct
+  type t = {
+    k : int;
+    m : int;
+    kf : float;
+    tol : float;
+    max_lambda : int;
+    f : Vec.t;
+    selected : bool array;
+    cache : Provider.Cache.t;
+    mutable support_rev : int list;
+    mutable coeffs_rev : float list;
+    res : Vec.t;
+    mutable steps_rev : step list;
+    mutable stop : bool;
+    mutable initial_corr : float;
+    mutable p : int;
+  }
+
+  let create ?(tol = 1e-12) src f ~max_lambda =
+    let k = Provider.rows src and m = Provider.cols src in
+    if Array.length f <> k then
+      invalid_arg "Star.path: response length mismatch";
+    if max_lambda <= 0 then
+      invalid_arg "Star.path: max_lambda must be positive";
+    if max_lambda > m then
+      invalid_arg "Star.path: max_lambda exceeds basis size";
+    {
+      k;
+      m;
+      kf = float_of_int k;
+      tol;
+      max_lambda;
+      f;
+      selected = Array.make m false;
+      cache = Provider.Cache.create src;
+      support_rev = [];
+      coeffs_rev = [];
+      res = Array.copy f;
+      steps_rev = [];
+      stop = false;
+      initial_corr = 0.;
+      p = 0;
+    }
+
+  let size t = t.p
+  let finished t = t.stop || t.p >= t.max_lambda
+  let residual t = t.res
+  let skip_mask t = t.selected
+  let scale t = t.initial_corr
+  let column t j = Provider.Cache.column t.cache j
+  let support_newest_last t = Array.of_list (List.rev t.support_rev)
+  let steps t = Array.of_list (List.rev t.steps_rev)
+
   (* Accept column [j]: matching-pursuit coefficient from the current
      residual, subtract its contribution. The exact operation order is
      shared by live selection and checkpoint replay, so a resumed path
      reproduces an uninterrupted run bit for bit. *)
-  let accept j =
-    let colj = Provider.Cache.column cache j in
-    let alpha = Vec.dot colj res /. kf in
-    selected.(j) <- true;
-    support := j :: !support;
-    coeffs := alpha :: !coeffs;
-    incr p;
-    for i = 0 to k - 1 do
-      res.(i) <- res.(i) -. (alpha *. Array.unsafe_get colj i)
+  let accept t j =
+    let colj = Provider.Cache.column t.cache j in
+    let alpha = Vec.dot colj t.res /. t.kf in
+    t.selected.(j) <- true;
+    t.support_rev <- j :: t.support_rev;
+    t.coeffs_rev <- alpha :: t.coeffs_rev;
+    t.p <- t.p + 1;
+    for i = 0 to t.k - 1 do
+      t.res.(i) <- t.res.(i) -. (alpha *. Array.unsafe_get colj i)
     done;
     alpha
-  in
-  let make_model () =
-    Model.make ~basis_size:m
-      ~support:(Array.of_list !support)
-      ~coeffs:(Array.of_list !coeffs)
-  in
-  let last_ckpt = ref 0 in
-  let emit_now () =
-    match on_checkpoint with
-    | None -> ()
-    | Some cb ->
-        (* Selection order, newest last — the replay order. *)
-        cb
+
+  let make_model t =
+    Model.make ~basis_size:t.m
+      ~support:(Array.of_list t.support_rev)
+      ~coeffs:(Array.of_list t.coeffs_rev)
+
+  (* Apply one selection; [Some alpha] when a step was recorded. *)
+  let advance t (best, best_abs) =
+    if finished t then None
+    else begin
+      if t.p = 0 then t.initial_corr <- best_abs;
+      if best < 0 || best_abs <= t.tol *. Float.max t.initial_corr 1. then begin
+        t.stop <- true;
+        None
+      end
+      else begin
+        (* Coefficient taken directly from the eq. (18) estimator —
+           no re-fit of previously selected coefficients. The selected
+           column is materialized once and reused for the residual
+           update. *)
+        let alpha = accept t best in
+        t.steps_rev <-
           {
-            Serialize.Checkpoint.solver = "star";
-            k;
-            m;
-            scale = !initial_corr;
-            support = Array.of_list (List.rev !support);
+            index = best;
+            coefficient = alpha;
+            residual_norm = Vec.nrm2 t.res;
+            model = make_model t;
+          }
+          :: t.steps_rev;
+        if Vec.nrm2 t.res <= 1e-14 *. Float.max (Vec.nrm2 t.f) 1. then
+          t.stop <- true;
+        Some alpha
+      end
+    end
+
+  let replay t ~scale support =
+    if Array.length support > t.max_lambda then
+      invalid_arg "Star.path: checkpoint support exceeds max_lambda";
+    t.initial_corr <- scale;
+    let last_alpha = ref 0. and last_j = ref (-1) in
+    Array.iter
+      (fun j ->
+        if t.selected.(j) then
+          invalid_arg "Star.path: duplicate support index in checkpoint";
+        last_alpha := accept t j;
+        last_j := j)
+      support;
+    if t.p > 0 then begin
+      let rn = Vec.nrm2 t.res in
+      t.steps_rev <-
+        [
+          {
+            index = !last_j;
+            coefficient = !last_alpha;
+            residual_norm = rn;
+            model = make_model t;
           };
-        last_ckpt := !p
-  in
-  let emit_checkpoint () =
-    if checkpoint_every > 0 && !p mod checkpoint_every = 0 then emit_now ()
-  in
+        ];
+      if rn <= 1e-14 *. Float.max (Vec.nrm2 t.f) 1. then t.stop <- true
+    end
+end
+
+let path_p ?tol ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
+    ?(sweep = Corr_sweep.Exact) src f ~max_lambda =
+  if checkpoint_every < 0 then
+    invalid_arg "Star.path: negative checkpoint interval";
+  let eng = Engine.create ?tol src f ~max_lambda in
+  let k = eng.Engine.k and m = eng.Engine.m in
+  let last_ckpt = ref 0 in
   (match resume with
   | None -> ()
   | Some c ->
@@ -77,65 +162,76 @@ let path_p ?(tol = 1e-12) ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
           (Printf.sprintf
              "Star.path: checkpoint shape %dx%d disagrees with problem %dx%d"
              c.k c.m k m);
-      if Array.length c.support > max_lambda then
-        invalid_arg "Star.path: checkpoint support exceeds max_lambda";
-      initial_corr := c.scale;
-      let last_alpha = ref 0. and last_j = ref (-1) in
-      Array.iter
-        (fun j ->
-          if selected.(j) then
-            invalid_arg "Star.path: duplicate support index in checkpoint";
-          last_alpha := accept j;
-          last_j := j)
-        c.support;
-      if !p > 0 then begin
-        let rn = Vec.nrm2 res in
-        steps :=
-          [
-            {
-              index = !last_j;
-              coefficient = !last_alpha;
-              residual_norm = rn;
-              model = make_model ();
-            };
-          ];
-        if rn <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
-      end);
-  last_ckpt := !p;
-  while (not !stop) && !p < max_lambda do
+      Engine.replay eng ~scale:c.scale c.support);
+  last_ckpt := Engine.size eng;
+  (* Incremental correlation state — created after any resume replay so
+     its initial exact sweep sees the resumed residual (the refresh
+     point the uninterrupted run hit when emitting the checkpoint). *)
+  let inc =
+    match sweep with
+    | Corr_sweep.Exact -> None
+    | Corr_sweep.Incremental { refresh } ->
+        Some (Corr_sweep.Inc.create ?pool ~refresh src (Engine.residual eng))
+  in
+  let emit_now () =
+    match on_checkpoint with
+    | None -> ()
+    | Some cb ->
+        (* Selection order, newest last — the replay order. *)
+        cb
+          {
+            Serialize.Checkpoint.solver = "star";
+            k;
+            m;
+            scale = Engine.scale eng;
+            support = Engine.support_newest_last eng;
+          };
+        last_ckpt := Engine.size eng;
+        (match inc with
+        | None -> ()
+        | Some ic -> Corr_sweep.Inc.refresh ic (Engine.residual eng))
+  in
+  let emit_checkpoint () =
+    if checkpoint_every > 0 && Engine.size eng mod checkpoint_every = 0 then
+      emit_now ()
+  in
+  while not (Engine.finished eng) do
     (* Column-parallel eq. (18) sweep, bitwise equal to the sequential
-       scan for every domain count. *)
-    let best, best_abs = Corr_sweep.argmax_abs ?pool ~skip:selected src res in
-    if !p = 0 then initial_corr := best_abs;
-    if best < 0 || best_abs <= tol *. Float.max !initial_corr 1. then
-      stop := true
-    else begin
-      (* Coefficient taken directly from the eq. (18) estimator —
-         no re-fit of previously selected coefficients. The selected
-         column is materialized once and reused for the residual
-         update. *)
-      let alpha = accept best in
-      steps :=
-        {
-          index = best;
-          coefficient = alpha;
-          residual_norm = Vec.nrm2 res;
-          model = make_model ();
-        }
-        :: !steps;
-      emit_checkpoint ();
-      if Vec.nrm2 res <= 1e-14 *. Float.max (Vec.nrm2 f) 1. then stop := true
-    end
+       scan for every domain count; incremental mode scans the
+       delta-maintained correlation vector instead. *)
+    let pick =
+      match inc with
+      | None ->
+          Corr_sweep.argmax_abs ?pool ~skip:(Engine.skip_mask eng) src
+            (Engine.residual eng)
+      | Some ic -> Corr_sweep.Inc.argmax_abs ~skip:(Engine.skip_mask eng) ic
+    in
+    let best = fst pick in
+    match Engine.advance eng pick with
+    | None -> ()
+    | Some alpha ->
+        (match inc with
+        | None -> ()
+        | Some ic ->
+            (* Matching pursuit never revisits coefficients: the only
+               delta this step is α on the entering column. *)
+            Corr_sweep.Inc.ensure_gram ic best (Engine.column eng best);
+            Corr_sweep.Inc.apply_deltas ic [| (best, alpha) |];
+            Corr_sweep.Inc.note_step ic;
+            if Corr_sweep.Inc.due ic then
+              Corr_sweep.Inc.refresh ic (Engine.residual eng));
+        emit_checkpoint ()
   done;
   (* Terminal checkpoint: when lambda is not a multiple of the cadence
      the mod test above skips the final selections, and a resume would
      replay a stale prefix — always leave the completed support. *)
-  if !p > !last_ckpt then emit_now ();
-  Array.of_list (List.rev !steps)
+  if Engine.size eng > !last_ckpt then emit_now ();
+  Engine.steps eng
 
-let fit_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume src f ~lambda =
+let fit_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume ?sweep src f
+    ~lambda =
   let steps =
-    path_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume src f
+    path_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume ?sweep src f
       ~max_lambda:lambda
   in
   if Array.length steps = 0 then

@@ -21,12 +21,34 @@ type step = {
   model : Model.t;
 }
 
+(** Per-step STAR state machine — same contract as {!Omp.Engine}, used
+    by the fused lockstep CV driver in {!Select}. [advance] returns the
+    matching-pursuit coefficient when a step was recorded. *)
+module Engine : sig
+  type t
+
+  val create :
+    ?tol:float ->
+    Polybasis.Design.Provider.t ->
+    Linalg.Vec.t ->
+    max_lambda:int ->
+    t
+
+  val finished : t -> bool
+  val size : t -> int
+  val residual : t -> Linalg.Vec.t
+  val skip_mask : t -> bool array
+  val advance : t -> int * float -> float option
+  val steps : t -> step array
+end
+
 val path_p :
   ?tol:float ->
   ?pool:Parallel.Pool.t ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
   ?resume:Serialize.Checkpoint.t ->
+  ?sweep:Corr_sweep.sweep ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_lambda:int ->
@@ -46,7 +68,13 @@ val path_p :
     The eq. (18) correlation sweep runs column-parallel over [pool]
     (default: {!Parallel.Pool.default}); selections and coefficients are
     bitwise identical to the sequential dense scan for every domain
-    count and either provider form. *)
+    count and either provider form.
+
+    [sweep] follows the {!Omp.path_p} contract: [Incremental] maintains
+    the correlation vector through Gram-cached delta updates (here a
+    single [(j, α)] delta per step — STAR never revisits coefficients)
+    with exact refreshes on cadence and at checkpoint emissions;
+    numerically ≤1e-10-validated rather than bitwise, so opt-in. *)
 
 val fit_p :
   ?tol:float ->
@@ -54,6 +82,7 @@ val fit_p :
   ?checkpoint_every:int ->
   ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
   ?resume:Serialize.Checkpoint.t ->
+  ?sweep:Corr_sweep.sweep ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->

@@ -68,6 +68,28 @@ module Grow = struct
     if g.k = 0 then invalid_arg "Cholesky.Grow.remove_last: empty factor";
     g.k <- g.k - 1
 
+  let downdate_row g x =
+    if Array.length x <> g.k then
+      invalid_arg "Cholesky.Grow.downdate_row: row length mismatch";
+    (* Hyperbolic-rotation down-date of L·Lᵀ to L·Lᵀ − x·xᵀ, column by
+       column (LINPACK dchdd): each rotation zeroes one entry of the
+       carried copy of [x] against the matching diagonal. O(k²). *)
+    let x = Array.copy x in
+    let k = g.k in
+    for j = 0 to k - 1 do
+      let ljj = Mat.unsafe_get g.l j j in
+      let r2 = (ljj *. ljj) -. (x.(j) *. x.(j)) in
+      if r2 <= 0. then raise (Not_positive_definite j);
+      let r = sqrt r2 in
+      let c = r /. ljj and s = x.(j) /. ljj in
+      Mat.unsafe_set g.l j j r;
+      for i = j + 1 to k - 1 do
+        let lij = (Mat.unsafe_get g.l i j -. (s *. x.(i))) /. c in
+        Mat.unsafe_set g.l i j lij;
+        x.(i) <- (c *. x.(i)) -. (s *. lij)
+      done
+    done
+
   let factor_copy g =
     Mat.init g.k g.k (fun i j -> if j <= i then Mat.unsafe_get g.l i j else 0.)
 end

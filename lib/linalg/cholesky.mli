@@ -49,6 +49,18 @@ module Grow : sig
       appended column) — O(1); used for backtracking in cross-validation
       sweeps and for the lasso drop step in LARS. *)
 
+  val downdate_row : t -> Vec.t -> unit
+  (** [downdate_row g x] down-dates the factored matrix from [A] to
+      [A − x·xᵀ] in place at O(k²) — the Gram-matrix effect of removing
+      one sample row whose per-column entries are [x] (length [k]).
+      Removing [d] rows this way costs O(d·k²) instead of the
+      O(K·k² + k³) of refactorizing from the surviving rows, which is
+      what lets screening run after a warm start at large K.
+      @raise Not_positive_definite when the down-dated matrix is no
+      longer SPD (e.g. too few rows remain); the factor is then
+      partially modified and must be discarded.
+      @raise Invalid_argument on a length mismatch. *)
+
   val factor_copy : t -> Mat.t
   (** Current [k×k] lower factor, as a fresh matrix (for tests). *)
 end

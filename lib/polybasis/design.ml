@@ -454,6 +454,166 @@ module Provider = struct
            same column a sequential left-to-right scan would pick. *)
         if cb > ca then (jb, cb) else (ja, ca))
 
+  (* --- fused multi-residual sweeps --------------------------------- *)
+
+  (* The fold-parallel CV bottleneck on streamed providers is column
+     *generation*: Q folds each regenerate every Hermite column per
+     step. The multi kernels generate (or read) each column exactly once
+     and dot it against all Q fold residuals, so generation is paid once
+     per step instead of once per fold.
+
+     Bitwise contract: fold row sets are strictly ascending, so for each
+     fold the dot accumulates over exactly the rows (in the same order)
+     that a sweep over [select_rows p rows.(q)] would visit, and the
+     per-term product order matches [dots_block] / [entry]. The fused
+     result is therefore bitwise identical to Q independent sweeps. *)
+
+  let multi_check name p fold_rows rs =
+    let nq = Array.length rs in
+    if nq = 0 then
+      invalid_arg (Printf.sprintf "Design.Provider.%s: no residuals" name);
+    if Array.length fold_rows <> nq then
+      invalid_arg
+        (Printf.sprintf
+           "Design.Provider.%s: fold row sets / residuals count mismatch" name);
+    let k = rows p in
+    Array.iteri
+      (fun q idx ->
+        if Array.length rs.(q) <> Array.length idx then
+          invalid_arg
+            (Printf.sprintf "Design.Provider.%s: residual length mismatch" name);
+        let prev = ref (-1) in
+        Array.iter
+          (fun i ->
+            if i <= !prev || i >= k then
+              invalid_arg
+                (Printf.sprintf
+                   "Design.Provider.%s: fold rows must be strictly \
+                    ascending and in range"
+                   name);
+            prev := i)
+          idx)
+      fold_rows
+
+  (* Streamed block: materialize column j once into a K-length scratch
+     buffer, then one ascending-row dot per fold against its residual.
+     Const columns skip materialization and sum the residual directly —
+     the exact float sequence [dots_block] produces for them. *)
+  let multi_block_streamed s fold_rows rs ~lo ~hi ~emit =
+    let k = s.sk in
+    let vt = s.vtab in
+    let nq = Array.length rs in
+    let buf = acquire s (max 1 k) in
+    for j = lo to hi - 1 do
+      let ct = Array.unsafe_get s.cterms j in
+      (match ct with
+      | Const -> ()
+      | Single o ->
+          for i = 0 to k - 1 do
+            Array.unsafe_set buf i (Array.unsafe_get vt (o + i))
+          done
+      | Pair (o1, o2) ->
+          for i = 0 to k - 1 do
+            Array.unsafe_set buf i
+              (Array.unsafe_get vt (o1 + i) *. Array.unsafe_get vt (o2 + i))
+          done
+      | Many offs ->
+          for i = 0 to k - 1 do
+            let e = ref 1. in
+            Array.iter (fun o -> e := !e *. Array.unsafe_get vt (o + i)) offs;
+            Array.unsafe_set buf i !e
+          done);
+      for q = 0 to nq - 1 do
+        let idx = Array.unsafe_get fold_rows q in
+        let r = Array.unsafe_get rs q in
+        let n = Array.length r in
+        let acc = ref 0. in
+        (match ct with
+        | Const ->
+            for i = 0 to n - 1 do
+              acc := !acc +. Array.unsafe_get r i
+            done
+        | _ ->
+            for i = 0 to n - 1 do
+              acc :=
+                !acc
+                +. (Array.unsafe_get buf (Array.unsafe_get idx i)
+                   *. Array.unsafe_get r i)
+            done);
+        emit q j !acc
+      done
+    done;
+    release s buf
+
+  (* Dense block: read each stored column once per fold via direct
+     row-major indexing — same ascending-row accumulation. *)
+  let multi_block_dense g fold_rows rs ~lo ~hi ~emit =
+    let m = Mat.cols g in
+    let data = g.Mat.data in
+    let nq = Array.length rs in
+    for j = lo to hi - 1 do
+      for q = 0 to nq - 1 do
+        let idx = Array.unsafe_get fold_rows q in
+        let r = Array.unsafe_get rs q in
+        let n = Array.length r in
+        let acc = ref 0. in
+        for i = 0 to n - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get data ((Array.unsafe_get idx i * m) + j)
+               *. Array.unsafe_get r i)
+        done;
+        emit q j !acc
+      done
+    done
+
+  let gram_tr_multi ?pool p ~rows:fold_rows rs =
+    multi_check "gram_tr_multi" p fold_rows rs;
+    let m = cols p in
+    let nq = Array.length rs in
+    let outs = Array.init nq (fun _ -> Array.make m 0.) in
+    let pool = match pool with Some q -> q | None -> Parallel.Pool.default () in
+    Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:m (fun ~lo ~hi ->
+        let emit q j acc = outs.(q).(j) <- acc in
+        match p with
+        | Dense g -> multi_block_dense g fold_rows rs ~lo ~hi ~emit
+        | Streamed s -> multi_block_streamed s fold_rows rs ~lo ~hi ~emit);
+    outs
+
+  let argmax_abs_multi ?pool ~skips p ~rows:fold_rows rs =
+    multi_check "argmax_abs_multi" p fold_rows rs;
+    let m = cols p in
+    let nq = Array.length rs in
+    if Array.length skips <> nq then
+      invalid_arg "Design.Provider.argmax_abs_multi: skip mask count mismatch";
+    Array.iter
+      (fun sk ->
+        if Array.length sk <> m then
+          invalid_arg "Design.Provider.argmax_abs_multi: skip length mismatch")
+      skips;
+    let pool = match pool with Some q -> q | None -> Parallel.Pool.default () in
+    Parallel.Pool.parallel_reduce pool ?chunks:None ~lo:0 ~hi:m
+      ~init:(Array.make nq (-1, 0.))
+      ~fold:(fun ~lo ~hi ->
+        let best = Array.make nq (-1, 0.) in
+        let emit q j acc =
+          if not (Array.unsafe_get skips.(q) j) then begin
+            let c = Float.abs acc in
+            let _, b = best.(q) in
+            if c > b then best.(q) <- (j, c)
+          end
+        in
+        (match p with
+        | Dense g -> multi_block_dense g fold_rows rs ~lo ~hi ~emit
+        | Streamed s -> multi_block_streamed s fold_rows rs ~lo ~hi ~emit);
+        best)
+      ~combine:(fun a b ->
+        (* Strict > per fold keeps the earlier chunk's winner on exact
+           ties — same rule as the single-residual [argmax_abs]. *)
+        Array.init nq (fun q ->
+            let (_, ca) as xa = a.(q) and (_, cb) as xb = b.(q) in
+            if cb > ca then xb else xa))
+
   let column_norms ?pool p =
     match p with
     | Dense g -> column_norms ?pool g

@@ -128,6 +128,39 @@ module Provider : sig
       the lowest column index (strict [>] scan; earlier chunk wins the
       combine), matching a sequential left-to-right scan. *)
 
+  val gram_tr_multi :
+    ?pool:Parallel.Pool.t ->
+    t ->
+    rows:int array array ->
+    Linalg.Vec.t array ->
+    Linalg.Vec.t array
+  (** [gram_tr_multi p ~rows rs] is the fused multi-residual sweep: for
+      each fold [q], the correlation vector
+      [gram_tr (select_rows p rows.(q)) rs.(q)] — but every column is
+      generated (streamed) or read (dense) exactly {e once} and dotted
+      against all Q fold residuals, so matrix-free CV pays column
+      generation once per step instead of once per fold. Each fold's
+      dots accumulate over its rows in ascending order, so the result is
+      bitwise identical to the Q independent sweeps at every domain
+      count. Row sets must be strictly ascending (what
+      {!Stat.Crossval.fold_indices} produces).
+      @raise Invalid_argument on empty input, count/length mismatches,
+      or non-ascending/out-of-range rows. *)
+
+  val argmax_abs_multi :
+    ?pool:Parallel.Pool.t ->
+    skips:bool array array ->
+    t ->
+    rows:int array array ->
+    Linalg.Vec.t array ->
+    (int * float) array
+  (** [argmax_abs_multi ~skips p ~rows rs] is per-fold
+      {!argmax_abs}[ ~skip:skips.(q) (select_rows p rows.(q)) rs.(q)]
+      with the same single-generation fusion and the same bitwise
+      guarantee as {!gram_tr_multi} (strict [>], earlier chunk wins
+      ties). This is the selection kernel of the fused lockstep CV
+      driver in [Rsm.Select]. *)
+
   (** Per-fit cache of materialized active-set columns. The greedy
       solvers touch a few hundred columns out of up to ~10⁵; caching
       them (K floats each) keeps the active-set work (cross products,

@@ -13,6 +13,9 @@ type config = {
   streamed : bool;
   checkpoint : string option;
   resume : bool;
+  sweep : Rsm.Corr_sweep.sweep;
+  fused_cv : bool option;
+  rescreen : bool;
 }
 
 let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
@@ -20,9 +23,15 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
     ?(screen_threshold = Screen.default_threshold)
     ?(faults = Circuit.Simulator.no_faults)
     ?(retry = Circuit.Simulator.retry_policy ()) ?(min_samples = 30)
-    ?(streamed = false) ?checkpoint ?(resume = false) () =
+    ?(streamed = false) ?checkpoint ?(resume = false)
+    ?(sweep = Rsm.Corr_sweep.Exact) ?fused_cv ?(rescreen = false) () =
   let fail fmt = Printf.ksprintf (fun m -> Error (Error.Invalid_input m)) fmt in
   if folds < 2 then fail "folds must be at least 2, got %d" folds
+  else if
+    match sweep with
+    | Rsm.Corr_sweep.Incremental { refresh } -> refresh < 0
+    | Rsm.Corr_sweep.Exact -> false
+  then fail "incremental sweep refresh cadence must be non-negative"
   else if max_lambda < 1 then fail "max_lambda must be positive, got %d" max_lambda
   else if samples < 1 then fail "samples must be positive, got %d" samples
   else if screen_threshold <= 0. then
@@ -59,6 +68,9 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
         streamed;
         checkpoint;
         resume;
+        sweep;
+        fused_cv;
+        rescreen;
       }
 
 type outcome = {
@@ -69,6 +81,105 @@ type outcome = {
 }
 
 let ( let* ) = Result.bind
+
+(* Residual rescreen after a warm-start fit: score each row's residual
+   on the robust MAD scale and, when rows cross the threshold, repair
+   the active-set normal equations by *down-dating* the Gram factor one
+   dropped row at a time (O(d·p²), [Cholesky.Grow.downdate_row]) instead
+   of refactorizing from the surviving rows (O(K·p² + p³)). The support
+   is kept; only the coefficients move. If the down-dated factor loses
+   positive definiteness — too few surviving rows, near-duplicate
+   support columns — the refit falls back to a cold [Rsm.Refit] solve on
+   the kept rows, which always succeeds (ridge rung). *)
+let screen_refit ?(threshold = Screen.default_threshold) src f model =
+  if threshold <= 0. then
+    invalid_arg "Pipeline.screen_refit: threshold must be positive";
+  let n = Provider.rows src in
+  if Array.length f <> n then
+    invalid_arg "Pipeline.screen_refit: response length mismatch";
+  let support = model.Rsm.Model.support in
+  let p = Array.length support in
+  if p = 0 then (model, [||])
+  else begin
+    let pred = Rsm.Model.predict_p model src in
+    let res = Array.init n (fun i -> f.(i) -. pred.(i)) in
+    let med = Stat.Descriptive.median res in
+    let dev = Array.map (fun r -> Float.abs (r -. med)) res in
+    let sigma = Screen.mad_consistency *. Stat.Descriptive.median dev in
+    let dropped = ref [] in
+    if sigma > 0. then
+      for i = n - 1 downto 0 do
+        if Float.abs (res.(i) -. med) /. sigma > threshold then
+          dropped := i :: !dropped
+      done;
+    let dropped = Array.of_list !dropped in
+    let d = Array.length dropped in
+    if d = 0 then (model, [||])
+    else if n - d < p then
+      (* Fewer surviving rows than support columns: no refit can be
+         better-determined than the warm start — keep it, annotated. *)
+      ( Rsm.Model.add_note model
+          (Printf.sprintf
+             "rescreen: %d of %d rows flagged, too few left for the %d-column \
+              support; model kept"
+             d n p),
+        dropped )
+    else begin
+      let cols = Array.map (fun j -> Provider.column src j) support in
+      let is_dropped = Array.make n false in
+      Array.iter (fun i -> is_dropped.(i) <- true) dropped;
+      let coeffs, how =
+        match
+          let g = Linalg.Cholesky.Grow.create p in
+          let b = Array.make p 0. in
+          for q = 0 to p - 1 do
+            let v =
+              Array.init q (fun a -> Linalg.Vec.dot cols.(a) cols.(q))
+            in
+            Linalg.Cholesky.Grow.append g v (Linalg.Vec.dot cols.(q) cols.(q));
+            b.(q) <- Linalg.Vec.dot cols.(q) f
+          done;
+          Array.iter
+            (fun i ->
+              let x = Array.map (fun col -> col.(i)) cols in
+              Linalg.Cholesky.Grow.downdate_row g x;
+              Array.iteri
+                (fun q col -> b.(q) <- b.(q) -. (f.(i) *. col.(i)))
+                cols)
+            dropped;
+          Linalg.Cholesky.Grow.solve g b
+        with
+        | coeffs -> (coeffs, "gram downdate")
+        | exception Linalg.Cholesky.Not_positive_definite _ ->
+            (* Down-dated Gram went indefinite: cold LS on the kept rows
+               through the fallback ladder (ridge rung never fails). *)
+            let kept = ref [] in
+            for i = n - 1 downto 0 do
+              if not is_dropped.(i) then kept := i :: !kept
+            done;
+            let kept = Array.of_list !kept in
+            let gather col = Array.map (fun i -> col.(i)) kept in
+            let f_kept = gather f in
+            let coeffs, rung =
+              Rsm.Refit.solve_cols (Array.map gather cols) f_kept
+            in
+            ( coeffs,
+              match Rsm.Refit.note rung with
+              | None -> "cold refit"
+              | Some note -> Printf.sprintf "cold refit, %s" note )
+      in
+      let refit =
+        Rsm.Model.make ~basis_size:model.Rsm.Model.basis_size ~support
+          ~coeffs
+      in
+      let refit =
+        Array.fold_left Rsm.Model.add_note refit (Rsm.Model.notes model)
+      in
+      ( Rsm.Model.add_note refit
+          (Printf.sprintf "rescreen: dropped %d of %d rows (%s)" d n how),
+        dropped )
+    end
+  end
 
 let fit ?pool cfg sim basis rng =
   let* data, run_report =
@@ -99,17 +210,26 @@ let fit ?pool cfg sim basis rng =
              screen threshold"
             n cfg.samples cfg.min_samples))
   else
-    let* model =
+    let* src =
       Error.guard (fun () ->
           let pts = data.Circuit.Simulator.points in
-          let src =
-            if cfg.streamed then Provider.streamed basis pts
-            else Provider.dense (Polybasis.Design.matrix_rows ?pool basis pts)
-          in
+          if cfg.streamed then Provider.streamed basis pts
+          else Provider.dense (Polybasis.Design.matrix_rows ?pool basis pts))
+    in
+    let* model =
+      Error.guard (fun () ->
           Rsm.Solver.fit_cv_p ~folds:cfg.folds ~max_lambda:cfg.max_lambda
-            ~on_singular:`Fallback ?cv_checkpoint:cfg.checkpoint
-            ~cv_resume:cfg.resume rng src data.Circuit.Simulator.values
-            cfg.method_)
+            ~on_singular:`Fallback ~sweep:cfg.sweep ?fused:cfg.fused_cv
+            ?cv_checkpoint:cfg.checkpoint ~cv_resume:cfg.resume rng src
+            data.Circuit.Simulator.values cfg.method_)
+    in
+    let* model =
+      if not cfg.rescreen then Ok model
+      else
+        Error.guard (fun () ->
+            fst
+              (screen_refit ~threshold:cfg.screen_threshold src
+                 data.Circuit.Simulator.values model))
     in
     Ok { model; dataset = data; run_report; screen_report }
 

@@ -25,6 +25,12 @@ type config = {
   checkpoint : string option;
       (** base path for per-fold CV checkpoints ({!Rsm.Select}) *)
   resume : bool;  (** load matching fold checkpoints before fitting *)
+  sweep : Rsm.Corr_sweep.sweep;
+      (** correlation engine for the path solvers ({!Rsm.Corr_sweep}) *)
+  fused_cv : bool option;
+      (** fused lockstep CV fold driver; [None] = automatic
+          (on for streamed providers with the exact sweep) *)
+  rescreen : bool;  (** residual rescreen + down-date refit after the fit *)
 }
 
 val config :
@@ -40,16 +46,20 @@ val config :
   ?streamed:bool ->
   ?checkpoint:string ->
   ?resume:bool ->
+  ?sweep:Rsm.Corr_sweep.sweep ->
+  ?fused_cv:bool ->
+  ?rescreen:bool ->
   unit ->
   (config, Error.t) result
 (** Validated constructor. Defaults: OMP, 4 folds, [max_lambda = 100],
     1000 samples, screening on at {!Screen.default_threshold}, no
     injected faults, the default retry policy
     ({!Circuit.Simulator.retry_policy}), [min_samples = 30], dense
-    design, no checkpointing. Returns [Error (Invalid_input _)] on
-    non-positive counts or thresholds, [min_samples > samples], [resume]
-    without [checkpoint], or [checkpoint] with a method that has no λ
-    sweep (LS/StOMP/CoSaMP). *)
+    design, no checkpointing, exact sweep, automatic fused-CV choice,
+    no rescreen. Returns [Error (Invalid_input _)] on non-positive
+    counts or thresholds, a negative incremental refresh cadence,
+    [min_samples > samples], [resume] without [checkpoint], or
+    [checkpoint] with a method that has no λ sweep (LS/StOMP/CoSaMP). *)
 
 type outcome = {
   model : Rsm.Model.t;
@@ -59,6 +69,31 @@ type outcome = {
   run_report : Circuit.Simulator.run_report;  (** delivery/retry accounting *)
   screen_report : Screen.report option;  (** [None] when screening is off *)
 }
+
+val screen_refit :
+  ?threshold:float ->
+  Polybasis.Design.Provider.t ->
+  Linalg.Vec.t ->
+  Rsm.Model.t ->
+  Rsm.Model.t * int array
+(** [screen_refit src f model] rescreens a fitted model's residuals on
+    the robust MAD scale ([Screen.mad_consistency]·MAD, the same scale
+    as the pre-fit value screen) and, when rows cross [threshold]
+    (default {!Screen.default_threshold}), re-solves the active-set
+    normal equations with those rows removed. The Gram factor of the
+    support columns is {e down-dated} one dropped row at a time
+    ({!Linalg.Cholesky.Grow.downdate_row}, O(d·p²) for d drops and p
+    support columns) instead of refactorized from the surviving rows —
+    the warm-start-then-screen path the roadmap called for. The support
+    is unchanged; only coefficients move. Returns the refit model (with
+    a note recording the drop count and repair path) and the dropped
+    row indices, ascending; [(model, [||])] when nothing crosses the
+    threshold, the residual MAD is zero, or the support is empty. If
+    the down-dated factor loses positive definiteness, the refit falls
+    back to a cold {!Rsm.Refit} solve on the kept rows; if fewer rows
+    than support columns survive, the original model is kept (noted).
+    @raise Invalid_argument on a non-positive threshold or a response
+    length mismatch. *)
 
 val fit :
   ?pool:Parallel.Pool.t ->

@@ -36,6 +36,11 @@ val default_threshold : float
     never clipped, while the injected [outlier_scale]-sized garbage sits
     tens of sigmas out. *)
 
+val mad_consistency : float
+(** 1.4826 ≈ 1/Φ⁻¹(3/4) — the factor that makes the MAD a consistent
+    sigma estimate for a normal bulk. Exported so the residual rescreen
+    in {!Pipeline} scores on exactly the same robust scale. *)
+
 val screen :
   ?threshold:float ->
   Circuit.Simulator.dataset ->

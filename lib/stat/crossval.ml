@@ -64,6 +64,38 @@ let run_fold_curves ?pool ?cache plan ~fit_curve =
           (match cache with None -> () | Some c -> c.store q curve);
           curve)
 
+(* Batched variant for fused fold fitting: all uncached folds are
+   handed to [fit_curves] in one call (fold order preserved), so the
+   caller can drive them in lockstep and share per-step work — the
+   fused multi-residual CV sweep in [Rsm.Select]. Cache discipline is
+   identical to [run_fold_curves]: loads happen sequentially up front,
+   fresh curves are stored as they come back. *)
+let run_fold_curves_batch ?cache plan ~fit_curves =
+  let cached = Array.make plan.folds None in
+  (match cache with
+  | None -> ()
+  | Some c ->
+      for q = 0 to plan.folds - 1 do
+        cached.(q) <- c.load q
+      done);
+  let pending = ref [] in
+  for q = plan.folds - 1 downto 0 do
+    if cached.(q) = None then begin
+      let train, held_out = fold_indices plan q in
+      pending := (q, train, held_out) :: !pending
+    end
+  done;
+  let pending = Array.of_list !pending in
+  let fresh = if Array.length pending = 0 then [||] else fit_curves pending in
+  if Array.length fresh <> Array.length pending then
+    invalid_arg "Crossval.run_fold_curves_batch: curve count mismatch";
+  Array.iteri
+    (fun i (q, _, _) ->
+      (match cache with None -> () | Some c -> c.store q fresh.(i));
+      cached.(q) <- Some fresh.(i))
+    pending;
+  Array.map (function Some r -> r | None -> assert false) cached
+
 let run_curves ?pool plan ~fit_curve =
   let curves =
     run_fold_curves ?pool plan ~fit_curve:(fun _ ~train ~held_out ->

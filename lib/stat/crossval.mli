@@ -60,6 +60,24 @@ val run_fold_curves :
     e.g. ["%.17g"]), a resumed run averages to exactly the bits of an
     uninterrupted one. [?pool] as in {!run}. *)
 
+val run_fold_curves_batch :
+  ?cache:fold_cache ->
+  plan ->
+  fit_curves:((int * int array * int array) array -> float array array) ->
+  float array array
+(** [run_fold_curves_batch plan ~fit_curves] is {!run_fold_curves} with
+    all uncached folds fitted by {e one} call:
+    [fit_curves [| (q, train, held_out); … |]] (ascending fold order)
+    must return one curve per entry, in order. This is the entry point
+    for fused fold fitting — the caller runs all fold solvers in
+    lockstep and shares each step's column generation across folds (see
+    [Rsm.Select]); with per-fold results bitwise equal to independent
+    fits, the returned curves equal {!run_fold_curves}'s. [?cache] as
+    in {!run_fold_curves}: loads happen sequentially before fitting,
+    fresh curves are stored per fold.
+    @raise Invalid_argument when [fit_curves] returns the wrong number
+    of curves. *)
+
 val run_curves :
   ?pool:Parallel.Pool.t -> plan ->
   fit_curve:(train:int array -> held_out:int array -> float array) ->

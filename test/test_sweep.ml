@@ -1,0 +1,659 @@
+(* The gram-cached incremental correlation engine and the fused
+   multi-residual CV sweep.
+
+   Contracts under test:
+   - Cholesky.Grow.downdate_row equals refactorizing from the surviving
+     rows, and raises once too few rows remain.
+   - gram_tr_multi / argmax_abs_multi are bitwise equal to the Q
+     independent per-fold sweeps, Dense and Streamed, at 1/2/4 domains.
+   - sweep:Incremental agrees with sweep:Exact to 1e-10 relative on
+     every solver (OMP, STAR, LAR, LASSO), at several refresh cadences,
+     including paths with banned columns (duplicate dictionary entries)
+     and lasso drops.
+   - an incremental-sweep LAR checkpoint resumes bitwise equal to the
+     uninterrupted incremental run.
+   - a dictionary whose every column gets banned terminates with an
+     annotated model instead of raising.
+   - fused CV selection is bitwise equal to the per-fold driver.
+   - Pipeline.screen_refit (gram down-date) matches a cold refit on the
+     kept rows. *)
+open Test_util
+module P = Polybasis.Design.Provider
+module CS = Rsm.Corr_sweep
+
+let pool_counts = [ 1; 2; 4 ]
+
+let with_pools f =
+  List.map (fun d -> Parallel.Pool.with_pool ~domains:d f) pool_counts
+
+let all_equal msg = function
+  | [] | [ _ ] -> ()
+  | ref :: rest ->
+      List.iteri
+        (fun i x ->
+          check_bool
+            (Printf.sprintf "%s: domains=%d equals domains=1" msg
+               (List.nth pool_counts (i + 1)))
+            true (x = ref))
+        rest
+
+let model_bits (m : Rsm.Model.t) =
+  (m.Rsm.Model.support, Array.copy m.Rsm.Model.coeffs)
+
+let rel_gap a b =
+  let scale = Float.max (Float.abs a) (Float.abs b) in
+  if scale = 0. then 0. else Float.abs (a -. b) /. scale
+
+(* Relative agreement of two models: same support, coefficients within
+   tol of each other on the common scale. *)
+let check_model_close msg tol (a : Rsm.Model.t) (b : Rsm.Model.t) =
+  check_bool (msg ^ ": same support") true
+    (a.Rsm.Model.support = b.Rsm.Model.support);
+  Array.iteri
+    (fun i ca ->
+      let cb = b.Rsm.Model.coeffs.(i) in
+      if rel_gap ca cb > tol then
+        Alcotest.failf "%s: coeff %d differs: %.17g vs %.17g (rel %.2e)" msg i
+          ca cb (rel_gap ca cb))
+    a.Rsm.Model.coeffs
+
+let random_setting seed =
+  let rng = Randkit.Prng.create seed in
+  let dim = 3 + Randkit.Prng.int rng 3 in
+  let basis = Polybasis.Basis.quadratic dim in
+  let k = 18 + Randkit.Prng.int rng 16 in
+  let pts = Array.init k (fun _ -> Randkit.Gaussian.vector rng dim) in
+  let g =
+    Parallel.Pool.with_pool ~domains:1 (fun pool ->
+        Polybasis.Design.matrix_rows ~pool basis pts)
+  in
+  (rng, basis, pts, g)
+
+let sparse_response rng src =
+  let k = P.rows src and m = P.cols src in
+  let p = 2 + Randkit.Prng.int rng 3 in
+  let support = Randkit.Sampling.subsample rng (Array.init m Fun.id) p in
+  let f = Array.init k (fun _ -> 0.05 *. Randkit.Gaussian.sample rng) in
+  Array.iter
+    (fun j ->
+      let col = P.column src j in
+      for i = 0 to k - 1 do
+        f.(i) <- f.(i) +. col.(i)
+      done)
+    support;
+  f
+
+(* --- Cholesky down-date -------------------------------------------- *)
+
+let gram_of_rows cols rows =
+  let p = Array.length cols in
+  let a = Linalg.Mat.create p p in
+  for x = 0 to p - 1 do
+    for y = 0 to p - 1 do
+      let acc = ref 0. in
+      Array.iter (fun i -> acc := !acc +. (cols.(x).(i) *. cols.(y).(i))) rows;
+      Linalg.Mat.set a x y !acc
+    done
+  done;
+  a
+
+let test_downdate_matches_refactor () =
+  let rng = rng () in
+  let k = 30 and p = 6 in
+  let cols = Array.init p (fun _ -> Randkit.Gaussian.vector rng k) in
+  let g = Linalg.Cholesky.Grow.create p in
+  for j = 0 to p - 1 do
+    let v = Array.init j (fun a -> Linalg.Vec.dot cols.(a) cols.(j)) in
+    Linalg.Cholesky.Grow.append g v (Linalg.Vec.dot cols.(j) cols.(j))
+  done;
+  let dropped = [| 3; 11; 12; 27 |] in
+  Array.iter
+    (fun i ->
+      Linalg.Cholesky.Grow.downdate_row g
+        (Array.map (fun col -> col.(i)) cols))
+    dropped;
+  let kept =
+    Array.of_list
+      (List.filter
+         (fun i -> not (Array.mem i dropped))
+         (List.init k Fun.id))
+  in
+  let reference = Linalg.Cholesky.factor (gram_of_rows cols kept) in
+  let l = Linalg.Cholesky.Grow.factor_copy g in
+  check_mat ~eps:1e-8 "down-dated factor == refactorized factor" reference l;
+  (* And solving with the down-dated factor matches an LS fit on the
+     surviving rows. *)
+  let f = Randkit.Gaussian.vector rng k in
+  let b =
+    Array.init p (fun q ->
+        Array.fold_left
+          (fun acc i -> acc +. (cols.(q).(i) *. f.(i)))
+          0. kept)
+  in
+  let x = Linalg.Cholesky.Grow.solve g b in
+  let x_ref = Linalg.Cholesky.solve reference b in
+  check_vec ~eps:1e-8 "down-dated solve == refactorized solve" x_ref x
+
+let test_downdate_raises_when_underdetermined () =
+  let rng = rng () in
+  let k = 4 and p = 4 in
+  let cols = Array.init p (fun _ -> Randkit.Gaussian.vector rng k) in
+  let g = Linalg.Cholesky.Grow.create p in
+  for j = 0 to p - 1 do
+    let v = Array.init j (fun a -> Linalg.Vec.dot cols.(a) cols.(j)) in
+    Linalg.Cholesky.Grow.append g v (Linalg.Vec.dot cols.(j) cols.(j))
+  done;
+  (* Removing a row from a square system leaves a rank-deficient Gram:
+     the down-date must detect the lost pivot. *)
+  match
+    Linalg.Cholesky.Grow.downdate_row g (Array.map (fun col -> col.(0)) cols)
+  with
+  | () -> Alcotest.fail "expected Not_positive_definite"
+  | exception Linalg.Cholesky.Not_positive_definite _ -> ()
+
+let test_downdate_validates_length () =
+  let g = Linalg.Cholesky.Grow.create 2 in
+  Linalg.Cholesky.Grow.append g [||] 4.;
+  check_raises_invalid "row length mismatch" (fun () ->
+      Linalg.Cholesky.Grow.downdate_row g [| 1.; 2. |])
+
+(* --- fused multi-residual sweeps ----------------------------------- *)
+
+let fold_rows_of rng k q =
+  if q = 1 then [| Array.init k Fun.id |]
+  else
+    let assignment = Randkit.Sampling.fold_assignment rng ~n:k ~folds:q in
+    Array.init q (fun fq -> fst (Randkit.Sampling.fold_split assignment fq))
+
+let prop_multi_bitwise seed =
+  let rng, basis, pts, g = random_setting seed in
+  let src_s = P.streamed basis pts in
+  let src_d = P.dense g in
+  let k = P.rows src_s and m = P.cols src_s in
+  let r = Randkit.Gaussian.vector rng k in
+  List.iter
+    (fun q ->
+      let rows = fold_rows_of rng k q in
+      let rs = Array.map (fun idx -> Array.map (fun i -> r.(i)) idx) rows in
+      let skips =
+        Array.init q (fun _ ->
+            Array.init m (fun _ -> Randkit.Prng.int rng 5 = 0))
+      in
+      List.iter
+        (fun src ->
+          let name = if P.is_streamed src then "streamed" else "dense" in
+          let outs =
+            with_pools (fun pool ->
+                ( CS.gram_tr_multi ~pool src ~rows rs,
+                  CS.argmax_abs_multi ~pool ~skips src ~rows rs ))
+          in
+          all_equal (Printf.sprintf "%s multi q=%d across domains" name q)
+            outs;
+          let multi, picks = List.hd outs in
+          Array.iteri
+            (fun fq idx ->
+              let sub = P.select_rows src idx in
+              let independent = CS.gram_tr sub rs.(fq) in
+              check_bool
+                (Printf.sprintf "%s gram_tr_multi fold %d/%d bitwise" name fq
+                   q)
+                true
+                (independent = multi.(fq));
+              let pick = CS.argmax_abs ~skip:skips.(fq) sub rs.(fq) in
+              check_bool
+                (Printf.sprintf "%s argmax_abs_multi fold %d/%d bitwise" name
+                   fq q)
+                true
+                (pick = picks.(fq)))
+            rows)
+        [ src_d; src_s ])
+    [ 1; 2; 4 ];
+  true
+
+let test_multi_validation () =
+  let _, basis, pts, _ = random_setting 7 in
+  let src = P.streamed basis pts in
+  let k = P.rows src in
+  check_raises_invalid "empty fold set" (fun () ->
+      CS.gram_tr_multi src ~rows:[||] [||]);
+  check_raises_invalid "count mismatch" (fun () ->
+      CS.gram_tr_multi src ~rows:[| [| 0 |] |] [| [| 1. |]; [| 1. |] |]);
+  check_raises_invalid "residual length mismatch" (fun () ->
+      CS.gram_tr_multi src ~rows:[| [| 0; 1 |] |] [| [| 1. |] |]);
+  check_raises_invalid "non-ascending rows" (fun () ->
+      CS.gram_tr_multi src ~rows:[| [| 1; 0 |] |] [| [| 1.; 1. |] |]);
+  check_raises_invalid "out-of-range row" (fun () ->
+      CS.gram_tr_multi src ~rows:[| [| k |] |] [| [| 1. |] |])
+
+(* --- incremental vs exact parity ----------------------------------- *)
+
+let cadences = [ 1; 4; 0 ]
+
+let fit_with solver ~sweep ~pool src f ~lambda =
+  match solver with
+  | `Omp -> Rsm.Omp.fit_p ~pool ~sweep src f ~lambda
+  | `Star -> Rsm.Star.fit_p ~pool ~sweep src f ~lambda
+  | `Lar -> Rsm.Lars.fit_p ~mode:Rsm.Lars.Lar ~pool ~sweep src f ~lambda
+  | `Lasso -> Rsm.Lars.fit_p ~mode:Rsm.Lars.Lasso ~pool ~sweep src f ~lambda
+
+let prop_incremental_parity solver seed =
+  let rng, _, _, g = random_setting seed in
+  let src = P.dense g in
+  let f = sparse_response rng src in
+  let lambda = min 6 (min (P.rows src) (P.cols src)) in
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let exact = fit_with solver ~sweep:CS.Exact ~pool src f ~lambda in
+      List.iter
+        (fun refresh ->
+          let inc =
+            fit_with solver
+              ~sweep:(CS.incremental ~refresh ())
+              ~pool src f ~lambda
+          in
+          check_model_close
+            (Printf.sprintf "refresh=%d vs exact" refresh)
+            1e-10 exact inc)
+        cadences);
+  true
+
+(* A dictionary with a column that is a linear combination of two
+   others: once both parents are active (or the combination plus one
+   parent), the third is numerically dependent and gets banned under
+   `Fallback — at a generically separated correlation value, never an
+   exact tie, so the decision is stable under the incremental engine's
+   1-ulp-level rounding differences and step-level parity is a sound
+   contract. (Exact-duplicate columns sit at a permanent 0/0 tie in the
+   enter scan, where either engine may legitimately diverge; the
+   all-identical-dictionary test below covers that termination case.) *)
+let duplicated_problem seed =
+  let rng = Randkit.Prng.create seed in
+  let k = 24 and m0 = 12 in
+  let g0 = Randkit.Gaussian.matrix rng k m0 in
+  let cols = Array.init m0 (fun j -> Linalg.Mat.col g0 j) in
+  let combo = Array.init k (fun i -> cols.(0).(i) +. cols.(1).(i)) in
+  let all = Array.append cols [| combo |] in
+  let g = Linalg.Mat.init k (Array.length all) (fun i j -> all.(j).(i)) in
+  let f =
+    Array.init k (fun i ->
+        (3. *. cols.(0).(i))
+        +. (2. *. cols.(1).(i))
+        +. (0.5 *. cols.(2).(i))
+        +. (0.02 *. Randkit.Gaussian.sample rng))
+  in
+  (P.dense g, f)
+
+let prop_incremental_parity_with_bans seed =
+  let src, f = duplicated_problem seed in
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let path sweep =
+        Rsm.Lars.path_p ~mode:Rsm.Lars.Lasso ~pool ~on_singular:`Fallback
+          ~sweep src f ~max_steps:10
+      in
+      let exact = path CS.Exact in
+      List.iter
+        (fun refresh ->
+          let inc = path (CS.incremental ~refresh ()) in
+          check_int
+            (Printf.sprintf "refresh=%d: same step count" refresh)
+            (Array.length exact) (Array.length inc);
+          Array.iteri
+            (fun i (e : Rsm.Lars.step) ->
+              let v = inc.(i) in
+              check_bool
+                (Printf.sprintf "refresh=%d step %d: same added" refresh i)
+                true
+                (e.Rsm.Lars.added = v.Rsm.Lars.added);
+              check_bool
+                (Printf.sprintf "refresh=%d step %d: same dropped" refresh i)
+                true
+                (e.Rsm.Lars.dropped = v.Rsm.Lars.dropped);
+              check_bool
+                (Printf.sprintf "refresh=%d step %d: same notes" refresh i)
+                true
+                (Rsm.Model.notes e.Rsm.Lars.model
+                = Rsm.Model.notes v.Rsm.Lars.model);
+              check_model_close
+                (Printf.sprintf "refresh=%d step %d model" refresh i)
+                1e-10 e.Rsm.Lars.model v.Rsm.Lars.model)
+            exact)
+        cadences);
+  true
+
+(* Every column identical: with `Fallback the first enters and every
+   other candidate is banned; the walk must end in an annotated model,
+   never a raise, and argmax_abs's (-1, 0.) all-skipped sentinel must
+   not be confused with the banned-column zero-step path. *)
+let test_all_banned_terminates () =
+  List.iter
+    (fun seed ->
+      let rng = Randkit.Prng.create seed in
+      let k = 16 in
+      let base = Randkit.Gaussian.vector rng k in
+      let m = 5 in
+      let g = Linalg.Mat.init k m (fun i _ -> base.(i)) in
+      let f = Array.init k (fun i -> base.(i) +. (0.01 *. float_of_int i)) in
+      let src = P.dense g in
+      Parallel.Pool.with_pool ~domains:2 (fun pool ->
+          let steps =
+            Rsm.Lars.path_p ~mode:Rsm.Lars.Lar ~pool ~on_singular:`Fallback
+              src f ~max_steps:12
+          in
+          check_bool
+            (Printf.sprintf "seed %d: walk terminates with steps" seed)
+            true
+            (Array.length steps > 0);
+          let last = steps.(Array.length steps - 1) in
+          check_int
+            (Printf.sprintf "seed %d: one column survives" seed)
+            1
+            (Rsm.Model.nnz last.Rsm.Lars.model);
+          let inc_steps =
+            Rsm.Lars.path_p ~mode:Rsm.Lars.Lar ~pool ~on_singular:`Fallback
+              ~sweep:(CS.incremental ()) src f ~max_steps:12
+          in
+          check_bool
+            (Printf.sprintf "seed %d: incremental walk terminates" seed)
+            true
+            (Array.length inc_steps > 0)))
+    [ 3; 17 ]
+
+(* --- incremental LAR checkpoint/resume ----------------------------- *)
+
+let step_bits (s : Rsm.Lars.step) =
+  ( s.Rsm.Lars.added,
+    s.Rsm.Lars.dropped,
+    model_bits s.Rsm.Lars.model,
+    Rsm.Model.notes s.Rsm.Lars.model )
+
+let corr_bits (s : Rsm.Lars.step) = Int64.bits_of_float s.Rsm.Lars.max_corr
+
+let test_incremental_lar_resume_bitwise () =
+  let rng, _, _, g = random_setting 21 in
+  let src = P.dense g in
+  let f = sparse_response rng src in
+  let sweep = CS.incremental ~refresh:4 () in
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let saved = ref [] in
+      let full =
+        Rsm.Lars.path_p ~mode:Rsm.Lars.Lasso ~pool ~sweep ~checkpoint_every:2
+          ~on_checkpoint:(fun c -> saved := c :: !saved)
+          src f ~max_steps:8
+      in
+      let checkpoints = List.rev !saved in
+      check_bool "captured at least one mid-run checkpoint" true
+        (List.length checkpoints >= 2);
+      (* Resume from a mid-run snapshot (not the terminal one). *)
+      let mid = List.nth checkpoints (List.length checkpoints / 2 - 1) in
+      let prefix = Array.length mid.Rsm.Serialize.Checkpoint.Lars.events in
+      let resumed =
+        Rsm.Lars.path_p ~mode:Rsm.Lars.Lasso ~pool ~sweep ~checkpoint_every:2
+          ~on_checkpoint:(fun _ -> ())
+          ~resume:mid src f ~max_steps:8
+      in
+      (* Every step's state (adds, drops, models) is bitwise equal; the
+         diagnostic max_corr is bitwise only for the live continuation —
+         replay recomputes it with exact sweeps, while the interrupted
+         run read it from the delta-maintained vector, which drifts by
+         ~1 ulp between refreshes. *)
+      check_bool "resumed incremental path bitwise equals uninterrupted" true
+        (Array.map step_bits full = Array.map step_bits resumed);
+      check_bool "live continuation reports bitwise-equal correlations" true
+        (Array.length full = Array.length resumed
+        && prefix < Array.length full
+        && Array.for_all2 ( = )
+             (Array.map corr_bits (Array.sub full prefix (Array.length full - prefix)))
+             (Array.map corr_bits
+                (Array.sub resumed prefix (Array.length resumed - prefix)))))
+
+(* --- fused CV vs per-fold CV --------------------------------------- *)
+
+let prop_fused_cv_bitwise solver seed =
+  let rng, basis, pts, g = random_setting seed in
+  let src_s = P.streamed basis pts in
+  let src_d = P.dense g in
+  let f = sparse_response rng src_s in
+  let select ~fused pool src =
+    let r =
+      match solver with
+      | `Omp ->
+          Rsm.Select.omp_p ~pool ~fused
+            (Randkit.Prng.create (seed + 1))
+            ~max_lambda:5 src f
+      | `Star ->
+          Rsm.Select.star_p ~pool ~fused
+            (Randkit.Prng.create (seed + 1))
+            ~max_lambda:5 src f
+    in
+    (r.Rsm.Select.lambda, Array.copy r.Rsm.Select.curve,
+     model_bits r.Rsm.Select.model)
+  in
+  List.iter
+    (fun src ->
+      let name = if P.is_streamed src then "streamed" else "dense" in
+      let results =
+        List.map
+          (fun d ->
+            Parallel.Pool.with_pool ~domains:d (fun pool ->
+                (select ~fused:true pool src, select ~fused:false pool src)))
+          [ 1; 2 ]
+      in
+      List.iter
+        (fun (fused, perfold) ->
+          check_bool
+            (Printf.sprintf "%s fused CV == per-fold CV" name)
+            true (fused = perfold))
+        results;
+      all_equal (Printf.sprintf "%s fused CV across domains" name) results)
+    [ src_d; src_s ];
+  true
+
+let test_batch_fold_curves () =
+  let rng = Randkit.Prng.create 5 in
+  let plan = Stat.Crossval.make_plan rng ~n:20 ~folds:4 in
+  let curve_of q ~train ~held_out =
+    [| float_of_int (q + Array.length train); float_of_int (Array.length held_out) |]
+  in
+  let reference =
+    Stat.Crossval.run_fold_curves plan ~fit_curve:curve_of
+  in
+  let batched =
+    Stat.Crossval.run_fold_curves_batch plan ~fit_curves:(fun pending ->
+        Array.map (fun (q, train, held_out) -> curve_of q ~train ~held_out)
+          pending)
+  in
+  check_bool "batched == per-fold" true (reference = batched);
+  (* With a cache covering fold 1, the batch must only see the others. *)
+  let cache =
+    Stat.Crossval.
+      {
+        load = (fun q -> if q = 1 then Some reference.(1) else None);
+        store = (fun _ _ -> ());
+      }
+  in
+  let seen = ref [] in
+  let cached =
+    Stat.Crossval.run_fold_curves_batch ~cache plan ~fit_curves:(fun pending ->
+        seen := Array.to_list (Array.map (fun (q, _, _) -> q) pending);
+        Array.map (fun (q, train, held_out) -> curve_of q ~train ~held_out)
+          pending)
+  in
+  check_bool "cached fold skipped" true (!seen = [ 0; 2; 3 ]);
+  check_bool "cached batch == per-fold" true (reference = cached);
+  check_raises_invalid "curve count mismatch" (fun () ->
+      ignore
+        (Stat.Crossval.run_fold_curves_batch plan ~fit_curves:(fun _ -> [||])))
+
+(* --- screen_refit -------------------------------------------------- *)
+
+let test_screen_refit_matches_cold () =
+  let rng, _, _, g = random_setting 33 in
+  let src = P.dense g in
+  let f = sparse_response rng src in
+  let k = P.rows src in
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      let model = Rsm.Omp.fit_p ~pool src f ~lambda:3 in
+      (* Clean residuals: nothing to drop, the model comes back as-is. *)
+      let same, none = Robust.Pipeline.screen_refit src f model in
+      check_bool "clean data drops nothing" true (none = [||]);
+      check_bool "clean data keeps the model" true
+        (model_bits same = model_bits model);
+      (* Corrupt three responses far outside the residual bulk. *)
+      let f2 = Array.copy f in
+      let bad = [| 2; 7; k - 1 |] in
+      Array.iter (fun i -> f2.(i) <- f2.(i) +. 1e4) bad;
+      let refit, dropped = Robust.Pipeline.screen_refit src f2 model in
+      check_bool "corrupted rows dropped" true (dropped = bad);
+      check_bool "support preserved" true
+        (refit.Rsm.Model.support = model.Rsm.Model.support);
+      check_bool "rescreen note attached" true
+        (Array.exists
+           (fun n ->
+             String.length n >= 8 && String.sub n 0 8 = "rescreen")
+           (Rsm.Model.notes refit));
+      (* Reference: cold LS refit of the same support on the kept rows. *)
+      let kept =
+        Array.of_list
+          (List.filter (fun i -> not (Array.mem i bad)) (List.init k Fun.id))
+      in
+      let cols =
+        Array.map
+          (fun j ->
+            let col = P.column src j in
+            Array.map (fun i -> col.(i)) kept)
+          model.Rsm.Model.support
+      in
+      let f_kept = Array.map (fun i -> f2.(i)) kept in
+      let reference, _ = Rsm.Refit.solve_cols cols f_kept in
+      Array.iteri
+        (fun i c ->
+          if rel_gap c reference.(i) > 1e-8 then
+            Alcotest.failf
+              "downdate refit coeff %d: %.17g vs cold %.17g (rel %.2e)" i c
+              reference.(i)
+              (rel_gap c reference.(i)))
+        refit.Rsm.Model.coeffs)
+
+let test_screen_refit_too_few_rows () =
+  (* A support wider than the surviving row count: the refit must keep
+     the original model and say why. Only a minority of rows may be
+     corrupted (the MAD scale breaks down at 50%), so the support has to
+     nearly fill the row count. *)
+  let rng = Randkit.Prng.create 9 in
+  let k = 6 and m = 5 in
+  let g = Randkit.Gaussian.matrix rng k m in
+  let src = P.dense g in
+  let f =
+    Array.init k (fun i ->
+        let acc = ref (0.001 *. Randkit.Gaussian.sample rng) in
+        for j = 0 to m - 1 do
+          acc := !acc +. Linalg.Mat.get g i j
+        done;
+        !acc)
+  in
+  Parallel.Pool.with_pool ~domains:1 (fun pool ->
+      let model = Rsm.Omp.fit_p ~pool src f ~lambda:m in
+      let p = Rsm.Model.nnz model in
+      check_int "all columns selected" m p;
+      let f2 = Array.copy f in
+      f2.(0) <- f2.(0) +. 1e5;
+      f2.(1) <- f2.(1) +. 1e5;
+      let kept_model, dropped = Robust.Pipeline.screen_refit src f2 model in
+      check_bool "flags the corrupted rows" true (dropped = [| 0; 1 |]);
+      check_bool "keeps the warm-start coefficients" true
+        (kept_model.Rsm.Model.coeffs = model.Rsm.Model.coeffs);
+      check_bool "explains why" true
+        (Array.exists
+           (fun n -> String.length n >= 8 && String.sub n 0 8 = "rescreen")
+           (Rsm.Model.notes kept_model)))
+
+let test_screen_refit_validation () =
+  let _, _, _, g = random_setting 3 in
+  let src = P.dense g in
+  let f = Array.make (P.rows src) 1. in
+  let model =
+    Rsm.Model.make ~basis_size:(P.cols src) ~support:[| 0 |] ~coeffs:[| 1. |]
+  in
+  check_raises_invalid "bad threshold" (fun () ->
+      Robust.Pipeline.screen_refit ~threshold:0. src f model);
+  check_raises_invalid "length mismatch" (fun () ->
+      Robust.Pipeline.screen_refit src [| 1. |] model)
+
+(* --- Inc unit behavior --------------------------------------------- *)
+
+let test_inc_unit () =
+  let _, _, _, g = random_setting 13 in
+  let src = P.dense g in
+  let k = P.rows src in
+  let r = Array.init k (fun i -> float_of_int (i + 1)) in
+  check_raises_invalid "negative refresh" (fun () ->
+      CS.Inc.create ~refresh:(-1) src r);
+  let inc = CS.Inc.create ~refresh:2 src r in
+  check_bool "starts from an exact sweep" true
+    (CS.Inc.correlations inc = CS.gram_tr src r);
+  check_int "no cached grams yet" 0 (CS.Inc.cached inc);
+  check_raises_invalid "apply_deltas before ensure_gram" (fun () ->
+      CS.Inc.apply_deltas inc [| (0, 0.5) |]);
+  CS.Inc.ensure_gram inc 0 (P.column src 0);
+  check_int "one cached gram" 1 (CS.Inc.cached inc);
+  CS.Inc.ensure_gram inc 0 (P.column src 0);
+  check_int "ensure_gram is idempotent" 1 (CS.Inc.cached inc);
+  check_bool "not due before any step" false (CS.Inc.due inc);
+  CS.Inc.note_step inc;
+  CS.Inc.note_step inc;
+  check_bool "due after the cadence" true (CS.Inc.due inc);
+  CS.Inc.refresh inc r;
+  check_bool "refresh resets the cadence" false (CS.Inc.due inc);
+  check_raises_invalid "skip length" (fun () ->
+      CS.Inc.argmax_abs ~skip:[| false |] inc);
+  let skip = Array.make (P.cols src) false in
+  check_bool "Inc argmax == exact argmax on a fresh state" true
+    (CS.Inc.argmax_abs ~skip inc = CS.argmax_abs ~skip src r)
+
+let test_sweep_of_string () =
+  check_bool "exact round-trips" true
+    (CS.sweep_of_string (CS.sweep_to_string CS.Exact) = Some CS.Exact);
+  (* The string form carries the mode, not the cadence: parsing always
+     yields the default refresh. *)
+  check_bool "incremental round-trips to the default cadence" true
+    (CS.sweep_of_string (CS.sweep_to_string (CS.incremental ~refresh:7 ()))
+    = Some (CS.incremental ()));
+  check_bool "garbage rejected" true (CS.sweep_of_string "nope" = None)
+
+let seed_gen = QCheck.int_range 1 10_000
+
+let suite =
+  ( "sweep",
+    [
+      case "downdate_row == refactorize" test_downdate_matches_refactor;
+      case "downdate_row raises when under-determined"
+        test_downdate_raises_when_underdetermined;
+      case "downdate_row validates length" test_downdate_validates_length;
+      case "multi-sweep validation" test_multi_validation;
+      case "all-identical dictionary terminates annotated"
+        test_all_banned_terminates;
+      case "incremental LAR resume bitwise"
+        test_incremental_lar_resume_bitwise;
+      case "batched fold curves == per-fold" test_batch_fold_curves;
+      case "screen_refit == cold refit" test_screen_refit_matches_cold;
+      case "screen_refit keeps model when rows run out"
+        test_screen_refit_too_few_rows;
+      case "screen_refit validation" test_screen_refit_validation;
+      case "Inc unit behavior" test_inc_unit;
+      case "sweep mode strings" test_sweep_of_string;
+      qtest ~count:10 "fused multi == independent sweeps" seed_gen
+        prop_multi_bitwise;
+      qtest ~count:8 "OMP incremental == exact" seed_gen
+        (prop_incremental_parity `Omp);
+      qtest ~count:8 "STAR incremental == exact" seed_gen
+        (prop_incremental_parity `Star);
+      qtest ~count:8 "LAR incremental == exact" seed_gen
+        (prop_incremental_parity `Lar);
+      qtest ~count:8 "LASSO incremental == exact" seed_gen
+        (prop_incremental_parity `Lasso);
+      qtest ~count:6 "banned columns: incremental == exact" seed_gen
+        prop_incremental_parity_with_bans;
+      qtest ~count:6 "OMP fused CV == per-fold CV" seed_gen
+        (prop_fused_cv_bitwise `Omp);
+      qtest ~count:6 "STAR fused CV == per-fold CV" seed_gen
+        (prop_fused_cv_bitwise `Star);
+    ] )
