@@ -100,6 +100,16 @@ let () =
           const (fun quick _ domains ->
               Speed.sweep_scenario ~quick ~domains ())
           $ quick $ full $ domains);
+      Cmd.v
+        (Cmd.info "eval"
+           ~doc:
+             "Serving engine: naive vs compiled-tape evals/sec and the \
+              streamed yield-convergence curve, with embedded bitwise \
+              parity gates (exit 1 on violation). Updates \
+              BENCH_speed.json.")
+        Term.(
+          const (fun quick _ domains -> Eval_bench.run ~quick ~domains ())
+          $ quick $ full $ domains);
     ]
   in
   exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -630,6 +630,96 @@ let predict_cmd =
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
       $ model_file $ domains)
 
+(* --- eval: serve a saved model through a compiled tape --- *)
+
+let parse_digest s =
+  let s = if String.length s > 2 && String.sub s 0 2 = "0x" then s else "0x" ^ s in
+  match Int64.of_string s with
+  | d -> d
+  | exception _ ->
+      err_exit (Printf.sprintf "--expect-digest %S is not a hex digest" s)
+
+let load_served ?expect basis path =
+  let registry = Serve.Registry.create ~capacity:4 basis in
+  match Serve.Registry.load ?expect registry path with
+  | Error e -> err_exit ("cannot serve model: " ^ e)
+  | Ok entry -> entry
+
+let eval_cmd =
+  let model_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~docv:"FILE" ~doc:"Model file written by --save-model.")
+  in
+  let expect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect-digest" ] ~docv:"HEX"
+          ~doc:
+            "Refuse to serve unless the model file's content digest (FNV-1a \
+             64, as printed by this command) equals HEX - a swapped or \
+             corrupted file is rejected instead of silently compiled.")
+  in
+  let run circuit metric cells parasitics seed samples model_file expect domains
+      =
+    check_at_least "samples" 1 samples;
+    check_sizes ~cells ~parasitics;
+    match make_workload ~circuit ~metric ~cells ~parasitics with
+    | Error e -> err_exit e
+    | Ok w ->
+        let pool = use_domains domains in
+        let basis = Polybasis.Basis.constant_linear w.dim in
+        let expect = Option.map parse_digest expect in
+        let entry = load_served ?expect basis model_file in
+        let tape = entry.Serve.Registry.tape in
+        let model = entry.Serve.Registry.model in
+        Printf.printf "%s | serving %s\n" w.name model_file;
+        Printf.printf "  content digest: %016Lx\n" entry.Serve.Registry.digest;
+        Printf.printf
+          "  tape          : %d terms, %d factor instructions, %d of %d \
+           variables touched, max degree %d\n"
+          (Serve.Eval.nnz tape)
+          (Serve.Eval.tape_length tape)
+          (Serve.Eval.vars_touched tape)
+          (Serve.Eval.dim tape) (Serve.Eval.max_degree tape);
+        let rng = Randkit.Prng.create seed in
+        let points =
+          Array.init samples (fun _ -> Randkit.Gaussian.vector rng w.dim)
+        in
+        let compiled, batch_s =
+          Circuit.Testbench.timed (fun () ->
+              Serve.Eval.eval_batch ~pool tape points)
+        in
+        let naive, naive_s =
+          Circuit.Testbench.timed (fun () ->
+              Array.map (Rsm.Model.predict_point model basis) points)
+        in
+        if compiled <> naive then err_exit "compiled/naive evaluation mismatch";
+        Printf.printf "  parity        : compiled == naive (bitwise, %d points)\n"
+          samples;
+        Printf.printf "  value mean/std: %.6g / %.6g %s\n"
+          (Stat.Descriptive.mean compiled)
+          (Stat.Descriptive.std compiled)
+          w.unit_;
+        let rate secs =
+          if secs > 0. then float_of_int samples /. secs else Float.infinity
+        in
+        Printf.printf "  throughput    : %.3g evals/s compiled, %.3g evals/s \
+                       naive\n"
+          (rate batch_s) (rate naive_s)
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:
+         "Serve a saved model: compile it to an instruction tape, verify \
+          bitwise parity with the reference evaluator, and report \
+          throughput.")
+    Term.(
+      const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
+      $ model_file $ expect_arg $ domains)
+
 (* --- yield / sensitivity: fit a model, then use it --- *)
 
 let fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
@@ -656,33 +746,111 @@ let upper_arg =
        & info [ "upper" ] ~docv:"X" ~doc:"Upper spec bound.")
 
 let yield_cmd =
+  let served_model_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:
+            "Serving mode: skip the fit and estimate yield from this saved \
+             model, streaming --mc-samples draws through a compiled \
+             instruction tape over the domain pool.")
+  in
+  let mc_samples_arg =
+    Arg.(
+      value
+      & opt int 100_000
+      & info [ "mc-samples" ] ~docv:"N"
+          ~doc:"Model Monte-Carlo sample count for the yield estimate.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int Serve.Stream.default_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Streaming batch size (serving mode). Each batch draws from its \
+             own PRNG child stream, so for a fixed (seed, batch) the \
+             estimate is bitwise identical at every domain count.")
+  in
   let run circuit metric cells parasitics seed samples max_lambda lower upper
-      domains engine =
-    let w, basis, model, rng =
-      fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples ~max_lambda
-        ~domains ~engine
-    in
+      served_model mc_samples batch domains engine =
+    check_at_least "mc-samples" 1 mc_samples;
+    check_at_least "batch" 1 batch;
     if lower = Float.neg_infinity && upper = Float.infinity then
       err_exit "give at least one of --lower / --upper";
     let spec = Rsm.Yield.spec_both ~lower ~upper in
-    Printf.printf "%s | spec [%g, %g] %s | model from %d simulations (%d bases)\n"
-      w.name lower upper w.unit_ samples (Rsm.Model.nnz model);
-    let y, se = Rsm.Yield.monte_carlo ~samples:100_000 model basis rng spec in
-    Printf.printf "  model-MC yield    : %.4f +/- %.4f\n" y se;
-    (match Rsm.Yield.gaussian model basis spec with
-    | g -> Printf.printf "  closed-form yield : %.4f (linear model => Gaussian)\n" g
-    | exception Invalid_argument _ -> ());
-    Printf.printf "  model mean/sigma  : %.4f / %.4f %s\n"
-      (Rsm.Sensitivity.mean model basis)
-      (sqrt (Rsm.Sensitivity.total_variance model basis))
-      w.unit_
+    let print_closed_form model basis =
+      match Rsm.Yield.gaussian model basis spec with
+      | g -> Printf.printf "  closed-form yield : %.4f (linear model => Gaussian)\n" g
+      | exception Invalid_argument _ -> ()
+    in
+    match served_model with
+    | Some model_file ->
+        (* Serving mode: no simulations at all — the whole estimate is
+           model evaluations on the compiled tape. *)
+        check_sizes ~cells ~parasitics;
+        (match make_workload ~circuit ~metric ~cells ~parasitics with
+        | Error e -> err_exit e
+        | Ok w ->
+            let pool = use_domains domains in
+            let basis = Polybasis.Basis.constant_linear w.dim in
+            let entry = load_served basis model_file in
+            let tape = entry.Serve.Registry.tape in
+            let model = entry.Serve.Registry.model in
+            let rng = Randkit.Prng.create seed in
+            Printf.printf
+              "%s | spec [%g, %g] %s | served %d-term model %s (digest %016Lx)\n"
+              w.name lower upper w.unit_ (Rsm.Model.nnz model) model_file
+              entry.Serve.Registry.digest;
+            let e, mc_s =
+              Circuit.Testbench.timed (fun () ->
+                  Serve.Stream.estimate ~pool ~batch ~samples:mc_samples tape
+                    rng spec)
+            in
+            Printf.printf "  model-MC yield    : %.4f +/- %.4f (%d of %d pass)\n"
+              e.Serve.Stream.yield e.Serve.Stream.std_error
+              e.Serve.Stream.pass e.Serve.Stream.samples;
+            print_closed_form model basis;
+            Printf.printf "  sample mean/sigma : %.4f / %.4f %s\n"
+              e.Serve.Stream.mean e.Serve.Stream.std w.unit_;
+            Printf.printf
+              "  streamed          : %d batches of %d over the pool (%.3g \
+               evals/s)\n"
+              e.Serve.Stream.batches e.Serve.Stream.batch
+              (if mc_s > 0. then float_of_int mc_samples /. mc_s
+               else Float.infinity))
+    | None ->
+        let w, basis, model, rng =
+          fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples
+            ~max_lambda ~domains ~engine
+        in
+        Printf.printf
+          "%s | spec [%g, %g] %s | model from %d simulations (%d bases)\n"
+          w.name lower upper w.unit_ samples (Rsm.Model.nnz model);
+        (* Compiled fast path: bitwise equal to the naive term-by-term
+           walk, so the estimate (and this output) is unchanged. *)
+        let tape = Serve.Eval.compile model basis in
+        let y, se =
+          Rsm.Yield.monte_carlo ~samples:mc_samples
+            ~eval:(Serve.Eval.evaluator tape) model basis rng spec
+        in
+        Printf.printf "  model-MC yield    : %.4f +/- %.4f\n" y se;
+        print_closed_form model basis;
+        Printf.printf "  model mean/sigma  : %.4f / %.4f %s\n"
+          (Rsm.Sensitivity.mean model basis)
+          (sqrt (Rsm.Sensitivity.total_variance model basis))
+          w.unit_
   in
   Cmd.v
     (Cmd.info "yield"
-       ~doc:"Estimate parametric yield against a spec window from a fitted model.")
+       ~doc:
+         "Estimate parametric yield against a spec window, either from a \
+          freshly fitted model or by serving a saved one (--model).")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ max_lambda_arg $ lower_arg $ upper_arg $ domains $ engine)
+      $ max_lambda_arg $ lower_arg $ upper_arg $ served_model_arg
+      $ mc_samples_arg $ batch_arg $ domains $ engine)
 
 let sensitivity_cmd =
   let run circuit metric cells parasitics seed samples max_lambda domains engine
@@ -761,7 +929,7 @@ let () =
       Robust.Error.guard (fun () ->
           Cmd.eval ~catch:false
             (Cmd.group info
-               [ info_cmd; mc_cmd; model_cmd; predict_cmd; yield_cmd;
+               [ info_cmd; mc_cmd; model_cmd; predict_cmd; eval_cmd; yield_cmd;
                  sensitivity_cmd; corner_cmd ]))
     with
     | Ok code -> code

@@ -10,7 +10,7 @@
     Variation space: with the default spec — 20 correlated inter-die
     parameters (PCA → 20 independent factors), 12 transistors × 5
     mismatch variables, and 550 layout parasitics — the independent
-    factor dimension is exactly {b}630{b}, matching Section V-A of the
+    factor dimension is exactly {b 630}, matching Section V-A of the
     paper. Performance sensitivities are physically structured: offset
     is dominated by input-pair and load mismatch; bandwidth by gm1 and
     C_c; power by the bias branch; gain by all gm/gds ratios — so each

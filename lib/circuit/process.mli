@@ -4,12 +4,12 @@
 
     Structure mirrors a foundry statistical model at 65 nm:
 
-    - a small block of {e}inter-die{i} (global) parameters — correlated
+    - a small block of {e inter-die} (global) parameters — correlated
       across the die, e.g. ΔV_TH(global), ΔT_OX, ΔL, mobility, sheet
       resistance. Their correlation is whitened by PCA (Section II of
       the paper: "After PCA based on foundry data, … independent random
       variables are extracted").
-    - per-device {e}intra-die mismatch{i} parameters — already
+    - per-device {e intra-die mismatch} parameters — already
       independent by construction (Pelgrom-style local randomness),
       scaled by the device's matching sigma.
 

@@ -4,11 +4,11 @@
     [1/(2·Σ stage delays)] and the dynamic power is [f·C·V²·stages].
     Unlike the OpAmp (few devices, sharply sparse) and the SRAM (huge
     array, near-zero background), the ring oscillator's frequency
-    depends on {e}every{i} stage with {e}equal{i} weight — the
+    depends on {e every} stage with {e equal} weight — the
     "dense-but-small-coefficients" regime where each of the 2·stages
     transistors carries a 1/stages share of the variance and the
     inter-die factors dominate. This stresses the solvers' behaviour
-    when the true model is {e}not{i} profoundly sparse, the boundary
+    when the true model is {e not} profoundly sparse, the boundary
     case the paper's Section III discussion anticipates (sparsity is a
     necessary condition for the method to win). *)
 

@@ -1,6 +1,6 @@
 (** Bootstrap diagnostics for sparse model stability.
 
-    A sparse model's {e}support{i} is itself an estimate: with another
+    A sparse model's {e support} is itself an estimate: with another
     draw of the same K training samples, would OMP pick the same basis
     functions? Resampling the training rows with replacement and
     refitting answers this — selection frequencies near 1 mark robust

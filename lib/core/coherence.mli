@@ -5,14 +5,14 @@
     O(P·log M) samples") is conditional on properties of the sampled
     dictionary. Two measurable proxies:
 
-    - {e}mutual coherence{i} μ: the largest absolute inner product
+    - {e mutual coherence} μ: the largest absolute inner product
       between distinct normalized columns. Exact-recovery guarantees of
       OMP hold when the sparsity P < ½(1 + 1/μ) (Tropp 2004) — a
       pessimistic but computable certificate.
-    - {e}restricted condition numbers{i}: the spread of singular values
+    - {e restricted condition numbers}: the spread of singular values
       of random column subsets of size s — an empirical RIP probe.
 
-    These let the library {e}say in advance{i} whether a given sampling
+    These let the library {e say in advance} whether a given sampling
     plan is adequate, instead of discovering failure post hoc. *)
 
 val mutual_coherence : Linalg.Mat.t -> float

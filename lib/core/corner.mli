@@ -3,7 +3,7 @@
     Classical worst-case analysis (the paper's reference [6]) asks: at a
     given process "radius" (k-sigma ball in the independent factor
     space), what is the worst value a performance can take, and at which
-    corner? For a {e}linear{i} Hermite model [f = α₀ + Σ αᵢ·Δyᵢ] the
+    corner? For a {e linear} Hermite model [f = α₀ + Σ αᵢ·Δyᵢ] the
     answer is closed-form: the extremum over [‖ΔY‖₂ ≤ k] lies at
     [ΔY = ±k·α/‖α‖] with value [α₀ ± k·‖α‖]. For nonlinear models a
     projected-gradient ascent on the sphere is provided.

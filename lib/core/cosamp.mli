@@ -1,10 +1,10 @@
 (** CoSaMP — compressive sampling matching pursuit (Needell & Tropp
-    2009) — an extension solver with {e}backtracking{i}.
+    2009) — an extension solver with {e backtracking}.
 
     OMP never revisits a selection; CoSaMP does. Each iteration merges
     the current support with the 2s largest residual correlations,
-    least-squares-fits on the merged set (≤ 3s columns), and {e}prunes
-    back{i} to the s largest coefficients. Early wrong picks get evicted
+    least-squares-fits on the merged set (≤ 3s columns), and {e prunes
+    back} to the s largest coefficients. Early wrong picks get evicted
     — the failure mode OMP cannot repair — at the price of a bigger LS
     solve per iteration. Completes the greedy family (STAR: no re-fit;
     OMP: re-fit, no pruning; StOMP: batched; CoSaMP: re-fit + pruning). *)

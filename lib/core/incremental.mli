@@ -2,7 +2,7 @@
     cross-validated model stops improving.
 
     The paper fixes the training-set size per experiment; in practice a
-    designer wants the {e}smallest{i} simulation budget that reaches
+    designer wants the {e smallest} simulation budget that reaches
     stable accuracy, because every extra sample is a Spectre run. This
     driver doubles the training set, refits with cross-validated
     sparsity, and stops when the relative improvement of the CV error
@@ -29,7 +29,7 @@ val run :
   sample:(int -> Linalg.Mat.t * Linalg.Vec.t) ->
   Randkit.Prng.t -> result
 (** [run ~max_samples ~sample rng] drives the loop. [sample k] must
-    return the design matrix and responses of the {e}first{i} [k]
+    return the design matrix and responses of the {e first} [k]
     training points (prefixes of one growing sample stream, so earlier
     simulations are reused — the caller typically wraps
     [Mat.select_rows] over a lazily-extended dataset).

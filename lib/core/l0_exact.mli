@@ -1,7 +1,7 @@
 (** Exact L0-constrained least squares by exhaustive subset search.
 
     The paper's eq. (11) is NP-hard in general; for small dictionaries
-    it can be solved {e}exactly{i} by enumerating all supports of size
+    it can be solved {e exactly} by enumerating all supports of size
     ≤ λ and least-squares-fitting each. This gives a ground-truth
     optimum against which the heuristics (OMP, LAR, STAR) can be
     measured — the suboptimality-gap ablation. Complexity is

@@ -4,7 +4,7 @@
     traces the resulting regularization path.
 
     Geometry: at each step the coefficient vector moves along the
-    {e}equiangular{i} direction of the active basis vectors — the
+    {e equiangular} direction of the active basis vectors — the
     direction making equal angles with all of them — exactly until some
     inactive vector becomes as correlated with the residual as the
     active ones, which is then added. With the lasso modification, an
@@ -54,8 +54,8 @@ val path_p :
     default, the historical behavior) a linearly dependent entering
     column is simply not added this step, and a non-SPD rebuild after a
     lasso drop raises. With [`Fallback] a dependent entering column is
-    {e}banned{i} — excluded from C, the enter scan and the γ scan from
-    then on — and the iteration is recorded as a {e}zero-length step{i}
+    {e banned} — excluded from C, the enter scan and the γ scan from
+    then on — and the iteration is recorded as a {e zero-length step}
     (no coefficient movement), so the next iteration hands the step to
     the true entrant; advancing past a ban instead would overshoot the
     correlation tie and leave the active set non-equicorrelated. A

@@ -49,7 +49,11 @@ val predict_design : t -> Linalg.Mat.t -> Linalg.Vec.t
 
 val predict_point : t -> Polybasis.Basis.t -> Linalg.Vec.t -> float
 (** [predict_point m b dy] evaluates only the selected basis functions
-    at [dy] — O(nnz), independent of M. *)
+    at [dy] — independent of M, but re-running the Hermite recurrence
+    for every factor of every term. This is the reference evaluator:
+    for serving-scale workloads, [Serve.Eval.compile] produces a flat
+    tape that hoists the shared recurrences and is bitwise equal to
+    this function (see SERVING.md). *)
 
 val predict_p : t -> Polybasis.Design.Provider.t -> Linalg.Vec.t
 (** [predict_p m src] is [G·α] streaming only the support columns from

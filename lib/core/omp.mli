@@ -2,7 +2,7 @@
 
     Given the underdetermined system [G·α = F], OMP iteratively selects
     the basis vector most correlated with the current residual
-    (eq. (18)), re-solves the least-squares coefficients of {e}all{i}
+    (eq. (18)), re-solves the least-squares coefficients of {e all}
     selected vectors (Step 6, eq. (22)), and recomputes the residual
     (Step 7). Unselected coefficients are exactly zero (Step 9).
 

@@ -3,7 +3,7 @@
     Solves [(GᵀG + λ_reg·I)·α = Gᵀ·F]. Unlike the L0/L1 methods it
     produces dense coefficients, but it is well-posed even for
     underdetermined systems, making it a useful control: it shows that
-    {e}shrinkage alone{i}, without sparsity, does not reach the paper's
+    {e shrinkage alone}, without sparsity, does not reach the paper's
     accuracy at small K (ablation bench A1). *)
 
 val fit :

@@ -92,6 +92,32 @@ let save path m =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_string m))
 
+(* FNV-1a 64 over raw bytes: the content digest the serving registry
+   keys compiled tapes by. Same primitive as the checkpoint digests,
+   but over the serialized text instead of float bit patterns. *)
+let digest_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  !h
+
+let digest m = digest_string (to_string m)
+
+let file_digest path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          Ok (digest_string (really_input_string ic n)))
+
 let term_expression t =
   if Array.length t = 0 then ""
   else

@@ -2,8 +2,8 @@
     the paper).
 
     STAR shares OMP's selection criterion — pick the basis vector whose
-    inner product with the residual is largest — but {e}skips the
-    least-squares re-fit{i}: the coefficient of the newly selected basis
+    inner product with the residual is largest — but {e skips the
+    least-squares re-fit}: the coefficient of the newly selected basis
     function is set directly to the inner-product estimate
     [ξ_s = (1/K)·G_sᵀ·Res] of eq. (18) (a plain matching pursuit).
     Previously assigned coefficients are never revisited. The paper's

@@ -2,7 +2,7 @@
     an extension solver.
 
     Where OMP admits exactly one basis vector per iteration, StOMP
-    admits {e}every{i} vector whose residual correlation exceeds a
+    admits {e every} vector whose residual correlation exceeds a
     threshold proportional to the residual's noise level
     [t·‖Res‖₂/√K], then re-fits all selected coefficients by least
     squares. With only a handful of stages it covers supports that cost

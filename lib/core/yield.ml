@@ -26,17 +26,21 @@ let gaussian model basis spec =
     Stat.Distribution.gaussian_yield ~mean ~sigma ~lower:spec.lower
       ~upper:spec.upper
 
-let monte_carlo_values ?(samples = 10_000) model basis rng =
+let monte_carlo_values ?(samples = 10_000) ?eval model basis rng =
   if samples <= 0 then invalid_arg "Yield.monte_carlo_values: samples <= 0";
   if Polybasis.Basis.size basis <> model.Model.basis_size then
     invalid_arg "Yield.monte_carlo_values: basis size disagrees with model";
-  (* Evaluate only the selected terms, reading only the factors they
-     touch; still draw the full factor vector to keep the stream
-     deterministic per sample. *)
+  (* Draw the full factor vector per sample to keep the stream
+     deterministic, then hand it to [eval] — by default the naive
+     term-by-term walk, or a compiled tape (Serve.Eval.evaluator) that
+     is bitwise equal to it. *)
+  let eval =
+    match eval with Some f -> f | None -> Model.predict_point model basis
+  in
   let n = Polybasis.Basis.dim basis in
   Array.init samples (fun _ ->
       let dy = Randkit.Gaussian.vector rng n in
-      Model.predict_point model basis dy)
+      eval dy)
 
 let joint_monte_carlo ?(samples = 10_000) specs basis rng =
   if specs = [] then invalid_arg "Yield.joint_monte_carlo: no specs";
@@ -60,8 +64,8 @@ let joint_monte_carlo ?(samples = 10_000) specs basis rng =
   let se = sqrt (Float.max (y *. (1. -. y)) 0. /. float_of_int samples) in
   (y, se)
 
-let monte_carlo ?samples model basis rng spec =
-  let values = monte_carlo_values ?samples model basis rng in
+let monte_carlo ?samples ?eval model basis rng spec =
+  let values = monte_carlo_values ?samples ?eval model basis rng in
   let k = Array.length values in
   let pass = Array.fold_left (fun acc v -> if passes spec v then acc + 1 else acc) 0 values in
   let y = float_of_int pass /. float_of_int k in

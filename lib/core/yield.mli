@@ -5,12 +5,26 @@
     come from cheap model evaluations instead of transistor-level
     simulation. Three estimators:
 
-    - {!gaussian}: exact for {e}linear{i} models — a linear combination
+    - {!gaussian}: exact for {e linear} models — a linear combination
       of standard normals is N(α₀, Σα²).
     - {!monte_carlo}: model Monte Carlo for any model (e.g. quadratic),
       with a binomial standard error.
     - {!monte_carlo_values}: the raw model samples, for histograms and
-      quantiles. *)
+      quantiles.
+
+    {2 Evaluation cost: naive vs compiled}
+
+    By default each sample is evaluated by [Model.predict_point] — a
+    term-by-term walk that re-runs the 1-D Hermite recurrence for every
+    factor of every term. That is already independent of the dictionary
+    size [M], but a variable shared by ten support terms pays for its
+    polynomial values ten times per point. For serving-scale runs
+    (10⁷–10⁸ samples) pass [?eval] a compiled instruction tape
+    ([Serve.Eval.evaluator]), which hoists the shared Hermite
+    recurrences — once per touched variable per point — and is bitwise
+    equal to the naive walk; or use [Serve.Stream], which streams
+    batches through a domain pool without materializing the sample
+    array. See SERVING.md. *)
 
 type spec = { lower : float; upper : float }
 (** Acceptance window; use [neg_infinity]/[infinity] for one-sided
@@ -31,23 +45,32 @@ val gaussian : Model.t -> Polybasis.Basis.t -> spec -> float
     {!monte_carlo}). *)
 
 val monte_carlo_values :
-  ?samples:int -> Model.t -> Polybasis.Basis.t -> Randkit.Prng.t -> float array
+  ?samples:int ->
+  ?eval:(Linalg.Vec.t -> float) ->
+  Model.t -> Polybasis.Basis.t -> Randkit.Prng.t -> float array
 (** [samples] (default 10 000) model evaluations at fresh standard-normal
-    factor draws — each costs O(nnz), independent of the dictionary
-    size. *)
+    factor draws. [?eval] overrides the per-point evaluator (default
+    [Model.predict_point model basis] — per-sample cost O(tape), i.e.
+    one Hermite recurrence {e per factor of every term}); pass a
+    compiled tape closure ([Serve.Eval.evaluator]) to hoist shared
+    recurrences without changing a single result bit. The factor draws
+    (and hence the PRNG stream) do not depend on [?eval]. *)
 
 val monte_carlo :
-  ?samples:int -> Model.t -> Polybasis.Basis.t -> Randkit.Prng.t -> spec ->
+  ?samples:int ->
+  ?eval:(Linalg.Vec.t -> float) ->
+  Model.t -> Polybasis.Basis.t -> Randkit.Prng.t -> spec ->
   float * float
-(** [(yield, standard_error)] by model Monte Carlo. *)
+(** [(yield, standard_error)] by model Monte Carlo; [?eval] as in
+    {!monte_carlo_values}. *)
 
 val passes : spec -> float -> bool
 
 val joint_monte_carlo :
   ?samples:int -> (Model.t * spec) list -> Polybasis.Basis.t ->
   Randkit.Prng.t -> float * float
-(** [(yield, standard_error)] of meeting {e}every{i} spec
-    simultaneously, with all models evaluated at the {e}same{i} factor
+(** [(yield, standard_error)] of meeting {e every} spec
+    simultaneously, with all models evaluated at the {e same} factor
     draws — the correlations between metrics (e.g. gain and bandwidth
     both ride on gm1) are captured automatically because the models
     share factors. Multiplying marginal yields would ignore them.

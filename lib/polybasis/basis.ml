@@ -118,14 +118,7 @@ let max_degree b =
 let fill_tables b tbl dy =
   let maxd = Array.length tbl.(0) - 1 in
   for v = 0 to b.dim - 1 do
-    let y = dy.(v) in
-    let row = tbl.(v) in
-    row.(0) <- 1.;
-    if maxd >= 1 then row.(1) <- y;
-    for k = 1 to maxd - 1 do
-      let fk = float_of_int k in
-      row.(k + 1) <- ((y *. row.(k)) -. (sqrt fk *. row.(k - 1))) /. sqrt (fk +. 1.)
-    done
+    Hermite.eval_all_into tbl.(v) ~pos:0 ~deg:maxd dy.(v)
   done
 
 let make_tables b = Array.init b.dim (fun _ -> Array.make (max_degree b + 1) 0.)

@@ -16,14 +16,24 @@ let eval n y =
     !cur
   end
 
+(* The one recurrence shared by every table-filling consumer (design
+   rows, streamed providers, compiled evaluator tapes): writing through
+   a caller-chosen offset lets a flat multi-variable buffer host many
+   per-variable tables without per-variable allocation. *)
+let eval_all_into out ~pos ~deg y =
+  check deg;
+  out.(pos) <- 1.;
+  if deg >= 1 then out.(pos + 1) <- y;
+  for k = 1 to deg - 1 do
+    let fk = float_of_int k in
+    out.(pos + k + 1) <-
+      ((y *. out.(pos + k)) -. (sqrt fk *. out.(pos + k - 1))) /. sqrt (fk +. 1.)
+  done
+
 let eval_all n y =
   check n;
   let out = Array.make (n + 1) 1. in
-  if n >= 1 then out.(1) <- y;
-  for k = 1 to n - 1 do
-    let fk = float_of_int k in
-    out.(k + 1) <- ((y *. out.(k)) -. (sqrt fk *. out.(k - 1))) /. sqrt (fk +. 1.)
-  done;
+  eval_all_into out ~pos:0 ~deg:n y;
   out
 
 let unnormalized n y =

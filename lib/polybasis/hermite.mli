@@ -16,6 +16,15 @@ val eval : int -> float -> float
 val eval_all : int -> float -> float array
 (** [eval_all n y] is [| g_0(y); …; g_n(y) |] in one recurrence pass. *)
 
+val eval_all_into : float array -> pos:int -> deg:int -> float -> unit
+(** [eval_all_into out ~pos ~deg y] writes [g_0(y) … g_deg(y)] into
+    [out.(pos) … out.(pos + deg)] by the same recurrence as {!eval_all}
+    — the shared primitive behind {!Basis.fill_tables} and the compiled
+    evaluator tapes of [Serve.Eval], which pack the per-variable tables
+    of several variables into one flat buffer. Values are bitwise equal
+    to {!eval} at every degree.
+    @raise Invalid_argument for negative [deg]. *)
+
 val unnormalized : int -> float -> float
 (** [unnormalized n y] is the classical probabilists' [He_n(y)]
     ([He_2 = y² − 1], no 1/√n! factor). *)

@@ -15,8 +15,8 @@ let rec sample2 g =
 
 let sample g = fst (sample2 g)
 
-let vector g n =
-  let out = Array.make n 0. in
+let fill g out =
+  let n = Array.length out in
   let i = ref 0 in
   while !i < n do
     let a, b = sample2 g in
@@ -26,7 +26,11 @@ let vector g n =
       out.(!i) <- b;
       incr i
     end
-  done;
+  done
+
+let vector g n =
+  let out = Array.make n 0. in
+  fill g out;
   out
 
 let matrix g r c = Linalg.Mat.init r c (fun _ _ -> sample g)

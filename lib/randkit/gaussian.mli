@@ -14,6 +14,12 @@ val sample2 : Prng.t -> float * float
 val vector : Prng.t -> int -> Linalg.Vec.t
 (** [vector g n] is a vector of [n] iid N(0, 1) draws. *)
 
+val fill : Prng.t -> Linalg.Vec.t -> unit
+(** [fill g out] overwrites [out] with iid N(0, 1) draws — the
+    allocation-free form of {!vector} (identical stream consumption),
+    used by the streaming Monte-Carlo evaluator to reuse one point
+    buffer per batch. *)
+
 val matrix : Prng.t -> int -> int -> Linalg.Mat.t
 (** [matrix g r c] is an [r×c] matrix of iid N(0, 1) draws, filled row by
     row (so the stream position after the call is deterministic). *)

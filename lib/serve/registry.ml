@@ -1,0 +1,101 @@
+(* LRU of compiled tapes, keyed by content digest. Capacities are small
+   (a handful of models per served circuit), so the recency list is a
+   plain list — no intrusive queue needed. *)
+
+type entry = { digest : int64; model : Rsm.Model.t; tape : Eval.t }
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type t = {
+  basis : Polybasis.Basis.t;
+  capacity : int;
+  mutable entries : entry list;  (* most-recently-used first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 8) basis =
+  if capacity < 1 then
+    invalid_arg "Serve.Registry.create: capacity must be positive";
+  { basis; capacity; entries = []; hits = 0; misses = 0; evictions = 0 }
+
+let capacity t = t.capacity
+let size t = List.length t.entries
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+let basis t = t.basis
+
+let mem t digest = List.exists (fun e -> e.digest = digest) t.entries
+
+(* Move a resident entry to the front, or None. *)
+let touch t digest =
+  match List.partition (fun e -> e.digest = digest) t.entries with
+  | [ e ], rest ->
+      t.entries <- e :: rest;
+      Some e
+  | _ -> None
+
+let find t digest =
+  match touch t digest with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e
+  | None -> None
+
+(* Insert at the front; drop the back once over capacity. *)
+let insert t entry =
+  t.entries <- entry :: t.entries;
+  if List.length t.entries > t.capacity then begin
+    let keep = List.filteri (fun i _ -> i < t.capacity) t.entries in
+    t.entries <- keep;
+    t.evictions <- t.evictions + 1
+  end
+
+let compile_entry t digest model =
+  let tape = Eval.compile model t.basis in
+  let entry = { digest; model; tape } in
+  t.misses <- t.misses + 1;
+  insert t entry;
+  entry
+
+let of_model t model =
+  let digest = Rsm.Serialize.digest model in
+  match touch t digest with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e
+  | None -> compile_entry t digest model
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          Ok (really_input_string ic n))
+
+let load ?expect t path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok bytes -> (
+      let digest = Rsm.Serialize.digest_string bytes in
+      match expect with
+      | Some d when d <> digest ->
+          Error
+            (Printf.sprintf
+               "digest mismatch for %s: expected %Lx, file content is %Lx" path
+               d digest)
+      | _ -> (
+          match touch t digest with
+          | Some e ->
+              t.hits <- t.hits + 1;
+              Ok e
+          | None -> (
+              match Rsm.Serialize.of_string bytes with
+              | Error e -> Error (path ^ ": " ^ e)
+              | Ok model -> (
+                  match compile_entry t digest model with
+                  | e -> Ok e
+                  | exception Invalid_argument msg -> Error msg))))

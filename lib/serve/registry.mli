@@ -1,0 +1,80 @@
+(** Multi-model registry: an LRU of compiled evaluator tapes keyed by
+    content digest.
+
+    One LAR fit yields a whole family of candidate models — the path's
+    sparsity/accuracy trade-offs — and a serving process flips between
+    them (plus models of other metrics of the same circuit) far more
+    often than it refits. The registry amortizes tape compilation: a
+    model file is digested (FNV-1a 64 over its bytes,
+    {!Rsm.Serialize.digest_string}), looked up, and only compiled on a
+    miss; the least-recently-used tape is evicted when the registry is
+    full.
+
+    The digest keys the {e content}, not the path: re-serving the same
+    bytes from a different file hits, and a file whose bytes changed
+    under a stable path misses and recompiles — a stale tape is never
+    served. Callers that pin an expected digest ([?expect]) get
+    {e digest-mismatch rejection}: a swapped or corrupted model file is
+    refused instead of silently compiled and served.
+
+    All models in one registry share one basis (one dictionary), fixed
+    at {!create}; a model whose [basis_size] disagrees is rejected as an
+    [Error], never compiled.
+
+    Not thread-safe: serve from one domain, or shard registries. *)
+
+type entry = {
+  digest : int64;  (** content digest of the serialized model *)
+  model : Rsm.Model.t;  (** parsed model, with its {!Rsm.Model.notes} *)
+  tape : Eval.t;  (** compiled evaluator *)
+}
+(** A resident compiled model. [model.notes] carry fit provenance
+    (fallback rungs, per-term significance annotations) through to the
+    served artifact. *)
+
+type stats = {
+  hits : int;  (** lookups served from a resident tape *)
+  misses : int;  (** lookups that parsed and compiled *)
+  evictions : int;  (** tapes dropped by the LRU policy *)
+}
+
+type t
+
+val create : ?capacity:int -> Polybasis.Basis.t -> t
+(** [create ~capacity basis] is an empty registry holding at most
+    [capacity] compiled tapes (default 8) over the shared dictionary
+    [basis].
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val size : t -> int
+(** Resident tape count, ≤ {!capacity}. *)
+
+val stats : t -> stats
+
+val basis : t -> Polybasis.Basis.t
+
+val mem : t -> int64 -> bool
+(** [mem t digest] is [true] when a tape with this digest is resident.
+    Does not touch recency and counts no hit. *)
+
+val find : t -> int64 -> entry option
+(** [find t digest] returns the resident entry and marks it
+    most-recently-used (counted as a hit), or [None] (not counted as a
+    miss — nothing was compiled). *)
+
+val of_model : t -> Rsm.Model.t -> entry
+(** [of_model t m] serves an in-memory model through the registry: its
+    serialized-content digest is looked up, and the tape is compiled and
+    inserted on a miss (evicting the LRU entry if full).
+    @raise Invalid_argument when the model's [basis_size] disagrees with
+    the registry basis. *)
+
+val load : ?expect:int64 -> t -> string -> (entry, string) result
+(** [load t path] reads the model file at [path], digests its bytes,
+    and serves it from the registry — parsing and compiling only on a
+    miss. With [~expect:d], a file whose digest is not [d] is rejected
+    with [Error] before any parse (digest-mismatch rejection). IO
+    failures, parse failures and basis-size disagreements are all
+    reported as [Error]. *)

@@ -1,0 +1,102 @@
+(* Streaming MC yield: fixed-size batches, one PRNG child per batch,
+   per-batch partials combined sequentially in batch order. The batch
+   grid — not the chunk grid — carries the random streams, so results
+   are bitwise identical at every domain count. *)
+
+type estimate = {
+  yield : float;
+  std_error : float;
+  pass : int;
+  samples : int;
+  mean : float;
+  std : float;
+  batches : int;
+  batch : int;
+}
+
+let default_batch = 8192
+
+let check_args ~samples ~batch ~name =
+  if samples <= 0 then invalid_arg (name ^ ": samples must be positive");
+  if batch <= 0 then invalid_arg (name ^ ": batch must be positive")
+
+(* Run [body b rng scratch dy ~lo ~n] for every batch [b] over the pool
+   (or sequentially without one). [lo] is the batch's global sample
+   offset and [n] its size (the last batch may be short). Each pool
+   chunk owns one scratch and one point buffer, reused across its
+   batches; batch [b] always draws from child [b]. *)
+let over_batches ?pool ~batch ~samples t rng body =
+  let nbatches = (samples + batch - 1) / batch in
+  let rngs = Randkit.Prng.split_n rng nbatches in
+  let chunk_body ~lo:b0 ~hi:b1 =
+    let scratch = Eval.make_scratch t in
+    let dy = Array.make (Eval.dim t) 0. in
+    for b = b0 to b1 - 1 do
+      let lo = b * batch in
+      let n = min batch (samples - lo) in
+      body b rngs.(b) scratch dy ~lo ~n
+    done
+  in
+  (match pool with
+  | Some pool -> Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:nbatches chunk_body
+  | None -> chunk_body ~lo:0 ~hi:nbatches);
+  nbatches
+
+let estimate ?pool ?(batch = default_batch) ~samples t rng spec =
+  check_args ~samples ~batch ~name:"Serve.Stream.estimate";
+  (* Per-batch partial accumulators, slotted by batch index so the
+     final combine is sequential in batch order regardless of which
+     domain produced which partial. *)
+  let nbatches0 = (samples + batch - 1) / batch in
+  let pass_of = Array.make nbatches0 0 in
+  let sum_of = Array.make nbatches0 0. in
+  let sumsq_of = Array.make nbatches0 0. in
+  let nbatches =
+    over_batches ?pool ~batch ~samples t rng (fun b brng scratch dy ~lo:_ ~n ->
+        let pass = ref 0 in
+        let sum = ref 0. in
+        let sumsq = ref 0. in
+        for _ = 1 to n do
+          Randkit.Gaussian.fill brng dy;
+          let v = Eval.eval_with t scratch dy in
+          if Rsm.Yield.passes spec v then incr pass;
+          sum := !sum +. v;
+          sumsq := !sumsq +. (v *. v)
+        done;
+        pass_of.(b) <- !pass;
+        sum_of.(b) <- !sum;
+        sumsq_of.(b) <- !sumsq)
+  in
+  let pass = ref 0 and sum = ref 0. and sumsq = ref 0. in
+  for b = 0 to nbatches - 1 do
+    pass := !pass + pass_of.(b);
+    sum := !sum +. sum_of.(b);
+    sumsq := !sumsq +. sumsq_of.(b)
+  done;
+  let nf = float_of_int samples in
+  let yield = float_of_int !pass /. nf in
+  let mean = !sum /. nf in
+  let std = sqrt (Float.max ((!sumsq /. nf) -. (mean *. mean)) 0.) in
+  let std_error = sqrt (Float.max (yield *. (1. -. yield)) 0. /. nf) in
+  {
+    yield;
+    std_error;
+    pass = !pass;
+    samples;
+    mean;
+    std;
+    batches = nbatches;
+    batch;
+  }
+
+let values ?pool ?(batch = default_batch) ~samples t rng =
+  check_args ~samples ~batch ~name:"Serve.Stream.values";
+  let out = Array.make samples 0. in
+  let (_ : int) =
+    over_batches ?pool ~batch ~samples t rng (fun _ brng scratch dy ~lo ~n ->
+        for s = 0 to n - 1 do
+          Randkit.Gaussian.fill brng dy;
+          out.(lo + s) <- Eval.eval_with t scratch dy
+        done)
+  in
+  out

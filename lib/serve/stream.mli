@@ -1,0 +1,70 @@
+(** Streaming Monte-Carlo yield estimation over compiled tapes.
+
+    The serving workload the paper motivates: once the response surface
+    is analytic, parametric yield comes from 10⁷–10⁸ cheap model
+    evaluations instead of transistor-level simulation. This module
+    pulls that point stream through the domain pool in fixed-size
+    batches without ever materializing the point set: each batch owns a
+    child PRNG, one reusable point buffer and one evaluator scratch, so
+    peak memory is O(batches + dim · lanes) however many samples flow.
+
+    {2 Determinism contract}
+
+    The batch structure {e is} the random-stream structure: batch [b]
+    draws from child [b] of {!Randkit.Prng.split_n} on the caller's
+    generator, and per-batch partials (pass counts, value sums) are
+    combined sequentially in batch-index order after the parallel
+    phase. Results are therefore {b bitwise identical at every domain
+    count} — the same contract the fitting engine keeps (PRs 1–5) —
+    and depend only on [(seed, samples, batch)]. Changing [batch]
+    re-partitions the stream and is {e expected} to change the draws
+    (document the batch size next to the seed when recording results).
+
+    The evaluator itself is bitwise equal to term-by-term
+    [Rsm.Model.predict_point] (see {!Eval}), so a streamed estimate at
+    one domain equals the naive sequential estimate computed from the
+    same per-batch draws. *)
+
+type estimate = {
+  yield : float;  (** pass fraction against the spec window *)
+  std_error : float;  (** binomial standard error √(y(1−y)/n) *)
+  pass : int;  (** samples inside the spec window *)
+  samples : int;
+  mean : float;  (** mean of the model values *)
+  std : float;  (** population standard deviation of the model values *)
+  batches : int;
+  batch : int;  (** batch size the stream was partitioned by *)
+}
+
+val default_batch : int
+(** 8192 samples per batch: large enough to amortize per-batch PRNG and
+    scratch setup, small enough that 10⁸ samples spread over thousands
+    of pool tasks. *)
+
+val estimate :
+  ?pool:Parallel.Pool.t ->
+  ?batch:int ->
+  samples:int ->
+  Eval.t ->
+  Randkit.Prng.t ->
+  Rsm.Yield.spec ->
+  estimate
+(** [estimate ~samples tape rng spec] streams [samples] standard-normal
+    factor draws through the compiled tape and scores them against
+    [spec]. Batches run over [pool] (default: sequential); the result is
+    bitwise identical for every domain count.
+    @raise Invalid_argument when [samples ≤ 0] or [batch ≤ 0]. *)
+
+val values :
+  ?pool:Parallel.Pool.t ->
+  ?batch:int ->
+  samples:int ->
+  Eval.t ->
+  Randkit.Prng.t ->
+  Linalg.Vec.t
+(** [values ~samples tape rng] is the raw model-value stream (for
+    histograms and quantiles), materialized — the streaming analogue of
+    [Rsm.Yield.monte_carlo_values]. Entry [b·batch + s] is draw [s] of
+    batch [b]'s child generator, so the array is bitwise identical at
+    every domain count.
+    @raise Invalid_argument when [samples ≤ 0] or [batch ≤ 0]. *)

@@ -1,6 +1,6 @@
 (** Higher-order sample moments and moment-based quantiles.
 
-    Quadratic response-surface models produce {e}non-Gaussian{i}
+    Quadratic response-surface models produce {e non-Gaussian}
     performance distributions (a quadratic form of Gaussians is skewed);
     skewness/kurtosis quantify the departure, and the Cornish–Fisher
     expansion turns the first four moments into corrected quantiles —

@@ -1,0 +1,314 @@
+(* Serving engine: compiled instruction tapes, the streaming yield
+   estimator and the tape registry.
+
+   The contracts under test are bitwise, not approximate: a compiled
+   tape must reproduce Model.predict_point bit for bit on every model,
+   basis and point, and the streamed estimator must not change a single
+   result bit when the domain count changes. *)
+
+open Test_util
+
+(* Random sparse models over random quadratic/total-degree bases. *)
+let model_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let* degree = int_range 1 3 in
+    let basis =
+      if degree <= 2 then Polybasis.Basis.quadratic n
+      else Polybasis.Basis.total_degree n degree
+    in
+    let m = Polybasis.Basis.size basis in
+    let* p = int_range 0 (min 12 m) in
+    let* support_list =
+      if p = 0 then return []
+      else
+        let* idx = list_repeat p (int_range 0 (m - 1)) in
+        return (List.sort_uniq compare idx)
+    in
+    let support = Array.of_list support_list in
+    let* coeffs =
+      array_repeat (Array.length support) (float_range (-2.) 2.)
+    in
+    let model = Rsm.Model.make ~basis_size:m ~support ~coeffs in
+    let* seed = int_range 1 1_000_000 in
+    return (model, basis, seed))
+
+let arbitrary_model =
+  QCheck.make model_gen ~print:(fun (model, basis, seed) ->
+      Printf.sprintf "nnz=%d dim=%d M=%d seed=%d" (Rsm.Model.nnz model)
+        (Polybasis.Basis.dim basis)
+        (Polybasis.Basis.size basis)
+        seed)
+
+let random_points rng basis k =
+  Array.init k (fun _ ->
+      Randkit.Gaussian.vector rng (Polybasis.Basis.dim basis))
+
+let eval_suite =
+  [
+    qtest ~count:200 "compiled tape bitwise == predict_point" arbitrary_model
+      (fun (model, basis, seed) ->
+        let tape = Serve.Eval.compile model basis in
+        let rng = Randkit.Prng.create seed in
+        let pts = random_points rng basis 20 in
+        Array.for_all
+          (fun p ->
+            Serve.Eval.eval_point tape p = Rsm.Model.predict_point model basis p)
+          pts);
+    qtest ~count:100 "eval_batch bitwise == scalar, any block" arbitrary_model
+      (fun (model, basis, seed) ->
+        let tape = Serve.Eval.compile model basis in
+        let rng = Randkit.Prng.create seed in
+        let pts = random_points rng basis 37 in
+        let scalar = Array.map (Serve.Eval.eval_point tape) pts in
+        List.for_all
+          (fun block -> Serve.Eval.eval_batch ~block tape pts = scalar)
+          [ 1; 3; 37; 256 ]);
+    qtest ~count:50 "eval_batch bitwise identical over a pool" arbitrary_model
+      (fun (model, basis, seed) ->
+        let tape = Serve.Eval.compile model basis in
+        let rng = Randkit.Prng.create seed in
+        let pts = random_points rng basis 50 in
+        let seq = Serve.Eval.eval_batch tape pts in
+        List.for_all
+          (fun domains ->
+            Parallel.Pool.with_pool ~domains (fun pool ->
+                Serve.Eval.eval_batch ~pool ~block:8 tape pts = seq))
+          [ 1; 2; 4 ]);
+    case "empty model evaluates to 0 everywhere" (fun () ->
+        let basis = Polybasis.Basis.quadratic 4 in
+        let model =
+          Rsm.Model.make
+            ~basis_size:(Polybasis.Basis.size basis)
+            ~support:[||] ~coeffs:[||]
+        in
+        let tape = Serve.Eval.compile model basis in
+        check_int "nnz" 0 (Serve.Eval.nnz tape);
+        check_int "vars" 0 (Serve.Eval.vars_touched tape);
+        check_int "max degree" 0 (Serve.Eval.max_degree tape);
+        let p = Array.make 4 1.5 in
+        check_float "value" 0. (Serve.Eval.eval_point tape p);
+        check_bool "batch" true
+          (Serve.Eval.eval_batch tape [| p; p |] = [| 0.; 0. |]));
+    case "degree-0 (constant-only) model" (fun () ->
+        let basis = Polybasis.Basis.quadratic 3 in
+        let model =
+          Rsm.Model.make
+            ~basis_size:(Polybasis.Basis.size basis)
+            ~support:[| 0 |] ~coeffs:[| 2.5 |]
+        in
+        let tape = Serve.Eval.compile model basis in
+        check_int "vars" 0 (Serve.Eval.vars_touched tape);
+        check_int "tape length" 0 (Serve.Eval.tape_length tape);
+        let pts = random_points (rng ()) basis 5 in
+        Array.iter
+          (fun p -> check_float "constant" 2.5 (Serve.Eval.eval_point tape p))
+          pts;
+        check_bool "batch" true
+          (Serve.Eval.eval_batch tape pts = Array.make 5 2.5));
+    case "compile rejects basis-size disagreement" (fun () ->
+        let basis = Polybasis.Basis.quadratic 4 in
+        let model =
+          Rsm.Model.make ~basis_size:7 ~support:[| 1 |] ~coeffs:[| 1. |]
+        in
+        check_raises_invalid "wrong basis" (fun () ->
+            Serve.Eval.compile model basis));
+    case "eval rejects wrong point dimension" (fun () ->
+        let basis = Polybasis.Basis.quadratic 4 in
+        let model =
+          Rsm.Model.make
+            ~basis_size:(Polybasis.Basis.size basis)
+            ~support:[| 1 |] ~coeffs:[| 1. |]
+        in
+        let tape = Serve.Eval.compile model basis in
+        check_raises_invalid "short point" (fun () ->
+            Serve.Eval.eval_point tape [| 1.; 2. |]));
+  ]
+
+(* A fixed mid-size model shared by the yield and registry tests. *)
+let fixture () =
+  let basis = Polybasis.Basis.quadratic 10 in
+  let m = Polybasis.Basis.size basis in
+  let g = Randkit.Prng.create 99 in
+  let support =
+    Randkit.Sampling.subsample g (Array.init m Fun.id) 15
+  in
+  Array.sort compare support;
+  let coeffs = Array.map (fun _ -> Randkit.Gaussian.sample g) support in
+  let model = Rsm.Model.make ~basis_size:m ~support ~coeffs in
+  (model, basis, Serve.Eval.compile model basis)
+
+let yield_suite =
+  [
+    case "Yield.monte_carlo ?eval compiled == naive (bitwise)" (fun () ->
+        let model, basis, tape = fixture () in
+        let spec = Rsm.Yield.spec_both ~lower:(-1.) ~upper:1. in
+        let naive =
+          Rsm.Yield.monte_carlo ~samples:2000 model basis
+            (Randkit.Prng.create 7) spec
+        in
+        let compiled =
+          Rsm.Yield.monte_carlo ~samples:2000
+            ~eval:(Serve.Eval.evaluator tape) model basis
+            (Randkit.Prng.create 7) spec
+        in
+        check_bool "same estimate" true (naive = compiled));
+    case "streamed estimate bitwise identical at 1/2/4 domains" (fun () ->
+        let _, _, tape = fixture () in
+        let spec = Rsm.Yield.spec_both ~lower:(-1.) ~upper:1. in
+        let at domains =
+          Parallel.Pool.with_pool ~domains (fun pool ->
+              Serve.Stream.estimate ~pool ~batch:128 ~samples:3000 tape
+                (Randkit.Prng.create 13) spec)
+        in
+        let e1 = at 1 in
+        check_bool "2 domains" true (at 2 = e1);
+        check_bool "4 domains" true (at 4 = e1);
+        check_int "pass+fail=n" e1.Serve.Stream.samples 3000);
+    case "streamed values bitwise identical at 1/2/4 domains" (fun () ->
+        let _, _, tape = fixture () in
+        let at domains =
+          Parallel.Pool.with_pool ~domains (fun pool ->
+              Serve.Stream.values ~pool ~batch:100 ~samples:1050 tape
+                (Randkit.Prng.create 17))
+        in
+        let v1 = at 1 in
+        check_bool "2 domains" true (at 2 = v1);
+        check_bool "4 domains" true (at 4 = v1));
+    case "estimate agrees with naive MC within sampling error" (fun () ->
+        let model, basis, tape = fixture () in
+        let spec = Rsm.Yield.spec_both ~lower:(-2.) ~upper:2. in
+        let e =
+          Serve.Stream.estimate ~samples:20_000 tape (Randkit.Prng.create 19)
+            spec
+        in
+        let y, _ =
+          Rsm.Yield.monte_carlo ~samples:20_000 model basis
+            (Randkit.Prng.create 23) spec
+        in
+        check_float ~eps:0.02 "yield" y e.Serve.Stream.yield;
+        check_bool "se sane" true
+          (e.Serve.Stream.std_error > 0. && e.Serve.Stream.std_error < 0.02));
+    case "estimate rejects bad arguments" (fun () ->
+        let _, _, tape = fixture () in
+        let spec = Rsm.Yield.spec_min 0. in
+        check_raises_invalid "samples" (fun () ->
+            Serve.Stream.estimate ~samples:0 tape (rng ()) spec);
+        check_raises_invalid "batch" (fun () ->
+            Serve.Stream.estimate ~batch:0 ~samples:10 tape (rng ()) spec));
+  ]
+
+let registry_suite =
+  let save_tmp model name =
+    let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+    Rsm.Serialize.save path model;
+    path
+  in
+  let small_model basis j c =
+    Rsm.Model.make
+      ~basis_size:(Polybasis.Basis.size basis)
+      ~support:[| j |] ~coeffs:[| c |]
+  in
+  [
+    case "of_model caches: second lookup is a hit" (fun () ->
+        let model, basis, _ = fixture () in
+        let reg = Serve.Registry.create basis in
+        let e1 = Serve.Registry.of_model reg model in
+        let e2 = Serve.Registry.of_model reg model in
+        check_bool "same tape" true (e1.Serve.Registry.tape == e2.Serve.Registry.tape);
+        let s = Serve.Registry.stats reg in
+        check_int "hits" 1 s.Serve.Registry.hits;
+        check_int "misses" 1 s.Serve.Registry.misses;
+        check_int "size" 1 (Serve.Registry.size reg));
+    case "LRU eviction drops the least recently used" (fun () ->
+        let basis = Polybasis.Basis.quadratic 10 in
+        let reg = Serve.Registry.create ~capacity:2 basis in
+        let m1 = small_model basis 1 1. in
+        let m2 = small_model basis 2 1. in
+        let m3 = small_model basis 3 1. in
+        let e1 = Serve.Registry.of_model reg m1 in
+        let _ = Serve.Registry.of_model reg m2 in
+        (* Touch m1 so m2 becomes the LRU, then overflow with m3. *)
+        let _ = Serve.Registry.of_model reg m1 in
+        let _ = Serve.Registry.of_model reg m3 in
+        check_int "size stays at capacity" 2 (Serve.Registry.size reg);
+        check_bool "m1 resident" true
+          (Serve.Registry.mem reg e1.Serve.Registry.digest);
+        check_bool "m2 evicted" false
+          (Serve.Registry.mem reg (Rsm.Serialize.digest m2));
+        let s = Serve.Registry.stats reg in
+        check_int "evictions" 1 s.Serve.Registry.evictions;
+        check_int "misses" 3 s.Serve.Registry.misses);
+    case "load digests file bytes and caches" (fun () ->
+        let model, basis, _ = fixture () in
+        let path = save_tmp model "serve_reg_load.rsm" in
+        let reg = Serve.Registry.create basis in
+        (match Serve.Registry.load reg path with
+        | Error e -> Alcotest.failf "load failed: %s" e
+        | Ok e ->
+            check_bool "predicts" true
+              (Serve.Eval.eval_point e.Serve.Registry.tape
+                 (Array.make (Polybasis.Basis.dim basis) 0.5)
+              = Rsm.Model.predict_point model basis
+                  (Array.make (Polybasis.Basis.dim basis) 0.5)));
+        (match Serve.Registry.load reg path with
+        | Error e -> Alcotest.failf "reload failed: %s" e
+        | Ok _ -> ());
+        let s = Serve.Registry.stats reg in
+        check_int "one parse+compile only" 1 s.Serve.Registry.misses;
+        check_int "second load hits" 1 s.Serve.Registry.hits;
+        Sys.remove path);
+    case "load rejects a digest mismatch" (fun () ->
+        let model, basis, _ = fixture () in
+        let path = save_tmp model "serve_reg_expect.rsm" in
+        let reg = Serve.Registry.create basis in
+        (match Serve.Registry.load ~expect:1234L reg path with
+        | Ok _ -> Alcotest.fail "expected a digest-mismatch rejection"
+        | Error msg ->
+            check_bool "mentions mismatch" true
+              (String.length msg > 0
+              && String.sub msg 0 15 = "digest mismatch"));
+        check_int "nothing cached" 0 (Serve.Registry.size reg);
+        let good = Rsm.Serialize.digest model in
+        (match Serve.Registry.load ~expect:good reg path with
+        | Ok e -> check_bool "digest echoed" true (e.Serve.Registry.digest = good)
+        | Error e -> Alcotest.failf "pinned load failed: %s" e);
+        Sys.remove path);
+    case "load reports IO and parse failures as Error" (fun () ->
+        let basis = Polybasis.Basis.quadratic 10 in
+        let reg = Serve.Registry.create basis in
+        (match Serve.Registry.load reg "/nonexistent/model.rsm" with
+        | Ok _ -> Alcotest.fail "expected IO error"
+        | Error _ -> ());
+        let path =
+          Filename.concat (Filename.get_temp_dir_name ()) "serve_reg_bad.rsm"
+        in
+        let oc = open_out path in
+        output_string oc "not a model\n";
+        close_out oc;
+        (match Serve.Registry.load reg path with
+        | Ok _ -> Alcotest.fail "expected parse error"
+        | Error _ -> ());
+        Sys.remove path);
+    case "load rejects a model of the wrong basis size" (fun () ->
+        let model, _, _ = fixture () in
+        let path = save_tmp model "serve_reg_wrong_basis.rsm" in
+        let reg = Serve.Registry.create (Polybasis.Basis.quadratic 3) in
+        (match Serve.Registry.load reg path with
+        | Ok _ -> Alcotest.fail "expected basis-size rejection"
+        | Error _ -> ());
+        Sys.remove path);
+    case "create rejects non-positive capacity" (fun () ->
+        check_raises_invalid "capacity 0" (fun () ->
+            ignore
+              (Serve.Registry.create ~capacity:0 (Polybasis.Basis.quadratic 2))));
+    case "digest is stable across serialize round-trips" (fun () ->
+        let model, _, _ = fixture () in
+        let d1 = Rsm.Serialize.digest model in
+        match Rsm.Serialize.of_string (Rsm.Serialize.to_string model) with
+        | Error e -> Alcotest.failf "round-trip failed: %s" e
+        | Ok model' -> check_bool "same digest" true (Rsm.Serialize.digest model' = d1));
+  ]
+
+let suite =
+  ("serve", eval_suite @ yield_suite @ registry_suite)
