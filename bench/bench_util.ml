@@ -79,6 +79,11 @@ let secs x =
    so no JSON parser is needed. *)
 let summary_file = "BENCH_speed.json"
 
+(* The scenarios currently in the bench suite, in file order. A merge
+   drops any other key, so a renamed or retired scenario does not leave
+   a stale entry behind forever. *)
+let known_scenarios = [ "sweep"; "speed"; "eval"; "bigm_sharded" ]
+
 let update_summary ~scenario ~payload =
   if String.contains payload '\n' then
     invalid_arg "Bench_util.update_summary: payload must be a single line";
@@ -120,6 +125,9 @@ let update_summary ~scenario ~payload =
                   in
                   if name = "" || v = "" then None else Some (name, v)))
       lines
+  in
+  let entries =
+    List.filter (fun (n, _) -> List.mem n known_scenarios) entries
   in
   let entries =
     if List.mem_assoc scenario entries then

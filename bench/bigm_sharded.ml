@@ -1,0 +1,124 @@
+(* Column-sharded LAR at M = 10⁶: the tentpole scale test.
+
+   Fits the same streamed quadratic dictionary twice — unsharded, and
+   through the column-sharded engine in process mode — and byte-compares
+   the paths: entering/leaving columns, the C correlations and every
+   coefficient must be bitwise identical at every shard count (exit 1
+   on violation, so this doubles as the determinism smoke for CI).
+
+   Process mode is the point at this scale: each re-exec'd worker owns
+   only its M/S column slice (Hermite tables + Gram-cache slab), so the
+   per-process peak RSS stays bounded while the single-image fit carries
+   the whole dictionary. The per-shard VmHWM of a probed engine is
+   recorded next to the fit times in BENCH_speed.json. *)
+
+let quick_cfg = (60, 80, 6, 3)
+
+(* n = 1413 → M = 1 + 2n + n(n−1)/2 = 1,000,405 columns. *)
+let full_cfg = (1413, 400, 8, 4)
+
+let fingerprint steps =
+  Array.map
+    (fun (s : Rsm.Lars.step) ->
+      ( s.Rsm.Lars.added,
+        s.Rsm.Lars.dropped,
+        Int64.bits_of_float s.Rsm.Lars.max_corr,
+        s.Rsm.Lars.model.Rsm.Model.support,
+        Array.map Int64.bits_of_float s.Rsm.Lars.model.Rsm.Model.coeffs ))
+    steps
+
+let run ?(quick = false) ?domains () =
+  let n, k, max_steps, shards = if quick then quick_cfg else full_cfg in
+  let domains =
+    match domains with Some d -> d | None -> Parallel.Pool.default_domains ()
+  in
+  let pool = Parallel.Pool.create ~domains () in
+  let basis = Polybasis.Basis.quadratic n in
+  let m = Polybasis.Basis.size basis in
+  let rng = Randkit.Prng.create 61 in
+  let pts = Array.init k (fun _ -> Randkit.Gaussian.vector rng n) in
+  let src = Polybasis.Design.Provider.streamed basis pts in
+  (* Sparse synthetic response: a handful of true columns plus noise. *)
+  let p_true = min 6 max_steps in
+  let support = Randkit.Sampling.subsample rng (Array.init m Fun.id) p_true in
+  let f = Array.init k (fun _ -> 0.05 *. Randkit.Gaussian.sample rng) in
+  Array.iter
+    (fun j ->
+      let col = Polybasis.Design.Provider.column src j in
+      for i = 0 to k - 1 do
+        f.(i) <- f.(i) +. col.(i)
+      done)
+    support;
+  let sweep = Rsm.Corr_sweep.incremental ~refresh:4 () in
+  Printf.printf
+    "\n=== Column-sharded LAR: K=%d M=%d steps=%d shards=%d (process mode) \
+     ===\n\
+     %!"
+    k m max_steps shards;
+  (* Per-shard footprint probe: a live engine (slabs built, initial
+     sweep done, one selection answered) queried for each worker's
+     VmHWM. Probed before the fits so the workers' high-water marks
+     reflect exactly this engine. *)
+  let shard_rss_kb =
+    let e =
+      Rsm.Shard_sweep.create ~pool ~mode:Rsm.Shard_sweep.Procs ~shards ~sweep
+        src ~r0:f
+    in
+    ignore (Rsm.Shard_sweep.raw_norms e);
+    ignore (Rsm.Shard_sweep.select e ~r:f);
+    let rss = Rsm.Shard_sweep.peak_rss_kb e in
+    Rsm.Shard_sweep.shutdown e;
+    rss
+  in
+  Array.iteri
+    (fun s kb ->
+      Printf.printf "shard %d/%d: %d columns, peak RSS %.1f MB\n%!" s shards
+        (((s + 1) * m / shards) - (s * m / shards))
+        (kb /. 1024.))
+    shard_rss_kb;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let seq_steps, seq_s =
+    timed (fun () ->
+        Rsm.Lars.path_p ~pool ~on_singular:`Fallback ~sweep src f ~max_steps)
+  in
+  let recovered = ref 0 in
+  let sh_steps, sh_s =
+    timed (fun () ->
+        Rsm.Lars.path_p ~pool ~on_singular:`Fallback ~sweep ~shards
+          ~shard_mode:Rsm.Shard_sweep.Procs ~recovered src f ~max_steps)
+  in
+  let parity = fingerprint seq_steps = fingerprint sh_steps in
+  Printf.printf
+    "unsharded %8.2f s   %d-shard %8.2f s   parity %s   parent RSS %.0f MB\n%!"
+    seq_s shards sh_s
+    (if parity then "bitwise" else "VIOLATED")
+    (Bench_util.peak_rss_mb ());
+  let payload =
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"m\": %d, \"k\": %d, \"steps\": %d, \"shards\": %d, \"mode\": \
+          \"process\", \"fit_s_unsharded\": %.3f, \"fit_s_sharded\": %.3f, \
+          \"parity\": %B, \"parent_peak_rss_mb\": %.1f, \
+          \"shard_peak_rss_mb\": ["
+         m k (Array.length sh_steps) shards seq_s sh_s parity
+         (Bench_util.peak_rss_mb ()));
+    Array.iteri
+      (fun i kb ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%.1f" (if i = 0 then "" else ", ") (kb /. 1024.)))
+      shard_rss_kb;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+  in
+  Bench_util.update_summary ~scenario:"bigm_sharded" ~payload;
+  Printf.printf "summary updated in %s\n%!" Bench_util.summary_file;
+  Parallel.Pool.shutdown pool;
+  if not parity then begin
+    Printf.printf "bigm_sharded: sharded path diverged from unsharded\n%!";
+    exit 1
+  end

@@ -7,6 +7,10 @@
 
 open Cmdliner
 
+(* The bigm_sharded scenario spawns process shards by re-exec'ing this
+   binary; the hook must run before cmdliner parses anything. *)
+let () = Rsm.Shard_sweep.worker_entry_if_requested ()
+
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Tiny problem sizes (smoke run).")
 
@@ -99,6 +103,13 @@ let () =
         Term.(
           const (fun quick _ domains ->
               Speed.sweep_scenario ~quick ~domains ())
+          $ quick $ full $ domains);
+      Cmd.v
+        (Cmd.info "bigm-sharded"
+           ~doc:
+             "Column-sharded LAR at M = 10â¶ (quick: M â 2Â·10Â³):               process-sharded vs unsharded fit time, per-shard peak RSS,               embedded bitwise parity gate (exit 1 on violation). Updates               BENCH_speed.json.")
+        Term.(
+          const (fun quick _ domains -> Bigm_sharded.run ~quick ?domains ())
           $ quick $ full $ domains);
       Cmd.v
         (Cmd.info "eval"

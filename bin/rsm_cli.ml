@@ -6,6 +6,10 @@
 
 open Cmdliner
 
+(* Process-sharded sweeps (--shard-mode process) re-exec this binary as
+   shard workers; the hook must run before cmdliner parses anything. *)
+let () = Rsm.Shard_sweep.worker_entry_if_requested ()
+
 type workload = {
   name : string;
   dim : int;
@@ -289,6 +293,33 @@ let sweep_refresh_arg =
                  movement steps the correlations are recomputed from scratch \
                  to wash out drift (0 = never).")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the dictionary into N contiguous column shards, each \
+           sweeping its own column slice with its own Gram-cache slab. \
+           Selections, coefficients and the chosen model are bitwise \
+           identical to the unsharded sweep at every shard count.")
+
+let shard_mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("domain", Rsm.Shard_sweep.Domains);
+             ("process", Rsm.Shard_sweep.Procs);
+           ])
+        Rsm.Shard_sweep.Domains
+    & info [ "shard-mode" ] ~docv:"MODE"
+        ~doc:
+          "$(b,domain) keeps the shard slabs in-image; $(b,process) re-execs \
+           one worker process per shard, so peak per-process memory is \
+           bounded by the shard slice and a crashed worker is respawned and \
+           replayed from the command log with bitwise-unchanged results.")
+
 let fused_cv_arg =
   Arg.(
     value
@@ -338,7 +369,7 @@ let model_cmd =
   let run circuit metric cells parasitics seed samples test method_name
       max_lambda save_model domains engine folds fault_rate retries no_screen
       screen_threshold checkpoint resume checkpoint_every sweep_mode
-      sweep_refresh fused_cv rescreen =
+      sweep_refresh fused_cv rescreen shards shard_mode =
     check_at_least "samples" 1 samples;
     check_at_least "test" 1 test;
     check_at_least "max-lambda" 1 max_lambda;
@@ -346,6 +377,7 @@ let model_cmd =
     check_at_least "folds" 2 folds_n;
     check_at_least "retries" 1 retries;
     check_at_least "checkpoint-every" 1 checkpoint_every;
+    check_at_least "shards" 1 shards;
     check_at_least "sweep-refresh" 0 sweep_refresh;
     let sweep =
       match sweep_mode with
@@ -421,6 +453,7 @@ let model_cmd =
                   min max_lambda
                     (min (Polybasis.Design.Provider.rows src) m_cols)
                 in
+                let recovered = ref 0 in
                 let model, fit_s =
                   Circuit.Testbench.timed (fun () ->
                       match meth with
@@ -443,11 +476,13 @@ let model_cmd =
                           | Rsm.Solver.Omp ->
                               Rsm.Omp.fit_p ~pool ~on_singular:`Fallback
                                 ~checkpoint_every ~on_checkpoint
-                                ?resume:resume_state ~sweep src f_tr ~lambda
+                                ?resume:resume_state ~sweep ~shards
+                                ~shard_mode ~recovered src f_tr ~lambda
                           | _ ->
                               Rsm.Star.fit_p ~pool ~checkpoint_every
-                                ~on_checkpoint ?resume:resume_state ~sweep src
-                                f_tr ~lambda)
+                                ~on_checkpoint ?resume:resume_state ~sweep
+                                ~shards ~shard_mode ~recovered src f_tr
+                                ~lambda)
                       | _ ->
                           (* lar / lasso: the event-log LARS checkpoint. *)
                           let resume_state =
@@ -471,7 +506,8 @@ let model_cmd =
                             ~checkpoint_every
                             ~on_checkpoint:(fun c ->
                               Rsm.Serialize.Checkpoint.Lars.save ckpt_file c)
-                            ?resume:resume_state ~sweep src f_tr ~lambda)
+                            ?resume:resume_state ~sweep ~shards ~shard_mode
+                            ~recovered src f_tr ~lambda)
                 in
                 let test_data =
                   Circuit.Simulator.run ~pool w.sim rng ~k:test
@@ -487,6 +523,15 @@ let model_cmd =
                 Printf.printf "  design engine : %s\n" (engine_name src);
                 Printf.printf "  sweep engine  : %s\n"
                   (Rsm.Corr_sweep.sweep_to_string sweep);
+                if shards > 1 then
+                  Printf.printf "  shard engine  : %d shards (%s mode)\n"
+                    shards
+                    (Rsm.Shard_sweep.mode_to_string shard_mode);
+                if !recovered > 0 then
+                  Printf.printf
+                    "  shard recovery: %d worker respawn(s), log replayed, \
+                     results bitwise unchanged\n"
+                    !recovered;
                 print_run_reports run_report screen_report;
                 Printf.printf "  checkpoint    : %s (every %d iterations%s)\n"
                   ckpt_file checkpoint_every
@@ -511,14 +556,16 @@ let model_cmd =
                       ~min_samples:(min samples (max 8 (samples / 2)))
                       ~streamed:
                         (choose_streamed engine ~k:samples ~m:m_cols)
-                      ?checkpoint ~resume ~sweep ?fused_cv ~rescreen ()
+                      ?checkpoint ~resume ~sweep ~shards ~shard_mode ?fused_cv
+                      ~rescreen ()
                   with
                   | Ok cfg -> cfg
                   | Error e -> err_exit (Robust.Error.to_string e)
                 in
+                let recovered = ref 0 in
                 match
                   Circuit.Testbench.timed (fun () ->
-                      Robust.Pipeline.fit ~pool cfg w.sim basis rng)
+                      Robust.Pipeline.fit ~pool ~recovered cfg w.sim basis rng)
                 with
                 | Error e, _ -> err_exit (Robust.Error.to_string e)
                 | Ok o, fit_s ->
@@ -544,6 +591,15 @@ let model_cmd =
                       | Some true -> ", fused CV"
                       | Some false -> ", per-fold CV"
                       | None -> ", auto CV driver");
+                    if shards > 1 then
+                      Printf.printf "  shard engine  : %d shards (%s mode)\n"
+                        shards
+                        (Rsm.Shard_sweep.mode_to_string shard_mode);
+                    if !recovered > 0 then
+                      Printf.printf
+                        "  shard recovery: %d worker respawn(s), log \
+                         replayed, results bitwise unchanged\n"
+                        !recovered;
                     (match checkpoint with
                     | Some base ->
                         Printf.printf
@@ -579,7 +635,7 @@ let model_cmd =
       $ engine $ folds_arg $ fault_rate_arg $ retries_arg $ no_screen_arg
       $ screen_threshold_arg $ checkpoint_arg $ resume_arg
       $ checkpoint_every_arg $ sweep_arg $ sweep_refresh_arg $ fused_cv_arg
-      $ rescreen_arg)
+      $ rescreen_arg $ shards_arg $ shard_mode_arg)
 
 let predict_cmd =
   let model_file =
@@ -662,8 +718,17 @@ let eval_cmd =
              64, as printed by this command) equals HEX - a swapped or \
              corrupted file is rejected instead of silently compiled.")
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one machine-readable JSON object on stdout instead of the \
+             human report: workload, digest, tape statistics, parity verdict, \
+             value statistics and throughput.")
+  in
   let run circuit metric cells parasitics seed samples model_file expect domains
-      =
+      json =
     check_at_least "samples" 1 samples;
     check_sizes ~cells ~parasitics;
     match make_workload ~circuit ~metric ~cells ~parasitics with
@@ -675,15 +740,6 @@ let eval_cmd =
         let entry = load_served ?expect basis model_file in
         let tape = entry.Serve.Registry.tape in
         let model = entry.Serve.Registry.model in
-        Printf.printf "%s | serving %s\n" w.name model_file;
-        Printf.printf "  content digest: %016Lx\n" entry.Serve.Registry.digest;
-        Printf.printf
-          "  tape          : %d terms, %d factor instructions, %d of %d \
-           variables touched, max degree %d\n"
-          (Serve.Eval.nnz tape)
-          (Serve.Eval.tape_length tape)
-          (Serve.Eval.vars_touched tape)
-          (Serve.Eval.dim tape) (Serve.Eval.max_degree tape);
         let rng = Randkit.Prng.create seed in
         let points =
           Array.init samples (fun _ -> Randkit.Gaussian.vector rng w.dim)
@@ -697,18 +753,57 @@ let eval_cmd =
               Array.map (Rsm.Model.predict_point model basis) points)
         in
         if compiled <> naive then err_exit "compiled/naive evaluation mismatch";
-        Printf.printf "  parity        : compiled == naive (bitwise, %d points)\n"
-          samples;
-        Printf.printf "  value mean/std: %.6g / %.6g %s\n"
-          (Stat.Descriptive.mean compiled)
-          (Stat.Descriptive.std compiled)
-          w.unit_;
         let rate secs =
           if secs > 0. then float_of_int samples /. secs else Float.infinity
         in
-        Printf.printf "  throughput    : %.3g evals/s compiled, %.3g evals/s \
-                       naive\n"
-          (rate batch_s) (rate naive_s)
+        if json then
+          (* %.17g floats round-trip exactly; strings here are workload/unit
+             names and a user path, escaped minimally. *)
+          let escape s =
+            let b = Buffer.create (String.length s + 8) in
+            String.iter
+              (fun c ->
+                match c with
+                | '"' | '\\' -> Buffer.add_char b '\\'; Buffer.add_char b c
+                | '\n' -> Buffer.add_string b "\\n"
+                | c when Char.code c < 0x20 ->
+                    Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+                | c -> Buffer.add_char b c)
+              s;
+            Buffer.contents b
+          in
+          Printf.printf
+            {|{"workload": "%s", "model_file": "%s", "digest": "%016Lx", "tape": {"terms": %d, "instructions": %d, "vars_touched": %d, "dim": %d, "max_degree": %d}, "parity": "bitwise", "points": %d, "value_mean": %.17g, "value_std": %.17g, "unit": "%s", "throughput_compiled_per_s": %.6g, "throughput_naive_per_s": %.6g}
+|}
+            (escape w.name) (escape model_file) entry.Serve.Registry.digest
+            (Serve.Eval.nnz tape)
+            (Serve.Eval.tape_length tape)
+            (Serve.Eval.vars_touched tape)
+            (Serve.Eval.dim tape) (Serve.Eval.max_degree tape) samples
+            (Stat.Descriptive.mean compiled)
+            (Stat.Descriptive.std compiled)
+            (escape w.unit_) (rate batch_s) (rate naive_s)
+        else begin
+          Printf.printf "%s | serving %s\n" w.name model_file;
+          Printf.printf "  content digest: %016Lx\n" entry.Serve.Registry.digest;
+          Printf.printf
+            "  tape          : %d terms, %d factor instructions, %d of %d \
+             variables touched, max degree %d\n"
+            (Serve.Eval.nnz tape)
+            (Serve.Eval.tape_length tape)
+            (Serve.Eval.vars_touched tape)
+            (Serve.Eval.dim tape) (Serve.Eval.max_degree tape);
+          Printf.printf
+            "  parity        : compiled == naive (bitwise, %d points)\n"
+            samples;
+          Printf.printf "  value mean/std: %.6g / %.6g %s\n"
+            (Stat.Descriptive.mean compiled)
+            (Stat.Descriptive.std compiled)
+            w.unit_;
+          Printf.printf
+            "  throughput    : %.3g evals/s compiled, %.3g evals/s naive\n"
+            (rate batch_s) (rate naive_s)
+        end
   in
   Cmd.v
     (Cmd.info "eval"
@@ -718,7 +813,7 @@ let eval_cmd =
           throughput.")
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
-      $ model_file $ expect_arg $ domains)
+      $ model_file $ expect_arg $ domains $ json_arg)
 
 (* --- yield / sensitivity: fit a model, then use it --- *)
 

@@ -71,7 +71,9 @@ module Inc = struct
       let vs = Array.map (fun (j, _) -> gram t j) deltas in
       let m = Array.length t.c in
       let c = t.c in
-      Parallel.Pool.parallel_for_chunks (pool_of t) ~lo:0 ~hi:m
+      Parallel.Pool.parallel_for_chunks (pool_of t)
+        ~grain:(Parallel.Pool.grain_for ~work:(Array.length deltas))
+        ~lo:0 ~hi:m
         (fun ~lo ~hi ->
           Array.iteri
             (fun q (_, db) ->
@@ -93,7 +95,9 @@ module Inc = struct
     let out = Array.make m 0. in
     if Array.length terms > 0 then begin
       let vs = Array.map (fun (j, _) -> gram t j) terms in
-      Parallel.Pool.parallel_for_chunks (pool_of t) ~lo:0 ~hi:m
+      Parallel.Pool.parallel_for_chunks (pool_of t)
+        ~grain:(Parallel.Pool.grain_for ~work:(Array.length terms))
+        ~lo:0 ~hi:m
         (fun ~lo ~hi ->
           Array.iteri
             (fun q (_, w) ->
@@ -115,7 +119,8 @@ module Inc = struct
       invalid_arg "Corr_sweep.Inc.retreat: direction length mismatch";
     let m = Array.length t.c in
     let c = t.c in
-    Parallel.Pool.parallel_for_chunks (pool_of t) ~lo:0 ~hi:m (fun ~lo ~hi ->
+    Parallel.Pool.parallel_for_chunks (pool_of t)
+      ~grain:(Parallel.Pool.grain_for ~work:1) ~lo:0 ~hi:m (fun ~lo ~hi ->
         for jj = lo to hi - 1 do
           Array.unsafe_set c jj
             (Array.unsafe_get c jj -. (gamma *. Array.unsafe_get a jj))

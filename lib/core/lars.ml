@@ -242,13 +242,38 @@ let replay st (ck : Ckpt.t) ~mode ~on_singular f steps stop =
 
 let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
     ?(checkpoint_every = 0) ?on_checkpoint ?resume
-    ?(sweep = Corr_sweep.Exact) src f ~max_steps =
+    ?(sweep = Corr_sweep.Exact) ?(shards = 1)
+    ?(shard_mode = Shard_sweep.Domains) ?recovered src f ~max_steps =
   let k = Provider.rows src and m = Provider.cols src in
   if Array.length f <> k then invalid_arg "Lars.path: response length mismatch";
   if max_steps <= 0 then invalid_arg "Lars.path: max_steps must be positive";
   if checkpoint_every < 0 then
     invalid_arg "Lars.path: negative checkpoint interval";
-  let norms = Provider.column_norms ?pool src in
+  if shards < 1 then invalid_arg "Lars.path: shards must be positive";
+  (* Column-sharded sweep engine: the per-step O(K·M) scans decompose
+     over contiguous column shards and merge bitwise (see Shard_sweep).
+     Created against f — with a resume, the post-replay residual is
+     re-swept below, which is exactly the refresh the checkpoint
+     emission ran. *)
+  let eng =
+    if shards > 1 then
+      Some (Shard_sweep.create ?pool ~mode:shard_mode ~shards ~sweep src ~r0:f)
+    else None
+  in
+  Fun.protect ~finally:(fun () ->
+      match eng with
+      | Some e ->
+          (match recovered with
+          | Some r -> r := !r + Shard_sweep.recovered e
+          | None -> ());
+          Shard_sweep.shutdown e
+      | None -> ())
+  @@ fun () ->
+  let norms =
+    match eng with
+    | None -> Provider.column_norms ?pool src
+    | Some e -> Shard_sweep.raw_norms e
+  in
   Array.iteri
     (fun j n -> if n <= 0. then norms.(j) <- 1. else norms.(j) <- n)
     norms;
@@ -298,9 +323,9 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
      (same O(K·M) sweeps, hence same values, as the original run's
      [ensure_gram] calls). *)
   let inc =
-    match sweep with
-    | Corr_sweep.Exact -> None
-    | Corr_sweep.Incremental { refresh } ->
+    match (sweep, eng) with
+    | _, Some _ | Corr_sweep.Exact, None -> None
+    | Corr_sweep.Incremental { refresh }, None ->
         let ic =
           Corr_sweep.Inc.create ?pool ~refresh src (Vec.sub f st.mu)
         in
@@ -310,6 +335,26 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
           (List.rev st.active);
         Some ic
   in
+  (* Sharded post-replay sync — the same rebuild [inc] runs above: an
+     exact re-sweep of the resumed residual, the replayed active set's
+     Gram slices (oldest first), and the replayed bans. *)
+  let sh_incremental =
+    match sweep with Corr_sweep.Incremental _ -> true | Corr_sweep.Exact -> false
+  in
+  let refresh_every =
+    match sweep with
+    | Corr_sweep.Incremental { refresh } -> refresh
+    | Corr_sweep.Exact -> 0
+  in
+  let since = ref 0 in
+  (match eng with
+  | None -> ()
+  | Some e ->
+      if Option.is_some resume then Shard_sweep.refresh e (Vec.sub f st.mu);
+      List.iter
+        (fun j -> Shard_sweep.activate e j (Provider.Cache.column st.cache j))
+        (List.rev st.active);
+      Array.iter (fun j -> Shard_sweep.ban e j) (banned_columns st));
   let emit_checkpoint () =
     match on_checkpoint with
     | None -> ()
@@ -319,7 +364,12 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
         (* Checkpoint-aligned exact refresh: see [inc] above. *)
         (match inc with
         | None -> ()
-        | Some ic -> Corr_sweep.Inc.refresh ic (Vec.sub f st.mu))
+        | Some ic -> Corr_sweep.Inc.refresh ic (Vec.sub f st.mu));
+        (match eng with
+        | Some e when sh_incremental ->
+            Shard_sweep.refresh e (Vec.sub f st.mu);
+            since := 0
+        | _ -> ())
   in
   let max_active = min k m in
   while (not !stop) && !nsteps < max_steps do
@@ -328,26 +378,52 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
        the column-parallel Gᵀ·r sweep (bitwise equal to the sequential
        per-column xdot); incremental mode reads the delta-maintained
        vector — O(M) instead of O(K·M). *)
-    let gtr =
-      match inc with
-      | None -> Corr_sweep.gram_tr ?pool st.src (Vec.sub f st.mu)
-      | Some ic -> Corr_sweep.Inc.correlations ic
-    in
-    let c = Array.init m (fun j -> gtr.(j) /. st.norms.(j)) in
     (* C from the best column overall; the entering variable is the best
-       inactive one. *)
+       inactive one.  [cval] reads the normalized correlation at a
+       column the step later touches: the full vector when the scan ran
+       here, the gathered active/entrant values when it ran sharded
+       (those are the only columns the parent-side step reads). *)
     let big_c = ref 0. and enter = ref (-1) and enter_c = ref 0. in
-    for j = 0 to m - 1 do
-      let a = Float.abs c.(j) in
-      (* Banned columns are out of the walk: letting one set C would
-         hold the stop criterion hostage and fail the near-tie entry
-         test against a correlation nothing can ever act on. *)
-      if (not st.banned.(j)) && a > !big_c then big_c := a;
-      if (not st.in_active.(j)) && (not st.banned.(j)) && a > !enter_c then begin
-        enter := j;
-        enter_c := a
-      end
-    done;
+    let cval =
+      match eng with
+      | None ->
+          let gtr =
+            match inc with
+            | None -> Corr_sweep.gram_tr ?pool st.src (Vec.sub f st.mu)
+            | Some ic -> Corr_sweep.Inc.correlations ic
+          in
+          let c = Array.init m (fun j -> gtr.(j) /. st.norms.(j)) in
+          for j = 0 to m - 1 do
+            let a = Float.abs c.(j) in
+            (* Banned columns are out of the walk: letting one set C
+               would hold the stop criterion hostage and fail the
+               near-tie entry test against a correlation nothing can
+               ever act on. *)
+            if (not st.banned.(j)) && a > !big_c then big_c := a;
+            if (not st.in_active.(j)) && (not st.banned.(j)) && a > !enter_c
+            then begin
+              enter := j;
+              enter_c := a
+            end
+          done;
+          fun j -> c.(j)
+      | Some e ->
+          let p = Shard_sweep.lars_select e ~r:(Vec.sub f st.mu) in
+          big_c := p.Shard_sweep.big_c;
+          enter := p.Shard_sweep.enter;
+          enter_c := p.Shard_sweep.enter_abs;
+          let tbl = Hashtbl.create 16 in
+          Array.iter
+            (fun (j, v) -> Hashtbl.replace tbl j v)
+            p.Shard_sweep.act_c;
+          if p.Shard_sweep.enter >= 0 then
+            Hashtbl.replace tbl p.Shard_sweep.enter p.Shard_sweep.enter_val;
+          fun j ->
+            match Hashtbl.find_opt tbl j with
+            | Some v -> v
+            | None ->
+                invalid_arg "Lars.path: internal: correlation not gathered"
+    in
     if !nsteps = 1 then initial_c := !big_c;
     if !big_c <= tol *. Float.max !initial_c 1. then stop := true
     else begin
@@ -371,6 +447,11 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
               | Some ic ->
                   Corr_sweep.Inc.ensure_gram ic !enter
                     (Provider.Cache.column st.cache !enter));
+              (match eng with
+              | None -> ()
+              | Some e ->
+                  Shard_sweep.activate e !enter
+                    (Provider.Cache.column st.cache !enter));
               Some !enter
           | exception Cholesky.Not_positive_definite _ -> (
               (* Entering column linearly dependent on the active set. *)
@@ -381,6 +462,9 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
                      scan so the path keeps moving instead of stalling on
                      it; record the event in the step models. *)
                   st.banned.(!enter) <- true;
+                  (match eng with
+                  | None -> ()
+                  | Some e -> Shard_sweep.ban e !enter);
                   banned_now := !enter;
                   st.notes <-
                     Printf.sprintf "lars: banned dependent column %d" !enter
@@ -403,7 +487,7 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
         let act = active_oldest_first st in
         let cc =
           Array.fold_left
-            (fun acc j -> Float.max acc (Float.abs c.(j)))
+            (fun acc j -> Float.max acc (Float.abs (cval j)))
             0. act
         in
         steps :=
@@ -419,7 +503,7 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
       end
       else begin
         let act = active_oldest_first st in
-        let s = Array.map (fun j -> if c.(j) >= 0. then 1. else -1.) act in
+        let s = Array.map (fun j -> if cval j >= 0. then 1. else -1.) act in
         (* Equiangular direction: z = Gram⁻¹·s, A = 1/√(sᵀz),
            coefficient direction d_j = A·z_j, fit direction u = Σ d_j x_j. *)
         let z = Cholesky.Grow.solve st.chol s in
@@ -441,7 +525,7 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
              numerical noise; use the max for robustness). *)
           let cc =
             Array.fold_left
-              (fun acc j -> Float.max acc (Float.abs c.(j)))
+              (fun acc j -> Float.max acc (Float.abs (cval j)))
               0. act
           in
           (* Step length to the next entering variable. The inner
@@ -450,27 +534,44 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
              O(M) min scan that follows stays sequential. Incremental
              mode assembles Gᵀ·u from the cached Gram columns of the
              active set (u = Σ w_p·x_{j_p}) at O(p·M) — this is the
-             sweep the Gram cache eliminates outright. *)
-          let gu =
-            match inc with
-            | None -> Corr_sweep.gram_tr ?pool st.src u
-            | Some ic ->
-                Corr_sweep.Inc.combination ic
-                  (Array.mapi (fun p j -> (j, d.(p) /. st.norms.(j))) act)
-          in
+             sweep the Gram cache eliminates outright. Sharded runs
+             push both the sweep and the min scan into the shards and
+             fold the exact local minima. *)
           let gamma = ref (cc /. a_a) in
-          for j = 0 to m - 1 do
-            (* Banned columns can never enter, so letting them bound the
-               step stalls the walk at their crossing point — skip them
-               like active ones. *)
-            if (not st.in_active.(j)) && not st.banned.(j) then begin
-              let aj = gu.(j) /. st.norms.(j) in
-              let cand1 = (cc -. c.(j)) /. (a_a -. aj) in
-              let cand2 = (cc +. c.(j)) /. (a_a +. aj) in
-              if cand1 > 1e-12 && cand1 < !gamma then gamma := cand1;
-              if cand2 > 1e-12 && cand2 < !gamma then gamma := cand2
-            end
-          done;
+          let gu = ref [||] in
+          let sh_dir = ref None in
+          (match eng with
+          | None ->
+              let g =
+                match inc with
+                | None -> Corr_sweep.gram_tr ?pool st.src u
+                | Some ic ->
+                    Corr_sweep.Inc.combination ic
+                      (Array.mapi (fun p j -> (j, d.(p) /. st.norms.(j))) act)
+              in
+              gu := g;
+              for j = 0 to m - 1 do
+                (* Banned columns can never enter, so letting them bound
+                   the step stalls the walk at their crossing point —
+                   skip them like active ones. *)
+                if (not st.in_active.(j)) && not st.banned.(j) then begin
+                  let aj = g.(j) /. st.norms.(j) in
+                  let cand1 = (cc -. cval j) /. (a_a -. aj) in
+                  let cand2 = (cc +. cval j) /. (a_a +. aj) in
+                  if cand1 > 1e-12 && cand1 < !gamma then gamma := cand1;
+                  if cand2 > 1e-12 && cand2 < !gamma then gamma := cand2
+                end
+              done
+          | Some e ->
+              let dir =
+                if sh_incremental then
+                  Shard_sweep.Weights
+                    (Array.mapi (fun p j -> (j, d.(p) /. st.norms.(j))) act)
+                else Shard_sweep.Dense u
+              in
+              sh_dir := Some dir;
+              let g = Shard_sweep.lars_gamma e ~cc ~a_a dir in
+              if g < !gamma then gamma := g);
           (* Lasso modification: first zero-crossing of an active
              coefficient bounds the step. *)
           let drop = ref (-1) in
@@ -496,18 +597,34 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
              Drops below only zero an already-crossed coefficient and
              rebuild the factor; they do not move mu, so c needs no
              further update. *)
-          (match inc with
-          | None -> ()
-          | Some ic ->
-              Corr_sweep.Inc.retreat ic !gamma gu;
+          (match (eng, inc) with
+          | Some e, _ ->
+              if sh_incremental then begin
+                (* Parent-mirrored cadence: the non-sharded Inc counts
+                   movement steps and refreshes when due; the shards
+                   receive retreat and refresh in one logged command so
+                   a worker lost between them replays both. *)
+                incr since;
+                let due = refresh_every > 0 && !since >= refresh_every in
+                let refresh_r = if due then Some (Vec.sub f st.mu) else None in
+                Shard_sweep.commit e ~gamma:!gamma
+                  ~dir:(Option.get !sh_dir) ~refresh:refresh_r;
+                if due then since := 0
+              end
+          | None, Some ic ->
+              Corr_sweep.Inc.retreat ic !gamma !gu;
               Corr_sweep.Inc.note_step ic;
               if Corr_sweep.Inc.due ic then
-                Corr_sweep.Inc.refresh ic (Vec.sub f st.mu));
+                Corr_sweep.Inc.refresh ic (Vec.sub f st.mu)
+          | None, None -> ());
           let dropped =
             if !drop >= 0 then begin
               st.beta.(!drop) <- 0.;
               st.active <- List.filter (fun j -> j <> !drop) st.active;
               st.in_active.(!drop) <- false;
+              (match eng with
+              | None -> ()
+              | Some e -> Shard_sweep.deactivate e !drop);
               (match rebuild_chol st with
               | () -> ()
               | exception (Cholesky.Not_positive_definite _ as e) -> (
@@ -553,14 +670,14 @@ let path_p ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop)
   Array.of_list (List.rev !steps)
 
 let fit_p ?mode ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint
-    ?resume ?sweep src f ~lambda =
+    ?resume ?sweep ?shards ?shard_mode ?recovered src f ~lambda =
   if lambda <= 0 then invalid_arg "Lars.fit: lambda must be positive";
   (* Drops can make the path longer than the target support size. *)
   let base_steps = (2 * lambda) + 8 in
   let rec run max_steps =
     let steps =
       path_p ?mode ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint
-        ?resume ?sweep src f ~max_steps
+        ?resume ?sweep ?shards ?shard_mode ?recovered src f ~max_steps
     in
     let best = ref None in
     Array.iter

@@ -40,6 +40,9 @@ val path_p :
   ?on_checkpoint:(Serialize.Checkpoint.Lars.t -> unit) ->
   ?resume:Serialize.Checkpoint.Lars.t ->
   ?sweep:Corr_sweep.sweep ->
+  ?shards:int ->
+  ?shard_mode:Shard_sweep.mode ->
+  ?recovered:int ref ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_steps:int ->
@@ -100,7 +103,21 @@ val path_p :
     from the delta-maintained vector, so the two may differ by ~1 ulp
     between refresh points (the live continuation past the checkpoint
     is bitwise, [max_corr] included). Against [Exact] the mode is
-    ≤1e-10-validated, not bitwise — hence opt-in. *)
+    ≤1e-10-validated, not bitwise — hence opt-in.
+
+    [shards > 1] routes both per-step sweeps through the
+    column-sharded engine ({!Shard_sweep}): each shard owns a
+    contiguous column window (and, incremental mode, its own Gram
+    slab), local scans merge through exact left-biased reductions, and
+    the path — entries, bans, drops, step lengths, models — is bitwise
+    identical to [shards = 1] at every shard count, in both provider
+    forms and both sweep modes. [shard_mode] picks in-image shards
+    ([Domains], the default) or re-exec'd worker processes ([Procs]),
+    whose per-worker memory is O(K·M/S) and which survive worker death
+    by replaying the engine's command log — also bitwise. [recovered]
+    (when given) accumulates the number of worker recoveries, so
+    drivers can report survived crashes without touching model
+    notes. *)
 
 val fit_p :
   ?mode:mode ->
@@ -111,6 +128,9 @@ val fit_p :
   ?on_checkpoint:(Serialize.Checkpoint.Lars.t -> unit) ->
   ?resume:Serialize.Checkpoint.Lars.t ->
   ?sweep:Corr_sweep.sweep ->
+  ?shards:int ->
+  ?shard_mode:Shard_sweep.mode ->
+  ?recovered:int ref ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->

@@ -217,9 +217,11 @@ module Engine = struct
 end
 
 let path_p ?tol ?pool ?on_singular ?(checkpoint_every = 0) ?on_checkpoint
-    ?resume ?(sweep = Corr_sweep.Exact) src f ~max_lambda =
+    ?resume ?(sweep = Corr_sweep.Exact) ?(shards = 1)
+    ?(shard_mode = Shard_sweep.Domains) ?recovered src f ~max_lambda =
   if checkpoint_every < 0 then
     invalid_arg "Omp.path: negative checkpoint interval";
+  if shards < 1 then invalid_arg "Omp.path: shards must be positive";
   let eng = Engine.create ?tol ?on_singular src f ~max_lambda in
   let k = eng.Engine.k and m = eng.Engine.m in
   let last_ckpt = ref 0 in
@@ -237,15 +239,58 @@ let path_p ?tol ?pool ?on_singular ?(checkpoint_every = 0) ?on_checkpoint
              c.k c.m k m);
       Engine.replay eng ~scale:c.scale c.support);
   last_ckpt := Engine.size eng;
+  (* Column-sharded selection engine, created after any resume replay
+     so its (incremental) initial sweeps see the resumed residual;
+     replayed support columns are re-activated so every shard's Gram
+     slab and skip mask match an uninterrupted run's. *)
+  let sh =
+    if shards > 1 then begin
+      let e =
+        Shard_sweep.create ?pool ~mode:shard_mode ~shards ~sweep src
+          ~r0:(Engine.residual eng)
+      in
+      Array.iter
+        (fun j -> Shard_sweep.activate e j (Engine.column eng j))
+        (Engine.support eng);
+      Some e
+    end
+    else None
+  in
+  Fun.protect ~finally:(fun () ->
+      match sh with
+      | Some e ->
+          (match recovered with
+          | Some r -> r := !r + Shard_sweep.recovered e
+          | None -> ());
+          Shard_sweep.shutdown e
+      | None -> ())
+  @@ fun () ->
+  let sh_incremental =
+    match sweep with Corr_sweep.Incremental _ -> true | Corr_sweep.Exact -> false
+  in
+  let refresh_every =
+    match sweep with
+    | Corr_sweep.Incremental { refresh } -> refresh
+    | Corr_sweep.Exact -> 0
+  in
+  let since = ref 0 in
   (* Incremental mode: maintain c = Gᵀ·res through cached Gram columns.
      Created after any resume replay so the initial exact sweep sees the
      resumed residual — the same refresh point the uninterrupted run hit
-     when it emitted the checkpoint. *)
+     when it emitted the checkpoint. Replayed support columns are cached
+     up front: the first live delta update touches every support
+     coefficient, not just the entering one. *)
   let inc =
-    match sweep with
-    | Corr_sweep.Exact -> None
-    | Corr_sweep.Incremental { refresh } ->
-        Some (Corr_sweep.Inc.create ?pool ~refresh src (Engine.residual eng))
+    match (sweep, sh) with
+    | _, Some _ | Corr_sweep.Exact, None -> None
+    | Corr_sweep.Incremental { refresh }, None ->
+        let ic =
+          Corr_sweep.Inc.create ?pool ~refresh src (Engine.residual eng)
+        in
+        Array.iter
+          (fun j -> Corr_sweep.Inc.ensure_gram ic j (Engine.column eng j))
+          (Engine.support eng);
+        Some ic
   in
   let prev_coeffs = ref (Array.copy (Engine.coeffs eng)) in
   let emit_now () =
@@ -266,7 +311,12 @@ let path_p ?tol ?pool ?on_singular ?(checkpoint_every = 0) ?on_checkpoint
            the uninterrupted run bitwise equal to any resumed one. *)
         (match inc with
         | None -> ()
-        | Some ic -> Corr_sweep.Inc.refresh ic (Engine.residual eng))
+        | Some ic -> Corr_sweep.Inc.refresh ic (Engine.residual eng));
+        (match sh with
+        | Some e when sh_incremental ->
+            Shard_sweep.refresh e (Engine.residual eng);
+            since := 0
+        | _ -> ())
   in
   let emit_checkpoint () =
     if checkpoint_every > 0 && Engine.size eng mod checkpoint_every = 0 then
@@ -279,16 +329,39 @@ let path_p ?tol ?pool ?on_singular ?(checkpoint_every = 0) ?on_checkpoint
        columns (bitwise equal to the sequential scan); incremental mode
        scans the delta-maintained correlation vector. *)
     let pick =
-      match inc with
-      | None ->
+      match (sh, inc) with
+      | Some e, _ -> Shard_sweep.select e ~r:(Engine.residual eng)
+      | None, None ->
           Corr_sweep.argmax_abs ?pool ~skip:(Engine.skip_mask eng) src
             (Engine.residual eng)
-      | Some ic -> Corr_sweep.Inc.argmax_abs ~skip:(Engine.skip_mask eng) ic
+      | None, Some ic ->
+          Corr_sweep.Inc.argmax_abs ~skip:(Engine.skip_mask eng) ic
     in
     if Engine.advance eng pick then begin
-      (match inc with
-      | None -> ()
-      | Some ic ->
+      (match (sh, inc) with
+      | Some e, _ ->
+          let sup = Engine.support eng and cur = Engine.coeffs eng in
+          let np = Array.length sup in
+          let jnew = sup.(np - 1) in
+          Shard_sweep.activate e jnew (Engine.column eng jnew);
+          if sh_incremental then begin
+            let prev = !prev_coeffs in
+            let deltas =
+              Array.init np (fun q ->
+                  ( sup.(q),
+                    cur.(q)
+                    -. (if q < Array.length prev then prev.(q) else 0.) ))
+            in
+            Shard_sweep.apply_deltas e deltas;
+            prev_coeffs := Array.copy cur;
+            incr since;
+            if refresh_every > 0 && !since >= refresh_every then begin
+              Shard_sweep.refresh e (Engine.residual eng);
+              since := 0
+            end
+          end
+      | None, None -> ()
+      | None, Some ic ->
           let sup = Engine.support eng and cur = Engine.coeffs eng in
           let np = Array.length sup in
           let jnew = sup.(np - 1) in
@@ -315,10 +388,10 @@ let path_p ?tol ?pool ?on_singular ?(checkpoint_every = 0) ?on_checkpoint
   Engine.steps eng
 
 let fit_p ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint ?resume
-    ?sweep src f ~lambda =
+    ?sweep ?shards ?shard_mode ?recovered src f ~lambda =
   let steps =
     path_p ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint ?resume
-      ?sweep src f ~max_lambda:lambda
+      ?sweep ?shards ?shard_mode ?recovered src f ~max_lambda:lambda
   in
   if Array.length steps = 0 then
     Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]

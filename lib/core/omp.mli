@@ -74,6 +74,9 @@ val path_p :
   ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
   ?resume:Serialize.Checkpoint.t ->
   ?sweep:Corr_sweep.sweep ->
+  ?shards:int ->
+  ?shard_mode:Shard_sweep.mode ->
+  ?recovered:int ref ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_lambda:int ->
@@ -123,6 +126,15 @@ val path_p :
     coefficients and residuals are bitwise identical to the sequential
     dense scan for every domain count and either provider form (each
     column's dot product is accumulated whole, never split).
+
+    [shards > 1] routes the selection sweep through the column-sharded
+    engine ({!Shard_sweep}): supports, coefficients and residuals are
+    bitwise identical to [shards = 1] at every shard count, in both
+    sweep modes and both shard modes ([Domains] in-image, [Procs]
+    re-exec'd workers with crash recovery). [recovered] (when given)
+    accumulates worker recoveries. A resume under [shards > 1]
+    re-activates the replayed support on every shard, so resumed
+    sharded runs match uninterrupted ones bitwise too.
     @raise Invalid_argument when [max_lambda] exceeds [min(K, M)] or is
     not positive, when the checkpoint interval is negative, or when
     [resume] disagrees with the problem (wrong solver, shape, duplicate
@@ -136,6 +148,9 @@ val fit_p :
   ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
   ?resume:Serialize.Checkpoint.t ->
   ?sweep:Corr_sweep.sweep ->
+  ?shards:int ->
+  ?shard_mode:Shard_sweep.mode ->
+  ?recovered:int ref ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->

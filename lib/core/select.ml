@@ -151,10 +151,13 @@ let clamp_lambda ~max_lambda cap =
    state the multi sweep cannot share), and by default they are worth
    it exactly when column generation is the cost being amortized —
    streamed providers. [?fused] overrides the default either way. *)
-let resolve_fused ~sweep ~fused src =
+let resolve_fused ~sweep ~fused ~shards src =
   (match sweep with
   | None | Some Corr_sweep.Exact -> true
   | Some (Corr_sweep.Incremental _) -> false)
+  (* The sharded engine owns the selection sweep per solver run; fused
+     lockstep CV shares one sweep across folds — mutually exclusive. *)
+  && (match shards with None -> true | Some s -> s <= 1)
   && (match fused with Some b -> b | None -> Provider.is_streamed src)
 
 (* Fused lockstep fold fitting: one solver engine per uncached fold;
@@ -248,8 +251,8 @@ let fused_star_curves ?pool src f ~max_lambda pending =
       held_out_curve ~max_lambda src f models held_out)
     pending
 
-let omp_p ?folds ?rule ?pool ?on_singular ?sweep ?fused ?checkpoint ?resume
-    rng ~max_lambda src f =
+let omp_p ?folds ?rule ?pool ?on_singular ?sweep ?shards ?shard_mode
+    ?recovered ?fused ?checkpoint ?resume rng ~max_lambda src f =
   let cap_rows =
     (* smallest fold training size: n − ceil(n/Q) *)
     let n = Provider.rows src in
@@ -260,7 +263,7 @@ let omp_p ?folds ?rule ?pool ?on_singular ?sweep ?fused ?checkpoint ?resume
     clamp_lambda ~max_lambda (min cap_rows (Provider.cols src))
   in
   let fused_curves =
-    if resolve_fused ~sweep ~fused src then
+    if resolve_fused ~sweep ~fused ~shards src then
       Some (fused_omp_curves ?on_singular ?pool src f ~max_lambda)
     else None
   in
@@ -272,14 +275,15 @@ let omp_p ?folds ?rule ?pool ?on_singular ?sweep ?fused ?checkpoint ?resume
       in
       Array.map
         (fun s -> s.Omp.model)
-        (Omp.path_p ?pool ?on_singular ?sweep src f ~max_lambda))
+        (Omp.path_p ?pool ?on_singular ?sweep ?shards ?shard_mode ?recovered
+           src f ~max_lambda))
     src f
 
-let star_p ?folds ?rule ?pool ?sweep ?fused ?checkpoint ?resume rng ~max_lambda
-    src f =
+let star_p ?folds ?rule ?pool ?sweep ?shards ?shard_mode ?recovered ?fused
+    ?checkpoint ?resume rng ~max_lambda src f =
   let max_lambda = clamp_lambda ~max_lambda (Provider.cols src) in
   let fused_curves =
-    if resolve_fused ~sweep ~fused src then
+    if resolve_fused ~sweep ~fused ~shards src then
       Some (fused_star_curves ?pool src f ~max_lambda)
     else None
   in
@@ -288,11 +292,12 @@ let star_p ?folds ?rule ?pool ?sweep ?fused ?checkpoint ?resume rng ~max_lambda
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
       Array.map
         (fun s -> s.Star.model)
-        (Star.path_p ?pool ?sweep src f ~max_lambda))
+        (Star.path_p ?pool ?sweep ?shards ?shard_mode ?recovered src f
+           ~max_lambda))
     src f
 
-let lars_p ?folds ?rule ?mode ?pool ?on_singular ?sweep ?checkpoint ?resume rng
-    ~max_lambda src f =
+let lars_p ?folds ?rule ?mode ?pool ?on_singular ?sweep ?shards ?shard_mode
+    ?recovered ?checkpoint ?resume rng ~max_lambda src f =
   let cap_rows =
     let n = Provider.rows src in
     let q = match folds with Some q -> q | None -> 4 in
@@ -305,7 +310,8 @@ let lars_p ?folds ?rule ?mode ?pool ?on_singular ?sweep ?checkpoint ?resume rng
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
       let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
       let steps =
-        Lars.path_p ?mode ?pool ?on_singular ?sweep src f ~max_steps
+        Lars.path_p ?mode ?pool ?on_singular ?sweep ?shards ?shard_mode
+          ?recovered src f ~max_steps
       in
       if Array.length steps = 0 then [||]
       else begin

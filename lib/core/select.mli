@@ -41,7 +41,9 @@ type result = {
 val omp_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
   ?on_singular:[ `Stop | `Fallback ] ->
-  ?sweep:Corr_sweep.sweep -> ?fused:bool ->
+  ?sweep:Corr_sweep.sweep ->
+  ?shards:int -> ?shard_mode:Shard_sweep.mode -> ?recovered:int ref ->
+  ?fused:bool ->
   ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
   max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
 (** Default [folds = 4] (the paper's Fig. 2 setting) and
@@ -57,26 +59,37 @@ val omp_p :
     of once per fold — with curves, λ and model bitwise identical to
     the fold-at-a-time driver. Default: on for streamed providers with
     the exact sweep, off otherwise; an [Incremental] sweep forces it
-    off (per-fold incremental state cannot share one sweep). *)
+    off (per-fold incremental state cannot share one sweep).
+
+    [shards]/[shard_mode]/[recovered] (see {!Omp.path_p}) are forwarded
+    to every fold fit and the final refit; [shards > 1] also forces the
+    fused driver off (the sharded engine owns the selection sweep of a
+    single solver run, while fused CV shares one sweep across folds).
+    The selected λ, curve and model stay bitwise identical to the
+    unsharded run. *)
 
 val star_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
-  ?sweep:Corr_sweep.sweep -> ?fused:bool ->
+  ?sweep:Corr_sweep.sweep ->
+  ?shards:int -> ?shard_mode:Shard_sweep.mode -> ?recovered:int ref ->
+  ?fused:bool ->
   ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
   max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t -> result
-(** [sweep]/[fused] as in {!omp_p}. *)
+(** [sweep]/[shards]/[shard_mode]/[recovered]/[fused] as in {!omp_p}. *)
 
 val lars_p :
   ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> ?pool:Parallel.Pool.t ->
   ?on_singular:[ `Stop | `Fallback ] ->
   ?sweep:Corr_sweep.sweep ->
+  ?shards:int -> ?shard_mode:Shard_sweep.mode -> ?recovered:int ref ->
   ?checkpoint:string -> ?resume:bool ->
   Randkit.Prng.t -> max_lambda:int -> Polybasis.Design.Provider.t ->
   Linalg.Vec.t -> result
 (** [on_singular] is forwarded to {!Lars.path_p} for every fold fit and
     the final refit. [checkpoint]/[resume] as in {!generic_p}. [sweep]
-    as in {!omp_p} (no fused driver for the LAR walk — its per-step
-    state is not a single argmax selection). *)
+    and [shards]/[shard_mode]/[recovered] as in {!omp_p} (no fused
+    driver for the LAR walk — its per-step state is not a single argmax
+    selection). *)
 
 val generic_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->

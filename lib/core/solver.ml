@@ -97,8 +97,8 @@ let fit_cv ?folds ?max_lambda rng g f m =
       let s = grid.(Stat.Crossval.argmin curve) in
       Cosamp.fit g f ~s
 
-let fit_cv_p ?folds ?max_lambda ?on_singular ?sweep ?fused ?cv_checkpoint
-    ?cv_resume rng src f m =
+let fit_cv_p ?folds ?max_lambda ?on_singular ?sweep ?shards ?shard_mode
+    ?recovered ?fused ?cv_checkpoint ?cv_resume rng src f m =
   let max_lambda =
     match max_lambda with
     | Some l -> l
@@ -108,20 +108,20 @@ let fit_cv_p ?folds ?max_lambda ?on_singular ?sweep ?fused ?cv_checkpoint
   let checkpoint = cv_checkpoint and resume = cv_resume in
   match m with
   | Star ->
-      (Select.star_p ?folds ?sweep ?fused ?checkpoint ?resume rng ~max_lambda
-         src f)
+      (Select.star_p ?folds ?sweep ?shards ?shard_mode ?recovered ?fused
+         ?checkpoint ?resume rng ~max_lambda src f)
         .Select.model
   | Lar ->
-      (Select.lars_p ?folds ~mode:Lars.Lar ?on_singular ?sweep ?checkpoint
-         ?resume rng ~max_lambda src f)
+      (Select.lars_p ?folds ~mode:Lars.Lar ?on_singular ?sweep ?shards
+         ?shard_mode ?recovered ?checkpoint ?resume rng ~max_lambda src f)
         .Select.model
   | Lasso ->
-      (Select.lars_p ?folds ~mode:Lars.Lasso ?on_singular ?sweep ?checkpoint
-         ?resume rng ~max_lambda src f)
+      (Select.lars_p ?folds ~mode:Lars.Lasso ?on_singular ?sweep ?shards
+         ?shard_mode ?recovered ?checkpoint ?resume rng ~max_lambda src f)
         .Select.model
   | Omp ->
-      (Select.omp_p ?folds ?on_singular ?sweep ?fused ?checkpoint ?resume rng
-         ~max_lambda src f)
+      (Select.omp_p ?folds ?on_singular ?sweep ?shards ?shard_mode ?recovered
+         ?fused ?checkpoint ?resume rng ~max_lambda src f)
         .Select.model
   | Ls | Stomp | Cosamp ->
       (* These paths need the materialized matrix (full LS / batch

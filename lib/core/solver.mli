@@ -40,7 +40,9 @@ val fit_cv :
 
 val fit_cv_p :
   ?folds:int -> ?max_lambda:int -> ?on_singular:[ `Stop | `Fallback ] ->
-  ?sweep:Corr_sweep.sweep -> ?fused:bool ->
+  ?sweep:Corr_sweep.sweep ->
+  ?shards:int -> ?shard_mode:Shard_sweep.mode -> ?recovered:int ref ->
+  ?fused:bool ->
   ?cv_checkpoint:string -> ?cv_resume:bool -> Randkit.Prng.t ->
   Polybasis.Design.Provider.t -> Linalg.Vec.t -> method_ -> Model.t
 (** {!fit_cv} over a design provider. The greedy path methods (STAR,
@@ -58,6 +60,12 @@ val fit_cv_p :
     {!Corr_sweep.Exact}); [fused] controls the fused lockstep CV driver
     for OMP/STAR — both forwarded to the {!Select} [_p] entry points
     (see {!Select.omp_p}). Ignored by [Ls]/[Stomp]/[Cosamp].
+
+    [shards]/[shard_mode]/[recovered] route the path methods' selection
+    sweeps through the column-sharded engine ({!Shard_sweep}, see
+    {!Select.omp_p}): selections stay bitwise identical to the
+    unsharded run at every shard count. Ignored by
+    [Ls]/[Stomp]/[Cosamp].
 
     [cv_checkpoint]/[cv_resume] enable per-fold CV checkpointing for the
     path methods (STAR, LAR, LASSO, OMP) — see {!Select.generic_p}.

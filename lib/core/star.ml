@@ -144,9 +144,11 @@ module Engine = struct
 end
 
 let path_p ?tol ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
-    ?(sweep = Corr_sweep.Exact) src f ~max_lambda =
+    ?(sweep = Corr_sweep.Exact) ?(shards = 1)
+    ?(shard_mode = Shard_sweep.Domains) ?recovered src f ~max_lambda =
   if checkpoint_every < 0 then
     invalid_arg "Star.path: negative checkpoint interval";
+  if shards < 1 then invalid_arg "Star.path: shards must be positive";
   let eng = Engine.create ?tol src f ~max_lambda in
   let k = eng.Engine.k and m = eng.Engine.m in
   let last_ckpt = ref 0 in
@@ -164,13 +166,46 @@ let path_p ?tol ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
              c.k c.m k m);
       Engine.replay eng ~scale:c.scale c.support);
   last_ckpt := Engine.size eng;
+  (* Column-sharded selection engine, created after any resume replay
+     (see Omp.path_p). *)
+  let sh =
+    if shards > 1 then begin
+      let e =
+        Shard_sweep.create ?pool ~mode:shard_mode ~shards ~sweep src
+          ~r0:(Engine.residual eng)
+      in
+      Array.iter
+        (fun j -> Shard_sweep.activate e j (Engine.column eng j))
+        (Engine.support_newest_last eng);
+      Some e
+    end
+    else None
+  in
+  Fun.protect ~finally:(fun () ->
+      match sh with
+      | Some e ->
+          (match recovered with
+          | Some r -> r := !r + Shard_sweep.recovered e
+          | None -> ());
+          Shard_sweep.shutdown e
+      | None -> ())
+  @@ fun () ->
+  let sh_incremental =
+    match sweep with Corr_sweep.Incremental _ -> true | Corr_sweep.Exact -> false
+  in
+  let refresh_every =
+    match sweep with
+    | Corr_sweep.Incremental { refresh } -> refresh
+    | Corr_sweep.Exact -> 0
+  in
+  let since = ref 0 in
   (* Incremental correlation state — created after any resume replay so
      its initial exact sweep sees the resumed residual (the refresh
      point the uninterrupted run hit when emitting the checkpoint). *)
   let inc =
-    match sweep with
-    | Corr_sweep.Exact -> None
-    | Corr_sweep.Incremental { refresh } ->
+    match (sweep, sh) with
+    | _, Some _ | Corr_sweep.Exact, None -> None
+    | Corr_sweep.Incremental { refresh }, None ->
         Some (Corr_sweep.Inc.create ?pool ~refresh src (Engine.residual eng))
   in
   let emit_now () =
@@ -189,7 +224,12 @@ let path_p ?tol ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
         last_ckpt := Engine.size eng;
         (match inc with
         | None -> ()
-        | Some ic -> Corr_sweep.Inc.refresh ic (Engine.residual eng))
+        | Some ic -> Corr_sweep.Inc.refresh ic (Engine.residual eng));
+        (match sh with
+        | Some e when sh_incremental ->
+            Shard_sweep.refresh e (Engine.residual eng);
+            since := 0
+        | _ -> ())
   in
   let emit_checkpoint () =
     if checkpoint_every > 0 && Engine.size eng mod checkpoint_every = 0 then
@@ -200,21 +240,33 @@ let path_p ?tol ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
        scan for every domain count; incremental mode scans the
        delta-maintained correlation vector instead. *)
     let pick =
-      match inc with
-      | None ->
+      match (sh, inc) with
+      | Some e, _ -> Shard_sweep.select e ~r:(Engine.residual eng)
+      | None, None ->
           Corr_sweep.argmax_abs ?pool ~skip:(Engine.skip_mask eng) src
             (Engine.residual eng)
-      | Some ic -> Corr_sweep.Inc.argmax_abs ~skip:(Engine.skip_mask eng) ic
+      | None, Some ic ->
+          Corr_sweep.Inc.argmax_abs ~skip:(Engine.skip_mask eng) ic
     in
     let best = fst pick in
     match Engine.advance eng pick with
     | None -> ()
     | Some alpha ->
-        (match inc with
-        | None -> ()
-        | Some ic ->
-            (* Matching pursuit never revisits coefficients: the only
-               delta this step is α on the entering column. *)
+        (match (sh, inc) with
+        | Some e, _ ->
+            Shard_sweep.activate e best (Engine.column eng best);
+            if sh_incremental then begin
+              (* Matching pursuit never revisits coefficients: the only
+                 delta this step is α on the entering column. *)
+              Shard_sweep.apply_deltas e [| (best, alpha) |];
+              incr since;
+              if refresh_every > 0 && !since >= refresh_every then begin
+                Shard_sweep.refresh e (Engine.residual eng);
+                since := 0
+              end
+            end
+        | None, None -> ()
+        | None, Some ic ->
             Corr_sweep.Inc.ensure_gram ic best (Engine.column eng best);
             Corr_sweep.Inc.apply_deltas ic [| (best, alpha) |];
             Corr_sweep.Inc.note_step ic;
@@ -228,11 +280,11 @@ let path_p ?tol ?pool ?(checkpoint_every = 0) ?on_checkpoint ?resume
   if Engine.size eng > !last_ckpt then emit_now ();
   Engine.steps eng
 
-let fit_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume ?sweep src f
-    ~lambda =
+let fit_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume ?sweep ?shards
+    ?shard_mode ?recovered src f ~lambda =
   let steps =
-    path_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume ?sweep src f
-      ~max_lambda:lambda
+    path_p ?tol ?pool ?checkpoint_every ?on_checkpoint ?resume ?sweep ?shards
+      ?shard_mode ?recovered src f ~max_lambda:lambda
   in
   if Array.length steps = 0 then
     Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]

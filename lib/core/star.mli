@@ -49,6 +49,9 @@ val path_p :
   ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
   ?resume:Serialize.Checkpoint.t ->
   ?sweep:Corr_sweep.sweep ->
+  ?shards:int ->
+  ?shard_mode:Shard_sweep.mode ->
+  ?recovered:int ref ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   max_lambda:int ->
@@ -74,7 +77,11 @@ val path_p :
     the correlation vector through Gram-cached delta updates (here a
     single [(j, α)] delta per step — STAR never revisits coefficients)
     with exact refreshes on cadence and at checkpoint emissions;
-    numerically ≤1e-10-validated rather than bitwise, so opt-in. *)
+    numerically ≤1e-10-validated rather than bitwise, so opt-in.
+
+    [shards]/[shard_mode]/[recovered] follow the {!Omp.path_p}
+    contract: the sharded selection path is bitwise identical to
+    [shards = 1] at every shard count. *)
 
 val fit_p :
   ?tol:float ->
@@ -83,6 +90,9 @@ val fit_p :
   ?on_checkpoint:(Serialize.Checkpoint.t -> unit) ->
   ?resume:Serialize.Checkpoint.t ->
   ?sweep:Corr_sweep.sweep ->
+  ?shards:int ->
+  ?shard_mode:Shard_sweep.mode ->
+  ?recovered:int ref ->
   Polybasis.Design.Provider.t ->
   Linalg.Vec.t ->
   lambda:int ->

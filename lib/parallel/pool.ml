@@ -153,33 +153,44 @@ let run_chunks pool ~chunks exec =
     | None -> ()
   end
 
-let chunk_count pool ?chunks len =
+(* Work-size cutoff: [grain] is the minimum index count per chunk. A
+   range too small to fill every lane with at least one grain runs on
+   fewer chunks — down to one, which [run_chunks] executes inline with
+   zero queue traffic. Chunk-count changes never change result bits
+   for the library's kernels (per-index disjoint writes, exact
+   combines), so the cutoff is purely a scheduling decision. *)
+let chunk_count pool ?chunks ?grain len =
   let c = match chunks with Some c -> max 1 c | None -> pool.size in
+  let c =
+    match grain with
+    | Some g when g > 1 -> min c (max 1 (len / g))
+    | _ -> c
+  in
   min c len
 
 let chunk_bounds ~lo ~len ~chunks c =
   (lo + (c * len / chunks), lo + ((c + 1) * len / chunks))
 
-let parallel_for_chunks pool ?chunks ~lo ~hi body =
+let parallel_for_chunks pool ?chunks ?grain ~lo ~hi body =
   let len = hi - lo in
   if len > 0 then begin
-    let chunks = chunk_count pool ?chunks len in
+    let chunks = chunk_count pool ?chunks ?grain len in
     run_chunks pool ~chunks (fun c ->
         let clo, chi = chunk_bounds ~lo ~len ~chunks c in
         body ~lo:clo ~hi:chi)
   end
 
-let parallel_for pool ?chunks ~lo ~hi body =
-  parallel_for_chunks pool ?chunks ~lo ~hi (fun ~lo ~hi ->
+let parallel_for pool ?chunks ?grain ~lo ~hi body =
+  parallel_for_chunks pool ?chunks ?grain ~lo ~hi (fun ~lo ~hi ->
       for i = lo to hi - 1 do
         body i
       done)
 
-let parallel_reduce pool ?chunks ~lo ~hi ~init ~fold ~combine =
+let parallel_reduce pool ?chunks ?grain ~lo ~hi ~init ~fold ~combine =
   let len = hi - lo in
   if len <= 0 then init
   else begin
-    let chunks = chunk_count pool ?chunks len in
+    let chunks = chunk_count pool ?chunks ?grain len in
     let partials = Array.make chunks init in
     run_chunks pool ~chunks (fun c ->
         let clo, chi = chunk_bounds ~lo ~len ~chunks c in
@@ -188,6 +199,14 @@ let parallel_reduce pool ?chunks ~lo ~hi ~init ~fold ~combine =
        not by completion order. *)
     Array.fold_left combine init partials
   end
+
+(* Suggested [?grain] for a kernel whose per-index cost is [work]
+   scalar operations: enough indices per chunk that a chunk amortizes
+   its scheduling round-trip (~a few microseconds) over at least
+   [grain_target] operations. *)
+let grain_target = 65536
+
+let grain_for ~work = max 1 (grain_target / max 1 work)
 
 let the_default = ref None
 

@@ -54,14 +54,28 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
     also on exception. *)
 
-val parallel_for : t -> ?chunks:int -> lo:int -> hi:int -> (int -> unit) -> unit
+val parallel_for :
+  t -> ?chunks:int -> ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for pool ~lo ~hi body] applies [body i] for every
     [lo ≤ i < hi], split into [chunks] contiguous chunks (default: the
     pool size). Bodies must only write to disjoint locations per index.
-    Empty ranges are a no-op; [chunks] is clamped to the range length. *)
+    Empty ranges are a no-op; [chunks] is clamped to the range length.
+
+    [grain] is the work-size cutoff: the minimum index count per chunk
+    (default 1 — no cutoff). A range shorter than [2·grain] runs as a
+    single chunk, inline in the caller with zero queue traffic, so
+    tiny inputs never pay parallel dispatch overhead. The cutoff only
+    changes scheduling, never result bits (see the determinism
+    contract above). *)
 
 val parallel_for_chunks :
-  t -> ?chunks:int -> lo:int -> hi:int -> (lo:int -> hi:int -> unit) -> unit
+  t ->
+  ?chunks:int ->
+  ?grain:int ->
+  lo:int ->
+  hi:int ->
+  (lo:int -> hi:int -> unit) ->
+  unit
 (** Chunk-granular variant: [body ~lo ~hi] receives one half-open
     sub-range per chunk. Use it when per-chunk setup (scratch buffers,
     Hermite tables) should be amortized over the chunk instead of paid
@@ -70,6 +84,7 @@ val parallel_for_chunks :
 val parallel_reduce :
   t ->
   ?chunks:int ->
+  ?grain:int ->
   lo:int ->
   hi:int ->
   init:'a ->
@@ -81,6 +96,13 @@ val parallel_reduce :
     [combine (… (combine init p₀) …) p_{c−1}] — partials folded
     {e left-to-right in chunk order}, never in completion order. An
     empty range returns [init]. *)
+
+val grain_for : work:int -> int
+(** [grain_for ~work] is the suggested [?grain] for a kernel whose
+    per-index cost is roughly [work] scalar operations: the index
+    count whose chunk amortizes one scheduling round-trip over
+    ~2{^16} operations. Kernels pass e.g. [~grain:(grain_for ~work:k)]
+    for per-column dots over [k] rows. *)
 
 val default_domains : unit -> int
 (** Lane count used for pools created without [~domains] and for the

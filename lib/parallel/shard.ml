@@ -1,0 +1,52 @@
+(* Column-shard planning and deterministic merging for the sharded
+   sweep engine. A shard plan partitions [0, n) into contiguous ranges
+   using the same boundary arithmetic as the pool chunker, so a shard
+   interior visits exactly the indices (in the same order) that the
+   corresponding chunk of a sequential scan visits. Per-shard results
+   are merged by a fixed-shape tree reduction: the tree is a pure
+   function of the shard count, never of completion order, so a merge
+   of exact, associative, left-biased combines (max, min, argmax with
+   strict-greater tie-breaking) is bitwise identical to the sequential
+   left-to-right scan at any shard count. *)
+
+type range = { lo : int; hi : int }
+
+let width r = r.hi - r.lo
+
+let ranges ~n ~shards =
+  if n < 0 then invalid_arg "Shard.ranges: negative length";
+  if shards < 1 then invalid_arg "Shard.ranges: shard count must be positive";
+  (* Same clamp and boundary formula as the pool's chunking: shard c of
+     s owns [c·n/s, (c+1)·n/s). Never more shards than indices (one
+     empty range survives only when n = 0, so a plan is never empty). *)
+  let s = max 1 (min shards n) in
+  Array.init s (fun c -> { lo = c * n / s; hi = (c + 1) * n / s })
+
+(* Balanced binary reduction over the array in index order: adjacent
+   pairs combine first, odd tails pass through unchanged, and the
+   survivor order is preserved level to level. The shape depends only
+   on the length. For an associative combine that keeps its left
+   argument on ties, the result equals a left fold — and therefore the
+   sequential scan — for every length. *)
+let tree_reduce f arr =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Shard.tree_reduce: empty array";
+  let rec go arr =
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else
+      go
+        (Array.init ((n + 1) / 2) (fun i ->
+             if (2 * i) + 1 < n then f arr.(2 * i) arr.((2 * i) + 1)
+             else arr.(2 * i)))
+  in
+  go arr
+
+(* The argmax merge rule of the correlation sweep: strictly larger
+   magnitude wins; on an exact tie the left (lower-shard, hence
+   lower-index) candidate survives — the winner a sequential
+   first-strictly-greater scan selects. Associative and left-biased,
+   so any [tree_reduce] shape gives the sequential answer. *)
+let argmax_combine (ja, ca) (jb, cb) = if cb > ca then (jb, cb) else (ja, ca)
+
+let merge_argmax parts = tree_reduce argmax_combine parts

@@ -15,13 +15,16 @@ let matrix_rows ?pool b samples =
        own Hermite scratch tables, so rows are evaluated exactly as in a
        sequential loop — the result is bitwise identical for every
        domain count. *)
+    (* Per-row work is one term evaluation per column; the grain keeps
+       tiny designs on the sequential path. *)
+    let grain = Parallel.Pool.grain_for ~work:m in
     if Basis.dim b = 0 then
-      Parallel.Pool.parallel_for pool ~lo:0 ~hi:k (fun i ->
+      Parallel.Pool.parallel_for pool ~grain ~lo:0 ~hi:k (fun i ->
           for j = 0 to m - 1 do
             Mat.unsafe_set g i j (Term.eval (Basis.term b j) samples.(i))
           done)
     else
-      Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:k (fun ~lo ~hi ->
+      Parallel.Pool.parallel_for_chunks pool ~grain ~lo:0 ~hi:k (fun ~lo ~hi ->
           let tbl = Basis.make_tables b in
           for i = lo to hi - 1 do
             Basis.fill_tables b tbl samples.(i);
@@ -47,7 +50,8 @@ let column_norms ?pool g =
     (* Column-chunked; each column's sum of squares is accumulated over
        rows in ascending order, so the result is bitwise identical to
        the sequential double loop for every domain count. *)
-    Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:m (fun ~lo ~hi ->
+    Parallel.Pool.parallel_for_chunks pool
+      ~grain:(Parallel.Pool.grain_for ~work:k) ~lo:0 ~hi:m (fun ~lo ~hi ->
         let data = g.Mat.data in
         for i = 0 to k - 1 do
           let base = i * m in
@@ -295,6 +299,50 @@ module Provider = struct
     | Dense g -> g
     | Streamed s -> matrix_rows ?pool s.basis s.samples
 
+  (* A column-range view [jlo, jhi) of the provider, reindexed to
+     local columns 0 … jhi−jlo−1 — the per-shard unit of the sharded
+     sweep engine. Streamed windows share the parent's Hermite value
+     table (it is K·N·(order+1) floats, independent of M) and slice the
+     compiled terms, so creating S windows costs O(M) pointer copies,
+     not S rebuilds; their basis is sliced accordingly so [to_dense] /
+     [select_rows] on a window stay consistent. Column j of the window
+     is generated by exactly the float sequence that produces column
+     [jlo + j] of the parent, so every window kernel is bitwise equal
+     to the corresponding slice of a full-provider kernel. *)
+  let window p ~jlo ~jhi =
+    if jlo < 0 || jhi > cols p || jlo >= jhi then
+      invalid_arg "Design.Provider.window: column range out of bounds";
+    let w = jhi - jlo in
+    match p with
+    | Dense g ->
+        let k = Mat.rows g in
+        let out = Mat.create k w in
+        for i = 0 to k - 1 do
+          for dj = 0 to w - 1 do
+            Mat.unsafe_set out i dj (Mat.unsafe_get g i (jlo + dj))
+          done
+        done;
+        Dense out
+    | Streamed s ->
+        let terms = Array.init w (fun dj -> Basis.term s.basis (jlo + dj)) in
+        Streamed
+          {
+            s with
+            basis = Basis.create (Basis.dim s.basis) terms;
+            sm = w;
+            cterms = Array.sub s.cterms jlo w;
+            scratch = Hashtbl.create 4;
+            lock = Mutex.create ();
+          }
+
+  (* The provider's construction recipe, for shipping a window to
+     another process: a streamed provider is (basis, samples) — the
+     receiver rebuilds bitwise-identical Hermite tables from them — and
+     a dense one is its matrix. *)
+  let spec = function
+    | Dense g -> `Dense g
+    | Streamed s -> `Streamed (s.basis, s.samples)
+
   let select_rows p idx =
     match p with
     | Dense g -> Dense (Mat.select_rows g idx)
@@ -396,13 +444,14 @@ module Provider = struct
     let m = cols p in
     let out = Array.make m 0. in
     let pool = match pool with Some q -> q | None -> Parallel.Pool.default () in
+    let grain = Parallel.Pool.grain_for ~work:(rows p) in
     (match p with
     | Dense g ->
-        Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:m (fun ~lo ~hi ->
-            dense_sweep_block g r out ~lo ~hi)
+        Parallel.Pool.parallel_for_chunks pool ~grain ~lo:0 ~hi:m
+          (fun ~lo ~hi -> dense_sweep_block g r out ~lo ~hi)
     | Streamed s ->
-        Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:m (fun ~lo ~hi ->
-            dots_block s r out ~lo ~hi ~off:lo));
+        Parallel.Pool.parallel_for_chunks pool ~grain ~lo:0 ~hi:m
+          (fun ~lo ~hi -> dots_block s r out ~lo ~hi ~off:lo));
     out
 
   let scan_argmax dots skip ~lo ~hi =
@@ -424,7 +473,9 @@ module Provider = struct
     if Array.length skip <> m then
       invalid_arg "Design.Provider.argmax_abs: skip length mismatch";
     let pool = match pool with Some q -> q | None -> Parallel.Pool.default () in
-    Parallel.Pool.parallel_reduce pool ?chunks:None ~lo:0 ~hi:m ~init:(-1, 0.)
+    Parallel.Pool.parallel_reduce pool ?chunks:None
+      ~grain:(Parallel.Pool.grain_for ~work:(rows p)) ~lo:0 ~hi:m
+      ~init:(-1, 0.)
       ~fold:(fun ~lo ~hi ->
         match p with
         | Dense g ->
@@ -573,7 +624,10 @@ module Provider = struct
     let nq = Array.length rs in
     let outs = Array.init nq (fun _ -> Array.make m 0.) in
     let pool = match pool with Some q -> q | None -> Parallel.Pool.default () in
-    Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:m (fun ~lo ~hi ->
+    Parallel.Pool.parallel_for_chunks pool
+      ~grain:(Parallel.Pool.grain_for ~work:(rows p * (nq + 1)))
+      ~lo:0 ~hi:m
+      (fun ~lo ~hi ->
         let emit q j acc = outs.(q).(j) <- acc in
         match p with
         | Dense g -> multi_block_dense g fold_rows rs ~lo ~hi ~emit
@@ -592,7 +646,9 @@ module Provider = struct
           invalid_arg "Design.Provider.argmax_abs_multi: skip length mismatch")
       skips;
     let pool = match pool with Some q -> q | None -> Parallel.Pool.default () in
-    Parallel.Pool.parallel_reduce pool ?chunks:None ~lo:0 ~hi:m
+    Parallel.Pool.parallel_reduce pool ?chunks:None
+      ~grain:(Parallel.Pool.grain_for ~work:(rows p * (nq + 1)))
+      ~lo:0 ~hi:m
       ~init:(Array.make nq (-1, 0.))
       ~fold:(fun ~lo ~hi ->
         let best = Array.make nq (-1, 0.) in
@@ -622,7 +678,9 @@ module Provider = struct
         let pool =
           match pool with Some q -> q | None -> Parallel.Pool.default ()
         in
-        Parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:s.sm (fun ~lo ~hi ->
+        Parallel.Pool.parallel_for_chunks pool
+          ~grain:(Parallel.Pool.grain_for ~work:s.sk) ~lo:0 ~hi:s.sm
+          (fun ~lo ~hi ->
             for j = lo to hi - 1 do
               let acc = ref 0. in
               for i = 0 to s.sk - 1 do

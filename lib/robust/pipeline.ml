@@ -14,6 +14,8 @@ type config = {
   checkpoint : string option;
   resume : bool;
   sweep : Rsm.Corr_sweep.sweep;
+  shards : int;
+  shard_mode : Rsm.Shard_sweep.mode;
   fused_cv : bool option;
   rescreen : bool;
 }
@@ -24,7 +26,8 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
     ?(faults = Circuit.Simulator.no_faults)
     ?(retry = Circuit.Simulator.retry_policy ()) ?(min_samples = 30)
     ?(streamed = false) ?checkpoint ?(resume = false)
-    ?(sweep = Rsm.Corr_sweep.Exact) ?fused_cv ?(rescreen = false) () =
+    ?(sweep = Rsm.Corr_sweep.Exact) ?(shards = 1)
+    ?(shard_mode = Rsm.Shard_sweep.Domains) ?fused_cv ?(rescreen = false) () =
   let fail fmt = Printf.ksprintf (fun m -> Error (Error.Invalid_input m)) fmt in
   if folds < 2 then fail "folds must be at least 2, got %d" folds
   else if
@@ -32,6 +35,7 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
     | Rsm.Corr_sweep.Incremental { refresh } -> refresh < 0
     | Rsm.Corr_sweep.Exact -> false
   then fail "incremental sweep refresh cadence must be non-negative"
+  else if shards < 1 then fail "shards must be positive, got %d" shards
   else if max_lambda < 1 then fail "max_lambda must be positive, got %d" max_lambda
   else if samples < 1 then fail "samples must be positive, got %d" samples
   else if screen_threshold <= 0. then
@@ -69,6 +73,8 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
         checkpoint;
         resume;
         sweep;
+        shards;
+        shard_mode;
         fused_cv;
         rescreen;
       }
@@ -181,7 +187,7 @@ let screen_refit ?(threshold = Screen.default_threshold) src f model =
     end
   end
 
-let fit ?pool cfg sim basis rng =
+let fit ?pool ?recovered cfg sim basis rng =
   let* data, run_report =
     Error.guard (fun () ->
         Circuit.Simulator.run_robust ?pool ~faults:cfg.faults ~retry:cfg.retry
@@ -219,7 +225,8 @@ let fit ?pool cfg sim basis rng =
     let* model =
       Error.guard (fun () ->
           Rsm.Solver.fit_cv_p ~folds:cfg.folds ~max_lambda:cfg.max_lambda
-            ~on_singular:`Fallback ~sweep:cfg.sweep ?fused:cfg.fused_cv
+            ~on_singular:`Fallback ~sweep:cfg.sweep ~shards:cfg.shards
+            ~shard_mode:cfg.shard_mode ?recovered ?fused:cfg.fused_cv
             ?cv_checkpoint:cfg.checkpoint ~cv_resume:cfg.resume rng src
             data.Circuit.Simulator.values cfg.method_)
     in

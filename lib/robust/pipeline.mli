@@ -27,6 +27,12 @@ type config = {
   resume : bool;  (** load matching fold checkpoints before fitting *)
   sweep : Rsm.Corr_sweep.sweep;
       (** correlation engine for the path solvers ({!Rsm.Corr_sweep}) *)
+  shards : int;
+      (** column shards for the selection sweeps ({!Rsm.Shard_sweep});
+          1 = unsharded. Fits are bitwise identical at every count. *)
+  shard_mode : Rsm.Shard_sweep.mode;
+      (** [Domains] in-image slabs, [Procs] re-exec'd worker processes
+          with crash recovery *)
   fused_cv : bool option;
       (** fused lockstep CV fold driver; [None] = automatic
           (on for streamed providers with the exact sweep) *)
@@ -47,6 +53,8 @@ val config :
   ?checkpoint:string ->
   ?resume:bool ->
   ?sweep:Rsm.Corr_sweep.sweep ->
+  ?shards:int ->
+  ?shard_mode:Rsm.Shard_sweep.mode ->
   ?fused_cv:bool ->
   ?rescreen:bool ->
   unit ->
@@ -97,6 +105,7 @@ val screen_refit :
 
 val fit :
   ?pool:Parallel.Pool.t ->
+  ?recovered:int ref ->
   config ->
   Circuit.Simulator.t ->
   Polybasis.Basis.t ->
@@ -104,7 +113,9 @@ val fit :
   (outcome, Error.t) result
 (** Run the full pipeline. Deterministic for a fixed seed at every
     domain count (the underlying stages all pre-split their PRNG
-    streams). Fails with [Simulation _] when fewer than
+    streams). [recovered] (with [config.shards > 1] in [Procs] mode)
+    accumulates worker-process crash recoveries across the fold fits
+    and the refit. Fails with [Simulation _] when fewer than
     [config.min_samples] rows survive delivery and screening, with
     [Invalid_input _] / [Numerical _] / [Internal _] when a stage
     raises. *)

@@ -1,3 +1,7 @@
+(* Process-sharded sweep tests re-exec this binary as shard workers;
+   the hook must run before Alcotest sees the command line. *)
+let () = Rsm.Shard_sweep.worker_entry_if_requested ()
+
 let () =
   Alcotest.run "rsm"
     [
@@ -31,5 +35,6 @@ let () =
       Test_provider.suite;
       Test_robust.suite;
       Test_sweep.suite;
+      Test_shard.suite;
       Test_serve.suite;
     ]

@@ -13,7 +13,8 @@ let test_empty_range () =
       Parallel.Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> incr hits);
       check_int "empty range: body never runs" 0 !hits;
       let r =
-        Parallel.Pool.parallel_reduce pool ?chunks:None ~lo:3 ~hi:3 ~init:42
+        Parallel.Pool.parallel_reduce pool ?chunks:None ?grain:None ~lo:3
+          ~hi:3 ~init:42
           ~fold:(fun ~lo:_ ~hi:_ -> 0)
           ~combine:( + )
       in
@@ -52,7 +53,8 @@ let test_reduce_sum () =
       List.iter
         (fun chunks ->
           let s =
-            Parallel.Pool.parallel_reduce pool ~chunks ~lo:0 ~hi:1000 ~init:0
+            Parallel.Pool.parallel_reduce pool ~chunks ?grain:None ~lo:0
+              ~hi:1000 ~init:0
               ~fold:(fun ~lo ~hi ->
                 let a = ref 0 in
                 for i = lo to hi - 1 do
@@ -67,7 +69,8 @@ let test_reduce_sum () =
 let test_reduce_combines_in_chunk_order () =
   Parallel.Pool.with_pool ~domains:4 (fun pool ->
       let ranges =
-        Parallel.Pool.parallel_reduce pool ~chunks:5 ~lo:0 ~hi:53 ~init:[]
+        Parallel.Pool.parallel_reduce pool ~chunks:5 ?grain:None ~lo:0 ~hi:53
+          ~init:[]
           ~fold:(fun ~lo ~hi -> [ (lo, hi) ])
           ~combine:( @ )
       in
@@ -173,8 +176,8 @@ let test_nested_parallel_no_deadlock () =
       let mu = Mutex.create () in
       Parallel.Pool.parallel_for pool ~lo:0 ~hi:8 (fun _ ->
           let s =
-            Parallel.Pool.parallel_reduce pool ?chunks:None ~lo:0 ~hi:100
-              ~init:0
+            Parallel.Pool.parallel_reduce pool ?chunks:None ?grain:None ~lo:0
+              ~hi:100 ~init:0
               ~fold:(fun ~lo ~hi ->
                 let a = ref 0 in
                 for i = lo to hi - 1 do
