@@ -13,10 +13,18 @@
       per-fold checkpoint files to the same selection, bit for bit.
    3. Overheads are measured and printed (screening cost, injection +
       retry cost, LAR event-log checkpoint write and replay cost) so
-      PERFORMANCE.md numbers stay reproducible. *)
+      PERFORMANCE.md numbers stay reproducible.
+   4. Under a correlated outage (a ~20-sample burst window where every
+      attempt fails), the quorum-degraded pipeline still lands within
+      2x of the clean testing error, and the adaptive breaker policy
+      ([Robust.Retry]) spends measurably less accounted farm time than
+      fixed retry — with the breaker recovery latency printed so
+      PERFORMANCE.md stays reproducible. The burst numbers are merged
+      into BENCH_speed.json under the "robustness" key. *)
 
 open Bench_util
 module Simulator = Circuit.Simulator
+module Retry = Robust.Retry
 
 let offset_sim ~quick =
   let amp = Circuit.Opamp.build ~n_parasitics:(if quick then 60 else 200) () in
@@ -29,11 +37,13 @@ let offset_sim ~quick =
 let bench_faults =
   Simulator.fault_plan ~rate:0.10 ~outlier_scale:500. ()
 
-let pipeline_error ~faults ~method_ ~samples ~test ~max_lambda sim basis =
+let pipeline_error ?(quorum = Robust.Pipeline.default_quorum) ?adaptive ~faults
+    ~method_ ~samples ~test ~max_lambda sim basis =
   let cfg =
     match
       Robust.Pipeline.config ~method_ ~max_lambda ~samples ~faults
         ~retry:(Simulator.retry_policy ())
+        ?adaptive ~quorum
         ~min_samples:(samples / 2) ()
     with
     | Ok cfg -> cfg
@@ -269,6 +279,151 @@ let run ~quick () =
         lambda (1e3 *. t_lar_plain) (1e3 *. t_lar_ckpt)
         (100. *. ((t_lar_ckpt /. Float.max t_lar_plain 1e-9) -. 1.))
         (1e3 *. t_lar_replay) reps);
+
+  (* --- Claim 4: correlated burst outages, quorum, adaptive breaker. --- *)
+  (* A burst model sized so a handful of ~20-sample outage windows fall
+     inside the run: every attempt inside a window fails (rate 1), so
+     fixed retry burns its full allowance per burst sample while the
+     breaker fails fast through the window. *)
+  let burst =
+    Simulator.burst_model ~entry:(2.5 /. float_of_int samples) ~len:20. ()
+  in
+  let burst_faults = Simulator.fault_plan ~rate:0.02 ~burst () in
+  (match
+     pipeline_error ~faults:Simulator.no_faults ~method_:Rsm.Solver.Omp
+       ~samples ~test ~max_lambda sim basis
+   with
+  | Error e -> check failures "OMP clean fit (burst baseline)" false e
+  | Ok (clean_err, _) -> (
+      match
+        pipeline_error ~quorum:0.7 ~faults:burst_faults ~method_:Rsm.Solver.Omp
+          ~samples ~test ~max_lambda sim basis
+      with
+      | Error e -> check failures "OMP burst fit" false e
+      | Ok (burst_err, o) ->
+          let r = o.Robust.Pipeline.run_report in
+          let degraded =
+            Array.exists
+              (fun n ->
+                String.length n >= 9 && String.sub n 0 9 = "degraded:")
+              (Rsm.Model.notes o.Robust.Pipeline.model)
+          in
+          Printf.printf
+            "  burst: %d window(s) over %d sample(s), %d delivered of %d \
+             requested%s\n"
+            r.Simulator.burst_windows r.Simulator.burst_samples
+            r.Simulator.delivered samples
+            (if degraded then " (fit degraded, noted on the model)" else "");
+          check failures "burst run really hit an outage window"
+            (r.Simulator.burst_windows > 0)
+            (Printf.sprintf "%d windows" r.Simulator.burst_windows);
+          check failures
+            "OMP within 2x of clean error under a 20-sample burst outage"
+            (Float.is_finite burst_err
+            && burst_err <= (2. *. clean_err) +. 1e-12)
+            (Printf.sprintf "%.2f%% vs %.2f%%" (100. *. burst_err)
+               (100. *. clean_err));
+          check failures "sub-full delivery is noted on the model"
+            (r.Simulator.delivered >= samples || degraded)
+            "";
+
+          (* Adaptive breaker vs fixed retry under a hard outage: same
+             plan, same attempt ceiling, compare accounted farm seconds
+             (the metric a real flow pays) and local wall-clock. *)
+          let storm =
+            Simulator.fault_plan ~rate:0.
+              ~burst:
+                (Simulator.burst_model ~entry:(3. /. float_of_int samples)
+                   ~len:25. ())
+              ()
+          in
+          let fixed_retry = Simulator.retry_policy ~max_attempts:4 () in
+          let adaptive =
+            Retry.policy ~max_attempts:4 ~breaker_threshold:3 ()
+          in
+          let _, fixed_report =
+            Simulator.run_robust ~faults:storm ~retry:fixed_retry sim
+              (Randkit.Prng.create default_seed)
+              ~k:samples
+          in
+          let _, adaptive_report =
+            Retry.run ~faults:storm adaptive sim
+              (Randkit.Prng.create default_seed)
+              ~k:samples
+          in
+          let ar = adaptive_report.Retry.run in
+          let t_fixed =
+            timed_mean (fun () ->
+                ignore
+                  (Simulator.run_robust ~faults:storm ~retry:fixed_retry sim
+                     (Randkit.Prng.create default_seed)
+                     ~k:samples))
+          in
+          let t_adaptive =
+            timed_mean (fun () ->
+                ignore
+                  (Retry.run ~faults:storm adaptive sim
+                     (Randkit.Prng.create default_seed)
+                     ~k:samples))
+          in
+          (* Breaker recovery latency: samples from each trip to the
+             breaker closing again (cooldown + the half-open probe). *)
+          let recovery =
+            let events = adaptive_report.Retry.events in
+            let total = ref 0 and n = ref 0 and open_at = ref (-1) in
+            Array.iter
+              (fun e ->
+                match e with
+                | Retry.Tripped { sample; _ } ->
+                    if !open_at < 0 then open_at := sample
+                | Retry.Closed { sample } when !open_at >= 0 ->
+                    total := !total + (sample - !open_at);
+                    incr n;
+                    open_at := -1
+                | _ -> ())
+              events;
+            if !n = 0 then Float.nan
+            else float_of_int !total /. float_of_int !n
+          in
+          Printf.printf
+            "  backoff: fixed retry %.0f accounted s, adaptive breaker %.0f \
+             accounted s (%.0f%% saved; %d trip(s), mean recovery %.1f \
+             samples); wall %.2f ms vs %.2f ms (means of %d runs)\n"
+            fixed_report.Simulator.accounted_extra_seconds
+            ar.Simulator.accounted_extra_seconds
+            (100.
+            *. (1.
+               -. ar.Simulator.accounted_extra_seconds
+                  /. Float.max fixed_report.Simulator.accounted_extra_seconds
+                       1e-9))
+            ar.Simulator.breaker_trips recovery (1e3 *. t_fixed)
+            (1e3 *. t_adaptive) reps;
+          check failures
+            "adaptive breaker charges less accounted time than fixed retry"
+            (ar.Simulator.accounted_extra_seconds
+            < fixed_report.Simulator.accounted_extra_seconds)
+            (Printf.sprintf "%.0f s vs %.0f s"
+               ar.Simulator.accounted_extra_seconds
+               fixed_report.Simulator.accounted_extra_seconds);
+          check failures "breaker tripped during the outage"
+            (ar.Simulator.breaker_trips > 0)
+            "";
+          let payload =
+            Printf.sprintf
+              "{\"samples\": %d, \"clean_err_pct\": %.3f, \"burst_err_pct\": \
+               %.3f, \"burst_windows\": %d, \"burst_samples\": %d, \
+               \"degraded\": %B, \"fixed_accounted_s\": %.1f, \
+               \"adaptive_accounted_s\": %.1f, \"breaker_trips\": %d, \
+               \"recovery_latency_samples\": %.1f, \"wall_fixed_ms\": %.2f, \
+               \"wall_adaptive_ms\": %.2f}"
+              samples (100. *. clean_err) (100. *. burst_err)
+              r.Simulator.burst_windows r.Simulator.burst_samples degraded
+              fixed_report.Simulator.accounted_extra_seconds
+              ar.Simulator.accounted_extra_seconds ar.Simulator.breaker_trips
+              recovery (1e3 *. t_fixed) (1e3 *. t_adaptive)
+          in
+          update_summary ~scenario:"robustness" ~payload;
+          Printf.printf "summary updated in %s\n%!" summary_file));
 
   (match !failures with
   | [] ->

@@ -346,12 +346,64 @@ let rescreen_arg =
                the coefficients by down-dating the active-set Gram factor \
                for the dropped rows instead of refitting from scratch.")
 
-let print_run_reports run_report screen_report =
+let burst_rate_arg =
+  Arg.(value & opt float 0. & info [ "burst-rate" ] ~docv:"P"
+         ~doc:"Per-sample probability of entering a correlated outage burst \
+               (two-state Markov chain over the sample axis), in [0, 1). \
+               0 (default) disables the burst model; inside a burst every \
+               attempt fails with a transient-heavy mix until the window \
+               ends.")
+
+let burst_len_arg =
+  Arg.(value & opt float 20. & info [ "burst-len" ] ~docv:"L"
+         ~doc:"Expected burst length in samples (geometric), at least 1.")
+
+let quorum_arg =
+  Arg.(value & opt float Robust.Pipeline.default_quorum
+       & info [ "quorum" ] ~docv:"Q"
+           ~doc:"Fraction of the requested samples that must survive delivery \
+                 and screening, in (0, 1]. A shortfall above the quorum \
+                 proceeds as a degraded fit (noted on the model); below it \
+                 the run fails with a one-line diagnostic.")
+
+let screen_space_arg =
+  Arg.(value & opt string "response" & info [ "screen-space" ] ~docv:"SPACE"
+         ~doc:"Which hygiene screens run: $(b,response) (MAD z-score on \
+               simulated values), $(b,factor) (robust Mahalanobis distance \
+               on sample points), or $(b,both).")
+
+let breaker_threshold_arg =
+  Arg.(value & opt int 0 & info [ "breaker-threshold" ] ~docv:"N"
+         ~doc:"Enable the adaptive retry driver (exponential backoff with \
+               deterministic jitter and a circuit breaker): the breaker \
+               trips after N consecutive failed samples, fails fast through \
+               the estimated burst, then probes half-open. 0 (default) \
+               keeps the fixed retry policy.")
+
+let print_run_reports ?adaptive ?point run_report screen_report =
   Printf.printf "  hygiene       : %s\n"
     (Circuit.Simulator.report_summary run_report);
-  match screen_report with
-  | Some r -> Printf.printf "  hygiene       : %s\n" (Robust.Screen.report_summary r)
-  | None -> Printf.printf "  hygiene       : screen: off\n"
+  (match adaptive with
+  | Some r ->
+      Printf.printf
+        "  hygiene       : adaptive retry: %d event(s), %d granted, %d \
+         denied\n"
+        (Array.length r.Robust.Retry.events)
+        r.Robust.Retry.retries_granted r.Robust.Retry.retries_denied
+  | None -> ());
+  (match (screen_report, (point : Robust.Screen.point_report option)) with
+  | None, None -> Printf.printf "  hygiene       : screen: off\n"
+  | sr, pt ->
+      (match sr with
+      | Some r ->
+          Printf.printf "  hygiene       : %s\n"
+            (Robust.Screen.report_summary r)
+      | None -> ());
+      (match pt with
+      | Some r ->
+          Printf.printf "  hygiene       : %s\n"
+            (Robust.Screen.point_report_summary r)
+      | None -> ()))
 
 let print_model_notes model =
   Array.iter
@@ -369,7 +421,8 @@ let model_cmd =
   let run circuit metric cells parasitics seed samples test method_name
       max_lambda save_model domains engine folds fault_rate retries no_screen
       screen_threshold checkpoint resume checkpoint_every sweep_mode
-      sweep_refresh fused_cv rescreen shards shard_mode =
+      sweep_refresh fused_cv rescreen shards shard_mode burst_rate burst_len
+      quorum screen_space_s breaker_threshold =
     check_at_least "samples" 1 samples;
     check_at_least "test" 1 test;
     check_at_least "max-lambda" 1 max_lambda;
@@ -379,12 +432,28 @@ let model_cmd =
     check_at_least "checkpoint-every" 1 checkpoint_every;
     check_at_least "shards" 1 shards;
     check_at_least "sweep-refresh" 0 sweep_refresh;
+    check_at_least "breaker-threshold" 0 breaker_threshold;
     let sweep =
       match sweep_mode with
       | `Exact -> Rsm.Corr_sweep.Exact
       | `Incremental -> Rsm.Corr_sweep.incremental ~refresh:sweep_refresh ()
     in
     check_unit_interval "fault-rate" fault_rate;
+    check_unit_interval "burst-rate" burst_rate;
+    if not (Float.is_finite burst_len) || burst_len < 1. then
+      err_exit
+        (Printf.sprintf "--burst-len must be at least 1 (got %g)" burst_len);
+    if not (Float.is_finite quorum) || quorum <= 0. || quorum > 1. then
+      err_exit (Printf.sprintf "--quorum must lie in (0, 1] (got %g)" quorum);
+    let screen_space =
+      match Robust.Pipeline.screen_space_of_string screen_space_s with
+      | Some s -> s
+      | None ->
+          err_exit
+            (Printf.sprintf
+               "--screen-space must be response, factor or both (got %S)"
+               screen_space_s)
+    in
     if screen_threshold <= 0. || not (Float.is_finite screen_threshold) then
       err_exit
         (Printf.sprintf "--screen-threshold must be positive (got %g)"
@@ -402,13 +471,27 @@ let model_cmd =
             let rng = Randkit.Prng.create seed in
             let basis = Polybasis.Basis.constant_linear w.dim in
             let m_cols = Polybasis.Basis.size basis in
+            let burst =
+              if burst_rate > 0. then
+                Some
+                  (Circuit.Simulator.burst_model ~entry:burst_rate
+                     ~len:burst_len ())
+              else None
+            in
             let faults =
-              if fault_rate > 0. then
-                Circuit.Simulator.fault_plan ~rate:fault_rate ()
+              if fault_rate > 0. || burst <> None then
+                Circuit.Simulator.fault_plan ~rate:fault_rate ?burst ()
               else Circuit.Simulator.no_faults
             in
             let retry =
               Circuit.Simulator.retry_policy ~max_attempts:retries ()
+            in
+            let adaptive =
+              if breaker_threshold > 0 then
+                Some
+                  (Robust.Retry.policy ~max_attempts:retries
+                     ~breaker_threshold ())
+              else None
             in
             if
               Rsm.Solver.needs_overdetermined meth && samples < m_cols
@@ -432,12 +515,24 @@ let model_cmd =
                     err_exit
                       "--checkpoint supports the omp, star, lar and lasso \
                        methods only");
-                let data, run_report =
-                  Circuit.Simulator.run_robust ~pool ~faults ~retry w.sim rng
-                    ~k:samples
+                let data, run_report, adaptive_report =
+                  match adaptive with
+                  | None ->
+                      let d, r =
+                        Circuit.Simulator.run_robust ~pool ~faults ~retry
+                          w.sim rng ~k:samples
+                      in
+                      (d, r, None)
+                  | Some policy ->
+                      let d, r =
+                        Robust.Retry.run ~pool ~faults policy w.sim rng
+                          ~k:samples
+                      in
+                      (d, r.Robust.Retry.run, Some r)
                 in
                 let data, screen_report =
-                  if no_screen then (data, None)
+                  if no_screen || screen_space = Robust.Pipeline.Factor then
+                    (data, None)
                   else
                     match
                       Robust.Screen.screen ~threshold:screen_threshold data
@@ -445,6 +540,25 @@ let model_cmd =
                     | Ok (d, r) -> (d, Some r)
                     | Error e -> err_exit (Robust.Error.to_string e)
                 in
+                let data, point_report =
+                  if no_screen || screen_space = Robust.Pipeline.Response then
+                    (data, None)
+                  else
+                    match Robust.Screen.mahalanobis data with
+                    | Ok (d, r) -> (d, Some r)
+                    | Error e -> err_exit (Robust.Error.to_string e)
+                in
+                let survived = Circuit.Simulator.dataset_size data in
+                let quorum_floor =
+                  int_of_float (Float.ceil (quorum *. float_of_int samples))
+                in
+                if survived < quorum_floor then
+                  err_exit
+                    (Printf.sprintf
+                       "quorum lost: only %d of %d requested samples survived \
+                        delivery and screening, below the %g%% quorum (%d); \
+                        raise --samples or --retries, or lower --quorum"
+                       survived samples (100. *. quorum) quorum_floor);
                 let src =
                   provider_of ~pool engine basis data.Circuit.Simulator.points
                 in
@@ -509,6 +623,13 @@ let model_cmd =
                             ?resume:resume_state ~sweep ~shards ~shard_mode
                             ~recovered src f_tr ~lambda)
                 in
+                let model =
+                  if survived >= samples then model
+                  else
+                    Rsm.Model.add_note model
+                      (Robust.Pipeline.degraded_note ~requested:samples
+                         ~survived ~quorum run_report)
+                in
                 let test_data =
                   Circuit.Simulator.run ~pool w.sim rng ~k:test
                 in
@@ -532,7 +653,8 @@ let model_cmd =
                     "  shard recovery: %d worker respawn(s), log replayed, \
                      results bitwise unchanged\n"
                     !recovered;
-                print_run_reports run_report screen_report;
+                print_run_reports ?adaptive:adaptive_report ?point:point_report
+                  run_report screen_report;
                 Printf.printf "  checkpoint    : %s (every %d iterations%s)\n"
                   ckpt_file checkpoint_every
                   (if resume then ", resumed" else "");
@@ -552,7 +674,8 @@ let model_cmd =
                   match
                     Robust.Pipeline.config ~method_:meth ~folds:folds_n
                       ~max_lambda ~samples ~screen:(not no_screen)
-                      ~screen_threshold ~faults ~retry
+                      ~screen_threshold ~screen_space ~faults ~retry ?adaptive
+                      ~quorum
                       ~min_samples:(min samples (max 8 (samples / 2)))
                       ~streamed:
                         (choose_streamed engine ~k:samples ~m:m_cols)
@@ -606,7 +729,10 @@ let model_cmd =
                           "  checkpoint    : %s.fold<q> (per-fold CV%s)\n" base
                           (if resume then ", resumed" else "")
                     | None -> ());
-                    print_run_reports o.Robust.Pipeline.run_report
+                    print_run_reports
+                      ?adaptive:o.Robust.Pipeline.adaptive_report
+                      ?point:o.Robust.Pipeline.point_report
+                      o.Robust.Pipeline.run_report
                       o.Robust.Pipeline.screen_report;
                     Printf.printf
                       "  testing error : %.2f%% (on %d fresh samples)\n"
@@ -635,7 +761,8 @@ let model_cmd =
       $ engine $ folds_arg $ fault_rate_arg $ retries_arg $ no_screen_arg
       $ screen_threshold_arg $ checkpoint_arg $ resume_arg
       $ checkpoint_every_arg $ sweep_arg $ sweep_refresh_arg $ fused_cv_arg
-      $ rescreen_arg $ shards_arg $ shard_mode_arg)
+      $ rescreen_arg $ shards_arg $ shard_mode_arg $ burst_rate_arg
+      $ burst_len_arg $ quorum_arg $ screen_space_arg $ breaker_threshold_arg)
 
 let predict_cmd =
   let model_file =
@@ -772,8 +899,18 @@ let eval_cmd =
               s;
             Buffer.contents b
           in
+          (* Provenance rides the model file: a quorum-degraded fit's
+             "degraded: ..." note (and any fallback notes) surface here
+             so a serving consumer can see how the artifact was built. *)
+          let notes_json =
+            String.concat ", "
+              (Array.to_list
+                 (Array.map
+                    (fun n -> Printf.sprintf "\"%s\"" (escape n))
+                    (Rsm.Model.notes model)))
+          in
           Printf.printf
-            {|{"workload": "%s", "model_file": "%s", "digest": "%016Lx", "tape": {"terms": %d, "instructions": %d, "vars_touched": %d, "dim": %d, "max_degree": %d}, "parity": "bitwise", "points": %d, "value_mean": %.17g, "value_std": %.17g, "unit": "%s", "throughput_compiled_per_s": %.6g, "throughput_naive_per_s": %.6g}
+            {|{"workload": "%s", "model_file": "%s", "digest": "%016Lx", "tape": {"terms": %d, "instructions": %d, "vars_touched": %d, "dim": %d, "max_degree": %d}, "parity": "bitwise", "points": %d, "value_mean": %.17g, "value_std": %.17g, "unit": "%s", "throughput_compiled_per_s": %.6g, "throughput_naive_per_s": %.6g, "notes": [%s]}
 |}
             (escape w.name) (escape model_file) entry.Serve.Registry.digest
             (Serve.Eval.nnz tape)
@@ -782,7 +919,7 @@ let eval_cmd =
             (Serve.Eval.dim tape) (Serve.Eval.max_degree tape) samples
             (Stat.Descriptive.mean compiled)
             (Stat.Descriptive.std compiled)
-            (escape w.unit_) (rate batch_s) (rate naive_s)
+            (escape w.unit_) (rate batch_s) (rate naive_s) notes_json
         else begin
           Printf.printf "%s | serving %s\n" w.name model_file;
           Printf.printf "  content digest: %016Lx\n" entry.Serve.Registry.digest;
@@ -802,7 +939,10 @@ let eval_cmd =
             w.unit_;
           Printf.printf
             "  throughput    : %.3g evals/s compiled, %.3g evals/s naive\n"
-            (rate batch_s) (rate naive_s)
+            (rate batch_s) (rate naive_s);
+          Array.iter
+            (fun note -> Printf.printf "  note          : %s\n" note)
+            (Rsm.Model.notes model)
         end
   in
   Cmd.v

@@ -23,37 +23,79 @@ let run_one sim g =
 
 type fault_kind = Nan_return | Inf_return | Outlier | Transient | Hang
 
+type burst_model = {
+  burst_entry : float;
+  burst_len : float;
+  burst_rate : float;
+  burst_mix : (fault_kind * float) array;
+  burst_seed : int;
+}
+
+let check_mix ~who mix =
+  if Array.length mix = 0 then invalid_arg (who ^ ": empty mix");
+  let total =
+    Array.fold_left
+      (fun acc (_, w) ->
+        if not (w >= 0.) || not (Float.is_finite w) then
+          invalid_arg (who ^ ": mix weights must be finite and >= 0");
+        acc +. w)
+      0. mix
+  in
+  if total <= 0. then invalid_arg (who ^ ": mix weights sum to zero")
+
+let burst_model ?(entry = 0.01) ?(len = 20.) ?(rate = 1.0)
+    ?(mix = [| (Transient, 3.); (Hang, 1.) |]) ?(seed = 0xb1257) () =
+  if not (entry >= 0. && entry <= 1.) then
+    invalid_arg "Simulator.burst_model: entry probability must be in [0, 1]";
+  if not (Float.is_finite len) || len < 1. then
+    invalid_arg "Simulator.burst_model: expected length must be >= 1";
+  (* A hard outage is rate 1: every attempt inside the window fails. *)
+  if not (rate >= 0. && rate <= 1.) then
+    invalid_arg "Simulator.burst_model: rate must be in [0, 1]";
+  check_mix ~who:"Simulator.burst_model" mix;
+  {
+    burst_entry = entry;
+    burst_len = len;
+    burst_rate = rate;
+    burst_mix = mix;
+    burst_seed = seed;
+  }
+
 type fault_plan = {
   rate : float;
   mix : (fault_kind * float) array;
   outlier_scale : float;
   hang_seconds : float;
   fault_seed : int;
+  burst : burst_model option;
 }
 
 let fault_plan ?(rate = 0.1)
     ?(mix = [| (Nan_return, 1.); (Outlier, 1.); (Transient, 1.) |])
-    ?(outlier_scale = 50.) ?(hang_seconds = 30.) ?(fault_seed = 0x5eed) () =
+    ?(outlier_scale = 50.) ?(hang_seconds = 30.) ?(fault_seed = 0x5eed)
+    ?burst () =
   if not (rate >= 0. && rate < 1.) then
     invalid_arg "Simulator.fault_plan: rate must be in [0, 1)";
-  if Array.length mix = 0 then invalid_arg "Simulator.fault_plan: empty mix";
-  let total =
-    Array.fold_left
-      (fun acc (_, w) ->
-        if not (w >= 0.) || not (Float.is_finite w) then
-          invalid_arg "Simulator.fault_plan: mix weights must be finite and >= 0";
-        acc +. w)
-      0. mix
-  in
-  if total <= 0. then
-    invalid_arg "Simulator.fault_plan: mix weights sum to zero";
+  check_mix ~who:"Simulator.fault_plan" mix;
   if outlier_scale <= 0. then
     invalid_arg "Simulator.fault_plan: outlier_scale must be positive";
   if hang_seconds < 0. then
     invalid_arg "Simulator.fault_plan: negative hang_seconds";
-  { rate; mix; outlier_scale; hang_seconds; fault_seed }
+  { rate; mix; outlier_scale; hang_seconds; fault_seed; burst }
 
 let no_faults = fault_plan ~rate:0. ()
+
+(* The outage chain runs on its own stream ([burst_seed]), sequentially
+   over sample indices, before any evaluation fans out — the per-sample
+   burst flag is a pure function of (plan, k, i) at every domain count. *)
+let burst_states plan ~k =
+  match plan.burst with
+  | None -> Array.make k false
+  | Some b ->
+      Randkit.Markov.states
+        (Randkit.Markov.of_mean_len ~entry:b.burst_entry ~mean_len:b.burst_len
+           ())
+        ~seed:b.burst_seed k
 
 type retry_policy = { max_attempts : int; backoff_seconds : float }
 
@@ -77,6 +119,10 @@ type run_report = {
   hang_faults : int;
   retries : int;
   accounted_extra_seconds : float;
+  burst_windows : int;
+  burst_samples : int;
+  burst_faults : int;
+  breaker_trips : int;
 }
 
 let clean_report ~requested =
@@ -91,16 +137,33 @@ let clean_report ~requested =
     hang_faults = 0;
     retries = 0;
     accounted_extra_seconds = 0.;
+    burst_windows = 0;
+    burst_samples = 0;
+    burst_faults = 0;
+    breaker_trips = 0;
   }
 
 let report_summary r =
-  Printf.sprintf
-    "%d/%d samples delivered; %d faults injected (%d non-finite, %d outliers, \
-     %d transient, %d hangs); %d retries; %d abandoned; %.1f s of extra \
-     simulation accounted"
-    r.delivered r.requested r.faults_injected r.nonfinite_faults
-    r.outliers_injected r.transient_faults r.hang_faults r.retries
-    (Array.length r.failed) r.accounted_extra_seconds
+  let base =
+    Printf.sprintf
+      "%d/%d samples delivered; %d faults injected (%d non-finite, %d \
+       outliers, %d transient, %d hangs); %d retries; %d abandoned; %.1f s of \
+       extra simulation accounted"
+      r.delivered r.requested r.faults_injected r.nonfinite_faults
+      r.outliers_injected r.transient_faults r.hang_faults r.retries
+      (Array.length r.failed) r.accounted_extra_seconds
+  in
+  let burst =
+    if r.burst_windows = 0 then ""
+    else
+      Printf.sprintf "; %d burst window(s) covering %d samples (%d faults)"
+        r.burst_windows r.burst_samples r.burst_faults
+  in
+  let breaker =
+    if r.breaker_trips = 0 then ""
+    else Printf.sprintf "; %d breaker trip(s)" r.breaker_trips
+  in
+  base ^ burst ^ breaker
 
 (* Per-sample bookkeeping, aggregated sequentially after the (possibly
    parallel) evaluation sweep so the report is deterministic. *)
@@ -112,12 +175,13 @@ type sample_stats = {
   mutable s_hangs : int;
   mutable s_retries : int;
   mutable s_extra : float;
+  mutable s_burst_faults : int;
 }
 
-let pick_kind plan fs =
-  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. plan.mix in
+let pick_kind mix fs =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. mix in
   let u = Randkit.Prng.float fs *. total in
-  let acc = ref 0. and kind = ref (fst plan.mix.(0)) in
+  let acc = ref 0. and kind = ref (fst mix.(0)) in
   (try
      Array.iter
        (fun (k, w) ->
@@ -126,9 +190,65 @@ let pick_kind plan fs =
            kind := k;
            raise Exit
          end)
-       plan.mix
+       mix
    with Exit -> ());
   !kind
+
+type attempt_outcome = {
+  injected : fault_kind option;
+  returned : float option;
+  hang_s : float;
+}
+
+(* One attempt at a sample: either a fault drawn from the per-sample
+   stream [fs] — at the burst mix/rate when the sample sits inside an
+   outage window — or a real evaluation. [eval] is called at most once
+   per attempt, only when a value is actually produced (clean return or
+   finite outlier garbage). *)
+let draw_attempt plan ~in_burst fs ~eval =
+  let rate, mix =
+    match plan.burst with
+    | Some b when in_burst -> (b.burst_rate, b.burst_mix)
+    | _ -> (plan.rate, plan.mix)
+  in
+  if rate > 0. && Randkit.Prng.float fs < rate then
+    match pick_kind mix fs with
+    | Nan_return ->
+        { injected = Some Nan_return; returned = Some Float.nan; hang_s = 0. }
+    | Inf_return ->
+        {
+          injected = Some Inf_return;
+          returned =
+            Some
+              (if Randkit.Prng.bool fs then Float.infinity
+               else Float.neg_infinity);
+          hang_s = 0.;
+        }
+    | Outlier ->
+        let v = eval () in
+        let sign = if Randkit.Prng.bool fs then 1. else -1. in
+        {
+          injected = Some Outlier;
+          returned = Some (v +. (sign *. plan.outlier_scale *. (1. +. Float.abs v)));
+          hang_s = 0.;
+        }
+    | Transient -> { injected = Some Transient; returned = None; hang_s = 0. }
+    | Hang ->
+        { injected = Some Hang; returned = None; hang_s = plan.hang_seconds }
+  else { injected = None; returned = Some (eval ()); hang_s = 0. }
+
+let record_attempt st ~in_burst a =
+  (match a.injected with
+  | None -> ()
+  | Some kind ->
+      st.s_injected <- st.s_injected + 1;
+      if in_burst then st.s_burst_faults <- st.s_burst_faults + 1;
+      (match kind with
+      | Nan_return | Inf_return -> st.s_nonfinite <- st.s_nonfinite + 1
+      | Outlier -> st.s_outliers <- st.s_outliers + 1
+      | Transient -> st.s_transient <- st.s_transient + 1
+      | Hang -> st.s_hangs <- st.s_hangs + 1));
+  st.s_extra <- st.s_extra +. a.hang_s
 
 (* Evaluate one sample under the plan: up to [max_attempts] attempts,
    each either a fault drawn from the per-sample stream [fs] or a real
@@ -137,7 +257,7 @@ let pick_kind plan fs =
    through — the downstream screen is responsible for them. Every retry
    and simulated hang is accounted in simulator seconds but never
    actually slept. *)
-let eval_sample plan retry sim fs st p =
+let eval_sample plan retry sim fs st ~in_burst p =
   let delivered = ref None in
   let attempt = ref 0 in
   while !delivered = None && !attempt < retry.max_attempts do
@@ -150,34 +270,9 @@ let eval_sample plan retry sim fs st p =
         +. (retry.backoff_seconds *. float_of_int (1 lsl (!attempt - 2)))
         +. sim.seconds_per_sample
     end;
-    let candidate =
-      if plan.rate > 0. && Randkit.Prng.float fs < plan.rate then begin
-        st.s_injected <- st.s_injected + 1;
-        match pick_kind plan fs with
-        | Nan_return ->
-            st.s_nonfinite <- st.s_nonfinite + 1;
-            Some Float.nan
-        | Inf_return ->
-            st.s_nonfinite <- st.s_nonfinite + 1;
-            Some
-              (if Randkit.Prng.bool fs then Float.infinity
-               else Float.neg_infinity)
-        | Outlier ->
-            st.s_outliers <- st.s_outliers + 1;
-            let v = sim.eval p in
-            let sign = if Randkit.Prng.bool fs then 1. else -1. in
-            Some (v +. (sign *. plan.outlier_scale *. (1. +. Float.abs v)))
-        | Transient ->
-            st.s_transient <- st.s_transient + 1;
-            None
-        | Hang ->
-            st.s_hangs <- st.s_hangs + 1;
-            st.s_extra <- st.s_extra +. plan.hang_seconds;
-            None
-      end
-      else Some (sim.eval p)
-    in
-    match candidate with
+    let a = draw_attempt plan ~in_burst fs ~eval:(fun () -> sim.eval p) in
+    record_attempt st ~in_burst a;
+    match a.returned with
     | Some v when Float.is_finite v -> delivered := Some v
     | Some _ | None -> () (* failed attempt: crash, hang, or garbage *)
   done;
@@ -193,6 +288,7 @@ let run_robust ?(noise_rel = 0.) ?pool ?(faults = no_faults)
      every domain count, and unperturbed by other samples' retries. *)
   let points = Array.init k (fun _ -> Randkit.Gaussian.vector g sim.dim) in
   let streams = Randkit.Prng.split_n (Randkit.Prng.create faults.fault_seed) k in
+  let burst = burst_states faults ~k in
   let out = Array.make k Float.nan in
   let ok = Array.make k false in
   let stats =
@@ -205,10 +301,14 @@ let run_robust ?(noise_rel = 0.) ?pool ?(faults = no_faults)
           s_hangs = 0;
           s_retries = 0;
           s_extra = 0.;
+          s_burst_faults = 0;
         })
   in
   let body i =
-    match eval_sample faults retry sim streams.(i) stats.(i) points.(i) with
+    match
+      eval_sample faults retry sim streams.(i) stats.(i) ~in_burst:burst.(i)
+        points.(i)
+    with
     | Some v ->
         out.(i) <- v;
         ok.(i) <- true
@@ -251,11 +351,15 @@ let run_robust ?(noise_rel = 0.) ?pool ?(faults = no_faults)
           hang_faults = acc.hang_faults + st.s_hangs;
           retries = acc.retries + st.s_retries;
           accounted_extra_seconds = acc.accounted_extra_seconds +. st.s_extra;
+          burst_faults = acc.burst_faults + st.s_burst_faults;
         })
       {
         (clean_report ~requested:k) with
         delivered = k';
         failed = Array.of_list !failed;
+        burst_windows = Array.length (Randkit.Markov.windows burst);
+        burst_samples = Randkit.Markov.count burst;
+        burst_faults = 0;
       }
       stats
   in

@@ -62,12 +62,46 @@ type fault_kind =
   | Transient  (** run crashed / license lost: no value, retry may work *)
   | Hang  (** run hung until a timeout: no value, accounted wall time *)
 
+type burst_model = {
+  burst_entry : float;
+      (** per-sample probability of a Good→Burst transition, in [0, 1] *)
+  burst_len : float;  (** expected burst length in samples (geometric) *)
+  burst_rate : float;
+      (** per-attempt fault probability {e inside} a burst, in [0, 1]
+          (1 = the whole window is down) *)
+  burst_mix : (fault_kind * float) array;  (** fault mix inside a burst *)
+  burst_seed : int;
+      (** seed of the outage chain's own stream, independent of both the
+          sampling stream and the per-sample fault streams *)
+}
+
+val burst_model :
+  ?entry:float ->
+  ?len:float ->
+  ?rate:float ->
+  ?mix:(fault_kind * float) array ->
+  ?seed:int ->
+  unit ->
+  burst_model
+(** Correlated-outage model: a two-state (Good/Burst) Markov chain over
+    the sample index axis ({!Randkit.Markov}) — the license-server /
+    NFS-outage regime where a {e window} of consecutive samples fails
+    together, which per-attempt i.i.d. injection cannot represent.
+    Defaults: [entry = 0.01], [len = 20], [rate = 1] (a hard outage),
+    a transient-heavy mix ([Transient]:3, [Hang]:1 — an outage crashes
+    or hangs jobs, it does not fabricate numbers), [seed = 0xb1257].
+    @raise Invalid_argument on probabilities outside their ranges,
+    [len < 1], or a degenerate mix. *)
+
 type fault_plan = {
   rate : float;  (** per-attempt probability of any fault, in [0, 1) *)
   mix : (fault_kind * float) array;  (** relative weights of the modes *)
   outlier_scale : float;  (** outlier offset in units of [1 + |value|] *)
   hang_seconds : float;  (** accounted timeout charged per hang *)
   fault_seed : int;  (** seed of the fault stream, independent of sampling *)
+  burst : burst_model option;
+      (** correlated outage windows layered over the i.i.d. model;
+          [None] = per-attempt faults only *)
 }
 
 val fault_plan :
@@ -76,13 +110,22 @@ val fault_plan :
   ?outlier_scale:float ->
   ?hang_seconds:float ->
   ?fault_seed:int ->
+  ?burst:burst_model ->
   unit ->
   fault_plan
 (** Validated constructor. Defaults: [rate = 0.1], an equal-weight
     NaN/outlier/transient mix, [outlier_scale = 50], [hang_seconds =
-    30], [fault_seed = 0x5eed].
+    30], [fault_seed = 0x5eed], no burst model.
     @raise Invalid_argument on a rate outside [[0, 1)], an empty or
     negative-weight mix, or non-positive scales. *)
+
+val burst_states : fault_plan -> k:int -> bool array
+(** [burst_states plan ~k] is the outage chain for a [k]-sample run:
+    element [i] is [true] when sample [i] falls inside a burst window.
+    Drawn sequentially from [burst_seed]'s own stream before any
+    evaluation, so it is a pure function of [(plan, k)] — bitwise
+    identical at every domain and shard count. All-[false] when the
+    plan has no burst model. *)
 
 val no_faults : fault_plan
 (** Rate-0 plan: {!run_robust} then behaves exactly like {!run} (plus
@@ -118,13 +161,45 @@ type run_report = {
   accounted_extra_seconds : float;
       (** retry re-runs, backoff and hang timeouts, on the simulator's
           cost scale — the price of the retry policy *)
+  burst_windows : int;  (** outage windows intersecting the run *)
+  burst_samples : int;  (** samples falling inside a burst window *)
+  burst_faults : int;  (** faults injected while in the burst state *)
+  breaker_trips : int;
+      (** circuit-breaker trips ({!Robust.Retry}); always 0 under the
+          fixed retry policy of {!run_robust} *)
 }
 
 val clean_report : requested:int -> run_report
 (** The all-zeros report of a fault-free run of [requested] samples. *)
 
 val report_summary : run_report -> string
-(** One-line human-readable summary of a run report. *)
+(** One-line human-readable summary of a run report; burst windows and
+    breaker trips are appended only when present, so fault-free and
+    burst-free summaries are unchanged. *)
+
+type attempt_outcome = {
+  injected : fault_kind option;  (** the fault drawn, if any *)
+  returned : float option;
+      (** the value the attempt produced — possibly non-finite (injected
+          NaN/Inf or genuine evaluator divergence), possibly corrupted
+          (outlier); [None] for crash/hang attempts *)
+  hang_s : float;  (** accounted hang timeout charged by this attempt *)
+}
+
+val draw_attempt :
+  fault_plan ->
+  in_burst:bool ->
+  Randkit.Prng.t ->
+  eval:(unit -> float) ->
+  attempt_outcome
+(** One attempt at a sample, drawing from the per-sample stream: the
+    fault rate and mix switch to the burst model's when [in_burst].
+    [eval] is invoked at most once, and only when the attempt actually
+    produces a value (clean return or finite outlier garbage). This is
+    the single source of truth for the per-attempt stream consumption —
+    {!run_robust} and the adaptive {!Robust.Retry} driver both build on
+    it, so a sample's fault history is a pure function of its stream
+    regardless of which retry policy consumes it. *)
 
 val run_robust :
   ?noise_rel:float ->

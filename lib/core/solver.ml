@@ -98,7 +98,7 @@ let fit_cv ?folds ?max_lambda rng g f m =
       Cosamp.fit g f ~s
 
 let fit_cv_p ?folds ?max_lambda ?on_singular ?sweep ?shards ?shard_mode
-    ?recovered ?fused ?cv_checkpoint ?cv_resume rng src f m =
+    ?recovered ?fused ?cv_checkpoint ?cv_resume ?(notes = [||]) rng src f m =
   let max_lambda =
     match max_lambda with
     | Some l -> l
@@ -106,6 +106,7 @@ let fit_cv_p ?folds ?max_lambda ?on_singular ?sweep ?shards ?shard_mode
         max 1 (min (min (Provider.rows src / 2) (Provider.cols src)) 200)
   in
   let checkpoint = cv_checkpoint and resume = cv_resume in
+  let model =
   match m with
   | Star ->
       (Select.star_p ?folds ?sweep ?shards ?shard_mode ?recovered ?fused
@@ -127,3 +128,7 @@ let fit_cv_p ?folds ?max_lambda ?on_singular ?sweep ?shards ?shard_mode
       (* These paths need the materialized matrix (full LS / batch
          thresholding); free for a dense provider. *)
       fit_cv ?folds ~max_lambda rng (Provider.to_dense src) f m
+  in
+  (* Provenance notes (e.g. a quorum-degraded delivery) ride on the
+     model itself so a served artifact carries its history. *)
+  Array.fold_left Model.add_note model notes

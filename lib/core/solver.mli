@@ -43,7 +43,8 @@ val fit_cv_p :
   ?sweep:Corr_sweep.sweep ->
   ?shards:int -> ?shard_mode:Shard_sweep.mode -> ?recovered:int ref ->
   ?fused:bool ->
-  ?cv_checkpoint:string -> ?cv_resume:bool -> Randkit.Prng.t ->
+  ?cv_checkpoint:string -> ?cv_resume:bool -> ?notes:string array ->
+  Randkit.Prng.t ->
   Polybasis.Design.Provider.t -> Linalg.Vec.t -> method_ -> Model.t
 (** {!fit_cv} over a design provider. The greedy path methods (STAR,
     LAR, LASSO, OMP) run fully matrix-free on a streamed provider,
@@ -70,4 +71,9 @@ val fit_cv_p :
     [cv_checkpoint]/[cv_resume] enable per-fold CV checkpointing for the
     path methods (STAR, LAR, LASSO, OMP) — see {!Select.generic_p}.
     Ignored by [Ls]/[Stomp]/[Cosamp], which have no λ sweep to
-    checkpoint. *)
+    checkpoint.
+
+    [notes] are provenance lines appended to the fitted model's
+    {!Model.notes} (deduplicated by {!Model.add_note}) — how the
+    pipeline records a quorum-degraded delivery on the artifact itself,
+    so the note survives serialization and serving. *)

@@ -1,0 +1,55 @@
+type chain = { entry : float; exit : float }
+
+let chain ~entry ~exit () =
+  let bad name v =
+    invalid_arg
+      (Printf.sprintf "Markov.chain: %s must lie in [0, 1], got %g" name v)
+  in
+  if not (Float.is_finite entry) || entry < 0. || entry > 1. then
+    bad "entry" entry;
+  if not (Float.is_finite exit) || exit < 0. || exit > 1. then bad "exit" exit;
+  { entry; exit }
+
+let mean_burst_len c = if c.exit > 0. then 1. /. c.exit else Float.infinity
+
+let of_mean_len ~entry ~mean_len () =
+  if not (Float.is_finite mean_len) || mean_len < 1. then
+    invalid_arg
+      (Printf.sprintf "Markov.of_mean_len: mean length must be >= 1, got %g"
+         mean_len);
+  chain ~entry ~exit:(1. /. mean_len) ()
+
+(* The chain is inherently sequential (state i+1 depends on state i), so
+   the states are always generated in index order from one stream; the
+   whole array is a pure function of (chain, seed, n) and is meant to be
+   precomputed before any parallel work fans out. *)
+let states c ~seed n =
+  if n < 0 then invalid_arg "Markov.states: negative length";
+  let g = Prng.create seed in
+  let out = Array.make n false in
+  let burst = ref false in
+  for i = 0 to n - 1 do
+    let u = Prng.float g in
+    (burst := if !burst then u >= c.exit else u < c.entry);
+    out.(i) <- !burst
+  done;
+  out
+
+let windows states =
+  let acc = ref [] in
+  let start = ref (-1) in
+  let n = Array.length states in
+  for i = 0 to n - 1 do
+    if states.(i) then begin
+      if !start < 0 then start := i
+    end
+    else if !start >= 0 then begin
+      acc := (!start, i - !start) :: !acc;
+      start := -1
+    end
+  done;
+  if !start >= 0 then acc := (!start, n - !start) :: !acc;
+  Array.of_list (List.rev !acc)
+
+let count states =
+  Array.fold_left (fun n b -> if b then n + 1 else n) 0 states

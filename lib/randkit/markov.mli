@@ -1,0 +1,38 @@
+(** Two-state (Good/Burst) Markov chains over an index axis.
+
+    Real simulation farms do not fail i.i.d.: a license-server or NFS
+    outage takes out a {e window} of consecutive samples. The chain here
+    models exactly that — state [false] (Good) enters a burst with
+    probability [entry] per step, state [true] (Burst) leaves it with
+    probability [exit] per step, so burst lengths are geometric with
+    mean [1/exit]. The state array is generated from its own seed in
+    index order, making it a pure function of [(chain, seed, n)]:
+    bitwise identical at every domain or shard count, and independent of
+    the sampling and fault streams it modulates. *)
+
+type chain = private { entry : float; exit : float }
+
+val chain : entry:float -> exit:float -> unit -> chain
+(** Validated constructor; both probabilities must lie in [[0, 1]].
+    @raise Invalid_argument otherwise. *)
+
+val of_mean_len : entry:float -> mean_len:float -> unit -> chain
+(** [of_mean_len ~entry ~mean_len ()] is [chain] with
+    [exit = 1/mean_len] — bursts of geometric mean length [mean_len].
+    @raise Invalid_argument when [mean_len < 1]. *)
+
+val mean_burst_len : chain -> float
+(** [1/exit], the expected burst length in steps ([infinity] for an
+    absorbing burst state). *)
+
+val states : chain -> seed:int -> int -> bool array
+(** [states c ~seed n] draws the chain for [n] steps starting in Good;
+    element [i] is [true] when step [i] lies inside a burst. Always
+    generated sequentially from a fresh stream of [seed].
+    @raise Invalid_argument on a negative length. *)
+
+val windows : bool array -> (int * int) array
+(** [(start, len)] of every maximal burst window, in index order. *)
+
+val count : bool array -> int
+(** Number of burst steps. *)

@@ -1,5 +1,21 @@
 module Provider = Polybasis.Design.Provider
 
+type screen_space = Response | Factor | Both
+
+let screen_space_to_string = function
+  | Response -> "response"
+  | Factor -> "factor"
+  | Both -> "both"
+
+let screen_space_of_string s =
+  match String.lowercase_ascii s with
+  | "response" | "value" -> Some Response
+  | "factor" | "point" -> Some Factor
+  | "both" -> Some Both
+  | _ -> None
+
+let default_quorum = 0.9
+
 type config = {
   method_ : Rsm.Solver.method_;
   folds : int;
@@ -7,9 +23,13 @@ type config = {
   samples : int;
   screen : bool;
   screen_threshold : float;
+  screen_space : screen_space;
+  screen_confidence : float;
   faults : Circuit.Simulator.fault_plan;
   retry : Circuit.Simulator.retry_policy;
+  adaptive : Retry.policy option;
   min_samples : int;
+  quorum : float;
   streamed : bool;
   checkpoint : string option;
   resume : bool;
@@ -23,8 +43,11 @@ type config = {
 let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
     ?(samples = 1000) ?(screen = true)
     ?(screen_threshold = Screen.default_threshold)
+    ?(screen_space = Response)
+    ?(screen_confidence = Screen.default_confidence)
     ?(faults = Circuit.Simulator.no_faults)
-    ?(retry = Circuit.Simulator.retry_policy ()) ?(min_samples = 30)
+    ?(retry = Circuit.Simulator.retry_policy ()) ?adaptive
+    ?(min_samples = 30) ?(quorum = default_quorum)
     ?(streamed = false) ?checkpoint ?(resume = false)
     ?(sweep = Rsm.Corr_sweep.Exact) ?(shards = 1)
     ?(shard_mode = Rsm.Shard_sweep.Domains) ?fused_cv ?(rescreen = false) () =
@@ -40,11 +63,15 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
   else if samples < 1 then fail "samples must be positive, got %d" samples
   else if screen_threshold <= 0. then
     fail "screen threshold must be positive, got %g" screen_threshold
+  else if not (screen_confidence > 0. && screen_confidence < 1.) then
+    fail "screen confidence must lie in (0, 1), got %g" screen_confidence
   else if min_samples < 1 then
     fail "min_samples must be positive, got %d" min_samples
   else if min_samples > samples then
     fail "min_samples (%d) exceeds the requested sample count (%d)" min_samples
       samples
+  else if not (quorum > 0. && quorum <= 1.) then
+    fail "quorum must lie in (0, 1], got %g" quorum
   else if resume && checkpoint = None then
     fail "resume requires a checkpoint path"
   else if
@@ -66,9 +93,13 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
         samples;
         screen;
         screen_threshold;
+        screen_space;
+        screen_confidence;
         faults;
         retry;
+        adaptive;
         min_samples;
+        quorum;
         streamed;
         checkpoint;
         resume;
@@ -84,6 +115,8 @@ type outcome = {
   dataset : Circuit.Simulator.dataset;
   run_report : Circuit.Simulator.run_report;
   screen_report : Screen.report option;
+  point_report : Screen.point_report option;
+  adaptive_report : Retry.report option;
 }
 
 let ( let* ) = Result.bind
@@ -187,14 +220,55 @@ let screen_refit ?(threshold = Screen.default_threshold) src f model =
     end
   end
 
+(* The provenance line a quorum-degraded fit carries on the model
+   itself: what was lost, where, and under which outage windows. One
+   line, because notes serialize as single [#note] lines. *)
+let degraded_note ~requested ~survived ~quorum
+    (run : Circuit.Simulator.run_report) =
+  let delivery_lost = run.Circuit.Simulator.requested - run.delivered in
+  let screened = run.delivered - survived in
+  let burst =
+    if run.burst_windows > 0 then
+      Printf.sprintf "; %d burst window(s) over %d sample(s)"
+        run.burst_windows run.burst_samples
+    else ""
+  in
+  let breaker =
+    if run.breaker_trips > 0 then
+      Printf.sprintf "; %d breaker trip(s)" run.breaker_trips
+    else ""
+  in
+  Printf.sprintf
+    "degraded: kept %d of %d requested rows (%d lost in delivery, %d \
+     screened) above quorum %g%%%s%s"
+    survived requested delivery_lost screened (100. *. quorum) burst breaker
+
 let fit ?pool ?recovered cfg sim basis rng =
-  let* data, run_report =
+  let* data, run_report, adaptive_report =
     Error.guard (fun () ->
-        Circuit.Simulator.run_robust ?pool ~faults:cfg.faults ~retry:cfg.retry
-          sim rng ~k:cfg.samples)
+        match cfg.adaptive with
+        | None ->
+            let d, r =
+              Circuit.Simulator.run_robust ?pool ~faults:cfg.faults
+                ~retry:cfg.retry sim rng ~k:cfg.samples
+            in
+            (d, r, None)
+        | Some policy ->
+            let d, r =
+              Retry.run ?pool ~faults:cfg.faults policy sim rng ~k:cfg.samples
+            in
+            (d, r.Retry.run, Some r))
+  in
+  let screen_response =
+    cfg.screen
+    && match cfg.screen_space with Response | Both -> true | Factor -> false
+  in
+  let screen_factor =
+    cfg.screen
+    && match cfg.screen_space with Factor | Both -> true | Response -> false
   in
   let* data, screen_report =
-    if not cfg.screen then Ok (data, None)
+    if not screen_response then Ok (data, None)
     else
       let* d, r =
         match
@@ -206,7 +280,23 @@ let fit ?pool ?recovered cfg sim basis rng =
       in
       Ok (d, Some r)
   in
+  let* data, point_report =
+    if not screen_factor then Ok (data, None)
+    else
+      let* d, r =
+        match
+          Error.guard (fun () ->
+              Screen.mahalanobis ~confidence:cfg.screen_confidence data)
+        with
+        | Ok inner -> inner
+        | Error e -> Error e
+      in
+      Ok (d, Some r)
+  in
   let n = Circuit.Simulator.dataset_size data in
+  let quorum_floor =
+    int_of_float (Float.ceil (cfg.quorum *. float_of_int cfg.samples))
+  in
   if n < cfg.min_samples then
     Error
       (Error.Simulation
@@ -215,7 +305,24 @@ let fit ?pool ?recovered cfg sim basis rng =
              (minimum %d); raise the sample count, the retry budget, or the \
              screen threshold"
             n cfg.samples cfg.min_samples))
+  else if n < quorum_floor then
+    Error
+      (Error.Simulation
+         (Printf.sprintf
+            "quorum lost: only %d of %d requested samples survived delivery \
+             and screening, below the %g%% quorum (%d); raise the sample \
+             count or the retry budget, or lower --quorum to accept a \
+             degraded fit"
+            n cfg.samples (100. *. cfg.quorum) quorum_floor))
   else
+    let notes =
+      if n >= cfg.samples then [||]
+      else
+        [|
+          degraded_note ~requested:cfg.samples ~survived:n ~quorum:cfg.quorum
+            run_report;
+        |]
+    in
     let* src =
       Error.guard (fun () ->
           let pts = data.Circuit.Simulator.points in
@@ -227,7 +334,7 @@ let fit ?pool ?recovered cfg sim basis rng =
           Rsm.Solver.fit_cv_p ~folds:cfg.folds ~max_lambda:cfg.max_lambda
             ~on_singular:`Fallback ~sweep:cfg.sweep ~shards:cfg.shards
             ~shard_mode:cfg.shard_mode ?recovered ?fused:cfg.fused_cv
-            ?cv_checkpoint:cfg.checkpoint ~cv_resume:cfg.resume rng src
+            ?cv_checkpoint:cfg.checkpoint ~cv_resume:cfg.resume ~notes rng src
             data.Circuit.Simulator.values cfg.method_)
     in
     let* model =
@@ -238,21 +345,48 @@ let fit ?pool ?recovered cfg sim basis rng =
               (screen_refit ~threshold:cfg.screen_threshold src
                  data.Circuit.Simulator.values model))
     in
-    Ok { model; dataset = data; run_report; screen_report }
+    Ok
+      {
+        model;
+        dataset = data;
+        run_report;
+        screen_report;
+        point_report;
+        adaptive_report;
+      }
 
 let outcome_summary o =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Circuit.Simulator.report_summary o.run_report);
   Buffer.add_char buf '\n';
-  (match o.screen_report with
+  (match o.adaptive_report with
   | Some r ->
-      Buffer.add_string buf (Screen.report_summary r);
-      Buffer.add_char buf '\n'
-  | None -> Buffer.add_string buf "screen: off\n");
+      Buffer.add_string buf
+        (Printf.sprintf
+           "adaptive retry: %d event(s), %d retr%s granted, %d denied\n"
+           (Array.length r.Retry.events)
+           r.Retry.retries_granted
+           (if r.Retry.retries_granted = 1 then "y" else "ies")
+           r.Retry.retries_denied)
+  | None -> ());
+  (match (o.screen_report, o.point_report) with
+  | None, None -> Buffer.add_string buf "screen: off\n"
+  | sr, pr ->
+      (match sr with
+      | Some r ->
+          Buffer.add_string buf (Screen.report_summary r);
+          Buffer.add_char buf '\n'
+      | None -> ());
+      (match pr with
+      | Some r ->
+          Buffer.add_string buf (Screen.point_report_summary r);
+          Buffer.add_char buf '\n'
+      | None -> ()));
   Buffer.add_string buf
     (Printf.sprintf "model: %d bases selected from %d rows"
        (Rsm.Model.nnz o.model)
-       (Circuit.Simulator.dataset_size o.dataset));
+       (Circuit.Simulator.dataset_size o.dataset))
+  ;
   Array.iter
     (fun note -> Buffer.add_string buf (Printf.sprintf "\nnote: %s" note))
     (Rsm.Model.notes o.model);

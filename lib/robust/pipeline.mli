@@ -11,16 +11,42 @@
     instead of aborting. Nothing in this module raises on the expected
     failure paths — everything is an {!Error.t}. *)
 
+(** Which space the hygiene screens examine. [Response] is the MAD
+    screen on simulated values ({!Screen.screen}); [Factor] is the
+    robust-Mahalanobis screen on sample points ({!Screen.mahalanobis});
+    [Both] composes them, response first. *)
+type screen_space = Response | Factor | Both
+
+val screen_space_to_string : screen_space -> string
+
+val screen_space_of_string : string -> screen_space option
+(** Case-insensitive; accepts ["response"]/["value"],
+    ["factor"]/["point"], ["both"]. *)
+
+val default_quorum : float
+(** 0.9 — a fit silently missing more than a tenth of its requested
+    samples is a different experiment, not a degraded one. *)
+
 type config = {
   method_ : Rsm.Solver.method_;
   folds : int;  (** CV folds for the λ selection *)
   max_lambda : int;  (** sparsity-search upper bound *)
   samples : int;  (** Monte-Carlo samples to request *)
-  screen : bool;  (** run the MAD outlier screen *)
-  screen_threshold : float;  (** robust z-score cut *)
+  screen : bool;  (** run the hygiene screens at all *)
+  screen_threshold : float;  (** robust z-score cut (response screen) *)
+  screen_space : screen_space;  (** which screens run; default [Response] *)
+  screen_confidence : float;
+      (** χ² confidence of the factor screen's distance cut *)
   faults : Circuit.Simulator.fault_plan;  (** injected failure model *)
   retry : Circuit.Simulator.retry_policy;
+  adaptive : Retry.policy option;
+      (** adaptive retry (backoff + breaker, {!Retry.run}) instead of
+          the fixed policy; [retry] is ignored when set *)
   min_samples : int;  (** fewest surviving rows acceptable for a fit *)
+  quorum : float;
+      (** fraction of [samples] that must survive delivery and
+          screening, in (0, 1]; a shortfall above the quorum degrades
+          the fit (noted on the model), below it fails typed *)
   streamed : bool;  (** matrix-free design instead of materialized *)
   checkpoint : string option;
       (** base path for per-fold CV checkpoints ({!Rsm.Select}) *)
@@ -46,9 +72,13 @@ val config :
   ?samples:int ->
   ?screen:bool ->
   ?screen_threshold:float ->
+  ?screen_space:screen_space ->
+  ?screen_confidence:float ->
   ?faults:Circuit.Simulator.fault_plan ->
   ?retry:Circuit.Simulator.retry_policy ->
+  ?adaptive:Retry.policy ->
   ?min_samples:int ->
+  ?quorum:float ->
   ?streamed:bool ->
   ?checkpoint:string ->
   ?resume:bool ->
@@ -60,14 +90,17 @@ val config :
   unit ->
   (config, Error.t) result
 (** Validated constructor. Defaults: OMP, 4 folds, [max_lambda = 100],
-    1000 samples, screening on at {!Screen.default_threshold}, no
-    injected faults, the default retry policy
-    ({!Circuit.Simulator.retry_policy}), [min_samples = 30], dense
-    design, no checkpointing, exact sweep, automatic fused-CV choice,
-    no rescreen. Returns [Error (Invalid_input _)] on non-positive
-    counts or thresholds, a negative incremental refresh cadence,
-    [min_samples > samples], [resume] without [checkpoint], or
-    [checkpoint] with a method that has no λ sweep (LS/StOMP/CoSaMP). *)
+    1000 samples, screening on at {!Screen.default_threshold} in
+    [Response] space with {!Screen.default_confidence}, no injected
+    faults, the default fixed retry policy
+    ({!Circuit.Simulator.retry_policy}) and no adaptive policy,
+    [min_samples = 30], [quorum = 0.9], dense design, no checkpointing,
+    exact sweep, automatic fused-CV choice, no rescreen. Returns
+    [Error (Invalid_input _)] on non-positive counts or thresholds, a
+    confidence or quorum outside its range, a negative incremental
+    refresh cadence, [min_samples > samples], [resume] without
+    [checkpoint], or [checkpoint] with a method that has no λ sweep
+    (LS/StOMP/CoSaMP). *)
 
 type outcome = {
   model : Rsm.Model.t;
@@ -75,8 +108,27 @@ type outcome = {
           fallbacks that fired *)
   dataset : Circuit.Simulator.dataset;  (** the rows the fit actually used *)
   run_report : Circuit.Simulator.run_report;  (** delivery/retry accounting *)
-  screen_report : Screen.report option;  (** [None] when screening is off *)
+  screen_report : Screen.report option;
+      (** [None] when the response screen did not run *)
+  point_report : Screen.point_report option;
+      (** [None] when the factor screen did not run *)
+  adaptive_report : Retry.report option;
+      (** the adaptive driver's event log; [None] under the fixed
+          policy. [run_report] is its [run] field in that case. *)
 }
+
+val degraded_note :
+  requested:int ->
+  survived:int ->
+  quorum:float ->
+  Circuit.Simulator.run_report ->
+  string
+(** The single-line ["degraded: ..."] provenance note a quorum-degraded
+    fit records in {!Rsm.Model.notes}: rows kept vs requested, split
+    into delivery losses ([requested − run.delivered]) and screened rows
+    ([run.delivered − survived]), plus burst windows and breaker trips
+    when present. Exported so the CLI's fixed-λ checkpoint path and the
+    CV pipeline stamp byte-identical notes. *)
 
 val screen_refit :
   ?threshold:float ->
@@ -115,8 +167,16 @@ val fit :
     domain count (the underlying stages all pre-split their PRNG
     streams). [recovered] (with [config.shards > 1] in [Procs] mode)
     accumulates worker-process crash recoveries across the fold fits
-    and the refit. Fails with [Simulation _] when fewer than
-    [config.min_samples] rows survive delivery and screening, with
+    and the refit.
+
+    Quorum semantics: with [n] rows surviving delivery and screening
+    out of [config.samples] requested, [n < min_samples] or
+    [n < ceil(quorum·samples)] fails with [Simulation _] (the typed
+    one-line diagnostic in the CLI); [n < samples] but at or above both
+    floors proceeds {e degraded}, recording a single-line
+    ["degraded: ..."] note — rows lost in delivery vs screening, burst
+    windows, breaker trips — in {!Rsm.Model.notes}, where it survives
+    serialization. A full-delivery fit carries no note. Fails with
     [Invalid_input _] / [Numerical _] / [Internal _] when a stage
     raises. *)
 

@@ -2,6 +2,7 @@ type reason =
   | Non_finite_point
   | Non_finite_value
   | Outlier of float
+  | Far_point of float
 
 type report = {
   total : int;
@@ -22,6 +23,7 @@ let reason_to_string = function
   | Non_finite_point -> "non-finite factor point"
   | Non_finite_value -> "non-finite response"
   | Outlier z -> Printf.sprintf "outlier (robust z = %.1f)" z
+  | Far_point d -> Printf.sprintf "far point (robust distance = %.1f)" d
 
 let screen ?(threshold = default_threshold) (d : Circuit.Simulator.dataset) =
   if threshold <= 0. then invalid_arg "Screen.screen: threshold must be positive";
@@ -55,8 +57,15 @@ let screen ?(threshold = default_threshold) (d : Circuit.Simulator.dataset) =
   else begin
   let center, spread =
     let med = Stat.Descriptive.median finite_values in
-    let dev = Array.map (fun v -> Float.abs (v -. med)) finite_values in
-    (med, mad_consistency *. Stat.Descriptive.median dev)
+    (* With one or two rows the MAD is not an outlier scale: one row has
+       MAD 0, and two rows are each 0.674 robust sigma from their
+       midpoint whatever their separation — the screen would silently
+       pass everything while appearing to have run. Take the zero-spread
+       stand-down instead, so the report says what happened. *)
+    if Array.length finite_values <= 2 then (med, 0.)
+    else
+      let dev = Array.map (fun v -> Float.abs (v -. med)) finite_values in
+      (med, mad_consistency *. Stat.Descriptive.median dev)
   in
   let kept = ref [] in
   for i = n - 1 downto 0 do
@@ -79,6 +88,192 @@ let screen ?(threshold = default_threshold) (d : Circuit.Simulator.dataset) =
   let report = { total = n; kept; dropped; center; spread; threshold } in
   Ok (Circuit.Simulator.split d kept, report)
   end
+
+(* {2 Point-space screen} *)
+
+type point_report = {
+  p_total : int;
+  p_kept : int array;
+  p_dropped : (int * reason) array;
+  p_dim : int;
+  p_threshold : float;
+  p_shrinkage : float;
+}
+
+let default_confidence = 0.999
+
+(* Wilson–Hilferty: chi²_d(p) ≈ d·(1 − 2/(9d) + z_p·√(2/(9d)))³ — within
+   a few permil for d ≥ 2, plenty for a screening cut. *)
+let chi2_quantile ~dof p =
+  let d = float_of_int dof in
+  let c = 2. /. (9. *. d) in
+  let t = 1. -. c +. (Stat.Distribution.quantile p *. sqrt c) in
+  d *. t *. t *. t
+
+let shrinkage_ladder = [| 0.05; 0.1; 0.2; 0.4; 0.8; 1.0 |]
+
+let mahalanobis ?(confidence = default_confidence)
+    (d : Circuit.Simulator.dataset) =
+  if not (confidence > 0. && confidence < 1.) then
+    invalid_arg "Screen.mahalanobis: confidence must lie in (0, 1)";
+  let n = Array.length d.Circuit.Simulator.values in
+  if n = 0 then invalid_arg "Screen.mahalanobis: empty dataset";
+  let dim = if n > 0 then Array.length d.points.(0) else 0 in
+  let finite_row = Array.make n true in
+  let dropped = ref [] in
+  for i = 0 to n - 1 do
+    if Array.exists (fun x -> not (Float.is_finite x)) d.points.(i) then begin
+      finite_row.(i) <- false;
+      dropped := (i, Non_finite_point) :: !dropped
+    end
+    else if not (Float.is_finite d.values.(i)) then begin
+      finite_row.(i) <- false;
+      dropped := (i, Non_finite_value) :: !dropped
+    end
+  done;
+  let finite = ref [] in
+  for i = n - 1 downto 0 do
+    if finite_row.(i) then finite := i :: !finite
+  done;
+  let finite = Array.of_list !finite in
+  let nf = Array.length finite in
+  if nf = 0 then
+    Error
+      (Error.Simulation
+         (Printf.sprintf
+            "point screening dropped all %d rows as non-finite; the \
+             simulation produced no usable sample"
+            n))
+  else begin
+    let threshold = sqrt (chi2_quantile ~dof:dim confidence) in
+    if nf <= 2 || dim = 0 then begin
+      (* Same stand-down as the response screen's zero-spread guard: one
+         or two rows give no scatter to screen against. *)
+      let dropped =
+        let a = Array.of_list !dropped in
+        Array.sort (fun (i, _) (j, _) -> compare i j) a;
+        a
+      in
+      let report =
+        {
+          p_total = n;
+          p_kept = finite;
+          p_dropped = dropped;
+          p_dim = dim;
+          p_threshold = threshold;
+          p_shrinkage = 1.0;
+        }
+      in
+      Ok (Circuit.Simulator.split d finite, report)
+    end
+    else begin
+      (* Every floating-point accumulation below walks the finite rows
+         in canonical (lexicographic point) order, not sample order, so
+         the verdicts are exactly invariant to how the dataset happened
+         to be permuted. *)
+      let canon = Array.copy finite in
+      Array.sort (fun i j -> compare d.points.(i) d.points.(j)) canon;
+      let coord = Array.make nf 0. in
+      let center = Array.make dim 0. in
+      let scale = Array.make dim 1. in
+      for j = 0 to dim - 1 do
+        for r = 0 to nf - 1 do
+          coord.(r) <- d.points.(canon.(r)).(j)
+        done;
+        let med = Stat.Descriptive.median coord in
+        center.(j) <- med;
+        for r = 0 to nf - 1 do
+          coord.(r) <- Float.abs (coord.(r) -. med)
+        done;
+        let s = mad_consistency *. Stat.Descriptive.median coord in
+        (* A spread-free coordinate cannot be standardized; fall back to
+           the raw deviation scale so the screen still sees a shift. *)
+        scale.(j) <- (if s > 0. then s else 1.)
+      done;
+      let standardize i =
+        Array.init dim (fun j -> (d.points.(i).(j) -. center.(j)) /. scale.(j))
+      in
+      let s = Linalg.Mat.create dim dim in
+      Array.iter
+        (fun i ->
+          let z = standardize i in
+          for a = 0 to dim - 1 do
+            for b = 0 to a do
+              Linalg.Mat.set s a b
+                (Linalg.Mat.get s a b +. (z.(a) *. z.(b)))
+            done
+          done)
+        canon;
+      let inv_n = 1. /. float_of_int nf in
+      for a = 0 to dim - 1 do
+        for b = 0 to a do
+          Linalg.Mat.set s a b (Linalg.Mat.get s a b *. inv_n)
+        done
+      done;
+      (* Shrink toward the identity until the factor exists: the MAD
+         standardization already whitened the diagonal, so gamma is a
+         pure conditioning knob, and gamma = 1 (the identity) always
+         succeeds — the screen then degrades to per-coordinate robust
+         z-scores rather than failing. *)
+      let rec factor_at idx =
+        let gamma = shrinkage_ladder.(idx) in
+        let sg =
+          Linalg.Mat.init dim dim (fun a b ->
+              if a < b then 0.
+              else
+                let v = (1. -. gamma) *. Linalg.Mat.get s a b in
+                if a = b then v +. gamma else v)
+        in
+        match Linalg.Cholesky.factor sg with
+        | l -> (l, gamma)
+        | exception Linalg.Cholesky.Not_positive_definite _
+          when idx + 1 < Array.length shrinkage_ladder ->
+            factor_at (idx + 1)
+      in
+      let l, gamma = factor_at 0 in
+      let kept = ref [] in
+      for r = nf - 1 downto 0 do
+        let i = finite.(r) in
+        let z = standardize i in
+        let dist = sqrt (Linalg.Vec.dot z (Linalg.Cholesky.solve l z)) in
+        if dist > threshold then dropped := (i, Far_point dist) :: !dropped
+        else kept := i :: !kept
+      done;
+      let kept = Array.of_list !kept in
+      let dropped =
+        let a = Array.of_list !dropped in
+        Array.sort (fun (i, _) (j, _) -> compare i j) a;
+        a
+      in
+      let report =
+        {
+          p_total = n;
+          p_kept = kept;
+          p_dropped = dropped;
+          p_dim = dim;
+          p_threshold = threshold;
+          p_shrinkage = gamma;
+        }
+      in
+      Ok (Circuit.Simulator.split d kept, report)
+    end
+  end
+
+let point_report_summary r =
+  let count p =
+    Array.fold_left
+      (fun acc (_, why) -> if p why then acc + 1 else acc)
+      0 r.p_dropped
+  in
+  let nf =
+    count (function Non_finite_point | Non_finite_value -> true | _ -> false)
+  in
+  let far = count (function Far_point _ -> true | _ -> false) in
+  Printf.sprintf
+    "point screen: kept %d/%d rows (dropped %d: %d non-finite, %d far) \
+     dim %d distance threshold %.3g shrinkage %.2g"
+    (Array.length r.p_kept) r.p_total (Array.length r.p_dropped) nf far
+    r.p_dim r.p_threshold r.p_shrinkage
 
 let report_summary r =
   let count p = Array.fold_left (fun acc (_, why) -> if p why then acc + 1 else acc) 0 r.dropped in

@@ -21,6 +21,9 @@ type reason =
   | Non_finite_point  (** a factor coordinate is NaN/Inf *)
   | Non_finite_value  (** the response is NaN/Inf *)
   | Outlier of float  (** robust z-score that crossed the threshold *)
+  | Far_point of float
+      (** robust Mahalanobis distance that crossed the χ² threshold
+          ({!mahalanobis}) *)
 
 type report = {
   total : int;  (** rows examined *)
@@ -51,7 +54,10 @@ val screen :
     Degenerate spread: when the MAD is zero (over half the responses
     identical) no finite row can be z-scored, so the outlier screen is
     skipped and only non-finite rows are dropped — reported with
-    [spread = 0].
+    [spread = 0]. Two or fewer finite rows take the same stand-down:
+    their MAD is not an outlier scale (two rows sit 0.674 robust sigma
+    from their midpoint however far apart they are), so rather than
+    silently passing everything the screen reports [spread = 0].
 
     When {e every} row is non-finite there is no bulk to center on;
     rather than handing back an empty kept set with a NaN center that
@@ -65,3 +71,62 @@ val reason_to_string : reason -> string
 val report_summary : report -> string
 (** One line: totals kept/dropped, with per-reason counts — the
     grep-able hygiene line the CLI prints. *)
+
+(** {2 Point-space screen}
+
+    The response screen cannot see a corrupted {e factor point} whose
+    response happens to look plausible — yet such a point silently
+    steers the LAR equiangular walk, because the design matrix is built
+    from the points. The Mahalanobis screen is the complementary
+    defense: it works in factor space and flags points implausibly far
+    from the bulk under a robust estimate of its center and scatter. *)
+
+type point_report = {
+  p_total : int;  (** rows examined *)
+  p_kept : int array;  (** surviving row indices, ascending *)
+  p_dropped : (int * reason) array;
+      (** dropped rows, ascending; far points carry their distance *)
+  p_dim : int;  (** factor dimension the χ² threshold was sized for *)
+  p_threshold : float;
+      (** the distance cut: [√(χ²_dim(confidence))] — rows with robust
+          distance above it are dropped *)
+  p_shrinkage : float;
+      (** the shrinkage weight γ at which the scatter factor succeeded;
+          1 means the screen degraded to per-coordinate robust z-scores *)
+}
+
+val default_confidence : float
+(** 0.999 — under a clean Gaussian bulk roughly one row in a thousand
+    is clipped, while corrupted coordinates sit far outside. *)
+
+val chi2_quantile : dof:int -> float -> float
+(** [chi2_quantile ~dof p] is the χ² quantile by the Wilson–Hilferty
+    cube approximation (within a few permil for [dof >= 2]) — exported
+    for tests and for sizing custom cuts. *)
+
+val mahalanobis :
+  ?confidence:float ->
+  Circuit.Simulator.dataset ->
+  (Circuit.Simulator.dataset * point_report, Error.t) result
+(** [mahalanobis d] screens the factor points: robust center and scale
+    per coordinate (median and [1.4826·MAD]; a spread-free coordinate
+    falls back to raw deviations), then the covariance of the
+    standardized rows shrunk toward the identity —
+    [(1−γ)·S + γ·I] with γ escalating over a fixed ladder until the
+    Cholesky factor exists (γ = 1 always does) — and a row is dropped
+    when its robust distance exceeds [√(χ²_dim(confidence))].
+
+    Verdicts are exactly invariant to sample order: every
+    floating-point accumulation walks the rows in canonical
+    (lexicographic point) order, and each row's distance depends only
+    on the row and the canonical statistics.
+
+    Degenerate cases mirror {!screen}: ≤2 finite rows stand down to
+    finiteness-only screening (reported with [p_shrinkage = 1]); a
+    dataset with {e no} finite row returns [Error (Simulation _)].
+    @raise Invalid_argument when [confidence] is outside (0, 1) or the
+    dataset is empty. *)
+
+val point_report_summary : point_report -> string
+(** One line: totals kept/dropped with non-finite/far counts, the
+    dimension, distance threshold, and shrinkage used. *)

@@ -37,4 +37,5 @@ let () =
       Test_sweep.suite;
       Test_shard.suite;
       Test_serve.suite;
+      Test_burst.suite;
     ]

@@ -1,0 +1,639 @@
+(* Burst-fault resilience: the Markov outage model, adaptive
+   backoff/breaker driver, Mahalanobis point screen and quorum-degraded
+   fitting — determinism at every domain count throughout. *)
+open Test_util
+module Simulator = Circuit.Simulator
+module Markov = Randkit.Markov
+module Retry = Robust.Retry
+
+let pool_counts = [ 1; 2; 4 ]
+
+let small_sim () =
+  let amp = Circuit.Opamp.build ~n_parasitics:15 () in
+  (Circuit.Opamp.simulator amp Circuit.Opamp.Offset, Circuit.Opamp.dim amp)
+
+let burst_faults =
+  Simulator.fault_plan ~rate:0.05
+    ~burst:(Simulator.burst_model ~entry:0.04 ~len:12. ())
+    ()
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* --- Markov outage chains ------------------------------------------ *)
+
+let test_markov_states_deterministic () =
+  let c = Markov.of_mean_len ~entry:0.05 ~mean_len:10. () in
+  let a = Markov.states c ~seed:99 500 in
+  let b = Markov.states c ~seed:99 500 in
+  check_bool "states are a pure function of (chain, seed, n)" true (a = b);
+  check_bool "a different seed gives a different chain" true
+    (a <> Markov.states c ~seed:100 500);
+  check_float ~eps:1e-12 "mean burst length" 10. (Markov.mean_burst_len c)
+
+let test_markov_windows_consistent () =
+  let c = Markov.of_mean_len ~entry:0.05 ~mean_len:8. () in
+  let states = Markov.states c ~seed:3 400 in
+  let windows = Markov.windows states in
+  check_int "window lengths sum to the burst count" (Markov.count states)
+    (Array.fold_left (fun acc (_, len) -> acc + len) 0 windows);
+  Array.iter
+    (fun (start, len) ->
+      check_bool "window is maximal on the left" true
+        (start = 0 || not states.(start - 1));
+      check_bool "window is maximal on the right" true
+        (start + len = 400 || not states.(start + len));
+      for i = start to start + len - 1 do
+        check_bool "window is solid" true states.(i)
+      done)
+    windows
+
+let test_markov_degenerate_chains () =
+  let never = Markov.chain ~entry:0. ~exit:0.5 () in
+  check_bool "entry 0 never bursts" true
+    (Array.for_all not (Markov.states never ~seed:1 200));
+  check_int "no windows" 0 (Array.length (Markov.windows (Array.make 50 false)));
+  check_raises_invalid "entry > 1" (fun () -> Markov.chain ~entry:1.5 ~exit:0.5 ());
+  check_raises_invalid "mean_len < 1" (fun () ->
+      Markov.of_mean_len ~entry:0.1 ~mean_len:0.5 ())
+
+let test_burst_states_of_plan () =
+  check_bool "no burst model: all Good" true
+    (Array.for_all not (Simulator.burst_states Simulator.no_faults ~k:100));
+  let states = Simulator.burst_states burst_faults ~k:2000 in
+  check_bool "burst model produces outage windows" true
+    (Markov.count states > 0);
+  check_bool "pure function of the plan" true
+    (states = Simulator.burst_states burst_faults ~k:2000)
+
+(* --- burst-mode injection determinism ------------------------------ *)
+
+let test_burst_run_pool_parity () =
+  let sim, _ = small_sim () in
+  let d0, r0 =
+    Simulator.run_robust ~faults:burst_faults sim (Randkit.Prng.create 7)
+      ~k:300
+  in
+  check_bool "bursts intersect the run" true (r0.Simulator.burst_windows > 0);
+  check_bool "burst samples counted" true
+    (r0.Simulator.burst_samples >= r0.Simulator.burst_windows);
+  check_bool "faults attributed to bursts" true
+    (r0.Simulator.burst_faults > 0);
+  check_bool "summary mentions the windows" true
+    (contains (Simulator.report_summary r0) "burst window");
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          let d, r =
+            Simulator.run_robust ~pool ~faults:burst_faults sim
+              (Randkit.Prng.create 7) ~k:300
+          in
+          check_bool
+            (Printf.sprintf "dataset bitwise (domains=%d)" domains)
+            true
+            (d.Simulator.points = d0.Simulator.points
+            && d.Simulator.values = d0.Simulator.values);
+          check_bool
+            (Printf.sprintf "report identical (domains=%d)" domains)
+            true (r = r0)))
+    pool_counts
+
+let test_burst_off_is_bitwise_legacy () =
+  (* A plan without a burst model must behave exactly as before the
+     burst layer existed: same draws, same dataset, same report. *)
+  let sim, _ = small_sim () in
+  let plain = Simulator.fault_plan ~rate:0.10 ~outlier_scale:500. () in
+  let d, r = Simulator.run_robust ~faults:plain sim (Randkit.Prng.create 5) ~k:150 in
+  check_int "no burst windows" 0 r.Simulator.burst_windows;
+  check_int "no burst samples" 0 r.Simulator.burst_samples;
+  check_int "no burst faults" 0 r.Simulator.burst_faults;
+  check_int "no breaker trips" 0 r.Simulator.breaker_trips;
+  check_bool "summary stays burst-free" true
+    (not (contains (Simulator.report_summary r) "burst"));
+  check_bool "dataset non-empty" true (Simulator.dataset_size d > 0)
+
+(* --- adaptive retry: backoff, budget, breaker ---------------------- *)
+
+let test_retry_clean_matches_run () =
+  let sim, _ = small_sim () in
+  let d = Simulator.run sim (Randkit.Prng.create 42) ~k:80 in
+  let d', report =
+    Retry.run (Retry.policy ()) sim (Randkit.Prng.create 42) ~k:80
+  in
+  check_bool "clean adaptive run == run bitwise" true
+    (d.Simulator.points = d'.Simulator.points
+    && d.Simulator.values = d'.Simulator.values);
+  check_int "all delivered" 80 report.Retry.run.Simulator.delivered;
+  check_int "no events" 0 (Array.length report.Retry.events);
+  check_int "no trips" 0 report.Retry.run.Simulator.breaker_trips
+
+let test_retry_pool_parity () =
+  let sim, _ = small_sim () in
+  let policy = Retry.policy ~breaker_threshold:4 () in
+  let d0, r0 =
+    Retry.run ~faults:burst_faults policy sim (Randkit.Prng.create 13) ~k:250
+  in
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          let d, r =
+            Retry.run ~pool ~faults:burst_faults policy sim
+              (Randkit.Prng.create 13) ~k:250
+          in
+          check_bool
+            (Printf.sprintf "adaptive dataset bitwise (domains=%d)" domains)
+            true
+            (d.Simulator.points = d0.Simulator.points
+            && d.Simulator.values = d0.Simulator.values);
+          check_bool
+            (Printf.sprintf "adaptive report identical (domains=%d)" domains)
+            true (r = r0)))
+    pool_counts
+
+let test_breaker_trips_and_recovers () =
+  (* A hard outage window: every attempt inside it fails, so the breaker
+     must trip, fail fast through the window, and close again on the
+     other side — delivering the post-burst samples. *)
+  let sim, _ = small_sim () in
+  let faults =
+    Simulator.fault_plan ~rate:0.
+      ~burst:(Simulator.burst_model ~entry:0.05 ~len:25. ~rate:1. ())
+      ()
+  in
+  let policy = Retry.policy ~max_attempts:3 ~breaker_threshold:3 () in
+  let d, r = Retry.run ~faults policy sim (Randkit.Prng.create 21) ~k:300 in
+  let run = r.Retry.run in
+  check_bool "bursts hit the run" true (run.Simulator.burst_windows > 0);
+  check_bool "breaker tripped" true (run.Simulator.breaker_trips > 0);
+  let has p = Array.exists p r.Retry.events in
+  check_bool "a Tripped event was logged" true
+    (has (function Retry.Tripped _ -> true | _ -> false));
+  check_bool "fast-fails while open" true
+    (has (function Retry.Fast_fail _ -> true | _ -> false));
+  check_bool "breaker closed again" true
+    (has (function Retry.Closed _ -> true | _ -> false));
+  check_int "delivered + failed = requested" 300
+    (run.Simulator.delivered + Array.length run.Simulator.failed);
+  check_int "dataset matches the report" run.Simulator.delivered
+    (Simulator.dataset_size d);
+  (* Fail-fast means abandoned burst samples each burned one attempt,
+     not the full retry allowance: strictly cheaper than fixed retry. *)
+  let _, fixed =
+    Simulator.run_robust ~faults
+      ~retry:(Simulator.retry_policy ~max_attempts:3 ())
+      sim (Randkit.Prng.create 21) ~k:300
+  in
+  check_bool "adaptive charges less accounted time than fixed retry" true
+    (run.Simulator.accounted_extra_seconds
+    < fixed.Simulator.accounted_extra_seconds);
+  Array.iter
+    (fun e ->
+      check_bool "events render" true (String.length (Retry.event_to_string e) > 0))
+    r.Retry.events
+
+let test_retry_budget_exhaustion () =
+  let sim, _ = small_sim () in
+  let faults =
+    Simulator.fault_plan ~rate:0.4 ~mix:[| (Simulator.Transient, 1.) |] ()
+  in
+  let policy = Retry.policy ~max_attempts:4 ~attempt_budget:5 () in
+  let _, r = Retry.run ~faults policy sim (Randkit.Prng.create 31) ~k:200 in
+  check_int "budget caps granted retries" 5 r.Retry.retries_granted;
+  check_bool "denials recorded" true (r.Retry.retries_denied > 0);
+  check_bool "exhaustion logged once" true
+    (Array.length
+       (Array.of_list
+          (List.filter
+             (function Retry.Budget_exhausted _ -> true | _ -> false)
+             (Array.to_list r.Retry.events)))
+    = 1)
+
+let test_retry_policy_validation () =
+  check_raises_invalid "zero attempts" (fun () -> Retry.policy ~max_attempts:0 ());
+  check_raises_invalid "jitter 1" (fun () -> Retry.policy ~jitter:1. ());
+  check_raises_invalid "negative budget" (fun () ->
+      Retry.policy ~attempt_budget:(-1) ());
+  check_raises_invalid "negative cooldown" (fun () -> Retry.policy ~cooldown:(-2) ());
+  check_raises_invalid "k = 0" (fun () ->
+      let sim, _ = small_sim () in
+      Retry.run (Retry.policy ()) sim (Randkit.Prng.create 1) ~k:0)
+
+(* --- Mahalanobis point screen -------------------------------------- *)
+
+let gaussian_dataset ?(dim = 3) ~k seed =
+  let g = Randkit.Prng.create seed in
+  {
+    Simulator.points = Array.init k (fun _ -> Randkit.Gaussian.vector g dim);
+    values = Array.init k (fun _ -> Randkit.Gaussian.sample g);
+  }
+
+let mahal_ok ?confidence d =
+  match Robust.Screen.mahalanobis ?confidence d with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("mahalanobis failed: " ^ Robust.Error.to_string e)
+
+let test_mahalanobis_flags_far_point () =
+  let d = gaussian_dataset ~k:80 11 in
+  (* A corrupted coordinate vector whose response is unremarkable — the
+     response screen cannot see it, the point screen must. *)
+  d.Simulator.points.(17) <- [| 40.; -35.; 50. |];
+  let kept, report = mahal_ok d in
+  let far =
+    Array.exists
+      (fun (i, why) ->
+        i = 17
+        && match why with Robust.Screen.Far_point dist ->
+             dist > report.Robust.Screen.p_threshold
+           | _ -> false)
+      report.Robust.Screen.p_dropped
+  in
+  check_bool "the planted far point is dropped with its distance" true far;
+  check_bool "the bulk survives" true (Simulator.dataset_size kept >= 75);
+  check_bool "summary renders" true
+    (contains (Robust.Screen.point_report_summary report) "point screen")
+
+let test_mahalanobis_clean_bulk_survives () =
+  let d = gaussian_dataset ~k:120 13 in
+  let kept, report = mahal_ok d in
+  (* At 99.9% confidence a clean Gaussian batch loses at most a row or
+     two; the exact count is deterministic for the seed. *)
+  check_bool "nearly everything kept" true
+    (Simulator.dataset_size kept >= 118);
+  check_bool "shrinkage from the ladder" true
+    (Array.exists
+       (fun g -> g = report.Robust.Screen.p_shrinkage)
+       [| 0.05; 0.1; 0.2; 0.4; 0.8; 1.0 |])
+
+let test_mahalanobis_degenerate_and_errors () =
+  let two = gaussian_dataset ~k:2 17 in
+  let kept, report = mahal_ok two in
+  check_int "two rows stand down to finiteness-only" 2
+    (Simulator.dataset_size kept);
+  check_float ~eps:0. "degenerate shrinkage reported" 1.0
+    report.Robust.Screen.p_shrinkage;
+  let bad =
+    {
+      Simulator.points = [| [| Float.nan; 0. |]; [| 0.; Float.infinity |] |];
+      values = [| 1.; 2. |];
+    }
+  in
+  (match Robust.Screen.mahalanobis bad with
+  | Error (Robust.Error.Simulation _) -> ()
+  | Error e -> Alcotest.failf "wrong category: %s" (Robust.Error.to_string e)
+  | Ok _ -> Alcotest.fail "all-non-finite points must not screen Ok");
+  check_raises_invalid "confidence 1" (fun () ->
+      Robust.Screen.mahalanobis ~confidence:1. (gaussian_dataset ~k:10 1));
+  check_raises_invalid "empty dataset" (fun () ->
+      Robust.Screen.mahalanobis { Simulator.points = [||]; values = [||] })
+
+let test_chi2_quantile_sanity () =
+  (* Wilson–Hilferty against table values. *)
+  check_float ~eps:0.2 "chi2_10(0.95)" 18.307
+    (Robust.Screen.chi2_quantile ~dof:10 0.95);
+  check_float ~eps:0.3 "chi2_20(0.999)" 45.315
+    (Robust.Screen.chi2_quantile ~dof:20 0.999);
+  check_bool "monotone in p" true
+    (Robust.Screen.chi2_quantile ~dof:5 0.99
+    > Robust.Screen.chi2_quantile ~dof:5 0.9)
+
+let test_response_screen_two_sample_standdown () =
+  (* Two rows an ocean apart: their MAD is |v1-v2|/2, putting each a
+     constant 0.674 robust sigma from the midpoint — the old screen
+     silently passed everything while appearing to have run. It must
+     stand down with the zero-spread verdict instead. *)
+  let d =
+    {
+      Simulator.points = [| [| 0.1 |]; [| 0.2 |] |];
+      values = [| 0.; 1e9 |];
+    }
+  in
+  (match Robust.Screen.screen d with
+  | Ok (kept, report) ->
+      check_float ~eps:0. "spread reports the stand-down" 0.
+        report.Robust.Screen.spread;
+      check_int "both rows kept" 2 (Simulator.dataset_size kept);
+      check_int "nothing silently dropped" 0
+        (Array.length report.Robust.Screen.dropped)
+  | Error e -> Alcotest.fail ("screen failed: " ^ Robust.Error.to_string e));
+  match
+    Robust.Screen.screen
+      { Simulator.points = [| [| 0.5 |] |]; values = [| 3.25 |] }
+  with
+  | Ok (_, report) ->
+      check_float ~eps:0. "single row also stands down" 0.
+        report.Robust.Screen.spread
+  | Error e -> Alcotest.fail ("screen failed: " ^ Robust.Error.to_string e)
+
+(* --- quorum-degraded fitting --------------------------------------- *)
+
+let transient_storm =
+  Simulator.fault_plan ~rate:0.45 ~mix:[| (Simulator.Transient, 1.) |] ()
+
+let pipeline_cfg ?adaptive ?(quorum = Robust.Pipeline.default_quorum)
+    ?(screen_space = Robust.Pipeline.Response) ?(faults = Simulator.no_faults)
+    ?(retry = Simulator.no_retry) () =
+  match
+    Robust.Pipeline.config ~samples:150 ~folds:3 ~max_lambda:5 ~min_samples:10
+      ~quorum ~screen_space ~faults ~retry ?adaptive ()
+  with
+  | Ok cfg -> cfg
+  | Error e -> Alcotest.failf "config: %s" (Robust.Error.to_string e)
+
+let test_quorum_shortfall_is_typed () =
+  let sim, dim = small_sim () in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let cfg = pipeline_cfg ~faults:transient_storm ~quorum:0.9 () in
+  match Robust.Pipeline.fit cfg sim basis (rng ()) with
+  | Error (Robust.Error.Simulation msg) ->
+      check_bool "diagnostic names the quorum" true (contains msg "quorum")
+  | Error e -> Alcotest.failf "wrong category: %s" (Robust.Error.to_string e)
+  | Ok _ -> Alcotest.fail "sub-quorum run must not fit"
+
+let test_degraded_fit_notes_and_roundtrip () =
+  let sim, dim = small_sim () in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let cfg = pipeline_cfg ~faults:transient_storm ~quorum:0.4 () in
+  match Robust.Pipeline.fit cfg sim basis (rng ()) with
+  | Error e -> Alcotest.failf "fit: %s" (Robust.Error.to_string e)
+  | Ok o ->
+      let notes = Rsm.Model.notes o.Robust.Pipeline.model in
+      let degraded =
+        Array.to_list notes
+        |> List.filter (fun n -> contains n "degraded: ")
+      in
+      check_int "exactly one degraded note" 1 (List.length degraded);
+      let note = List.hd degraded in
+      check_bool "note counts the kept rows" true
+        (contains note
+           (Printf.sprintf "kept %d of 150"
+              (Simulator.dataset_size o.Robust.Pipeline.dataset)));
+      check_bool "note is one line" true (not (String.contains note '\n'));
+      (* Provenance must survive the model file. *)
+      (match
+         Rsm.Serialize.of_string
+           (Rsm.Serialize.to_string o.Robust.Pipeline.model)
+       with
+      | Error e -> Alcotest.failf "parse: %s" e
+      | Ok m' ->
+          check_bool "degraded note round-trips through serialization" true
+            (Array.exists (( = ) note) (Rsm.Model.notes m')));
+      check_bool "outcome summary carries the note" true
+        (contains (Robust.Pipeline.outcome_summary o) "degraded: ")
+
+let test_full_delivery_carries_no_note () =
+  let sim, dim = small_sim () in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let cfg = pipeline_cfg () in
+  match Robust.Pipeline.fit cfg sim basis (rng ()) with
+  | Error e -> Alcotest.failf "fit: %s" (Robust.Error.to_string e)
+  | Ok o ->
+      check_bool "no degraded note on a clean run" true
+        (not
+           (Array.exists
+              (fun n -> contains n "degraded")
+              (Rsm.Model.notes o.Robust.Pipeline.model)))
+
+let test_pipeline_screen_spaces () =
+  let sim, dim = small_sim () in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let outcome space =
+    match
+      Robust.Pipeline.fit
+        (pipeline_cfg ~screen_space:space ())
+        sim basis (rng ())
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "fit: %s" (Robust.Error.to_string e)
+  in
+  let o = outcome Robust.Pipeline.Both in
+  check_bool "Both: response report present" true
+    (o.Robust.Pipeline.screen_report <> None);
+  check_bool "Both: point report present" true
+    (o.Robust.Pipeline.point_report <> None);
+  let o = outcome Robust.Pipeline.Factor in
+  check_bool "Factor: response report absent" true
+    (o.Robust.Pipeline.screen_report = None);
+  check_bool "Factor: point report present" true
+    (o.Robust.Pipeline.point_report <> None);
+  check_bool "parse round-trips" true
+    (List.for_all
+       (fun s ->
+         Robust.Pipeline.screen_space_of_string
+           (Robust.Pipeline.screen_space_to_string s)
+         = Some s)
+       [ Robust.Pipeline.Response; Robust.Pipeline.Factor; Robust.Pipeline.Both ])
+
+let test_pipeline_adaptive_deterministic () =
+  let sim, dim = small_sim () in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let cfg =
+    pipeline_cfg ~quorum:0.3
+      ~faults:burst_faults
+      ~adaptive:(Retry.policy ~breaker_threshold:4 ())
+      ()
+  in
+  let fit () =
+    match Robust.Pipeline.fit cfg sim basis (rng ()) with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "fit: %s" (Robust.Error.to_string e)
+  in
+  let a = fit () and b = fit () in
+  check_bool "adaptive report surfaced" true
+    (a.Robust.Pipeline.adaptive_report <> None);
+  check_bool "adaptive burst fit is reproducible" true
+    (Rsm.Serialize.to_string a.Robust.Pipeline.model
+    = Rsm.Serialize.to_string b.Robust.Pipeline.model);
+  check_bool "summary shows the adaptive line" true
+    (contains (Robust.Pipeline.outcome_summary a) "adaptive retry")
+
+let test_burst_fit_pool_parity () =
+  (* The acceptance gate in miniature: a quorate burst-mode CV fit is
+     bitwise identical at 1, 2 and 4 domains. *)
+  let sim, dim = small_sim () in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let cfg =
+    pipeline_cfg ~quorum:0.3 ~faults:burst_faults
+      ~retry:(Simulator.retry_policy ()) ()
+  in
+  let fit pool =
+    match Robust.Pipeline.fit ?pool cfg sim basis (rng ()) with
+    | Ok o -> Rsm.Serialize.to_string o.Robust.Pipeline.model
+    | Error e -> Alcotest.failf "fit: %s" (Robust.Error.to_string e)
+  in
+  let reference = fit None in
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains (fun pool ->
+          check_bool
+            (Printf.sprintf "burst fit bitwise (domains=%d)" domains)
+            true
+            (fit (Some pool) = reference)))
+    pool_counts
+
+let test_burst_cv_resume_bitwise () =
+  (* Killed-then-resumed under burst faults: the training data comes out
+     of a bursty delivery, the CV sweep checkpoints per fold, two fold
+     files are lost in the "crash", and the resumed sweep must replay
+     byte-identically. *)
+  let sim, _ = small_sim () in
+  let data, report =
+    Simulator.run_robust ~faults:burst_faults
+      ~retry:(Simulator.retry_policy ())
+      sim (Randkit.Prng.create 23) ~k:120
+  in
+  check_bool "the delivery really was bursty" true
+    (report.Simulator.burst_windows > 0);
+  let basis =
+    Polybasis.Basis.constant_linear (Array.length data.Simulator.points.(0))
+  in
+  let src =
+    Polybasis.Design.Provider.dense
+      (Polybasis.Design.matrix_rows basis data.Simulator.points)
+  in
+  let f = data.Simulator.values in
+  let run ?checkpoint ?resume () =
+    Rsm.Select.omp_p ?checkpoint ?resume ~folds:4
+      (Randkit.Prng.create 77)
+      ~max_lambda:5 src f
+  in
+  let fingerprint (r : Rsm.Select.result) =
+    Printf.sprintf "%d|%s" r.Rsm.Select.lambda
+      (Rsm.Serialize.to_string r.Rsm.Select.model)
+  in
+  let full = run () in
+  let dir = Filename.temp_file "burst-cv" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fn -> Sys.remove (Filename.concat dir fn))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let base = Filename.concat dir "cv" in
+      ignore (run ~checkpoint:base ());
+      Sys.remove (Rsm.Serialize.Checkpoint.Cv.fold_file base 2);
+      Sys.remove (Rsm.Serialize.Checkpoint.Cv.fold_file base 3);
+      let resumed = run ~checkpoint:base ~resume:true () in
+      check_bool "burst-trained sweep resumes bitwise" true
+        (fingerprint resumed = fingerprint full))
+
+(* --- qcheck properties --------------------------------------------- *)
+
+let qtest_burst_domain_parity =
+  qtest ~count:12 "burst runs bitwise at 1/2/4 domains (qcheck)"
+    QCheck.(pair small_nat small_nat)
+    (fun (seed0, k0) ->
+      let sim, _ = small_sim () in
+      let seed = 1 + seed0 and k = 40 + k0 in
+      let base =
+        Simulator.run_robust ~faults:burst_faults sim
+          (Randkit.Prng.create seed) ~k
+      in
+      List.for_all
+        (fun domains ->
+          Parallel.Pool.with_pool ~domains (fun pool ->
+              Simulator.run_robust ~pool ~faults:burst_faults sim
+                (Randkit.Prng.create seed) ~k
+              = base))
+        [ 2; 4 ])
+
+let qtest_mahalanobis_order_invariant =
+  qtest ~count:30 "point-screen verdicts invariant to sample order (qcheck)"
+    QCheck.small_nat
+    (fun seed0 ->
+      let seed = 1 + seed0 in
+      let d = gaussian_dataset ~dim:3 ~k:50 seed in
+      (* Plant one far point so both verdict classes are exercised. *)
+      d.Simulator.points.(seed mod 50) <- [| 30.; -30.; 30. |];
+      let perm = Randkit.Prng.permutation (Randkit.Prng.create (seed + 999)) 50 in
+      let permuted =
+        {
+          Simulator.points = Array.map (fun j -> d.Simulator.points.(j)) perm;
+          values = Array.map (fun j -> d.Simulator.values.(j)) perm;
+        }
+      in
+      let kept_of data =
+        match Robust.Screen.mahalanobis data with
+        | Ok (_, r) -> r.Robust.Screen.p_kept
+        | Error e -> Alcotest.fail (Robust.Error.to_string e)
+      in
+      let kept = kept_of d in
+      let kept_p = kept_of permuted in
+      (* Map the permuted verdicts back to original row identities. *)
+      let back = Array.map (fun j -> perm.(j)) kept_p in
+      Array.sort compare back;
+      back = kept)
+
+let qtest_response_screen_order_invariant =
+  qtest ~count:30 "response-screen verdicts invariant to sample order (qcheck)"
+    QCheck.small_nat
+    (fun seed0 ->
+      let seed = 1 + seed0 in
+      let d = gaussian_dataset ~dim:2 ~k:41 seed in
+      d.Simulator.values.(seed mod 41) <- 1e7;
+      let perm = Randkit.Prng.permutation (Randkit.Prng.create (seed + 7)) 41 in
+      let permuted =
+        {
+          Simulator.points = Array.map (fun j -> d.Simulator.points.(j)) perm;
+          values = Array.map (fun j -> d.Simulator.values.(j)) perm;
+        }
+      in
+      let kept_of data =
+        match Robust.Screen.screen data with
+        | Ok (_, r) -> r.Robust.Screen.kept
+        | Error e -> Alcotest.fail (Robust.Error.to_string e)
+      in
+      let kept = kept_of d in
+      let back = Array.map (fun j -> perm.(j)) (kept_of permuted) in
+      Array.sort compare back;
+      back = kept)
+
+let suite =
+  ( "burst",
+    [
+      case "markov: states are deterministic" test_markov_states_deterministic;
+      case "markov: windows partition the burst steps"
+        test_markov_windows_consistent;
+      case "markov: degenerate chains and validation"
+        test_markov_degenerate_chains;
+      case "burst_states: pure function of the plan" test_burst_states_of_plan;
+      case "burst injection: pool parity at 1/2/4 domains"
+        test_burst_run_pool_parity;
+      case "burst off: legacy plans unchanged" test_burst_off_is_bitwise_legacy;
+      case "adaptive retry: clean run == run bitwise"
+        test_retry_clean_matches_run;
+      case "adaptive retry: pool parity at 1/2/4 domains"
+        test_retry_pool_parity;
+      case "breaker: trips, fails fast, recovers, costs less"
+        test_breaker_trips_and_recovers;
+      case "budget: global attempt cap enforced" test_retry_budget_exhaustion;
+      case "adaptive retry: validation" test_retry_policy_validation;
+      case "mahalanobis: plants and flags a far point"
+        test_mahalanobis_flags_far_point;
+      case "mahalanobis: clean bulk survives" test_mahalanobis_clean_bulk_survives;
+      case "mahalanobis: degenerate inputs and errors"
+        test_mahalanobis_degenerate_and_errors;
+      case "chi2 quantile: Wilson-Hilferty sanity" test_chi2_quantile_sanity;
+      case "screen: two-sample MAD stands down"
+        test_response_screen_two_sample_standdown;
+      case "quorum: shortfall is a typed Simulation error"
+        test_quorum_shortfall_is_typed;
+      case "quorum: degraded fit notes the model and round-trips"
+        test_degraded_fit_notes_and_roundtrip;
+      case "quorum: full delivery carries no note"
+        test_full_delivery_carries_no_note;
+      case "pipeline: screen spaces compose" test_pipeline_screen_spaces;
+      case "pipeline: adaptive burst fit is reproducible"
+        test_pipeline_adaptive_deterministic;
+      slow_case "pipeline: burst fit bitwise at 1/2/4 domains"
+        test_burst_fit_pool_parity;
+      case "cv: killed-then-resumed burst-trained sweep is bitwise"
+        test_burst_cv_resume_bitwise;
+      qtest_burst_domain_parity;
+      qtest_mahalanobis_order_invariant;
+      qtest_response_screen_order_invariant;
+    ] )
