@@ -82,7 +82,8 @@ let summary_file = "BENCH_speed.json"
 (* The scenarios currently in the bench suite, in file order. A merge
    drops any other key, so a renamed or retired scenario does not leave
    a stale entry behind forever. *)
-let known_scenarios = [ "sweep"; "speed"; "eval"; "bigm_sharded"; "robustness" ]
+let known_scenarios =
+  [ "sweep"; "multi"; "speed"; "eval"; "bigm_sharded"; "robustness" ]
 
 let update_summary ~scenario ~payload =
   if String.contains payload '\n' then

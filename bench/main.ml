@@ -105,6 +105,16 @@ let () =
               Speed.sweep_scenario ~quick ~domains ())
           $ quick $ full $ domains);
       Cmd.v
+        (Cmd.info "multi"
+           ~doc:
+             "Fused multi-output fitting: one 4-metric op-amp LAR+CV fit vs \
+              4 per-output fits, with embedded bitwise parity gates at \
+              1/2/4 domains, dense and streamed (exit 1 on violation). \
+              Updates BENCH_speed.json.")
+        Term.(
+          const (fun quick _ domains -> Multi_bench.run ~quick ?domains ())
+          $ quick $ full $ domains);
+      Cmd.v
         (Cmd.info "bigm-sharded"
            ~doc:
              "Column-sharded LAR at M = 10â¶ (quick: M â 2Â·10Â³):               process-sharded vs unsharded fit time, per-shard peak RSS,               embedded bitwise parity gate (exit 1 on violation). Updates               BENCH_speed.json.")

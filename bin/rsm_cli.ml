@@ -339,6 +339,38 @@ let fused_cv_arg =
               ~doc:"Fit each CV fold independently (the classic driver)." );
         ])
 
+let outputs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "outputs" ] ~docv:"METRICS"
+        ~doc:
+          "Comma-separated opamp metrics to fit together (e.g. \
+           $(b,gain,bandwidth,power,offset)). The metrics share one \
+           Monte-Carlo batch (every sample evaluated once per metric), one \
+           hygiene verdict and one design matrix; the fused driver selects \
+           every metric's sparsity from a single column-generation pass per \
+           greedy step. Writes one model per metric \
+           (--save-model FILE.$(i,metric)). Opamp only; overrides --metric.")
+
+let fused_outputs_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "fused-outputs" ]
+              ~doc:
+                "Advance all outputs' CV fold solvers in one lockstep grid, \
+                 sharing each greedy step's design-column generation across \
+                 every output and fold. Bitwise identical models to \
+                 per-output fitting. Default: on whenever the exact sweep \
+                 runs unsharded. Conflicts with --shards > 1." );
+          ( Some false,
+            info [ "per-output" ]
+              ~doc:"Fit each output independently (R single-output fits)." );
+        ])
+
 let rescreen_arg =
   Arg.(value & flag & info [ "rescreen" ]
          ~doc:"After the fit, rescreen the training rows on the model's \
@@ -417,12 +449,167 @@ let save_model_maybe save_model model =
       Rsm.Serialize.save path model;
       Printf.printf "  model saved   : %s\n" path
 
+(* Multi-output fit: R opamp metrics over one simulation batch, one
+   hygiene verdict, one design matrix and (by default) one fused
+   selection grid. Always the cross-validated pipeline — the fixed-λ
+   checkpoint path is single-output only. *)
+let run_model_multi ~circuit ~parasitics ~seed ~samples ~test ~meth
+    ~max_lambda ~save_model ~domains ~engine ~folds_n ~no_screen
+    ~screen_threshold ~screen_space ~faults ~retry ~adaptive ~quorum
+    ~checkpoint ~resume ~sweep ~shards ~shard_mode ~fused_cv ~fused_outputs
+    ~rescreen ~outputs_spec =
+  if String.lowercase_ascii circuit <> "opamp" then
+    err_exit
+      (Printf.sprintf
+         "--outputs is an opamp feature (circuit %S has a single metric)"
+         circuit);
+  let metrics =
+    String.split_on_char ',' outputs_spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match opamp_metric_of_string s with
+           | Some m -> m
+           | None ->
+               err_exit
+                 (Printf.sprintf
+                    "unknown opamp metric %S in --outputs (expected gain | \
+                     bandwidth | power | offset)"
+                    s))
+  in
+  if metrics = [] then err_exit "--outputs needs at least one metric";
+  let amp = Circuit.Opamp.build ~n_parasitics:parasitics () in
+  let dim = Circuit.Opamp.dim amp in
+  let sims =
+    Array.of_list (List.map (fun m -> Circuit.Opamp.simulator amp m) metrics)
+  in
+  let names =
+    Array.of_list (List.map Circuit.Opamp.metric_name metrics)
+  in
+  let units = Array.of_list (List.map Circuit.Opamp.metric_unit metrics) in
+  let outputs = Array.length sims in
+  let pool = use_domains domains in
+  let rng = Randkit.Prng.create seed in
+  let basis = Polybasis.Basis.constant_linear dim in
+  let m_cols = Polybasis.Basis.size basis in
+  if Rsm.Solver.needs_overdetermined meth && samples < m_cols then
+    err_exit
+      (Printf.sprintf
+         "LS needs at least %d samples for %d coefficients; got %d (use \
+          omp/lar/star, the point of the paper)"
+         m_cols m_cols samples);
+  let cfg =
+    match
+      Robust.Pipeline.config ~method_:meth ~folds:folds_n ~max_lambda ~samples
+        ~screen:(not no_screen) ~screen_threshold ~screen_space ~faults ~retry
+        ?adaptive ~quorum
+        ~min_samples:(min samples (max 8 (samples / 2)))
+        ~streamed:(choose_streamed engine ~k:samples ~m:m_cols)
+        ?checkpoint ~resume ~sweep ~shards ~shard_mode ?fused_cv ?fused_outputs
+        ~rescreen ()
+    with
+    | Ok cfg -> cfg
+    | Error e -> err_exit (Robust.Error.to_string e)
+  in
+  let recovered = ref 0 in
+  match
+    Circuit.Testbench.timed (fun () ->
+        Robust.Pipeline.fit_multi ~pool ~recovered cfg sims basis rng)
+  with
+  | Error e, _ -> err_exit (Robust.Error.to_string e)
+  | Ok o, fit_s ->
+      Printf.printf
+        "opamp/%s | %s | K = %d training samples, M = %d bases | %d outputs\n"
+        (String.concat "," (Array.to_list names))
+        (Rsm.Solver.name meth)
+        (Circuit.Simulator.dataset_size o.Robust.Pipeline.datasets.(0))
+        m_cols outputs;
+      Printf.printf "  design engine : %s\n"
+        (if cfg.Robust.Pipeline.streamed then "matrix-free" else "dense");
+      Printf.printf "  sweep engine  : %s%s\n"
+        (Rsm.Corr_sweep.sweep_to_string sweep)
+        (match fused_outputs with
+        | Some true -> ", fused outputs"
+        | Some false -> ", per-output"
+        | None -> ", auto output driver");
+      if shards > 1 then
+        Printf.printf "  shard engine  : %d shards (%s mode)\n" shards
+          (Rsm.Shard_sweep.mode_to_string shard_mode);
+      if !recovered > 0 then
+        Printf.printf
+          "  shard recovery: %d worker respawn(s), log replayed, results \
+           bitwise unchanged\n"
+          !recovered;
+      (match checkpoint with
+      | Some base ->
+          Printf.printf "  checkpoint    : %s.out<r>.fold<q> (per-fold CV%s)\n"
+            base
+            (if resume then ", resumed" else "")
+      | None -> ());
+      Printf.printf "  hygiene       : %s\n"
+        (Circuit.Simulator.report_summary o.Robust.Pipeline.m_run_report);
+      let any_screen =
+        Array.exists Option.is_some o.Robust.Pipeline.screen_reports
+        || o.Robust.Pipeline.m_point_report <> None
+      in
+      if not any_screen then Printf.printf "  hygiene       : screen: off\n"
+      else begin
+        Array.iteri
+          (fun r rep ->
+            match rep with
+            | Some rep ->
+                Printf.printf "  hygiene       : %s %s\n" names.(r)
+                  (Robust.Screen.report_summary rep)
+            | None -> ())
+          o.Robust.Pipeline.screen_reports;
+        match o.Robust.Pipeline.m_point_report with
+        | Some rep ->
+            Printf.printf "  hygiene       : %s\n"
+              (Robust.Screen.point_report_summary rep)
+        | None -> ()
+      end;
+      (* One fresh point set tests every metric — the same sharing the
+         training batch used. *)
+      let test_pts =
+        Array.init test (fun _ -> Randkit.Gaussian.vector rng dim)
+      in
+      let src_te = provider_of ~pool engine basis test_pts in
+      Array.iteri
+        (fun r model ->
+          let truth = Array.map sims.(r).Circuit.Simulator.eval test_pts in
+          Printf.printf
+            "  %-9s     : testing error %.2f%% (%s), %d bases selected\n"
+            names.(r)
+            (100. *. Rsm.Model.error_on_p model src_te truth)
+            units.(r) (Rsm.Model.nnz model);
+          Array.iter
+            (fun note -> Printf.printf "  note          : %s: %s\n" names.(r) note)
+            (Rsm.Model.notes model))
+        o.Robust.Pipeline.models;
+      Printf.printf "  fitting cost  : %.2f s (measured, all %d outputs)\n"
+        fit_s outputs;
+      Printf.printf
+        "  sim cost      : %.0f s (accounted, +%.0f s retry overhead)\n"
+        (Array.fold_left
+           (fun acc sim -> acc +. Circuit.Simulator.simulated_cost sim ~k:samples)
+           0. sims)
+        o.Robust.Pipeline.m_run_report.Circuit.Simulator.accounted_extra_seconds;
+      match save_model with
+      | None -> ()
+      | Some path ->
+          Array.iteri
+            (fun r model ->
+              let p = path ^ "." ^ names.(r) in
+              Rsm.Serialize.save p model;
+              Printf.printf "  model saved   : %s\n" p)
+            o.Robust.Pipeline.models
+
 let model_cmd =
   let run circuit metric cells parasitics seed samples test method_name
       max_lambda save_model domains engine folds fault_rate retries no_screen
       screen_threshold checkpoint resume checkpoint_every sweep_mode
       sweep_refresh fused_cv rescreen shards shard_mode burst_rate burst_len
-      quorum screen_space_s breaker_threshold =
+      quorum screen_space_s breaker_threshold outputs fused_outputs =
     check_at_least "samples" 1 samples;
     check_at_least "test" 1 test;
     check_at_least "max-lambda" 1 max_lambda;
@@ -461,6 +648,33 @@ let model_cmd =
     if resume && checkpoint = None then
       err_exit "--resume needs --checkpoint FILE to resume from";
     check_sizes ~cells ~parasitics;
+    let burst =
+      if burst_rate > 0. then
+        Some (Circuit.Simulator.burst_model ~entry:burst_rate ~len:burst_len ())
+      else None
+    in
+    let faults =
+      if fault_rate > 0. || burst <> None then
+        Circuit.Simulator.fault_plan ~rate:fault_rate ?burst ()
+      else Circuit.Simulator.no_faults
+    in
+    let retry = Circuit.Simulator.retry_policy ~max_attempts:retries () in
+    let adaptive =
+      if breaker_threshold > 0 then
+        Some (Robust.Retry.policy ~max_attempts:retries ~breaker_threshold ())
+      else None
+    in
+    match outputs with
+    | Some outputs_spec -> (
+        match Rsm.Solver.of_name method_name with
+        | None -> err_exit (Printf.sprintf "unknown method %S" method_name)
+        | Some meth ->
+            run_model_multi ~circuit ~parasitics ~seed ~samples ~test ~meth
+              ~max_lambda ~save_model ~domains ~engine ~folds_n ~no_screen
+              ~screen_threshold ~screen_space ~faults ~retry ~adaptive ~quorum
+              ~checkpoint ~resume ~sweep ~shards ~shard_mode ~fused_cv
+              ~fused_outputs ~rescreen ~outputs_spec)
+    | None -> (
     match make_workload ~circuit ~metric ~cells ~parasitics with
     | Error e -> err_exit e
     | Ok w -> (
@@ -471,28 +685,6 @@ let model_cmd =
             let rng = Randkit.Prng.create seed in
             let basis = Polybasis.Basis.constant_linear w.dim in
             let m_cols = Polybasis.Basis.size basis in
-            let burst =
-              if burst_rate > 0. then
-                Some
-                  (Circuit.Simulator.burst_model ~entry:burst_rate
-                     ~len:burst_len ())
-              else None
-            in
-            let faults =
-              if fault_rate > 0. || burst <> None then
-                Circuit.Simulator.fault_plan ~rate:fault_rate ?burst ()
-              else Circuit.Simulator.no_faults
-            in
-            let retry =
-              Circuit.Simulator.retry_policy ~max_attempts:retries ()
-            in
-            let adaptive =
-              if breaker_threshold > 0 then
-                Some
-                  (Robust.Retry.policy ~max_attempts:retries
-                     ~breaker_threshold ())
-              else None
-            in
             if
               Rsm.Solver.needs_overdetermined meth && samples < m_cols
             then
@@ -750,7 +942,7 @@ let model_cmd =
                       w.sim.Circuit.Simulator.seconds_per_sample
                       o.Robust.Pipeline.run_report
                         .Circuit.Simulator.accounted_extra_seconds;
-                    save_model_maybe save_model model))
+                    save_model_maybe save_model model)))
   in
   Cmd.v
     (Cmd.info "model"
@@ -762,7 +954,8 @@ let model_cmd =
       $ screen_threshold_arg $ checkpoint_arg $ resume_arg
       $ checkpoint_every_arg $ sweep_arg $ sweep_refresh_arg $ fused_cv_arg
       $ rescreen_arg $ shards_arg $ shard_mode_arg $ burst_rate_arg
-      $ burst_len_arg $ quorum_arg $ screen_space_arg $ breaker_threshold_arg)
+      $ burst_len_arg $ quorum_arg $ screen_space_arg $ breaker_threshold_arg
+      $ outputs_arg $ fused_outputs_arg)
 
 let predict_cmd =
   let model_file =

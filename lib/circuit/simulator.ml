@@ -237,8 +237,8 @@ let draw_attempt plan ~in_burst fs ~eval =
         { injected = Some Hang; returned = None; hang_s = plan.hang_seconds }
   else { injected = None; returned = Some (eval ()); hang_s = 0. }
 
-let record_attempt st ~in_burst a =
-  (match a.injected with
+let record_fault st ~in_burst ~injected ~hang_s =
+  (match injected with
   | None -> ()
   | Some kind ->
       st.s_injected <- st.s_injected + 1;
@@ -248,7 +248,10 @@ let record_attempt st ~in_burst a =
       | Outlier -> st.s_outliers <- st.s_outliers + 1
       | Transient -> st.s_transient <- st.s_transient + 1
       | Hang -> st.s_hangs <- st.s_hangs + 1));
-  st.s_extra <- st.s_extra +. a.hang_s
+  st.s_extra <- st.s_extra +. hang_s
+
+let record_attempt st ~in_burst a =
+  record_fault st ~in_burst ~injected:a.injected ~hang_s:a.hang_s
 
 (* Evaluate one sample under the plan: up to [max_attempts] attempts,
    each either a fault drawn from the per-sample stream [fs] or a real
@@ -364,6 +367,191 @@ let run_robust ?(noise_rel = 0.) ?pool ?(faults = no_faults)
       stats
   in
   (d, report)
+
+(* --- multi-output runs ---------------------------------------------- *)
+
+(* One attempt at a sample for every output at once. The per-sample
+   stream consumption is exactly [draw_attempt]'s — rate draw, then
+   kind, then (Inf/Outlier) one sign — because none of the draws depend
+   on evaluator values; so output [r]'s fault history is the one the
+   single-output run would have drawn from the same stream. The sims
+   are each evaluated at most once per attempt, and an outlier corrupts
+   every output with the same drawn sign. *)
+type multi_attempt = {
+  m_injected : fault_kind option;
+  m_returned : float array option;
+  m_hang_s : float;
+}
+
+let draw_attempt_multi plan ~in_burst fs ~evals =
+  let rate, mix =
+    match plan.burst with
+    | Some b when in_burst -> (b.burst_rate, b.burst_mix)
+    | _ -> (plan.rate, plan.mix)
+  in
+  let all v = Some (Array.map (fun _ -> v) evals) in
+  if rate > 0. && Randkit.Prng.float fs < rate then
+    match pick_kind mix fs with
+    | Nan_return ->
+        { m_injected = Some Nan_return; m_returned = all Float.nan; m_hang_s = 0. }
+    | Inf_return ->
+        let v =
+          if Randkit.Prng.bool fs then Float.infinity else Float.neg_infinity
+        in
+        { m_injected = Some Inf_return; m_returned = all v; m_hang_s = 0. }
+    | Outlier ->
+        let vs = Array.map (fun e -> e ()) evals in
+        let sign = if Randkit.Prng.bool fs then 1. else -1. in
+        {
+          m_injected = Some Outlier;
+          m_returned =
+            Some
+              (Array.map
+                 (fun v -> v +. (sign *. plan.outlier_scale *. (1. +. Float.abs v)))
+                 vs);
+          m_hang_s = 0.;
+        }
+    | Transient ->
+        { m_injected = Some Transient; m_returned = None; m_hang_s = 0. }
+    | Hang ->
+        { m_injected = Some Hang; m_returned = None; m_hang_s = plan.hang_seconds }
+  else
+    {
+      m_injected = None;
+      m_returned = Some (Array.map (fun e -> e ()) evals);
+      m_hang_s = 0.;
+    }
+
+(* A sample is delivered only when every output came back finite, so
+   all outputs share one kept-row set (hence one design matrix). A
+   retry re-runs every simulation, so it is charged the summed
+   per-sample cost [extra]. *)
+let eval_sample_multi plan retry sims ~extra fs st ~in_burst p =
+  let delivered = ref None in
+  let attempt = ref 0 in
+  while !delivered = None && !attempt < retry.max_attempts do
+    incr attempt;
+    if !attempt > 1 then begin
+      st.s_retries <- st.s_retries + 1;
+      st.s_extra <-
+        st.s_extra
+        +. (retry.backoff_seconds *. float_of_int (1 lsl (!attempt - 2)))
+        +. extra
+    end;
+    let a =
+      draw_attempt_multi plan ~in_burst fs
+        ~evals:(Array.map (fun sim () -> sim.eval p) sims)
+    in
+    record_fault st ~in_burst ~injected:a.m_injected ~hang_s:a.m_hang_s;
+    match a.m_returned with
+    | Some vs when Array.for_all Float.is_finite vs -> delivered := Some vs
+    | Some _ | None -> ()
+  done;
+  !delivered
+
+let run_robust_multi ?(noise_rel = 0.) ?pool ?(faults = no_faults)
+    ?(retry = no_retry) sims g ~k =
+  let outputs = Array.length sims in
+  if outputs = 0 then
+    invalid_arg "Simulator.run_robust_multi: at least one simulator required";
+  if k <= 0 then
+    invalid_arg "Simulator.run_robust_multi: sample count must be positive";
+  let dim = sims.(0).dim in
+  Array.iter
+    (fun sim ->
+      if sim.dim <> dim then
+        invalid_arg
+          "Simulator.run_robust_multi: simulators disagree on dimension")
+    sims;
+  (* Exactly [run_robust]'s stream discipline: points sequentially from
+     the caller's generator, fault decisions from per-sample streams
+     split off the plan's seed before any evaluation fans out. *)
+  let points = Array.init k (fun _ -> Randkit.Gaussian.vector g dim) in
+  let streams = Randkit.Prng.split_n (Randkit.Prng.create faults.fault_seed) k in
+  let burst = burst_states faults ~k in
+  let out = Array.init k (fun _ -> [||]) in
+  let ok = Array.make k false in
+  let stats =
+    Array.init k (fun _ ->
+        {
+          s_injected = 0;
+          s_nonfinite = 0;
+          s_outliers = 0;
+          s_transient = 0;
+          s_hangs = 0;
+          s_retries = 0;
+          s_extra = 0.;
+          s_burst_faults = 0;
+        })
+  in
+  let extra =
+    Array.fold_left (fun acc sim -> acc +. sim.seconds_per_sample) 0. sims
+  in
+  let body i =
+    match
+      eval_sample_multi faults retry sims ~extra streams.(i) stats.(i)
+        ~in_burst:burst.(i) points.(i)
+    with
+    | Some vs ->
+        out.(i) <- vs;
+        ok.(i) <- true
+    | None -> ()
+  in
+  (match pool with
+  | None ->
+      for i = 0 to k - 1 do
+        body i
+      done
+  | Some pool -> Parallel.Pool.parallel_for pool ~lo:0 ~hi:k body);
+  let kept = ref [] and failed = ref [] in
+  for i = k - 1 downto 0 do
+    if ok.(i) then kept := i :: !kept else failed := i :: !failed
+  done;
+  let kept = Array.of_list !kept in
+  let kept_points = Array.map (fun i -> points.(i)) kept in
+  let datasets =
+    Array.init outputs (fun r ->
+        (* The point array is physically shared across outputs. *)
+        { points = kept_points; values = Array.map (fun i -> out.(i).(r)) kept })
+  in
+  let k' = Array.length kept in
+  if noise_rel > 0. && k' > 1 then
+    (* Observation noise per output, in output order, all from the
+       caller's generator — each metric's measurement noise is
+       independent of the others'. *)
+    Array.iter
+      (fun d ->
+        let sigma = Stat.Descriptive.std d.values in
+        for i = 0 to k' - 1 do
+          d.values.(i) <-
+            d.values.(i) +. (noise_rel *. sigma *. Randkit.Gaussian.sample g)
+        done)
+      datasets;
+  let report =
+    Array.fold_left
+      (fun acc st ->
+        {
+          acc with
+          faults_injected = acc.faults_injected + st.s_injected;
+          nonfinite_faults = acc.nonfinite_faults + st.s_nonfinite;
+          outliers_injected = acc.outliers_injected + st.s_outliers;
+          transient_faults = acc.transient_faults + st.s_transient;
+          hang_faults = acc.hang_faults + st.s_hangs;
+          retries = acc.retries + st.s_retries;
+          accounted_extra_seconds = acc.accounted_extra_seconds +. st.s_extra;
+          burst_faults = acc.burst_faults + st.s_burst_faults;
+        })
+      {
+        (clean_report ~requested:k) with
+        delivered = k';
+        failed = Array.of_list !failed;
+        burst_windows = Array.length (Randkit.Markov.windows burst);
+        burst_samples = Randkit.Markov.count burst;
+        burst_faults = 0;
+      }
+      stats
+  in
+  (datasets, report)
 
 let run ?(noise_rel = 0.) ?pool sim g ~k =
   if k <= 0 then invalid_arg "Simulator.run: sample count must be positive";

@@ -228,6 +228,40 @@ val run_robust :
     to the delivered rows only, drawing from [g] in row order.
     @raise Invalid_argument when [k <= 0]. *)
 
+val run_robust_multi :
+  ?noise_rel:float ->
+  ?pool:Parallel.Pool.t ->
+  ?faults:fault_plan ->
+  ?retry:retry_policy ->
+  t array ->
+  Randkit.Prng.t ->
+  k:int ->
+  dataset array * run_report
+(** [run_robust_multi sims g ~k] is {!run_robust} for R performance
+    metrics of one circuit: the Monte-Carlo points are drawn {e once}
+    and every simulator is evaluated at each of them, so the R datasets
+    share one point set (the arrays are physically shared) and one
+    fault/retry history — a sample is delivered only when {e every}
+    output came back finite, giving all outputs identical kept rows and
+    hence one design matrix downstream.
+
+    Per-attempt stream consumption is exactly {!draw_attempt}'s (no
+    draw depends on evaluator values; an outlier corrupts every output
+    with the same drawn sign), so as long as the evaluators themselves
+    only return finite values, output [r]'s dataset is bitwise
+    identical to [run_robust sims.(r)] run with a {!Randkit.Prng.copy}
+    of [g] — the per-output parity the fused multi-output fit relies
+    on. An evaluator genuinely diverging on one output drops that
+    sample for {e all} outputs, which a per-output run would not.
+
+    The single report counts each injected fault and retry once (not
+    once per output); a retry re-runs all R simulations and is charged
+    their summed [seconds_per_sample]. [noise_rel] noise is drawn per
+    output in output order from [g], so each metric's observation noise
+    is independent.
+    @raise Invalid_argument when [sims] is empty, the simulators
+    disagree on [dim], or [k <= 0]. *)
+
 val simulated_cost : t -> k:int -> float
 (** [k · seconds_per_sample]: the simulation cost a real flow would pay. *)
 

@@ -706,6 +706,267 @@ let fit_p ?mode ?tol ?pool ?on_singular ?checkpoint_every ?on_checkpoint
   in
   run base_steps
 
+(* Externally-swept LAR walk for the fused lockstep drivers. The walk
+   needs two Gᵀ·v sweeps per movement step — correlations against the
+   residual, then step lengths against the equiangular direction — and
+   the engine exposes exactly that seam: [request] names the K-vector
+   whose sweep is needed next, [supply] feeds the M-length Gᵀ·v back
+   and runs the loop body. Every arithmetic sequence is lifted verbatim
+   from the exact-sweep, unsharded branch of [path_p], so an engine
+   driven by [request]/[supply] with exact sweeps (in particular the
+   per-entry results of {!Corr_sweep.gram_tr_multi}) records the same
+   steps bit-for-bit. *)
+module Engine = struct
+  (* What the next [supply] will be fed: the correlation sweep of the
+     residual, or the step-length sweep of the equiangular direction
+     (with the first sweep's derived state carried across). *)
+  type phase =
+    | Corr
+    | Dir of {
+        added : int option;
+        act : int array;
+        c : float array;
+        d : float array;
+        u : Vec.t;
+        cc : float;
+        a_a : float;
+      }
+    | Done
+
+  type t = {
+    st : state;
+    mode : mode;
+    tol : float;
+    on_singular : [ `Stop | `Fallback ];
+    max_steps : int;
+    max_active : int;
+    f : Vec.t;
+    mutable steps_rev : step list;
+    mutable initial_c : float;
+    mutable nsteps : int;
+    mutable stop : bool;
+    mutable phase : phase;
+  }
+
+  let create ?(mode = Lar) ?(tol = 1e-10) ?pool ?(on_singular = `Stop) src f
+      ~max_steps =
+    let k = Provider.rows src and m = Provider.cols src in
+    if Array.length f <> k then
+      invalid_arg "Lars.path: response length mismatch";
+    if max_steps <= 0 then invalid_arg "Lars.path: max_steps must be positive";
+    let norms = Provider.column_norms ?pool src in
+    Array.iteri
+      (fun j n -> if n <= 0. then norms.(j) <- 1. else norms.(j) <- n)
+      norms;
+    let st =
+      {
+        src;
+        cache = Provider.Cache.create src;
+        norms;
+        k;
+        m;
+        beta = Array.make m 0.;
+        mu = Array.make k 0.;
+        active = [];
+        in_active = Array.make m false;
+        banned = Array.make m false;
+        notes = [];
+        chol = Cholesky.Grow.create (max (min k m) 1);
+      }
+    in
+    {
+      st;
+      mode;
+      tol;
+      on_singular;
+      max_steps;
+      max_active = min k m;
+      f;
+      steps_rev = [];
+      initial_c = 0.;
+      nsteps = 0;
+      stop = false;
+      phase = Corr;
+    }
+
+  let finished t = t.phase = Done
+
+  let request t =
+    match t.phase with
+    | Corr -> Vec.sub t.f t.st.mu
+    | Dir { u; _ } -> u
+    | Done -> invalid_arg "Lars.Engine.request: engine is finished"
+
+  (* The loop-head test of [path_p]'s while: the walk continues only
+     while not stopped and under the step budget. *)
+  let settle t =
+    if t.stop || t.nsteps >= t.max_steps then t.phase <- Done
+    else t.phase <- Corr
+
+  let supply_corr t gtr =
+    let st = t.st in
+    t.nsteps <- t.nsteps + 1;
+    let m = st.m in
+    if Array.length gtr <> m then
+      invalid_arg "Lars.Engine.supply: sweep length mismatch";
+    let big_c = ref 0. and enter = ref (-1) and enter_c = ref 0. in
+    let c = Array.init m (fun j -> gtr.(j) /. st.norms.(j)) in
+    for j = 0 to m - 1 do
+      let a = Float.abs c.(j) in
+      if (not st.banned.(j)) && a > !big_c then big_c := a;
+      if (not st.in_active.(j)) && (not st.banned.(j)) && a > !enter_c
+      then begin
+        enter := j;
+        enter_c := a
+      end
+    done;
+    let cval j = c.(j) in
+    if t.nsteps = 1 then t.initial_c <- !big_c;
+    if !big_c <= t.tol *. Float.max t.initial_c 1. then begin
+      t.stop <- true;
+      settle t
+    end
+    else begin
+      let banned_now = ref (-1) in
+      let added =
+        if
+          !enter >= 0
+          && List.length st.active < t.max_active
+          && !enter_c >= !big_c -. (1e-9 *. !big_c) -. 1e-15
+        then begin
+          match append_to_chol st !enter with
+          | () ->
+              st.active <- !enter :: st.active;
+              st.in_active.(!enter) <- true;
+              Some !enter
+          | exception Cholesky.Not_positive_definite _ -> (
+              match t.on_singular with
+              | `Stop -> None
+              | `Fallback ->
+                  st.banned.(!enter) <- true;
+                  banned_now := !enter;
+                  st.notes <-
+                    Printf.sprintf "lars: banned dependent column %d" !enter
+                    :: st.notes;
+                  None)
+        end
+        else None
+      in
+      if st.active = [] then begin
+        t.stop <- true;
+        settle t
+      end
+      else if !banned_now >= 0 then begin
+        (* Zero-length ban step, exactly as in [path_p]: the next
+           correlation sweep re-scans without the banned column. *)
+        let act = active_oldest_first st in
+        let cc =
+          Array.fold_left
+            (fun acc j -> Float.max acc (Float.abs (cval j)))
+            0. act
+        in
+        t.steps_rev <-
+          { added = None; dropped = None; max_corr = cc;
+            model = current_model st }
+          :: t.steps_rev;
+        settle t
+      end
+      else begin
+        let act = active_oldest_first st in
+        let s = Array.map (fun j -> if cval j >= 0. then 1. else -1.) act in
+        let z = Cholesky.Grow.solve st.chol s in
+        let sz = Vec.dot s z in
+        if sz <= 0. then begin
+          t.stop <- true;
+          settle t
+        end
+        else begin
+          let a_a = 1. /. sqrt sz in
+          let d = Array.map (fun zj -> a_a *. zj) z in
+          let u = Array.make st.k 0. in
+          Array.iteri
+            (fun p j ->
+              let w = d.(p) /. st.norms.(j) in
+              let colj = Provider.Cache.column st.cache j in
+              for r = 0 to st.k - 1 do
+                u.(r) <- u.(r) +. (w *. Array.unsafe_get colj r)
+              done)
+            act;
+          let cc =
+            Array.fold_left
+              (fun acc j -> Float.max acc (Float.abs (cval j)))
+              0. act
+          in
+          t.phase <- Dir { added; act; c; d; u; cc; a_a }
+        end
+      end
+    end
+
+  let supply_dir t ~added ~act ~c ~d ~u ~cc ~a_a g =
+    let st = t.st in
+    if Array.length g <> st.m then
+      invalid_arg "Lars.Engine.supply: sweep length mismatch";
+    let cval j = c.(j) in
+    let gamma = ref (cc /. a_a) in
+    for j = 0 to st.m - 1 do
+      if (not st.in_active.(j)) && not st.banned.(j) then begin
+        let aj = g.(j) /. st.norms.(j) in
+        let cand1 = (cc -. cval j) /. (a_a -. aj) in
+        let cand2 = (cc +. cval j) /. (a_a +. aj) in
+        if cand1 > 1e-12 && cand1 < !gamma then gamma := cand1;
+        if cand2 > 1e-12 && cand2 < !gamma then gamma := cand2
+      end
+    done;
+    let drop = ref (-1) in
+    if t.mode = Lasso then
+      Array.iteri
+        (fun p j ->
+          if d.(p) <> 0. then begin
+            let gz = -.st.beta.(j) /. d.(p) in
+            if gz > 1e-12 && gz < !gamma then begin
+              gamma := gz;
+              drop := j
+            end
+          end)
+        act;
+    Array.iteri
+      (fun p j -> st.beta.(j) <- st.beta.(j) +. (!gamma *. d.(p)))
+      act;
+    Vec.axpy !gamma u st.mu;
+    let dropped =
+      if !drop >= 0 then begin
+        st.beta.(!drop) <- 0.;
+        st.active <- List.filter (fun j -> j <> !drop) st.active;
+        st.in_active.(!drop) <- false;
+        (match rebuild_chol st with
+        | () -> ()
+        | exception (Cholesky.Not_positive_definite _ as e) -> (
+            match t.on_singular with
+            | `Stop -> raise e
+            | `Fallback ->
+                st.notes <-
+                  "lars: stopped on non-SPD active set after drop"
+                  :: st.notes;
+                t.stop <- true));
+        Some !drop
+      end
+      else None
+    in
+    t.steps_rev <-
+      { added; dropped; max_corr = cc; model = current_model st }
+      :: t.steps_rev;
+    settle t
+
+  let supply t g =
+    match t.phase with
+    | Corr -> supply_corr t g
+    | Dir { added; act; c; d; u; cc; a_a } ->
+        supply_dir t ~added ~act ~c ~d ~u ~cc ~a_a g
+    | Done -> invalid_arg "Lars.Engine.supply: engine is finished"
+
+  let steps t = Array.of_list (List.rev t.steps_rev)
+end
+
 let path ?mode ?tol ?pool ?on_singular g f ~max_steps =
   path_p ?mode ?tol ?pool ?on_singular (Provider.dense g) f ~max_steps
 

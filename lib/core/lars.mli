@@ -143,6 +143,55 @@ val fit_p :
     empty model carries a [Model.notes] entry saying so rather than
     being silently zero. Checkpoint arguments behave as in {!path_p}. *)
 
+(** Externally-swept LAR walk — the fused lockstep drivers' seam.
+
+    The walk needs two [Gᵀ·v] sweeps per movement step (correlations
+    against the residual, then step lengths against the equiangular
+    direction). The engine suspends at each: {!Engine.request} names
+    the K-vector whose sweep is needed next, {!Engine.supply} feeds the
+    M-length [Gᵀ·v] back and runs the loop body. Driven with exact
+    sweeps — in particular the per-entry results of
+    {!Corr_sweep.gram_tr_multi}, which are bitwise equal to independent
+    per-fold sweeps — the recorded steps are bit-for-bit those of
+    {!path_p} with the exact sweep, unsharded and uncheckpointed.
+    Requests from distinct engines are mutually independent, so a fused
+    driver may batch a mix of correlation- and direction-phase requests
+    into one multi sweep. *)
+module Engine : sig
+  type t
+
+  val create :
+    ?mode:mode ->
+    ?tol:float ->
+    ?pool:Parallel.Pool.t ->
+    ?on_singular:[ `Stop | `Fallback ] ->
+    Polybasis.Design.Provider.t ->
+    Linalg.Vec.t ->
+    max_steps:int ->
+    t
+  (** Same validation and defaults as {!path_p}; [pool] is used only
+      for the one-time column-norms sweep. *)
+
+  val finished : t -> bool
+  (** True once the walk stopped or exhausted [max_steps]. *)
+
+  val request : t -> Linalg.Vec.t
+  (** The K-vector whose [Gᵀ·v] sweep the engine needs next: the
+      current residual (correlation phase) or the equiangular direction
+      (step-length phase).
+      @raise Invalid_argument once {!finished}. *)
+
+  val supply : t -> Linalg.Vec.t -> unit
+  (** [supply t g] feeds the M-length sweep of the last {!request}ed
+      vector and advances the walk to its next suspension point.
+      @raise Invalid_argument on a length mismatch or once {!finished};
+      propagates {!Linalg.Cholesky.Not_positive_definite} after a lasso
+      drop under [~on_singular:`Stop], as {!path_p} does. *)
+
+  val steps : t -> step array
+  (** Steps recorded so far, oldest first. *)
+end
+
 val path :
   ?mode:mode -> ?tol:float -> ?pool:Parallel.Pool.t ->
   ?on_singular:[ `Stop | `Fallback ] -> Linalg.Mat.t ->

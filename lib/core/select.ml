@@ -146,40 +146,62 @@ let clamp_lambda ~max_lambda cap =
      rows; the caller's max_lambda is clamped accordingly. *)
   min max_lambda cap
 
+exception Conflict of string
+
 (* Whether a fused lockstep drive applies: fused sweeps require the
    exact correlation engine (the incremental engine maintains per-fold
    state the multi sweep cannot share), and by default they are worth
    it exactly when column generation is the cost being amortized —
-   streamed providers. [?fused] overrides the default either way. *)
-let resolve_fused ~sweep ~fused ~shards src =
-  (match sweep with
-  | None | Some Corr_sweep.Exact -> true
-  | Some (Corr_sweep.Incremental _) -> false)
-  (* The sharded engine owns the selection sweep per solver run; fused
-     lockstep CV shares one sweep across folds — mutually exclusive. *)
-  && (match shards with None -> true | Some s -> s <= 1)
-  && (match fused with Some b -> b | None -> Provider.is_streamed src)
+   streamed providers. [?fused] overrides the default either way.
 
-(* Fused lockstep fold fitting: one solver engine per uncached fold;
-   each round computes every live fold's selection with a single fused
-   multi-residual sweep over the full provider (per-fold training rows
-   as index sets), then advances each engine one step. A fold's sweep
-   accumulates over exactly its training rows in ascending order —
-   bitwise the sweep over its [select_rows] provider — and the engines
-   replay the monolithic loop bodies, so the resulting curves are
-   bitwise identical to fold-at-a-time fitting while streamed column
-   generation is paid once per round instead of once per live fold. *)
-let fused_omp_curves ?on_singular ?pool src f ~max_lambda pending =
+   Sharding is the hard case: the sharded engine owns the selection
+   sweep per solver run, while fused lockstep CV shares one sweep
+   across folds — mutually exclusive. When the caller merely left
+   [fused] unset the resolution silently prefers the sharded engine,
+   but an {e explicit} [fused = Some true] cannot be honored, and
+   silently ignoring an explicit flag once cost a user a day of
+   benchmarking the wrong driver — that combination is a typed
+   {!Conflict} instead. *)
+let resolve_fused ~sweep ~fused ~shards src =
+  let sharded = match shards with Some s -> s > 1 | None -> false in
+  let exact =
+    match sweep with
+    | None | Some Corr_sweep.Exact -> true
+    | Some (Corr_sweep.Incremental _) -> false
+  in
+  match fused with
+  | Some true when sharded ->
+      raise
+        (Conflict
+           "fused CV conflicts with sharded sweeps: the sharded engine owns \
+            the selection sweep of each solver run, while fused CV shares one \
+            sweep across all folds; drop --fused-cv or run with --shards 1")
+  | Some b -> b && exact && not sharded
+  | None -> exact && (not sharded) && Provider.is_streamed src
+
+(* Fused lockstep job fitting: one solver engine per (response,
+   training-rows) job — a fold of one output, or any (output, fold)
+   cell of a multi-output grid — advanced in lockstep; each round
+   computes every live job's selection with a single fused
+   multi-residual sweep over the full provider (per-job training rows
+   as index sets). A job's sweep accumulates over exactly its training
+   rows in ascending order — bitwise the sweep over its [select_rows]
+   provider — and the engines replay the monolithic loop bodies, so
+   the resulting curves are bitwise identical to job-at-a-time fitting
+   while streamed column generation is paid once per round instead of
+   once per live job. Jobs are [(f, train, held_out)] with [f] the
+   job's full-length response. *)
+let fused_omp_jobs ?on_singular ?pool src ~max_lambda jobs =
   let engines =
     Array.map
-      (fun (_, train, _) ->
+      (fun (f, train, _) ->
         let src_tr = Provider.select_rows src train in
         let f_tr = Array.map (fun i -> f.(i)) train in
         let ml =
           min max_lambda (min (Provider.rows src_tr) (Provider.cols src_tr))
         in
         (Omp.Engine.create ?on_singular src_tr f_tr ~max_lambda:ml, train))
-      pending
+      jobs
   in
   let running = ref true in
   while !running do
@@ -204,21 +226,21 @@ let fused_omp_curves ?on_singular ?pool src f ~max_lambda pending =
           live
   done;
   Array.mapi
-    (fun i (_, _, held_out) ->
+    (fun i (f, _, held_out) ->
       let models =
         Array.map (fun s -> s.Omp.model) (Omp.Engine.steps (fst engines.(i)))
       in
       held_out_curve ~max_lambda src f models held_out)
-    pending
+    jobs
 
-let fused_star_curves ?pool src f ~max_lambda pending =
+let fused_star_jobs ?pool src ~max_lambda jobs =
   let engines =
     Array.map
-      (fun (_, train, _) ->
+      (fun (f, train, _) ->
         let src_tr = Provider.select_rows src train in
         let f_tr = Array.map (fun i -> f.(i)) train in
         (Star.Engine.create src_tr f_tr ~max_lambda, train))
-      pending
+      jobs
   in
   let running = ref true in
   while !running do
@@ -244,12 +266,89 @@ let fused_star_curves ?pool src f ~max_lambda pending =
           live
   done;
   Array.mapi
-    (fun i (_, _, held_out) ->
+    (fun i (f, _, held_out) ->
       let models =
         Array.map (fun s -> s.Star.model) (Star.Engine.steps (fst engines.(i)))
       in
       held_out_curve ~max_lambda src f models held_out)
-    pending
+    jobs
+
+(* λ-indexed models from a LAR step sequence: entry λ−1 holds the last
+   path model with at most λ active coefficients, so curves are indexed
+   by support size exactly as for OMP/STAR (lasso drops make steps ≠
+   support size). Shared by the per-fold and fused drivers. *)
+let lars_lambda_models src ~max_lambda steps =
+  if Array.length steps = 0 then [||]
+  else begin
+    let empty =
+      Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
+    in
+    let models = Array.make max_lambda empty in
+    Array.iter
+      (fun s ->
+        let n = Model.nnz s.Lars.model in
+        if n >= 1 && n <= max_lambda then
+          for l = n - 1 to max_lambda - 1 do
+            models.(l) <- s.Lars.model
+          done)
+      steps;
+    models
+  end
+
+(* The LAR walk needs two sweeps per movement step, so its lockstep
+   loop feeds each live engine's requested vector — residual or
+   equiangular direction, the engines are mutually independent — into
+   one [gram_tr_multi] pass per round. *)
+let fused_lars_jobs ?mode ?on_singular ?pool src ~max_lambda jobs =
+  let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
+  let engines =
+    Array.map
+      (fun (f, train, _) ->
+        let src_tr = Provider.select_rows src train in
+        let f_tr = Array.map (fun i -> f.(i)) train in
+        ( Lars.Engine.create ?mode ?pool ?on_singular src_tr f_tr ~max_steps,
+          train ))
+      jobs
+  in
+  let running = ref true in
+  while !running do
+    let live = ref [] in
+    for i = Array.length engines - 1 downto 0 do
+      if not (Lars.Engine.finished (fst engines.(i))) then live := i :: !live
+    done;
+    match !live with
+    | [] -> running := false
+    | live ->
+        let live = Array.of_list live in
+        let rows = Array.map (fun i -> snd engines.(i)) live in
+        let rs =
+          Array.map (fun i -> Lars.Engine.request (fst engines.(i))) live
+        in
+        let sweeps = Corr_sweep.gram_tr_multi ?pool src ~rows rs in
+        Array.iteri
+          (fun ii i -> Lars.Engine.supply (fst engines.(i)) sweeps.(ii))
+          live
+  done;
+  Array.mapi
+    (fun i (f, _, held_out) ->
+      let steps = Lars.Engine.steps (fst engines.(i)) in
+      let models = lars_lambda_models src ~max_lambda steps in
+      held_out_curve ~max_lambda src f models held_out)
+    jobs
+
+let single_output_jobs f pending =
+  Array.map (fun (_, train, held_out) -> (f, train, held_out)) pending
+
+let fused_omp_curves ?on_singular ?pool src f ~max_lambda pending =
+  fused_omp_jobs ?on_singular ?pool src ~max_lambda
+    (single_output_jobs f pending)
+
+let fused_star_curves ?pool src f ~max_lambda pending =
+  fused_star_jobs ?pool src ~max_lambda (single_output_jobs f pending)
+
+let fused_lars_curves ?mode ?on_singular ?pool src f ~max_lambda pending =
+  fused_lars_jobs ?mode ?on_singular ?pool src ~max_lambda
+    (single_output_jobs f pending)
 
 let omp_p ?folds ?rule ?pool ?on_singular ?sweep ?shards ?shard_mode
     ?recovered ?fused ?checkpoint ?resume rng ~max_lambda src f =
@@ -297,7 +396,7 @@ let star_p ?folds ?rule ?pool ?sweep ?shards ?shard_mode ?recovered ?fused
     src f
 
 let lars_p ?folds ?rule ?mode ?pool ?on_singular ?sweep ?shards ?shard_mode
-    ?recovered ?checkpoint ?resume rng ~max_lambda src f =
+    ?recovered ?fused ?checkpoint ?resume rng ~max_lambda src f =
   let cap_rows =
     let n = Provider.rows src in
     let q = match folds with Some q -> q | None -> 4 in
@@ -306,33 +405,189 @@ let lars_p ?folds ?rule ?mode ?pool ?on_singular ?sweep ?shards ?shard_mode
   let max_lambda =
     clamp_lambda ~max_lambda (min cap_rows (Provider.cols src))
   in
-  generic_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda
+  let fused_curves =
+    if resolve_fused ~sweep ~fused ~shards src then
+      Some (fused_lars_curves ?mode ?on_singular ?pool src f ~max_lambda)
+    else None
+  in
+  generic_impl ?folds ?rule ?pool ?checkpoint ?resume ?fused_curves rng
+    ~max_lambda
     ~path_models:(fun ~rng:_ src f ~max_lambda ->
       let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
       let steps =
         Lars.path_p ?mode ?pool ?on_singular ?sweep ?shards ?shard_mode
           ?recovered src f ~max_steps
       in
-      if Array.length steps = 0 then [||]
-      else begin
-        (* Entry λ−1 holds the last path model with at most λ active
-           coefficients, so the curve is indexed by support size exactly
-           as for OMP/STAR (lasso drops make steps ≠ support size). *)
-        let empty =
-          Model.make ~basis_size:(Provider.cols src) ~support:[||] ~coeffs:[||]
-        in
-        let models = Array.make max_lambda empty in
-        Array.iter
-          (fun s ->
-            let n = Model.nnz s.Lars.model in
-            if n >= 1 && n <= max_lambda then
-              for l = n - 1 to max_lambda - 1 do
-                models.(l) <- s.Lars.model
-              done)
-          steps;
-        models
-      end)
+      lars_lambda_models src ~max_lambda steps)
     src f
+
+(* Multi-output driver resolution: like [resolve_fused], but without
+   the streamed-provider default — the fused grid amortizes each sweep
+   across R×Q solvers, so it pays for dense providers too. Same typed
+   conflict on an explicit fused request under sharding. *)
+let resolve_fused_multi ~sweep ~fused ~shards =
+  let sharded = match shards with Some s -> s > 1 | None -> false in
+  let exact =
+    match sweep with
+    | None | Some Corr_sweep.Exact -> true
+    | Some (Corr_sweep.Incremental _) -> false
+  in
+  match fused with
+  | Some true when sharded ->
+      raise
+        (Conflict
+           "fused multi-output fitting conflicts with sharded sweeps: the \
+            sharded engine owns the selection sweep of each solver run, while \
+            the fused driver shares one sweep across every output and fold; \
+            drop --fused-outputs or run with --shards 1")
+  | Some b -> b && exact && not sharded
+  | None -> exact && not sharded
+
+(* Multi-output λ selection: R responses share one fold plan, one
+   fused lockstep grid of R×Q fold solvers, and R per-output refits.
+   The PRNG draws mirror [generic_impl] exactly — one plan, Q fold
+   streams, one refit stream, all from the caller's generator — and
+   the path solvers ignore their fold streams, so output [r]'s result
+   is bitwise the single-output run of [generic_impl] on [fs.(r)] with
+   a copy of the same generator. *)
+let generic_multi_impl ?(folds = 4) ?(rule = Min_error) ?checkpoint
+    ?(resume = false) ~fit_jobs ~path_models rng ~max_lambda src fs =
+  if max_lambda <= 0 then invalid_arg "Select: max_lambda must be positive";
+  let outputs = Array.length fs in
+  if outputs = 0 then invalid_arg "Select: at least one output required";
+  let n = Provider.rows src in
+  Array.iter
+    (fun f ->
+      if Array.length f <> n then
+        invalid_arg "Select: response length mismatch")
+    fs;
+  let plan = Stat.Crossval.make_plan rng ~n ~folds in
+  let _fold_rngs = Randkit.Prng.split_n rng folds in
+  let refit_rng = Randkit.Prng.split rng in
+  let caches =
+    match checkpoint with
+    | None -> None
+    | Some base ->
+        let module M = Serialize.Checkpoint.Multi in
+        let plan_digest =
+          Serialize.Checkpoint.Cv.plan_digest plan.Stat.Crossval.assignment
+        in
+        let manifest = { M.outputs; folds; n; max_lambda; plan_digest } in
+        let mpath = M.manifest_file base in
+        (if resume && Sys.file_exists mpath then
+           match M.load mpath with
+           | Error e ->
+               invalid_arg
+                 (Printf.sprintf "Select: multi checkpoint %s: %s" mpath e)
+           | Ok m ->
+               if m <> manifest then
+                 invalid_arg
+                   (Printf.sprintf
+                      "Select: multi checkpoint %s grid (%d outputs, %d \
+                       folds, n=%d, max_lambda=%d) disagrees with the sweep \
+                       (%d outputs, %d folds, n=%d, max_lambda=%d) or was \
+                       written for a different fold plan"
+                      mpath m.M.outputs m.M.folds m.M.n m.M.max_lambda outputs
+                      folds n max_lambda));
+        M.save mpath manifest;
+        Some
+          (Array.init outputs (fun r ->
+               Some
+                 (fold_cache ~base:(M.output_base base r) ~resume ~folds ~n
+                    ~max_lambda ~plan_digest)))
+  in
+  let grid =
+    Stat.Crossval.run_fold_curves_multi ?caches ~outputs plan
+      ~fit_curves:fit_jobs
+  in
+  let fq = float_of_int folds in
+  Array.init outputs (fun r ->
+      let fold_curves = grid.(r) in
+      let curve =
+        Array.init max_lambda (fun l ->
+            Array.fold_left (fun acc fc -> acc +. (fc.(l) /. fq)) 0. fold_curves)
+      in
+      let best = Stat.Crossval.argmin curve in
+      let lambda =
+        match rule with
+        | Min_error -> best + 1
+        | One_se ->
+            let at_min = Array.map (fun fc -> fc.(best)) fold_curves in
+            let se =
+              if folds < 2 then 0.
+              else Stat.Descriptive.std at_min /. sqrt fq
+            in
+            let threshold = curve.(best) +. se in
+            let l = ref best in
+            for cand = best - 1 downto 0 do
+              if
+                (not (Float.is_nan curve.(cand)))
+                && curve.(cand) <= threshold
+              then l := cand
+            done;
+            !l + 1
+      in
+      let final = path_models ~rng:refit_rng src fs.(r) ~max_lambda:lambda in
+      { model = final.(Array.length final - 1); lambda; curve })
+
+(* The grid's fused fitter: map each (output, fold) cell to a lockstep
+   job carrying that output's response. *)
+let grid_jobs fs jobs =
+  Array.map (fun (r, _, train, held_out) -> (fs.(r), train, held_out)) jobs
+
+let omp_multi_p ?folds ?rule ?pool ?on_singular ?checkpoint ?resume rng
+    ~max_lambda src fs =
+  let cap_rows =
+    let n = Provider.rows src in
+    let q = match folds with Some q -> q | None -> 4 in
+    n - ((n + q - 1) / q)
+  in
+  let max_lambda =
+    clamp_lambda ~max_lambda (min cap_rows (Provider.cols src))
+  in
+  generic_multi_impl ?folds ?rule ?checkpoint ?resume
+    ~fit_jobs:(fun jobs ->
+      fused_omp_jobs ?on_singular ?pool src ~max_lambda (grid_jobs fs jobs))
+    ~path_models:(fun ~rng:_ src f ~max_lambda ->
+      let max_lambda =
+        min max_lambda (min (Provider.rows src) (Provider.cols src))
+      in
+      Array.map
+        (fun s -> s.Omp.model)
+        (Omp.path_p ?pool ?on_singular src f ~max_lambda))
+    rng ~max_lambda src fs
+
+let star_multi_p ?folds ?rule ?pool ?checkpoint ?resume rng ~max_lambda src
+    fs =
+  let max_lambda = clamp_lambda ~max_lambda (Provider.cols src) in
+  generic_multi_impl ?folds ?rule ?checkpoint ?resume
+    ~fit_jobs:(fun jobs ->
+      fused_star_jobs ?pool src ~max_lambda (grid_jobs fs jobs))
+    ~path_models:(fun ~rng:_ src f ~max_lambda ->
+      Array.map (fun s -> s.Star.model) (Star.path_p ?pool src f ~max_lambda))
+    rng ~max_lambda src fs
+
+let lars_multi_p ?folds ?rule ?mode ?pool ?on_singular ?checkpoint ?resume
+    rng ~max_lambda src fs =
+  let cap_rows =
+    let n = Provider.rows src in
+    let q = match folds with Some q -> q | None -> 4 in
+    n - ((n + q - 1) / q)
+  in
+  let max_lambda =
+    clamp_lambda ~max_lambda (min cap_rows (Provider.cols src))
+  in
+  generic_multi_impl ?folds ?rule ?checkpoint ?resume
+    ~fit_jobs:(fun jobs ->
+      fused_lars_jobs ?mode ?on_singular ?pool src ~max_lambda
+        (grid_jobs fs jobs))
+    ~path_models:(fun ~rng:_ src f ~max_lambda ->
+      let max_steps = min ((2 * max_lambda) + 8) (4 * max_lambda) in
+      let steps =
+        Lars.path_p ?mode ?pool ?on_singular src f ~max_steps
+      in
+      lars_lambda_models src ~max_lambda steps)
+    rng ~max_lambda src fs
 
 let omp ?folds ?rule ?pool ?on_singular rng ~max_lambda g f =
   omp_p ?folds ?rule ?pool ?on_singular rng ~max_lambda (Provider.dense g) f

@@ -38,6 +38,16 @@ type result = {
   curve : float array;  (** ε(λ) for λ = 1 … max_lambda *)
 }
 
+exception Conflict of string
+(** An explicit driver request that cannot be honored — today, an
+    explicit [~fused:true] together with [shards > 1] (the sharded
+    engine owns each solver run's selection sweep, while fused CV
+    shares one sweep across folds). Auto mode ([?fused] unset) resolves
+    the same combination silently in favor of the sharded engine; only
+    an explicit, contradictory flag raises. {!Robust.Error.of_exn}
+    classifies it as a [Config] error (exit-2 [rsm: config:] line in
+    the CLI). *)
+
 val omp_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
   ?on_singular:[ `Stop | `Fallback ] ->
@@ -62,11 +72,13 @@ val omp_p :
     off (per-fold incremental state cannot share one sweep).
 
     [shards]/[shard_mode]/[recovered] (see {!Omp.path_p}) are forwarded
-    to every fold fit and the final refit; [shards > 1] also forces the
-    fused driver off (the sharded engine owns the selection sweep of a
-    single solver run, while fused CV shares one sweep across folds).
-    The selected λ, curve and model stay bitwise identical to the
-    unsharded run. *)
+    to every fold fit and the final refit; [shards > 1] forces the
+    fused driver off in auto mode (the sharded engine owns the
+    selection sweep of a single solver run, while fused CV shares one
+    sweep across folds), and an {e explicit} [~fused:true] together
+    with [shards > 1] raises {!Conflict} rather than silently ignoring
+    the flag. The selected λ, curve and model stay bitwise identical to
+    the unsharded run. *)
 
 val star_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
@@ -82,14 +94,17 @@ val lars_p :
   ?on_singular:[ `Stop | `Fallback ] ->
   ?sweep:Corr_sweep.sweep ->
   ?shards:int -> ?shard_mode:Shard_sweep.mode -> ?recovered:int ref ->
+  ?fused:bool ->
   ?checkpoint:string -> ?resume:bool ->
   Randkit.Prng.t -> max_lambda:int -> Polybasis.Design.Provider.t ->
   Linalg.Vec.t -> result
 (** [on_singular] is forwarded to {!Lars.path_p} for every fold fit and
-    the final refit. [checkpoint]/[resume] as in {!generic_p}. [sweep]
-    and [shards]/[shard_mode]/[recovered] as in {!omp_p} (no fused
-    driver for the LAR walk — its per-step state is not a single argmax
-    selection). *)
+    the final refit. [checkpoint]/[resume] as in {!generic_p}. [sweep],
+    [shards]/[shard_mode]/[recovered] and [fused] as in {!omp_p}: the
+    fused fold driver runs each fold's walk on a {!Lars.Engine} and
+    serves both of its per-step sweeps from one
+    {!Corr_sweep.gram_tr_multi} pass per lockstep round — curves, λ and
+    model bitwise identical to the fold-at-a-time driver. *)
 
 val generic_p :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
@@ -122,6 +137,68 @@ val generic_p :
     seed, data size, fold count or λ grid) raises [Invalid_argument]
     rather than polluting the average.
     @raise Invalid_argument if a fold produces an empty path. *)
+
+(** {2 Multi-output selection}
+
+    R performance metrics of one circuit share the design matrix; the
+    [_multi_p] drivers share everything else too: one fold plan, one
+    fused lockstep grid of R×Q fold solvers whose greedy steps are all
+    served by a single multi-residual sweep per round (each streamed
+    column generated {e once} per step for every output and fold), and
+    R per-output refits. Output [r]'s result — λ, curve, model — is
+    bitwise identical to the corresponding single-output [_p] call on
+    [fs.(r)] with a {!Randkit.Prng.copy} of the same generator. *)
+
+val resolve_fused_multi :
+  sweep:Corr_sweep.sweep option ->
+  fused:bool option ->
+  shards:int option ->
+  bool
+(** Whether the fused multi-output grid driver applies: requires the
+    exact sweep and no sharding; defaults {e on} whenever legal (the
+    grid amortizes every sweep across R×Q solvers, dense providers
+    included). An explicit [fused = Some true] under [shards > 1]
+    raises {!Conflict}; [Some false] always resolves to per-output
+    fitting. Exposed for {!Solver.fit_multi_p}'s driver choice. *)
+
+val omp_multi_p :
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] ->
+  ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
+  max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t array ->
+  result array
+(** Fused multi-output OMP selection, one {!result} per response in
+    order. Exact sweep, unsharded (the caller chooses per-output
+    fitting otherwise — see {!resolve_fused_multi}).
+
+    [checkpoint]/[resume]: with [checkpoint = base], the grid writes a
+    {!Serialize.Checkpoint.Multi} manifest at [base.multi] and each
+    finished (output, fold) cell as an ordinary Cv fold file at
+    [base.out<r>.fold<q>]; with [resume], matching cell files are
+    loaded and their fits skipped — bitwise identical to an
+    uninterrupted run. A manifest or cell file disagreeing with the
+    grid shape or fold plan raises [Invalid_argument]. The per-output
+    bases are exactly the per-output checkpoint paths the non-fused
+    driver uses, so a run interrupted in one mode can resume in the
+    other. *)
+
+val star_multi_p :
+  ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->
+  ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
+  max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t array ->
+  result array
+(** As {!omp_multi_p} for STAR. *)
+
+val lars_multi_p :
+  ?folds:int -> ?rule:rule -> ?mode:Lars.mode -> ?pool:Parallel.Pool.t ->
+  ?on_singular:[ `Stop | `Fallback ] ->
+  ?checkpoint:string -> ?resume:bool -> Randkit.Prng.t ->
+  max_lambda:int -> Polybasis.Design.Provider.t -> Linalg.Vec.t array ->
+  result array
+(** As {!omp_multi_p} for the LAR/lasso walk: every fold×output walk
+    runs on a {!Lars.Engine}, and each lockstep round serves all live
+    walks' sweeps — correlation and step-length phases mixed freely —
+    from one {!Corr_sweep.gram_tr_multi} pass. *)
 
 val omp :
   ?folds:int -> ?rule:rule -> ?pool:Parallel.Pool.t ->

@@ -554,4 +554,61 @@ module Checkpoint = struct
 
     let load path = read_file path of_string
   end
+
+  (* Multi-output CV manifest: one file naming the (outputs × folds)
+     grid, with each output's fold curves checkpointed as ordinary Cv
+     files under a per-output base — a resumed multi-output sweep
+     validates the grid shape once here and then reuses the whole Cv
+     load/validate path per fold file. *)
+  module Multi = struct
+    type t = {
+      outputs : int;
+      folds : int;
+      n : int;
+      max_lambda : int;
+      plan_digest : int64;
+    }
+
+    let manifest_file base = base ^ ".multi"
+
+    let output_base base r = Printf.sprintf "%s.out%d" base r
+
+    let to_string c =
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf "rsm-multi-ckpt 1\n";
+      Buffer.add_string buf (Printf.sprintf "outputs %d\n" c.outputs);
+      Buffer.add_string buf (Printf.sprintf "folds %d\n" c.folds);
+      Buffer.add_string buf (Printf.sprintf "n %d\n" c.n);
+      Buffer.add_string buf (Printf.sprintf "max_lambda %d\n" c.max_lambda);
+      Buffer.add_string buf (Printf.sprintf "plan_digest %Lx\n" c.plan_digest);
+      Buffer.contents buf
+
+    let of_string s =
+      let lines =
+        String.split_on_char '\n' s
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "")
+      in
+      let ( let* ) = Result.bind in
+      match lines with
+      | [ header; outputs_l; folds_l; n_l; ml_l; digest_l ]
+        when header = "rsm-multi-ckpt 1" ->
+          let* outputs = field_of "outputs" int_of_string_opt outputs_l in
+          let* folds = field_of "folds" int_of_string_opt folds_l in
+          let* n = field_of "n" int_of_string_opt n_l in
+          let* max_lambda = field_of "max_lambda" int_of_string_opt ml_l in
+          let* plan_digest = field_of "plan_digest" hex64_of_string digest_l in
+          if outputs < 1 then Error "non-positive output count"
+          else if folds < 2 then Error "fewer than 2 folds"
+          else if n <= 0 then Error "non-positive sample count"
+          else if max_lambda <= 0 then Error "non-positive max_lambda"
+          else Ok { outputs; folds; n; max_lambda; plan_digest }
+      | first :: _ when first <> "rsm-multi-ckpt 1" ->
+          Error ("unrecognized multi-checkpoint header: " ^ first)
+      | _ -> Error "truncated multi checkpoint"
+
+    let save path c = atomic_write path (to_string c)
+
+    let load path = read_file path of_string
+  end
 end

@@ -200,6 +200,45 @@ module Checkpoint : sig
 
     val load : string -> (t, string) result
   end
+
+  (** Multi-output CV manifest. One file at ["<base>.multi"] records
+      the (outputs × folds) grid shape; each output [r]'s fold curves
+      are ordinary {!Cv} files under the per-output base
+      [output_base base r], i.e. at ["<base>.out<r>.fold<q>"]. Format:
+      {v
+      rsm-multi-ckpt 1
+      outputs <R>
+      folds <Q>
+      n <samples>
+      max_lambda <L>
+      plan_digest <hex64>
+      v} *)
+  module Multi : sig
+    type t = {
+      outputs : int;
+      folds : int;
+      n : int;  (** dataset size the plan was built for *)
+      max_lambda : int;
+      plan_digest : int64;  (** FNV-1a digest of the fold-assignment plan *)
+    }
+
+    val manifest_file : string -> string
+    (** [manifest_file base] is ["<base>.multi"]. *)
+
+    val output_base : string -> int -> string
+    (** [output_base base r] is ["<base>.out<r>"] — the {!Cv} base for
+        output [r]'s fold files. *)
+
+    val to_string : t -> string
+
+    val of_string : string -> (t, string) result
+
+    val save : string -> t -> unit
+    (** Atomic write, like {!Checkpoint.save}.
+        @raise Sys_error on IO failure. *)
+
+    val load : string -> (t, string) result
+  end
 end
 
 val to_expression : Model.t -> Polybasis.Basis.t -> string

@@ -59,8 +59,8 @@ val fit_cv_p :
 
     [sweep] selects the correlation engine for the path methods (default
     {!Corr_sweep.Exact}); [fused] controls the fused lockstep CV driver
-    for OMP/STAR — both forwarded to the {!Select} [_p] entry points
-    (see {!Select.omp_p}). Ignored by [Ls]/[Stomp]/[Cosamp].
+    for OMP/STAR/LAR/LASSO — both forwarded to the {!Select} [_p] entry
+    points (see {!Select.omp_p}). Ignored by [Ls]/[Stomp]/[Cosamp].
 
     [shards]/[shard_mode]/[recovered] route the path methods' selection
     sweeps through the column-sharded engine ({!Shard_sweep}, see
@@ -77,3 +77,40 @@ val fit_cv_p :
     {!Model.notes} (deduplicated by {!Model.add_note}) — how the
     pipeline records a quorum-degraded delivery on the artifact itself,
     so the note survives serialization and serving. *)
+
+val fit_multi_p :
+  ?folds:int -> ?max_lambda:int -> ?on_singular:[ `Stop | `Fallback ] ->
+  ?sweep:Corr_sweep.sweep ->
+  ?shards:int -> ?shard_mode:Shard_sweep.mode -> ?recovered:int ref ->
+  ?fused:bool -> ?fused_outputs:bool ->
+  ?cv_checkpoint:string -> ?cv_resume:bool -> ?notes:string array array ->
+  Randkit.Prng.t ->
+  Polybasis.Design.Provider.t -> Linalg.Vec.t array -> method_ ->
+  Model.t array
+(** [fit_multi_p rng src fs m] fits one model per response in [fs] over
+    the shared design — the multi-output extension of {!fit_cv_p}, one
+    model per output in order.
+
+    [fused_outputs] picks the driver. The {e fused} grid (default
+    whenever the path method runs the exact sweep unsharded — see
+    {!Select.resolve_fused_multi}; an explicit [true] under
+    [shards > 1] raises {!Select.Conflict}) selects every output's λ
+    from one lockstep grid of outputs×folds fold solvers, generating
+    each streamed column once per greedy step for the whole grid. The
+    {e per-output} driver runs R independent {!fit_cv_p} calls, each
+    seeded with a {!Randkit.Prng.copy} of [rng] (the caller's generator
+    is not consumed) — and the fused driver's per-output results are
+    bitwise identical to it, at every domain count and in both provider
+    forms. Non-path methods ([Ls]/[Stomp]/[Cosamp]) always fit
+    per-output.
+
+    [fused] (the per-fold CV driver flag) applies to the per-output
+    driver only; the fused grid subsumes it. [cv_checkpoint = base]
+    checkpoints output [r] under
+    {!Serialize.Checkpoint.Multi.output_base}[ base r] in either mode
+    (the fused grid additionally writes a manifest at [base.multi]), so
+    a run interrupted in one mode resumes bitwise in the other.
+
+    [notes] supplies one provenance-note array per output.
+    @raise Invalid_argument when [fs] is empty or [notes] disagrees in
+    length. *)

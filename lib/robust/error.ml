@@ -1,15 +1,19 @@
 type t =
   | Invalid_input of string
+  | Config of string
   | Simulation of string
   | Numerical of string
   | Io of string
   | Internal of string
 
 let message = function
-  | Invalid_input m | Simulation m | Numerical m | Io m | Internal m -> m
+  | Invalid_input m | Config m | Simulation m | Numerical m | Io m
+  | Internal m ->
+      m
 
 let to_string = function
   | Invalid_input m -> "invalid input: " ^ m
+  | Config m -> "config: " ^ m
   | Simulation m -> "simulation: " ^ m
   | Numerical m -> "numerical: " ^ m
   | Io m -> "i/o: " ^ m
@@ -17,6 +21,7 @@ let to_string = function
 
 let of_exn = function
   | Invalid_argument m | Failure m -> Invalid_input m
+  | Rsm.Select.Conflict m -> Config m
   | Sys_error m -> Io m
   | Linalg.Cholesky.Not_positive_definite i ->
       Numerical

@@ -37,6 +37,7 @@ type config = {
   shards : int;
   shard_mode : Rsm.Shard_sweep.mode;
   fused_cv : bool option;
+  fused_outputs : bool option;
   rescreen : bool;
 }
 
@@ -50,7 +51,8 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
     ?(min_samples = 30) ?(quorum = default_quorum)
     ?(streamed = false) ?checkpoint ?(resume = false)
     ?(sweep = Rsm.Corr_sweep.Exact) ?(shards = 1)
-    ?(shard_mode = Rsm.Shard_sweep.Domains) ?fused_cv ?(rescreen = false) () =
+    ?(shard_mode = Rsm.Shard_sweep.Domains) ?fused_cv ?fused_outputs
+    ?(rescreen = false) () =
   let fail fmt = Printf.ksprintf (fun m -> Error (Error.Invalid_input m)) fmt in
   if folds < 2 then fail "folds must be at least 2, got %d" folds
   else if
@@ -59,6 +61,26 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
     | Rsm.Corr_sweep.Exact -> false
   then fail "incremental sweep refresh cadence must be non-negative"
   else if shards < 1 then fail "shards must be positive, got %d" shards
+  else if fused_cv = Some true && shards > 1 then
+    (* Caught here, before any simulation spend; the same contradiction
+       reaching the solver raises [Rsm.Select.Conflict] with the same
+       category. *)
+    Error
+      (Error.Config
+         (Printf.sprintf
+            "--fused-cv conflicts with --shards %d: the sharded engine owns \
+             each solver run's selection sweep, while fused CV shares one \
+             sweep across all folds; drop --fused-cv or run with --shards 1"
+            shards))
+  else if fused_outputs = Some true && shards > 1 then
+    Error
+      (Error.Config
+         (Printf.sprintf
+            "--fused-outputs conflicts with --shards %d: the sharded engine \
+             owns each solver run's selection sweep, while fused multi-output \
+             fitting shares one sweep across all outputs and folds; drop \
+             --fused-outputs or run with --shards 1"
+            shards))
   else if max_lambda < 1 then fail "max_lambda must be positive, got %d" max_lambda
   else if samples < 1 then fail "samples must be positive, got %d" samples
   else if screen_threshold <= 0. then
@@ -107,6 +129,7 @@ let config ?(method_ = Rsm.Solver.Omp) ?(folds = 4) ?(max_lambda = 100)
         shards;
         shard_mode;
         fused_cv;
+        fused_outputs;
         rescreen;
       }
 
@@ -355,6 +378,183 @@ let fit ?pool ?recovered cfg sim basis rng =
         adaptive_report;
       }
 
+type multi_outcome = {
+  models : Rsm.Model.t array;
+  datasets : Circuit.Simulator.dataset array;
+  m_run_report : Circuit.Simulator.run_report;
+  screen_reports : Screen.report option array;
+  m_point_report : Screen.point_report option;
+}
+
+(* Intersect per-output kept sets: a row survives only when every
+   output's screen kept it, so all outputs keep one shared row set —
+   and hence one design matrix. [kepts] are ascending index arrays in
+   the same (delivered-row) index space. *)
+let intersect_kept ~n kepts =
+  let count = Array.make n 0 in
+  Array.iter (Array.iter (fun i -> count.(i) <- count.(i) + 1)) kepts;
+  let r = Array.length kepts in
+  let shared = ref [] in
+  for i = n - 1 downto 0 do
+    if count.(i) = r then shared := i :: !shared
+  done;
+  Array.of_list !shared
+
+let fit_multi ?pool ?recovered cfg sims basis rng =
+  let outputs = Array.length sims in
+  if outputs = 0 then
+    Error (Error.Invalid_input "fit_multi: at least one simulator required")
+  else if cfg.adaptive <> None then
+    Error
+      (Error.Config
+         "adaptive retry is not available for multi-output fits: the breaker \
+          driver owns the per-sample retry loop of a single simulator; use \
+          the fixed retry policy or fit each output separately")
+  else
+    let* datasets, run_report =
+      Error.guard (fun () ->
+          Circuit.Simulator.run_robust_multi ?pool ~faults:cfg.faults
+            ~retry:cfg.retry sims rng ~k:cfg.samples)
+    in
+    let screen_response =
+      cfg.screen
+      && match cfg.screen_space with Response | Both -> true | Factor -> false
+    in
+    let screen_factor =
+      cfg.screen
+      && match cfg.screen_space with Factor | Both -> true | Response -> false
+    in
+    let* datasets, screen_reports =
+      if not screen_response then Ok (datasets, Array.map (fun _ -> None) sims)
+      else
+        (* Each output is screened on its own center/spread (a gain
+           outlier says nothing about the power scale), then the kept
+           sets are intersected so the surviving rows are shared. *)
+        let rec screen_all r acc =
+          if r = outputs then Ok (List.rev acc)
+          else
+            let* _, rep =
+              match
+                Error.guard (fun () ->
+                    Screen.screen ~threshold:cfg.screen_threshold datasets.(r))
+              with
+              | Ok inner -> inner
+              | Error e -> Error e
+            in
+            screen_all (r + 1) (rep :: acc)
+        in
+        let* reports = screen_all 0 [] in
+        let reports = Array.of_list reports in
+        let n = Circuit.Simulator.dataset_size datasets.(0) in
+        let shared =
+          intersect_kept ~n (Array.map (fun r -> r.Screen.kept) reports)
+        in
+        (* Split once so the surviving point array stays physically
+           shared across the per-output datasets. *)
+        let first = Circuit.Simulator.split datasets.(0) shared in
+        Ok
+          ( Array.map
+              (fun d ->
+                {
+                  (Circuit.Simulator.split d shared) with
+                  Circuit.Simulator.points = first.Circuit.Simulator.points;
+                })
+              datasets,
+            Array.map (fun r -> Some r) reports )
+    in
+    let* datasets, point_report =
+      if not screen_factor then Ok (datasets, None)
+      else
+        (* The factor points are shared across outputs, so the point
+           screen runs once (on output 0's dataset) and its verdict is
+           applied to every output. *)
+        let* _, rep =
+          match
+            Error.guard (fun () ->
+                Screen.mahalanobis ~confidence:cfg.screen_confidence
+                  datasets.(0))
+          with
+          | Ok inner -> inner
+          | Error e -> Error e
+        in
+        let first = Circuit.Simulator.split datasets.(0) rep.Screen.p_kept in
+        Ok
+          ( Array.map
+              (fun d ->
+                {
+                  (Circuit.Simulator.split d rep.Screen.p_kept) with
+                  Circuit.Simulator.points = first.Circuit.Simulator.points;
+                })
+              datasets,
+            Some rep )
+    in
+    let n = Circuit.Simulator.dataset_size datasets.(0) in
+    let quorum_floor =
+      int_of_float (Float.ceil (cfg.quorum *. float_of_int cfg.samples))
+    in
+    if n < cfg.min_samples then
+      Error
+        (Error.Simulation
+           (Printf.sprintf
+              "only %d of %d requested samples survived delivery and \
+               screening (minimum %d); raise the sample count, the retry \
+               budget, or the screen threshold"
+              n cfg.samples cfg.min_samples))
+    else if n < quorum_floor then
+      Error
+        (Error.Simulation
+           (Printf.sprintf
+              "quorum lost: only %d of %d requested samples survived \
+               delivery and screening, below the %g%% quorum (%d); raise the \
+               sample count or the retry budget, or lower --quorum to accept \
+               a degraded fit"
+              n cfg.samples (100. *. cfg.quorum) quorum_floor))
+    else
+      let notes =
+        if n >= cfg.samples then Array.make outputs [||]
+        else
+          Array.make outputs
+            [|
+              degraded_note ~requested:cfg.samples ~survived:n
+                ~quorum:cfg.quorum run_report;
+            |]
+      in
+      let* src =
+        Error.guard (fun () ->
+            let pts = datasets.(0).Circuit.Simulator.points in
+            if cfg.streamed then Provider.streamed basis pts
+            else Provider.dense (Polybasis.Design.matrix_rows ?pool basis pts))
+      in
+      let fs =
+        Array.map (fun d -> d.Circuit.Simulator.values) datasets
+      in
+      let* models =
+        Error.guard (fun () ->
+            Rsm.Solver.fit_multi_p ~folds:cfg.folds ~max_lambda:cfg.max_lambda
+              ~on_singular:`Fallback ~sweep:cfg.sweep ~shards:cfg.shards
+              ~shard_mode:cfg.shard_mode ?recovered ?fused:cfg.fused_cv
+              ?fused_outputs:cfg.fused_outputs ?cv_checkpoint:cfg.checkpoint
+              ~cv_resume:cfg.resume ~notes rng src fs cfg.method_)
+      in
+      let* models =
+        if not cfg.rescreen then Ok models
+        else
+          Error.guard (fun () ->
+              Array.mapi
+                (fun r m ->
+                  fst
+                    (screen_refit ~threshold:cfg.screen_threshold src fs.(r) m))
+                models)
+      in
+      Ok
+        {
+          models;
+          datasets;
+          m_run_report = run_report;
+          screen_reports;
+          m_point_report = point_report;
+        }
+
 let outcome_summary o =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Circuit.Simulator.report_summary o.run_report);
@@ -391,3 +591,51 @@ let outcome_summary o =
     (fun note -> Buffer.add_string buf (Printf.sprintf "\nnote: %s" note))
     (Rsm.Model.notes o.model);
   Buffer.contents buf
+
+let multi_outcome_summary ?names o =
+  let outputs = Array.length o.models in
+  let name r =
+    match names with
+    | Some ns when Array.length ns = outputs -> ns.(r)
+    | _ -> Printf.sprintf "output %d" r
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Circuit.Simulator.report_summary o.m_run_report);
+  Buffer.add_char buf '\n';
+  let any_screen =
+    Array.exists Option.is_some o.screen_reports || o.m_point_report <> None
+  in
+  if not any_screen then Buffer.add_string buf "screen: off\n"
+  else begin
+    Array.iteri
+      (fun r rep ->
+        match rep with
+        | Some rep ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s %s\n" (name r) (Screen.report_summary rep))
+        | None -> ())
+      o.screen_reports;
+    match o.m_point_report with
+    | Some rep ->
+        Buffer.add_string buf (Screen.point_report_summary rep);
+        Buffer.add_char buf '\n'
+    | None -> ()
+  end;
+  let rows = Circuit.Simulator.dataset_size o.datasets.(0) in
+  Array.iteri
+    (fun r m ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %d bases selected from %d rows" (name r)
+           (Rsm.Model.nnz m) rows);
+      Array.iter
+        (fun note ->
+          Buffer.add_string buf (Printf.sprintf "\n%s note: %s" (name r) note))
+        (Rsm.Model.notes m);
+      Buffer.add_char buf '\n')
+    o.models;
+  (* Drop the trailing newline so the summary composes like
+     [outcome_summary]'s. *)
+  let s = Buffer.contents buf in
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s

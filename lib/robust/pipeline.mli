@@ -61,7 +61,16 @@ type config = {
           with crash recovery *)
   fused_cv : bool option;
       (** fused lockstep CV fold driver; [None] = automatic
-          (on for streamed providers with the exact sweep) *)
+          (on for streamed providers with the exact sweep).
+          [Some true] with [shards > 1] is rejected by {!config} as
+          [Error (Config _)] — the two drivers are mutually
+          exclusive *)
+  fused_outputs : bool option;
+      (** fused multi-output grid driver ({!fit_multi}); [None] =
+          automatic (on whenever the path method runs the exact sweep
+          unsharded — see {!Rsm.Select.resolve_fused_multi}).
+          [Some true] with [shards > 1] is rejected by {!config} as
+          [Error (Config _)]. Ignored by single-output {!fit}. *)
   rescreen : bool;  (** residual rescreen + down-date refit after the fit *)
 }
 
@@ -86,6 +95,7 @@ val config :
   ?shards:int ->
   ?shard_mode:Rsm.Shard_sweep.mode ->
   ?fused_cv:bool ->
+  ?fused_outputs:bool ->
   ?rescreen:bool ->
   unit ->
   (config, Error.t) result
@@ -100,7 +110,8 @@ val config :
     confidence or quorum outside its range, a negative incremental
     refresh cadence, [min_samples > samples], [resume] without
     [checkpoint], or [checkpoint] with a method that has no λ sweep
-    (LS/StOMP/CoSaMP). *)
+    (LS/StOMP/CoSaMP); [Error (Config _)] on an explicit [fused_cv]
+    or [fused_outputs] together with [shards > 1]. *)
 
 type outcome = {
   model : Rsm.Model.t;
@@ -183,3 +194,60 @@ val fit :
 val outcome_summary : outcome -> string
 (** Multi-line human-readable account: delivery, hygiene, model size and
     any fallback notes. *)
+
+(** {2 Multi-output pipeline}
+
+    R performance metrics of one circuit — the op-amp's gain, bandwidth,
+    power and offset — share their Monte-Carlo points, their fault
+    history, their hygiene verdicts and their design matrix; only the
+    response vectors differ. {!fit_multi} runs the whole pipeline once
+    for all of them: one {!Circuit.Simulator.run_robust_multi} batch
+    (every sample evaluated by every simulator, delivered only when all
+    outputs are finite), one shared kept-row set (per-output response
+    screens intersected, one point screen), one design provider, and one
+    {!Rsm.Solver.fit_multi_p} call whose fused grid generates each
+    streamed column once per greedy step for every output and fold. *)
+
+type multi_outcome = {
+  models : Rsm.Model.t array;  (** one fitted model per simulator, in order *)
+  datasets : Circuit.Simulator.dataset array;
+      (** the rows each fit used; the point arrays are physically
+          shared across outputs (one kept-row set) *)
+  m_run_report : Circuit.Simulator.run_report;
+      (** one delivery/retry account for the shared batch *)
+  screen_reports : Screen.report option array;
+      (** per-output response-screen reports (indices in delivered-row
+          space, {e before} the kept-set intersection); [None] entries
+          when the response screen did not run *)
+  m_point_report : Screen.point_report option;
+      (** the shared factor-space verdict; [None] when it did not run *)
+}
+
+val fit_multi :
+  ?pool:Parallel.Pool.t ->
+  ?recovered:int ref ->
+  config ->
+  Circuit.Simulator.t array ->
+  Polybasis.Basis.t ->
+  Randkit.Prng.t ->
+  (multi_outcome, Error.t) result
+(** Run the full pipeline for every simulator at once. The simulators
+    must agree on [dim]; [config.adaptive] must be [None] (the breaker
+    driver owns a single simulator's retry loop — requesting it here
+    fails with [Config _], as does an empty simulator array with
+    [Invalid_input _]).
+
+    Quorum/degradation semantics are {!fit}'s, applied to the shared
+    surviving row count; a degraded delivery stamps the same
+    ["degraded: ..."] note on {e every} model. [config.fused_outputs]
+    picks the fused-vs-per-output driver (see {!Rsm.Solver.fit_multi_p});
+    either way output [r] checkpoints under
+    [Serialize.Checkpoint.Multi.output_base config.checkpoint r], and
+    the fitted models are bitwise identical across the two drivers, at
+    every domain count, dense or streamed. *)
+
+val multi_outcome_summary : ?names:string array -> multi_outcome -> string
+(** Multi-line account of a multi-output run: one delivery line, the
+    per-output hygiene lines, and one model line per output. [names]
+    labels the outputs (e.g. metric names); defaults to
+    ["output <r>"]. *)

@@ -102,13 +102,23 @@ type point_report = {
 
 let default_confidence = 0.999
 
-(* Wilson–Hilferty: chi²_d(p) ≈ d·(1 − 2/(9d) + z_p·√(2/(9d)))³ — within
-   a few permil for d ≥ 2, plenty for a screening cut. *)
+(* χ² quantile of the distance cut. dof 1 and 2 have exact closed
+   forms — χ²₁(p) = (Φ⁻¹((1+p)/2))² (equivalently (√2·erfc⁻¹(1−p))²)
+   and χ²₂(p) = −2·ln(1−p) — and the Wilson–Hilferty cube approximation
+   is off by several percent exactly there (−3.6% at dof 1, p = 0.999),
+   skewing the factor screen for 1–2 variable designs. Use the closed
+   forms at dof ≤ 2 and Wilson–Hilferty (within a few permil) above. *)
 let chi2_quantile ~dof p =
-  let d = float_of_int dof in
-  let c = 2. /. (9. *. d) in
-  let t = 1. -. c +. (Stat.Distribution.quantile p *. sqrt c) in
-  d *. t *. t *. t
+  match dof with
+  | 1 ->
+      let z = Stat.Distribution.quantile ((1. +. p) /. 2.) in
+      z *. z
+  | 2 -> -2. *. log (1. -. p)
+  | _ ->
+      let d = float_of_int dof in
+      let c = 2. /. (9. *. d) in
+      let t = 1. -. c +. (Stat.Distribution.quantile p *. sqrt c) in
+      d *. t *. t *. t
 
 let shrinkage_ladder = [| 0.05; 0.1; 0.2; 0.4; 0.8; 1.0 |]
 

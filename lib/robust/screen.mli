@@ -100,9 +100,11 @@ val default_confidence : float
     is clipped, while corrupted coordinates sit far outside. *)
 
 val chi2_quantile : dof:int -> float -> float
-(** [chi2_quantile ~dof p] is the χ² quantile by the Wilson–Hilferty
-    cube approximation (within a few permil for [dof >= 2]) — exported
-    for tests and for sizing custom cuts. *)
+(** [chi2_quantile ~dof p] is the χ² quantile: exact closed forms at
+    [dof = 1] ([(Φ⁻¹((1+p)/2))²], i.e. the squared half-normal quantile)
+    and [dof = 2] ([−2·ln(1−p)]), the Wilson–Hilferty cube approximation
+    (within a few permil) at [dof >= 3]. Exported for tests and for
+    sizing custom cuts. *)
 
 val mahalanobis :
   ?confidence:float ->

@@ -4,7 +4,7 @@
 
 type entry = { digest : int64; model : Rsm.Model.t; tape : Eval.t }
 
-type stats = { hits : int; misses : int; evictions : int }
+type stats = { hits : int; misses : int; evictions : int; rejected : int }
 
 type t = {
   basis : Polybasis.Basis.t;
@@ -13,16 +13,32 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable rejected : int;
 }
 
 let create ?(capacity = 8) basis =
   if capacity < 1 then
     invalid_arg "Serve.Registry.create: capacity must be positive";
-  { basis; capacity; entries = []; hits = 0; misses = 0; evictions = 0 }
+  {
+    basis;
+    capacity;
+    entries = [];
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    rejected = 0;
+  }
 
 let capacity t = t.capacity
 let size t = List.length t.entries
-let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    rejected = t.rejected;
+  }
 let basis t = t.basis
 
 let mem t digest = List.exists (fun e -> e.digest = digest) t.entries
@@ -51,6 +67,8 @@ let insert t entry =
     t.evictions <- t.evictions + 1
   end
 
+(* Compile fully before touching the registry: a failed compile must not
+   count as a miss or leave a partially-constructed entry resident. *)
 let compile_entry t digest model =
   let tape = Eval.compile model t.basis in
   let entry = { digest; model; tape } in
@@ -76,14 +94,22 @@ let read_file path =
           let n = in_channel_length ic in
           Ok (really_input_string ic n))
 
+(* Every failed load is a rejection: counted in [rejected] (never as a
+   miss — nothing was compiled into residence) and guaranteed to leave
+   the registry untouched. The digest check runs before any parse or
+   compile, so a pinned mismatch is refused without reading the model. *)
 let load ?expect t path =
+  let reject msg =
+    t.rejected <- t.rejected + 1;
+    Error msg
+  in
   match read_file path with
-  | Error e -> Error e
+  | Error e -> reject e
   | Ok bytes -> (
       let digest = Rsm.Serialize.digest_string bytes in
       match expect with
       | Some d when d <> digest ->
-          Error
+          reject
             (Printf.sprintf
                "digest mismatch for %s: expected %Lx, file content is %Lx" path
                d digest)
@@ -94,8 +120,16 @@ let load ?expect t path =
               Ok e
           | None -> (
               match Rsm.Serialize.of_string bytes with
-              | Error e -> Error (path ^ ": " ^ e)
+              | Error e -> reject (path ^ ": " ^ e)
               | Ok model -> (
-                  match compile_entry t digest model with
-                  | e -> Ok e
-                  | exception Invalid_argument msg -> Error msg))))
+                  (* Compile outside the registry, then insert: a
+                     basis-size disagreement is rejected before
+                     insertion, so no partially-constructed tape can sit
+                     resident until the next eviction sweep. *)
+                  match Eval.compile model t.basis with
+                  | exception Invalid_argument msg -> reject msg
+                  | tape ->
+                      let entry = { digest; model; tape } in
+                      t.misses <- t.misses + 1;
+                      insert t entry;
+                      Ok entry))))

@@ -34,8 +34,15 @@ type entry = {
 
 type stats = {
   hits : int;  (** lookups served from a resident tape *)
-  misses : int;  (** lookups that parsed and compiled *)
+  misses : int;
+      (** lookups that parsed, compiled and inserted a new tape — only
+          successful compilations count *)
   evictions : int;  (** tapes dropped by the LRU policy *)
+  rejected : int;
+      (** failed {!load}s: unreadable files, digest-mismatch rejections,
+          parse failures and basis-size disagreements. A rejection is
+          counted here, never as a miss, and leaves the registry
+          untouched — nothing is inserted. *)
 }
 
 type t
@@ -77,4 +84,7 @@ val load : ?expect:int64 -> t -> string -> (entry, string) result
     miss. With [~expect:d], a file whose digest is not [d] is rejected
     with [Error] before any parse (digest-mismatch rejection). IO
     failures, parse failures and basis-size disagreements are all
-    reported as [Error]. *)
+    reported as [Error]; every such failure counts in [stats.rejected]
+    (not as a miss) and is rejected {e before} insertion — the registry
+    contents and recency order are exactly as if the call never
+    happened. *)

@@ -96,6 +96,55 @@ let run_fold_curves_batch ?cache plan ~fit_curves =
     pending;
   Array.map (function Some r -> r | None -> assert false) cached
 
+(* Multi-output extension of the batch driver: R responses share one
+   fold plan, and every (output, fold) pair whose curve is not cached
+   is handed to [fit_curves] in one flat call (output-major, fold
+   ascending), so the caller can drive all R×Q solvers in lockstep and
+   share each step's column generation across the whole grid. Cache
+   discipline is per output — loads happen sequentially up front in
+   output-major order, fresh curves are stored per (output, fold). *)
+let run_fold_curves_multi ?caches ~outputs plan ~fit_curves =
+  if outputs < 1 then
+    invalid_arg "Crossval.run_fold_curves_multi: outputs must be positive";
+  let cache_of r =
+    match caches with
+    | None -> None
+    | Some cs ->
+        if Array.length cs <> outputs then
+          invalid_arg "Crossval.run_fold_curves_multi: cache count mismatch";
+        cs.(r)
+  in
+  let cached = Array.init outputs (fun _ -> Array.make plan.folds None) in
+  for r = 0 to outputs - 1 do
+    match cache_of r with
+    | None -> ()
+    | Some c ->
+        for q = 0 to plan.folds - 1 do
+          cached.(r).(q) <- c.load q
+        done
+  done;
+  let pending = ref [] in
+  for r = outputs - 1 downto 0 do
+    for q = plan.folds - 1 downto 0 do
+      if cached.(r).(q) = None then begin
+        let train, held_out = fold_indices plan q in
+        pending := (r, q, train, held_out) :: !pending
+      end
+    done
+  done;
+  let pending = Array.of_list !pending in
+  let fresh = if Array.length pending = 0 then [||] else fit_curves pending in
+  if Array.length fresh <> Array.length pending then
+    invalid_arg "Crossval.run_fold_curves_multi: curve count mismatch";
+  Array.iteri
+    (fun i (r, q, _, _) ->
+      (match cache_of r with None -> () | Some c -> c.store q fresh.(i));
+      cached.(r).(q) <- Some fresh.(i))
+    pending;
+  Array.map
+    (Array.map (function Some c -> c | None -> assert false))
+    cached
+
 let run_curves ?pool plan ~fit_curve =
   let curves =
     run_fold_curves ?pool plan ~fit_curve:(fun _ ~train ~held_out ->

@@ -78,6 +78,31 @@ val run_fold_curves_batch :
     @raise Invalid_argument when [fit_curves] returns the wrong number
     of curves. *)
 
+val run_fold_curves_multi :
+  ?caches:fold_cache option array ->
+  outputs:int ->
+  plan ->
+  fit_curves:((int * int * int array * int array) array -> float array array) ->
+  float array array array
+(** [run_fold_curves_multi ~outputs plan ~fit_curves] extends
+    {!run_fold_curves_batch} to [R = outputs] responses sharing one
+    fold plan: every (output, fold) pair whose curve is not cached is
+    handed to {e one} call
+    [fit_curves [| (r, q, train, held_out); … |]] (output-major, folds
+    ascending within each output), which must return one curve per
+    entry, in order. The result is indexed [.(r).(q)]. This is the
+    entry point for fused multi-output fitting — the caller runs all
+    R×Q fold solvers in lockstep and shares each step's column
+    generation across the whole grid (see [Rsm.Select]); with
+    per-(output, fold) results bitwise equal to independent fits, the
+    returned curves equal R separate {!run_fold_curves} runs. [?caches]
+    supplies one optional {!fold_cache} per output; loads happen
+    sequentially before fitting, fresh curves are stored per
+    (output, fold).
+    @raise Invalid_argument when [outputs < 1], when [caches] has the
+    wrong length, or when [fit_curves] returns the wrong number of
+    curves. *)
+
 val run_curves :
   ?pool:Parallel.Pool.t -> plan ->
   fit_curve:(train:int array -> held_out:int array -> float array) ->

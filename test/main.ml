@@ -38,4 +38,5 @@ let () =
       Test_shard.suite;
       Test_serve.suite;
       Test_burst.suite;
+      Test_multi.suite;
     ]

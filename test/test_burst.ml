@@ -298,6 +298,28 @@ let test_chi2_quantile_sanity () =
     (Robust.Screen.chi2_quantile ~dof:5 0.99
     > Robust.Screen.chi2_quantile ~dof:5 0.9)
 
+let test_chi2_quantile_low_dof_exact () =
+  (* Regression for the Wilson–Hilferty cube at dof 1–2: it was off by
+     several percent there (−3.6% at dof 1, p = 0.999), skewing the
+     factor-screen cut for 1–2 variable designs. The closed forms must
+     now match reference quantiles to the inverse-normal's accuracy. *)
+  let q = Robust.Screen.chi2_quantile in
+  check_float ~eps:1e-6 "chi2_1(0.95)" 3.8414588206941254 (q ~dof:1 0.95);
+  check_float ~eps:1e-6 "chi2_1(0.99)" 6.6348966010212145 (q ~dof:1 0.99);
+  check_float ~eps:1e-6 "chi2_1(0.999)" 10.827566170662733 (q ~dof:1 0.999);
+  check_float ~eps:1e-9 "chi2_2(0.95)" 5.991464547107979 (q ~dof:2 0.95);
+  check_float ~eps:1e-9 "chi2_2(0.99)" 9.210340371976182 (q ~dof:2 0.99);
+  check_float ~eps:1e-9 "chi2_2(0.999)" 13.815510557964274 (q ~dof:2 0.999);
+  (* dof 2 closed form is exactly −2·ln(1−p); p = 0.75 keeps 1−p exact
+     in binary so the comparison can be bitwise. *)
+  check_float ~eps:0. "chi2_2 closed form" (-2. *. log 0.25) (q ~dof:2 0.75);
+  (* dof >= 3 still goes through Wilson–Hilferty (within a few permil of
+     the reference value, but not exact). *)
+  check_float ~eps:0.05 "chi2_3(0.95) approx" 7.814727903251179
+    (q ~dof:3 0.95);
+  check_bool "dof 3 stays Wilson-Hilferty" true
+    (Float.abs (q ~dof:3 0.95 -. 7.814727903251179) > 1e-9)
+
 let test_response_screen_two_sample_standdown () =
   (* Two rows an ocean apart: their MAD is |v1-v2|/2, putting each a
      constant 0.674 robust sigma from the midpoint — the old screen
@@ -618,6 +640,8 @@ let suite =
       case "mahalanobis: degenerate inputs and errors"
         test_mahalanobis_degenerate_and_errors;
       case "chi2 quantile: Wilson-Hilferty sanity" test_chi2_quantile_sanity;
+      case "chi2 quantile: exact closed forms at dof 1-2"
+        test_chi2_quantile_low_dof_exact;
       case "screen: two-sample MAD stands down"
         test_response_screen_two_sample_standdown;
       case "quorum: shortfall is a typed Simulation error"

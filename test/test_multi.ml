@@ -1,0 +1,514 @@
+(* Multi-output fused fitting.
+
+   Contracts under test:
+   - run_robust_multi shares one point set and one fault history across
+     outputs, and each output's dataset is bitwise equal to the
+     per-output run_robust with a copy of the same generator (finite
+     evaluators); a single-simulator multi run equals run_robust
+     exactly, report included.
+   - Crossval.run_fold_curves_multi equals the per-output fold loop and
+     validates its inputs.
+   - the fused multi-output grid (omp/star/lars_multi_p) is bitwise
+     equal to R independent single-output selections, dense and
+     streamed, at 1/2/4 domains, for every path solver — including the
+     Lars.Engine walk against Lars.path_p.
+   - Solver.fit_multi_p's fused and per-output drivers agree bitwise,
+     and both agree with R independent fit_cv_p calls.
+   - the Multi checkpoint manifest + per-output Cv fold files resume
+     bitwise after deleting arbitrary cells, resume across drivers
+     (fused grid <-> per-output), and reject mismatched shapes.
+   - resolve_fused_multi: explicit fused + shards raises Conflict;
+     Pipeline.config rejects the same combination as Error (Config _);
+     Pipeline.fit_multi rejects adaptive retry as Error (Config _).
+   - Pipeline.fit_multi shares rows across outputs and its two drivers
+     produce bitwise-identical models. *)
+open Test_util
+module P = Polybasis.Design.Provider
+module Sim = Circuit.Simulator
+
+let pool_counts = [ 1; 2; 4 ]
+
+let all_equal msg = function
+  | [] | [ _ ] -> ()
+  | ref :: rest ->
+      List.iteri
+        (fun i x ->
+          check_bool
+            (Printf.sprintf "%s: domains=%d equals domains=1" msg
+               (List.nth pool_counts (i + 1)))
+            true (x = ref))
+        rest
+
+let model_bits (m : Rsm.Model.t) =
+  (m.Rsm.Model.support, Array.copy m.Rsm.Model.coeffs)
+
+let random_setting seed =
+  let rng = Randkit.Prng.create seed in
+  let dim = 3 + Randkit.Prng.int rng 3 in
+  let basis = Polybasis.Basis.quadratic dim in
+  let k = 18 + Randkit.Prng.int rng 16 in
+  let pts = Array.init k (fun _ -> Randkit.Gaussian.vector rng dim) in
+  let g =
+    Parallel.Pool.with_pool ~domains:1 (fun pool ->
+        Polybasis.Design.matrix_rows ~pool basis pts)
+  in
+  (rng, basis, pts, g)
+
+let sparse_response rng src =
+  let k = P.rows src and m = P.cols src in
+  let p = 2 + Randkit.Prng.int rng 3 in
+  let support = Randkit.Sampling.subsample rng (Array.init m Fun.id) p in
+  let f = Array.init k (fun _ -> 0.05 *. Randkit.Gaussian.sample rng) in
+  Array.iter
+    (fun j ->
+      let col = P.column src j in
+      for i = 0 to k - 1 do
+        f.(i) <- f.(i) +. col.(i)
+      done)
+    support;
+  f
+
+(* --- run_robust_multi ---------------------------------------------- *)
+
+let sims3 =
+  [|
+    Sim.make ~name:"a" ~dim:3 ~seconds_per_sample:1. (fun p ->
+        p.(0) +. (2. *. p.(1)));
+    Sim.make ~name:"b" ~dim:3 ~seconds_per_sample:2. (fun p ->
+        p.(2) -. (p.(0) *. p.(1)));
+    Sim.make ~name:"c" ~dim:3 ~seconds_per_sample:0.5 (fun p ->
+        (3. *. p.(2)) +. (p.(1) *. p.(1)));
+  |]
+
+let faulty =
+  Sim.fault_plan ~rate:0.3
+    ~burst:(Sim.burst_model ~entry:0.05 ~len:4. ()) ()
+
+let report_sans_extra (r : Sim.run_report) =
+  { r with Sim.accounted_extra_seconds = 0. }
+
+let test_run_robust_multi_parity () =
+  let retry = Sim.retry_policy ~max_attempts:2 () in
+  let g = Randkit.Prng.create 42 in
+  let ds, rep =
+    Sim.run_robust_multi ~faults:faulty ~retry sims3 (Randkit.Prng.copy g)
+      ~k:60
+  in
+  check_bool "points physically shared" true
+    (ds.(0).Sim.points == ds.(1).Sim.points
+    && ds.(1).Sim.points == ds.(2).Sim.points);
+  Array.iteri
+    (fun r sim ->
+      let d, rep1 =
+        Sim.run_robust ~faults:faulty ~retry sim (Randkit.Prng.copy g) ~k:60
+      in
+      check_bool
+        (Printf.sprintf "output %d values bitwise equal per-output run" r)
+        true
+        (ds.(r).Sim.values = d.Sim.values);
+      check_bool
+        (Printf.sprintf "output %d points equal per-output run" r)
+        true
+        (ds.(r).Sim.points = d.Sim.points);
+      (* The report matches the per-output account except for the
+         accounted retry cost, which in the multi run charges the
+         summed per-sample cost of all simulators. *)
+      check_bool
+        (Printf.sprintf "output %d report equal modulo extra seconds" r)
+        true
+        (report_sans_extra rep = report_sans_extra rep1))
+    sims3;
+  (* A single-simulator multi run is run_robust exactly, report and
+     all. *)
+  let ds1, rep_a =
+    Sim.run_robust_multi ~faults:faulty ~retry
+      [| sims3.(0) |]
+      (Randkit.Prng.copy g) ~k:60
+  in
+  let d1, rep_b =
+    Sim.run_robust ~faults:faulty ~retry sims3.(0) (Randkit.Prng.copy g) ~k:60
+  in
+  check_bool "single-output multi == run_robust (dataset)" true
+    (ds1.(0) = d1);
+  check_bool "single-output multi == run_robust (report)" true (rep_a = rep_b);
+  ignore rep
+
+let test_run_robust_multi_pool_invariant () =
+  let retry = Sim.retry_policy ~max_attempts:3 () in
+  let seq =
+    Sim.run_robust_multi ~faults:faulty ~retry sims3
+      (Randkit.Prng.create 7) ~k:50
+  in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let par =
+        Sim.run_robust_multi ~pool ~faults:faulty ~retry sims3
+          (Randkit.Prng.create 7) ~k:50
+      in
+      check_bool "datasets pool-invariant" true (fst seq = fst par);
+      check_bool "report pool-invariant" true (snd seq = snd par))
+
+let test_run_robust_multi_validation () =
+  check_raises_invalid "empty sims" (fun () ->
+      Sim.run_robust_multi [||] (Randkit.Prng.create 1) ~k:5);
+  check_raises_invalid "k = 0" (fun () ->
+      Sim.run_robust_multi sims3 (Randkit.Prng.create 1) ~k:0);
+  let odd = Sim.make ~name:"odd" ~dim:2 ~seconds_per_sample:1. (fun _ -> 0.) in
+  check_raises_invalid "dimension mismatch" (fun () ->
+      Sim.run_robust_multi [| sims3.(0); odd |] (Randkit.Prng.create 1) ~k:5)
+
+(* --- Crossval.run_fold_curves_multi -------------------------------- *)
+
+let test_fold_curves_multi () =
+  let rng = Randkit.Prng.create 5 in
+  let plan = Stat.Crossval.make_plan rng ~n:20 ~folds:4 in
+  let curve_of r q ~train ~held_out =
+    [|
+      float_of_int ((10 * r) + q + Array.length train);
+      float_of_int (Array.length held_out);
+    |]
+  in
+  let reference =
+    Array.init 3 (fun r ->
+        Stat.Crossval.run_fold_curves plan ~fit_curve:(curve_of r))
+  in
+  let multi =
+    Stat.Crossval.run_fold_curves_multi ~outputs:3 plan
+      ~fit_curves:(fun pending ->
+        Array.map
+          (fun (r, q, train, held_out) -> curve_of r q ~train ~held_out)
+          pending)
+  in
+  check_bool "multi fold curves equal the per-output loop" true
+    (multi = reference);
+  check_raises_invalid "outputs must be positive" (fun () ->
+      Stat.Crossval.run_fold_curves_multi ~outputs:0 plan
+        ~fit_curves:(fun _ -> [||]))
+
+(* --- fused multi-output selection vs independent fits --------------- *)
+
+let result_bits (r : Rsm.Select.result) =
+  (r.Rsm.Select.lambda, Array.copy r.Rsm.Select.curve,
+   model_bits r.Rsm.Select.model)
+
+let prop_fused_multi_bitwise solver seed =
+  let rng, basis, pts, g = random_setting seed in
+  let src_s = P.streamed basis pts in
+  let src_d = P.dense g in
+  let outputs = 1 + Randkit.Prng.int rng 3 in
+  let fs = Array.init outputs (fun _ -> sparse_response rng src_d) in
+  let fused_multi pool src =
+    let r0 = Randkit.Prng.create (seed + 11) in
+    match solver with
+    | `Omp -> Rsm.Select.omp_multi_p ~pool r0 ~max_lambda:5 src fs
+    | `Star -> Rsm.Select.star_multi_p ~pool r0 ~max_lambda:5 src fs
+    | `Lar ->
+        Rsm.Select.lars_multi_p ~pool ~mode:Rsm.Lars.Lar r0 ~max_lambda:5 src
+          fs
+    | `Lasso ->
+        Rsm.Select.lars_multi_p ~pool ~mode:Rsm.Lars.Lasso r0 ~max_lambda:5
+          src fs
+  in
+  let single pool src f =
+    (* An independent single-output selection from the same generator
+       state, on the fold-at-a-time driver (fused:false), so the grid
+       is checked against the plain path_p walks. *)
+    let r0 = Randkit.Prng.create (seed + 11) in
+    match solver with
+    | `Omp -> Rsm.Select.omp_p ~pool ~fused:false r0 ~max_lambda:5 src f
+    | `Star -> Rsm.Select.star_p ~pool ~fused:false r0 ~max_lambda:5 src f
+    | `Lar ->
+        Rsm.Select.lars_p ~pool ~mode:Rsm.Lars.Lar ~fused:false r0
+          ~max_lambda:5 src f
+    | `Lasso ->
+        Rsm.Select.lars_p ~pool ~mode:Rsm.Lars.Lasso ~fused:false r0
+          ~max_lambda:5 src f
+  in
+  List.iter
+    (fun src ->
+      let name = if P.is_streamed src then "streamed" else "dense" in
+      let results =
+        List.map
+          (fun d ->
+            Parallel.Pool.with_pool ~domains:d (fun pool ->
+                let grid = Array.map result_bits (fused_multi pool src) in
+                let indep =
+                  Array.map (fun f -> result_bits (single pool src f)) fs
+                in
+                check_bool
+                  (Printf.sprintf
+                     "%s fused grid == independent fits (%d outputs)" name
+                     outputs)
+                  true (grid = indep);
+                grid))
+          pool_counts
+      in
+      all_equal (Printf.sprintf "%s fused grid across domains" name) results)
+    [ src_d; src_s ];
+  true
+
+let test_solver_fit_multi_parity () =
+  let rng, basis, pts, g = random_setting 3 in
+  let src_s = P.streamed basis pts in
+  let src_d = P.dense g in
+  let fs = Array.init 3 (fun _ -> sparse_response rng src_d) in
+  List.iter
+    (fun src ->
+      let name = if P.is_streamed src then "streamed" else "dense" in
+      List.iter
+        (fun meth ->
+          let fit fused_outputs =
+            Array.map model_bits
+              (Rsm.Solver.fit_multi_p ~max_lambda:5 ~fused_outputs
+                 (Randkit.Prng.create 99) src fs meth)
+          in
+          let fused = fit true and per = fit false in
+          let singles =
+            Array.map
+              (fun f ->
+                model_bits
+                  (Rsm.Solver.fit_cv_p ~max_lambda:5
+                     (Randkit.Prng.create 99) src f meth))
+              fs
+          in
+          let mname = Rsm.Solver.name meth in
+          check_bool
+            (Printf.sprintf "%s %s fused == per-output" name mname)
+            true (fused = per);
+          check_bool
+            (Printf.sprintf "%s %s per-output == independent fit_cv_p" name
+               mname)
+            true (per = singles))
+        [ Rsm.Solver.Lar; Rsm.Solver.Lasso; Rsm.Solver.Omp; Rsm.Solver.Star ])
+    [ src_d; src_s ];
+  (* A non-path method has no fused grid; fit_multi_p still fits every
+     output, identically to independent calls. *)
+  let stomp =
+    Array.map model_bits
+      (Rsm.Solver.fit_multi_p ~max_lambda:5 (Randkit.Prng.create 99) src_d fs
+         Rsm.Solver.Stomp)
+  in
+  let stomp_singles =
+    Array.map
+      (fun f ->
+        model_bits
+          (Rsm.Solver.fit_cv_p ~max_lambda:5 (Randkit.Prng.create 99) src_d f
+             Rsm.Solver.Stomp))
+      fs
+  in
+  check_bool "StOMP multi == independent fits" true (stomp = stomp_singles)
+
+let test_fit_multi_validation () =
+  let _, basis, pts, _ = random_setting 4 in
+  let src = P.streamed basis pts in
+  check_raises_invalid "empty outputs" (fun () ->
+      Rsm.Solver.fit_multi_p (Randkit.Prng.create 1) src [||] Rsm.Solver.Omp);
+  let fs = Array.init 2 (fun _ -> Array.make (P.rows src) 1.) in
+  check_raises_invalid "notes count mismatch" (fun () ->
+      Rsm.Solver.fit_multi_p ~notes:[| [||] |] (Randkit.Prng.create 1) src fs
+        Rsm.Solver.Omp)
+
+(* --- multi checkpoint: delete cells, resume, cross-driver ----------- *)
+
+let with_ckpt_base name f =
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rsm_test_%s_%d" name (Unix.getpid ()))
+  in
+  let cleanup () =
+    let dir = Filename.dirname base and leaf = Filename.basename base in
+    Array.iter
+      (fun entry ->
+        if String.length entry >= String.length leaf
+           && String.sub entry 0 (String.length leaf) = leaf
+        then try Sys.remove (Filename.concat dir entry) with Sys_error _ -> ())
+      (Sys.readdir dir)
+  in
+  Fun.protect ~finally:cleanup (fun () -> f base)
+
+let test_multi_checkpoint_resume () =
+  with_ckpt_base "multi_ckpt" (fun base ->
+      let rng, _, _, g = random_setting 8 in
+      let src = P.dense g in
+      let fs = Array.init 3 (fun _ -> sparse_response rng src) in
+      let run ?checkpoint ?resume () =
+        Array.map result_bits
+          (Rsm.Select.lars_multi_p ?checkpoint ?resume
+             (Randkit.Prng.create 21) ~max_lambda:5 src fs)
+      in
+      let reference = run () in
+      let first = run ~checkpoint:base () in
+      check_bool "checkpointed run equals plain run" true (reference = first);
+      check_bool "manifest written" true
+        (Sys.file_exists (Rsm.Serialize.Checkpoint.Multi.manifest_file base));
+      (* Kill a few grid cells — one whole output and one stray fold —
+         and resume: only those refit, result bitwise unchanged. *)
+      let out_base r = Rsm.Serialize.Checkpoint.Multi.output_base base r in
+      for q = 0 to 3 do
+        Sys.remove (Rsm.Serialize.Checkpoint.Cv.fold_file (out_base 1) q)
+      done;
+      Sys.remove (Rsm.Serialize.Checkpoint.Cv.fold_file (out_base 2) 0);
+      let resumed = run ~checkpoint:base ~resume:true () in
+      check_bool "resume after deleted cells is bitwise equal" true
+        (reference = resumed);
+      (* Cross-driver resume: the per-output driver reads the same
+         per-output fold files the fused grid wrote. *)
+      Sys.remove (Rsm.Serialize.Checkpoint.Cv.fold_file (out_base 0) 2);
+      let per_output =
+        Array.map model_bits
+          (Rsm.Solver.fit_multi_p ~max_lambda:5 ~fused_outputs:false
+             ~cv_checkpoint:base ~cv_resume:true (Randkit.Prng.create 21) src
+             fs Rsm.Solver.Lar)
+      in
+      let ref_models = Array.map (fun (_, _, m) -> m) reference in
+      check_bool "per-output resume from fused checkpoints is bitwise equal"
+        true
+        (per_output = ref_models);
+      (* A manifest that disagrees with the grid shape is rejected. *)
+      check_raises_invalid "mismatched max_lambda rejected" (fun () ->
+          Rsm.Select.lars_multi_p ~checkpoint:base ~resume:true
+            (Randkit.Prng.create 21) ~max_lambda:6 src fs))
+
+(* --- driver resolution and config conflicts ------------------------- *)
+
+let test_resolve_fused_multi () =
+  let resolve = Rsm.Select.resolve_fused_multi in
+  check_bool "auto: exact unsharded is fused" true
+    (resolve ~sweep:None ~fused:None ~shards:None);
+  check_bool "auto: dense default fused too" true
+    (resolve ~sweep:(Some Rsm.Corr_sweep.Exact) ~fused:None ~shards:(Some 1));
+  check_bool "auto: sharded forces per-output" false
+    (resolve ~sweep:None ~fused:None ~shards:(Some 2));
+  check_bool "auto: incremental sweep forces per-output" false
+    (resolve
+       ~sweep:(Some (Rsm.Corr_sweep.incremental ()))
+       ~fused:None ~shards:None);
+  check_bool "explicit off" false
+    (resolve ~sweep:None ~fused:(Some false) ~shards:None);
+  check_bool "explicit on, legal" true
+    (resolve ~sweep:None ~fused:(Some true) ~shards:(Some 1));
+  match resolve ~sweep:None ~fused:(Some true) ~shards:(Some 2) with
+  | _ -> Alcotest.fail "explicit fused + shards should raise Conflict"
+  | exception Rsm.Select.Conflict _ -> ()
+
+let test_config_conflicts () =
+  (match Robust.Pipeline.config ~fused_outputs:true ~shards:2 () with
+  | Error (Robust.Error.Config _) -> ()
+  | Ok _ -> Alcotest.fail "fused_outputs + shards accepted"
+  | Error e ->
+      Alcotest.failf "wrong error category: %s" (Robust.Error.to_string e));
+  match Robust.Pipeline.config ~fused_outputs:true ~shards:1 () with
+  | Ok cfg ->
+      check_bool "legal fused_outputs kept" true
+        (cfg.Robust.Pipeline.fused_outputs = Some true)
+  | Error e -> Alcotest.failf "legal config rejected: %s" (Robust.Error.to_string e)
+
+(* --- Pipeline.fit_multi --------------------------------------------- *)
+
+let opamp_setting () =
+  let amp = Circuit.Opamp.build ~n_parasitics:10 () in
+  let sims =
+    Array.of_list
+      (List.map (fun m -> Circuit.Opamp.simulator amp m)
+         Circuit.Opamp.all_metrics)
+  in
+  let basis = Polybasis.Basis.constant_linear (Circuit.Opamp.dim amp) in
+  (sims, basis)
+
+let test_pipeline_fit_multi () =
+  let sims, basis = opamp_setting () in
+  let cfg fused_outputs =
+    match
+      Robust.Pipeline.config ~method_:Rsm.Solver.Lar ~samples:60 ~max_lambda:6
+        ~faults:(Sim.fault_plan ~rate:0.1 ())
+        ~min_samples:20 ~quorum:0.5 ~fused_outputs ()
+    with
+    | Ok cfg -> cfg
+    | Error e -> Alcotest.failf "config: %s" (Robust.Error.to_string e)
+  in
+  let fit fused_outputs =
+    match
+      Robust.Pipeline.fit_multi (cfg fused_outputs) sims basis
+        (Randkit.Prng.create 12)
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "fit_multi: %s" (Robust.Error.to_string e)
+  in
+  let a = fit true and b = fit false in
+  check_int "one model per metric" (Array.length sims)
+    (Array.length a.Robust.Pipeline.models);
+  check_bool "rows shared across outputs" true
+    (Array.for_all
+       (fun d ->
+         d.Sim.points == a.Robust.Pipeline.datasets.(0).Sim.points)
+       a.Robust.Pipeline.datasets);
+  check_bool "fused and per-output pipelines agree bitwise" true
+    (Array.map model_bits a.Robust.Pipeline.models
+    = Array.map model_bits b.Robust.Pipeline.models);
+  check_bool "per-output screen reports present" true
+    (Array.for_all Option.is_some a.Robust.Pipeline.screen_reports);
+  let summary =
+    Robust.Pipeline.multi_outcome_summary
+      ~names:
+        (Array.of_list
+           (List.map Circuit.Opamp.metric_name Circuit.Opamp.all_metrics))
+      a
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "summary mentions every metric" true
+    (List.for_all
+       (fun m -> contains summary (Circuit.Opamp.metric_name m))
+       Circuit.Opamp.all_metrics)
+
+let test_pipeline_fit_multi_rejects_adaptive () =
+  let sims, basis = opamp_setting () in
+  let cfg =
+    match
+      Robust.Pipeline.config ~samples:40 ~min_samples:10 ~quorum:0.5
+        ~adaptive:(Robust.Retry.policy ~breaker_threshold:3 ())
+        ()
+    with
+    | Ok cfg -> cfg
+    | Error e -> Alcotest.failf "config: %s" (Robust.Error.to_string e)
+  in
+  match Robust.Pipeline.fit_multi cfg sims basis (Randkit.Prng.create 1) with
+  | Error (Robust.Error.Config _) -> ()
+  | Ok _ -> Alcotest.fail "adaptive multi fit accepted"
+  | Error e ->
+      Alcotest.failf "wrong error category: %s" (Robust.Error.to_string e)
+
+let seed_gen = QCheck.Gen.(map (fun n -> n + 1) (int_bound 5000))
+let seed_arb = QCheck.make ~print:string_of_int seed_gen
+
+let suite =
+  ( "multi",
+    [
+      case "run_robust_multi: per-output bitwise parity"
+        test_run_robust_multi_parity;
+      case "run_robust_multi: pool-invariant"
+        test_run_robust_multi_pool_invariant;
+      case "run_robust_multi: validation" test_run_robust_multi_validation;
+      case "crossval: multi fold curves" test_fold_curves_multi;
+      qtest ~count:5 "OMP fused grid == independent fits" seed_arb
+        (prop_fused_multi_bitwise `Omp);
+      qtest ~count:5 "STAR fused grid == independent fits" seed_arb
+        (prop_fused_multi_bitwise `Star);
+      qtest ~count:5 "LAR fused grid == independent fits" seed_arb
+        (prop_fused_multi_bitwise `Lar);
+      qtest ~count:5 "LASSO fused grid == independent fits" seed_arb
+        (prop_fused_multi_bitwise `Lasso);
+      case "solver: fit_multi_p fused == per-output == fit_cv_p"
+        test_solver_fit_multi_parity;
+      case "solver: fit_multi_p validation" test_fit_multi_validation;
+      case "checkpoint: delete cells, resume, cross-driver"
+        test_multi_checkpoint_resume;
+      case "resolve_fused_multi: auto and conflicts" test_resolve_fused_multi;
+      case "pipeline config: fused_outputs conflicts" test_config_conflicts;
+      case "pipeline: fit_multi shares rows, drivers agree"
+        test_pipeline_fit_multi;
+      case "pipeline: fit_multi rejects adaptive retry"
+        test_pipeline_fit_multi_rejects_adaptive;
+    ] )

@@ -257,6 +257,7 @@ let registry_suite =
         let s = Serve.Registry.stats reg in
         check_int "one parse+compile only" 1 s.Serve.Registry.misses;
         check_int "second load hits" 1 s.Serve.Registry.hits;
+        check_int "no rejections" 0 s.Serve.Registry.rejected;
         Sys.remove path);
     case "load rejects a digest mismatch" (fun () ->
         let model, basis, _ = fixture () in
@@ -269,10 +270,16 @@ let registry_suite =
               (String.length msg > 0
               && String.sub msg 0 15 = "digest mismatch"));
         check_int "nothing cached" 0 (Serve.Registry.size reg);
+        let s = Serve.Registry.stats reg in
+        check_int "rejection counted" 1 s.Serve.Registry.rejected;
+        check_int "rejection is not a miss" 0 s.Serve.Registry.misses;
         let good = Rsm.Serialize.digest model in
         (match Serve.Registry.load ~expect:good reg path with
         | Ok e -> check_bool "digest echoed" true (e.Serve.Registry.digest = good)
         | Error e -> Alcotest.failf "pinned load failed: %s" e);
+        let s = Serve.Registry.stats reg in
+        check_int "pinned load is the only miss" 1 s.Serve.Registry.misses;
+        check_int "rejected unchanged by success" 1 s.Serve.Registry.rejected;
         Sys.remove path);
     case "load reports IO and parse failures as Error" (fun () ->
         let basis = Polybasis.Basis.quadratic 10 in
@@ -289,6 +296,10 @@ let registry_suite =
         (match Serve.Registry.load reg path with
         | Ok _ -> Alcotest.fail "expected parse error"
         | Error _ -> ());
+        let s = Serve.Registry.stats reg in
+        check_int "both failures rejected" 2 s.Serve.Registry.rejected;
+        check_int "no misses from failures" 0 s.Serve.Registry.misses;
+        check_int "nothing resident" 0 (Serve.Registry.size reg);
         Sys.remove path);
     case "load rejects a model of the wrong basis size" (fun () ->
         let model, _, _ = fixture () in
@@ -297,6 +308,15 @@ let registry_suite =
         (match Serve.Registry.load reg path with
         | Ok _ -> Alcotest.fail "expected basis-size rejection"
         | Error _ -> ());
+        (* A failed compile must leave no partially-constructed tape
+           resident: size, recency and the hit/miss counters are exactly
+           as if the call never happened. *)
+        check_int "nothing resident after reject" 0 (Serve.Registry.size reg);
+        check_bool "digest not resident" false
+          (Serve.Registry.mem reg (Rsm.Serialize.digest model));
+        let s = Serve.Registry.stats reg in
+        check_int "compile failure rejected" 1 s.Serve.Registry.rejected;
+        check_int "compile failure is not a miss" 0 s.Serve.Registry.misses;
         Sys.remove path);
     case "create rejects non-positive capacity" (fun () ->
         check_raises_invalid "capacity 0" (fun () ->
