@@ -143,6 +143,90 @@ let run ~quick ~domains () =
         && ed.Serve.Stream.std = e1.Serve.Stream.std
         && ed.Serve.Stream.pass = e1.Serve.Stream.pass))
     [ 2; 4 ];
+  (* --- sampling engine: normals/s and support-projected streaming ---
+     Input generation is the serving bottleneck: every point above paid
+     n polar normals while the tape reads only [vars_touched] of them.
+     Time the raw samplers, then the streamed yield with the
+     counter-mode ziggurat drawing (a) every coordinate and (b) only
+     the touched ones — the latter two must agree bit for bit. *)
+  let nnorm = if quick then 500_000 else 5_000_000 in
+  let buf = Array.make n 0. in
+  let fills = max 1 (nnorm / n) in
+  let polar_norm_s =
+    median_of ~reps (fun () ->
+        let g = Randkit.Prng.create 91 in
+        for _ = 1 to fills do
+          Randkit.Gaussian.fill g buf
+        done)
+  in
+  let zig_norm_s =
+    median_of ~reps (fun () ->
+        let g = Randkit.Prng.create 91 in
+        for _ = 1 to fills do
+          Randkit.Ziggurat.fill g buf
+        done)
+  in
+  let ctr_norm_s =
+    median_of ~reps (fun () ->
+        let key = Randkit.Counter.create 91 in
+        for p = 0 to fills - 1 do
+          let pk = Randkit.Counter.at key p in
+          for c = 0 to n - 1 do
+            buf.(c) <- Randkit.Ziggurat.normal_at pk ~coord:c
+          done
+        done)
+  in
+  let nrate s = float_of_int (fills * n) /. s in
+  Printf.printf
+    "normals/s            polar %10.3g   ziggurat %10.3g   counter-ziggurat \
+     %10.3g\n%!"
+    (nrate polar_norm_s) (nrate zig_norm_s) (nrate ctr_norm_s);
+  let ysamples = if quick then 50_000 else 200_000 in
+  let timed_estimate ~sampler ~project =
+    let t0 = Unix.gettimeofday () in
+    let e =
+      Serve.Stream.estimate ~pool ~sampler ~project ~samples:ysamples tape
+        (Randkit.Prng.create 71) spec
+    in
+    (e, Unix.gettimeofday () -. t0)
+  in
+  let e_polar, t_polar =
+    timed_estimate ~sampler:Randkit.Gaussian.Polar ~project:false
+  in
+  let e_zfull, t_zfull =
+    timed_estimate ~sampler:Randkit.Gaussian.Ziggurat ~project:false
+  in
+  let e_zproj, t_zproj =
+    timed_estimate ~sampler:Randkit.Gaussian.Ziggurat ~project:true
+  in
+  check "projected == full-draw ziggurat estimate (bitwise)"
+    (e_zproj = e_zfull);
+  check "ziggurat vs polar estimates statistically consistent"
+    (abs_float (e_zproj.Serve.Stream.yield -. e_polar.Serve.Stream.yield)
+    < 6.
+      *. (e_zproj.Serve.Stream.std_error +. e_polar.Serve.Stream.std_error
+         +. 1e-9));
+  let zig_at d =
+    Parallel.Pool.with_pool ~domains:d (fun p ->
+        Serve.Stream.estimate ~pool:p ~sampler:Randkit.Gaussian.Ziggurat
+          ~samples:ysamples tape (Randkit.Prng.create 71) spec)
+  in
+  let z1 = zig_at 1 in
+  List.iter
+    (fun d ->
+      check
+        (Printf.sprintf
+           "projected ziggurat yield bitwise identical at 1 vs %d domains" d)
+        (zig_at d = z1))
+    [ 2; 4 ];
+  let yrate t = float_of_int ysamples /. t in
+  Printf.printf
+    "streamed yield       polar+full %8.3g evals/s   ziggurat+full %8.3g \
+     evals/s   ziggurat+projected %8.3g evals/s (%.1fx polar, %d of %d \
+     coords)\n%!"
+    (yrate t_polar) (yrate t_zfull) (yrate t_zproj) (t_polar /. t_zproj)
+    (Serve.Eval.vars_touched tape)
+    n;
   Parallel.Pool.shutdown pool;
   let payload =
     let b = Buffer.create 256 in
@@ -167,7 +251,17 @@ let run ~quick ~domains () =
              (float_of_int samples /. t)))
       curve;
     Buffer.add_string b
-      (Printf.sprintf "], \"parity_failures\": %d}" !failures);
+      (Printf.sprintf
+         "], \"sampling\": {\"normals_per_s\": {\"polar\": %.0f, \
+          \"ziggurat\": %.0f, \"ziggurat_counter\": %.0f}, \"yield\": \
+          {\"samples\": %d, \"polar_full_evals_s\": %.0f, \
+          \"ziggurat_full_evals_s\": %.0f, \"ziggurat_projected_evals_s\": \
+          %.0f, \"projected_speedup_vs_polar\": %.2f, \"coords_drawn\": %d}}"
+         (nrate polar_norm_s) (nrate zig_norm_s) (nrate ctr_norm_s) ysamples
+         (yrate t_polar) (yrate t_zfull) (yrate t_zproj) (t_polar /. t_zproj)
+         (Serve.Eval.vars_touched tape));
+    Buffer.add_string b
+      (Printf.sprintf ", \"parity_failures\": %d}" !failures);
     Buffer.contents b
   in
   Bench_util.update_summary ~scenario:"eval" ~payload;

@@ -1021,6 +1021,36 @@ let load_served ?expect basis path =
   | Error e -> err_exit ("cannot serve model: " ^ e)
   | Ok entry -> entry
 
+(* %.17g floats round-trip exactly; strings here are workload/unit
+   names and user paths, escaped minimally. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+          Buffer.add_char b '\\';
+          Buffer.add_char b c
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Spec bounds may be one-sided; JSON has no Infinity literal, so an
+   open bound serializes as null. *)
+let json_bound v =
+  if v = Float.neg_infinity || v = Float.infinity then "null"
+  else Printf.sprintf "%.17g" v
+
+let json_notes model =
+  String.concat ", "
+    (Array.to_list
+       (Array.map
+          (fun n -> Printf.sprintf "\"%s\"" (json_escape n))
+          (Rsm.Model.notes model)))
+
 let eval_cmd =
   let model_file =
     Arg.(
@@ -1077,31 +1107,11 @@ let eval_cmd =
           if secs > 0. then float_of_int samples /. secs else Float.infinity
         in
         if json then
-          (* %.17g floats round-trip exactly; strings here are workload/unit
-             names and a user path, escaped minimally. *)
-          let escape s =
-            let b = Buffer.create (String.length s + 8) in
-            String.iter
-              (fun c ->
-                match c with
-                | '"' | '\\' -> Buffer.add_char b '\\'; Buffer.add_char b c
-                | '\n' -> Buffer.add_string b "\\n"
-                | c when Char.code c < 0x20 ->
-                    Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-                | c -> Buffer.add_char b c)
-              s;
-            Buffer.contents b
-          in
+          let escape = json_escape in
           (* Provenance rides the model file: a quorum-degraded fit's
              "degraded: ..." note (and any fallback notes) surface here
              so a serving consumer can see how the artifact was built. *)
-          let notes_json =
-            String.concat ", "
-              (Array.to_list
-                 (Array.map
-                    (fun n -> Printf.sprintf "\"%s\"" (escape n))
-                    (Rsm.Model.notes model)))
-          in
+          let notes_json = json_notes model in
           Printf.printf
             {|{"workload": "%s", "model_file": "%s", "digest": "%016Lx", "tape": {"terms": %d, "instructions": %d, "vars_touched": %d, "dim": %d, "max_degree": %d}, "parity": "bitwise", "points": %d, "value_mean": %.17g, "value_std": %.17g, "unit": "%s", "throughput_compiled_per_s": %.6g, "throughput_naive_per_s": %.6g, "notes": [%s]}
 |}
@@ -1201,12 +1211,69 @@ let yield_cmd =
              own PRNG child stream, so for a fixed (seed, batch) the \
              estimate is bitwise identical at every domain count.")
   in
+  let sampler_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("polar", Randkit.Gaussian.Polar);
+               ("ziggurat", Randkit.Gaussian.Ziggurat);
+             ])
+          Randkit.Gaussian.Polar
+      & info [ "sampler" ] ~docv:"NAME"
+          ~doc:
+            "Normal sampler for the Monte-Carlo draws: 'polar' (sequential, \
+             the historical bit stream, default) or 'ziggurat' (the \
+             counter-mode engine — every draw a pure function of (seed, \
+             point, coordinate), so the estimate is invariant to batch size \
+             and domain count and the draw can be projected onto the model's \
+             touched variables).")
+  in
+  let project_arg =
+    Arg.(
+      value
+      & vflag None
+          [
+            ( Some true,
+              info [ "project" ]
+                ~doc:
+                  "Draw only the coordinates the model actually reads \
+                   (requires --sampler ziggurat; on by default with it). \
+                   Bitwise identical to the full draw — only faster." );
+            ( Some false,
+              info [ "no-project" ]
+                ~doc:
+                  "Draw every coordinate even under --sampler ziggurat \
+                   (same bits as --project, proportionally slower)." );
+          ])
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one machine-readable JSON object on stdout instead of the \
+             human report: workload, model digest, spec window, sampler and \
+             projection, yield, standard error, pass/samples, batching and \
+             throughput.")
+  in
   let run circuit metric cells parasitics seed samples max_lambda lower upper
-      served_model mc_samples batch domains engine =
+      served_model mc_samples batch sampler project json domains engine =
     check_at_least "mc-samples" 1 mc_samples;
     check_at_least "batch" 1 batch;
     if lower = Float.neg_infinity && upper = Float.infinity then
       err_exit "give at least one of --lower / --upper";
+    (* Projection defaults to on exactly when the sampler supports it;
+       asking for it with the sequential polar stream is a contradiction
+       (skipping a coordinate would shift every later draw's bits). *)
+    let project =
+      match project with
+      | Some p -> p
+      | None -> sampler = Randkit.Gaussian.Ziggurat
+    in
+    if project && sampler = Randkit.Gaussian.Polar then
+      err_exit "config: --project requires --sampler ziggurat";
     let spec = Rsm.Yield.spec_both ~lower ~upper in
     let print_closed_form model basis =
       match Rsm.Yield.gaussian model basis spec with
@@ -1227,48 +1294,107 @@ let yield_cmd =
             let tape = entry.Serve.Registry.tape in
             let model = entry.Serve.Registry.model in
             let rng = Randkit.Prng.create seed in
-            Printf.printf
-              "%s | spec [%g, %g] %s | served %d-term model %s (digest %016Lx)\n"
-              w.name lower upper w.unit_ (Rsm.Model.nnz model) model_file
-              entry.Serve.Registry.digest;
             let e, mc_s =
               Circuit.Testbench.timed (fun () ->
-                  Serve.Stream.estimate ~pool ~batch ~samples:mc_samples tape
-                    rng spec)
+                  Serve.Stream.estimate ~pool ~batch ~sampler ~project
+                    ~samples:mc_samples tape rng spec)
             in
-            Printf.printf "  model-MC yield    : %.4f +/- %.4f (%d of %d pass)\n"
-              e.Serve.Stream.yield e.Serve.Stream.std_error
-              e.Serve.Stream.pass e.Serve.Stream.samples;
-            print_closed_form model basis;
-            Printf.printf "  sample mean/sigma : %.4f / %.4f %s\n"
-              e.Serve.Stream.mean e.Serve.Stream.std w.unit_;
-            Printf.printf
-              "  streamed          : %d batches of %d over the pool (%.3g \
-               evals/s)\n"
-              e.Serve.Stream.batches e.Serve.Stream.batch
-              (if mc_s > 0. then float_of_int mc_samples /. mc_s
-               else Float.infinity))
+            let rate =
+              if mc_s > 0. then float_of_int mc_samples /. mc_s
+              else Float.infinity
+            in
+            let drawn =
+              if project then Serve.Eval.vars_touched tape
+              else Serve.Eval.dim tape
+            in
+            if json then
+              Printf.printf
+                {|{"workload": "%s", "mode": "serve", "model_file": "%s", "digest": "%016Lx", "spec": {"lower": %s, "upper": %s}, "sampler": "%s", "projected": %b, "coords_drawn": %d, "dim": %d, "yield": %.17g, "std_error": %.17g, "pass": %d, "samples": %d, "mean": %.17g, "std": %.17g, "batches": %d, "batch": %d, "unit": "%s", "throughput_evals_per_s": %.6g, "notes": [%s]}
+|}
+                (json_escape w.name) (json_escape model_file)
+                entry.Serve.Registry.digest (json_bound lower)
+                (json_bound upper)
+                (Randkit.Gaussian.sampler_name sampler)
+                project drawn (Serve.Eval.dim tape) e.Serve.Stream.yield
+                e.Serve.Stream.std_error e.Serve.Stream.pass
+                e.Serve.Stream.samples e.Serve.Stream.mean e.Serve.Stream.std
+                e.Serve.Stream.batches e.Serve.Stream.batch
+                (json_escape w.unit_) rate (json_notes model)
+            else begin
+              Printf.printf
+                "%s | spec [%g, %g] %s | served %d-term model %s (digest \
+                 %016Lx)\n"
+                w.name lower upper w.unit_ (Rsm.Model.nnz model) model_file
+                entry.Serve.Registry.digest;
+              Printf.printf
+                "  model-MC yield    : %.4f +/- %.4f (%d of %d pass)\n"
+                e.Serve.Stream.yield e.Serve.Stream.std_error
+                e.Serve.Stream.pass e.Serve.Stream.samples;
+              print_closed_form model basis;
+              Printf.printf "  sample mean/sigma : %.4f / %.4f %s\n"
+                e.Serve.Stream.mean e.Serve.Stream.std w.unit_;
+              Printf.printf
+                "  streamed          : %d batches of %d over the pool (%.3g \
+                 evals/s)\n"
+                e.Serve.Stream.batches e.Serve.Stream.batch rate;
+              Printf.printf "  sampler           : %s (%d of %d coords drawn)\n"
+                (Randkit.Gaussian.sampler_name sampler)
+                drawn (Serve.Eval.dim tape)
+            end)
     | None ->
         let w, basis, model, rng =
           fit_for_use ~circuit ~metric ~cells ~parasitics ~seed ~samples
             ~max_lambda ~domains ~engine
         in
-        Printf.printf
-          "%s | spec [%g, %g] %s | model from %d simulations (%d bases)\n"
-          w.name lower upper w.unit_ samples (Rsm.Model.nnz model);
         (* Compiled fast path: bitwise equal to the naive term-by-term
-           walk, so the estimate (and this output) is unchanged. *)
+           walk, so the default estimate (and this output) is
+           unchanged. Under the ziggurat sampler the draw is projected
+           onto the tape's touched variables — the same addressing as
+           serving mode, so the estimate equals a streamed one bit for
+           bit. *)
         let tape = Serve.Eval.compile model basis in
+        let touched =
+          if project then Some (Serve.Eval.touched_vars tape) else None
+        in
         let y, se =
           Rsm.Yield.monte_carlo ~samples:mc_samples
-            ~eval:(Serve.Eval.evaluator tape) model basis rng spec
+            ~eval:(Serve.Eval.evaluator tape) ~sampler ?touched model basis
+            rng spec
         in
-        Printf.printf "  model-MC yield    : %.4f +/- %.4f\n" y se;
-        print_closed_form model basis;
-        Printf.printf "  model mean/sigma  : %.4f / %.4f %s\n"
-          (Rsm.Sensitivity.mean model basis)
-          (sqrt (Rsm.Sensitivity.total_variance model basis))
-          w.unit_
+        let drawn =
+          if project then Serve.Eval.vars_touched tape
+          else Serve.Eval.dim tape
+        in
+        if json then
+          (* y is pass/mc_samples exactly, so the pass count
+             round-trips through the product. *)
+          let pass = int_of_float (Float.round (y *. float_of_int mc_samples)) in
+          Printf.printf
+            {|{"workload": "%s", "mode": "fit", "digest": "%016Lx", "spec": {"lower": %s, "upper": %s}, "sampler": "%s", "projected": %b, "coords_drawn": %d, "dim": %d, "yield": %.17g, "std_error": %.17g, "pass": %d, "samples": %d, "model_mean": %.17g, "model_sigma": %.17g, "unit": "%s", "notes": [%s]}
+|}
+            (json_escape w.name)
+            (Rsm.Serialize.digest model)
+            (json_bound lower) (json_bound upper)
+            (Randkit.Gaussian.sampler_name sampler)
+            project drawn (Serve.Eval.dim tape) y se pass mc_samples
+            (Rsm.Sensitivity.mean model basis)
+            (sqrt (Rsm.Sensitivity.total_variance model basis))
+            (json_escape w.unit_) (json_notes model)
+        else begin
+          Printf.printf
+            "%s | spec [%g, %g] %s | model from %d simulations (%d bases)\n"
+            w.name lower upper w.unit_ samples (Rsm.Model.nnz model);
+          Printf.printf "  model-MC yield    : %.4f +/- %.4f\n" y se;
+          print_closed_form model basis;
+          Printf.printf "  model mean/sigma  : %.4f / %.4f %s\n"
+            (Rsm.Sensitivity.mean model basis)
+            (sqrt (Rsm.Sensitivity.total_variance model basis))
+            w.unit_;
+          if sampler <> Randkit.Gaussian.Polar then
+            Printf.printf "  sampler           : %s (%d of %d coords drawn)\n"
+              (Randkit.Gaussian.sampler_name sampler)
+              drawn (Serve.Eval.dim tape)
+        end
   in
   Cmd.v
     (Cmd.info "yield"
@@ -1278,7 +1404,8 @@ let yield_cmd =
     Term.(
       const run $ circuit $ metric $ cells $ parasitics $ seed $ samples
       $ max_lambda_arg $ lower_arg $ upper_arg $ served_model_arg
-      $ mc_samples_arg $ batch_arg $ domains $ engine)
+      $ mc_samples_arg $ batch_arg $ sampler_arg $ project_arg $ json_arg
+      $ domains $ engine)
 
 let sensitivity_cmd =
   let run circuit metric cells parasitics seed samples max_lambda domains engine

@@ -47,6 +47,8 @@ val gaussian : Model.t -> Polybasis.Basis.t -> spec -> float
 val monte_carlo_values :
   ?samples:int ->
   ?eval:(Linalg.Vec.t -> float) ->
+  ?sampler:Randkit.Gaussian.sampler ->
+  ?touched:int array ->
   Model.t -> Polybasis.Basis.t -> Randkit.Prng.t -> float array
 (** [samples] (default 10 000) model evaluations at fresh standard-normal
     factor draws. [?eval] overrides the per-point evaluator (default
@@ -54,15 +56,30 @@ val monte_carlo_values :
     one Hermite recurrence {e per factor of every term}); pass a
     compiled tape closure ([Serve.Eval.evaluator]) to hoist shared
     recurrences without changing a single result bit. The factor draws
-    (and hence the PRNG stream) do not depend on [?eval]. *)
+    (and hence the PRNG stream) do not depend on [?eval].
+
+    [?sampler] (default [Polar], the historical bit stream) selects the
+    normal sampler. Under [Ziggurat] each coordinate of each sample is
+    a pure function of [(key, sample, coordinate)] with the key drawn
+    once from [rng] ([Randkit.Counter.of_prng]) — the same addressing
+    as [Serve.Stream], so a ziggurat estimate here is bitwise equal to
+    the streamed one. [?touched] (ziggurat only) restricts the draw to
+    the listed coordinates — bitwise identical results whenever [eval]
+    reads only those coordinates (e.g. the compiled tape's
+    [Serve.Eval.touched_vars]); draw cost then scales with the support,
+    not the ambient dimension.
+    @raise Invalid_argument when [?touched] is passed with the polar
+    sampler or lists a coordinate outside the basis dimension. *)
 
 val monte_carlo :
   ?samples:int ->
   ?eval:(Linalg.Vec.t -> float) ->
+  ?sampler:Randkit.Gaussian.sampler ->
+  ?touched:int array ->
   Model.t -> Polybasis.Basis.t -> Randkit.Prng.t -> spec ->
   float * float
-(** [(yield, standard_error)] by model Monte Carlo; [?eval] as in
-    {!monte_carlo_values}. *)
+(** [(yield, standard_error)] by model Monte Carlo; [?eval],
+    [?sampler], [?touched] as in {!monte_carlo_values}. *)
 
 val passes : spec -> float -> bool
 

@@ -36,3 +36,14 @@ let vector g n =
 let matrix g r c = Linalg.Mat.init r c (fun _ _ -> sample g)
 
 let scaled g ~mean ~sigma = mean +. (sigma *. sample g)
+
+type sampler = Polar | Ziggurat
+
+let sampler_name = function Polar -> "polar" | Ziggurat -> "ziggurat"
+
+let sampler_of_string = function
+  | "polar" -> Some Polar
+  | "ziggurat" -> Some Ziggurat
+  | _ -> None
+
+let fill_with = function Polar -> fill | Ziggurat -> Ziggurat.fill

@@ -26,3 +26,27 @@ val matrix : Prng.t -> int -> int -> Linalg.Mat.t
 
 val scaled : Prng.t -> mean:float -> sigma:float -> float
 (** [scaled g ~mean ~sigma] is one N(mean, sigma²) draw. *)
+
+type sampler = Polar | Ziggurat
+(** Which normal sampler a Monte-Carlo consumer runs.
+
+    - [Polar]: this module — sequential, and the historical default
+      everywhere, so existing seeds keep their exact bit streams.
+    - [Ziggurat]: {!Ziggurat} over the counter-mode generator
+      ({!Counter}) where the consumer supports random access — each
+      draw a pure function of [(key, point, coord)] — and the
+      sequential {!Ziggurat.fill} otherwise.
+
+    The two samplers consume different stream shapes, so estimates
+    agree statistically but never bitwise; record the sampler next to
+    the seed. *)
+
+val sampler_name : sampler -> string
+(** ["polar"] / ["ziggurat"] — the CLI/JSON spelling. *)
+
+val sampler_of_string : string -> sampler option
+(** Inverse of {!sampler_name}. *)
+
+val fill_with : sampler -> Prng.t -> Linalg.Vec.t -> unit
+(** [fill_with s] is the sequential fill of sampler [s]: {!fill} for
+    [Polar], {!Ziggurat.fill} for [Ziggurat]. *)

@@ -1,0 +1,102 @@
+(* 256-layer ziggurat for the standard normal (Marsaglia & Tsang 2000),
+   with the exact exponential-rejection tail. One 64-bit word per
+   attempt carries the layer index (low 8 bits), the sign (bit 8) and a
+   53-bit mantissa draw (bits 11–63) with no overlap; the vast majority
+   of attempts accept on a single compare with no transcendental call.
+   Two front-ends share the tables: a sequential sampler over [Prng.t]
+   and a counter-addressed sampler over [Counter.point] whose bits are
+   a pure function of (key, point, coord). *)
+
+let layers = 256
+
+(* Standard 256-layer constants: [r] is the base-strip boundary, [v]
+   the common strip area (each of the 256 strips, wedges and tail
+   included, has area v). *)
+let r = 3.6541528853610088
+let v = 4.92867323399707195e-3
+let inv_r = 1. /. r
+let pdf x = exp (-0.5 *. x *. x)
+
+(* Strip boundaries, decreasing: xtab.(1) = r down to xtab.(256) = 0,
+   with the recurrence x_{i+1} = pdf⁻¹(v/x_i + pdf x_i) (equal strip
+   areas). xtab.(0) = v / pdf r is the *virtual* width of the base
+   strip, whose overhang past r stands in for the tail mass. The
+   recurrence stops at x_255: x_256 is 0 by construction of (r, v), and
+   computing it through the recurrence could round the log argument
+   past 1 into a NaN. ytab.(i) = pdf xtab.(i); ytab.(0) is unused. *)
+let xtab, ytab =
+  let x = Array.make (layers + 1) 0. in
+  let y = Array.make (layers + 1) 0. in
+  x.(0) <- v /. pdf r;
+  x.(1) <- r;
+  for i = 2 to layers - 1 do
+    let xi = x.(i - 1) in
+    x.(i) <- sqrt (-2. *. log ((v /. xi) +. pdf xi))
+  done;
+  x.(layers) <- 0.;
+  for i = 0 to layers do
+    y.(i) <- pdf x.(i)
+  done;
+  (x, y)
+
+let idx_of bits = Int64.to_int (Int64.logand bits 0xFFL)
+let neg_of bits = Int64.logand bits 0x100L <> 0L
+let u_of bits = Int64.to_float (Int64.shift_right_logical bits 11) *. 0x1.0p-53
+
+(* (0, 1] so the tail's logs are finite. *)
+let upos_of bits =
+  (Int64.to_float (Int64.shift_right_logical bits 11) +. 1.) *. 0x1.0p-53
+
+let signed neg x = if neg then -.x else x
+
+let rec sample g =
+  let bits = Prng.bits64 g in
+  let i = idx_of bits in
+  let x = u_of bits *. xtab.(i) in
+  if x < xtab.(i + 1) then signed (neg_of bits) x
+  else if i = 0 then tail g (neg_of bits)
+  else
+    let y = ytab.(i) +. (Prng.float g *. (ytab.(i + 1) -. ytab.(i))) in
+    if y < pdf x then signed (neg_of bits) x else sample g
+
+and tail g neg =
+  (* Exact tail past r: x ~ Exp(r) truncated by the Gaussian envelope
+     (Marsaglia 1964). *)
+  let x = -.log (upos_of (Prng.bits64 g)) *. inv_r in
+  let y = -.log (upos_of (Prng.bits64 g)) in
+  if y +. y >= x *. x then signed neg (r +. x) else tail g neg
+
+let fill g out =
+  for i = 0 to Array.length out - 1 do
+    out.(i) <- sample g
+  done
+
+let vector g n =
+  let out = Array.make n 0. in
+  fill g out;
+  out
+
+(* Counter-addressed variant: draw [j] of coordinate [coord] is the
+   word at address (key, point, coord, j); rejections walk j upward, so
+   every coordinate owns an unbounded substream and the accepted value
+   is a pure function of (key, point, coord). *)
+let rec sample_at pk ~coord j =
+  let bits = Counter.bits64 pk ~coord ~draw:j in
+  let i = idx_of bits in
+  let x = u_of bits *. xtab.(i) in
+  if x < xtab.(i + 1) then signed (neg_of bits) x
+  else if i = 0 then tail_at pk ~coord (j + 1) (neg_of bits)
+  else
+    let u2 = Counter.float pk ~coord ~draw:(j + 1) in
+    let y = ytab.(i) +. (u2 *. (ytab.(i + 1) -. ytab.(i))) in
+    if y < pdf x then signed (neg_of bits) x else sample_at pk ~coord (j + 2)
+
+and tail_at pk ~coord j neg =
+  let x = -.log (upos_of (Counter.bits64 pk ~coord ~draw:j)) *. inv_r in
+  let y = -.log (upos_of (Counter.bits64 pk ~coord ~draw:(j + 1))) in
+  if y +. y >= x *. x then signed neg (r +. x)
+  else tail_at pk ~coord (j + 2) neg
+
+let normal_at pk ~coord = sample_at pk ~coord 0
+
+let tail_start = r

@@ -1,0 +1,43 @@
+(** Ziggurat standard-normal sampling (Marsaglia & Tsang, 256 layers).
+
+    The serving hot path draws hundreds of normals per Monte-Carlo
+    point; Marsaglia polar ({!Gaussian}) pays ~4 uniforms plus a
+    [log]/[sqrt] pair per accepted pair. The ziggurat spends one 64-bit
+    word and one compare on the vast majority of draws — layer, sign
+    and mantissa are carved from non-overlapping bits of a single word
+    — falling back to the wedge test and the exact exponential-
+    rejection tail only on the rare boundary cases, so the distribution
+    is exactly N(0, 1), not an approximation.
+
+    Two front-ends share the tables:
+
+    - {!sample}/{!fill}/{!vector} consume a sequential {!Prng.t}
+      (the [Gaussian.fill]-shaped API). Stream consumption differs from
+      the polar sampler's, so switching samplers changes result bits —
+      by design, the sampler choice is part of the recorded seed
+      metadata.
+    - {!normal_at} consumes a {!Counter.point}: the accepted variate is
+      a pure function of [(key, point, coord)], with rejections walking
+      the coordinate's private [draw] substream. This is the
+      random-access form used by support-projected streaming
+      ({!Serve.Stream}): drawing a subset of coordinates reproduces the
+      full draw's bits on that subset. *)
+
+val sample : Prng.t -> float
+(** One N(0, 1) draw from a sequential generator. *)
+
+val fill : Prng.t -> float array -> unit
+(** [fill g out] overwrites [out] with iid N(0, 1) draws — same shape
+    as [Gaussian.fill], different (ziggurat) stream consumption. *)
+
+val vector : Prng.t -> int -> float array
+(** [vector g n] is [n] iid N(0, 1) draws. *)
+
+val normal_at : Counter.point -> coord:int -> float
+(** [normal_at pk ~coord] is the N(0, 1) value of coordinate [coord] at
+    the point keyed by [pk] — a pure function of
+    [(key, point, coord)]. *)
+
+val tail_start : float
+(** The base-strip boundary r ≈ 3.654: draws beyond it come from the
+    exact exponential-rejection tail (exposed for the GOF tests). *)

@@ -97,6 +97,7 @@ let dim t = t.dim
 let nnz t = Array.length t.coeffs
 let tape_length t = Array.length t.factor_ofs
 let vars_touched t = Array.length t.var_of_slot
+let touched_vars t = Array.copy t.var_of_slot
 
 let max_degree t = Array.fold_left max 0 t.slot_deg
 

@@ -68,6 +68,12 @@ val vars_touched : t -> int
 (** Number of distinct variables the support touches — the number of
     Hermite recurrences run per point. *)
 
+val touched_vars : t -> int array
+(** The distinct variables the support touches, ascending — exactly
+    the coordinates {!eval_with} reads from an evaluated point
+    (returned as a fresh copy). Support-projected sampling
+    ({!Stream} with the counter sampler) draws only these. *)
+
 val max_degree : t -> int
 (** Largest Hermite degree on the tape (0 for constant-only or empty
     models). *)

@@ -1,7 +1,11 @@
-(* Streaming MC yield: fixed-size batches, one PRNG child per batch,
-   per-batch partials combined sequentially in batch order. The batch
-   grid — not the chunk grid — carries the random streams, so results
-   are bitwise identical at every domain count. *)
+(* Streaming MC yield: fixed-size batches, per-batch partials combined
+   sequentially in batch order. The batch grid — not the chunk grid —
+   carries the random streams for the sequential polar sampler, so
+   results are bitwise identical at every domain count. The
+   counter-mode ziggurat sampler goes further: every draw is addressed
+   by (key, global point index, coordinate), so its results are also
+   invariant to the batch size, and projecting the draws onto the
+   tape's touched variables changes no result bit. *)
 
 type estimate = {
   yield : float;
@@ -20,21 +24,83 @@ let check_args ~samples ~batch ~name =
   if samples <= 0 then invalid_arg (name ^ ": samples must be positive");
   if batch <= 0 then invalid_arg (name ^ ": batch must be positive")
 
+(* Projection requires the counter-mode sampler: the sequential polar
+   stream cannot skip a coordinate without shifting every later draw's
+   bits. Default: project exactly when the sampler supports it (the
+   projected estimate is bitwise equal to the full draw, so there is
+   nothing to lose). *)
+let resolve_project ~sampler ~project ~name =
+  match (project, (sampler : Randkit.Gaussian.sampler)) with
+  | None, s -> s = Randkit.Gaussian.Ziggurat
+  | Some false, _ -> false
+  | Some true, Randkit.Gaussian.Ziggurat -> true
+  | Some true, Randkit.Gaussian.Polar ->
+      invalid_arg
+        (name ^ ": ~project:true requires the ziggurat (counter) sampler")
+
+(* How a batch body fills the point buffer. [Seq] consumes the batch's
+   child generator in order; [Ctr] addresses each coordinate of global
+   point [lo + s] directly, optionally restricted to the tape's
+   touched variables (the untouched entries of [dy] stay 0 and are
+   never read by the tape). *)
+type filler =
+  | Seq
+  | Ctr of Randkit.Counter.t * int array option
+
+let filler_of ~sampler ~project t rng =
+  match (sampler : Randkit.Gaussian.sampler) with
+  | Polar -> Seq
+  | Ziggurat ->
+      let key = Randkit.Counter.of_prng rng in
+      Ctr (key, if project then Some (Eval.touched_vars t) else None)
+
+let draw_point filler brng dy ~point =
+  match filler with
+  | Seq -> Randkit.Gaussian.fill brng dy
+  | Ctr (key, proj) -> (
+      let pk = Randkit.Counter.at key point in
+      match proj with
+      | Some vars ->
+          for s = 0 to Array.length vars - 1 do
+            let c = Array.unsafe_get vars s in
+            dy.(c) <- Randkit.Ziggurat.normal_at pk ~coord:c
+          done
+      | None ->
+          for c = 0 to Array.length dy - 1 do
+            dy.(c) <- Randkit.Ziggurat.normal_at pk ~coord:c
+          done)
+
 (* Run [body b rng scratch dy ~lo ~n] for every batch [b] over the pool
    (or sequentially without one). [lo] is the batch's global sample
-   offset and [n] its size (the last batch may be short). Each pool
-   chunk owns one scratch and one point buffer, reused across its
-   batches; batch [b] always draws from child [b]. *)
+   offset and [n] its size (the last batch may be short). Batch [b]
+   always receives child [b] of the caller's generator.
+
+   Children are derived on demand: materializing [Prng.split_n rng
+   nbatches] up front costs O(batches) generator states — against the
+   O(1)-memory streaming claim at 10⁸ samples. Instead each pool chunk
+   replays the parent stream up to its first batch ([split] consumes
+   exactly one parent output per child, so skipping [b0] outputs lands
+   on child [b0]) and then splits sequentially — bit-identical children
+   to [split_n], while the caller's generator advances exactly as
+   before (one output per batch). *)
 let over_batches ?pool ~batch ~samples t rng body =
   let nbatches = (samples + batch - 1) / batch in
-  let rngs = Randkit.Prng.split_n rng nbatches in
+  let root = Randkit.Prng.copy rng in
+  for _ = 1 to nbatches do
+    ignore (Randkit.Prng.bits64 rng)
+  done;
   let chunk_body ~lo:b0 ~hi:b1 =
+    let parent = Randkit.Prng.copy root in
+    for _ = 1 to b0 do
+      ignore (Randkit.Prng.bits64 parent)
+    done;
     let scratch = Eval.make_scratch t in
     let dy = Array.make (Eval.dim t) 0. in
     for b = b0 to b1 - 1 do
+      let brng = Randkit.Prng.split parent in
       let lo = b * batch in
       let n = min batch (samples - lo) in
-      body b rngs.(b) scratch dy ~lo ~n
+      body b brng scratch dy ~lo ~n
     done
   in
   (match pool with
@@ -42,8 +108,13 @@ let over_batches ?pool ~batch ~samples t rng body =
   | None -> chunk_body ~lo:0 ~hi:nbatches);
   nbatches
 
-let estimate ?pool ?(batch = default_batch) ~samples t rng spec =
+let estimate ?pool ?(batch = default_batch)
+    ?(sampler = Randkit.Gaussian.Polar) ?project ~samples t rng spec =
   check_args ~samples ~batch ~name:"Serve.Stream.estimate";
+  let project =
+    resolve_project ~sampler ~project ~name:"Serve.Stream.estimate"
+  in
+  let filler = filler_of ~sampler ~project t rng in
   (* Per-batch partial accumulators, slotted by batch index so the
      final combine is sequential in batch order regardless of which
      domain produced which partial. *)
@@ -52,12 +123,12 @@ let estimate ?pool ?(batch = default_batch) ~samples t rng spec =
   let sum_of = Array.make nbatches0 0. in
   let sumsq_of = Array.make nbatches0 0. in
   let nbatches =
-    over_batches ?pool ~batch ~samples t rng (fun b brng scratch dy ~lo:_ ~n ->
+    over_batches ?pool ~batch ~samples t rng (fun b brng scratch dy ~lo ~n ->
         let pass = ref 0 in
         let sum = ref 0. in
         let sumsq = ref 0. in
-        for _ = 1 to n do
-          Randkit.Gaussian.fill brng dy;
+        for s = 0 to n - 1 do
+          draw_point filler brng dy ~point:(lo + s);
           let v = Eval.eval_with t scratch dy in
           if Rsm.Yield.passes spec v then incr pass;
           sum := !sum +. v;
@@ -89,13 +160,18 @@ let estimate ?pool ?(batch = default_batch) ~samples t rng spec =
     batch;
   }
 
-let values ?pool ?(batch = default_batch) ~samples t rng =
+let values ?pool ?(batch = default_batch)
+    ?(sampler = Randkit.Gaussian.Polar) ?project ~samples t rng =
   check_args ~samples ~batch ~name:"Serve.Stream.values";
+  let project =
+    resolve_project ~sampler ~project ~name:"Serve.Stream.values"
+  in
+  let filler = filler_of ~sampler ~project t rng in
   let out = Array.make samples 0. in
   let (_ : int) =
     over_batches ?pool ~batch ~samples t rng (fun _ brng scratch dy ~lo ~n ->
         for s = 0 to n - 1 do
-          Randkit.Gaussian.fill brng dy;
+          draw_point filler brng dy ~point:(lo + s);
           out.(lo + s) <- Eval.eval_with t scratch dy
         done)
   in

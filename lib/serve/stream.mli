@@ -4,26 +4,56 @@
     is analytic, parametric yield comes from 10⁷–10⁸ cheap model
     evaluations instead of transistor-level simulation. This module
     pulls that point stream through the domain pool in fixed-size
-    batches without ever materializing the point set: each batch owns a
-    child PRNG, one reusable point buffer and one evaluator scratch, so
-    peak memory is O(batches + dim · lanes) however many samples flow.
+    batches without ever materializing the point set: each batch owns
+    one reusable point buffer and one evaluator scratch, so peak memory
+    is O(dim · lanes) however many samples flow.
+
+    {2 Samplers}
+
+    [?sampler] selects how the standard-normal points are drawn:
+
+    - [Polar] (default): the historical sequential sampler. Batch [b]
+      draws from child [b] of the caller's generator (children now
+      derived on demand, not materialized — same bits as the original
+      [Prng.split_n] scheme).
+    - [Ziggurat]: the counter-mode engine. One key is drawn from the
+      caller's generator ({!Randkit.Counter.of_prng}); every coordinate
+      of every point is then a pure function of
+      [(key, global point index, coordinate)]
+      ({!Randkit.Ziggurat.normal_at}).
+
+    [?project] (counter sampler only; default on with it) draws only
+    the coordinates the tape actually reads ({!Eval.touched_vars})
+    instead of all [dim] — the sparsity dividend of the paper's
+    selection step applied to sampling. Because the counter addresses
+    each coordinate independently, the projected estimate is {b bitwise
+    equal} to the full-vector draw; the only change is that draw work
+    scales with the support, not the ambient dimension.
 
     {2 Determinism contract}
 
-    The batch structure {e is} the random-stream structure: batch [b]
-    draws from child [b] of {!Randkit.Prng.split_n} on the caller's
-    generator, and per-batch partials (pass counts, value sums) are
-    combined sequentially in batch-index order after the parallel
-    phase. Results are therefore {b bitwise identical at every domain
-    count} — the same contract the fitting engine keeps (PRs 1–5) —
-    and depend only on [(seed, samples, batch)]. Changing [batch]
-    re-partitions the stream and is {e expected} to change the draws
-    (document the batch size next to the seed when recording results).
+    Per-batch partials (pass counts, value sums) are always combined
+    sequentially in batch-index order after the parallel phase, so both
+    samplers are {b bitwise identical at every domain count}:
 
-    The evaluator itself is bitwise equal to term-by-term
-    [Rsm.Model.predict_point] (see {!Eval}), so a streamed estimate at
-    one domain equals the naive sequential estimate computed from the
-    same per-batch draws. *)
+    - [Polar] estimates depend only on [(seed, samples, batch)].
+      Changing [batch] re-partitions the stream and is {e expected} to
+      change the draws (record the batch size next to the seed).
+    - [Ziggurat] draws depend only on [(seed, samples)] — the batch
+      grid carries no randomness, so the value stream ({!values}),
+      [yield], [std_error] and [pass] are additionally invariant to the
+      batch size and to projection. The [mean]/[std] moments fold
+      per-batch partial sums in batch order; for a {e fixed} batch they
+      too are bitwise stable (and identical projected vs full), but
+      changing the batch size regroups that floating-point summation
+      and may move their last ulp.
+
+    The two samplers consume different streams and agree statistically,
+    never bitwise. The evaluator itself is bitwise equal to
+    term-by-term [Rsm.Model.predict_point] (see {!Eval}); the ziggurat
+    path additionally matches single-generator
+    [Rsm.Yield.monte_carlo ~sampler:Ziggurat] bit for bit (same key
+    derivation, same global point indices). *)
 
 type estimate = {
   yield : float;  (** pass fraction against the spec window *)
@@ -37,13 +67,15 @@ type estimate = {
 }
 
 val default_batch : int
-(** 8192 samples per batch: large enough to amortize per-batch PRNG and
-    scratch setup, small enough that 10⁸ samples spread over thousands
-    of pool tasks. *)
+(** 8192 samples per batch: large enough to amortize per-batch setup,
+    small enough that 10⁸ samples spread over thousands of pool
+    tasks. *)
 
 val estimate :
   ?pool:Parallel.Pool.t ->
   ?batch:int ->
+  ?sampler:Randkit.Gaussian.sampler ->
+  ?project:bool ->
   samples:int ->
   Eval.t ->
   Randkit.Prng.t ->
@@ -51,13 +83,17 @@ val estimate :
   estimate
 (** [estimate ~samples tape rng spec] streams [samples] standard-normal
     factor draws through the compiled tape and scores them against
-    [spec]. Batches run over [pool] (default: sequential); the result is
-    bitwise identical for every domain count.
-    @raise Invalid_argument when [samples ≤ 0] or [batch ≤ 0]. *)
+    [spec]. Batches run over [pool] (default: sequential); the result
+    is bitwise identical for every domain count. [?sampler] and
+    [?project] as described above.
+    @raise Invalid_argument when [samples ≤ 0], [batch ≤ 0], or
+    [~project:true] is combined with the polar sampler. *)
 
 val values :
   ?pool:Parallel.Pool.t ->
   ?batch:int ->
+  ?sampler:Randkit.Gaussian.sampler ->
+  ?project:bool ->
   samples:int ->
   Eval.t ->
   Randkit.Prng.t ->
@@ -65,6 +101,7 @@ val values :
 (** [values ~samples tape rng] is the raw model-value stream (for
     histograms and quantiles), materialized — the streaming analogue of
     [Rsm.Yield.monte_carlo_values]. Entry [b·batch + s] is draw [s] of
-    batch [b]'s child generator, so the array is bitwise identical at
-    every domain count.
-    @raise Invalid_argument when [samples ≤ 0] or [batch ≤ 0]. *)
+    batch [b] (polar) or the value at global point [b·batch + s]
+    (ziggurat), so the array is bitwise identical at every domain
+    count.
+    @raise Invalid_argument as in {!estimate}. *)

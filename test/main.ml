@@ -38,5 +38,6 @@ let () =
       Test_shard.suite;
       Test_serve.suite;
       Test_burst.suite;
+      Test_sampler.suite;
       Test_multi.suite;
     ]
